@@ -1,0 +1,99 @@
+//! Error type for the aggregation layer.
+
+use std::fmt;
+
+use minshare::ProtocolError;
+use minshare_bignum::BigNumError;
+
+/// Errors from Paillier operations and the intersection-sum protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggregateError {
+    /// Key generation could not find suitable primes.
+    KeyGeneration {
+        /// Underlying failure.
+        detail: String,
+    },
+    /// A plaintext is outside the message space `[0, n)`.
+    PlaintextTooLarge,
+    /// A ciphertext is structurally invalid (zero, or ≥ n²).
+    InvalidCiphertext,
+    /// The requested key size is too small to be meaningful.
+    KeyTooSmall {
+        /// Requested modulus bits.
+        bits: u64,
+        /// Minimum supported.
+        minimum: u64,
+    },
+    /// An underlying protocol failure.
+    Protocol(ProtocolError),
+    /// An underlying arithmetic failure.
+    Arithmetic(BigNumError),
+}
+
+impl fmt::Display for AggregateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggregateError::KeyGeneration { detail } => {
+                write!(f, "Paillier key generation failed: {detail}")
+            }
+            AggregateError::PlaintextTooLarge => {
+                write!(f, "plaintext outside the message space [0, n)")
+            }
+            AggregateError::InvalidCiphertext => write!(f, "structurally invalid ciphertext"),
+            AggregateError::KeyTooSmall { bits, minimum } => {
+                write!(f, "{bits}-bit modulus below the {minimum}-bit minimum")
+            }
+            AggregateError::Protocol(e) => write!(f, "protocol: {e}"),
+            AggregateError::Arithmetic(e) => write!(f, "arithmetic: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AggregateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AggregateError::Protocol(e) => Some(e),
+            AggregateError::Arithmetic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProtocolError> for AggregateError {
+    fn from(e: ProtocolError) -> Self {
+        AggregateError::Protocol(e)
+    }
+}
+
+impl From<BigNumError> for AggregateError {
+    fn from(e: BigNumError) -> Self {
+        AggregateError::Arithmetic(e)
+    }
+}
+
+impl From<minshare_net::NetError> for AggregateError {
+    fn from(e: minshare_net::NetError) -> Self {
+        AggregateError::Protocol(ProtocolError::Net(e))
+    }
+}
+
+impl From<minshare_crypto::CryptoError> for AggregateError {
+    fn from(e: minshare_crypto::CryptoError) -> Self {
+        AggregateError::Protocol(ProtocolError::Crypto(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: AggregateError = BigNumError::DivisionByZero.into();
+        assert!(e.to_string().contains("arithmetic"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(AggregateError::PlaintextTooLarge
+            .to_string()
+            .contains("message space"));
+    }
+}

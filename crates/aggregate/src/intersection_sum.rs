@@ -1,0 +1,459 @@
+//! Private intersection-sum: `count` and `Σ w_v` over the join, nothing
+//! else.
+//!
+//! Composition of the paper's intersection-size machinery (§5.1) with
+//! Paillier ciphertexts riding alongside the blinded tags:
+//!
+//! ```text
+//!  S (v, w_v; keys e_S, Paillier sk)        R (V_R; key e_R, Paillier pk)
+//!  ── pk ──────────────────────────────▶
+//!                    ◀── Y_R = sort f_eR(h(V_R)) ──
+//!  ── Z_R = sort f_eS(Y_R) ────────────▶
+//!  ── sort[(f_eS(h(u)), Enc_pk(w_u))] ─▶
+//!                                           t_u = f_eR(f_eS(h(u)));
+//!                                           matched ⟺ t_u ∈ Z_R;
+//!                    ◀── (count, ⊞ Enc(w_u) re-randomized) ──
+//!  ── Dec → sum ───────────────────────▶
+//! ```
+//!
+//! **Disclosure** (semi-honest): both parties learn the intersection
+//! *count* and the weight *sum*; `S` additionally learns `|V_R|` and `R`
+//! learns `|V_S|`. Neither learns which values matched (`Z_R` is
+//! reordered exactly as in §5.1, and the summing party holds only the
+//! public key, so individual `Enc(w_u)` stay opaque).
+//!
+//! **Correctness bound**: the sum is computed modulo the Paillier modulus
+//! `n`; callers must size the key so `Σ w < n`.
+
+use std::collections::BTreeSet;
+
+use minshare::prepare::prepare_set;
+use minshare::stats::OpCounters;
+use minshare::wire::{require_strictly_sorted, Message};
+use minshare::ProtocolError;
+use minshare_bignum::UBig;
+use minshare_crypto::QrGroup;
+use minshare_net::Transport;
+use rand::Rng;
+
+use crate::error::AggregateError;
+use crate::paillier::{Ciphertext, PrivateKey, PublicKey};
+
+/// What the weighted sender learns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntersectionSumSenderOutput {
+    /// `|V_S ∩ V_R|`.
+    pub intersection_count: u64,
+    /// `Σ w_v` over the intersection (mod the Paillier modulus).
+    pub sum: UBig,
+    /// `|V_R|`.
+    pub peer_set_size: usize,
+    /// Commutative-cipher cost units.
+    pub ops: OpCounters,
+    /// Paillier operations performed (encryptions + decryptions).
+    pub paillier_ops: u64,
+}
+
+/// What the receiver learns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntersectionSumReceiverOutput {
+    /// `|V_S ∩ V_R|`.
+    pub intersection_count: u64,
+    /// `Σ w_v` over the intersection.
+    pub sum: UBig,
+    /// `|V_S|`.
+    pub peer_set_size: usize,
+    /// Commutative-cipher cost units.
+    pub ops: OpCounters,
+    /// Paillier operations performed (homomorphic additions etc.).
+    pub paillier_ops: u64,
+}
+
+/// Frame tags for the messages that are not part of the core wire
+/// vocabulary.
+const TAG_PUBLIC_KEY: u8 = 0x50;
+const TAG_AGGREGATE: u8 = 0x51;
+const TAG_SUM: u8 = 0x52;
+
+fn malformed(detail: &str) -> AggregateError {
+    AggregateError::Protocol(ProtocolError::MalformedMessage {
+        detail: detail.to_string(),
+    })
+}
+
+fn encode_public_key(pk: &PublicKey) -> Vec<u8> {
+    let n = pk.modulus().to_be_bytes();
+    let mut out = Vec::with_capacity(5 + n.len());
+    out.push(TAG_PUBLIC_KEY);
+    out.extend_from_slice(&(n.len() as u32).to_be_bytes());
+    out.extend_from_slice(&n);
+    out
+}
+
+fn decode_public_key(frame: &[u8]) -> Result<UBig, AggregateError> {
+    if frame.len() < 5 || frame[0] != TAG_PUBLIC_KEY {
+        return Err(malformed("expected public-key frame"));
+    }
+    let len = u32::from_be_bytes([frame[1], frame[2], frame[3], frame[4]]) as usize;
+    if frame.len() != 5 + len {
+        return Err(malformed("public-key frame length mismatch"));
+    }
+    let n = UBig::from_be_bytes(&frame[5..]);
+    if n < UBig::from(15u64) || n.is_even() {
+        return Err(malformed("implausible Paillier modulus"));
+    }
+    Ok(n)
+}
+
+fn encode_aggregate(
+    pk: &PublicKey,
+    count: u64,
+    acc: &Ciphertext,
+) -> Result<Vec<u8>, AggregateError> {
+    let ct = pk.encode_ciphertext(acc)?;
+    let mut out = Vec::with_capacity(9 + ct.len());
+    out.push(TAG_AGGREGATE);
+    out.extend_from_slice(&count.to_be_bytes());
+    out.extend_from_slice(&ct);
+    Ok(out)
+}
+
+fn decode_aggregate(pk: &PublicKey, frame: &[u8]) -> Result<(u64, Ciphertext), AggregateError> {
+    if frame.len() != 9 + pk.ciphertext_bytes() || frame[0] != TAG_AGGREGATE {
+        return Err(malformed("expected aggregate frame"));
+    }
+    let mut cnt = [0u8; 8];
+    cnt.copy_from_slice(&frame[1..9]);
+    let ct = pk.decode_ciphertext(&frame[9..])?;
+    Ok((u64::from_be_bytes(cnt), ct))
+}
+
+fn encode_sum(pk: &PublicKey, sum: &UBig) -> Result<Vec<u8>, AggregateError> {
+    let width = (pk.modulus_bits() as usize).div_ceil(8);
+    let body = sum.to_be_bytes_padded(width)?;
+    let mut out = Vec::with_capacity(1 + body.len());
+    out.push(TAG_SUM);
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+fn decode_sum(pk: &PublicKey, frame: &[u8]) -> Result<UBig, AggregateError> {
+    let width = (pk.modulus_bits() as usize).div_ceil(8);
+    if frame.len() != 1 + width || frame[0] != TAG_SUM {
+        return Err(malformed("expected sum frame"));
+    }
+    Ok(UBig::from_be_bytes(&frame[1..]))
+}
+
+fn expect_codewords<T: Transport + ?Sized>(
+    transport: &mut T,
+    group: &QrGroup,
+) -> Result<Vec<UBig>, AggregateError> {
+    match Message::decode(&transport.recv()?, group).map_err(AggregateError::Protocol)? {
+        Message::Codewords(list) => Ok(list),
+        other => Err(AggregateError::Protocol(ProtocolError::UnexpectedMessage {
+            expected: "codewords",
+            got: other.kind(),
+        })),
+    }
+}
+
+/// Runs the weighted-sender (`S`) side. `entries` holds `(value, weight)`
+/// pairs; `key` is `S`'s Paillier keypair (the secret stays here).
+pub fn run_sender<T: Transport + ?Sized, R: Rng + ?Sized>(
+    transport: &mut T,
+    group: &QrGroup,
+    key: &PrivateKey,
+    entries: &[(Vec<u8>, u64)],
+    rng: &mut R,
+) -> Result<IntersectionSumSenderOutput, AggregateError> {
+    let mut ops = OpCounters::default();
+    let mut paillier_ops = 0u64;
+    let pk = &key.public;
+
+    // Round 1: publish the encryption key.
+    transport.send(&encode_public_key(pk))?;
+
+    // Prepare V_S with weights (first weight wins on duplicate values,
+    // consistent with the set semantics of prepare_set).
+    let values: Vec<Vec<u8>> = entries.iter().map(|(v, _)| v.clone()).collect();
+    let weights: std::collections::BTreeMap<&Vec<u8>, u64> = entries
+        .iter()
+        .rev() // first occurrence wins after rev+collect
+        .map(|(v, w)| (v, *w))
+        .collect();
+    let prepared = prepare_set(group, &values, &mut ops).map_err(AggregateError::Protocol)?;
+    let e_s = group.gen_key(rng);
+
+    // Round 2: receive Y_R.
+    let yr = expect_codewords(transport, group)?;
+    require_strictly_sorted(&yr, "Y_R").map_err(AggregateError::Protocol)?;
+    let peer_set_size = yr.len();
+
+    // Round 3: Z_R = sorted f_eS(Y_R) — reordered, as in §5.1, so R
+    // cannot identify which of its values matched.
+    let mut zr: Vec<UBig> = yr
+        .iter()
+        .map(|y| {
+            ops.encryptions += 1;
+            group.encrypt(&e_s, y)
+        })
+        .collect();
+    zr.sort();
+    transport.send(
+        &Message::Codewords(zr)
+            .encode(group)
+            .map_err(AggregateError::Protocol)?,
+    )?;
+
+    // Round 4: blinded tags with encrypted weights, sorted by tag.
+    let mut pairs: Vec<(UBig, Vec<u8>)> = prepared
+        .entries
+        .iter()
+        .map(|(v, h)| {
+            ops.encryptions += 1;
+            let tag = group.encrypt(&e_s, h);
+            paillier_ops += 1;
+            let w = weights.get(v).copied().unwrap_or(0);
+            let ct = pk.encrypt_u64(w, rng)?;
+            Ok((tag, pk.encode_ciphertext(&ct)?))
+        })
+        .collect::<Result<_, AggregateError>>()?;
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    transport.send(
+        &Message::PayloadPairs(pairs)
+            .encode(group)
+            .map_err(AggregateError::Protocol)?,
+    )?;
+
+    // Round 5: receive the blind aggregate; decrypt; return the sum.
+    let (count, acc) = decode_aggregate(pk, &transport.recv()?)?;
+    paillier_ops += 1;
+    let sum = key.decrypt(&acc)?;
+    transport.send(&encode_sum(pk, &sum)?)?;
+
+    Ok(IntersectionSumSenderOutput {
+        intersection_count: count,
+        sum,
+        peer_set_size,
+        ops,
+        paillier_ops,
+    })
+}
+
+/// Runs the receiver (`R`) side on the plain set `values`.
+pub fn run_receiver<T: Transport + ?Sized, R: Rng + ?Sized>(
+    transport: &mut T,
+    group: &QrGroup,
+    values: &[Vec<u8>],
+    rng: &mut R,
+) -> Result<IntersectionSumReceiverOutput, AggregateError> {
+    let mut ops = OpCounters::default();
+    let mut paillier_ops = 0u64;
+
+    // Round 1: the sender's Paillier public key.
+    let n = decode_public_key(&transport.recv()?)?;
+    let pk = PublicKey::from_modulus_unchecked(n)?;
+
+    // Round 2: Y_R.
+    let prepared = prepare_set(group, values, &mut ops).map_err(AggregateError::Protocol)?;
+    let e_r = group.gen_key(rng);
+    let mut yr: Vec<UBig> = prepared
+        .entries
+        .iter()
+        .map(|(_, h)| {
+            ops.encryptions += 1;
+            group.encrypt(&e_r, h)
+        })
+        .collect();
+    yr.sort();
+    let yr_len = yr.len();
+    transport.send(
+        &Message::Codewords(yr)
+            .encode(group)
+            .map_err(AggregateError::Protocol)?,
+    )?;
+
+    // Round 3: Z_R.
+    let zr = expect_codewords(transport, group)?;
+    require_strictly_sorted(&zr, "Z_R").map_err(AggregateError::Protocol)?;
+    if zr.len() != yr_len {
+        return Err(AggregateError::Protocol(ProtocolError::LengthMismatch {
+            expected: yr_len,
+            got: zr.len(),
+        }));
+    }
+    let zr_set: BTreeSet<UBig> = zr.into_iter().collect();
+
+    // Round 4: the sender's blinded tags + encrypted weights.
+    let pairs =
+        match Message::decode(&transport.recv()?, group).map_err(AggregateError::Protocol)? {
+            Message::PayloadPairs(p) => p,
+            other => {
+                return Err(AggregateError::Protocol(ProtocolError::UnexpectedMessage {
+                    expected: "payload-pairs",
+                    got: other.kind(),
+                }))
+            }
+        };
+    let tags: Vec<UBig> = pairs.iter().map(|(t, _)| t.clone()).collect();
+    require_strictly_sorted(&tags, "tag table").map_err(AggregateError::Protocol)?;
+    let peer_set_size = pairs.len();
+
+    // Blind match & sum.
+    let mut count = 0u64;
+    paillier_ops += 1;
+    let mut acc = pk.encrypt_zero(rng)?;
+    for (tag, ct_bytes) in &pairs {
+        ops.encryptions += 1;
+        let t = group.encrypt(&e_r, tag);
+        if zr_set.contains(&t) {
+            count += 1;
+            let ct = pk.decode_ciphertext(ct_bytes)?;
+            paillier_ops += 1;
+            acc = pk.add(&acc, &ct);
+        }
+    }
+    paillier_ops += 1;
+    let acc = pk.rerandomize(&acc, rng)?;
+    transport.send(&encode_aggregate(&pk, count, &acc)?)?;
+
+    // Round 5: the plaintext sum comes back.
+    let sum = decode_sum(&pk, &transport.recv()?)?;
+
+    Ok(IntersectionSumReceiverOutput {
+        intersection_count: count,
+        sum,
+        peer_set_size,
+        ops,
+        paillier_ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minshare::run_two_party;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn group() -> QrGroup {
+        let mut rng = StdRng::seed_from_u64(77);
+        QrGroup::generate(&mut rng, 64).unwrap()
+    }
+
+    fn keypair() -> PrivateKey {
+        let mut rng = StdRng::seed_from_u64(0xa99);
+        PrivateKey::generate(&mut rng, 64).unwrap()
+    }
+
+    fn run(
+        entries: &[(&str, u64)],
+        vr: &[&str],
+    ) -> (IntersectionSumSenderOutput, IntersectionSumReceiverOutput) {
+        let g = group();
+        let key = keypair();
+        let entries: Vec<(Vec<u8>, u64)> = entries
+            .iter()
+            .map(|(v, w)| (v.as_bytes().to_vec(), *w))
+            .collect();
+        let vr: Vec<Vec<u8>> = vr.iter().map(|s| s.as_bytes().to_vec()).collect();
+        let run = run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(1);
+                run_sender(t, &g, &key, &entries, &mut rng).map_err(|e| match e {
+                    AggregateError::Protocol(p) => p,
+                    other => ProtocolError::MalformedMessage {
+                        detail: other.to_string(),
+                    },
+                })
+            },
+            |t| {
+                let g = group();
+                let mut rng = StdRng::seed_from_u64(2);
+                run_receiver(t, &g, &vr, &mut rng).map_err(|e| match e {
+                    AggregateError::Protocol(p) => p,
+                    other => ProtocolError::MalformedMessage {
+                        detail: other.to_string(),
+                    },
+                })
+            },
+        )
+        .unwrap();
+        (run.sender, run.receiver)
+    }
+
+    #[test]
+    fn sums_over_the_intersection_only() {
+        let (s, r) = run(
+            &[("a", 10), ("b", 20), ("c", 30), ("d", 40)],
+            &["b", "d", "e"],
+        );
+        assert_eq!(r.intersection_count, 2);
+        assert_eq!(r.sum, UBig::from(60u64)); // b + d
+        assert_eq!(s.sum, UBig::from(60u64));
+        assert_eq!(s.intersection_count, 2);
+        assert_eq!(r.peer_set_size, 4);
+        assert_eq!(s.peer_set_size, 3);
+    }
+
+    #[test]
+    fn empty_intersection_sums_to_zero() {
+        let (s, r) = run(&[("a", 5)], &["z"]);
+        assert_eq!(r.intersection_count, 0);
+        assert_eq!(r.sum, UBig::zero());
+        assert_eq!(s.sum, UBig::zero());
+    }
+
+    #[test]
+    fn zero_weights_counted_but_invisible_in_sum() {
+        let (_, r) = run(&[("a", 0), ("b", 7)], &["a", "b"]);
+        assert_eq!(r.intersection_count, 2);
+        assert_eq!(r.sum, UBig::from(7u64));
+    }
+
+    #[test]
+    fn full_overlap() {
+        let (_, r) = run(&[("x", 1), ("y", 2), ("z", 3)], &["x", "y", "z"]);
+        assert_eq!(r.intersection_count, 3);
+        assert_eq!(r.sum, UBig::from(6u64));
+    }
+
+    #[test]
+    fn op_accounting_matches_size_protocol_shape() {
+        // Same Ce structure as intersection-size: 2(|VS|+|VR|), plus
+        // Paillier work |VS| enc + 1 dec on S, ~count adds on R.
+        let (s, r) = run(&[("a", 1), ("b", 2), ("c", 3)], &["b", "c"]);
+        assert_eq!(s.ops.total_ce() + r.ops.total_ce(), 2 * (3 + 2));
+        assert_eq!(s.paillier_ops, 3 + 1);
+        assert_eq!(r.paillier_ops, 1 + 2 + 1); // zero + 2 adds + rerandomize
+    }
+
+    #[test]
+    fn oracle_randomized() {
+        use rand::RngExt as _;
+        let vocab = ["p", "q", "r", "s", "t"];
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..4 {
+            let mut entries: Vec<(&str, u64)> = Vec::new();
+            for v in &vocab {
+                if rng.random_bool(0.7) {
+                    entries.push((*v, rng.random_range(0..1000u64)));
+                }
+            }
+            let mut vr: Vec<&str> = Vec::new();
+            for v in &vocab {
+                if rng.random_bool(0.5) {
+                    vr.push(*v);
+                }
+            }
+            let expect: u64 = entries
+                .iter()
+                .filter(|(v, _)| vr.contains(v))
+                .map(|(_, w)| w)
+                .sum();
+            let (_, r) = run(&entries, &vr);
+            assert_eq!(r.sum, UBig::from(expect), "entries={entries:?} vr={vr:?}");
+        }
+    }
+}

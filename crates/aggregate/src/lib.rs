@@ -1,0 +1,41 @@
+//! # minshare-aggregate
+//!
+//! The paper's §7 closes with: *"Can we formalize models of minimal
+//! disclosure and discover corresponding protocols for other database
+//! operations such as aggregations?"* This crate implements that
+//! direction: a **private intersection-sum** protocol — the construction
+//! that, years after the paper, shipped as Google's Private Join &
+//! Compute (Ion et al.) and is a direct descendant of the paper's
+//! commutative-encryption machinery.
+//!
+//! Query answered: `S` holds pairs `(v, w_v)` (a join value and an
+//! integer weight); `R` holds a set `V_R`. Both parties learn
+//!
+//! ```sql
+//! select count(*), sum(S.w) from S, R where S.v = R.v
+//! ```
+//!
+//! and nothing else (plus the declared sizes `|V_S|`, `|V_R|`): in
+//! particular no individual weight `w_v` and no individual membership is
+//! revealed to anyone.
+//!
+//! Construction = the paper's blind-exponentiation core + additively
+//! homomorphic encryption:
+//!
+//! * [`paillier`] — the Paillier cryptosystem, built from scratch on
+//!   `minshare-bignum` (keygen on fresh primes, `Enc(m) = (1+n)^m·r^n
+//!   mod n²`, ciphertext addition, re-randomization),
+//! * [`intersection_sum`] — the two-party protocol: tags are
+//!   commutatively double-encrypted exactly as in the paper's
+//!   intersection-size protocol (so neither side can identify matches),
+//!   while the weights ride alongside as Paillier ciphertexts that the
+//!   *non-key-holding* party sums blindly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod intersection_sum;
+pub mod paillier;
+
+pub use error::AggregateError;

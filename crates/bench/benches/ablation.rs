@@ -1,0 +1,158 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * Montgomery fixed-window exponentiation vs. naive binary
+//!   square-and-multiply (why the `Ce` engine is built the way it is),
+//! * the paper's `P`-processor parallel encryption assumption
+//!   (speedup curve of the batch encryptors),
+//! * the paper-exact multiplicative payload cipher vs. the hybrid
+//!   (what the substitution costs),
+//! * exact intersection vs. the §7 Bloom-prefiltered hybrid (the
+//!   efficiency/disclosure tradeoff, measured).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minshare::prelude::*;
+use minshare::tradeoff;
+use minshare_bench::{bench_group, overlapping_sets, random_exponent};
+use minshare_crypto::batch::encrypt_batch;
+use minshare_crypto::kcipher::{ExtCipher, HybridCipher, MulBlockCipher};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn montgomery_vs_binary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/modexp_strategy");
+    group.sample_size(10);
+    let g = bench_group(1024);
+    let mut rng = StdRng::seed_from_u64(1);
+    let base = g.sample_element(&mut rng);
+    let exp = random_exponent(&g, 2);
+    group.bench_function("montgomery_window", |b| {
+        b.iter(|| black_box(g.pow(black_box(&base), black_box(&exp))))
+    });
+    group.bench_function("binary_division_reduce", |b| {
+        b.iter(|| black_box(base.modpow_binary(black_box(&exp), g.modulus())))
+    });
+    let barrett = minshare_bignum::barrett::BarrettCtx::new(g.modulus()).expect("barrett context");
+    group.bench_function("barrett_square_multiply", |b| {
+        b.iter(|| black_box(barrett.pow(black_box(&base), black_box(&exp))))
+    });
+    group.finish();
+}
+
+fn parallel_encryption_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/parallel_encrypt");
+    group.sample_size(10);
+    let g = bench_group(1024);
+    let mut rng = StdRng::seed_from_u64(3);
+    let key = g.gen_key(&mut rng);
+    let items: Vec<_> = (0..64).map(|_| g.sample_element(&mut rng)).collect();
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| b.iter(|| black_box(encrypt_batch(&g, &key, &items, threads))),
+        );
+    }
+    group.finish();
+}
+
+fn payload_cipher_choice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/payload_cipher");
+    let g = bench_group(1024);
+    let mut rng = StdRng::seed_from_u64(4);
+    let kappa = g.sample_element(&mut rng);
+    let mul = MulBlockCipher::new(g.clone()).expect("group");
+    let hybrid = HybridCipher::new(g.clone(), mul.max_plaintext_len());
+    let payload = vec![0x42u8; mul.max_plaintext_len()];
+    group.bench_function("mulblock_paper_exact", |b| {
+        b.iter(|| black_box(mul.encrypt(&kappa, black_box(&payload)).unwrap()))
+    });
+    group.bench_function("hybrid_chacha_hmac", |b| {
+        b.iter(|| black_box(hybrid.encrypt(&kappa, black_box(&payload)).unwrap()))
+    });
+    group.finish();
+}
+
+fn exact_vs_bloom_hybrid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/bloom_tradeoff");
+    group.sample_size(10);
+    let g = bench_group(128);
+    // Big sender set, small intersection: the hybrid's favorable regime.
+    let (vs, vr) = overlapping_sets(200, 10, 5);
+
+    group.bench_function("exact_intersection", |b| {
+        b.iter(|| {
+            run_two_party(
+                |t| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    intersection::run_sender(t, &g, &vs, &mut rng)
+                },
+                |t| {
+                    let mut rng = StdRng::seed_from_u64(2);
+                    intersection::run_receiver(t, &g, &vr, &mut rng)
+                },
+            )
+            .expect("run")
+        })
+    });
+
+    group.bench_function("bloom_hybrid_exact", |b| {
+        b.iter(|| {
+            run_two_party(
+                |t| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    tradeoff::hybrid_intersection::run_sender(t, &g, &vs, &mut rng)
+                },
+                |t| {
+                    let mut rng = StdRng::seed_from_u64(2);
+                    tradeoff::hybrid_intersection::run_receiver(t, &g, &vr, 0.01, &mut rng)
+                },
+            )
+            .expect("run")
+        })
+    });
+
+    group.bench_function("bloom_approximate_size", |b| {
+        b.iter(|| {
+            run_two_party(
+                |t| tradeoff::approximate_size::run_sender(t, &vs),
+                |t| tradeoff::approximate_size::run_receiver(t, &vr, 0.01),
+            )
+            .expect("run")
+        })
+    });
+    group.finish();
+}
+
+fn commutative_scheme_choice(c: &mut Criterion) {
+    // Example 1 (QR_p, DDH) vs the cited mental-poker SRA construction:
+    // one encryption each at comparable modulus sizes.
+    let mut group = c.benchmark_group("ablation/commutative_scheme");
+    group.sample_size(10);
+    let qr = bench_group(768);
+    let mut rng = StdRng::seed_from_u64(7);
+    let qr_key = qr.gen_key(&mut rng);
+    let qr_x = qr.sample_element(&mut rng);
+    group.bench_function("qr_pohlig_hellman_768", |b| {
+        b.iter(|| black_box(qr.encrypt(&qr_key, black_box(&qr_x))))
+    });
+
+    let sra = minshare_crypto::sra::SraContext::generate(&mut rng, 768).expect("SRA parameters");
+    let sra_key = sra.gen_key(&mut rng);
+    let sra_x = sra.hash_to_domain(b"bench-value");
+    group.bench_function("sra_mental_poker_768", |b| {
+        b.iter(|| black_box(sra.encrypt(&sra_key, black_box(&sra_x))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    montgomery_vs_binary,
+    parallel_encryption_scaling,
+    payload_cipher_choice,
+    exact_vs_bloom_hybrid,
+    commutative_scheme_choice
+);
+criterion_main!(benches);

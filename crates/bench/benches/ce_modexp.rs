@@ -1,0 +1,26 @@
+//! `Ce` — the paper's unit cost: one `k`-bit modular exponentiation
+//! (experiment E11). The paper's reference point is 0.02 s at `k = 1024`
+//! on a 2001 Pentium III.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minshare_bench::{bench_group, random_exponent};
+
+fn ce_modexp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ce_modexp");
+    group.sample_size(20);
+    for bits in [768u64, 1024, 1536, 2048] {
+        let g = bench_group(bits);
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(7);
+        let base = g.sample_element(&mut rng);
+        let exp = random_exponent(&g, 13);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| black_box(g.pow(black_box(&base), black_box(&exp))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ce_modexp);
+criterion_main!(benches);

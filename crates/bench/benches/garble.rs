@@ -1,0 +1,90 @@
+//! The Appendix-A baseline: garbling and evaluation cost per gate
+//! (`Cr` calibration, experiment E14) and OT cost per input bit.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use minshare_bench::bench_group;
+use minshare_circuits::comparator::{equality_circuit, to_bits};
+use minshare_circuits::garble::{evaluate, garble, Label};
+use minshare_circuits::intersection_circuit::brute_force_intersection_circuit;
+use minshare_crypto::ot::ObliviousTransfer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn garbling_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("garble_circuit");
+    for w in [8usize, 32] {
+        let circuit = equality_circuit(w);
+        group.throughput(Throughput::Elements(circuit.gate_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| black_box(garble(&circuit, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn evaluation_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluate_garbled");
+    for w in [8usize, 32] {
+        let circuit = equality_circuit(w);
+        let mut rng = StdRng::seed_from_u64(5);
+        let garbling = garble(&circuit, &mut rng);
+        let mut input = to_bits(0x1234, w);
+        input.extend(to_bits(0x1234, w));
+        let labels: Vec<Label> = input
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| garbling.input_label(i, v))
+            .collect();
+        group.throughput(Throughput::Elements(circuit.gate_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            b.iter(|| black_box(evaluate(&circuit, &garbling.tables, &labels).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn brute_force_circuit_eval(c: &mut Criterion) {
+    // Plain evaluation of the brute-force intersection circuit — shows
+    // the quadratic blowup the partitioning construction fights.
+    let mut group = c.benchmark_group("brute_force_plain_eval");
+    let w = 16usize;
+    for n in [4usize, 8, 16] {
+        let circuit = brute_force_intersection_circuit(w, n, n);
+        let inputs: Vec<bool> = (0..circuit.n_inputs).map(|i| i % 3 == 0).collect();
+        group.throughput(Throughput::Elements(circuit.gate_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(circuit.eval(&inputs).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn ot_per_bit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oblivious_transfer");
+    group.sample_size(10);
+    let g = bench_group(128);
+    let ot = ObliviousTransfer::new(g, b"bench-session");
+    group.bench_function("one_label_transfer", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        b.iter(|| {
+            let (state, query) = ot.receiver_query(true, &mut rng).unwrap();
+            let resp = ot
+                .sender_respond(&query, &[0u8; 16], &[1u8; 16], &mut rng)
+                .unwrap();
+            black_box(ot.receiver_recover(&state, &resp).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    garbling_cost,
+    evaluation_cost,
+    brute_force_circuit_eval,
+    ot_per_bit
+);
+criterion_main!(benches);

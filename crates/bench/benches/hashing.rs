@@ -1,0 +1,40 @@
+//! `Ch` — hashing costs: raw SHA-256 throughput and the full
+//! hash-to-group mapping `h : V → QR_p` (supports the §6.1 assumption
+//! `Ce ≫ Ch`).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use minshare_bench::bench_group;
+use minshare_hash::Sha256;
+
+fn sha256_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xa5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| black_box(Sha256::digest(black_box(data))))
+        });
+    }
+    group.finish();
+}
+
+fn hash_to_group(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_to_group");
+    group.sample_size(30);
+    for bits in [768u64, 1024] {
+        let g = bench_group(bits);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                black_box(g.hash_to_group(&i.to_be_bytes()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sha256_throughput, hash_to_group);
+criterion_main!(benches);

@@ -1,0 +1,213 @@
+//! End-to-end protocol runs (experiment E12): both parties on threads
+//! over the byte-counted duplex link, across set sizes and group sizes.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minshare::prelude::*;
+use minshare_bench::{bench_group, overlapping_sets};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn intersection_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersection_e2e");
+    group.sample_size(10);
+    // Group size fixed at a fast 128 bits; n is the variable.
+    let g = bench_group(128);
+    for n in [8usize, 32, 128] {
+        let (vs, vr) = overlapping_sets(n, n, n / 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let run = run_two_party(
+                    |t| {
+                        let mut rng = StdRng::seed_from_u64(1);
+                        intersection::run_sender(t, &g, &vs, &mut rng)
+                    },
+                    |t| {
+                        let mut rng = StdRng::seed_from_u64(2);
+                        intersection::run_receiver(t, &g, &vr, &mut rng)
+                    },
+                )
+                .expect("protocol run");
+                black_box(run.receiver.intersection.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn intersection_group_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersection_group_bits");
+    group.sample_size(10);
+    let n = 16usize;
+    let (vs, vr) = overlapping_sets(n, n, n / 2);
+    for bits in [128u64, 768, 1024] {
+        let g = bench_group(bits);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| {
+                let run = run_two_party(
+                    |t| {
+                        let mut rng = StdRng::seed_from_u64(1);
+                        intersection::run_sender(t, &g, &vs, &mut rng)
+                    },
+                    |t| {
+                        let mut rng = StdRng::seed_from_u64(2);
+                        intersection::run_receiver(t, &g, &vr, &mut rng)
+                    },
+                )
+                .expect("protocol run");
+                black_box(run.receiver.intersection.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn all_four_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocols_n32");
+    group.sample_size(10);
+    let g = bench_group(128);
+    let n = 32usize;
+    let (vs, vr) = overlapping_sets(n, n, n / 2);
+
+    group.bench_function("intersection", |b| {
+        b.iter(|| {
+            run_two_party(
+                |t| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    intersection::run_sender(t, &g, &vs, &mut rng)
+                },
+                |t| {
+                    let mut rng = StdRng::seed_from_u64(2);
+                    intersection::run_receiver(t, &g, &vr, &mut rng)
+                },
+            )
+            .expect("run")
+        })
+    });
+
+    group.bench_function("intersection_size", |b| {
+        b.iter(|| {
+            run_two_party(
+                |t| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    intersection_size::run_sender(t, &g, &vs, &mut rng)
+                },
+                |t| {
+                    let mut rng = StdRng::seed_from_u64(2);
+                    intersection_size::run_receiver(t, &g, &vr, &mut rng)
+                },
+            )
+            .expect("run")
+        })
+    });
+
+    let entries: Vec<(Vec<u8>, Vec<u8>)> = vs
+        .iter()
+        .map(|v| (v.clone(), b"record-payload".to_vec()))
+        .collect();
+    group.bench_function("equijoin", |b| {
+        b.iter(|| {
+            let cipher = HybridCipher::new(g.clone(), 32);
+            run_two_party(
+                |t| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    equijoin::run_sender(t, &g, &cipher, &entries, &mut rng)
+                },
+                |t| {
+                    let cipher = HybridCipher::new(g.clone(), 32);
+                    let mut rng = StdRng::seed_from_u64(2);
+                    equijoin::run_receiver(t, &g, &cipher, &vr, &mut rng)
+                },
+            )
+            .expect("run")
+        })
+    });
+
+    group.bench_function("equijoin_size", |b| {
+        b.iter(|| {
+            run_two_party(
+                |t| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    equijoin_size::run_sender(t, &g, &vs, &mut rng)
+                },
+                |t| {
+                    let mut rng = StdRng::seed_from_u64(2);
+                    equijoin_size::run_receiver(t, &g, &vr, &mut rng)
+                },
+            )
+            .expect("run")
+        })
+    });
+    group.finish();
+}
+
+fn extensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    let g = bench_group(128);
+
+    // Private intersection-sum (E16 workload).
+    let key = {
+        let mut rng = StdRng::seed_from_u64(0x9a);
+        minshare_aggregate::paillier::PrivateKey::generate(&mut rng, 128).expect("keygen")
+    };
+    let entries: Vec<(Vec<u8>, u64)> = (0..32u32)
+        .map(|i| (format!("u{i}").into_bytes(), i as u64))
+        .collect();
+    let vr: Vec<Vec<u8>> = (16..48u32).map(|i| format!("u{i}").into_bytes()).collect();
+    group.bench_function("intersection_sum_n32", |b| {
+        b.iter(|| {
+            run_two_party(
+                |t| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    minshare_aggregate::intersection_sum::run_sender(
+                        t, &g, &key, &entries, &mut rng,
+                    )
+                    .map_err(|e| minshare::ProtocolError::MalformedMessage {
+                        detail: e.to_string(),
+                    })
+                },
+                |t| {
+                    let mut rng = StdRng::seed_from_u64(2);
+                    minshare_aggregate::intersection_sum::run_receiver(t, &g, &vr, &mut rng)
+                        .map_err(|e| minshare::ProtocolError::MalformedMessage {
+                            detail: e.to_string(),
+                        })
+                },
+            )
+            .expect("run")
+        })
+    });
+
+    // N-party ring (E17 workload).
+    for n in [3usize, 5] {
+        let sets: Vec<Vec<Vec<u8>>> = (0..n)
+            .map(|i| {
+                (0..16u32)
+                    .map(|j| format!("p{i}-or-common-{}", j % 8).into_bytes())
+                    .collect()
+            })
+            .collect();
+        group.bench_with_input(
+            criterion::BenchmarkId::new("multiparty_ring", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    minshare::multiparty::multiparty_intersection_size(&g, &sets, n as u64)
+                        .expect("run")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    intersection_scaling,
+    intersection_group_sizes,
+    all_four_protocols,
+    extensions
+);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! Addition and subtraction for [`UBig`].
+
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use crate::error::BigNumError;
+use crate::limb::{adc, sbb, Limb};
+use crate::UBig;
+
+impl UBig {
+    /// `self + other`.
+    pub fn add_ref(&self, other: &UBig) -> UBig {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry: Limb = 0;
+        #[allow(clippy::needless_range_loop)] // paired walk over long/short
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            out.push(adc(long[i], b, &mut carry));
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        UBig::from_limbs(out)
+    }
+
+    /// `self - other`, or [`BigNumError::Underflow`] if `other > self`.
+    pub fn checked_sub(&self, other: &UBig) -> Result<UBig, BigNumError> {
+        if other > self {
+            return Err(BigNumError::Underflow);
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow: Limb = 0;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            out.push(sbb(self.limbs[i], b, &mut borrow));
+        }
+        debug_assert_eq!(borrow, 0, "underflow despite ordering check");
+        Ok(UBig::from_limbs(out))
+    }
+
+    /// `self + v` for a single limb.
+    pub fn add_small(&self, v: u64) -> UBig {
+        self.add_ref(&UBig::from(v))
+    }
+
+    /// `self - v` for a single limb, or an underflow error.
+    pub fn sub_small(&self, v: u64) -> Result<UBig, BigNumError> {
+        self.checked_sub(&UBig::from(v))
+    }
+}
+
+impl Add for UBig {
+    type Output = UBig;
+    fn add(self, rhs: UBig) -> UBig {
+        self.add_ref(&rhs)
+    }
+}
+
+impl Add<&UBig> for UBig {
+    type Output = UBig;
+    fn add(self, rhs: &UBig) -> UBig {
+        self.add_ref(rhs)
+    }
+}
+
+impl Add for &UBig {
+    type Output = UBig;
+    fn add(self, rhs: &UBig) -> UBig {
+        self.add_ref(rhs)
+    }
+}
+
+impl AddAssign<&UBig> for UBig {
+    fn add_assign(&mut self, rhs: &UBig) {
+        *self = self.add_ref(rhs);
+    }
+}
+
+/// Panicking subtraction, mirroring the standard library's unsigned
+/// integers. Use [`UBig::checked_sub`] when the ordering is not known.
+impl Sub for &UBig {
+    type Output = UBig;
+    fn sub(self, rhs: &UBig) -> UBig {
+        self.checked_sub(rhs).expect("UBig subtraction underflow")
+    }
+}
+
+impl Sub for UBig {
+    type Output = UBig;
+    fn sub(self, rhs: UBig) -> UBig {
+        (&self) - (&rhs)
+    }
+}
+
+impl SubAssign<&UBig> for UBig {
+    fn sub_assign(&mut self, rhs: &UBig) {
+        *self = (&*self) - rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = UBig::from(u64::MAX);
+        let b = UBig::one();
+        assert_eq!(a + b, UBig::from_limbs(vec![0, 1]));
+    }
+
+    #[test]
+    fn add_is_commutative_with_mixed_lengths() {
+        let a = UBig::from_limbs(vec![5, 6, 7]);
+        let b = UBig::from(9u64);
+        assert_eq!(a.add_ref(&b), b.add_ref(&a));
+    }
+
+    #[test]
+    fn add_zero_is_identity() {
+        let a = UBig::from(12345u64);
+        assert_eq!(a.add_ref(&UBig::zero()), a);
+        assert_eq!(UBig::zero().add_ref(&a), a);
+    }
+
+    #[test]
+    fn sub_borrows_across_limbs() {
+        let a = UBig::from_limbs(vec![0, 1]); // 2^64
+        let b = UBig::one();
+        assert_eq!((&a - &b), UBig::from(u64::MAX));
+    }
+
+    #[test]
+    fn sub_to_zero_normalizes() {
+        let a = UBig::from_limbs(vec![3, 4]);
+        assert_eq!(&a - &a, UBig::zero());
+    }
+
+    #[test]
+    fn checked_sub_underflow() {
+        let a = UBig::from(3u64);
+        let b = UBig::from(4u64);
+        assert_eq!(a.checked_sub(&b), Err(BigNumError::Underflow));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_operator_panics_on_underflow() {
+        let _ = UBig::one() - UBig::two();
+    }
+
+    #[test]
+    fn small_helpers() {
+        let a = UBig::from(10u64);
+        assert_eq!(a.add_small(5), UBig::from(15u64));
+        assert_eq!(a.sub_small(5).unwrap(), UBig::from(5u64));
+        assert!(a.sub_small(11).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Barrett reduction — the classical division-free alternative to
+//! Montgomery arithmetic.
+//!
+//! Montgomery multiplication (the default engine behind `Ce`) requires an
+//! odd modulus and a domain conversion; Barrett reduction works for any
+//! modulus and reduces each product directly:
+//! with `k = ⌈log₂ m⌉` and a precomputed `µ = ⌊4^k / m⌋`,
+//!
+//! ```text
+//! q = ((x >> (k−1)) · µ) >> (k+1),   r = x − q·m,   r ∈ [0, 3m)
+//! ```
+//!
+//! The `ablation/modexp_strategy` bench compares the two engines; the
+//! workspace keeps Montgomery as the default because it wins on repeated
+//! multiplication under a fixed odd modulus (exactly the protocol
+//! workload), while Barrett serves even moduli and one-off reductions.
+
+use crate::error::BigNumError;
+use crate::UBig;
+
+/// Precomputed Barrett context for a fixed modulus `m ≥ 3`.
+#[derive(Clone, Debug)]
+pub struct BarrettCtx {
+    m: UBig,
+    /// `⌊4^k / m⌋` for `k = bit_len(m)`.
+    mu: UBig,
+    /// `k = bit_len(m)`.
+    k: u64,
+}
+
+impl BarrettCtx {
+    /// Builds a context. Works for any modulus `≥ 3` (odd or even).
+    pub fn new(modulus: &UBig) -> Result<Self, BigNumError> {
+        if modulus < &UBig::from(3u64) {
+            return Err(BigNumError::BitWidthTooSmall {
+                requested: modulus.bit_len(),
+                minimum: 2,
+            });
+        }
+        let k = modulus.bit_len();
+        let mu = UBig::one().shl_bits(2 * k).div_rem(modulus)?.0;
+        Ok(BarrettCtx {
+            m: modulus.clone(),
+            mu,
+            k,
+        })
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &UBig {
+        &self.m
+    }
+
+    /// Reduces `x mod m` for any `x < 4^k` (in particular any product of
+    /// two reduced operands).
+    pub fn reduce(&self, x: &UBig) -> UBig {
+        debug_assert!(x.bit_len() <= 2 * self.k, "operand too wide for Barrett");
+        // q ≈ x / m, under-estimating by at most 2.
+        let q = x
+            .shr_bits(self.k - 1)
+            .mul_ref(&self.mu)
+            .shr_bits(self.k + 1);
+        let mut r = x
+            .checked_sub(&q.mul_ref(&self.m))
+            .expect("Barrett quotient never over-estimates");
+        while r >= self.m {
+            r = r.checked_sub(&self.m).expect("ordered");
+        }
+        r
+    }
+
+    /// `(a · b) mod m` for reduced operands.
+    pub fn mul(&self, a: &UBig, b: &UBig) -> UBig {
+        debug_assert!(a < &self.m && b < &self.m);
+        self.reduce(&a.mul_ref(b))
+    }
+
+    /// `base^exp mod m` by square-and-multiply over Barrett reduction.
+    pub fn pow(&self, base: &UBig, exp: &UBig) -> UBig {
+        let mut result = UBig::one().rem_ref(&self.m).expect("m nonzero");
+        let mut b = base.rem_ref(&self.m).expect("m nonzero");
+        let bits = exp.bit_len();
+        for i in 0..bits {
+            if exp.bit(i) {
+                result = self.mul(&result, &b);
+            }
+            if i + 1 < bits {
+                b = self.mul(&b, &b);
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_tiny_moduli() {
+        assert!(BarrettCtx::new(&UBig::zero()).is_err());
+        assert!(BarrettCtx::new(&UBig::from(2u64)).is_err());
+        assert!(BarrettCtx::new(&UBig::from(3u64)).is_ok());
+    }
+
+    #[test]
+    fn reduce_matches_rem_small() {
+        let m = UBig::from(1_000_003u64);
+        let ctx = BarrettCtx::new(&m).unwrap();
+        for x in [0u64, 1, 999_999, 1_000_003, 123_456_789_012] {
+            let xb = UBig::from(x);
+            assert_eq!(ctx.reduce(&xb), xb.rem_ref(&m).unwrap(), "x={x}");
+        }
+    }
+
+    #[test]
+    fn reduce_matches_rem_multilimb() {
+        let m = UBig::from_hex_str("f123456789abcdef0fedcba987654321").unwrap();
+        let ctx = BarrettCtx::new(&m).unwrap();
+        // Products of reduced operands (the real workload).
+        let mut x: u64 = 0x1234_5678;
+        for _ in 0..50 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = UBig::from_limbs(vec![x, x.rotate_left(13)])
+                .rem_ref(&m)
+                .unwrap();
+            let b = UBig::from_limbs(vec![x.rotate_left(29), x])
+                .rem_ref(&m)
+                .unwrap();
+            let prod = a.mul_ref(&b);
+            assert_eq!(ctx.reduce(&prod), prod.rem_ref(&m).unwrap());
+        }
+    }
+
+    #[test]
+    fn works_with_even_modulus() {
+        // Montgomery cannot do this; Barrett can.
+        let m = UBig::from(1_000_000u64);
+        let ctx = BarrettCtx::new(&m).unwrap();
+        let x = UBig::from(123_456_789_876u64);
+        assert_eq!(ctx.reduce(&x), x.rem_ref(&m).unwrap());
+        assert_eq!(
+            ctx.pow(&UBig::from(7u64), &UBig::from(13u64)),
+            UBig::from(7u64).modpow_binary(&UBig::from(13u64), &m)
+        );
+    }
+
+    #[test]
+    fn pow_matches_montgomery() {
+        let m = UBig::from_hex_str("e91a2b3c4d5e6f7081928374655647381").unwrap();
+        let m = if m.is_even() { m.add_small(1) } else { m };
+        let barrett = BarrettCtx::new(&m).unwrap();
+        let mont = crate::montgomery::MontgomeryCtx::new(&m).unwrap();
+        let base = UBig::from_hex_str("123456789abcdef").unwrap();
+        for e in [0u64, 1, 2, 65537, 0xdead_beef] {
+            let exp = UBig::from(e);
+            assert_eq!(barrett.pow(&base, &exp), mont.pow(&base, &exp), "e={e}");
+        }
+    }
+
+    #[test]
+    fn boundary_reduction_count() {
+        // The classical bound: at most two subtractions after the
+        // quotient estimate. Probe values right below 4^k.
+        let m = UBig::from(0xffff_fffb_u64); // prime near 2^32
+        let ctx = BarrettCtx::new(&m).unwrap();
+        let max = UBig::one().shl_bits(64).sub_small(1).unwrap();
+        assert_eq!(ctx.reduce(&max), max.rem_ref(&m).unwrap());
+    }
+}

@@ -1,0 +1,109 @@
+//! Bit-level helpers for [`UBig`].
+
+use crate::limb::{Limb, LIMB_BITS};
+use crate::UBig;
+
+impl UBig {
+    /// Sets bit `i` (growing the limb vector if needed) and returns the
+    /// result.
+    pub fn with_bit(&self, i: u64) -> UBig {
+        let limb = (i / LIMB_BITS as u64) as usize;
+        let off = (i % LIMB_BITS as u64) as u32;
+        let mut limbs = self.limbs.clone();
+        if limbs.len() <= limb {
+            limbs.resize(limb + 1, 0);
+        }
+        limbs[limb] |= (1 as Limb) << off;
+        UBig::from_limbs(limbs)
+    }
+
+    /// Clears bit `i` and returns the result.
+    pub fn without_bit(&self, i: u64) -> UBig {
+        let limb = (i / LIMB_BITS as u64) as usize;
+        let off = (i % LIMB_BITS as u64) as u32;
+        if limb >= self.limbs.len() {
+            return self.clone();
+        }
+        let mut limbs = self.limbs.clone();
+        limbs[limb] &= !((1 as Limb) << off);
+        UBig::from_limbs(limbs)
+    }
+
+    /// Number of trailing zero bits; `None` for zero.
+    pub fn trailing_zeros(&self) -> Option<u64> {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return Some(i as u64 * LIMB_BITS as u64 + l.trailing_zeros() as u64);
+            }
+        }
+        None
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.limbs.iter().map(|l| l.count_ones() as u64).sum()
+    }
+
+    /// Keeps only the lowest `bits` bits (i.e. `self mod 2^bits`).
+    pub fn low_bits(&self, bits: u64) -> UBig {
+        let limb = (bits / LIMB_BITS as u64) as usize;
+        let off = (bits % LIMB_BITS as u64) as u32;
+        if limb >= self.limbs.len() {
+            return self.clone();
+        }
+        let mut limbs = self.limbs[..=limb.min(self.limbs.len() - 1)].to_vec();
+        if off == 0 {
+            limbs.truncate(limb);
+        } else if limb < limbs.len() {
+            limbs[limb] &= ((1 as Limb) << off) - 1;
+        }
+        UBig::from_limbs(limbs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_bit_grows() {
+        let x = UBig::zero().with_bit(100);
+        assert_eq!(x, UBig::one().shl_bits(100));
+        assert!(x.bit(100));
+    }
+
+    #[test]
+    fn without_bit() {
+        let x = UBig::from(0b1010u64);
+        assert_eq!(x.without_bit(1), UBig::from(0b1000u64));
+        assert_eq!(x.without_bit(3).without_bit(1), UBig::zero());
+        assert_eq!(x.without_bit(200), x); // out of range is a no-op
+    }
+
+    #[test]
+    fn trailing_zeros() {
+        assert_eq!(UBig::zero().trailing_zeros(), None);
+        assert_eq!(UBig::one().trailing_zeros(), Some(0));
+        assert_eq!(UBig::from(8u64).trailing_zeros(), Some(3));
+        assert_eq!(UBig::from_limbs(vec![0, 0, 4]).trailing_zeros(), Some(130));
+    }
+
+    #[test]
+    fn count_ones() {
+        assert_eq!(UBig::zero().count_ones(), 0);
+        assert_eq!(UBig::from(0b1011u64).count_ones(), 3);
+        assert_eq!(UBig::from_limbs(vec![u64::MAX, 1]).count_ones(), 65);
+    }
+
+    #[test]
+    fn low_bits_masks() {
+        let x = UBig::from(0xffffu64);
+        assert_eq!(x.low_bits(8), UBig::from(0xffu64));
+        assert_eq!(x.low_bits(16), x);
+        assert_eq!(x.low_bits(64), x);
+        assert_eq!(x.low_bits(0), UBig::zero());
+        let y = UBig::from_limbs(vec![u64::MAX, u64::MAX]);
+        assert_eq!(y.low_bits(64), UBig::from(u64::MAX));
+        assert_eq!(y.low_bits(65), UBig::from_limbs(vec![u64::MAX, 1]));
+    }
+}

@@ -1,0 +1,235 @@
+//! Division and remainder for [`UBig`] — Knuth's Algorithm D with a
+//! single-limb fast path.
+
+use std::ops::{Div, Rem};
+
+use crate::error::BigNumError;
+use crate::limb::{div_wide, sbb, Limb, LIMB_BITS};
+use crate::UBig;
+
+impl UBig {
+    /// Computes `(self / divisor, self % divisor)`.
+    pub fn div_rem(&self, divisor: &UBig) -> Result<(UBig, UBig), BigNumError> {
+        if divisor.is_zero() {
+            return Err(BigNumError::DivisionByZero);
+        }
+        if self < divisor {
+            return Ok((UBig::zero(), self.clone()));
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_small(divisor.limbs[0])?;
+            return Ok((q, UBig::from(r)));
+        }
+        Ok(div_rem_knuth(self, divisor))
+    }
+
+    /// Computes `(self / d, self % d)` for a single-limb divisor.
+    pub fn div_rem_small(&self, d: u64) -> Result<(UBig, u64), BigNumError> {
+        if d == 0 {
+            return Err(BigNumError::DivisionByZero);
+        }
+        let mut out = vec![0 as Limb; self.limbs.len()];
+        let mut rem: Limb = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let (q, r) = div_wide(rem, self.limbs[i], d);
+            out[i] = q;
+            rem = r;
+        }
+        Ok((UBig::from_limbs(out), rem))
+    }
+
+    /// `self % modulus`.
+    pub fn rem_ref(&self, modulus: &UBig) -> Result<UBig, BigNumError> {
+        Ok(self.div_rem(modulus)?.1)
+    }
+}
+
+/// Knuth Algorithm D (TAOCP vol. 2, 4.3.1) for `u / v` with `v` at least
+/// two limbs and `u >= v`.
+fn div_rem_knuth(u: &UBig, v: &UBig) -> (UBig, UBig) {
+    let n = v.limbs.len();
+    let m = u.limbs.len() - n;
+
+    // D1: normalize so the top limb of v has its high bit set.
+    let shift = v.limbs[n - 1].leading_zeros();
+    let vn = v.shl_bits(shift as u64);
+    let mut un = u.shl_bits(shift as u64).limbs;
+    un.resize(u.limbs.len() + 1, 0); // extra high limb for the loop
+
+    let vtop = vn.limbs[n - 1];
+    let vsecond = vn.limbs[n - 2];
+    let mut q = vec![0 as Limb; m + 1];
+
+    // D2-D7: main loop over quotient digits.
+    for j in (0..=m).rev() {
+        // D3: estimate qhat from the top two limbs of the current window.
+        let numer = ((un[j + n] as u128) << LIMB_BITS) | un[j + n - 1] as u128;
+        let mut qhat = numer / vtop as u128;
+        let mut rhat = numer % vtop as u128;
+        // Correct qhat: it can be at most 2 too large.
+        while qhat >> LIMB_BITS != 0
+            || qhat * vsecond as u128 > ((rhat << LIMB_BITS) | un[j + n - 2] as u128)
+        {
+            qhat -= 1;
+            rhat += vtop as u128;
+            if rhat >> LIMB_BITS != 0 {
+                break;
+            }
+        }
+        let mut qhat = qhat as Limb;
+
+        // D4: multiply and subtract un[j..j+n+1] -= qhat * vn.
+        let mut borrow: Limb = 0;
+        let mut mul_carry: Limb = 0;
+        for i in 0..n {
+            let p = qhat as u128 * vn.limbs[i] as u128 + mul_carry as u128;
+            mul_carry = (p >> LIMB_BITS) as Limb;
+            un[j + i] = sbb(un[j + i], p as Limb, &mut borrow);
+        }
+        un[j + n] = sbb(un[j + n], mul_carry, &mut borrow);
+
+        // D5-D6: if we subtracted too much, add one multiple of vn back.
+        if borrow != 0 {
+            qhat -= 1;
+            let mut carry: Limb = 0;
+            for i in 0..n {
+                un[j + i] = crate::limb::adc(un[j + i], vn.limbs[i], &mut carry);
+            }
+            un[j + n] = un[j + n].wrapping_add(carry);
+        }
+        q[j] = qhat;
+    }
+
+    // D8: denormalize the remainder.
+    un.truncate(n);
+    let rem = UBig::from_limbs(un).shr_bits(shift as u64);
+    (UBig::from_limbs(q), rem)
+}
+
+impl Div for &UBig {
+    type Output = UBig;
+    fn div(self, rhs: &UBig) -> UBig {
+        self.div_rem(rhs).expect("division by zero").0
+    }
+}
+
+impl Rem for &UBig {
+    type Output = UBig;
+    fn rem(self, rhs: &UBig) -> UBig {
+        self.div_rem(rhs).expect("division by zero").1
+    }
+}
+
+impl Div for UBig {
+    type Output = UBig;
+    fn div(self, rhs: UBig) -> UBig {
+        (&self) / (&rhs)
+    }
+}
+
+impl Rem for UBig {
+    type Output = UBig;
+    fn rem(self, rhs: UBig) -> UBig {
+        (&self) % (&rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(hex: &str) -> UBig {
+        UBig::from_hex_str(hex).unwrap()
+    }
+
+    #[test]
+    fn div_by_zero_is_error() {
+        assert_eq!(
+            UBig::one().div_rem(&UBig::zero()),
+            Err(BigNumError::DivisionByZero)
+        );
+        assert_eq!(
+            UBig::one().div_rem_small(0),
+            Err(BigNumError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn small_dividend() {
+        let (q, r) = UBig::from(5u64).div_rem(&UBig::from(7u64)).unwrap();
+        assert_eq!(q, UBig::zero());
+        assert_eq!(r, UBig::from(5u64));
+    }
+
+    #[test]
+    fn single_limb_path_matches_u128() {
+        let u = 0xdead_beef_cafe_babe_1234_5678_9abc_def0u128;
+        let d = 0x1_0000_0001u64;
+        let (q, r) = UBig::from(u).div_rem_small(d).unwrap();
+        assert_eq!(q.to_u128(), Some(u / d as u128));
+        assert_eq!(r as u128, u % d as u128);
+    }
+
+    #[test]
+    fn knuth_reconstructs_dividend() {
+        let u = big("123456789abcdef0fedcba9876543210deadbeefcafebabe0123456789abcdef");
+        let v = big("fedcba98765432100123456789abcdef");
+        let (q, r) = u.div_rem(&v).unwrap();
+        assert!(r < v);
+        assert_eq!(q.mul_ref(&v).add_ref(&r), u);
+    }
+
+    #[test]
+    fn knuth_exact_division() {
+        let v = big("fedcba98765432100123456789abcdef11223344");
+        let q_expect = big("13579bdf02468ace");
+        let u = v.mul_ref(&q_expect);
+        let (q, r) = u.div_rem(&v).unwrap();
+        assert_eq!(q, q_expect);
+        assert_eq!(r, UBig::zero());
+    }
+
+    #[test]
+    fn knuth_needs_addback_case() {
+        // Crafted so qhat over-estimates: dividend with high limbs near MAX
+        // and divisor with a small second limb.
+        let u = UBig::from_limbs(vec![0, u64::MAX, u64::MAX - 1, u64::MAX]);
+        let v = UBig::from_limbs(vec![u64::MAX, u64::MAX]);
+        let (q, r) = u.div_rem(&v).unwrap();
+        assert!(r < v);
+        assert_eq!(q.mul_ref(&v).add_ref(&r), u);
+    }
+
+    #[test]
+    fn rem_operator() {
+        let a = UBig::from(1_000_000_007u64 * 3 + 17);
+        let m = UBig::from(1_000_000_007u64);
+        assert_eq!(&a % &m, UBig::from(17u64));
+        assert_eq!(&a / &m, UBig::from(3u64));
+    }
+
+    #[test]
+    fn division_identity_randomized() {
+        // Deterministic pseudo-random sweep across limb lengths, including
+        // the boundary between the small and Knuth paths.
+        let mut x: u64 = 0x853c_49e6_748f_ea9b;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for ulen in 1..8usize {
+            for vlen in 1..=ulen {
+                let u = UBig::from_limbs((0..ulen).map(|_| next()).collect());
+                let v = UBig::from_limbs((0..vlen).map(|_| next()).collect());
+                if v.is_zero() {
+                    continue;
+                }
+                let (q, r) = u.div_rem(&v).unwrap();
+                assert!(r < v, "remainder bound failed at ({ulen},{vlen})");
+                assert_eq!(q.mul_ref(&v).add_ref(&r), u, "identity at ({ulen},{vlen})");
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type for the big-integer layer.
+
+use std::fmt;
+
+/// Errors produced by `minshare-bignum` operations.
+///
+/// Arithmetic that cannot fail (addition, multiplication, shifts) panics
+/// only on internal invariant violations; everything user-input-driven
+/// (parsing, division, inversion, encoding) returns this type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BigNumError {
+    /// Division or reduction by zero.
+    DivisionByZero,
+    /// Subtraction would underflow (`a - b` with `a < b`).
+    Underflow,
+    /// A character outside the expected digit alphabet.
+    ParseError {
+        /// The offending character.
+        bad_char: char,
+    },
+    /// An empty string (or string of separators only) was parsed.
+    EmptyInput,
+    /// The element has no inverse modulo the given modulus.
+    NonInvertible,
+    /// Montgomery arithmetic requires an odd modulus greater than one.
+    EvenModulus,
+    /// A value does not fit in the requested fixed-width encoding.
+    ValueTooLarge {
+        /// Bits required by the value.
+        bits: u64,
+        /// Bits available in the target encoding.
+        capacity_bits: u64,
+    },
+    /// Safe-prime generation exceeded its iteration budget.
+    GenerationExhausted {
+        /// Number of candidates examined before giving up.
+        attempts: u64,
+    },
+    /// A requested bit width is too small for the operation.
+    BitWidthTooSmall {
+        /// The width that was requested.
+        requested: u64,
+        /// The smallest width the operation supports.
+        minimum: u64,
+    },
+}
+
+impl fmt::Display for BigNumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BigNumError::DivisionByZero => write!(f, "division by zero"),
+            BigNumError::Underflow => write!(f, "unsigned subtraction underflow"),
+            BigNumError::ParseError { bad_char } => {
+                write!(f, "invalid digit {bad_char:?} in number literal")
+            }
+            BigNumError::EmptyInput => write!(f, "empty number literal"),
+            BigNumError::NonInvertible => write!(f, "element is not invertible modulo the modulus"),
+            BigNumError::EvenModulus => {
+                write!(f, "Montgomery arithmetic requires an odd modulus > 1")
+            }
+            BigNumError::ValueTooLarge {
+                bits,
+                capacity_bits,
+            } => write!(
+                f,
+                "value needs {bits} bits but the encoding holds {capacity_bits}"
+            ),
+            BigNumError::GenerationExhausted { attempts } => {
+                write!(f, "prime generation gave up after {attempts} candidates")
+            }
+            BigNumError::BitWidthTooSmall { requested, minimum } => {
+                write!(
+                    f,
+                    "bit width {requested} below the supported minimum {minimum}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BigNumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BigNumError::ValueTooLarge {
+            bits: 130,
+            capacity_bits: 128,
+        };
+        let s = e.to_string();
+        assert!(s.contains("130") && s.contains("128"));
+        assert!(BigNumError::DivisionByZero.to_string().contains("zero"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&BigNumError::Underflow);
+    }
+}

@@ -1,0 +1,112 @@
+//! Limb-level primitives shared by the multi-precision algorithms.
+//!
+//! A limb is a `u64`; double-width intermediates use `u128`. These helpers
+//! are the only place carry/borrow propagation is written by hand — the
+//! higher-level algorithms are expressed in terms of them.
+
+/// The machine word the big integers are built from.
+pub type Limb = u64;
+
+/// Number of bits in a [`Limb`].
+pub const LIMB_BITS: u32 = 64;
+
+/// Add with carry: returns `a + b + carry`, updating `carry` to the new
+/// carry (0 or 1).
+#[inline]
+pub fn adc(a: Limb, b: Limb, carry: &mut Limb) -> Limb {
+    let t = a as u128 + b as u128 + *carry as u128;
+    *carry = (t >> LIMB_BITS) as Limb;
+    t as Limb
+}
+
+/// Subtract with borrow: returns `a - b - borrow`, updating `borrow` to the
+/// new borrow (0 or 1).
+#[inline]
+pub fn sbb(a: Limb, b: Limb, borrow: &mut Limb) -> Limb {
+    let t = (a as u128)
+        .wrapping_sub(b as u128)
+        .wrapping_sub(*borrow as u128);
+    *borrow = ((t >> LIMB_BITS) as Limb) & 1;
+    t as Limb
+}
+
+/// Multiply-accumulate: returns the low limb of `acc + b * c + carry`,
+/// updating `carry` to the high limb.
+#[inline]
+pub fn mac(acc: Limb, b: Limb, c: Limb, carry: &mut Limb) -> Limb {
+    let t = acc as u128 + (b as u128) * (c as u128) + *carry as u128;
+    *carry = (t >> LIMB_BITS) as Limb;
+    t as Limb
+}
+
+/// Split a double-width product `a * b` into `(low, high)` limbs.
+#[inline]
+pub fn mul_wide(a: Limb, b: Limb) -> (Limb, Limb) {
+    let t = (a as u128) * (b as u128);
+    (t as Limb, (t >> LIMB_BITS) as Limb)
+}
+
+/// Divide the double-width value `(hi, lo)` by `d`, returning
+/// `(quotient, remainder)`. Requires `hi < d` so the quotient fits a limb.
+#[inline]
+pub fn div_wide(hi: Limb, lo: Limb, d: Limb) -> (Limb, Limb) {
+    debug_assert!(hi < d, "div_wide quotient would overflow a limb");
+    let n = ((hi as u128) << LIMB_BITS) | lo as u128;
+    ((n / d as u128) as Limb, (n % d as u128) as Limb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_carries() {
+        let mut c = 0;
+        assert_eq!(adc(Limb::MAX, 1, &mut c), 0);
+        assert_eq!(c, 1);
+        assert_eq!(adc(1, 2, &mut c), 4); // includes previous carry
+        assert_eq!(c, 0);
+    }
+
+    #[test]
+    fn adc_max_operands_with_carry() {
+        let mut c = 1;
+        assert_eq!(adc(Limb::MAX, Limb::MAX, &mut c), Limb::MAX);
+        assert_eq!(c, 1);
+    }
+
+    #[test]
+    fn sbb_borrows() {
+        let mut b = 0;
+        assert_eq!(sbb(0, 1, &mut b), Limb::MAX);
+        assert_eq!(b, 1);
+        assert_eq!(sbb(5, 2, &mut b), 2); // minus previous borrow
+        assert_eq!(b, 0);
+    }
+
+    #[test]
+    fn mac_accumulates_full_width() {
+        let mut c = 0;
+        let lo = mac(Limb::MAX, Limb::MAX, Limb::MAX, &mut c);
+        // MAX + MAX*MAX = MAX + (2^128 - 2^65 + 1) fits exactly.
+        let expect = Limb::MAX as u128 + (Limb::MAX as u128) * (Limb::MAX as u128);
+        assert_eq!(lo, expect as Limb);
+        assert_eq!(c, (expect >> 64) as Limb);
+    }
+
+    #[test]
+    fn mul_wide_matches_u128() {
+        let (lo, hi) = mul_wide(0xdead_beef_dead_beef, 0x1234_5678_9abc_def0);
+        let t = 0xdead_beef_dead_beefu128 * 0x1234_5678_9abc_def0u128;
+        assert_eq!(lo, t as Limb);
+        assert_eq!(hi, (t >> 64) as Limb);
+    }
+
+    #[test]
+    fn div_wide_matches_u128() {
+        let (q, r) = div_wide(3, 42, 7);
+        let n = (3u128 << 64) | 42;
+        assert_eq!(q as u128, n / 7);
+        assert_eq!(r as u128, n % 7);
+    }
+}

@@ -1,0 +1,296 @@
+//! Modular arithmetic: residue normalization, addition, subtraction,
+//! multiplication, extended-Euclid inversion, and the Jacobi symbol.
+//!
+//! The commutative cipher needs inversion to decrypt (`f_e⁻¹ = f_{e⁻¹ mod q}`,
+//! Example 1 of the paper) and the Jacobi symbol to recognize quadratic
+//! residues, i.e. membership in `DomF`.
+
+use crate::error::BigNumError;
+use crate::UBig;
+
+/// Sign-magnitude helper used by the extended Euclidean algorithm.
+#[derive(Clone, Debug)]
+struct Signed {
+    mag: UBig,
+    neg: bool,
+}
+
+impl Signed {
+    fn from_ubig(mag: UBig) -> Self {
+        Signed { mag, neg: false }
+    }
+
+    /// `self - q * other`.
+    fn sub_mul(&self, q: &UBig, other: &Signed) -> Signed {
+        let prod = q.mul_ref(&other.mag);
+        if self.neg == other.neg {
+            // Same sign: magnitudes subtract.
+            if self.mag >= prod {
+                Signed {
+                    mag: self.mag.checked_sub(&prod).expect("ordered"),
+                    neg: self.neg,
+                }
+            } else {
+                Signed {
+                    mag: prod.checked_sub(&self.mag).expect("ordered"),
+                    neg: !self.neg,
+                }
+            }
+        } else {
+            // Opposite signs: magnitudes add, sign of self wins.
+            Signed {
+                mag: self.mag.add_ref(&prod),
+                neg: self.neg,
+            }
+        }
+    }
+
+    /// Reduces into `[0, m)`.
+    fn to_residue(&self, m: &UBig) -> Result<UBig, BigNumError> {
+        let r = self.mag.rem_ref(m)?;
+        if self.neg && !r.is_zero() {
+            Ok(m.checked_sub(&r).expect("r < m"))
+        } else {
+            Ok(r)
+        }
+    }
+}
+
+/// Result of the Jacobi symbol `(a/n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Jacobi {
+    /// `(a/n) = 1`.
+    One,
+    /// `(a/n) = -1`.
+    MinusOne,
+    /// `(a/n) = 0`, i.e. `gcd(a, n) > 1`.
+    Zero,
+}
+
+impl Jacobi {
+    /// The symbol as `+1`, `-1` or `0`.
+    pub fn as_i32(self) -> i32 {
+        match self {
+            Jacobi::One => 1,
+            Jacobi::MinusOne => -1,
+            Jacobi::Zero => 0,
+        }
+    }
+}
+
+impl UBig {
+    /// `(self + other) mod m`, for operands already reduced mod `m`.
+    pub fn mod_add(&self, other: &UBig, m: &UBig) -> UBig {
+        debug_assert!(self < m && other < m);
+        let s = self.add_ref(other);
+        if &s >= m {
+            s.checked_sub(m).expect("s < 2m")
+        } else {
+            s
+        }
+    }
+
+    /// `(self - other) mod m`, for operands already reduced mod `m`.
+    pub fn mod_sub(&self, other: &UBig, m: &UBig) -> UBig {
+        debug_assert!(self < m && other < m);
+        if self >= other {
+            self.checked_sub(other).expect("ordered")
+        } else {
+            m.checked_sub(other).expect("other < m").add_ref(self)
+        }
+    }
+
+    /// `(self * other) mod m` via full product + reduction. For repeated
+    /// multiplication under one modulus prefer
+    /// [`crate::montgomery::MontgomeryCtx`].
+    pub fn mod_mul(&self, other: &UBig, m: &UBig) -> Result<UBig, BigNumError> {
+        self.mul_ref(other).rem_ref(m)
+    }
+
+    /// Greatest common divisor (Euclid; operands may be in any order).
+    pub fn gcd(&self, other: &UBig) -> UBig {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem_ref(&b).expect("b nonzero");
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Multiplicative inverse of `self` modulo `m`
+    /// (errors if `gcd(self, m) != 1` or `m < 2`).
+    pub fn mod_inv(&self, m: &UBig) -> Result<UBig, BigNumError> {
+        if m < &UBig::two() {
+            return Err(BigNumError::NonInvertible);
+        }
+        let a = self.rem_ref(m)?;
+        if a.is_zero() {
+            return Err(BigNumError::NonInvertible);
+        }
+        // Extended Euclid on (r0, r1) = (m, a), tracking only the `a`
+        // coefficient t.
+        let mut r0 = m.clone();
+        let mut r1 = a;
+        let mut t0 = Signed::from_ubig(UBig::zero());
+        let mut t1 = Signed::from_ubig(UBig::one());
+        while !r1.is_zero() {
+            let (q, r2) = r0.div_rem(&r1)?;
+            let t2 = t0.sub_mul(&q, &t1);
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t1 = t2;
+        }
+        if !r0.is_one() {
+            return Err(BigNumError::NonInvertible);
+        }
+        t0.to_residue(m)
+    }
+
+    /// Jacobi symbol `(self / n)` for odd `n > 0`. For prime `n` this is
+    /// the Legendre symbol, so `Jacobi::One` identifies quadratic residues.
+    pub fn jacobi(&self, n: &UBig) -> Result<Jacobi, BigNumError> {
+        if n.is_zero() || n.is_even() {
+            return Err(BigNumError::EvenModulus);
+        }
+        let mut a = self.rem_ref(n)?;
+        let mut n = n.clone();
+        let mut result = 1i32;
+        while !a.is_zero() {
+            while a.is_even() {
+                a = a.shr_bits(1);
+                let n_mod_8 = n.limbs()[0] & 7;
+                if n_mod_8 == 3 || n_mod_8 == 5 {
+                    result = -result;
+                }
+            }
+            std::mem::swap(&mut a, &mut n);
+            if a.limbs()[0] & 3 == 3 && n.limbs()[0] & 3 == 3 {
+                result = -result;
+            }
+            a = a.rem_ref(&n)?;
+        }
+        if n.is_one() {
+            Ok(if result == 1 {
+                Jacobi::One
+            } else {
+                Jacobi::MinusOne
+            })
+        } else {
+            Ok(Jacobi::Zero)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mod_add_wraps() {
+        let m = UBig::from(10u64);
+        assert_eq!(
+            UBig::from(7u64).mod_add(&UBig::from(8u64), &m),
+            UBig::from(5u64)
+        );
+        assert_eq!(
+            UBig::from(2u64).mod_add(&UBig::from(3u64), &m),
+            UBig::from(5u64)
+        );
+    }
+
+    #[test]
+    fn mod_sub_wraps() {
+        let m = UBig::from(10u64);
+        assert_eq!(
+            UBig::from(3u64).mod_sub(&UBig::from(8u64), &m),
+            UBig::from(5u64)
+        );
+        assert_eq!(
+            UBig::from(8u64).mod_sub(&UBig::from(3u64), &m),
+            UBig::from(5u64)
+        );
+        assert_eq!(
+            UBig::from(4u64).mod_sub(&UBig::from(4u64), &m),
+            UBig::zero()
+        );
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(UBig::from(12u64).gcd(&UBig::from(18u64)), UBig::from(6u64));
+        assert_eq!(UBig::from(17u64).gcd(&UBig::from(31u64)), UBig::one());
+        assert_eq!(UBig::zero().gcd(&UBig::from(5u64)), UBig::from(5u64));
+        assert_eq!(UBig::from(5u64).gcd(&UBig::zero()), UBig::from(5u64));
+    }
+
+    #[test]
+    fn mod_inv_small_prime() {
+        let p = UBig::from(97u64);
+        for a in 1..97u64 {
+            let inv = UBig::from(a).mod_inv(&p).unwrap();
+            let prod = UBig::from(a).mod_mul(&inv, &p).unwrap();
+            assert_eq!(prod, UBig::one(), "a={a}");
+        }
+    }
+
+    #[test]
+    fn mod_inv_large() {
+        let p = UBig::from_decimal_str("170141183460469231731687303715884105727").unwrap(); // 2^127-1
+        let a = UBig::from_decimal_str("123456789012345678901234567890").unwrap();
+        let inv = a.mod_inv(&p).unwrap();
+        assert_eq!(a.mod_mul(&inv, &p).unwrap(), UBig::one());
+    }
+
+    #[test]
+    fn mod_inv_failures() {
+        assert_eq!(
+            UBig::from(6u64).mod_inv(&UBig::from(9u64)),
+            Err(BigNumError::NonInvertible)
+        );
+        assert_eq!(
+            UBig::zero().mod_inv(&UBig::from(7u64)),
+            Err(BigNumError::NonInvertible)
+        );
+        assert_eq!(
+            UBig::from(3u64).mod_inv(&UBig::one()),
+            Err(BigNumError::NonInvertible)
+        );
+    }
+
+    #[test]
+    fn jacobi_against_legendre_small_prime() {
+        // Against direct Euler criterion over p = 23.
+        let p = UBig::from(23u64);
+        for a in 0..23u64 {
+            let expect = if a == 0 {
+                Jacobi::Zero
+            } else {
+                // Euler: a^((p-1)/2) mod p.
+                let e = UBig::from(a).modpow(&UBig::from(11u64), &p);
+                if e.is_one() {
+                    Jacobi::One
+                } else {
+                    Jacobi::MinusOne
+                }
+            };
+            assert_eq!(UBig::from(a).jacobi(&p).unwrap(), expect, "a={a}");
+        }
+    }
+
+    #[test]
+    fn jacobi_composite_modulus() {
+        // (2/15) = (2/3)(2/5) = (-1)(-1) = 1; (3/15) = 0.
+        let n = UBig::from(15u64);
+        assert_eq!(UBig::from(2u64).jacobi(&n).unwrap(), Jacobi::One);
+        assert_eq!(UBig::from(3u64).jacobi(&n).unwrap(), Jacobi::Zero);
+    }
+
+    #[test]
+    fn jacobi_rejects_even_modulus() {
+        assert!(UBig::from(3u64).jacobi(&UBig::from(8u64)).is_err());
+        assert!(UBig::from(3u64).jacobi(&UBig::zero()).is_err());
+    }
+}

@@ -1,0 +1,285 @@
+//! Montgomery-form modular arithmetic (CIOS multiplication, fixed-window
+//! exponentiation).
+//!
+//! This module is the engine room of the reproduction: the paper's cost
+//! unit `Ce` — "the cost of encryption/decryption by F, e.g. exponentiation
+//! `x^y mod p` over k-bit integers" (§6.1) — is exactly one call to
+//! [`MontgomeryCtx::pow`] with a `k`-bit modulus. The `ce_modexp`
+//! benchmark calibrates `Ce` on the host machine through this code.
+
+use crate::error::BigNumError;
+use crate::limb::{adc, Limb, LIMB_BITS};
+use crate::UBig;
+
+/// Exponentiation window width in bits.
+const WINDOW: u32 = 4;
+
+/// Precomputed context for repeated arithmetic modulo a fixed odd modulus.
+///
+/// Construction costs two divisions (for `R mod n` and `R² mod n`); each
+/// multiplication afterwards is a single CIOS pass with no division.
+#[derive(Clone, Debug)]
+pub struct MontgomeryCtx {
+    /// The modulus `n` (odd, > 1), padded to `limbs` little-endian limbs.
+    n: Vec<Limb>,
+    /// `-n⁻¹ mod 2^64`.
+    n0_inv: Limb,
+    /// `R mod n` where `R = 2^(64·limbs)` — the Montgomery form of 1.
+    one_mont: Vec<Limb>,
+    /// `R² mod n` — used to convert into Montgomery form.
+    r2: Vec<Limb>,
+    /// The modulus as a `UBig` (for comparisons and callers).
+    modulus: UBig,
+}
+
+/// `-n0⁻¹ mod 2^64` for odd `n0`, by Newton iteration.
+fn neg_inv_limb(n0: Limb) -> Limb {
+    debug_assert!(n0 & 1 == 1);
+    let mut x: Limb = 1;
+    // Each step doubles the number of correct low bits: 6 steps ≥ 64 bits.
+    for _ in 0..6 {
+        x = x.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(x)));
+    }
+    x.wrapping_neg()
+}
+
+/// Pads the limbs of `x` to exactly `len` limbs (x must fit).
+fn padded(x: &UBig, len: usize) -> Vec<Limb> {
+    let mut v = x.limbs().to_vec();
+    debug_assert!(v.len() <= len);
+    v.resize(len, 0);
+    v
+}
+
+/// `a >= b` over equal-length little-endian limb slices.
+fn geq(a: &[Limb], b: &[Limb]) -> bool {
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+impl MontgomeryCtx {
+    /// Creates a context for an odd modulus greater than one.
+    pub fn new(modulus: &UBig) -> Result<Self, BigNumError> {
+        if modulus.is_even() || modulus.is_one() || modulus.is_zero() {
+            return Err(BigNumError::EvenModulus);
+        }
+        let limbs = modulus.limb_len();
+        let n = padded(modulus, limbs);
+        let n0_inv = neg_inv_limb(n[0]);
+        let r_bits = limbs as u64 * LIMB_BITS as u64;
+        let one_mont = padded(&UBig::one().shl_bits(r_bits).rem_ref(modulus)?, limbs);
+        let r2 = padded(&UBig::one().shl_bits(2 * r_bits).rem_ref(modulus)?, limbs);
+        Ok(MontgomeryCtx {
+            n,
+            n0_inv,
+            one_mont,
+            r2,
+            modulus: modulus.clone(),
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &UBig {
+        &self.modulus
+    }
+
+    /// Number of limbs in the Montgomery representation.
+    fn limbs(&self) -> usize {
+        self.n.len()
+    }
+
+    /// CIOS Montgomery multiplication: returns `a · b · R⁻¹ mod n` over
+    /// fixed-width limb vectors.
+    fn mont_mul(&self, a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+        let s = self.limbs();
+        debug_assert_eq!(a.len(), s);
+        debug_assert_eq!(b.len(), s);
+        let mut t = vec![0 as Limb; s + 2];
+        for &ai in a {
+            // t += ai * b
+            let mut carry: Limb = 0;
+            for j in 0..s {
+                t[j] = crate::limb::mac(t[j], ai, b[j], &mut carry);
+            }
+            let mut c2: Limb = 0;
+            t[s] = adc(t[s], carry, &mut c2);
+            t[s + 1] = c2;
+
+            // m = t[0] * n0_inv mod 2^64; t = (t + m*n) / 2^64
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let mut carry: Limb = 0;
+            // First step: low limb becomes zero by construction.
+            let _ = crate::limb::mac(t[0], m, self.n[0], &mut carry);
+            for j in 1..s {
+                t[j - 1] = crate::limb::mac(t[j], m, self.n[j], &mut carry);
+            }
+            let mut c2: Limb = 0;
+            t[s - 1] = adc(t[s], carry, &mut c2);
+            t[s] = t[s + 1] + c2; // cannot overflow: t < 2n·R
+            t[s + 1] = 0;
+        }
+        let mut out = t;
+        out.truncate(s + 1);
+        // Conditional subtraction: result < 2n, so one pass suffices.
+        if out[s] != 0 || geq(&out[..s], &self.n) {
+            // When the carry limb is set, subtracting n must clear it.
+            let mut borrow: Limb = 0;
+            #[allow(clippy::needless_range_loop)] // lockstep limb walk
+            for i in 0..s {
+                out[i] = crate::limb::sbb(out[i], self.n[i], &mut borrow);
+            }
+            out[s] = out[s].wrapping_sub(borrow);
+            debug_assert_eq!(out[s], 0);
+        }
+        out.truncate(s);
+        out
+    }
+
+    /// Converts `x` (any size) into Montgomery form.
+    fn to_mont(&self, x: &UBig) -> Vec<Limb> {
+        let reduced = x.rem_ref(&self.modulus).expect("modulus nonzero");
+        self.mont_mul(&padded(&reduced, self.limbs()), &self.r2)
+    }
+
+    /// Converts out of Montgomery form.
+    #[allow(clippy::wrong_self_convention)] // standard Montgomery naming
+    fn from_mont(&self, x: &[Limb]) -> UBig {
+        let mut one = vec![0 as Limb; self.limbs()];
+        one[0] = 1;
+        UBig::from_limbs(self.mont_mul(x, &one))
+    }
+
+    /// `(a * b) mod n` for ordinary (non-Montgomery) operands.
+    pub fn mul(&self, a: &UBig, b: &UBig) -> UBig {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// `base^exponent mod n` by fixed 4-bit-window exponentiation.
+    pub fn pow(&self, base: &UBig, exponent: &UBig) -> UBig {
+        if exponent.is_zero() {
+            return UBig::one().rem_ref(&self.modulus).expect("nonzero");
+        }
+        let base_m = self.to_mont(base);
+
+        // Precompute base^0..base^15 in Montgomery form.
+        let table_len = 1usize << WINDOW;
+        let mut table = Vec::with_capacity(table_len);
+        table.push(self.one_mont.clone());
+        for i in 1..table_len {
+            let prev: &Vec<Limb> = &table[i - 1];
+            table.push(self.mont_mul(prev, &base_m));
+        }
+
+        let bits = exponent.bit_len();
+        let windows = bits.div_ceil(WINDOW as u64);
+        let mut acc = self.one_mont.clone();
+        let mut started = false;
+        for w in (0..windows).rev() {
+            if started {
+                for _ in 0..WINDOW {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            let mut idx: usize = 0;
+            for b in (0..WINDOW as u64).rev() {
+                let bit_pos = w * WINDOW as u64 + b;
+                idx = (idx << 1) | exponent.bit(bit_pos) as usize;
+            }
+            if idx != 0 {
+                acc = self.mont_mul(&acc, &table[idx]);
+                started = true;
+            } else if started {
+                // Nothing to multiply; squarings above already applied.
+            } else {
+                // Leading zero windows: keep acc = 1, no squarings needed.
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_moduli() {
+        assert!(MontgomeryCtx::new(&UBig::zero()).is_err());
+        assert!(MontgomeryCtx::new(&UBig::one()).is_err());
+        assert!(MontgomeryCtx::new(&UBig::from(10u64)).is_err());
+    }
+
+    #[test]
+    fn neg_inv_limb_property() {
+        for n0 in [1u64, 3, 5, 0xffff_ffff_ffff_fff1, 0x1234_5678_9abc_def1] {
+            let m = neg_inv_limb(n0);
+            assert_eq!(n0.wrapping_mul(m), 1u64.wrapping_neg(), "n0={n0:#x}");
+        }
+    }
+
+    #[test]
+    fn mul_matches_naive() {
+        let m = UBig::from(1_000_000_007u64);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let a = UBig::from(999_999_999u64);
+        let b = UBig::from(123_456_789u64);
+        assert_eq!(ctx.mul(&a, &b), a.mod_mul(&b, &m).unwrap());
+    }
+
+    #[test]
+    fn pow_matches_binary_oracle_small() {
+        let m = UBig::from(0xffff_fffb_u64);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        for base in [0u64, 1, 2, 3, 0x1234_5678, 0xffff_fffa] {
+            for exp in [0u64, 1, 2, 3, 16, 17, 255, 256, 65537] {
+                let fast = ctx.pow(&UBig::from(base), &UBig::from(exp));
+                let slow = UBig::from(base).modpow_binary(&UBig::from(exp), &m);
+                assert_eq!(fast, slow, "base={base} exp={exp}");
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_binary_oracle_multilimb() {
+        let m =
+            UBig::from_hex_str("f37fa8e5afa15b9d4b2f7c8d6e5a4b3c2d1e0f9a8b7c6d5e4f3a2b1c0d9e8f71")
+                .unwrap(); // odd 256-bit number (compositeness is fine here)
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let base = UBig::from_hex_str("123456789abcdef0fedcba9876543210").unwrap();
+        let exp = UBig::from_hex_str("deadbeefcafebabe").unwrap();
+        assert_eq!(ctx.pow(&base, &exp), base.modpow_binary(&exp, &m));
+    }
+
+    #[test]
+    fn pow_base_larger_than_modulus() {
+        let m = UBig::from(97u64);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let base = UBig::from(97 * 5 + 3u64);
+        assert_eq!(
+            ctx.pow(&base, &UBig::from(10u64)),
+            UBig::from(3u64).modpow_binary(&UBig::from(10u64), &m)
+        );
+    }
+
+    #[test]
+    fn pow_exponent_zero_and_one() {
+        let m = UBig::from(101u64);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        assert_eq!(ctx.pow(&UBig::from(7u64), &UBig::zero()), UBig::one());
+        assert_eq!(ctx.pow(&UBig::from(7u64), &UBig::one()), UBig::from(7u64));
+    }
+
+    #[test]
+    fn one_mont_is_r_mod_n() {
+        let m = UBig::from(1_000_003u64);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let r = UBig::one().shl_bits(64).rem_ref(&m).unwrap();
+        assert_eq!(UBig::from_limbs(ctx.one_mont.clone()), r);
+    }
+}

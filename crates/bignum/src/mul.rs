@@ -1,0 +1,203 @@
+//! Multiplication for [`UBig`]: schoolbook below, Karatsuba above a
+//! threshold.
+//!
+//! The commutative-encryption workload is dominated by Montgomery
+//! multiplication inside modular exponentiation (see
+//! [`crate::montgomery`]); plain multiplication here mainly serves
+//! reduction set-up (`R² mod n`), parsing, and tests, so a simple Karatsuba
+//! is more than adequate.
+
+use std::ops::{Mul, MulAssign};
+
+use crate::limb::{adc, mac, Limb};
+use crate::UBig;
+
+/// Operand size (in limbs) above which Karatsuba splitting is used.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+/// Schoolbook product of two limb slices.
+fn mul_schoolbook(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0 as Limb; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry: Limb = 0;
+        for (j, &bj) in b.iter().enumerate() {
+            out[i + j] = mac(out[i + j], ai, bj, &mut carry);
+        }
+        out[i + b.len()] = carry;
+    }
+    out
+}
+
+/// Adds `b` into `a[offset..]`, propagating the carry. `a` must be long
+/// enough to absorb it.
+fn add_into(a: &mut [Limb], b: &[Limb], offset: usize) {
+    let mut carry: Limb = 0;
+    let mut i = 0;
+    while i < b.len() {
+        a[offset + i] = adc(a[offset + i], b[i], &mut carry);
+        i += 1;
+    }
+    while carry != 0 {
+        let idx = offset + i;
+        debug_assert!(idx < a.len(), "add_into carry past end");
+        a[idx] = adc(a[idx], 0, &mut carry);
+        i += 1;
+    }
+}
+
+/// Karatsuba product; falls back to schoolbook for small operands.
+fn mul_karatsuba(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    if a.len() < KARATSUBA_THRESHOLD || b.len() < KARATSUBA_THRESHOLD {
+        return mul_schoolbook(a, b);
+    }
+    let split = a.len().min(b.len()) / 2;
+    let (a0, a1) = a.split_at(split);
+    let (b0, b1) = b.split_at(split);
+
+    let z0 = mul_karatsuba(a0, b0);
+    let z2 = mul_karatsuba(a1, b1);
+    // (a0 + a1)(b0 + b1)
+    let asum = UBig::from_limbs(a0.to_vec()).add_ref(&UBig::from_limbs(a1.to_vec()));
+    let bsum = UBig::from_limbs(b0.to_vec()).add_ref(&UBig::from_limbs(b1.to_vec()));
+    let zmid_full = mul_karatsuba(&asum.limbs, &bsum.limbs);
+    // z1 = zmid - z0 - z2 (never underflows)
+    let zmid = UBig::from_limbs(zmid_full);
+    let z1 = zmid
+        .checked_sub(&UBig::from_limbs(z0.clone()))
+        .and_then(|t| t.checked_sub(&UBig::from_limbs(z2.clone())))
+        .expect("Karatsuba middle term cannot underflow");
+
+    let mut out = vec![0 as Limb; a.len() + b.len()];
+    add_into(&mut out, &z0, 0);
+    add_into(&mut out, &z1.limbs, split);
+    add_into(&mut out, &z2, 2 * split);
+    out
+}
+
+impl UBig {
+    /// `self * other`.
+    pub fn mul_ref(&self, other: &UBig) -> UBig {
+        UBig::from_limbs(mul_karatsuba(&self.limbs, &other.limbs))
+    }
+
+    /// `self * v` for a single limb.
+    pub fn mul_small(&self, v: u64) -> UBig {
+        if v == 0 || self.is_zero() {
+            return UBig::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry: Limb = 0;
+        for &l in &self.limbs {
+            out.push(mac(0, l, v, &mut carry));
+        }
+        out.push(carry);
+        UBig::from_limbs(out)
+    }
+
+    /// `self * self`.
+    pub fn square(&self) -> UBig {
+        self.mul_ref(self)
+    }
+}
+
+impl Mul for &UBig {
+    type Output = UBig;
+    fn mul(self, rhs: &UBig) -> UBig {
+        self.mul_ref(rhs)
+    }
+}
+
+impl Mul for UBig {
+    type Output = UBig;
+    fn mul(self, rhs: UBig) -> UBig {
+        self.mul_ref(&rhs)
+    }
+}
+
+impl Mul<&UBig> for UBig {
+    type Output = UBig;
+    fn mul(self, rhs: &UBig) -> UBig {
+        self.mul_ref(rhs)
+    }
+}
+
+impl MulAssign<&UBig> for UBig {
+    fn mul_assign(&mut self, rhs: &UBig) {
+        *self = self.mul_ref(rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(hex: &str) -> UBig {
+        UBig::from_hex_str(hex).unwrap()
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = 0x1234_5678_9abc_def0u64;
+        let b = 0xfedc_ba98_7654_3210u64;
+        let prod = UBig::from(a).mul_ref(&UBig::from(b));
+        assert_eq!(prod.to_u128(), Some(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        let a = big("deadbeefdeadbeefdeadbeef");
+        assert_eq!(a.mul_ref(&UBig::zero()), UBig::zero());
+        assert_eq!(a.mul_ref(&UBig::one()), a);
+    }
+
+    #[test]
+    fn mul_small_carries() {
+        let a = UBig::from(u64::MAX);
+        assert_eq!(
+            a.mul_small(u64::MAX).to_u128(),
+            Some(u64::MAX as u128 * u64::MAX as u128)
+        );
+        assert_eq!(a.mul_small(0), UBig::zero());
+    }
+
+    #[test]
+    fn square_matches_mul() {
+        let a = big("fedcba9876543210fedcba9876543210");
+        assert_eq!(a.square(), a.mul_ref(&a));
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        // Build operands big enough to trigger the Karatsuba path.
+        let mut limbs_a = Vec::new();
+        let mut limbs_b = Vec::new();
+        let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+        for i in 0..(KARATSUBA_THRESHOLD * 2 + 3) {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+            limbs_a.push(x);
+            x = x.rotate_left(17) ^ 0xdead_beef;
+            limbs_b.push(x);
+        }
+        let a = UBig::from_limbs(limbs_a.clone());
+        let b = UBig::from_limbs(limbs_b.clone());
+        let fast = a.mul_ref(&b);
+        let slow = UBig::from_limbs(mul_schoolbook(&limbs_a, &limbs_b));
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn distributivity_spot_check() {
+        let a = big("123456789abcdef0123456789abcdef0");
+        let b = big("fedcba9876543210");
+        let c = big("55555555aaaaaaaa5555555566666666");
+        let left = a.mul_ref(&b.add_ref(&c));
+        let right = a.mul_ref(&b).add_ref(&a.mul_ref(&c));
+        assert_eq!(left, right);
+    }
+}

@@ -1,0 +1,248 @@
+//! Primality testing: trial division by a small-prime sieve followed by
+//! Miller–Rabin with random bases.
+
+use std::sync::OnceLock;
+
+use rand::Rng;
+
+use crate::montgomery::MontgomeryCtx;
+use crate::random::random_range;
+use crate::UBig;
+
+/// Upper bound of the trial-division sieve.
+const SIEVE_LIMIT: usize = 1 << 13;
+
+/// Default number of Miller–Rabin rounds. Each round has soundness error
+/// ≤ 1/4, so 40 rounds give error ≤ 2⁻⁸⁰ — far below any practical risk
+/// for the protocol's public parameters.
+pub const DEFAULT_MR_ROUNDS: u32 = 40;
+
+/// The primes below the sieve limit (2^13), computed once.
+pub fn small_primes() -> &'static [u64] {
+    static PRIMES: OnceLock<Vec<u64>> = OnceLock::new();
+    PRIMES.get_or_init(|| {
+        let mut composite = vec![false; SIEVE_LIMIT];
+        let mut primes = Vec::new();
+        for i in 2..SIEVE_LIMIT {
+            if !composite[i] {
+                primes.push(i as u64);
+                let mut j = i * i;
+                while j < SIEVE_LIMIT {
+                    composite[j] = true;
+                    j += i;
+                }
+            }
+        }
+        primes
+    })
+}
+
+/// Outcome of trial division, before any Miller–Rabin work.
+enum Trial {
+    Composite,
+    Prime,
+    Unknown,
+}
+
+fn trial_division(n: &UBig) -> Trial {
+    if let Some(v) = n.to_u64() {
+        if v < 2 {
+            return Trial::Composite;
+        }
+        if v < (SIEVE_LIMIT * SIEVE_LIMIT) as u64 {
+            // Fully decidable by the sieve.
+            for &p in small_primes() {
+                if p * p > v {
+                    return Trial::Prime;
+                }
+                if v % p == 0 {
+                    return if v == p {
+                        Trial::Prime
+                    } else {
+                        Trial::Composite
+                    };
+                }
+            }
+            return Trial::Prime;
+        }
+    }
+    for &p in small_primes() {
+        let (_, r) = n.div_rem_small(p).expect("p > 0");
+        if r == 0 {
+            return Trial::Composite;
+        }
+    }
+    Trial::Unknown
+}
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+///
+/// Deterministically correct for everything the sieve decides (all
+/// `n < 2²⁶`); probabilistically correct beyond, with error ≤ 4^-rounds.
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &UBig, rounds: u32, rng: &mut R) -> bool {
+    match trial_division(n) {
+        Trial::Composite => return false,
+        Trial::Prime => return true,
+        Trial::Unknown => {}
+    }
+    if n.is_even() {
+        return false; // even and > 2
+    }
+
+    // n - 1 = d · 2^s with d odd.
+    let n_minus_1 = n.sub_small(1).expect("n >= 3");
+    let s = n_minus_1.trailing_zeros().expect("n-1 > 0");
+    let d = n_minus_1.shr_bits(s);
+
+    let ctx = MontgomeryCtx::new(n).expect("odd n > 2");
+    let two = UBig::two();
+
+    'rounds: for _ in 0..rounds {
+        let a = random_range(rng, &two, &n_minus_1);
+        let mut x = ctx.pow(&a, &d);
+        if x.is_one() || x == n_minus_1 {
+            continue 'rounds;
+        }
+        for _ in 0..s - 1 {
+            x = ctx.mul(&x, &x);
+            if x == n_minus_1 {
+                continue 'rounds;
+            }
+            if x.is_one() {
+                // Nontrivial square root of 1 — certainly composite.
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Convenience wrapper using [`DEFAULT_MR_ROUNDS`].
+pub fn is_prime<R: Rng + ?Sized>(n: &UBig, rng: &mut R) -> bool {
+    is_probable_prime(n, DEFAULT_MR_ROUNDS, rng)
+}
+
+/// Generates a random prime with exactly `bits` bits (top and bottom bits
+/// forced on, so products of two such primes have predictable widths —
+/// what Paillier key generation needs).
+pub fn generate_prime<R: Rng + ?Sized>(
+    rng: &mut R,
+    bits: u64,
+    max_attempts: u64,
+) -> Result<UBig, crate::error::BigNumError> {
+    if bits < 2 {
+        return Err(crate::error::BigNumError::BitWidthTooSmall {
+            requested: bits,
+            minimum: 2,
+        });
+    }
+    for _ in 0..max_attempts {
+        let mut candidate = crate::random::random_exact_bits(rng, bits);
+        if candidate.is_even() {
+            candidate = candidate.add_small(1);
+        }
+        if candidate.bit_len() != bits {
+            continue;
+        }
+        if is_probable_prime(&candidate, DEFAULT_MR_ROUNDS, rng) {
+            return Ok(candidate);
+        }
+    }
+    Err(crate::error::BigNumError::GenerationExhausted {
+        attempts: max_attempts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x9e3779b97f4a7c15)
+    }
+
+    #[test]
+    fn sieve_starts_correctly() {
+        let p = small_primes();
+        assert_eq!(&p[..10], &[2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+        assert!(p.last().copied().unwrap() < SIEVE_LIMIT as u64);
+    }
+
+    #[test]
+    fn small_numbers() {
+        let mut r = rng();
+        let primes = [2u64, 3, 5, 7, 11, 97, 7919, 65537];
+        let composites = [0u64, 1, 4, 6, 9, 100, 7917, 65535];
+        for p in primes {
+            assert!(is_prime(&UBig::from(p), &mut r), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!is_prime(&UBig::from(c), &mut r), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn matches_sieve_exhaustively_to_10000() {
+        let mut r = rng();
+        let sieve: std::collections::HashSet<u64> = small_primes().iter().copied().collect();
+        // Only sweep within the sieve's range; beyond SIEVE_LIMIT the
+        // sieve set is incomplete by construction.
+        for n in 0..SIEVE_LIMIT as u64 {
+            assert_eq!(
+                is_probable_prime(&UBig::from(n), 10, &mut r),
+                sieve.contains(&n),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn known_large_primes() {
+        let mut r = rng();
+        // 2^89-1 and 2^107-1 are Mersenne primes.
+        for e in [89u64, 107] {
+            let p = UBig::one().shl_bits(e).sub_small(1).unwrap();
+            assert!(is_prime(&p, &mut r), "2^{e}-1");
+        }
+        // 2^101-1 is composite.
+        let c = UBig::one().shl_bits(101).sub_small(1).unwrap();
+        assert!(!is_prime(&c, &mut r));
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        let mut r = rng();
+        // Fermat pseudoprimes to many bases; Miller-Rabin must reject.
+        for n in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(!is_prime(&UBig::from(n), &mut r), "Carmichael {n}");
+        }
+    }
+
+    #[test]
+    fn generate_prime_hits_exact_widths() {
+        let mut r = rng();
+        for bits in [8u64, 16, 48, 96] {
+            let p = generate_prime(&mut r, bits, 100_000).unwrap();
+            assert_eq!(p.bit_len(), bits, "bits={bits}");
+            assert!(is_prime(&p, &mut r));
+            assert!(p.is_odd());
+        }
+    }
+
+    #[test]
+    fn generate_prime_rejects_tiny_widths() {
+        let mut r = rng();
+        assert!(generate_prime(&mut r, 1, 10).is_err());
+    }
+
+    #[test]
+    fn product_of_two_large_primes_rejected() {
+        let mut r = rng();
+        let p = UBig::one().shl_bits(89).sub_small(1).unwrap();
+        let q = UBig::one().shl_bits(107).sub_small(1).unwrap();
+        assert!(!is_prime(&p.mul_ref(&q), &mut r));
+    }
+}

@@ -1,0 +1,136 @@
+//! Uniform random sampling of big integers from any [`rand`] RNG.
+//!
+//! The protocols sample secret keys uniformly from `KeyF = {1..q-1}`
+//! (paper §3.2.1, Example 1); [`random_range`] provides exactly that.
+
+use rand::Rng;
+
+use crate::limb::{Limb, LIMB_BITS};
+use crate::UBig;
+
+/// Uniform sample from `[0, 2^bits)`.
+pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: u64) -> UBig {
+    if bits == 0 {
+        return UBig::zero();
+    }
+    let limbs = bits.div_ceil(LIMB_BITS as u64) as usize;
+    let mut v: Vec<Limb> = (0..limbs).map(|_| rng.next_u64()).collect();
+    let top_bits = bits % LIMB_BITS as u64;
+    if top_bits != 0 {
+        v[limbs - 1] &= ((1 as Limb) << top_bits) - 1;
+    }
+    UBig::from_limbs(v)
+}
+
+/// Uniform sample with *exactly* `bits` bits (the top bit is forced on).
+pub fn random_exact_bits<R: Rng + ?Sized>(rng: &mut R, bits: u64) -> UBig {
+    assert!(bits > 0, "cannot sample a 0-bit nonzero value");
+    random_bits(rng, bits - 1).with_bit(bits - 1)
+}
+
+/// Uniform sample from `[0, bound)` by rejection.
+///
+/// # Panics
+/// Panics if `bound` is zero.
+pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &UBig) -> UBig {
+    assert!(!bound.is_zero(), "random_below with zero bound");
+    let bits = bound.bit_len();
+    loop {
+        let candidate = random_bits(rng, bits);
+        if &candidate < bound {
+            return candidate;
+        }
+    }
+}
+
+/// Uniform sample from `[lo, hi)`.
+///
+/// # Panics
+/// Panics if `lo >= hi`.
+pub fn random_range<R: Rng + ?Sized>(rng: &mut R, lo: &UBig, hi: &UBig) -> UBig {
+    assert!(lo < hi, "empty range in random_range");
+    let width = hi.checked_sub(lo).expect("lo < hi");
+    random_below(rng, &width).add_ref(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5eed)
+    }
+
+    #[test]
+    fn random_bits_respects_width() {
+        let mut r = rng();
+        for bits in [1u64, 7, 63, 64, 65, 129, 1000] {
+            for _ in 0..20 {
+                let x = random_bits(&mut r, bits);
+                assert!(x.bit_len() <= bits, "bits={bits}");
+            }
+        }
+        assert_eq!(random_bits(&mut r, 0), UBig::zero());
+    }
+
+    #[test]
+    fn random_exact_bits_sets_top_bit() {
+        let mut r = rng();
+        for bits in [1u64, 2, 64, 65, 257] {
+            for _ in 0..10 {
+                let x = random_exact_bits(&mut r, bits);
+                assert_eq!(x.bit_len(), bits, "bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_below_stays_below() {
+        let mut r = rng();
+        let bound = UBig::from_decimal_str("1000000000000000000000000000").unwrap();
+        for _ in 0..100 {
+            assert!(random_below(&mut r, &bound) < bound);
+        }
+        // A tight power-of-two-plus-one bound exercises rejection.
+        let bound = UBig::one().shl_bits(128).add_small(1);
+        for _ in 0..100 {
+            assert!(random_below(&mut r, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn random_below_one_is_zero() {
+        let mut r = rng();
+        assert_eq!(random_below(&mut r, &UBig::one()), UBig::zero());
+    }
+
+    #[test]
+    fn random_range_bounds() {
+        let mut r = rng();
+        let lo = UBig::from(1000u64);
+        let hi = UBig::from(1010u64);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let x = random_range(&mut r, &lo, &hi);
+            assert!(x >= lo && x < hi);
+            seen.insert(x.to_u64().unwrap());
+        }
+        // With 500 draws over 10 values we should see them all.
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = random_bits(&mut StdRng::seed_from_u64(42), 256);
+        let b = random_bits(&mut StdRng::seed_from_u64(42), 256);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bound")]
+    fn random_below_zero_panics() {
+        random_below(&mut rng(), &UBig::zero());
+    }
+}

@@ -1,0 +1,224 @@
+//! Safe primes: generation and the standard RFC 2409 / RFC 3526 groups.
+//!
+//! The paper's commutative encryption (Example 1) works over the quadratic
+//! residues modulo a *safe* prime `p` — one where `q = (p-1)/2` is also
+//! prime — so that `|QR_p| = q` is prime and DDH is believed to hold in the
+//! subgroup. Generating fresh 1024-bit safe primes takes minutes, so the
+//! benchmarks use the well-known safe primes standardized for IKE
+//! (RFC 2409 Oakley groups 1 and 2) and for MODP Diffie–Hellman
+//! (RFC 3526 groups 5 and 14), all of the form
+//! `p = 2^n − 2^(n−64) − 1 + 2^64 · (⌊2^(n−130) π⌋ + c)`.
+//! Their safety is re-verified by this module's tests.
+
+use rand::Rng;
+
+use crate::error::BigNumError;
+use crate::prime::{is_probable_prime, small_primes};
+use crate::random::random_exact_bits;
+use crate::UBig;
+
+/// RFC 2409 Oakley Group 1 — 768-bit safe prime.
+pub const RFC2409_OAKLEY1_768: &str = "\
+    FFFFFFFF FFFFFFFF C90FDAA2 2168C234 C4C6628B 80DC1CD1 29024E08 8A67CC74 \
+    020BBEA6 3B139B22 514A0879 8E3404DD EF9519B3 CD3A431B 302B0A6D F25F1437 \
+    4FE1356D 6D51C245 E485B576 625E7EC6 F44C42E9 A63A3620 FFFFFFFF FFFFFFFF";
+
+/// RFC 2409 Oakley Group 2 — 1024-bit safe prime. This is the size the
+/// paper's cost analysis assumes (`k = 1024` bits, §6).
+pub const RFC2409_OAKLEY2_1024: &str = "\
+    FFFFFFFF FFFFFFFF C90FDAA2 2168C234 C4C6628B 80DC1CD1 29024E08 8A67CC74 \
+    020BBEA6 3B139B22 514A0879 8E3404DD EF9519B3 CD3A431B 302B0A6D F25F1437 \
+    4FE1356D 6D51C245 E485B576 625E7EC6 F44C42E9 A637ED6B 0BFF5CB6 F406B7ED \
+    EE386BFB 5A899FA5 AE9F2411 7C4B1FE6 49286651 ECE65381 FFFFFFFF FFFFFFFF";
+
+/// RFC 3526 Group 5 — 1536-bit safe prime.
+pub const RFC3526_MODP_1536: &str = "\
+    FFFFFFFF FFFFFFFF C90FDAA2 2168C234 C4C6628B 80DC1CD1 29024E08 8A67CC74 \
+    020BBEA6 3B139B22 514A0879 8E3404DD EF9519B3 CD3A431B 302B0A6D F25F1437 \
+    4FE1356D 6D51C245 E485B576 625E7EC6 F44C42E9 A637ED6B 0BFF5CB6 F406B7ED \
+    EE386BFB 5A899FA5 AE9F2411 7C4B1FE6 49286651 ECE45B3D C2007CB8 A163BF05 \
+    98DA4836 1C55D39A 69163FA8 FD24CF5F 83655D23 DCA3AD96 1C62F356 208552BB \
+    9ED52907 7096966D 670C354E 4ABC9804 F1746C08 CA237327 FFFFFFFF FFFFFFFF";
+
+/// RFC 3526 Group 14 — 2048-bit safe prime.
+pub const RFC3526_MODP_2048: &str = "\
+    FFFFFFFF FFFFFFFF C90FDAA2 2168C234 C4C6628B 80DC1CD1 29024E08 8A67CC74 \
+    020BBEA6 3B139B22 514A0879 8E3404DD EF9519B3 CD3A431B 302B0A6D F25F1437 \
+    4FE1356D 6D51C245 E485B576 625E7EC6 F44C42E9 A637ED6B 0BFF5CB6 F406B7ED \
+    EE386BFB 5A899FA5 AE9F2411 7C4B1FE6 49286651 ECE45B3D C2007CB8 A163BF05 \
+    98DA4836 1C55D39A 69163FA8 FD24CF5F 83655D23 DCA3AD96 1C62F356 208552BB \
+    9ED52907 7096966D 670C354E 4ABC9804 F1746C08 CA18217C 32905E46 2E36CE3B \
+    E39E772C 180E8603 9B2783A2 EC07A28F B5C55DF0 6F4C52C9 DE2BCBF6 95581718 \
+    3995497C EA956AE5 15D22618 98FA0510 15728E5A 8AACAA68 FFFFFFFF FFFFFFFF";
+
+/// Returns the standard safe prime with the given bit size, if one is
+/// bundled (768, 1024, 1536 or 2048 bits).
+pub fn well_known_safe_prime(bits: u64) -> Option<UBig> {
+    let hex = match bits {
+        768 => RFC2409_OAKLEY1_768,
+        1024 => RFC2409_OAKLEY2_1024,
+        1536 => RFC3526_MODP_1536,
+        2048 => RFC3526_MODP_2048,
+        _ => return None,
+    };
+    Some(UBig::from_hex_str(hex).expect("bundled constant parses"))
+}
+
+/// Number of Miller–Rabin rounds used while *searching* (the final
+/// candidate is re-checked at full strength).
+const SEARCH_MR_ROUNDS: u32 = 8;
+
+/// Generates a safe prime `p = 2q + 1` with exactly `bits` bits.
+///
+/// Intended for test-sized parameters (≤ a few hundred bits); for the
+/// benchmark sizes use [`well_known_safe_prime`]. `max_attempts` bounds the
+/// number of random candidates examined.
+pub fn generate_safe_prime<R: Rng + ?Sized>(
+    rng: &mut R,
+    bits: u64,
+    max_attempts: u64,
+) -> Result<UBig, BigNumError> {
+    if bits < 4 {
+        // The smallest safe primes are 5, 7, 11; below 4 bits the
+        // exact-bit-width constraint can be unsatisfiable.
+        return Err(BigNumError::BitWidthTooSmall {
+            requested: bits,
+            minimum: 4,
+        });
+    }
+    for attempt in 0..max_attempts {
+        // Sample q with bits-1 bits, odd.
+        let mut q = random_exact_bits(rng, bits - 1);
+        if q.is_even() {
+            q = q.add_small(1);
+        }
+        let p = q.shl_bits(1).add_small(1);
+        if p.bit_len() != bits {
+            continue;
+        }
+        // Cheap joint sieve: p ≡ 0 (mod s) or q ≡ 0 (mod s) kills the pair.
+        let mut sieved_out = false;
+        for &s in small_primes().iter().take(256) {
+            let (_, rq) = q.div_rem_small(s).expect("s > 0");
+            let (_, rp) = p.div_rem_small(s).expect("s > 0");
+            if (rq == 0 && q != UBig::from(s)) || (rp == 0 && p != UBig::from(s)) {
+                sieved_out = true;
+                break;
+            }
+        }
+        if sieved_out {
+            continue;
+        }
+        if !is_probable_prime(&q, SEARCH_MR_ROUNDS, rng) {
+            continue;
+        }
+        if !is_probable_prime(&p, SEARCH_MR_ROUNDS, rng) {
+            continue;
+        }
+        // Final high-assurance check on both.
+        if is_probable_prime(&q, crate::prime::DEFAULT_MR_ROUNDS, rng)
+            && is_probable_prime(&p, crate::prime::DEFAULT_MR_ROUNDS, rng)
+        {
+            return Ok(p);
+        }
+        let _ = attempt;
+    }
+    Err(BigNumError::GenerationExhausted {
+        attempts: max_attempts,
+    })
+}
+
+/// Returns `true` iff `p` is (probably) a safe prime.
+pub fn is_safe_prime<R: Rng + ?Sized>(p: &UBig, rng: &mut R) -> bool {
+    if p < &UBig::from(5u64) {
+        return false;
+    }
+    if !is_probable_prime(p, crate::prime::DEFAULT_MR_ROUNDS, rng) {
+        return false;
+    }
+    let q = p.sub_small(1).expect("p >= 5").shr_bits(1);
+    is_probable_prime(&q, crate::prime::DEFAULT_MR_ROUNDS, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5afe)
+    }
+
+    #[test]
+    fn generates_small_safe_primes() {
+        let mut r = rng();
+        for bits in [8u64, 16, 32, 48] {
+            let p = generate_safe_prime(&mut r, bits, 100_000).unwrap();
+            assert_eq!(p.bit_len(), bits, "bits={bits}");
+            assert!(is_safe_prime(&p, &mut r), "p={p}");
+        }
+    }
+
+    #[test]
+    fn generation_bit_width_guard() {
+        let mut r = rng();
+        assert!(matches!(
+            generate_safe_prime(&mut r, 2, 10),
+            Err(BigNumError::BitWidthTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn is_safe_prime_classifies() {
+        let mut r = rng();
+        // 5, 7, 11, 23, 47, 59, 83, 107 are safe primes.
+        for p in [5u64, 7, 11, 23, 47, 59, 83, 107, 2879] {
+            assert!(is_safe_prime(&UBig::from(p), &mut r), "{p}");
+        }
+        // 13, 17, 29, 37 are prime but not safe; 15, 21 are not prime.
+        for p in [2u64, 3, 13, 17, 29, 37, 15, 21] {
+            assert!(!is_safe_prime(&UBig::from(p), &mut r), "{p}");
+        }
+    }
+
+    #[test]
+    fn bundled_constants_have_declared_sizes() {
+        for bits in [768u64, 1024, 1536, 2048] {
+            let p = well_known_safe_prime(bits).unwrap();
+            assert_eq!(p.bit_len(), bits, "bits={bits}");
+            // All RFC MODP primes are ≡ 3 (mod 4): generator 2 generates QR.
+            assert_eq!(p.limbs()[0] & 3, 3);
+        }
+        assert!(well_known_safe_prime(512).is_none());
+    }
+
+    #[test]
+    fn oakley_768_is_safe_prime() {
+        let mut r = rng();
+        let p = well_known_safe_prime(768).unwrap();
+        let q = p.sub_small(1).unwrap().shr_bits(1);
+        assert!(is_probable_prime(&p, 6, &mut r));
+        assert!(is_probable_prime(&q, 6, &mut r));
+    }
+
+    #[test]
+    fn oakley_1024_is_safe_prime() {
+        let mut r = rng();
+        let p = well_known_safe_prime(1024).unwrap();
+        let q = p.sub_small(1).unwrap().shr_bits(1);
+        assert!(is_probable_prime(&p, 6, &mut r));
+        assert!(is_probable_prime(&q, 6, &mut r));
+    }
+
+    #[test]
+    fn modp_1536_and_2048_are_safe_primes() {
+        let mut r = rng();
+        for bits in [1536u64, 2048] {
+            let p = well_known_safe_prime(bits).unwrap();
+            let q = p.sub_small(1).unwrap().shr_bits(1);
+            assert!(is_probable_prime(&p, 4, &mut r), "p {bits}");
+            assert!(is_probable_prime(&q, 4, &mut r), "q {bits}");
+        }
+    }
+}

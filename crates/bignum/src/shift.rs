@@ -1,0 +1,118 @@
+//! Bit shifts for [`UBig`].
+
+use std::ops::{Shl, Shr};
+
+use crate::limb::{Limb, LIMB_BITS};
+use crate::UBig;
+
+impl UBig {
+    /// `self << bits`.
+    pub fn shl_bits(&self, bits: u64) -> UBig {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = (bits / LIMB_BITS as u64) as usize;
+        let bit_shift = (bits % LIMB_BITS as u64) as u32;
+        let mut out = vec![0 as Limb; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry: Limb = 0;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (LIMB_BITS - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        UBig::from_limbs(out)
+    }
+
+    /// `self >> bits` (shifting past the end yields zero).
+    pub fn shr_bits(&self, bits: u64) -> UBig {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = (bits / LIMB_BITS as u64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return UBig::zero();
+        }
+        let bit_shift = (bits % LIMB_BITS as u64) as u32;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = src.get(i + 1).map_or(0, |&n| n << (LIMB_BITS - bit_shift));
+                out.push(lo | hi);
+            }
+        }
+        UBig::from_limbs(out)
+    }
+}
+
+impl Shl<u64> for &UBig {
+    type Output = UBig;
+    fn shl(self, bits: u64) -> UBig {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<u64> for &UBig {
+    type Output = UBig;
+    fn shr(self, bits: u64) -> UBig {
+        self.shr_bits(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shl_small_and_cross_limb() {
+        assert_eq!(UBig::one().shl_bits(4), UBig::from(16u64));
+        assert_eq!(UBig::one().shl_bits(64), UBig::from_limbs(vec![0, 1]));
+        assert_eq!(UBig::one().shl_bits(65), UBig::from_limbs(vec![0, 2]));
+        let x = UBig::from(0x8000_0000_0000_0000u64);
+        assert_eq!(x.shl_bits(1), UBig::from_limbs(vec![0, 1]));
+    }
+
+    #[test]
+    fn shr_small_and_cross_limb() {
+        assert_eq!(UBig::from(16u64).shr_bits(4), UBig::one());
+        assert_eq!(UBig::from_limbs(vec![0, 1]).shr_bits(64), UBig::one());
+        assert_eq!(UBig::from_limbs(vec![0, 2]).shr_bits(65), UBig::one());
+        assert_eq!(UBig::from(7u64).shr_bits(100), UBig::zero());
+    }
+
+    #[test]
+    fn shift_round_trip() {
+        let x = UBig::from_hex_str("deadbeefcafebabe0123456789abcdef").unwrap();
+        for bits in [0u64, 1, 7, 63, 64, 65, 127, 128, 200] {
+            assert_eq!(x.shl_bits(bits).shr_bits(bits), x, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn shl_is_mul_by_power_of_two() {
+        let x = UBig::from(0x1234_5678u64);
+        assert_eq!(x.shl_bits(20), x.mul_small(1 << 20));
+    }
+
+    #[test]
+    fn operators() {
+        let x = UBig::from(6u64);
+        assert_eq!(&x << 1, UBig::from(12u64));
+        assert_eq!(&x >> 1, UBig::from(3u64));
+    }
+
+    #[test]
+    fn zero_shifts() {
+        assert_eq!(UBig::zero().shl_bits(100), UBig::zero());
+        assert_eq!(UBig::zero().shr_bits(100), UBig::zero());
+    }
+}

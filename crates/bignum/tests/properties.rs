@@ -1,0 +1,206 @@
+//! Property-based tests for the big-integer substrate: ring axioms, the
+//! division identity, Montgomery-vs-naive agreement, and number-theoretic
+//! laws. These are the invariants everything above (commutative
+//! encryption, the protocols) silently relies on.
+
+use minshare_bignum::modular::Jacobi;
+use minshare_bignum::UBig;
+use proptest::prelude::*;
+
+/// Strategy: arbitrary-width UBig from raw bytes (0 to ~96 bytes ≈ 768 bits).
+fn ubig() -> impl Strategy<Value = UBig> {
+    proptest::collection::vec(any::<u8>(), 0..96).prop_map(|b| UBig::from_be_bytes(&b))
+}
+
+/// Strategy: nonzero UBig.
+fn ubig_nonzero() -> impl Strategy<Value = UBig> {
+    ubig().prop_map(|x| x.add_small(1))
+}
+
+/// Strategy: odd UBig ≥ 3 (valid Montgomery modulus).
+fn odd_modulus() -> impl Strategy<Value = UBig> {
+    ubig().prop_map(|x| {
+        let x = if x.is_even() { x.add_small(1) } else { x };
+        if x.is_one() || x.is_zero() {
+            UBig::from(3u64)
+        } else {
+            x
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in ubig(), b in ubig()) {
+        prop_assert_eq!(a.add_ref(&b), b.add_ref(&a));
+    }
+
+    #[test]
+    fn add_associates(a in ubig(), b in ubig(), c in ubig()) {
+        prop_assert_eq!(a.add_ref(&b).add_ref(&c), a.add_ref(&b.add_ref(&c)));
+    }
+
+    #[test]
+    fn add_sub_round_trip(a in ubig(), b in ubig()) {
+        let sum = a.add_ref(&b);
+        prop_assert_eq!(sum.checked_sub(&b).unwrap(), a);
+    }
+
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let sum = UBig::from(a).add_ref(&UBig::from(b));
+        prop_assert_eq!(sum.to_u128(), Some(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn mul_commutes(a in ubig(), b in ubig()) {
+        prop_assert_eq!(a.mul_ref(&b), b.mul_ref(&a));
+    }
+
+    #[test]
+    fn mul_associates(a in ubig(), b in ubig(), c in ubig()) {
+        prop_assert_eq!(a.mul_ref(&b).mul_ref(&c), a.mul_ref(&b.mul_ref(&c)));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in ubig(), b in ubig(), c in ubig()) {
+        prop_assert_eq!(
+            a.mul_ref(&b.add_ref(&c)),
+            a.mul_ref(&b).add_ref(&a.mul_ref(&c))
+        );
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = UBig::from(a).mul_ref(&UBig::from(b));
+        prop_assert_eq!(prod.to_u128(), Some(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn division_identity(a in ubig(), b in ubig_nonzero()) {
+        let (q, r) = a.div_rem(&b).unwrap();
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul_ref(&b).add_ref(&r), a);
+    }
+
+    #[test]
+    fn shifts_round_trip(a in ubig(), bits in 0u64..300) {
+        prop_assert_eq!(a.shl_bits(bits).shr_bits(bits), a);
+    }
+
+    #[test]
+    fn shl_is_doubling(a in ubig(), bits in 0u64..100) {
+        // a << bits == a * 2^bits
+        let pow2 = UBig::one().shl_bits(bits);
+        prop_assert_eq!(a.shl_bits(bits), a.mul_ref(&pow2));
+    }
+
+    #[test]
+    fn decimal_round_trip(a in ubig()) {
+        prop_assert_eq!(UBig::from_decimal_str(&a.to_decimal_str()).unwrap(), a);
+    }
+
+    #[test]
+    fn hex_round_trip(a in ubig()) {
+        prop_assert_eq!(UBig::from_hex_str(&a.to_hex_str()).unwrap(), a);
+    }
+
+    #[test]
+    fn bytes_round_trip(a in ubig()) {
+        prop_assert_eq!(UBig::from_be_bytes(&a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn bit_len_brackets_value(a in ubig_nonzero()) {
+        let n = a.bit_len();
+        // 2^(n-1) <= a < 2^n
+        prop_assert!(a >= UBig::one().shl_bits(n - 1));
+        prop_assert!(a < UBig::one().shl_bits(n));
+    }
+
+    #[test]
+    fn montgomery_pow_matches_binary(
+        base in ubig(),
+        exp in proptest::collection::vec(any::<u8>(), 0..8).prop_map(|b| UBig::from_be_bytes(&b)),
+        m in odd_modulus(),
+    ) {
+        prop_assert_eq!(base.modpow(&exp, &m), base.modpow_binary(&exp, &m));
+    }
+
+    #[test]
+    fn modpow_exponent_addition_law(
+        base in ubig(),
+        e1 in any::<u32>(),
+        e2 in any::<u32>(),
+        m in odd_modulus(),
+    ) {
+        // base^(e1+e2) == base^e1 * base^e2 (mod m)
+        let lhs = base.modpow(&UBig::from(e1 as u64 + e2 as u64), &m);
+        let p1 = base.modpow(&UBig::from(e1), &m);
+        let p2 = base.modpow(&UBig::from(e2), &m);
+        prop_assert_eq!(lhs, p1.mod_mul(&p2, &m).unwrap());
+    }
+
+    #[test]
+    fn mod_inv_is_inverse(a in ubig_nonzero(), m in odd_modulus()) {
+        match a.mod_inv(&m) {
+            Ok(inv) => {
+                prop_assert!(inv < m);
+                prop_assert_eq!(a.mod_mul(&inv, &m).unwrap(), UBig::one().rem_ref(&m).unwrap());
+            }
+            Err(_) => {
+                // Must genuinely share a factor with m.
+                prop_assert!(!a.gcd(&m).is_one());
+            }
+        }
+    }
+
+    #[test]
+    fn gcd_divides_both(a in ubig_nonzero(), b in ubig_nonzero()) {
+        let g = a.gcd(&b);
+        prop_assert!(!g.is_zero());
+        prop_assert!(a.rem_ref(&g).unwrap().is_zero());
+        prop_assert!(b.rem_ref(&g).unwrap().is_zero());
+    }
+
+    #[test]
+    fn jacobi_is_multiplicative(a in ubig(), b in ubig(), m in odd_modulus()) {
+        let ja = a.jacobi(&m).unwrap().as_i32();
+        let jb = b.jacobi(&m).unwrap().as_i32();
+        let jab = a.mul_ref(&b).jacobi(&m).unwrap().as_i32();
+        prop_assert_eq!(jab, ja * jb);
+    }
+
+    #[test]
+    fn jacobi_of_square_is_one_or_zero(a in ubig(), m in odd_modulus()) {
+        let j = a.square().jacobi(&m).unwrap();
+        prop_assert!(j == Jacobi::One || j == Jacobi::Zero);
+    }
+
+    #[test]
+    fn mod_add_sub_inverse(a in ubig(), b in ubig(), m in odd_modulus()) {
+        let ar = a.rem_ref(&m).unwrap();
+        let br = b.rem_ref(&m).unwrap();
+        prop_assert_eq!(ar.mod_add(&br, &m).mod_sub(&br, &m), ar);
+    }
+
+    #[test]
+    fn low_bits_is_mod_pow2(a in ubig(), bits in 0u64..200) {
+        let m = UBig::one().shl_bits(bits);
+        if !m.is_zero() {
+            prop_assert_eq!(a.low_bits(bits), a.rem_ref(&m).unwrap());
+        }
+    }
+}
+
+#[test]
+fn fermat_on_generated_safe_prime() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(7);
+    let p = minshare_bignum::safe_prime::generate_safe_prime(&mut rng, 40, 100_000).unwrap();
+    let pm1 = p.sub_small(1).unwrap();
+    for a in [2u64, 3, 5, 7] {
+        assert_eq!(UBig::from(a).modpow(&pm1, &p), UBig::one());
+    }
+}

@@ -1,0 +1,161 @@
+//! A small fluent builder for boolean circuits.
+
+use crate::circuit::{Circuit, Gate, GateOp, WireId};
+
+/// Incremental circuit construction. Inputs are declared first; gates
+/// append in topological order automatically.
+#[derive(Debug, Default)]
+pub struct CircuitBuilder {
+    n_inputs: usize,
+    gates: Vec<Gate>,
+    outputs: Vec<WireId>,
+}
+
+impl CircuitBuilder {
+    /// Fresh, empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares one input wire.
+    pub fn input(&mut self) -> WireId {
+        assert!(
+            self.gates.is_empty(),
+            "declare all inputs before adding gates"
+        );
+        let id = self.n_inputs;
+        self.n_inputs += 1;
+        id
+    }
+
+    /// Declares `n` input wires.
+    pub fn inputs(&mut self, n: usize) -> Vec<WireId> {
+        (0..n).map(|_| self.input()).collect()
+    }
+
+    fn gate(&mut self, op: GateOp, a: WireId, b: WireId) -> WireId {
+        let out = self.n_inputs + self.gates.len();
+        self.gates.push(Gate { op, a, b });
+        out
+    }
+
+    /// `a AND b`.
+    pub fn and(&mut self, a: WireId, b: WireId) -> WireId {
+        self.gate(GateOp::And, a, b)
+    }
+
+    /// `a OR b`.
+    pub fn or(&mut self, a: WireId, b: WireId) -> WireId {
+        self.gate(GateOp::Or, a, b)
+    }
+
+    /// `a XOR b`.
+    pub fn xor(&mut self, a: WireId, b: WireId) -> WireId {
+        self.gate(GateOp::Xor, a, b)
+    }
+
+    /// `a XNOR b` (bit equality).
+    pub fn xnor(&mut self, a: WireId, b: WireId) -> WireId {
+        self.gate(GateOp::Xnor, a, b)
+    }
+
+    /// `NOT a`.
+    pub fn not(&mut self, a: WireId) -> WireId {
+        self.gate(GateOp::Not, a, a)
+    }
+
+    /// Reduces wires with a balanced binary tree of `op` (e.g. OR-merge).
+    /// Returns `None` for an empty list.
+    pub fn tree(&mut self, op: GateOp, wires: &[WireId]) -> Option<WireId> {
+        match wires.len() {
+            0 => None,
+            1 => Some(wires[0]),
+            _ => {
+                let mut layer = wires.to_vec();
+                while layer.len() > 1 {
+                    let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                    for chunk in layer.chunks(2) {
+                        if chunk.len() == 2 {
+                            next.push(self.gate(op, chunk[0], chunk[1]));
+                        } else {
+                            next.push(chunk[0]);
+                        }
+                    }
+                    layer = next;
+                }
+                Some(layer[0])
+            }
+        }
+    }
+
+    /// Marks a wire as a circuit output.
+    pub fn output(&mut self, wire: WireId) {
+        self.outputs.push(wire);
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> Circuit {
+        let c = Circuit {
+            n_inputs: self.n_inputs,
+            gates: self.gates,
+            outputs: self.outputs,
+        };
+        debug_assert!(c.validate().is_ok());
+        c
+    }
+
+    /// Gates added so far.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_majority_gate() {
+        // maj(a,b,c) = ab + ac + bc
+        let mut b = CircuitBuilder::new();
+        let ins = b.inputs(3);
+        let ab = b.and(ins[0], ins[1]);
+        let ac = b.and(ins[0], ins[2]);
+        let bc = b.and(ins[1], ins[2]);
+        let t = b.tree(GateOp::Or, &[ab, ac, bc]).unwrap();
+        b.output(t);
+        let c = b.build();
+        for bits in 0..8u8 {
+            let input: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let expect = input.iter().filter(|&&x| x).count() >= 2;
+            assert_eq!(c.eval(&input).unwrap(), vec![expect], "bits={bits:03b}");
+        }
+    }
+
+    #[test]
+    fn tree_gate_counts() {
+        let mut b = CircuitBuilder::new();
+        let ins = b.inputs(7);
+        b.tree(GateOp::Or, &ins);
+        // An n-leaf tree needs n-1 internal nodes.
+        assert_eq!(b.gate_count(), 6);
+    }
+
+    #[test]
+    fn tree_degenerate_cases() {
+        let mut b = CircuitBuilder::new();
+        let i = b.input();
+        assert_eq!(b.tree(GateOp::And, &[]), None);
+        assert_eq!(b.tree(GateOp::And, &[i]), Some(i));
+        assert_eq!(b.gate_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs before")]
+    fn inputs_must_come_first() {
+        let mut b = CircuitBuilder::new();
+        let i = b.input();
+        b.not(i);
+        b.input();
+    }
+}

@@ -1,0 +1,206 @@
+//! The boolean-circuit intermediate representation and its evaluator.
+
+use crate::error::CircuitError;
+
+/// Index of a wire. Wires `0..n_inputs` are circuit inputs; the output of
+/// gate `i` is wire `n_inputs + i`.
+pub type WireId = usize;
+
+/// Binary (or unary, for NOT) gate operations.
+///
+/// XNOR is a first-class gate so the equality comparator costs the
+/// paper's `2w − 1` gates rather than `3w − 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateOp {
+    /// Logical AND.
+    And,
+    /// Logical OR.
+    Or,
+    /// Exclusive OR.
+    Xor,
+    /// Complement of XOR (equality of two bits).
+    Xnor,
+    /// Logical NOT of input `a` (`b` is ignored; conventionally `== a`).
+    Not,
+}
+
+impl GateOp {
+    /// Truth-table evaluation.
+    pub fn apply(&self, a: bool, b: bool) -> bool {
+        match self {
+            GateOp::And => a && b,
+            GateOp::Or => a || b,
+            GateOp::Xor => a ^ b,
+            GateOp::Xnor => !(a ^ b),
+            GateOp::Not => !a,
+        }
+    }
+
+    /// Number of operands (1 for NOT, else 2).
+    pub fn arity(&self) -> usize {
+        if matches!(self, GateOp::Not) {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+/// One gate: an operation over one or two existing wires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gate {
+    /// Operation.
+    pub op: GateOp,
+    /// First operand wire.
+    pub a: WireId,
+    /// Second operand wire (ignored for NOT).
+    pub b: WireId,
+}
+
+/// A boolean circuit in topological order.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    /// Number of input wires.
+    pub n_inputs: usize,
+    /// Gates, in evaluation order.
+    pub gates: Vec<Gate>,
+    /// Wires whose values are the circuit outputs.
+    pub outputs: Vec<WireId>,
+}
+
+impl Circuit {
+    /// Total number of wires (inputs + one per gate).
+    pub fn n_wires(&self) -> usize {
+        self.n_inputs + self.gates.len()
+    }
+
+    /// Number of gates — the paper's circuit-size measure
+    /// `C(w, |V_S|, |V_R|)`.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Validates wire references (each gate may only read wires defined
+    /// before it).
+    pub fn validate(&self) -> Result<(), CircuitError> {
+        for (i, gate) in self.gates.iter().enumerate() {
+            let limit = self.n_inputs + i;
+            if gate.a >= limit || (gate.op.arity() == 2 && gate.b >= limit) {
+                return Err(CircuitError::DanglingWire {
+                    wire: gate.a.max(gate.b),
+                });
+            }
+        }
+        let limit = self.n_wires();
+        for &o in &self.outputs {
+            if o >= limit {
+                return Err(CircuitError::DanglingWire { wire: o });
+            }
+        }
+        Ok(())
+    }
+
+    /// Plain (non-garbled) evaluation: the correctness oracle for the
+    /// garbled evaluation.
+    pub fn eval(&self, inputs: &[bool]) -> Result<Vec<bool>, CircuitError> {
+        if inputs.len() != self.n_inputs {
+            return Err(CircuitError::InputArity {
+                expected: self.n_inputs,
+                got: inputs.len(),
+            });
+        }
+        let mut wires = Vec::with_capacity(self.n_wires());
+        wires.extend_from_slice(inputs);
+        for gate in &self.gates {
+            let a = wires[gate.a];
+            let b = if gate.op.arity() == 2 {
+                wires[gate.b]
+            } else {
+                a
+            };
+            wires.push(gate.op.apply(a, b));
+        }
+        Ok(self.outputs.iter().map(|&o| wires[o]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_truth_tables() {
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(GateOp::And.apply(a, b), a && b);
+            assert_eq!(GateOp::Or.apply(a, b), a || b);
+            assert_eq!(GateOp::Xor.apply(a, b), a ^ b);
+            assert_eq!(GateOp::Xnor.apply(a, b), !(a ^ b));
+        }
+        assert!(GateOp::Not.apply(false, false));
+        assert!(!GateOp::Not.apply(true, true));
+    }
+
+    #[test]
+    fn evaluates_small_circuit() {
+        // out = (i0 AND i1) XOR i2
+        let c = Circuit {
+            n_inputs: 3,
+            gates: vec![
+                Gate {
+                    op: GateOp::And,
+                    a: 0,
+                    b: 1,
+                },
+                Gate {
+                    op: GateOp::Xor,
+                    a: 3,
+                    b: 2,
+                },
+            ],
+            outputs: vec![4],
+        };
+        c.validate().unwrap();
+        assert_eq!(c.eval(&[true, true, false]).unwrap(), vec![true]);
+        assert_eq!(c.eval(&[true, true, true]).unwrap(), vec![false]);
+        assert_eq!(c.eval(&[false, true, true]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let c = Circuit {
+            n_inputs: 2,
+            gates: vec![],
+            outputs: vec![0],
+        };
+        assert!(matches!(
+            c.eval(&[true]),
+            Err(CircuitError::InputArity {
+                expected: 2,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_dangling_wires() {
+        let c = Circuit {
+            n_inputs: 1,
+            gates: vec![Gate {
+                op: GateOp::And,
+                a: 0,
+                b: 5,
+            }],
+            outputs: vec![1],
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(CircuitError::DanglingWire { .. })
+        ));
+        let c = Circuit {
+            n_inputs: 1,
+            gates: vec![],
+            outputs: vec![3],
+        };
+        assert!(c.validate().is_err());
+    }
+}

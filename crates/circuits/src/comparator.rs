@@ -1,0 +1,155 @@
+//! Comparator circuits with the paper's exact gate counts (A.1.2):
+//! equality of two `w`-bit numbers in `2w − 1` gates, less-than in
+//! `5w − 3` gates.
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::{Circuit, GateOp, WireId};
+
+/// Gate count of the equality comparator: `Ge = 2w − 1`.
+pub fn equality_gate_count(w: usize) -> usize {
+    2 * w - 1
+}
+
+/// Gate count of the less-than comparator: `Gl = 5w − 3`.
+pub fn less_than_gate_count(w: usize) -> usize {
+    5 * w - 3
+}
+
+/// Appends an equality comparator over two little-endian `w`-bit operands
+/// already present in the builder. Returns the result wire.
+///
+/// Construction: one XNOR per bit (`w` gates) + an AND-tree (`w − 1`
+/// gates) = `2w − 1`.
+pub fn append_equality(b: &mut CircuitBuilder, a: &[WireId], c: &[WireId]) -> WireId {
+    assert_eq!(a.len(), c.len(), "operands must share a width");
+    assert!(!a.is_empty());
+    let eqs: Vec<WireId> = a.iter().zip(c).map(|(&x, &y)| b.xnor(x, y)).collect();
+    b.tree(GateOp::And, &eqs).expect("nonempty")
+}
+
+/// Appends a less-than comparator (`a < c`, operands little-endian).
+/// Returns the result wire.
+///
+/// Construction, MSB-down recurrence
+/// `lt = lt_msb ∨ (eq_msb ∧ lt_rest)`:
+/// * per bit: `¬a_i ∧ c_i` — 2 gates (`w` bits → `2w`),
+/// * `eq_i = XNOR(a_i, c_i)` for all but the LSB — `w − 1` gates,
+/// * chain combine: `AND` + `OR` per non-LSB bit — `2(w − 1)` gates.
+///
+/// Total `2w + (w−1) + 2(w−1) = 5w − 3`, matching the paper.
+pub fn append_less_than(b: &mut CircuitBuilder, a: &[WireId], c: &[WireId]) -> WireId {
+    assert_eq!(a.len(), c.len(), "operands must share a width");
+    assert!(!a.is_empty());
+    let w = a.len();
+    // lt_i = ¬a_i ∧ c_i for every bit.
+    let lt_bits: Vec<WireId> = a
+        .iter()
+        .zip(c)
+        .map(|(&x, &y)| {
+            let nx = b.not(x);
+            b.and(nx, y)
+        })
+        .collect();
+    // Fold from the LSB upward: acc = lt_i ∨ (eq_i ∧ acc).
+    let mut acc = lt_bits[0];
+    for i in 1..w {
+        let eq = b.xnor(a[i], c[i]);
+        let keep = b.and(eq, acc);
+        acc = b.or(lt_bits[i], keep);
+    }
+    acc
+}
+
+/// Builds a standalone equality circuit over two `w`-bit inputs
+/// (first operand wires `0..w`, second `w..2w`, little-endian).
+pub fn equality_circuit(w: usize) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let a = b.inputs(w);
+    let c = b.inputs(w);
+    let out = append_equality(&mut b, &a, &c);
+    b.output(out);
+    b.build()
+}
+
+/// Builds a standalone less-than circuit (`a < c`).
+pub fn less_than_circuit(w: usize) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let a = b.inputs(w);
+    let c = b.inputs(w);
+    let out = append_less_than(&mut b, &a, &c);
+    b.output(out);
+    b.build()
+}
+
+/// Encodes a number as `w` little-endian input bits.
+pub fn to_bits(x: u64, w: usize) -> Vec<bool> {
+    (0..w).map(|i| (x >> i) & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_gate_count_is_2w_minus_1() {
+        for w in [1usize, 4, 8, 32] {
+            let c = equality_circuit(w);
+            assert_eq!(c.gate_count(), equality_gate_count(w), "w={w}");
+        }
+    }
+
+    #[test]
+    fn less_than_gate_count_is_5w_minus_3() {
+        for w in [1usize, 4, 8, 32] {
+            let c = less_than_circuit(w);
+            assert_eq!(c.gate_count(), less_than_gate_count(w), "w={w}");
+        }
+    }
+
+    #[test]
+    fn equality_exhaustive_4bit() {
+        let c = equality_circuit(4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let mut input = to_bits(a, 4);
+                input.extend(to_bits(b, 4));
+                assert_eq!(c.eval(&input).unwrap(), vec![a == b], "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn less_than_exhaustive_4bit() {
+        let c = less_than_circuit(4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let mut input = to_bits(a, 4);
+                input.extend(to_bits(b, 4));
+                assert_eq!(c.eval(&input).unwrap(), vec![a < b], "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_operands_spot_checks() {
+        let c = less_than_circuit(32);
+        for (a, b) in [
+            (0u64, 1u64),
+            (1, 0),
+            (0xffff_fffe, 0xffff_ffff),
+            (0xffff_ffff, 0xffff_ffff),
+            (0x8000_0000, 0x7fff_ffff),
+        ] {
+            let mut input = to_bits(a, 32);
+            input.extend(to_bits(b, 32));
+            assert_eq!(c.eval(&input).unwrap(), vec![a < b], "a={a:#x} b={b:#x}");
+        }
+    }
+
+    #[test]
+    fn paper_constants_at_w32() {
+        // The Appendix sets Ge and Gl at w = 32.
+        assert_eq!(equality_gate_count(32), 63);
+        assert_eq!(less_than_gate_count(32), 157);
+    }
+}

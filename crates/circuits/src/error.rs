@@ -1,0 +1,63 @@
+//! Error type for circuit construction, evaluation and garbling.
+
+use std::fmt;
+
+/// Errors from the circuit layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// Evaluation received the wrong number of input bits.
+    InputArity {
+        /// Inputs the circuit declares.
+        expected: usize,
+        /// Inputs supplied.
+        got: usize,
+    },
+    /// A gate references a wire that does not exist yet.
+    DanglingWire {
+        /// The offending wire id.
+        wire: usize,
+    },
+    /// A garbled table entry failed to decrypt consistently.
+    GarbleDecode,
+    /// Oblivious transfer failed while coding evaluator inputs.
+    OtFailed {
+        /// Underlying failure.
+        detail: String,
+    },
+    /// Output decoding information did not match the produced labels.
+    OutputDecode,
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::InputArity { expected, got } => {
+                write!(f, "circuit expects {expected} input bits, got {got}")
+            }
+            CircuitError::DanglingWire { wire } => {
+                write!(f, "gate references undefined wire {wire}")
+            }
+            CircuitError::GarbleDecode => write!(f, "garbled-table decryption failed"),
+            CircuitError::OtFailed { detail } => write!(f, "oblivious transfer failed: {detail}"),
+            CircuitError::OutputDecode => write!(f, "output label did not decode"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(CircuitError::InputArity {
+            expected: 4,
+            got: 2
+        }
+        .to_string()
+        .contains("4"));
+        assert!(CircuitError::GarbleDecode.to_string().contains("garbled"));
+    }
+}

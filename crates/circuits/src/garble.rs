@@ -1,0 +1,419 @@
+//! Yao garbled circuits with point-and-permute, plus the OT-coded input
+//! step — the executable version of the Appendix-A baseline.
+//!
+//! The protocol the paper prices (A, citing \[33, 37\]) has two phases:
+//!
+//! * **Coding `R`'s input** — one 1-out-of-2 oblivious transfer per input
+//!   bit of the evaluator (`w · |V_R|` transfers), delivering the wire
+//!   label for the bit's value;
+//! * **Computing the circuit** — for each gate the evaluator receives a
+//!   table from `S` (`4·k'` bits) and applies a pseudorandom function to
+//!   decrypt the output-wire label.
+//!
+//! Labels are 128-bit ([`LABEL_LEN`]); the last bit of each label is its
+//! public *color* (permute bit), which indexes the garbled table so the
+//! evaluator decrypts exactly one row.
+
+use minshare_crypto::ot::ObliviousTransfer;
+use minshare_crypto::QrGroup;
+use minshare_hash::RandomOracle;
+use rand::Rng;
+
+use crate::circuit::{Circuit, GateOp};
+use crate::error::CircuitError;
+
+/// Wire-label length in bytes (the paper's `k' = 64` bits is scaled to a
+/// modern 128 bits; the cost model keeps `k'` as a parameter).
+pub const LABEL_LEN: usize = 16;
+
+/// A wire label.
+pub type Label = [u8; LABEL_LEN];
+
+/// The color (permute) bit carried in a label's last bit.
+fn color(label: &Label) -> bool {
+    label[LABEL_LEN - 1] & 1 == 1
+}
+
+/// The transferable part of a garbling: everything the evaluator needs
+/// except input labels.
+#[derive(Debug, Clone)]
+pub struct GarbledTables {
+    /// Per gate: 4 rows (2 for NOT), indexed by input colors.
+    pub tables: Vec<Vec<Label>>,
+    /// Per circuit output: the permute bit, so the evaluator can decode
+    /// its label's color into a plaintext bit.
+    pub output_colors: Vec<bool>,
+}
+
+impl GarbledTables {
+    /// Total table bytes shipped — the paper's `4·k'` bits per gate
+    /// (NOT gates ship half).
+    pub fn wire_bytes(&self) -> usize {
+        self.tables.iter().map(|t| t.len() * LABEL_LEN).sum()
+    }
+}
+
+/// The garbler's full view: tables plus the secret label pairs.
+#[derive(Debug, Clone)]
+pub struct Garbling {
+    /// What gets sent to the evaluator.
+    pub tables: GarbledTables,
+    /// Secret: both labels for every wire (`wire_labels[w][bit]`).
+    wire_labels: Vec<[Label; 2]>,
+}
+
+/// The gate-row cipher: `H(gate_id ‖ operand labels)` truncated to a
+/// label, XORed onto the output label.
+fn row_pad(oracle: &RandomOracle, gate_id: usize, a: &Label, b: Option<&Label>) -> Label {
+    let mut input = Vec::with_capacity(8 + 2 * LABEL_LEN);
+    input.extend_from_slice(&(gate_id as u64).to_be_bytes());
+    input.extend_from_slice(a);
+    if let Some(b) = b {
+        input.extend_from_slice(b);
+    }
+    let bytes = oracle.expand(&input, LABEL_LEN);
+    let mut out = [0u8; LABEL_LEN];
+    out.copy_from_slice(&bytes);
+    out
+}
+
+fn xor_labels(a: &Label, b: &Label) -> Label {
+    let mut out = [0u8; LABEL_LEN];
+    for i in 0..LABEL_LEN {
+        out[i] = a[i] ^ b[i];
+    }
+    out
+}
+
+fn garble_oracle() -> RandomOracle {
+    RandomOracle::new(b"minshare/garble/v1")
+}
+
+/// Samples a label pair with opposite colors.
+fn fresh_pair<R: Rng + ?Sized>(rng: &mut R) -> [Label; 2] {
+    let mut l0 = [0u8; LABEL_LEN];
+    let mut l1 = [0u8; LABEL_LEN];
+    rng.fill_bytes(&mut l0);
+    rng.fill_bytes(&mut l1);
+    // Random permute bit: color(l0) random, color(l1) its complement.
+    l1[LABEL_LEN - 1] = (l1[LABEL_LEN - 1] & 0xfe) | (l0[LABEL_LEN - 1] & 1 ^ 1);
+    [l0, l1]
+}
+
+/// Garbles `circuit` with fresh labels.
+pub fn garble<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R) -> Garbling {
+    let oracle = garble_oracle();
+    let mut wire_labels: Vec<[Label; 2]> = Vec::with_capacity(circuit.n_wires());
+    for _ in 0..circuit.n_inputs {
+        wire_labels.push(fresh_pair(rng));
+    }
+
+    let mut tables = Vec::with_capacity(circuit.gates.len());
+    for (gate_idx, gate) in circuit.gates.iter().enumerate() {
+        let out_pair = fresh_pair(rng);
+        let a_pair = wire_labels[gate.a];
+        match gate.op {
+            GateOp::Not => {
+                // Unary: 2 rows indexed by color(a).
+                let mut rows = vec![[0u8; LABEL_LEN]; 2];
+                #[allow(clippy::needless_range_loop)] // truth-table index
+                for va in 0..2usize {
+                    let vc = gate.op.apply(va == 1, va == 1) as usize;
+                    let row = color(&a_pair[va]) as usize;
+                    let pad = row_pad(&oracle, gate_idx, &a_pair[va], None);
+                    rows[row] = xor_labels(&out_pair[vc], &pad);
+                }
+                tables.push(rows);
+            }
+            _ => {
+                let b_pair = wire_labels[gate.b];
+                let mut rows = vec![[0u8; LABEL_LEN]; 4];
+                #[allow(clippy::needless_range_loop)] // truth-table index
+                for va in 0..2usize {
+                    for vb in 0..2usize {
+                        let vc = gate.op.apply(va == 1, vb == 1) as usize;
+                        let row =
+                            ((color(&a_pair[va]) as usize) << 1) | color(&b_pair[vb]) as usize;
+                        let pad = row_pad(&oracle, gate_idx, &a_pair[va], Some(&b_pair[vb]));
+                        rows[row] = xor_labels(&out_pair[vc], &pad);
+                    }
+                }
+                tables.push(rows);
+            }
+        }
+        wire_labels.push(out_pair);
+    }
+
+    let output_colors = circuit
+        .outputs
+        .iter()
+        .map(|&w| color(&wire_labels[w][0]))
+        .collect();
+
+    Garbling {
+        tables: GarbledTables {
+            tables,
+            output_colors,
+        },
+        wire_labels,
+    }
+}
+
+impl Garbling {
+    /// The label encoding `value` on input wire `wire` (garbler-side
+    /// input coding; the evaluator's inputs travel by OT instead).
+    pub fn input_label(&self, wire: usize, value: bool) -> Label {
+        self.wire_labels[wire][value as usize]
+    }
+
+    /// Both labels of an input wire — the OT sender's message pair.
+    pub fn input_label_pair(&self, wire: usize) -> (Label, Label) {
+        (self.wire_labels[wire][0], self.wire_labels[wire][1])
+    }
+}
+
+/// Evaluates a garbled circuit given one label per input wire.
+/// Returns the decoded output bits.
+pub fn evaluate(
+    circuit: &Circuit,
+    tables: &GarbledTables,
+    input_labels: &[Label],
+) -> Result<Vec<bool>, CircuitError> {
+    if input_labels.len() != circuit.n_inputs {
+        return Err(CircuitError::InputArity {
+            expected: circuit.n_inputs,
+            got: input_labels.len(),
+        });
+    }
+    if tables.tables.len() != circuit.gates.len()
+        || tables.output_colors.len() != circuit.outputs.len()
+    {
+        return Err(CircuitError::GarbleDecode);
+    }
+    let oracle = garble_oracle();
+    let mut labels: Vec<Label> = Vec::with_capacity(circuit.n_wires());
+    labels.extend_from_slice(input_labels);
+    for (gate_idx, gate) in circuit.gates.iter().enumerate() {
+        let a = labels[gate.a];
+        let rows = &tables.tables[gate_idx];
+        let out = match gate.op {
+            GateOp::Not => {
+                if rows.len() != 2 {
+                    return Err(CircuitError::GarbleDecode);
+                }
+                let pad = row_pad(&oracle, gate_idx, &a, None);
+                xor_labels(&rows[color(&a) as usize], &pad)
+            }
+            _ => {
+                if rows.len() != 4 {
+                    return Err(CircuitError::GarbleDecode);
+                }
+                let b = labels[gate.b];
+                let row = ((color(&a) as usize) << 1) | color(&b) as usize;
+                let pad = row_pad(&oracle, gate_idx, &a, Some(&b));
+                xor_labels(&rows[row], &pad)
+            }
+        };
+        labels.push(out);
+    }
+    Ok(circuit
+        .outputs
+        .iter()
+        .zip(&tables.output_colors)
+        .map(|(&w, &perm)| color(&labels[w]) ^ perm)
+        .collect())
+}
+
+/// End-to-end two-party garbled evaluation: the garbler contributes
+/// `garbler_inputs` directly; the evaluator's `evaluator_inputs` (the
+/// remaining input wires) are delivered by 1-out-of-2 OT — one transfer
+/// per bit, exactly the cost the paper's A.1.1 accounting charges.
+///
+/// Returns the decoded outputs together with the number of OTs performed.
+pub fn two_party_evaluate<R: Rng + ?Sized>(
+    group: &QrGroup,
+    circuit: &Circuit,
+    garbler_inputs: &[bool],
+    evaluator_inputs: &[bool],
+    rng: &mut R,
+) -> Result<(Vec<bool>, usize), CircuitError> {
+    if garbler_inputs.len() + evaluator_inputs.len() != circuit.n_inputs {
+        return Err(CircuitError::InputArity {
+            expected: circuit.n_inputs,
+            got: garbler_inputs.len() + evaluator_inputs.len(),
+        });
+    }
+    let garbling = garble(circuit, rng);
+    let ot = ObliviousTransfer::new(group.clone(), b"garbled-input-coding");
+
+    let mut input_labels = Vec::with_capacity(circuit.n_inputs);
+    // Garbler wires come first by convention.
+    for (i, &bit) in garbler_inputs.iter().enumerate() {
+        input_labels.push(garbling.input_label(i, bit));
+    }
+    // Evaluator wires: one OT each.
+    let mut ots = 0usize;
+    for (j, &bit) in evaluator_inputs.iter().enumerate() {
+        let wire = garbler_inputs.len() + j;
+        let (l0, l1) = garbling.input_label_pair(wire);
+        let (state, query) = ot
+            .receiver_query(bit, rng)
+            .map_err(|e| CircuitError::OtFailed {
+                detail: e.to_string(),
+            })?;
+        let resp =
+            ot.sender_respond(&query, &l0, &l1, rng)
+                .map_err(|e| CircuitError::OtFailed {
+                    detail: e.to_string(),
+                })?;
+        let label_bytes =
+            ot.receiver_recover(&state, &resp)
+                .map_err(|e| CircuitError::OtFailed {
+                    detail: e.to_string(),
+                })?;
+        let mut label = [0u8; LABEL_LEN];
+        label.copy_from_slice(&label_bytes);
+        input_labels.push(label);
+        ots += 1;
+    }
+
+    let outputs = evaluate(circuit, &garbling.tables, &input_labels)?;
+    Ok((outputs, ots))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::comparator::{equality_circuit, to_bits};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x6a5b1ed)
+    }
+
+    #[test]
+    fn garbled_equals_plain_on_all_gate_types() {
+        let mut b = CircuitBuilder::new();
+        let ins = b.inputs(2);
+        let and = b.and(ins[0], ins[1]);
+        let or = b.or(ins[0], ins[1]);
+        let xor = b.xor(ins[0], ins[1]);
+        let xnor = b.xnor(ins[0], ins[1]);
+        let not = b.not(ins[0]);
+        for w in [and, or, xor, xnor, not] {
+            b.output(w);
+        }
+        let c = b.build();
+        let mut r = rng();
+        let garbling = garble(&c, &mut r);
+        for bits in 0..4u8 {
+            let input = [bits & 1 == 1, bits & 2 == 2];
+            let labels: Vec<Label> = (0..2).map(|i| garbling.input_label(i, input[i])).collect();
+            let got = evaluate(&c, &garbling.tables, &labels).unwrap();
+            assert_eq!(got, c.eval(&input).unwrap(), "bits={bits:02b}");
+        }
+    }
+
+    #[test]
+    fn garbled_equality_circuit_exhaustive() {
+        let w = 3;
+        let c = equality_circuit(w);
+        let mut r = rng();
+        let garbling = garble(&c, &mut r);
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                let mut input = to_bits(a, w);
+                input.extend(to_bits(b, w));
+                let labels: Vec<Label> = input
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| garbling.input_label(i, v))
+                    .collect();
+                let got = evaluate(&c, &garbling.tables, &labels).unwrap();
+                assert_eq!(got, vec![a == b], "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_reveal_nothing_structurally() {
+        // The two labels of a wire differ in their color bit and the
+        // evaluator only ever sees one of them.
+        let c = equality_circuit(2);
+        let mut r = rng();
+        let garbling = garble(&c, &mut r);
+        for wire in 0..c.n_inputs {
+            let (l0, l1) = garbling.input_label_pair(wire);
+            assert_ne!(l0, l1);
+            assert_ne!(color(&l0), color(&l1));
+        }
+    }
+
+    #[test]
+    fn table_sizes_match_cost_model() {
+        // 4 rows of k' bits per binary gate.
+        let c = equality_circuit(4); // 2w-1 = 7 binary gates
+        let mut r = rng();
+        let garbling = garble(&c, &mut r);
+        assert_eq!(garbling.tables.wire_bytes(), 7 * 4 * LABEL_LEN);
+    }
+
+    #[test]
+    fn two_party_with_ot_matches_plain() {
+        let mut seed_rng = StdRng::seed_from_u64(31);
+        let group = QrGroup::generate(&mut seed_rng, 64).unwrap();
+        let w = 4;
+        let c = equality_circuit(w);
+        let mut r = rng();
+        for (a, b) in [(5u64, 5u64), (5, 9), (0, 0), (15, 14)] {
+            let ga = to_bits(a, w);
+            let eb = to_bits(b, w);
+            let (out, ots) = two_party_evaluate(&group, &c, &ga, &eb, &mut r).unwrap();
+            assert_eq!(out, vec![a == b], "a={a} b={b}");
+            assert_eq!(ots, w, "one OT per evaluator input bit");
+        }
+    }
+
+    #[test]
+    fn wrong_label_scrambles_output() {
+        let c = equality_circuit(2);
+        let mut r = rng();
+        let garbling = garble(&c, &mut r);
+        let input = [true, false, true, false];
+        let mut labels: Vec<Label> = input
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| garbling.input_label(i, v))
+            .collect();
+        // Corrupt one label entirely: decryption pads no longer line up,
+        // so the result is unrelated garbage (usually wrong output or
+        // inconsistent labels).
+        labels[0] = [0xEE; LABEL_LEN];
+        let got = evaluate(&c, &garbling.tables, &labels).unwrap();
+        // There is a 50% chance per output bit of accidental agreement;
+        // with one output we just require the call not to panic. The
+        // meaningful guarantee — semantic security of labels — is
+        // structural, tested above.
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn evaluate_validates_shapes() {
+        let c = equality_circuit(2);
+        let mut r = rng();
+        let garbling = garble(&c, &mut r);
+        assert!(matches!(
+            evaluate(&c, &garbling.tables, &[]),
+            Err(CircuitError::InputArity { .. })
+        ));
+        let mut bad = garbling.tables.clone();
+        bad.tables.pop();
+        let labels: Vec<Label> = (0..4).map(|i| garbling.input_label(i, false)).collect();
+        assert!(matches!(
+            evaluate(&c, &bad, &labels),
+            Err(CircuitError::GarbleDecode)
+        ));
+    }
+}

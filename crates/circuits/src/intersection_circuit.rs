@@ -1,0 +1,126 @@
+//! The brute-force intersection circuit of Appendix A.1.2: compare every
+//! number in `V_R` with every number in `V_S` and OR-merge per `V_R`
+//! element, outputting the membership vector `~z`.
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::{Circuit, GateOp};
+use crate::comparator::{append_equality, equality_gate_count};
+
+/// Gate count of the brute-force circuit (the paper's lower bound is the
+/// comparator term `|V_R|·|V_S|·Ge`; the exact count adds the OR-merges).
+pub fn brute_force_gate_count(w: usize, n_s: usize, n_r: usize) -> usize {
+    n_r * n_s * equality_gate_count(w) + n_r * n_s.saturating_sub(1)
+}
+
+/// The paper's lower bound `|V_R| · |V_S| · Ge`.
+pub fn brute_force_gate_lower_bound(w: usize, n_s: usize, n_r: usize) -> u128 {
+    n_r as u128 * n_s as u128 * equality_gate_count(w) as u128
+}
+
+/// Builds the brute-force intersection circuit.
+///
+/// Inputs: `S`'s `n_s` numbers of `w` bits each (wires
+/// `0 .. n_s·w`, little-endian per number), then `R`'s `n_r` numbers
+/// (wires `n_s·w .. (n_s+n_r)·w`). Outputs: `n_r` bits, bit `j` set iff
+/// `R`'s `j`-th number occurs among `S`'s numbers.
+pub fn brute_force_intersection_circuit(w: usize, n_s: usize, n_r: usize) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let s_words: Vec<Vec<_>> = (0..n_s).map(|_| b.inputs(w)).collect();
+    let r_words: Vec<Vec<_>> = (0..n_r).map(|_| b.inputs(w)).collect();
+    for r_word in &r_words {
+        let eqs: Vec<_> = s_words
+            .iter()
+            .map(|s_word| append_equality(&mut b, r_word, s_word))
+            .collect();
+        match b.tree(GateOp::Or, &eqs) {
+            Some(out) => b.output(out),
+            None => {
+                // n_s = 0: the answer is constantly false. Emit
+                // `r₀ XOR r₀` as a constant-false wire.
+                let f = b.xor(r_word[0], r_word[0]);
+                b.output(f);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Packs the two parties' inputs into the circuit's input bit vector.
+pub fn pack_inputs(w: usize, vs: &[u64], vr: &[u64]) -> Vec<bool> {
+    let mut bits = Vec::with_capacity((vs.len() + vr.len()) * w);
+    for &x in vs.iter().chain(vr) {
+        for i in 0..w {
+            bits.push((x >> i) & 1 == 1);
+        }
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_membership_vector() {
+        let w = 8;
+        let vs = [3u64, 77, 200];
+        let vr = [77u64, 5, 200, 3, 9];
+        let c = brute_force_intersection_circuit(w, vs.len(), vr.len());
+        let out = c.eval(&pack_inputs(w, &vs, &vr)).unwrap();
+        assert_eq!(out, vec![true, false, true, true, false]);
+    }
+
+    #[test]
+    fn gate_count_formula_exact() {
+        for (w, ns, nr) in [(8usize, 3usize, 5usize), (4, 1, 1), (16, 4, 2)] {
+            let c = brute_force_intersection_circuit(w, ns, nr);
+            assert_eq!(
+                c.gate_count(),
+                brute_force_gate_count(w, ns, nr),
+                "w={w} ns={ns} nr={nr}"
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bound_below_exact_count() {
+        let (w, ns, nr) = (32, 10, 10);
+        assert!(
+            brute_force_gate_lower_bound(w, ns, nr) <= brute_force_gate_count(w, ns, nr) as u128
+        );
+    }
+
+    #[test]
+    fn paper_brute_force_numbers() {
+        // Appendix A.1.2: w=32, n=|V_S|=|V_R| → 6.3e9 / 6.3e13 / 6.3e17.
+        for (n, expect) in [
+            (10_000u64, 6.3e9),
+            (1_000_000, 6.3e13),
+            (100_000_000, 6.3e17),
+        ] {
+            let gates = brute_force_gate_lower_bound(32, n as usize, n as usize) as f64;
+            let ratio = gates / expect;
+            assert!((0.9..1.1).contains(&ratio), "n={n}: {gates:.3e}");
+        }
+    }
+
+    #[test]
+    fn empty_sender_side() {
+        let w = 4;
+        let c = brute_force_intersection_circuit(w, 0, 2);
+        let out = c.eval(&pack_inputs(w, &[], &[1, 2])).unwrap();
+        assert_eq!(out, vec![false, false]);
+    }
+
+    #[test]
+    fn duplicate_sender_values_still_work() {
+        let w = 4;
+        let vs = [7u64, 7];
+        let vr = [7u64, 1];
+        let c = brute_force_intersection_circuit(w, 2, 2);
+        assert_eq!(
+            c.eval(&pack_inputs(w, &vs, &vr)).unwrap(),
+            vec![true, false]
+        );
+    }
+}

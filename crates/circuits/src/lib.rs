@@ -1,0 +1,33 @@
+//! # minshare-circuits
+//!
+//! The **circuit-based baseline** of the paper's Appendix A: generic
+//! secure two-party computation via Yao garbled circuits, implemented so
+//! the comparison against the specialized protocols is executable rather
+//! than purely analytic.
+//!
+//! * [`circuit`] / [`builder`] — a boolean-circuit IR with an evaluator,
+//! * [`comparator`] — equality (`2w−1` gates) and less-than (`5w−3`
+//!   gates) comparators matching the paper's gate counts exactly,
+//! * [`intersection_circuit`] — the brute-force pairwise intersection
+//!   circuit (`> |V_R|·|V_S|·Ge` gates, A.1.2),
+//! * [`partition`] — the partitioning-circuit gate-count model
+//!   `f(n) ≥ 2m²·G_l + (2m−1)·f(n/m)` with the optimal-`m` search that
+//!   reproduces the A.1.2 table,
+//! * [`garble`] — point-and-permute garbled circuits with oblivious
+//!   transfer of the evaluator's input labels (via `minshare-crypto`),
+//!   executable at small `n`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod circuit;
+pub mod comparator;
+pub mod error;
+pub mod garble;
+pub mod intersection_circuit;
+pub mod partition;
+
+pub use builder::CircuitBuilder;
+pub use circuit::{Circuit, Gate, GateOp, WireId};
+pub use error::CircuitError;

@@ -1,0 +1,122 @@
+//! The partitioning-circuit gate-count model of Appendix A.1.2.
+//!
+//! Instead of comparing all pairs, both sorted input arrays are split
+//! into `m` intervals; at most `2m − 1` of the `m²` interval pairs can
+//! interleave, and the circuit recurses into those. Choosing which pairs
+//! interleave costs `2m²` comparisons (`2m²·G_l` gates). The paper lower-
+//! bounds the resulting size by
+//!
+//! ```text
+//! f(n) ≥ (m²/(m−1) · G_l + G_e) · (n^{log_m(2m−1)} − 1)
+//! ```
+//!
+//! and evaluates it at `w = 32` for `n ∈ {10⁴, 10⁶, 10⁸}`, obtaining the
+//! table `m = 11/19/32`, `f(n) = 2.3·10⁸ / 7.3·10¹⁰ / 1.9·10¹³`. This
+//! module reproduces both the closed form and the optimal-`m` search.
+
+use crate::comparator::{equality_gate_count, less_than_gate_count};
+
+/// The closed-form lower bound `f(n)` for a given split factor `m`.
+///
+/// Returns `f64` because the paper's quantities overflow `u64` at
+/// `n = 10⁸` scale only in intermediate products; the final values are
+/// reported in floating point anyway.
+pub fn partition_gate_bound(n: f64, m: f64, w: usize) -> f64 {
+    assert!(m >= 2.0 && n >= 1.0);
+    let g_l = less_than_gate_count(w) as f64;
+    let g_e = equality_gate_count(w) as f64;
+    let exponent = (2.0 * m - 1.0).ln() / m.ln();
+    (m * m / (m - 1.0) * g_l + g_e) * (n.powf(exponent) - 1.0)
+}
+
+/// Searches the integer `m` minimizing [`partition_gate_bound`].
+pub fn optimal_split(n: f64, w: usize) -> (u32, f64) {
+    let mut best = (2u32, partition_gate_bound(n, 2.0, w));
+    for m in 3..=4096u32 {
+        let f = partition_gate_bound(n, m as f64, w);
+        if f < best.1 {
+            best = (m, f);
+        }
+    }
+    best
+}
+
+/// One row of the A.1.2 table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionRow {
+    /// Input size `n = |V_S| = |V_R|`.
+    pub n: f64,
+    /// Optimal split factor.
+    pub m: u32,
+    /// Partitioning-circuit gate count `f(n)`.
+    pub gates: f64,
+    /// Brute-force gate count `n²·Ge` for comparison.
+    pub brute_force_gates: f64,
+}
+
+/// Regenerates the A.1.2 table for the given sizes at `w = 32`.
+pub fn appendix_table(sizes: &[f64]) -> Vec<PartitionRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let (m, gates) = optimal_split(n, 32);
+            PartitionRow {
+                n,
+                m,
+                gates,
+                brute_force_gates: n * n * equality_gate_count(32) as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(actual: f64, expect: f64, tol: f64) -> bool {
+        (actual / expect - 1.0).abs() < tol
+    }
+
+    #[test]
+    fn reproduces_paper_table() {
+        // Paper: n=10^4 → m=11, f=2.3e8; n=10^6 → m=19, f=7.3e10;
+        //        n=10^8 → m=32, f=1.9e13.
+        let rows = appendix_table(&[1e4, 1e6, 1e8]);
+        assert_eq!(rows[0].m, 11);
+        assert!(close(rows[0].gates, 2.3e8, 0.05), "{:.3e}", rows[0].gates);
+        assert_eq!(rows[1].m, 19);
+        assert!(close(rows[1].gates, 7.3e10, 0.05), "{:.3e}", rows[1].gates);
+        assert_eq!(rows[2].m, 32);
+        assert!(close(rows[2].gates, 1.9e13, 0.05), "{:.3e}", rows[2].gates);
+    }
+
+    #[test]
+    fn reproduces_brute_force_column() {
+        let rows = appendix_table(&[1e4, 1e6, 1e8]);
+        assert!(close(rows[0].brute_force_gates, 6.3e9, 0.05));
+        assert!(close(rows[1].brute_force_gates, 6.3e13, 0.05));
+        assert!(close(rows[2].brute_force_gates, 6.3e17, 0.05));
+    }
+
+    #[test]
+    fn partitioning_beats_brute_force() {
+        for row in appendix_table(&[1e4, 1e6, 1e8]) {
+            assert!(row.gates < row.brute_force_gates, "n={}", row.n);
+        }
+    }
+
+    #[test]
+    fn bound_grows_with_n() {
+        let a = partition_gate_bound(1e4, 11.0, 32);
+        let b = partition_gate_bound(1e5, 11.0, 32);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn optimal_m_grows_with_n() {
+        let (m_small, _) = optimal_split(1e4, 32);
+        let (m_large, _) = optimal_split(1e8, 32);
+        assert!(m_large > m_small);
+    }
+}

@@ -1,0 +1,261 @@
+//! Hand-rolled argument parsing (the workspace deliberately avoids
+//! dependencies beyond its vetted list).
+
+use std::fmt;
+
+/// Which protocol to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// §3 intersection.
+    Intersect,
+    /// §5.1 intersection size.
+    IntersectSize,
+    /// §4 equijoin.
+    Join,
+    /// §5.2 equijoin size.
+    JoinSize,
+    /// Private intersection-sum (the §7 aggregation extension).
+    Sum,
+}
+
+impl Command {
+    fn parse(s: &str) -> Option<Command> {
+        match s {
+            "intersect" => Some(Command::Intersect),
+            "intersect-size" => Some(Command::IntersectSize),
+            "join" => Some(Command::Join),
+            "join-size" => Some(Command::JoinSize),
+            "sum" => Some(Command::Sum),
+            _ => None,
+        }
+    }
+}
+
+/// Which party this process plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The paper's `S`.
+    Sender,
+    /// The paper's `R`.
+    Receiver,
+}
+
+/// How the TCP connection is established.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Bind and wait for the peer.
+    Listen(String),
+    /// Connect to a waiting peer.
+    Connect(String),
+}
+
+/// Fully parsed invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The protocol to run.
+    pub command: Command,
+    /// Listen or connect.
+    pub endpoint: Endpoint,
+    /// Sender or receiver role.
+    pub side: Side,
+    /// Input file (one value per line; sender-side `join`/`sum` use
+    /// `value<TAB>payload` / `value<TAB>weight` lines).
+    pub values_path: String,
+    /// Safe-prime group size in bits.
+    pub group_bits: u64,
+    /// Paillier key size for `sum` (sender side generates).
+    pub key_bits: u64,
+    /// Wrap the connection in the authenticated-encryption channel.
+    pub secure: bool,
+    /// RNG seed; `None` = OS entropy.
+    pub seed: Option<u64>,
+}
+
+/// A parse failure with a usage hint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgsError(pub String);
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.0)?;
+        write!(f, "{USAGE}")
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: minshare <command> (--listen ADDR | --connect ADDR) --values FILE [options]
+
+commands:
+  intersect        private set intersection (paper §3)
+  intersect-size   intersection cardinality only (§5.1)
+  join             equijoin with payloads (§4); sender lines: value<TAB>payload
+  join-size        equijoin cardinality on multisets (§5.2)
+  sum              private intersection-sum (§7 extension); sender lines: value<TAB>weight
+
+options:
+  --as sender|receiver   role override (default: --listen ⇒ sender, --connect ⇒ receiver)
+  --group-bits N         safe-prime size: 768, 1024, 1536 or 2048 (default 768)
+  --key-bits N           Paillier modulus bits for `sum` (default 1024)
+  --secure               run inside the encrypted session channel
+  --seed N               deterministic RNG seed (default: OS entropy)
+";
+
+impl Args {
+    /// Parses a raw argument list (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgsError> {
+        let mut it = raw.into_iter();
+        let command = match it.next() {
+            Some(c) => {
+                Command::parse(&c).ok_or_else(|| ArgsError(format!("unknown command {c:?}")))?
+            }
+            None => return Err(ArgsError("missing command".to_string())),
+        };
+
+        let mut endpoint = None;
+        let mut side = None;
+        let mut values_path = None;
+        let mut group_bits = 768u64;
+        let mut key_bits = 1024u64;
+        let mut secure = false;
+        let mut seed = None;
+
+        let next_value =
+            |it: &mut dyn Iterator<Item = String>, flag: &str| -> Result<String, ArgsError> {
+                it.next()
+                    .ok_or_else(|| ArgsError(format!("{flag} requires a value")))
+            };
+
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--listen" => endpoint = Some(Endpoint::Listen(next_value(&mut it, "--listen")?)),
+                "--connect" => {
+                    endpoint = Some(Endpoint::Connect(next_value(&mut it, "--connect")?))
+                }
+                "--values" => values_path = Some(next_value(&mut it, "--values")?),
+                "--as" => {
+                    side = Some(match next_value(&mut it, "--as")?.as_str() {
+                        "sender" => Side::Sender,
+                        "receiver" => Side::Receiver,
+                        other => {
+                            return Err(ArgsError(format!(
+                                "--as expects sender|receiver, got {other:?}"
+                            )))
+                        }
+                    })
+                }
+                "--group-bits" => {
+                    group_bits = next_value(&mut it, "--group-bits")?
+                        .parse()
+                        .map_err(|_| ArgsError("--group-bits expects a number".to_string()))?
+                }
+                "--key-bits" => {
+                    key_bits = next_value(&mut it, "--key-bits")?
+                        .parse()
+                        .map_err(|_| ArgsError("--key-bits expects a number".to_string()))?
+                }
+                "--secure" => secure = true,
+                "--seed" => {
+                    seed = Some(
+                        next_value(&mut it, "--seed")?
+                            .parse()
+                            .map_err(|_| ArgsError("--seed expects a number".to_string()))?,
+                    )
+                }
+                other => return Err(ArgsError(format!("unknown option {other:?}"))),
+            }
+        }
+
+        let endpoint =
+            endpoint.ok_or_else(|| ArgsError("one of --listen/--connect is required".into()))?;
+        let side = side.unwrap_or(match endpoint {
+            Endpoint::Listen(_) => Side::Sender,
+            Endpoint::Connect(_) => Side::Receiver,
+        });
+        let values_path =
+            values_path.ok_or_else(|| ArgsError("--values FILE is required".into()))?;
+
+        Ok(Args {
+            command,
+            endpoint,
+            side,
+            values_path,
+            group_bits,
+            key_bits,
+            secure,
+            seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, ArgsError> {
+        Args::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_minimal_sender() {
+        let a = parse(&["intersect", "--listen", "0.0.0.0:9000", "--values", "v.txt"]).unwrap();
+        assert_eq!(a.command, Command::Intersect);
+        assert_eq!(a.endpoint, Endpoint::Listen("0.0.0.0:9000".into()));
+        assert_eq!(a.side, Side::Sender);
+        assert_eq!(a.group_bits, 768);
+        assert!(!a.secure);
+    }
+
+    #[test]
+    fn connect_defaults_to_receiver() {
+        let a = parse(&["join", "--connect", "h:1", "--values", "v"]).unwrap();
+        assert_eq!(a.side, Side::Receiver);
+        assert_eq!(a.command, Command::Join);
+    }
+
+    #[test]
+    fn role_override_and_options() {
+        let a = parse(&[
+            "sum",
+            "--listen",
+            "h:1",
+            "--as",
+            "receiver",
+            "--values",
+            "v",
+            "--group-bits",
+            "1024",
+            "--key-bits",
+            "512",
+            "--secure",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        assert_eq!(a.side, Side::Receiver);
+        assert_eq!(a.group_bits, 1024);
+        assert_eq!(a.key_bits, 512);
+        assert!(a.secure);
+        assert_eq!(a.seed, Some(7));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["intersect", "--values", "v"]).is_err()); // no endpoint
+        assert!(parse(&["intersect", "--listen", "h:1"]).is_err()); // no values
+        assert!(parse(&["intersect", "--listen"]).is_err()); // dangling flag
+        assert!(parse(&[
+            "intersect",
+            "--listen",
+            "h:1",
+            "--values",
+            "v",
+            "--as",
+            "nobody"
+        ])
+        .is_err());
+        assert!(parse(&["intersect", "--listen", "h:1", "--values", "v", "--bogus"]).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Input-file parsing: one value per line, with optional tab-separated
+//! payload (for `join` senders) or weight (for `sum` senders).
+
+use std::fmt;
+use std::io::BufRead;
+
+/// An input-parsing failure.
+#[derive(Debug)]
+pub struct InputError(pub String);
+
+impl fmt::Display for InputError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "input error: {}", self.0)
+    }
+}
+
+impl std::error::Error for InputError {}
+
+/// Reads one value per line (trimmed; empty lines and `#` comments are
+/// skipped).
+pub fn read_values<R: BufRead>(reader: R) -> Result<Vec<Vec<u8>>, InputError> {
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| InputError(format!("line {}: {e}", lineno + 1)))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        out.push(trimmed.as_bytes().to_vec());
+    }
+    Ok(out)
+}
+
+/// Parsed `(value, payload)` entries.
+pub type ValuePayloads = Vec<(Vec<u8>, Vec<u8>)>;
+
+/// Reads `value<TAB>payload` lines (payload may be empty).
+pub fn read_value_payloads<R: BufRead>(reader: R) -> Result<ValuePayloads, InputError> {
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| InputError(format!("line {}: {e}", lineno + 1)))?;
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.trim().is_empty() || trimmed.trim_start().starts_with('#') {
+            continue;
+        }
+        let (value, payload) = match trimmed.split_once('\t') {
+            Some((v, p)) => (v, p),
+            None => (trimmed, ""),
+        };
+        out.push((value.as_bytes().to_vec(), payload.as_bytes().to_vec()));
+    }
+    Ok(out)
+}
+
+/// Reads `value<TAB>weight` lines (missing weight = 0).
+pub fn read_value_weights<R: BufRead>(reader: R) -> Result<Vec<(Vec<u8>, u64)>, InputError> {
+    read_value_payloads(reader)?
+        .into_iter()
+        .enumerate()
+        .map(|(i, (v, w))| {
+            let weight = if w.is_empty() {
+                0
+            } else {
+                std::str::from_utf8(&w)
+                    .ok()
+                    .and_then(|s| s.trim().parse().ok())
+                    .ok_or_else(|| {
+                        InputError(format!(
+                            "entry {}: weight is not a non-negative integer",
+                            i + 1
+                        ))
+                    })?
+            };
+            Ok((v, weight))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_skip_blanks_and_comments() {
+        let text = "alice\n\n# comment\n  bob  \n";
+        let v = read_values(text.as_bytes()).unwrap();
+        assert_eq!(v, vec![b"alice".to_vec(), b"bob".to_vec()]);
+    }
+
+    #[test]
+    fn payload_lines_split_on_first_tab() {
+        let text = "k1\tsome payload\twith tab\nk2\nk3\t\n";
+        let v = read_value_payloads(text.as_bytes()).unwrap();
+        assert_eq!(v[0], (b"k1".to_vec(), b"some payload\twith tab".to_vec()));
+        assert_eq!(v[1], (b"k2".to_vec(), b"".to_vec()));
+        assert_eq!(v[2], (b"k3".to_vec(), b"".to_vec()));
+    }
+
+    #[test]
+    fn weights_parse_and_validate() {
+        let good = "a\t10\nb\t0\nc\n";
+        let v = read_value_weights(good.as_bytes()).unwrap();
+        assert_eq!(
+            v,
+            vec![(b"a".to_vec(), 10), (b"b".to_vec(), 0), (b"c".to_vec(), 0),]
+        );
+        assert!(read_value_weights("a\tnotanumber\n".as_bytes()).is_err());
+        assert!(read_value_weights("a\t-3\n".as_bytes()).is_err());
+    }
+}

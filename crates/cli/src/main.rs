@@ -1,0 +1,284 @@
+//! `minshare` — run the private-database protocols between two real
+//! processes over TCP.
+//!
+//! ```text
+//! # terminal 1 (the sender S, holding its private list)
+//! minshare intersect --listen 127.0.0.1:7100 --values supplier.txt
+//!
+//! # terminal 2 (the receiver R)
+//! minshare intersect --connect 127.0.0.1:7100 --values retailer.txt
+//! ```
+//!
+//! The receiver prints the intersection; each side prints what it learned
+//! and the exact cost accounting to stderr. See `--help` / [`args::USAGE`]
+//! for the other protocols.
+
+mod args;
+mod input;
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use args::{Args, Command, Endpoint, Side, USAGE};
+use minshare::prelude::*;
+use minshare_aggregate::intersection_sum;
+use minshare_aggregate::paillier::PrivateKey;
+use minshare_net::secure::{Role, SecureChannel};
+use minshare_net::tcp::{TcpAcceptor, TcpTransport};
+use minshare_net::Transport;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        println!(
+            "\nlocal query mode:\n  \
+             minshare query --sql 'SELECT …' --table 'NAME=file.csv;col:type,col:type' …\n  \
+             types: int, text, bool, bytes — runs the SQL locally and prints CSV"
+        );
+        return ExitCode::SUCCESS;
+    }
+    if raw.first().map(|s| s.as_str()) == Some("query") {
+        return match run_query(&raw[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let parsed = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Local (non-protocol) mode: load CSV tables into the relational
+/// substrate and run one SQL statement against them.
+fn run_query(raw: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use minshare_privdb::{csvio, sql, ColumnType, Schema};
+
+    let mut sql_text = None;
+    let mut specs: Vec<String> = Vec::new();
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sql" => sql_text = Some(it.next().ok_or("--sql requires a value")?.clone()),
+            "--table" => specs.push(it.next().ok_or("--table requires a value")?.clone()),
+            other => return Err(format!("unknown query option {other:?}").into()),
+        }
+    }
+    let sql_text = sql_text.ok_or("--sql is required")?;
+    if specs.is_empty() {
+        return Err("at least one --table NAME=FILE;col:type,… is required".into());
+    }
+
+    let mut catalog = sql::Catalog::new();
+    for spec in &specs {
+        // NAME=PATH;col:type,col:type
+        let (name, rest) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("bad --table spec {spec:?}: missing '='"))?;
+        let (path, schema_text) = rest
+            .split_once(';')
+            .ok_or_else(|| format!("bad --table spec {spec:?}: missing ';schema'"))?;
+        let mut cols = Vec::new();
+        for col in schema_text.split(',') {
+            let (cname, ty) = col
+                .split_once(':')
+                .ok_or_else(|| format!("bad column spec {col:?}"))?;
+            let ty = match ty.trim() {
+                "int" => ColumnType::Int,
+                "text" => ColumnType::Text,
+                "bool" => ColumnType::Bool,
+                "bytes" => ColumnType::Bytes,
+                other => return Err(format!("unknown type {other:?}").into()),
+            };
+            cols.push((cname.trim(), ty));
+        }
+        let schema = Schema::new(cols)?;
+        let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        let table = csvio::read_csv(name, schema, BufReader::new(file))?;
+        eprintln!("loaded {name}: {} rows", table.len());
+        catalog.register(table);
+    }
+
+    let result = sql::execute(&catalog, &sql_text)?;
+    let mut out = Vec::new();
+    csvio::write_csv(&result, &mut out)?;
+    print!("{}", String::from_utf8_lossy(&out));
+    eprintln!("{} rows", result.len());
+    Ok(())
+}
+
+fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = match args.seed {
+        Some(s) => StdRng::seed_from_u64(s),
+        None => StdRng::seed_from_u64(rand::rng().next_u64()),
+    };
+
+    eprintln!("loading group ({} bits)…", args.group_bits);
+    let group = match args.group_bits {
+        768 | 1024 | 1536 | 2048 => QrGroup::well_known(args.group_bits)?,
+        other => {
+            eprintln!("generating a fresh {other}-bit safe prime (may take a while)…");
+            QrGroup::generate(&mut rng, other)?
+        }
+    };
+
+    // Establish the TCP link.
+    let tcp = match &args.endpoint {
+        Endpoint::Listen(addr) => {
+            let acceptor = TcpAcceptor::bind(addr.as_str())?;
+            eprintln!("listening on {}…", acceptor.local_addr()?);
+            let (t, peer) = acceptor.accept()?;
+            eprintln!("peer connected from {peer}");
+            t
+        }
+        Endpoint::Connect(addr) => {
+            eprintln!("connecting to {addr}…");
+            TcpTransport::connect(addr.as_str())?
+        }
+    };
+
+    // Optionally wrap in the encrypted session (connector initiates).
+    let mut transport: Box<dyn Transport> = if args.secure {
+        let role = match args.endpoint {
+            Endpoint::Listen(_) => Role::Responder,
+            Endpoint::Connect(_) => Role::Initiator,
+        };
+        eprintln!("establishing encrypted channel…");
+        Box::new(SecureChannel::establish(tcp, &group, role, &mut rng)?)
+    } else {
+        Box::new(tcp)
+    };
+
+    let file = File::open(&args.values_path)
+        .map_err(|e| format!("cannot open {}: {e}", args.values_path))?;
+    let reader = BufReader::new(file);
+
+    match (args.command, args.side) {
+        (Command::Intersect, Side::Sender) => {
+            let values = input::read_values(reader)?;
+            eprintln!("running intersection as S with {} values…", values.len());
+            let out = intersection::run_sender(&mut *transport, &group, &values, &mut rng)?;
+            eprintln!("done: peer set size |V_R| = {}", out.peer_set_size);
+            eprintln!("cost: {} Ce, {} Ch", out.ops.total_ce(), out.ops.hashes);
+        }
+        (Command::Intersect, Side::Receiver) => {
+            let values = input::read_values(reader)?;
+            eprintln!("running intersection as R with {} values…", values.len());
+            let out = intersection::run_receiver(&mut *transport, &group, &values, &mut rng)?;
+            for v in &out.intersection {
+                println!("{}", String::from_utf8_lossy(v));
+            }
+            eprintln!(
+                "done: |V_S| = {}, intersection = {} values",
+                out.peer_set_size,
+                out.intersection.len()
+            );
+        }
+        (Command::IntersectSize, Side::Sender) => {
+            let values = input::read_values(reader)?;
+            let out = intersection_size::run_sender(&mut *transport, &group, &values, &mut rng)?;
+            eprintln!("done: |V_R| = {}", out.peer_set_size);
+        }
+        (Command::IntersectSize, Side::Receiver) => {
+            let values = input::read_values(reader)?;
+            let out = intersection_size::run_receiver(&mut *transport, &group, &values, &mut rng)?;
+            println!("{}", out.intersection_size);
+            eprintln!("done: |V_S| = {}", out.peer_set_size);
+        }
+        (Command::Join, Side::Sender) => {
+            let entries = input::read_value_payloads(reader)?;
+            let max_payload = entries.iter().map(|(_, p)| p.len()).max().unwrap_or(0);
+            let cipher = HybridCipher::new(group.clone(), max_payload.max(1));
+            // The receiver must size its cipher identically; ship the
+            // record length first as a tiny header frame.
+            transport.send(&(cipher.max_plaintext_len() as u32).to_be_bytes())?;
+            eprintln!("running equijoin as S with {} entries…", entries.len());
+            let out = equijoin::run_sender(&mut *transport, &group, &cipher, &entries, &mut rng)?;
+            eprintln!("done: |V_R| = {}", out.peer_set_size);
+        }
+        (Command::Join, Side::Receiver) => {
+            let values = input::read_values(reader)?;
+            let header = transport.recv()?;
+            if header.len() != 4 {
+                return Err("bad record-length header".into());
+            }
+            let record_len =
+                u32::from_be_bytes([header[0], header[1], header[2], header[3]]) as usize;
+            let cipher = HybridCipher::new(group.clone(), record_len);
+            eprintln!("running equijoin as R with {} values…", values.len());
+            let out = equijoin::run_receiver(&mut *transport, &group, &cipher, &values, &mut rng)?;
+            for (v, payload) in &out.matches {
+                println!(
+                    "{}\t{}",
+                    String::from_utf8_lossy(v),
+                    String::from_utf8_lossy(payload)
+                );
+            }
+            eprintln!(
+                "done: |V_S| = {}, matches = {}",
+                out.peer_set_size,
+                out.matches.len()
+            );
+        }
+        (Command::JoinSize, Side::Sender) => {
+            let values = input::read_values(reader)?;
+            let out = equijoin_size::run_sender(&mut *transport, &group, &values, &mut rng)?;
+            eprintln!(
+                "done: |V_R| = {} (duplicate distribution learned: {:?})",
+                out.peer_multiset_size, out.peer_duplicate_distribution
+            );
+        }
+        (Command::JoinSize, Side::Receiver) => {
+            let values = input::read_values(reader)?;
+            let out = equijoin_size::run_receiver(&mut *transport, &group, &values, &mut rng)?;
+            println!("{}", out.join_size);
+            eprintln!(
+                "done: |V_S| = {}, S's duplicate distribution: {:?}",
+                out.peer_multiset_size, out.peer_duplicate_distribution
+            );
+        }
+        (Command::Sum, Side::Sender) => {
+            let entries = input::read_value_weights(reader)?;
+            eprintln!("generating {}-bit Paillier key…", args.key_bits);
+            let key = PrivateKey::generate(&mut rng, args.key_bits)?;
+            eprintln!(
+                "running intersection-sum as S with {} entries…",
+                entries.len()
+            );
+            let out =
+                intersection_sum::run_sender(&mut *transport, &group, &key, &entries, &mut rng)?;
+            println!("count\t{}", out.intersection_count);
+            println!("sum\t{}", out.sum);
+            eprintln!("done: |V_R| = {}", out.peer_set_size);
+        }
+        (Command::Sum, Side::Receiver) => {
+            let values = input::read_values(reader)?;
+            eprintln!(
+                "running intersection-sum as R with {} values…",
+                values.len()
+            );
+            let out = intersection_sum::run_receiver(&mut *transport, &group, &values, &mut rng)?;
+            println!("count\t{}", out.intersection_count);
+            println!("sum\t{}", out.sum);
+            eprintln!("done: |V_S| = {}", out.peer_set_size);
+        }
+    }
+    Ok(())
+}

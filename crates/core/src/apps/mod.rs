@@ -1,0 +1,6 @@
+//! The paper's two motivating applications (§1.1), built on the
+//! protocols: selective document sharing (§6.2.1) and medical research
+//! (§6.2.2 / Figure 2).
+
+pub mod docshare;
+pub mod medical;

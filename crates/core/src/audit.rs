@@ -1,0 +1,369 @@
+//! Multi-query defenses (§2.3 "Limitations — Multiple Queries").
+//!
+//! The paper's guarantees are per-query; it explicitly defers what a peer
+//! can learn by *combining* queries, pointing to the statistical-database
+//! literature: "These techniques include restricting the size of query
+//! results \[17, 23\], controlling the overlap among successive queries
+//! \[19\], and keeping audit trails of all answered queries to detect
+//! possible compromises \[13\]."
+//!
+//! [`QueryAuditor`] implements exactly those three defenses for a party
+//! answering repeated minimal-sharing queries:
+//!
+//! * **query budget** — a hard cap on answered queries,
+//! * **result-size restriction** (Fellegi / Denning) — refuse to reveal
+//!   very small (or very large) intersections, which pinpoint
+//!   individuals,
+//! * **overlap control** (Dobkin–Jones–Lipton) — refuse a query whose
+//!   input set overlaps a previously answered query too much; this
+//!   blocks the classic *tracker* attack (ask for `Q` and `Q ∪ {x}` and
+//!   subtract),
+//! * **audit trail** — every decision is recorded for offline review.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why a query was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditRefusal {
+    /// The query budget is spent.
+    BudgetExhausted {
+        /// The configured maximum.
+        max_queries: u64,
+    },
+    /// The input set overlaps an earlier query too much.
+    OverlapTooHigh {
+        /// Index of the conflicting earlier query.
+        prior_query: usize,
+        /// Observed overlap fraction (|new ∩ old| / |new|).
+        overlap: f64,
+        /// The configured ceiling.
+        limit: f64,
+    },
+    /// The result is small enough to identify individuals.
+    ResultTooSmall {
+        /// Observed result size.
+        size: usize,
+        /// The configured floor.
+        minimum: usize,
+    },
+    /// The result covers almost the whole input (the complement becomes
+    /// identifying) — the dual of [`AuditRefusal::ResultTooSmall`].
+    ResultTooLarge {
+        /// Observed result size.
+        size: usize,
+        /// The configured ceiling.
+        maximum: usize,
+    },
+}
+
+impl fmt::Display for AuditRefusal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditRefusal::BudgetExhausted { max_queries } => {
+                write!(f, "query budget of {max_queries} exhausted")
+            }
+            AuditRefusal::OverlapTooHigh {
+                prior_query,
+                overlap,
+                limit,
+            } => write!(
+                f,
+                "overlap {overlap:.2} with query #{prior_query} exceeds limit {limit:.2}"
+            ),
+            AuditRefusal::ResultTooSmall { size, minimum } => {
+                write!(f, "result of {size} below the disclosure floor {minimum}")
+            }
+            AuditRefusal::ResultTooLarge { size, maximum } => {
+                write!(f, "result of {size} above the disclosure ceiling {maximum}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuditRefusal {}
+
+/// The policy knobs (all optional; `default()` allows everything).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditPolicy {
+    /// Maximum number of answered queries.
+    pub max_queries: Option<u64>,
+    /// Maximum allowed overlap fraction with any earlier query's input.
+    pub max_overlap: Option<f64>,
+    /// Smallest result size that may be released.
+    pub min_result_size: Option<usize>,
+    /// Largest result size that may be released (complement protection).
+    pub max_result_size: Option<usize>,
+}
+
+/// One audit-trail entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditRecord {
+    /// Sequence number.
+    pub index: usize,
+    /// Size of the query's input set.
+    pub input_size: usize,
+    /// Result size, for answered queries.
+    pub result_size: Option<usize>,
+    /// `None` = answered; `Some` = refused (and why).
+    pub refusal: Option<AuditRefusal>,
+}
+
+/// Tracks queries answered by one party and enforces an [`AuditPolicy`].
+#[derive(Debug, Clone)]
+pub struct QueryAuditor {
+    policy: AuditPolicy,
+    answered_inputs: Vec<BTreeSet<Vec<u8>>>,
+    trail: Vec<AuditRecord>,
+    answered: u64,
+}
+
+impl QueryAuditor {
+    /// Creates an auditor with the given policy.
+    pub fn new(policy: AuditPolicy) -> Self {
+        QueryAuditor {
+            policy,
+            answered_inputs: Vec::new(),
+            trail: Vec::new(),
+            answered: 0,
+        }
+    }
+
+    /// Pre-query gate: budget and overlap checks. Call before running
+    /// the protocol; on refusal, nothing is revealed and the refusal is
+    /// logged.
+    pub fn admit(&mut self, input: &[Vec<u8>]) -> Result<(), AuditRefusal> {
+        let distinct: BTreeSet<Vec<u8>> = input.iter().cloned().collect();
+        let refusal = self.admission_refusal(&distinct);
+        if let Some(r) = refusal {
+            self.trail.push(AuditRecord {
+                index: self.trail.len(),
+                input_size: distinct.len(),
+                result_size: None,
+                refusal: Some(r.clone()),
+            });
+            return Err(r);
+        }
+        Ok(())
+    }
+
+    fn admission_refusal(&self, distinct: &BTreeSet<Vec<u8>>) -> Option<AuditRefusal> {
+        if let Some(max) = self.policy.max_queries {
+            if self.answered >= max {
+                return Some(AuditRefusal::BudgetExhausted { max_queries: max });
+            }
+        }
+        if let Some(limit) = self.policy.max_overlap {
+            for (i, prior) in self.answered_inputs.iter().enumerate() {
+                if distinct.is_empty() {
+                    break;
+                }
+                let common = distinct.iter().filter(|v| prior.contains(*v)).count();
+                let overlap = common as f64 / distinct.len() as f64;
+                if overlap > limit {
+                    return Some(AuditRefusal::OverlapTooHigh {
+                        prior_query: i,
+                        overlap,
+                        limit,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Post-query gate: result-size restriction. Call with the computed
+    /// result size *before releasing it to the peer*; on refusal the
+    /// caller must suppress the answer.
+    pub fn release(&mut self, input: &[Vec<u8>], result_size: usize) -> Result<(), AuditRefusal> {
+        let distinct: BTreeSet<Vec<u8>> = input.iter().cloned().collect();
+        let refusal = if let Some(min) = self.policy.min_result_size {
+            // A zero-size result reveals only a negative and is always
+            // releasable; the floor protects small *positive* results.
+            if result_size > 0 && result_size < min {
+                Some(AuditRefusal::ResultTooSmall {
+                    size: result_size,
+                    minimum: min,
+                })
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let refusal = refusal.or_else(|| {
+            self.policy.max_result_size.and_then(|max| {
+                (result_size > max).then_some(AuditRefusal::ResultTooLarge {
+                    size: result_size,
+                    maximum: max,
+                })
+            })
+        });
+
+        self.trail.push(AuditRecord {
+            index: self.trail.len(),
+            input_size: distinct.len(),
+            result_size: Some(result_size),
+            refusal: refusal.clone(),
+        });
+        match refusal {
+            Some(r) => Err(r),
+            None => {
+                self.answered += 1;
+                self.answered_inputs.push(distinct);
+                Ok(())
+            }
+        }
+    }
+
+    /// Queries answered so far.
+    pub fn answered(&self) -> u64 {
+        self.answered
+    }
+
+    /// The full decision log.
+    pub fn trail(&self) -> &[AuditRecord] {
+        &self.trail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_values(strs: &[&str]) -> Vec<Vec<u8>> {
+        strs.iter().map(|s| s.as_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let mut a = QueryAuditor::new(AuditPolicy {
+            max_queries: Some(2),
+            ..Default::default()
+        });
+        for i in 0..2 {
+            let q = to_values(&[&format!("q{i}")]);
+            a.admit(&q).unwrap();
+            a.release(&q, 1).unwrap();
+        }
+        let q = to_values(&["q9"]);
+        assert!(matches!(
+            a.admit(&q),
+            Err(AuditRefusal::BudgetExhausted { max_queries: 2 })
+        ));
+        assert_eq!(a.answered(), 2);
+    }
+
+    #[test]
+    fn tracker_attack_blocked_by_overlap_control() {
+        // Classic tracker: ask {a,b,c}, then {a,b,c,x}; the size delta
+        // reveals x's membership. Overlap control refuses query 2.
+        let mut a = QueryAuditor::new(AuditPolicy {
+            max_overlap: Some(0.5),
+            ..Default::default()
+        });
+        let q1 = to_values(&["a", "b", "c"]);
+        a.admit(&q1).unwrap();
+        a.release(&q1, 2).unwrap();
+
+        let q2 = to_values(&["a", "b", "c", "x"]);
+        let err = a.admit(&q2).unwrap_err();
+        assert!(matches!(
+            err,
+            AuditRefusal::OverlapTooHigh { prior_query: 0, .. }
+        ));
+        // A genuinely fresh query still passes.
+        let q3 = to_values(&["p", "q", "r"]);
+        assert!(a.admit(&q3).is_ok());
+    }
+
+    #[test]
+    fn small_result_suppressed_zero_allowed() {
+        let mut a = QueryAuditor::new(AuditPolicy {
+            min_result_size: Some(5),
+            ..Default::default()
+        });
+        let q = to_values(&["a", "b", "c", "d", "e", "f"]);
+        a.admit(&q).unwrap();
+        assert!(matches!(
+            a.release(&q, 2),
+            Err(AuditRefusal::ResultTooSmall {
+                size: 2,
+                minimum: 5
+            })
+        ));
+        // Empty results carry only a negative — released.
+        a.admit(&q).unwrap();
+        assert!(a.release(&q, 0).is_ok());
+        // Comfortable results released.
+        let q2 = to_values(&["g", "h", "i", "j", "k", "l"]);
+        a.admit(&q2).unwrap();
+        assert!(a.release(&q2, 6).is_ok());
+    }
+
+    #[test]
+    fn large_result_ceiling() {
+        let mut a = QueryAuditor::new(AuditPolicy {
+            max_result_size: Some(3),
+            ..Default::default()
+        });
+        let q = to_values(&["a", "b", "c", "d"]);
+        a.admit(&q).unwrap();
+        assert!(matches!(
+            a.release(&q, 4),
+            Err(AuditRefusal::ResultTooLarge {
+                size: 4,
+                maximum: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn refused_queries_do_not_consume_budget_or_history() {
+        let mut a = QueryAuditor::new(AuditPolicy {
+            max_queries: Some(5),
+            min_result_size: Some(3),
+            max_overlap: Some(0.9),
+            ..Default::default()
+        });
+        let q = to_values(&["a", "b"]);
+        a.admit(&q).unwrap();
+        assert!(a.release(&q, 1).is_err()); // suppressed
+        assert_eq!(a.answered(), 0);
+        // The suppressed query's input is NOT in the overlap history, so
+        // re-asking (e.g. after policy review) is admissible.
+        assert!(a.admit(&q).is_ok());
+    }
+
+    #[test]
+    fn audit_trail_records_everything() {
+        let mut a = QueryAuditor::new(AuditPolicy {
+            max_queries: Some(1),
+            ..Default::default()
+        });
+        let q1 = to_values(&["a"]);
+        a.admit(&q1).unwrap();
+        a.release(&q1, 1).unwrap();
+        let q2 = to_values(&["b"]);
+        let _ = a.admit(&q2);
+        let trail = a.trail();
+        assert_eq!(trail.len(), 2);
+        assert!(trail[0].refusal.is_none());
+        assert_eq!(trail[0].result_size, Some(1));
+        assert!(matches!(
+            trail[1].refusal,
+            Some(AuditRefusal::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn permissive_default_policy() {
+        let mut a = QueryAuditor::new(AuditPolicy::default());
+        for i in 0..20 {
+            let q = to_values(&[&format!("v{}", i % 2)]); // heavy overlap
+            a.admit(&q).unwrap();
+            a.release(&q, i).unwrap();
+        }
+        assert_eq!(a.answered(), 20);
+    }
+}

@@ -1,0 +1,136 @@
+//! Error type for the protocol layer.
+
+use std::fmt;
+
+use minshare_crypto::CryptoError;
+use minshare_net::NetError;
+use minshare_privdb::DbError;
+
+/// Errors produced while running the minimal-sharing protocols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A cryptographic operation failed.
+    Crypto(CryptoError),
+    /// The transport failed.
+    Net(NetError),
+    /// The relational substrate failed.
+    Db(DbError),
+    /// A message arrived that does not fit the current protocol phase.
+    UnexpectedMessage {
+        /// What the engine was waiting for.
+        expected: &'static str,
+        /// What actually arrived.
+        got: &'static str,
+    },
+    /// A frame failed to parse as a protocol message.
+    MalformedMessage {
+        /// What went wrong.
+        detail: String,
+    },
+    /// A list that the protocol requires to be lexicographically sorted
+    /// was not (a semi-honest peer never sends this; treat as corruption).
+    NotSorted {
+        /// Which list.
+        what: &'static str,
+    },
+    /// Two distinct input values hashed to the same group element. The
+    /// paper prescribes detecting this by sorting the hashes (§3.2.2).
+    HashCollision,
+    /// A list had the wrong number of entries for the protocol phase.
+    LengthMismatch {
+        /// What the engine expected.
+        expected: usize,
+        /// What arrived.
+        got: usize,
+    },
+    /// The engine was driven out of order (a bug in the caller).
+    WrongPhase {
+        /// Description of the violated ordering.
+        detail: &'static str,
+    },
+    /// A worker thread panicked while running a party.
+    PartyPanicked {
+        /// Which party.
+        party: &'static str,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Crypto(e) => write!(f, "crypto: {e}"),
+            ProtocolError::Net(e) => write!(f, "net: {e}"),
+            ProtocolError::Db(e) => write!(f, "db: {e}"),
+            ProtocolError::UnexpectedMessage { expected, got } => {
+                write!(f, "expected {expected} message, got {got}")
+            }
+            ProtocolError::MalformedMessage { detail } => {
+                write!(f, "malformed message: {detail}")
+            }
+            ProtocolError::NotSorted { what } => {
+                write!(f, "{what} is required to be lexicographically sorted")
+            }
+            ProtocolError::HashCollision => {
+                write!(f, "hash collision detected among input values")
+            }
+            ProtocolError::LengthMismatch { expected, got } => {
+                write!(f, "expected {expected} entries, got {got}")
+            }
+            ProtocolError::WrongPhase { detail } => write!(f, "wrong phase: {detail}"),
+            ProtocolError::PartyPanicked { party } => {
+                write!(f, "{party} thread panicked")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Crypto(e) => Some(e),
+            ProtocolError::Net(e) => Some(e),
+            ProtocolError::Db(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CryptoError> for ProtocolError {
+    fn from(e: CryptoError) -> Self {
+        ProtocolError::Crypto(e)
+    }
+}
+
+impl From<NetError> for ProtocolError {
+    fn from(e: NetError) -> Self {
+        ProtocolError::Net(e)
+    }
+}
+
+impl From<DbError> for ProtocolError {
+    fn from(e: DbError) -> Self {
+        ProtocolError::Db(e)
+    }
+}
+
+impl From<minshare_bignum::BigNumError> for ProtocolError {
+    fn from(e: minshare_bignum::BigNumError) -> Self {
+        ProtocolError::Crypto(CryptoError::Arithmetic(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ProtocolError = CryptoError::NotSafePrime.into();
+        assert!(e.to_string().contains("crypto"));
+        let e: ProtocolError = NetError::Closed.into();
+        assert!(e.to_string().contains("net"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = ProtocolError::NotSorted { what: "Y_R" };
+        assert!(e.to_string().contains("Y_R"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Clear-text characterization of the §5.2 equijoin-size leak.
+//!
+//! §5.2 states exactly what the equijoin-size protocol reveals beyond the
+//! join size: partition each side's multiset by duplicate count
+//! (`V(d)` = values occurring `d` times); then `R` learns
+//! `|V_R(d) ∩ V_S(d')|` for every `(d, d')`. This module computes that
+//! quantity directly from the inputs, so tests and the E13 experiment can
+//! verify the protocol leaks **exactly** this much — no more, no less.
+
+use std::collections::BTreeMap;
+
+/// Partition of a multiset by duplicate count: `d → set of values with
+/// exactly d occurrences`.
+pub fn duplicate_partition(values: &[Vec<u8>]) -> BTreeMap<u64, Vec<Vec<u8>>> {
+    let mut counts: BTreeMap<&Vec<u8>, u64> = BTreeMap::new();
+    for v in values {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let mut partition: BTreeMap<u64, Vec<Vec<u8>>> = BTreeMap::new();
+    for (v, d) in counts {
+        partition.entry(d).or_default().push(v.clone());
+    }
+    partition
+}
+
+/// The §5.2 leak matrix computed in the clear:
+/// `(d, d') → |V_R(d) ∩ V_S(d')|`. Cells with value 0 are omitted.
+pub fn expected_class_intersections(
+    receiver_values: &[Vec<u8>],
+    sender_values: &[Vec<u8>],
+) -> BTreeMap<(u64, u64), u64> {
+    let r_part = duplicate_partition(receiver_values);
+    let s_part = duplicate_partition(sender_values);
+    let mut matrix = BTreeMap::new();
+    for (d_r, r_vals) in &r_part {
+        let r_set: std::collections::BTreeSet<&Vec<u8>> = r_vals.iter().collect();
+        for (d_s, s_vals) in &s_part {
+            let common = s_vals.iter().filter(|v| r_set.contains(v)).count() as u64;
+            if common > 0 {
+                matrix.insert((*d_r, *d_s), common);
+            }
+        }
+    }
+    matrix
+}
+
+/// How identifying the leak is: the fraction of matched values `R` can
+/// *uniquely* identify from the class matrix. A value is pinned down when
+/// its receiver-side class `V_R(d)` contains exactly one value that
+/// matched (i.e. the matrix row sums for `d` equal 1 and `|V_R(d)| = 1`,
+/// or every member of the class matched).
+///
+/// Two boundary cases from the paper: all duplicate counts equal — `R`
+/// learns only the intersection size (identifiability only when *all or
+/// none* of a class matched); all counts distinct — `R` learns the exact
+/// intersection.
+pub fn identifiable_match_fraction(receiver_values: &[Vec<u8>], sender_values: &[Vec<u8>]) -> f64 {
+    let r_part = duplicate_partition(receiver_values);
+    let s_counts = duplicate_partition(sender_values);
+    // Flatten sender counts: value → duplicate count.
+    let mut s_dup: BTreeMap<&Vec<u8>, u64> = BTreeMap::new();
+    for (d, vals) in &s_counts {
+        for v in vals {
+            s_dup.insert(v, *d);
+        }
+    }
+    let mut matched_total = 0u64;
+    let mut identifiable = 0u64;
+    for r_vals in r_part.values() {
+        // Within one receiver class, group matches by sender class.
+        let mut per_sender_class: BTreeMap<u64, u64> = BTreeMap::new();
+        for v in r_vals {
+            if let Some(d_s) = s_dup.get(v) {
+                *per_sender_class.entry(*d_s).or_insert(0) += 1;
+            }
+        }
+        let class_size = r_vals.len() as u64;
+        for m in per_sender_class.into_values() {
+            matched_total += m;
+            // R knows m of the class_size values in this receiver class
+            // matched this sender class; each is identified iff the
+            // candidate pool has exactly m members (all matched) — then
+            // there is no ambiguity.
+            if m == class_size {
+                identifiable += m;
+            }
+        }
+    }
+    if matched_total == 0 {
+        0.0
+    } else {
+        identifiable as f64 / matched_total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_values(strs: &[&str]) -> Vec<Vec<u8>> {
+        strs.iter().map(|s| s.as_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn partition_by_duplicates() {
+        let p = duplicate_partition(&to_values(&["a", "a", "b", "c", "c", "c"]));
+        assert_eq!(p[&1], to_values(&["b"]));
+        assert_eq!(p[&2], to_values(&["a"]));
+        assert_eq!(p[&3], to_values(&["c"]));
+    }
+
+    #[test]
+    fn matrix_counts_cross_class_matches() {
+        let vr = to_values(&["a", "b", "b"]); // a×1, b×2
+        let vs = to_values(&["a", "a", "b", "b", "b"]); // a×2, b×3
+        let m = expected_class_intersections(&vr, &vs);
+        assert_eq!(m[&(1, 2)], 1);
+        assert_eq!(m[&(2, 3)], 1);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn uniform_duplicates_leak_only_size() {
+        // All counts 1 → single cell (1,1) with the intersection size.
+        let vr = to_values(&["a", "b", "c"]);
+        let vs = to_values(&["b", "c", "d"]);
+        let m = expected_class_intersections(&vr, &vs);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[&(1, 1)], 2);
+        // Identifiability: 2 of 3 receiver values matched — ambiguous.
+        assert!(identifiable_match_fraction(&vr, &vs) < 1.0);
+    }
+
+    #[test]
+    fn distinct_duplicate_counts_fully_identify() {
+        // Every value has a unique duplicate count → R pinpoints matches.
+        let vr = to_values(&["a", "b", "b", "c", "c", "c"]);
+        let vs = to_values(&["a", "b", "b", "x"]);
+        assert_eq!(identifiable_match_fraction(&vr, &vs), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(expected_class_intersections(&[], &[]).is_empty());
+        assert_eq!(identifiable_match_fraction(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! The simple-but-incorrect hash protocol of §3.1, together with the
+//! dictionary attack that breaks it.
+//!
+//! The paper opens with this straw-man: both parties hash their sets with
+//! a public one-way hash and `S` ships `X_S = h(V_S)` to `R`. Matching
+//! works — but because the hash is unkeyed, an honest-but-curious `R`
+//! can probe *any* candidate value `v` by computing `h(v)` and testing
+//! membership in `X_S`. Over a small domain, `R` recovers `V_S` entirely.
+//!
+//! This module exists so the failure is demonstrable, testable, and
+//! benchmarkable next to the fixed protocol (experiment E3).
+
+use std::collections::BTreeSet;
+
+use minshare_hash::RandomOracle;
+
+/// The transcript `R` observes in the naive protocol: the sender's hashed
+/// set, exactly as sent.
+#[derive(Debug, Clone)]
+pub struct NaiveTranscript {
+    /// `X_S = h(V_S)` (sorted, deduplicated).
+    pub hashed_set: BTreeSet<[u8; 32]>,
+}
+
+/// The public unkeyed hash both parties use (the flaw: *anyone* can
+/// evaluate it).
+pub fn public_hash(value: &[u8]) -> [u8; 32] {
+    RandomOracle::new(b"minshare/naive-protocol/h").digest(value)
+}
+
+/// Runs the naive protocol: `S` sends `h(V_S)`; `R` intersects locally.
+/// Returns both the intersection (the protocol "works") and the
+/// transcript (the protocol leaks).
+pub fn naive_intersection(
+    sender_values: &[Vec<u8>],
+    receiver_values: &[Vec<u8>],
+) -> (Vec<Vec<u8>>, NaiveTranscript) {
+    let hashed_set: BTreeSet<[u8; 32]> = sender_values.iter().map(|v| public_hash(v)).collect();
+    let mut intersection: Vec<Vec<u8>> = receiver_values
+        .iter()
+        .filter(|v| hashed_set.contains(&public_hash(v)))
+        .cloned()
+        .collect();
+    intersection.sort();
+    intersection.dedup();
+    (intersection, NaiveTranscript { hashed_set })
+}
+
+/// The honest-but-curious attack of §3.1: enumerate a candidate domain,
+/// hash each candidate, and test membership in the observed `X_S`.
+/// Recovers every sender value that lies in the candidate domain —
+/// **including values not in `V_R`**, which the real protocol provably
+/// hides.
+pub fn dictionary_attack<'a, I>(transcript: &NaiveTranscript, domain: I) -> Vec<Vec<u8>>
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut recovered: Vec<Vec<u8>> = domain
+        .into_iter()
+        .filter(|candidate| transcript.hashed_set.contains(&public_hash(candidate)))
+        .map(|c| c.to_vec())
+        .collect();
+    recovered.sort();
+    recovered.dedup();
+    recovered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_values(strs: &[&str]) -> Vec<Vec<u8>> {
+        strs.iter().map(|s| s.as_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn protocol_computes_intersection() {
+        let (i, _) = naive_intersection(&to_values(&["a", "b", "c"]), &to_values(&["b", "d"]));
+        assert_eq!(i, to_values(&["b"]));
+    }
+
+    #[test]
+    fn attack_recovers_entire_sender_set_over_small_domain() {
+        // V_S drawn from a small domain (e.g. ages 0..150); R holds almost
+        // nothing, yet recovers everything.
+        let vs: Vec<Vec<u8>> = [17u8, 42, 99].iter().map(|a| vec![*a]).collect();
+        let vr: Vec<Vec<u8>> = vec![vec![42u8]];
+        let (intersection, transcript) = naive_intersection(&vs, &vr);
+        assert_eq!(intersection, vec![vec![42u8]]);
+
+        // The attack: sweep the whole 1-byte domain.
+        let domain: Vec<Vec<u8>> = (0..=255u8).map(|a| vec![a]).collect();
+        let recovered = dictionary_attack(&transcript, domain.iter().map(|d| d.as_slice()));
+        let mut expected = vs.clone();
+        expected.sort();
+        assert_eq!(recovered, expected, "R learned V_S, not just the answer");
+    }
+
+    #[test]
+    fn attack_finds_nothing_outside_domain() {
+        let vs = to_values(&["long-random-value-1", "long-random-value-2"]);
+        let (_, transcript) = naive_intersection(&vs, &[]);
+        let domain = to_values(&["guess-a", "guess-b"]);
+        let recovered = dictionary_attack(&transcript, domain.iter().map(|d| d.as_slice()));
+        assert!(recovered.is_empty());
+    }
+}

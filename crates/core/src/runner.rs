@@ -1,0 +1,127 @@
+//! Two-party orchestration: run both protocol engines against each other
+//! over an in-memory byte-counted link, on separate threads.
+
+use minshare_net::{duplex_pair, CountingTransport, TrafficStats, Transport};
+
+use crate::error::ProtocolError;
+
+/// Results of a two-party run, including exact per-side traffic.
+#[derive(Debug)]
+pub struct TwoPartyRun<SO, RO> {
+    /// Sender party's output.
+    pub sender: SO,
+    /// Receiver party's output.
+    pub receiver: RO,
+    /// Bytes/frames as seen from the sender's endpoint.
+    pub sender_traffic: TrafficStats,
+    /// Bytes/frames as seen from the receiver's endpoint.
+    pub receiver_traffic: TrafficStats,
+}
+
+impl<SO, RO> TwoPartyRun<SO, RO> {
+    /// Total protocol traffic in bits (the paper's unit): everything the
+    /// sender put on the wire plus everything the receiver put on the
+    /// wire.
+    pub fn total_bits(&self) -> u64 {
+        (self.sender_traffic.bytes_sent() + self.receiver_traffic.bytes_sent()) * 8
+    }
+}
+
+/// Runs `sender` and `receiver` concurrently over a fresh duplex pair.
+///
+/// Each closure receives its endpoint (wrapped for byte accounting). A
+/// panic in either party is converted into
+/// [`ProtocolError::PartyPanicked`]; an error from either party is
+/// propagated (sender error wins ties).
+pub fn run_two_party<SO, RO>(
+    sender: impl FnOnce(&mut dyn Transport) -> Result<SO, ProtocolError> + Send,
+    receiver: impl FnOnce(&mut dyn Transport) -> Result<RO, ProtocolError> + Send,
+) -> Result<TwoPartyRun<SO, RO>, ProtocolError>
+where
+    SO: Send,
+    RO: Send,
+{
+    let (s_end, r_end) = duplex_pair();
+    let (mut s_transport, sender_traffic) = CountingTransport::new(s_end);
+    let (mut r_transport, receiver_traffic) = CountingTransport::new(r_end);
+
+    let (sender_result, receiver_result) = std::thread::scope(|scope| {
+        let s_handle = scope.spawn(move || sender(&mut s_transport));
+        let r_handle = scope.spawn(move || receiver(&mut r_transport));
+        let s = s_handle
+            .join()
+            .map_err(|_| ProtocolError::PartyPanicked { party: "sender" });
+        let r = r_handle
+            .join()
+            .map_err(|_| ProtocolError::PartyPanicked { party: "receiver" });
+        (s, r)
+    });
+
+    let sender_output = sender_result??;
+    let receiver_output = receiver_result??;
+    Ok(TwoPartyRun {
+        sender: sender_output,
+        receiver: receiver_output,
+        sender_traffic,
+        receiver_traffic,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_and_traffic_are_collected() {
+        let run = run_two_party(
+            |t| {
+                t.send(b"hello")?;
+                let got = t.recv()?;
+                Ok(got.len())
+            },
+            |t| {
+                let got = t.recv()?;
+                t.send(&[0u8; 3])?;
+                Ok(got)
+            },
+        )
+        .unwrap();
+        assert_eq!(run.sender, 3);
+        assert_eq!(run.receiver, b"hello");
+        assert_eq!(run.sender_traffic.bytes_sent(), 5);
+        assert_eq!(run.receiver_traffic.bytes_sent(), 3);
+        assert_eq!(run.total_bits(), (5 + 3) * 8);
+    }
+
+    #[test]
+    fn party_error_propagates() {
+        let err = run_two_party(
+            |_t| -> Result<(), ProtocolError> { Err(ProtocolError::HashCollision) },
+            |_t| Ok(()),
+        )
+        .unwrap_err();
+        assert_eq!(err, ProtocolError::HashCollision);
+    }
+
+    #[test]
+    fn panic_is_contained() {
+        let err = run_two_party(
+            |_t| -> Result<(), ProtocolError> { panic!("boom") },
+            |_t| Ok(()),
+        )
+        .unwrap_err();
+        assert_eq!(err, ProtocolError::PartyPanicked { party: "sender" });
+    }
+
+    #[test]
+    fn blocked_peer_unblocks_on_close() {
+        // If one party exits early (dropping its endpoint), the other's
+        // recv must fail rather than hang.
+        let err = run_two_party(
+            |_t| -> Result<(), ProtocolError> { Ok(()) }, // exits immediately
+            |t| -> Result<Vec<u8>, ProtocolError> { Ok(t.recv()?) },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProtocolError::Net(_)));
+    }
+}

@@ -1,0 +1,84 @@
+//! Operation counters.
+//!
+//! §6.1 of the paper prices the protocols in abstract units — `Ce`
+//! (commutative encryption/decryption, i.e. one modular exponentiation),
+//! `Ch` (hash), `CK` (payload encryption/decryption). Each protocol engine
+//! counts its own operations in these exact units so the bench harness can
+//! check the paper's formulas *symbolically* (experiment E4): e.g. a full
+//! intersection run must perform exactly `2(|V_S| + |V_R|)` exponentiations
+//! across both parties.
+
+use std::ops::{Add, AddAssign};
+
+/// Counts of the paper's abstract cost units performed by one party.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// `Ce` spent encrypting (exponentiations by a forward key).
+    pub encryptions: u64,
+    /// `Ce` spent decrypting (exponentiations by an inverse key).
+    pub decryptions: u64,
+    /// `Ch`: hash-to-group evaluations.
+    pub hashes: u64,
+    /// `CK`: payload encryptions.
+    pub payload_encryptions: u64,
+    /// `CK`: payload decryptions.
+    pub payload_decryptions: u64,
+}
+
+impl OpCounters {
+    /// Total `Ce` operations (the dominant term in the paper's analysis).
+    pub fn total_ce(&self) -> u64 {
+        self.encryptions + self.decryptions
+    }
+
+    /// Total `CK` operations.
+    pub fn total_ck(&self) -> u64 {
+        self.payload_encryptions + self.payload_decryptions
+    }
+}
+
+impl Add for OpCounters {
+    type Output = OpCounters;
+    fn add(self, rhs: OpCounters) -> OpCounters {
+        OpCounters {
+            encryptions: self.encryptions + rhs.encryptions,
+            decryptions: self.decryptions + rhs.decryptions,
+            hashes: self.hashes + rhs.hashes,
+            payload_encryptions: self.payload_encryptions + rhs.payload_encryptions,
+            payload_decryptions: self.payload_decryptions + rhs.payload_decryptions,
+        }
+    }
+}
+
+impl AddAssign for OpCounters {
+    fn add_assign(&mut self, rhs: OpCounters) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_addition() {
+        let a = OpCounters {
+            encryptions: 3,
+            decryptions: 2,
+            hashes: 5,
+            payload_encryptions: 1,
+            payload_decryptions: 0,
+        };
+        let b = OpCounters {
+            encryptions: 1,
+            ..Default::default()
+        };
+        let sum = a + b;
+        assert_eq!(sum.encryptions, 4);
+        assert_eq!(sum.total_ce(), 6);
+        assert_eq!(sum.total_ck(), 1);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, sum);
+    }
+}

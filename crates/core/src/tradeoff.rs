@@ -1,0 +1,334 @@
+//! The paper's first future-work question (§7): *"What is the tradeoff
+//! between the additional information being disclosed and efficiency?
+//! Will we be able to obtain much faster protocols if we are willing to
+//! disclose additional information?"*
+//!
+//! This module answers it constructively with two protocols that disclose
+//! a Bloom filter of `V_R` to the sender in exchange for large savings:
+//!
+//! * [`approximate_size`] — **zero exponentiations**: `R` sends
+//!   `BF(V_R)`; `S` replies with the number of its values hitting the
+//!   filter. `R` gets `|V_S ∩ V_R|` inflated by false positives
+//!   (`≈ fp · |V_S − V_R|`); `S` gains the ability to probe arbitrary
+//!   candidates against `BF(V_R)` at the filter's false-positive rate.
+//! * [`hybrid_intersection`] — **exact answer, fewer exponentiations**:
+//!   the filter prunes `S`'s set to candidates before the §3.3 protocol
+//!   runs, cutting the sender's `Ce` work from `2|V_S| + |V_R|`-ish to
+//!   `2|C| + |V_R|`-ish, where `|C| ≈ |∩| + fp·|V_S|`. The answer is
+//!   exact (Bloom filters have no false negatives); the extra disclosure
+//!   is the same filter, plus `R` now learns `|C|` instead of `|V_S|`.
+//!
+//! Both quantify their own disclosure so the bench harness can print the
+//! full tradeoff curve (experiment E15).
+
+use minshare_crypto::QrGroup;
+use minshare_hash::bloom::BloomFilter;
+use minshare_net::Transport;
+use rand::Rng;
+
+use crate::error::ProtocolError;
+use crate::intersection;
+
+/// Disclosure report for the Bloom-filter message: what `S` can now do
+/// with it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterDisclosure {
+    /// Bits shipped.
+    pub filter_bits: u64,
+    /// The filter's false-positive rate at its observed fill — i.e. the
+    /// confidence `S` gets when probing an arbitrary candidate value.
+    pub probe_confidence: f64,
+}
+
+/// Receiver output of the approximate-size protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApproxSizeReceiverOutput {
+    /// `|{v ∈ V_S : BF(V_R) hit}| ≥ |V_S ∩ V_R|`.
+    pub approximate_size: u64,
+}
+
+/// Sender output of the approximate-size protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxSizeSenderOutput {
+    /// The disclosure `S` received.
+    pub disclosure: FilterDisclosure,
+    /// How many of `S`'s values hit the filter (what it reported).
+    pub hits: u64,
+}
+
+const TAG_COUNT: u8 = 0x60;
+
+/// Namespaced protocols answering the §7 efficiency/disclosure question.
+pub mod approximate_size {
+    use super::*;
+
+    /// `R` side: sends `BF(V_R)` sized for `target_fp`, receives the hit
+    /// count. Performs **no** modular exponentiation.
+    pub fn run_receiver<T: Transport + ?Sized>(
+        transport: &mut T,
+        values: &[Vec<u8>],
+        target_fp: f64,
+    ) -> Result<ApproxSizeReceiverOutput, ProtocolError> {
+        let mut filter = BloomFilter::with_rate(values.len().max(1), target_fp);
+        for v in values {
+            filter.insert(v);
+        }
+        transport.send(&filter.to_bytes())?;
+        let reply = transport.recv()?;
+        if reply.len() != 9 || reply[0] != TAG_COUNT {
+            return Err(ProtocolError::MalformedMessage {
+                detail: "expected count frame".to_string(),
+            });
+        }
+        let mut c = [0u8; 8];
+        c.copy_from_slice(&reply[1..]);
+        Ok(ApproxSizeReceiverOutput {
+            approximate_size: u64::from_be_bytes(c),
+        })
+    }
+
+    /// `S` side: receives the filter, counts hits among `V_S`, replies.
+    pub fn run_sender<T: Transport + ?Sized>(
+        transport: &mut T,
+        values: &[Vec<u8>],
+    ) -> Result<ApproxSizeSenderOutput, ProtocolError> {
+        let frame = transport.recv()?;
+        let filter =
+            BloomFilter::from_bytes(&frame).ok_or_else(|| ProtocolError::MalformedMessage {
+                detail: "invalid Bloom filter".to_string(),
+            })?;
+        let distinct: std::collections::BTreeSet<&Vec<u8>> = values.iter().collect();
+        let hits = distinct.iter().filter(|v| filter.contains(v)).count() as u64;
+        let mut reply = vec![TAG_COUNT];
+        reply.extend_from_slice(&hits.to_be_bytes());
+        transport.send(&reply)?;
+        Ok(ApproxSizeSenderOutput {
+            disclosure: FilterDisclosure {
+                filter_bits: filter.wire_bits(),
+                probe_confidence: 1.0 - filter.false_positive_rate(),
+            },
+            hits,
+        })
+    }
+}
+
+/// Exact intersection with Bloom prefiltering.
+pub mod hybrid_intersection {
+    use super::*;
+
+    /// Sender output: the exact protocol's output plus the candidate-set
+    /// statistics that quantify the saving.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct HybridSenderOutput {
+        /// Output of the inner exact protocol.
+        pub inner: intersection::IntersectionSenderOutput,
+        /// `|V_S|` before filtering.
+        pub original_size: usize,
+        /// `|C|`: values that survived the filter and entered the exact
+        /// protocol.
+        pub candidate_size: usize,
+    }
+
+    /// `R` side: ship the filter, then run the ordinary §3.3 receiver.
+    /// The answer is exact; `R` learns `|C|` (not `|V_S|`).
+    pub fn run_receiver<T: Transport + ?Sized, R: Rng + ?Sized>(
+        transport: &mut T,
+        group: &QrGroup,
+        values: &[Vec<u8>],
+        target_fp: f64,
+        rng: &mut R,
+    ) -> Result<intersection::IntersectionReceiverOutput, ProtocolError> {
+        let mut filter = BloomFilter::with_rate(values.len().max(1), target_fp);
+        for v in values {
+            filter.insert(v);
+        }
+        transport.send(&filter.to_bytes())?;
+        intersection::run_receiver(transport, group, values, rng)
+    }
+
+    /// `S` side: prune `V_S` by the filter, then run the ordinary sender
+    /// on the candidates only.
+    pub fn run_sender<T: Transport + ?Sized, R: Rng + ?Sized>(
+        transport: &mut T,
+        group: &QrGroup,
+        values: &[Vec<u8>],
+        rng: &mut R,
+    ) -> Result<HybridSenderOutput, ProtocolError> {
+        let frame = transport.recv()?;
+        let filter =
+            BloomFilter::from_bytes(&frame).ok_or_else(|| ProtocolError::MalformedMessage {
+                detail: "invalid Bloom filter".to_string(),
+            })?;
+        let distinct: std::collections::BTreeSet<&Vec<u8>> = values.iter().collect();
+        let original_size = distinct.len();
+        let candidates: Vec<Vec<u8>> = distinct
+            .into_iter()
+            .filter(|v| filter.contains(v))
+            .cloned()
+            .collect();
+        let candidate_size = candidates.len();
+        let inner = intersection::run_sender(transport, group, &candidates, rng)?;
+        Ok(HybridSenderOutput {
+            inner,
+            original_size,
+            candidate_size,
+        })
+    }
+}
+
+/// The cost model of the tradeoff, for the E15 experiment: exact-protocol
+/// `Ce` vs. hybrid `Ce` at a given false-positive rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffEstimate {
+    /// `Ce` operations of the exact §3.3 protocol.
+    pub exact_ce: u64,
+    /// Expected `Ce` operations of the hybrid.
+    pub hybrid_ce: f64,
+    /// Expected candidate-set size entering the hybrid's inner protocol.
+    pub expected_candidates: f64,
+}
+
+/// Predicts the hybrid's saving for `|V_S| = vs`, `|V_R| = vr`,
+/// intersection `common`, at filter rate `fp`.
+pub fn estimate(vs: u64, vr: u64, common: u64, fp: f64) -> TradeoffEstimate {
+    let candidates = common as f64 + (vs - common) as f64 * fp;
+    TradeoffEstimate {
+        exact_ce: 2 * (vs + vr),
+        hybrid_ce: 2.0 * (candidates + vr as f64),
+        expected_candidates: candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_two_party;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn group() -> QrGroup {
+        let mut rng = StdRng::seed_from_u64(21);
+        QrGroup::generate(&mut rng, 64).unwrap()
+    }
+
+    fn to_values(strs: &[&str]) -> Vec<Vec<u8>> {
+        strs.iter().map(|s| s.as_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn approximate_size_upper_bounds_truth() {
+        let vs = to_values(&["a", "b", "c", "d", "e", "f"]);
+        let vr = to_values(&["c", "d", "x"]);
+        let run = run_two_party(
+            |t| approximate_size::run_sender(t, &vs),
+            |t| approximate_size::run_receiver(t, &vr, 0.01),
+        )
+        .unwrap();
+        // No false negatives: approx ≥ true (= 2); tight FP keeps it low.
+        assert!(run.receiver.approximate_size >= 2);
+        assert!(run.receiver.approximate_size <= vs.len() as u64);
+        assert_eq!(run.sender.hits, run.receiver.approximate_size);
+        assert!(run.sender.disclosure.filter_bits > 0);
+        assert!(run.sender.disclosure.probe_confidence > 0.9);
+    }
+
+    #[test]
+    fn approximate_size_uses_zero_exponentiations_and_tiny_traffic() {
+        let vs = to_values(&["a", "b", "c"]);
+        let vr = to_values(&["b"]);
+        let run = run_two_party(
+            |t| approximate_size::run_sender(t, &vs),
+            |t| approximate_size::run_receiver(t, &vr, 0.01),
+        )
+        .unwrap();
+        // Both frames together: filter (tens of bytes) + 9-byte count —
+        // versus (|VS|+2|VR|)·k bits for the exact protocol.
+        assert!(run.total_bits() < 2000, "{}", run.total_bits());
+    }
+
+    #[test]
+    fn hybrid_is_exact_and_cheaper() {
+        let g = group();
+        // Large sender set, tiny intersection: the regime where the
+        // hybrid pays off.
+        let vs: Vec<Vec<u8>> = (0..60u32).map(|i| format!("s{i}").into_bytes()).collect();
+        let mut vr: Vec<Vec<u8>> = (0..5u32).map(|i| format!("s{i}").into_bytes()).collect();
+        vr.push(b"r-only".to_vec());
+
+        let hybrid = run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(1);
+                hybrid_intersection::run_sender(t, &g, &vs, &mut rng)
+            },
+            |t| {
+                let mut rng = StdRng::seed_from_u64(2);
+                hybrid_intersection::run_receiver(t, &g, &vr, 0.01, &mut rng)
+            },
+        )
+        .unwrap();
+        // Exact answer.
+        let expect: Vec<Vec<u8>> = (0..5u32).map(|i| format!("s{i}").into_bytes()).collect();
+        assert_eq!(hybrid.receiver.intersection, expect);
+        // Much cheaper: candidates ≈ 5 ≪ 60.
+        assert!(
+            hybrid.sender.candidate_size < 15,
+            "{}",
+            hybrid.sender.candidate_size
+        );
+        assert_eq!(hybrid.sender.original_size, 60);
+        let exact_ce = 2 * (60 + 6) as u64;
+        let hybrid_ce = hybrid.sender.inner.ops.total_ce() + hybrid.receiver.ops.total_ce();
+        assert!(
+            hybrid_ce < exact_ce / 2,
+            "hybrid {hybrid_ce} vs exact {exact_ce}"
+        );
+    }
+
+    #[test]
+    fn hybrid_with_empty_receiver() {
+        let g = group();
+        let vs = to_values(&["a", "b"]);
+        let run = run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(3);
+                hybrid_intersection::run_sender(t, &g, &vs, &mut rng)
+            },
+            |t| {
+                let mut rng = StdRng::seed_from_u64(4);
+                hybrid_intersection::run_receiver(t, &g, &[], 0.01, &mut rng)
+            },
+        )
+        .unwrap();
+        assert!(run.receiver.intersection.is_empty());
+    }
+
+    #[test]
+    fn estimate_shapes() {
+        let e = estimate(1000, 100, 10, 0.01);
+        assert_eq!(e.exact_ce, 2200);
+        // candidates ≈ 10 + 990·0.01 ≈ 19.9 → hybrid ≈ 240.
+        assert!((e.expected_candidates - 19.9).abs() < 0.01);
+        assert!(e.hybrid_ce < 250.0);
+        // At fp = 1 the hybrid degenerates to the exact cost.
+        let full = estimate(1000, 100, 10, 1.0);
+        assert_eq!(full.hybrid_ce, full.exact_ce as f64);
+    }
+
+    #[test]
+    fn malformed_filter_rejected() {
+        let vs = to_values(&["a"]);
+        let err = run_two_party(
+            |t| approximate_size::run_sender(t, &vs),
+            |t| {
+                t.send(&[1, 2, 3])?; // not a filter
+                let _ = t.recv();
+                Ok(())
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ProtocolError::MalformedMessage { .. }),
+            "{err}"
+        );
+    }
+}

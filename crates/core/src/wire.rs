@@ -1,0 +1,275 @@
+//! Protocol messages and their byte encoding.
+//!
+//! Group elements go on the wire as fixed-width big-endian codewords of
+//! exactly `⌈k/8⌉` bytes (the paper counts communication in `k`-bit
+//! codewords, §6.1), so "lexicographic order" of codewords coincides with
+//! numeric order of elements. Counts are 32-bit big-endian; payload blobs
+//! are length-prefixed.
+
+use bytes::{Buf, BufMut, BytesMut};
+use minshare_bignum::UBig;
+use minshare_crypto::CommutativeScheme;
+
+use crate::error::ProtocolError;
+
+/// A message exchanged by the protocol engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// A list of encrypted codewords. Used for `Y_R`, `Y_S`,
+    /// `f_{e_S}(Y_R)` (order-significant) and `Z_R` (sorted).
+    Codewords(Vec<UBig>),
+    /// Pairs `(f_{e_S}(y), f_{e'_S}(y))` answering `Y_R` in order
+    /// (equijoin step 4, with the paper's §6.1 optimization of not
+    /// retransmitting `y`).
+    CodewordPairs(Vec<(UBig, UBig)>),
+    /// Pairs `(f_{e_S}(h(v)), K(κ(v), ext(v)))`, sorted by the first
+    /// component (equijoin step 5).
+    PayloadPairs(Vec<(UBig, Vec<u8>)>),
+}
+
+const TAG_CODEWORDS: u8 = 1;
+const TAG_CODEWORD_PAIRS: u8 = 2;
+const TAG_PAYLOAD_PAIRS: u8 = 3;
+
+impl Message {
+    /// Short name for error reporting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Codewords(_) => "codewords",
+            Message::CodewordPairs(_) => "codeword-pairs",
+            Message::PayloadPairs(_) => "payload-pairs",
+        }
+    }
+
+    /// Serializes for the wire. Elements are encoded at the scheme's
+    /// fixed codeword width.
+    pub fn encode<S: CommutativeScheme>(&self, scheme: &S) -> Result<Vec<u8>, ProtocolError> {
+        let mut buf = BytesMut::new();
+        match self {
+            Message::Codewords(list) => {
+                buf.put_u8(TAG_CODEWORDS);
+                buf.put_u32(list.len() as u32);
+                for x in list {
+                    buf.put_slice(&scheme.encode_elem(x)?);
+                }
+            }
+            Message::CodewordPairs(list) => {
+                buf.put_u8(TAG_CODEWORD_PAIRS);
+                buf.put_u32(list.len() as u32);
+                for (a, b) in list {
+                    buf.put_slice(&scheme.encode_elem(a)?);
+                    buf.put_slice(&scheme.encode_elem(b)?);
+                }
+            }
+            Message::PayloadPairs(list) => {
+                buf.put_u8(TAG_PAYLOAD_PAIRS);
+                buf.put_u32(list.len() as u32);
+                for (a, payload) in list {
+                    buf.put_slice(&scheme.encode_elem(a)?);
+                    buf.put_u32(payload.len() as u32);
+                    buf.put_slice(payload);
+                }
+            }
+        }
+        Ok(buf.to_vec())
+    }
+
+    /// Parses a frame, validating every codeword is a domain element.
+    pub fn decode<S: CommutativeScheme>(
+        frame: &[u8],
+        scheme: &S,
+    ) -> Result<Message, ProtocolError> {
+        let malformed = |detail: &str| ProtocolError::MalformedMessage {
+            detail: detail.to_string(),
+        };
+        let mut buf = frame;
+        if buf.remaining() < 5 {
+            return Err(malformed("frame shorter than header"));
+        }
+        let tag = buf.get_u8();
+        let count = buf.get_u32() as usize;
+        let width = scheme.codeword_len();
+
+        let take_element = |buf: &mut &[u8]| -> Result<UBig, ProtocolError> {
+            if buf.remaining() < width {
+                return Err(malformed("truncated codeword"));
+            }
+            let bytes = &buf[..width];
+            let x = scheme.decode_elem(bytes)?;
+            buf.advance(width);
+            Ok(x)
+        };
+
+        let msg = match tag {
+            TAG_CODEWORDS => {
+                let mut list = Vec::with_capacity(count.min(1 << 22));
+                for _ in 0..count {
+                    list.push(take_element(&mut buf)?);
+                }
+                Message::Codewords(list)
+            }
+            TAG_CODEWORD_PAIRS => {
+                let mut list = Vec::with_capacity(count.min(1 << 21));
+                for _ in 0..count {
+                    let a = take_element(&mut buf)?;
+                    let b = take_element(&mut buf)?;
+                    list.push((a, b));
+                }
+                Message::CodewordPairs(list)
+            }
+            TAG_PAYLOAD_PAIRS => {
+                let mut list = Vec::with_capacity(count.min(1 << 21));
+                for _ in 0..count {
+                    let a = take_element(&mut buf)?;
+                    if buf.remaining() < 4 {
+                        return Err(malformed("truncated payload length"));
+                    }
+                    let len = buf.get_u32() as usize;
+                    if buf.remaining() < len {
+                        return Err(malformed("truncated payload"));
+                    }
+                    let payload = buf[..len].to_vec();
+                    buf.advance(len);
+                    list.push((a, payload));
+                }
+                Message::PayloadPairs(list)
+            }
+            _ => return Err(malformed("unknown message tag")),
+        };
+        if buf.has_remaining() {
+            return Err(malformed("trailing bytes"));
+        }
+        Ok(msg)
+    }
+}
+
+/// Checks that a codeword list is strictly increasing (lexicographic order
+/// of fixed-width codewords = numeric order; strictness also catches
+/// duplicate hashes, the paper's collision check).
+pub fn require_strictly_sorted(list: &[UBig], what: &'static str) -> Result<(), ProtocolError> {
+    for w in list.windows(2) {
+        if w[0] >= w[1] {
+            return Err(ProtocolError::NotSorted { what });
+        }
+    }
+    Ok(())
+}
+
+/// Checks that a codeword list is non-decreasing (multiset variant, used
+/// by the equijoin-size protocol where duplicates are legitimate).
+pub fn require_sorted(list: &[UBig], what: &'static str) -> Result<(), ProtocolError> {
+    for w in list.windows(2) {
+        if w[0] > w[1] {
+            return Err(ProtocolError::NotSorted { what });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minshare_crypto::QrGroup;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn group() -> QrGroup {
+        let mut rng = StdRng::seed_from_u64(5);
+        QrGroup::generate(&mut rng, 64).unwrap()
+    }
+
+    fn elements(g: &QrGroup, n: usize) -> Vec<UBig> {
+        let mut rng = StdRng::seed_from_u64(17);
+        (0..n).map(|_| g.sample_element(&mut rng)).collect()
+    }
+
+    #[test]
+    fn codewords_round_trip() {
+        let g = group();
+        let msg = Message::Codewords(elements(&g, 5));
+        let frame = msg.encode(&g).unwrap();
+        assert_eq!(Message::decode(&frame, &g).unwrap(), msg);
+    }
+
+    #[test]
+    fn pairs_round_trip() {
+        let g = group();
+        let els = elements(&g, 6);
+        let msg = Message::CodewordPairs(vec![
+            (els[0].clone(), els[1].clone()),
+            (els[2].clone(), els[3].clone()),
+            (els[4].clone(), els[5].clone()),
+        ]);
+        let frame = msg.encode(&g).unwrap();
+        assert_eq!(Message::decode(&frame, &g).unwrap(), msg);
+    }
+
+    #[test]
+    fn payload_pairs_round_trip() {
+        let g = group();
+        let els = elements(&g, 2);
+        let msg = Message::PayloadPairs(vec![
+            (els[0].clone(), b"payload-a".to_vec()),
+            (els[1].clone(), vec![]),
+        ]);
+        let frame = msg.encode(&g).unwrap();
+        assert_eq!(Message::decode(&frame, &g).unwrap(), msg);
+    }
+
+    #[test]
+    fn empty_lists_round_trip() {
+        let g = group();
+        for msg in [
+            Message::Codewords(vec![]),
+            Message::CodewordPairs(vec![]),
+            Message::PayloadPairs(vec![]),
+        ] {
+            let frame = msg.encode(&g).unwrap();
+            assert_eq!(Message::decode(&frame, &g).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn frame_size_matches_paper_accounting() {
+        // A Codewords frame of n elements costs n·⌈k/8⌉ bytes + 5 header.
+        let g = group();
+        let n = 7;
+        let frame = Message::Codewords(elements(&g, n)).encode(&g).unwrap();
+        assert_eq!(frame.len(), 5 + n * g.codeword_bytes());
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_garbage() {
+        let g = group();
+        let frame = Message::Codewords(elements(&g, 3)).encode(&g).unwrap();
+        assert!(Message::decode(&frame[..frame.len() - 1], &g).is_err());
+        assert!(Message::decode(&[], &g).is_err());
+        assert!(Message::decode(&[9, 0, 0, 0, 0], &g).is_err());
+        let mut trailing = frame.clone();
+        trailing.push(0);
+        assert!(Message::decode(&trailing, &g).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_non_group_elements() {
+        let g = group();
+        let mut frame = vec![TAG_CODEWORDS, 0, 0, 0, 1];
+        frame.extend(vec![0u8; g.codeword_bytes()]); // zero is not a member
+        assert!(matches!(
+            Message::decode(&frame, &g),
+            Err(ProtocolError::Crypto(_))
+        ));
+    }
+
+    #[test]
+    fn sortedness_checks() {
+        let one = UBig::from(1u64);
+        let two = UBig::from(2u64);
+        assert!(require_strictly_sorted(&[one.clone(), two.clone()], "t").is_ok());
+        assert!(require_strictly_sorted(&[one.clone(), one.clone()], "t").is_err());
+        assert!(require_strictly_sorted(&[two.clone(), one.clone()], "t").is_err());
+        assert!(require_sorted(&[one.clone(), one.clone(), two.clone()], "t").is_ok());
+        assert!(require_sorted(&[two, one], "t").is_err());
+        assert!(require_strictly_sorted(&[], "t").is_ok());
+    }
+}

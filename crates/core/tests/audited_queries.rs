@@ -1,0 +1,112 @@
+//! The §2.3 multi-query defenses wired to live protocol runs: a sender
+//! that answers repeated intersection-size queries behind a
+//! [`minshare::audit::QueryAuditor`], and a receiver mounting the classic
+//! tracker attack that the overlap control must stop.
+
+use minshare::audit::{AuditPolicy, AuditRefusal, QueryAuditor};
+use minshare::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn group() -> QrGroup {
+    let mut rng = StdRng::seed_from_u64(0xa0d1);
+    QrGroup::generate(&mut rng, 64).unwrap()
+}
+
+fn to_values(strs: &[&str]) -> Vec<Vec<u8>> {
+    strs.iter().map(|s| s.as_bytes().to_vec()).collect()
+}
+
+/// Runs one audited intersection-size query. The *receiver* is the
+/// querying party; the auditor guards the receiver's own input stream
+/// (mirroring the paper's "scrutiny of the queries by the parties").
+fn audited_query(
+    g: &QrGroup,
+    auditor: &mut QueryAuditor,
+    sender_set: &[Vec<u8>],
+    query: &[Vec<u8>],
+    seed: u64,
+) -> Result<usize, AuditRefusal> {
+    auditor.admit(query)?;
+    let run = run_two_party(
+        |t| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            intersection_size::run_sender(t, g, sender_set, &mut rng)
+        },
+        |t| {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+            intersection_size::run_receiver(t, g, query, &mut rng)
+        },
+    )
+    .expect("protocol run");
+    auditor.release(query, run.receiver.intersection_size)?;
+    Ok(run.receiver.intersection_size)
+}
+
+#[test]
+fn legitimate_query_stream_flows() {
+    let g = group();
+    let sender_set = to_values(&["a", "b", "c", "d", "e"]);
+    let mut auditor = QueryAuditor::new(AuditPolicy {
+        max_queries: Some(10),
+        max_overlap: Some(0.5),
+        min_result_size: Some(2),
+        ..Default::default()
+    });
+    let q1 = to_values(&["a", "b", "c"]);
+    assert_eq!(
+        audited_query(&g, &mut auditor, &sender_set, &q1, 1).unwrap(),
+        3
+    );
+    let q2 = to_values(&["d", "e", "x", "y"]); // disjoint from q1
+    assert_eq!(
+        audited_query(&g, &mut auditor, &sender_set, &q2, 2).unwrap(),
+        2
+    );
+    assert_eq!(auditor.answered(), 2);
+}
+
+#[test]
+fn tracker_attack_is_stopped_before_any_bits_flow() {
+    // The attack: learn whether "victim" ∈ V_S by querying Q and then
+    // Q ∪ {victim} and differencing the sizes. The second query must be
+    // refused at admission — before the protocol runs at all.
+    let g = group();
+    let sender_set = to_values(&["a", "b", "c", "victim"]);
+    let mut auditor = QueryAuditor::new(AuditPolicy {
+        max_overlap: Some(0.6),
+        ..Default::default()
+    });
+    let probe = to_values(&["a", "b", "c"]);
+    let base = audited_query(&g, &mut auditor, &sender_set, &probe, 3).unwrap();
+    assert_eq!(base, 3);
+
+    let tracker = to_values(&["a", "b", "c", "victim"]);
+    let err = audited_query(&g, &mut auditor, &sender_set, &tracker, 4).unwrap_err();
+    assert!(matches!(err, AuditRefusal::OverlapTooHigh { .. }), "{err}");
+    // Only the first query ever reached the wire.
+    assert_eq!(auditor.answered(), 1);
+    assert_eq!(auditor.trail().len(), 2);
+}
+
+#[test]
+fn pinpointing_result_is_suppressed_after_computation() {
+    // A query that isolates one individual computes fine but is withheld
+    // by the result-size floor.
+    let g = group();
+    let sender_set = to_values(&["target", "x", "y"]);
+    let mut auditor = QueryAuditor::new(AuditPolicy {
+        min_result_size: Some(3),
+        ..Default::default()
+    });
+    let needle = to_values(&["target", "p", "q", "r", "s"]);
+    let err = audited_query(&g, &mut auditor, &sender_set, &needle, 5).unwrap_err();
+    assert!(matches!(
+        err,
+        AuditRefusal::ResultTooSmall {
+            size: 1,
+            minimum: 3
+        }
+    ));
+    assert_eq!(auditor.answered(), 0);
+}

@@ -1,0 +1,140 @@
+//! The §6.2 application estimates.
+//!
+//! * **Selective document sharing** (§6.2.1): `|D_R| · |D_S|`
+//!   intersection-size runs; computation `|D_R||D_S|(|d_R|+|d_S|)·2Ce`,
+//!   communication `|D_R||D_S|(|d_R|+2|d_S|)·k`. With the paper's sizes
+//!   (10 × 100 documents of 1000 words): ≈ 2 hours compute on `P = 10`,
+//!   3 Gbit ≈ 35 minutes on a T1.
+//! * **Medical research** (§6.2.2): four intersection sizes over the four
+//!   id partitions; computation `2(|V_R|+|V_S|)·2Ce`, communication
+//!   `2(|V_R|+|V_S|)·2k`. With 10⁶ ids per side: ≈ 4 hours compute,
+//!   8 Gbit ≈ 1.5 hours transfer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::constants::CostConstants;
+
+/// An application-level estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppEstimate {
+    /// Total `Ce` operations across all protocol runs.
+    pub ce_ops: f64,
+    /// Total wire bits across all runs.
+    pub bits: f64,
+    /// Computation wall-clock seconds (with parallelism).
+    pub compute_seconds: f64,
+    /// Transfer seconds.
+    pub transfer_seconds: f64,
+}
+
+impl AppEstimate {
+    fn from_ops(ce_ops: f64, bits: f64, consts: &CostConstants) -> Self {
+        AppEstimate {
+            ce_ops,
+            bits,
+            compute_seconds: consts.compute_seconds(ce_ops),
+            transfer_seconds: consts.transfer_seconds(bits),
+        }
+    }
+
+    /// Computation time in hours.
+    pub fn compute_hours(&self) -> f64 {
+        self.compute_seconds / 3600.0
+    }
+
+    /// Transfer time in minutes.
+    pub fn transfer_minutes(&self) -> f64 {
+        self.transfer_seconds / 60.0
+    }
+
+    /// Transfer time in hours.
+    pub fn transfer_hours(&self) -> f64 {
+        self.transfer_seconds / 3600.0
+    }
+}
+
+/// §6.2.1: the document-sharing estimate.
+///
+/// `n_dr`, `n_ds`: number of documents per side; `dr_words`, `ds_words`:
+/// significant words per document.
+pub fn document_sharing(
+    n_dr: u64,
+    n_ds: u64,
+    dr_words: u64,
+    ds_words: u64,
+    consts: &CostConstants,
+) -> AppEstimate {
+    let pairs = (n_dr * n_ds) as f64;
+    let ce_ops = pairs * (dr_words + ds_words) as f64 * 2.0;
+    let bits = pairs * (dr_words + 2 * ds_words) as f64 * consts.k_bits as f64;
+    AppEstimate::from_ops(ce_ops, bits, consts)
+}
+
+/// §6.2.2: the medical-research estimate (four intersection sizes over
+/// partitions of `|V_R|` and `|V_S|` ids).
+pub fn medical_research(vr: u64, vs: u64, consts: &CostConstants) -> AppEstimate {
+    // Paper: "The combined cost of the four intersections is
+    // 2(|V_R|+|V_S|)·2Ce, and the data transferred is 2(|V_R|+|V_S|)·2k."
+    let ce_ops = 2.0 * (vr + vs) as f64 * 2.0;
+    let bits = 2.0 * (vr + vs) as f64 * 2.0 * consts.k_bits as f64;
+    AppEstimate::from_ops(ce_ops, bits, consts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_sharing_reproduces_paper() {
+        // |D_R|=10, |D_S|=100, |d|=1000 words:
+        // computation 4·10⁶ Ce / P ≈ 2 hours; 3·10⁶ k ≈ 3 Gbit ≈ 35 min.
+        let c = CostConstants::paper();
+        let e = document_sharing(10, 100, 1000, 1000, &c);
+        assert_eq!(e.ce_ops, 4.0e6);
+        assert!((e.bits / 3.0e9 - 1.024).abs() < 0.01, "{:.3e}", e.bits);
+        // 4e6 ops · 0.02 s / 10 = 8000 s ≈ 2.2 h ("≈ 2 hours").
+        assert!(
+            (e.compute_hours() - 2.22).abs() < 0.05,
+            "{}",
+            e.compute_hours()
+        );
+        // 3.072e9 bits / 1.544e6 bps ≈ 1990 s ≈ 33 min ("≈ 35 minutes").
+        assert!(
+            (e.transfer_minutes() - 33.2).abs() < 1.0,
+            "{}",
+            e.transfer_minutes()
+        );
+    }
+
+    #[test]
+    fn medical_research_reproduces_paper() {
+        // |V_R| = |V_S| = 10⁶: 8·10⁶ Ce / P ≈ 4 hours; 8·10⁶ k ≈ 8 Gbit
+        // ≈ 1.5 hours.
+        let c = CostConstants::paper();
+        let e = medical_research(1_000_000, 1_000_000, &c);
+        assert_eq!(e.ce_ops, 8.0e6);
+        assert!((e.bits / 8.0e9 - 1.024).abs() < 0.01);
+        // 8e6 · 0.02 / 10 = 16000 s ≈ 4.4 h ("≈ 4 hours").
+        assert!(
+            (e.compute_hours() - 4.44).abs() < 0.05,
+            "{}",
+            e.compute_hours()
+        );
+        // 8.192e9 / 1.544e6 ≈ 5306 s ≈ 1.47 h ("≈ 1.5 hours").
+        assert!(
+            (e.transfer_hours() - 1.47).abs() < 0.05,
+            "{}",
+            e.transfer_hours()
+        );
+    }
+
+    #[test]
+    fn faster_hardware_shrinks_compute_only() {
+        let paper = CostConstants::paper();
+        let modern = CostConstants::with_measured_ce(0.0002);
+        let a = medical_research(1_000_000, 1_000_000, &paper);
+        let b = medical_research(1_000_000, 1_000_000, &modern);
+        assert!(b.compute_seconds < a.compute_seconds / 50.0);
+        assert_eq!(a.transfer_seconds, b.transfer_seconds);
+    }
+}

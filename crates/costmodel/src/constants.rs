@@ -1,0 +1,122 @@
+//! The cost environment of §6: unit costs and machine parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost constants parameterizing the model.
+///
+/// [`CostConstants::paper`] reproduces the paper's environment: a 2001
+/// Pentium III doing a 1024-bit modular exponentiation in 0.02 s (from
+/// Naor–Pinkas \[36\]), a T1 line (1.544 Mbit/s), and `P = 10` processors
+/// for the trivially parallel encryption passes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostConstants {
+    /// `Ce`: seconds per commutative encryption (k-bit modexp).
+    pub ce_seconds: f64,
+    /// `Cr`: seconds per pseudorandom-function evaluation (circuit
+    /// baseline). The paper keeps this symbolic; the default is the
+    /// `Ce/10⁴` breakeven it discusses.
+    pub cr_seconds: f64,
+    /// `C×`: seconds per modular multiplication; the paper assumes
+    /// `Ce = 1000·C×`.
+    pub cmult_seconds: f64,
+    /// Line bandwidth in bits per second (T1 = 1.544·10⁶).
+    pub bandwidth_bps: f64,
+    /// `P`: processors available for the parallelizable passes.
+    pub parallelism: f64,
+    /// `k`: bits per encrypted codeword (1024).
+    pub k_bits: u64,
+    /// `k'`: bits of an encrypted `ext(v)` payload, and of a garbled-
+    /// circuit wire key (the paper uses 64 for the circuit analysis).
+    pub k_prime_bits: u64,
+    /// `k₁`: bits of the keys inside the Naor–Pinkas OT (100).
+    pub k1_bits: u64,
+    /// `w`: input value width in bits for the circuit baseline (32).
+    pub w_bits: u64,
+}
+
+impl CostConstants {
+    /// The paper's environment (§6.2 and Appendix A).
+    pub fn paper() -> Self {
+        let ce = 0.02;
+        CostConstants {
+            ce_seconds: ce,
+            cr_seconds: ce / 10_000.0,
+            cmult_seconds: ce / 1000.0,
+            bandwidth_bps: 1.544e6,
+            parallelism: 10.0,
+            k_bits: 1024,
+            k_prime_bits: 64,
+            k1_bits: 100,
+            w_bits: 32,
+        }
+    }
+
+    /// The paper's environment with `Ce` (and proportionally `C×`, `Cr`)
+    /// measured on the current machine — used to re-evaluate the model
+    /// with modern hardware.
+    pub fn with_measured_ce(ce_seconds: f64) -> Self {
+        CostConstants {
+            ce_seconds,
+            cr_seconds: ce_seconds / 10_000.0,
+            cmult_seconds: ce_seconds / 1000.0,
+            ..Self::paper()
+        }
+    }
+
+    /// Seconds to perform `ops` exponentiations with `P`-way parallelism.
+    pub fn compute_seconds(&self, ce_ops: f64) -> f64 {
+        ce_ops * self.ce_seconds / self.parallelism
+    }
+
+    /// Seconds to move `bits` over the line.
+    pub fn transfer_seconds(&self, bits: f64) -> f64 {
+        bits / self.bandwidth_bps
+    }
+
+    /// Exponentiations per hour on one processor — the paper quotes
+    /// "around 2·10⁵ exponentiations per hour".
+    pub fn ce_per_hour(&self) -> f64 {
+        3600.0 / self.ce_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_exponentiation_rate() {
+        // 0.02 s/op → 1.8e5 ≈ "around 2·10⁵" per hour.
+        let c = CostConstants::paper();
+        assert!((c.ce_per_hour() - 180_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn compute_uses_parallelism() {
+        let c = CostConstants::paper();
+        assert!((c.compute_seconds(1000.0) - 1000.0 * 0.02 / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_matches_t1() {
+        let c = CostConstants::paper();
+        // 1 Gbit over T1 ≈ 647.7 s.
+        assert!((c.transfer_seconds(1e9) - 647.668).abs() < 0.01);
+    }
+
+    #[test]
+    fn measured_rebase_scales_derived_costs() {
+        let c = CostConstants::with_measured_ce(0.001);
+        assert_eq!(c.ce_seconds, 0.001);
+        assert_eq!(c.cmult_seconds, 0.001 / 1000.0);
+        assert_eq!(c.k_bits, 1024);
+    }
+
+    #[test]
+    fn copy_and_eq_semantics() {
+        let a = CostConstants::paper();
+        let b = a;
+        assert_eq!(a, b);
+        assert_ne!(a, CostConstants::with_measured_ce(0.5));
+    }
+}

@@ -1,0 +1,121 @@
+//! Plain-text table rendering for the `paper_tables` binary.
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float in compact scientific notation (`2.3e8`).
+pub fn sci(x: f64) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    let exp = x.abs().log10().floor() as i32;
+    let mantissa = x / 10f64.powi(exp);
+    format!("{mantissa:.1}e{exp}")
+}
+
+/// Formats seconds as a human-readable duration.
+pub fn duration(seconds: f64) -> String {
+    if seconds < 1.0 {
+        format!("{:.1} ms", seconds * 1000.0)
+    } else if seconds < 120.0 {
+        format!("{seconds:.1} s")
+    } else if seconds < 7200.0 {
+        format!("{:.1} min", seconds / 60.0)
+    } else if seconds < 86_400.0 * 2.0 {
+        format!("{:.1} h", seconds / 3600.0)
+    } else {
+        format!("{:.1} days", seconds / 86_400.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(&["n", "value"]);
+        t.row(&["10".to_string(), "short".to_string()]);
+        t.row(&["100000".to_string(), "x".to_string()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('n') && lines[0].contains("value"));
+        // Right-aligned numbers line up at the end of the column.
+        assert!(lines[2].starts_with("    10"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["1".to_string()]);
+    }
+
+    #[test]
+    fn sci_format() {
+        assert_eq!(sci(2.3e8), "2.3e8");
+        assert_eq!(sci(0.0), "0");
+        assert_eq!(sci(7.25e10), "7.2e10");
+        assert_eq!(sci(1.0), "1.0e0");
+    }
+
+    #[test]
+    fn duration_format() {
+        assert_eq!(duration(0.5), "500.0 ms");
+        assert_eq!(duration(90.0), "90.0 s");
+        assert_eq!(duration(1800.0), "30.0 min");
+        assert_eq!(duration(7200.0), "2.0 h");
+        assert_eq!(duration(86_400.0 * 144.0), "144.0 days");
+    }
+}

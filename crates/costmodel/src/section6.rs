@@ -1,0 +1,167 @@
+//! The §6.1 protocol cost formulas.
+//!
+//! Computation (exact forms, then the dominant-term approximations the
+//! paper uses for its estimates):
+//!
+//! * intersection / intersection size / join size:
+//!   `(Ch + 2Ce)(|V_S| + |V_R|) + sorting ≈ 2Ce(|V_S| + |V_R|)`
+//! * equijoin:
+//!   `Ch(|V_S|+|V_R|) + 2Ce|V_S| + 5Ce|V_R| + CK(|V_S|+|V_S∩V_R|) + …
+//!    ≈ 2Ce|V_S| + 5Ce|V_R|`
+//!
+//! Communication:
+//!
+//! * intersection (and both size protocols): `(|V_S| + 2|V_R|)·k` bits
+//! * equijoin: `(|V_S| + 3|V_R|)·k + |V_S|·k'` bits
+
+use serde::{Deserialize, Serialize};
+
+use crate::constants::CostConstants;
+
+/// Which of the four protocols a formula refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Protocol {
+    /// §3 intersection.
+    Intersection,
+    /// §4 equijoin.
+    Equijoin,
+    /// §5.1 intersection size.
+    IntersectionSize,
+    /// §5.2 equijoin size.
+    EquijoinSize,
+}
+
+impl Protocol {
+    /// All four, in paper order.
+    pub fn all() -> [Protocol; 4] {
+        [
+            Protocol::Intersection,
+            Protocol::Equijoin,
+            Protocol::IntersectionSize,
+            Protocol::EquijoinSize,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::Intersection => "intersection",
+            Protocol::Equijoin => "equijoin",
+            Protocol::IntersectionSize => "intersection size",
+            Protocol::EquijoinSize => "equijoin size",
+        }
+    }
+
+    /// Total `Ce` operations across both parties (the paper's
+    /// approximation — `Ce` dominates hashing and sorting).
+    pub fn ce_ops(&self, vs: u64, vr: u64) -> u64 {
+        match self {
+            Protocol::Equijoin => 2 * vs + 5 * vr,
+            _ => 2 * (vs + vr),
+        }
+    }
+
+    /// Total hash (`Ch`) operations.
+    pub fn hash_ops(&self, vs: u64, vr: u64) -> u64 {
+        vs + vr
+    }
+
+    /// Total payload-cipher (`CK`) operations; only the join uses `K`.
+    pub fn ck_ops(&self, vs: u64, intersection: u64) -> u64 {
+        match self {
+            Protocol::Equijoin => vs + intersection,
+            _ => 0,
+        }
+    }
+
+    /// Wire bits, per the §6.1 communication formulas.
+    pub fn communication_bits(&self, vs: u64, vr: u64, consts: &CostConstants) -> u64 {
+        let k = consts.k_bits;
+        match self {
+            Protocol::Equijoin => (vs + 3 * vr) * k + vs * consts.k_prime_bits,
+            _ => (vs + 2 * vr) * k,
+        }
+    }
+}
+
+/// A complete §6.1 estimate for one protocol instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolEstimate {
+    /// Which protocol.
+    pub protocol: Protocol,
+    /// `|V_S|`.
+    pub vs: u64,
+    /// `|V_R|`.
+    pub vr: u64,
+    /// Total `Ce` operations.
+    pub ce_ops: u64,
+    /// Wire bits.
+    pub bits: u64,
+    /// Computation wall-clock seconds (with `P`-way parallelism).
+    pub compute_seconds: f64,
+    /// Transfer seconds on the modeled line.
+    pub transfer_seconds: f64,
+}
+
+/// Evaluates the model for one protocol instance.
+pub fn estimate(protocol: Protocol, vs: u64, vr: u64, consts: &CostConstants) -> ProtocolEstimate {
+    let ce_ops = protocol.ce_ops(vs, vr);
+    let bits = protocol.communication_bits(vs, vr, consts);
+    ProtocolEstimate {
+        protocol,
+        vs,
+        vr,
+        ce_ops,
+        bits,
+        compute_seconds: consts.compute_seconds(ce_ops as f64),
+        transfer_seconds: consts.transfer_seconds(bits as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersection_formulas() {
+        let c = CostConstants::paper();
+        let e = estimate(Protocol::Intersection, 1000, 500, &c);
+        assert_eq!(e.ce_ops, 2 * 1500);
+        assert_eq!(e.bits, (1000 + 2 * 500) * 1024);
+    }
+
+    #[test]
+    fn join_formulas() {
+        let c = CostConstants::paper();
+        let e = estimate(Protocol::Equijoin, 1000, 500, &c);
+        assert_eq!(e.ce_ops, 2 * 1000 + 5 * 500);
+        assert_eq!(e.bits, (1000 + 3 * 500) * 1024 + 1000 * 64);
+    }
+
+    #[test]
+    fn size_protocols_match_intersection_cost() {
+        let c = CostConstants::paper();
+        let a = estimate(Protocol::Intersection, 7, 3, &c);
+        let b = estimate(Protocol::IntersectionSize, 7, 3, &c);
+        let d = estimate(Protocol::EquijoinSize, 7, 3, &c);
+        assert_eq!(a.ce_ops, b.ce_ops);
+        assert_eq!(a.bits, b.bits);
+        assert_eq!(a.ce_ops, d.ce_ops);
+        assert_eq!(a.bits, d.bits);
+    }
+
+    #[test]
+    fn ck_only_for_join() {
+        assert_eq!(Protocol::Equijoin.ck_ops(10, 4), 14);
+        assert_eq!(Protocol::Intersection.ck_ops(10, 4), 0);
+    }
+
+    #[test]
+    fn times_scale_linearly() {
+        let c = CostConstants::paper();
+        let small = estimate(Protocol::Intersection, 100, 100, &c);
+        let large = estimate(Protocol::Intersection, 1000, 1000, &c);
+        assert!((large.compute_seconds / small.compute_seconds - 10.0).abs() < 1e-9);
+        assert!((large.transfer_seconds / small.transfer_seconds - 10.0).abs() < 1e-9);
+    }
+}

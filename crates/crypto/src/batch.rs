@@ -1,0 +1,125 @@
+//! Parallel batch encryption.
+//!
+//! §6.2 of the paper: *"Encrypting the set of values is trivially
+//! parallelizable in all three protocols. We assume that we have P
+//! processors that we can utilize in parallel."* This module supplies
+//! that `P`: a data-parallel map over the commutative cipher using scoped
+//! threads. The ablation bench (`ablation/parallel_encrypt`) measures the
+//! speedup curve the paper's estimates divide by.
+
+use minshare_bignum::UBig;
+
+use crate::commutative::CommutativeKey;
+use crate::group::QrGroup;
+
+/// Encrypts every element with `key` using up to `threads` worker
+/// threads. `threads == 0` or `1` runs inline. Order is preserved.
+pub fn encrypt_batch(
+    group: &QrGroup,
+    key: &CommutativeKey,
+    items: &[UBig],
+    threads: usize,
+) -> Vec<UBig> {
+    map_batch(items, threads, |x| group.encrypt(key, x))
+}
+
+/// Decrypts every element with `key`, in parallel. Order is preserved.
+pub fn decrypt_batch(
+    group: &QrGroup,
+    key: &CommutativeKey,
+    items: &[UBig],
+    threads: usize,
+) -> Vec<UBig> {
+    map_batch(items, threads, |x| group.decrypt(key, x))
+}
+
+/// Hashes and encrypts raw values (`f_e(h(v))`), in parallel.
+pub fn hash_encrypt_batch(
+    group: &QrGroup,
+    key: &CommutativeKey,
+    values: &[Vec<u8>],
+    threads: usize,
+) -> Vec<UBig> {
+    map_batch(values, threads, |v| group.hash_encrypt(key, v))
+}
+
+/// Order-preserving parallel map with contiguous chunking (keeps cache
+/// behavior predictable and needs no work-stealing machinery).
+fn map_batch<I: Sync, O: Send>(items: &[I], threads: usize, f: impl Fn(&I) -> O + Sync) -> Vec<O> {
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut results: Vec<Vec<O>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| scope.spawn(|| slice.iter().map(&f).collect::<Vec<O>>()))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("batch worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn group() -> QrGroup {
+        let mut rng = StdRng::seed_from_u64(0xba7c);
+        QrGroup::generate(&mut rng, 64).unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(1);
+        let key = g.gen_key(&mut rng);
+        let items: Vec<UBig> = (0..37).map(|_| g.sample_element(&mut rng)).collect();
+        let serial = encrypt_batch(&g, &key, &items, 1);
+        for threads in [2usize, 3, 8, 64] {
+            assert_eq!(
+                encrypt_batch(&g, &key, &items, threads),
+                serial,
+                "t={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn decrypt_batch_inverts_encrypt_batch() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(2);
+        let key = g.gen_key(&mut rng);
+        let items: Vec<UBig> = (0..10).map(|_| g.sample_element(&mut rng)).collect();
+        let enc = encrypt_batch(&g, &key, &items, 4);
+        assert_eq!(decrypt_batch(&g, &key, &enc, 4), items);
+    }
+
+    #[test]
+    fn hash_encrypt_batch_matches_pointwise() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(3);
+        let key = g.gen_key(&mut rng);
+        let values: Vec<Vec<u8>> = (0..9u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        let batch = hash_encrypt_batch(&g, &key, &values, 3);
+        for (v, e) in values.iter().zip(&batch) {
+            assert_eq!(&g.hash_encrypt(&key, v), e);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(4);
+        let key = g.gen_key(&mut rng);
+        assert!(encrypt_batch(&g, &key, &[], 8).is_empty());
+        let one = vec![g.sample_element(&mut rng)];
+        assert_eq!(encrypt_batch(&g, &key, &one, 8).len(), 1);
+    }
+}

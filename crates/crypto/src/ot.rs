@@ -1,0 +1,253 @@
+//! 1-out-of-2 oblivious transfer over the quadratic-residue group
+//! (Bellare–Micali construction in the random-oracle model).
+//!
+//! The paper's Appendix A prices the circuit baseline by the oblivious
+//! transfers needed to code the evaluator's input bits (`w · |V_R|`
+//! transfers). This module supplies a working OT so the garbled-circuit
+//! baseline in `minshare-circuits` is executable, not just priced.
+//!
+//! Protocol (semi-honest):
+//!
+//! 1. Sender publishes a random group element `C` whose discrete log it
+//!    does not know (derived from a session id by hashing into the group).
+//! 2. Receiver with choice bit `b` picks `k ∈r KeyF`, sets `PK_b = g^k`
+//!    and `PK_{1−b} = C · PK_b^{−1}`, and sends `PK_0`.
+//! 3. Sender computes `PK_1 = C · PK_0^{−1}`, picks `r_0, r_1`, and sends
+//!    `(g^{r_i}, H(PK_i^{r_i}) ⊕ m_i)` for `i = 0, 1`.
+//! 4. Receiver recovers `m_b = H((g^{r_b})^k) ⊕ c_b`; the other pad is a
+//!    CDH instance it cannot evaluate.
+
+use minshare_bignum::UBig;
+use minshare_hash::RandomOracle;
+use rand::Rng;
+
+use crate::error::CryptoError;
+use crate::group::QrGroup;
+
+/// A 1-out-of-2 oblivious-transfer session over a [`QrGroup`].
+#[derive(Clone, Debug)]
+pub struct ObliviousTransfer {
+    group: QrGroup,
+    pad_oracle: RandomOracle,
+    /// The trapdoor-free element `C`.
+    c: UBig,
+}
+
+/// Receiver's private state between query and recovery.
+#[derive(Clone, Debug)]
+pub struct OtReceiverState {
+    k: UBig,
+    choice: bool,
+}
+
+/// Receiver → sender message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OtQuery {
+    /// The public key for message index 0.
+    pub pk0: UBig,
+}
+
+/// Sender → receiver message: two ElGamal-style encryptions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OtResponse {
+    /// `g^{r_0}, g^{r_1}`.
+    pub ephemeral: [UBig; 2],
+    /// `H(PK_i^{r_i}) ⊕ m_i`.
+    pub pads: [Vec<u8>; 2],
+}
+
+impl ObliviousTransfer {
+    /// Creates a session bound to `session_id`. Both parties derive the
+    /// same `C` by hashing the session id into the group, so neither knows
+    /// its discrete log.
+    pub fn new(group: QrGroup, session_id: &[u8]) -> Self {
+        let mut tagged = b"minshare/ot/c-point/v1:".to_vec();
+        tagged.extend_from_slice(session_id);
+        let c = group.hash_to_group(&tagged);
+        ObliviousTransfer {
+            group,
+            pad_oracle: RandomOracle::new(b"minshare/ot/pad/v1"),
+            c,
+        }
+    }
+
+    /// The group this session runs over.
+    pub fn group(&self) -> &QrGroup {
+        &self.group
+    }
+
+    /// Receiver step: produce the query for choice bit `choice`.
+    pub fn receiver_query<R: Rng + ?Sized>(
+        &self,
+        choice: bool,
+        rng: &mut R,
+    ) -> Result<(OtReceiverState, OtQuery), CryptoError> {
+        let k = self.group.gen_key(rng).exponent().clone();
+        let pk_choice = self.group.pow(&self.group.generator(), &k);
+        let pk_other = self.group.mul(&self.c, &self.group.inv(&pk_choice)?);
+        let pk0 = if choice { pk_other } else { pk_choice };
+        Ok((OtReceiverState { k, choice }, OtQuery { pk0 }))
+    }
+
+    /// Sender step: encrypt `m0` and `m1` (equal lengths) against the
+    /// receiver's query.
+    pub fn sender_respond<R: Rng + ?Sized>(
+        &self,
+        query: &OtQuery,
+        m0: &[u8],
+        m1: &[u8],
+        rng: &mut R,
+    ) -> Result<OtResponse, CryptoError> {
+        if m0.len() != m1.len() {
+            return Err(CryptoError::MalformedCiphertext);
+        }
+        if !self.group.is_member(&query.pk0) {
+            return Err(CryptoError::NotGroupElement);
+        }
+        let pk1 = self.group.mul(&self.c, &self.group.inv(&query.pk0)?);
+        let mut ephemeral = [UBig::zero(), UBig::zero()];
+        let mut pads = [Vec::new(), Vec::new()];
+        for (i, (pk, m)) in [(&query.pk0, m0), (&pk1, m1)].into_iter().enumerate() {
+            let r = self.group.gen_key(rng).exponent().clone();
+            ephemeral[i] = self.group.pow(&self.group.generator(), &r);
+            let shared = self.group.pow(pk, &r);
+            pads[i] = self.pad(i as u8, &shared, m)?;
+        }
+        Ok(OtResponse { ephemeral, pads })
+    }
+
+    /// Receiver step: recover the chosen message.
+    pub fn receiver_recover(
+        &self,
+        state: &OtReceiverState,
+        response: &OtResponse,
+    ) -> Result<Vec<u8>, CryptoError> {
+        let i = state.choice as usize;
+        if response.pads[0].len() != response.pads[1].len() {
+            return Err(CryptoError::MalformedCiphertext);
+        }
+        if !self.group.is_member(&response.ephemeral[i]) {
+            return Err(CryptoError::NotGroupElement);
+        }
+        let shared = self.group.pow(&response.ephemeral[i], &state.k);
+        self.pad(i as u8, &shared, &response.pads[i])
+    }
+
+    /// XOR pad derived from a shared group element, bound to the slot
+    /// index so the two pads are independent even if `r_0 = r_1`.
+    fn pad(&self, slot: u8, shared: &UBig, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let mut seed = vec![slot];
+        seed.extend_from_slice(&self.group.encode_element(shared)?);
+        let stream = self.pad_oracle.expand(&seed, data.len());
+        Ok(data.iter().zip(stream.iter()).map(|(a, b)| a ^ b).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ObliviousTransfer, StdRng) {
+        let mut seed_rng = StdRng::seed_from_u64(4242);
+        let group = QrGroup::generate(&mut seed_rng, 64).unwrap();
+        (
+            ObliviousTransfer::new(group, b"test-session"),
+            StdRng::seed_from_u64(7),
+        )
+    }
+
+    #[test]
+    fn receiver_gets_chosen_message() {
+        let (ot, mut rng) = setup();
+        for choice in [false, true] {
+            let (state, query) = ot.receiver_query(choice, &mut rng).unwrap();
+            let resp = ot
+                .sender_respond(&query, b"message-zero", b"message-one!", &mut rng)
+                .unwrap();
+            let got = ot.receiver_recover(&state, &resp).unwrap();
+            let expect: &[u8] = if choice {
+                b"message-one!"
+            } else {
+                b"message-zero"
+            };
+            assert_eq!(got, expect, "choice={choice}");
+        }
+    }
+
+    #[test]
+    fn other_pad_is_garbage() {
+        let (ot, mut rng) = setup();
+        let (state, query) = ot.receiver_query(false, &mut rng).unwrap();
+        let resp = ot
+            .sender_respond(&query, b"chosen-00000", b"hidden-11111", &mut rng)
+            .unwrap();
+        // Decrypting the *other* slot with the receiver's key must not
+        // yield the hidden message.
+        let wrong_state = OtReceiverState {
+            k: state.k.clone(),
+            choice: true,
+        };
+        let got = ot.receiver_recover(&wrong_state, &resp).unwrap();
+        assert_ne!(got, b"hidden-11111");
+    }
+
+    #[test]
+    fn query_hides_choice_structurally() {
+        // PK0 is a valid group element for both choices; there is no
+        // structural marker of the choice bit.
+        let (ot, mut rng) = setup();
+        let (_, q0) = ot.receiver_query(false, &mut rng).unwrap();
+        let (_, q1) = ot.receiver_query(true, &mut rng).unwrap();
+        assert!(ot.group().is_member(&q0.pk0));
+        assert!(ot.group().is_member(&q1.pk0));
+    }
+
+    #[test]
+    fn pk_product_equals_c_invariant() {
+        // PK0 · PK1 = C must hold from the sender's perspective; this is
+        // what prevents the receiver from knowing both discrete logs.
+        let (ot, mut rng) = setup();
+        let (_, query) = ot.receiver_query(true, &mut rng).unwrap();
+        let pk1 = ot.group().mul(&ot.c, &ot.group().inv(&query.pk0).unwrap());
+        assert_eq!(ot.group().mul(&query.pk0, &pk1), ot.c);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let (ot, mut rng) = setup();
+        let (_, query) = ot.receiver_query(false, &mut rng).unwrap();
+        assert!(matches!(
+            ot.sender_respond(&query, b"short", b"longer-message", &mut rng),
+            Err(CryptoError::MalformedCiphertext)
+        ));
+    }
+
+    #[test]
+    fn invalid_pk_rejected() {
+        let (ot, mut rng) = setup();
+        let bad = OtQuery { pk0: UBig::zero() };
+        assert!(matches!(
+            ot.sender_respond(&bad, b"a", b"b", &mut rng),
+            Err(CryptoError::NotGroupElement)
+        ));
+    }
+
+    #[test]
+    fn empty_messages_work() {
+        let (ot, mut rng) = setup();
+        let (state, query) = ot.receiver_query(true, &mut rng).unwrap();
+        let resp = ot.sender_respond(&query, b"", b"", &mut rng).unwrap();
+        assert!(ot.receiver_recover(&state, &resp).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sessions_are_domain_separated() {
+        let mut seed_rng = StdRng::seed_from_u64(4242);
+        let group = QrGroup::generate(&mut seed_rng, 64).unwrap();
+        let a = ObliviousTransfer::new(group.clone(), b"s1");
+        let b = ObliviousTransfer::new(group, b"s2");
+        assert_ne!(a.c, b.c);
+    }
+}

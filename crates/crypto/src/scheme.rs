@@ -1,0 +1,187 @@
+//! The abstract commutative-encryption interface of Definition 2.
+//!
+//! The paper defines commutative encryption abstractly and then
+//! instantiates it (Example 1) with power functions over `QR_p`. The
+//! protocol engines in the `minshare` crate are generic over this trait,
+//! so both bundled instantiations can drive them:
+//!
+//! * [`crate::group::QrGroup`] — Example 1 (DDH in `QR_p`); the primary
+//!   instantiation, for which the paper's proofs are stated;
+//! * [`crate::sra::SraContext`] — the cited mental-poker construction
+//!   (\[42\]) over a shared-factorization RSA modulus.
+//!
+//! Method names are deliberately distinct from the instantiations'
+//! inherent methods (`apply` vs `encrypt`, …) so generic code reads
+//! unambiguously.
+
+use minshare_bignum::UBig;
+use rand::Rng;
+
+use crate::error::CryptoError;
+
+/// A commutative encryption scheme `F` with its domain codec.
+///
+/// Contract (Definition 2 of the paper, testable parts):
+/// * `apply(k1, apply(k2, x)) == apply(k2, apply(k1, x))`,
+/// * `unapply(k, apply(k, x)) == x`,
+/// * `hash_value` maps arbitrary bytes into the scheme's domain,
+/// * `decode_elem(encode_elem(x)) == x` and `decode_elem` rejects
+///   non-domain bytes.
+pub trait CommutativeScheme {
+    /// The key type (must be generatable and reusable).
+    type Key: Clone;
+
+    /// Samples a key uniformly from the scheme's key space.
+    fn key_gen<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::Key;
+
+    /// `f_k(x)`.
+    fn apply(&self, key: &Self::Key, x: &UBig) -> UBig;
+
+    /// `f_k⁻¹(y)`.
+    fn unapply(&self, key: &Self::Key, y: &UBig) -> UBig;
+
+    /// The ideal hash `h : V → DomF`.
+    fn hash_value(&self, value: &[u8]) -> UBig;
+
+    /// Fixed codeword width in bytes.
+    fn codeword_len(&self) -> usize;
+
+    /// Serializes a domain element at [`CommutativeScheme::codeword_len`].
+    fn encode_elem(&self, x: &UBig) -> Result<Vec<u8>, CryptoError>;
+
+    /// Parses and validates a domain element.
+    fn decode_elem(&self, bytes: &[u8]) -> Result<UBig, CryptoError>;
+}
+
+impl CommutativeScheme for crate::group::QrGroup {
+    type Key = crate::commutative::CommutativeKey;
+
+    fn key_gen<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::Key {
+        self.gen_key(rng)
+    }
+
+    fn apply(&self, key: &Self::Key, x: &UBig) -> UBig {
+        self.encrypt(key, x)
+    }
+
+    fn unapply(&self, key: &Self::Key, y: &UBig) -> UBig {
+        self.decrypt(key, y)
+    }
+
+    fn hash_value(&self, value: &[u8]) -> UBig {
+        self.hash_to_group(value)
+    }
+
+    fn codeword_len(&self) -> usize {
+        self.codeword_bytes()
+    }
+
+    fn encode_elem(&self, x: &UBig) -> Result<Vec<u8>, CryptoError> {
+        self.encode_element(x)
+    }
+
+    fn decode_elem(&self, bytes: &[u8]) -> Result<UBig, CryptoError> {
+        self.decode_element(bytes)
+    }
+}
+
+impl CommutativeScheme for crate::sra::SraContext {
+    type Key = crate::sra::SraKey;
+
+    fn key_gen<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::Key {
+        self.gen_key(rng)
+    }
+
+    fn apply(&self, key: &Self::Key, x: &UBig) -> UBig {
+        self.encrypt(key, x)
+    }
+
+    fn unapply(&self, key: &Self::Key, y: &UBig) -> UBig {
+        self.decrypt(key, y)
+    }
+
+    fn hash_value(&self, value: &[u8]) -> UBig {
+        self.hash_to_domain(value)
+    }
+
+    fn codeword_len(&self) -> usize {
+        (self.modulus().bit_len() as usize).div_ceil(8)
+    }
+
+    fn encode_elem(&self, x: &UBig) -> Result<Vec<u8>, CryptoError> {
+        Ok(x.to_be_bytes_padded(self.codeword_len())?)
+    }
+
+    fn decode_elem(&self, bytes: &[u8]) -> Result<UBig, CryptoError> {
+        if bytes.len() != self.codeword_len() {
+            return Err(CryptoError::MalformedCiphertext);
+        }
+        let x = UBig::from_be_bytes(bytes);
+        if x.is_zero() || &x >= self.modulus() || !x.gcd(self.modulus()).is_one() {
+            return Err(CryptoError::NotGroupElement);
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Generic Definition-2 exerciser used against both instantiations.
+    fn check_definition2<S: CommutativeScheme>(scheme: &S, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k1 = scheme.key_gen(&mut rng);
+        let k2 = scheme.key_gen(&mut rng);
+        for i in 0..10u32 {
+            let x = scheme.hash_value(&i.to_be_bytes());
+            // Commutativity.
+            assert_eq!(
+                scheme.apply(&k1, &scheme.apply(&k2, &x)),
+                scheme.apply(&k2, &scheme.apply(&k1, &x))
+            );
+            // Inversion.
+            assert_eq!(scheme.unapply(&k1, &scheme.apply(&k1, &x)), x);
+            // Codec round trip.
+            let y = scheme.apply(&k1, &x);
+            let bytes = scheme.encode_elem(&y).unwrap();
+            assert_eq!(bytes.len(), scheme.codeword_len());
+            assert_eq!(scheme.decode_elem(&bytes).unwrap(), y);
+        }
+        // Decode rejects zero.
+        let zeros = vec![0u8; scheme.codeword_len()];
+        assert!(scheme.decode_elem(&zeros).is_err());
+    }
+
+    #[test]
+    fn qr_group_satisfies_contract() {
+        let mut rng = StdRng::seed_from_u64(0x5c4e);
+        let g = crate::group::QrGroup::generate(&mut rng, 64).unwrap();
+        check_definition2(&g, 1);
+    }
+
+    #[test]
+    fn sra_satisfies_contract() {
+        let mut rng = StdRng::seed_from_u64(0x5c4f);
+        let s = crate::sra::SraContext::generate(&mut rng, 64).unwrap();
+        check_definition2(&s, 2);
+    }
+
+    #[test]
+    fn sra_decode_rejects_non_units() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = crate::sra::SraContext::generate(&mut rng, 32).unwrap();
+        // Find a multiple of a prime factor: gcd(x, n) > 1 → rejected.
+        let mut x = UBig::from(2u64);
+        while x.gcd(s.modulus()).is_one() {
+            x = x.add_small(1);
+        }
+        let bytes = s.encode_elem(&x).unwrap();
+        assert!(matches!(
+            s.decode_elem(&bytes),
+            Err(CryptoError::NotGroupElement)
+        ));
+    }
+}

@@ -1,0 +1,237 @@
+//! SRA commutative encryption — the *other* classical instantiation of
+//! the paper's Definition 2.
+//!
+//! The paper's commutative-encryption definition cites Shamir, Rivest &
+//! Adleman's "Mental Poker" (\[42\]) alongside Diffie–Hellman and Pohlig–
+//! Hellman constructions. SRA works over an RSA modulus `n = p·q` whose
+//! factorization is **shared by the two parties** (but hidden from
+//! outsiders): each party picks `e` with `gcd(e, φ(n)) = 1` and encrypts
+//! by `f_e(x) = x^e mod n`, decrypting with `d = e⁻¹ mod φ(n)`.
+//!
+//! Properties vs. Definition 2:
+//!
+//! 1. **Commutativity** — powers commute, as in Example 1. ✔
+//! 2. **Bijectivity** on `Z_n^*` — `gcd(e, φ(n)) = 1`. ✔
+//! 3. **Efficient inversion** given the key (both parties know `φ(n)`). ✔
+//! 4. **Indistinguishability** — rests on RSA-style assumptions rather
+//!    than DDH, and (crucially) the proof of the paper's Lemma 1 does not
+//!    carry over verbatim: with `φ(n)` shared, each *party* can always
+//!    decrypt its own layer. SRA is secure against *outsiders* and is the
+//!    historical construction; the QR/DDH group of Example 1
+//!    ([`crate::group::QrGroup`]) is what the paper's security statements
+//!    are proved for, and is what the `minshare` protocol engines use.
+//!
+//! This module exists to make the reproduction's cipher layer complete
+//! (both classical instantiations implemented and property-tested) and to
+//! power the `ablation/commutative_scheme` comparison.
+
+use minshare_bignum::montgomery::MontgomeryCtx;
+use minshare_bignum::prime::generate_prime;
+use minshare_bignum::random::random_range;
+use minshare_bignum::UBig;
+use minshare_hash::RandomOracle;
+use rand::Rng;
+
+use crate::error::CryptoError;
+
+/// Shared SRA parameters: the modulus and (privately, between the two
+/// parties) its Euler totient.
+#[derive(Clone, Debug)]
+pub struct SraContext {
+    n: UBig,
+    phi: UBig,
+    ctx: MontgomeryCtx,
+    oracle: RandomOracle,
+}
+
+/// An SRA key: exponent and its inverse mod `φ(n)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SraKey {
+    e: UBig,
+    d: UBig,
+}
+
+impl SraKey {
+    /// The encryption exponent.
+    pub fn exponent(&self) -> &UBig {
+        &self.e
+    }
+}
+
+impl SraContext {
+    /// Generates shared parameters with an approximately `bits`-bit
+    /// modulus (two `bits/2`-bit primes).
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: u64) -> Result<Self, CryptoError> {
+        if bits < 16 {
+            return Err(CryptoError::UnsupportedSize { bits });
+        }
+        let half = bits / 2;
+        loop {
+            let p = generate_prime(rng, half, 1_000_000)?;
+            let q = generate_prime(rng, bits - half, 1_000_000)?;
+            if p == q {
+                continue;
+            }
+            let n = p.mul_ref(&q);
+            let phi = p.sub_small(1)?.mul_ref(&q.sub_small(1)?);
+            let ctx = MontgomeryCtx::new(&n)?;
+            return Ok(SraContext {
+                n,
+                phi,
+                ctx,
+                oracle: RandomOracle::new(b"minshare/sra/hash-to-domain/v1"),
+            });
+        }
+    }
+
+    /// The public modulus.
+    pub fn modulus(&self) -> &UBig {
+        &self.n
+    }
+
+    /// Samples a key with `gcd(e, φ(n)) = 1` and precomputes its inverse.
+    pub fn gen_key<R: Rng + ?Sized>(&self, rng: &mut R) -> SraKey {
+        loop {
+            let e = random_range(rng, &UBig::from(3u64), &self.phi);
+            if let Ok(d) = e.mod_inv(&self.phi) {
+                return SraKey { e, d };
+            }
+        }
+    }
+
+    /// Hashes an arbitrary value into `Z_n^*` (random-oracle expansion,
+    /// reduction with 128 bits of slack, gcd check with retry-by-counter).
+    pub fn hash_to_domain(&self, value: &[u8]) -> UBig {
+        let out_bytes = ((self.n.bit_len() + 128) as usize).div_ceil(8);
+        let mut suffix = 0u32;
+        loop {
+            let mut input = value.to_vec();
+            input.extend_from_slice(&suffix.to_be_bytes());
+            let wide = UBig::from_be_bytes(&self.oracle.expand(&input, out_bytes));
+            let n_minus_1 = self.n.sub_small(1).expect("n > 1");
+            let x = wide.rem_ref(&n_minus_1).expect("n-1 nonzero").add_small(1);
+            if x.gcd(&self.n).is_one() {
+                return x;
+            }
+            // Probability ≈ 1/p + 1/q — astronomically rare for real
+            // parameters, but handled for tiny test moduli.
+            suffix += 1;
+        }
+    }
+
+    /// `f_e(x) = x^e mod n`.
+    pub fn encrypt(&self, key: &SraKey, x: &UBig) -> UBig {
+        self.ctx.pow(x, &key.e)
+    }
+
+    /// `f_e⁻¹(y) = y^d mod n`.
+    pub fn decrypt(&self, key: &SraKey, y: &UBig) -> UBig {
+        self.ctx.pow(y, &key.d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx() -> SraContext {
+        let mut rng = StdRng::seed_from_u64(0x54a);
+        SraContext::generate(&mut rng, 64).unwrap()
+    }
+
+    #[test]
+    fn commutativity_holds() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..20u32 {
+            let k1 = c.gen_key(&mut rng);
+            let k2 = c.gen_key(&mut rng);
+            let x = c.hash_to_domain(&i.to_be_bytes());
+            assert_eq!(
+                c.encrypt(&k1, &c.encrypt(&k2, &x)),
+                c.encrypt(&k2, &c.encrypt(&k1, &x)),
+                "i={i}"
+            );
+        }
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..20u32 {
+            let k = c.gen_key(&mut rng);
+            let x = c.hash_to_domain(&i.to_be_bytes());
+            assert_eq!(c.decrypt(&k, &c.encrypt(&k, &x)), x, "i={i}");
+        }
+    }
+
+    #[test]
+    fn cross_layer_stripping_works() {
+        // The §4.1 trick under SRA: f_e1⁻¹(f_e2(f_e1(x))) = f_e2(x).
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(3);
+        let k1 = c.gen_key(&mut rng);
+        let k2 = c.gen_key(&mut rng);
+        let x = c.hash_to_domain(b"value");
+        let double = c.encrypt(&k2, &c.encrypt(&k1, &x));
+        assert_eq!(c.decrypt(&k1, &double), c.encrypt(&k2, &x));
+    }
+
+    #[test]
+    fn intersection_math_under_sra() {
+        // The §3.3 membership equation with SRA keys: v ∈ V_S ∩ V_R iff
+        // f_eS(f_eR(h(v))) ∈ f_eR(f_eS(h(V_S))).
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(4);
+        let e_s = c.gen_key(&mut rng);
+        let e_r = c.gen_key(&mut rng);
+        let vs = [b"a".as_slice(), b"b", b"c"];
+        let vr = [b"b".as_slice(), b"c", b"d"];
+        let zs: std::collections::BTreeSet<UBig> = vs
+            .iter()
+            .map(|v| c.encrypt(&e_r, &c.encrypt(&e_s, &c.hash_to_domain(v))))
+            .collect();
+        let matched: Vec<&[u8]> = vr
+            .iter()
+            .filter(|v| {
+                let t = c.encrypt(&e_s, &c.encrypt(&e_r, &c.hash_to_domain(v)));
+                zs.contains(&t)
+            })
+            .copied()
+            .collect();
+        assert_eq!(matched, vec![b"b".as_slice(), b"c"]);
+    }
+
+    #[test]
+    fn hash_lands_in_units() {
+        let c = ctx();
+        for i in 0..50u32 {
+            let x = c.hash_to_domain(&i.to_be_bytes());
+            assert!(x.gcd(c.modulus()).is_one());
+            assert!(&x < c.modulus() && !x.is_zero());
+        }
+    }
+
+    #[test]
+    fn keys_are_invertible_by_construction() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let k = c.gen_key(&mut rng);
+            let prod = k.e.mod_mul(&k.d, &c.phi).unwrap();
+            assert!(prod.is_one());
+        }
+    }
+
+    #[test]
+    fn tiny_modulus_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(matches!(
+            SraContext::generate(&mut rng, 8),
+            Err(CryptoError::UnsupportedSize { .. })
+        ));
+    }
+}

@@ -1,0 +1,212 @@
+//! A Bloom filter, used by the §7 tradeoff study (`minshare`'s
+//! `tradeoff` module): trading extra disclosure for protocols that avoid
+//! modular exponentiation entirely.
+
+use crate::oracle::RandomOracle;
+
+/// A fixed-size Bloom filter with `k` independent hash functions derived
+//  from the random oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    m_bits: usize,
+    k_hashes: u32,
+}
+
+impl BloomFilter {
+    /// Creates an empty filter with `m_bits` bits and `k_hashes` hash
+    /// functions.
+    ///
+    /// # Panics
+    /// Panics if `m_bits == 0` or `k_hashes == 0`.
+    pub fn new(m_bits: usize, k_hashes: u32) -> Self {
+        assert!(m_bits > 0 && k_hashes > 0, "degenerate Bloom parameters");
+        BloomFilter {
+            bits: vec![0u64; m_bits.div_ceil(64)],
+            m_bits,
+            k_hashes,
+        }
+    }
+
+    /// Chooses near-optimal parameters for `n` items at false-positive
+    /// rate `p`: `m = -n·ln p / (ln 2)²`, `k = (m/n)·ln 2`.
+    pub fn with_rate(n: usize, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p) && p > 0.0, "rate must be in (0,1)");
+        let n = n.max(1) as f64;
+        let m = (-n * p.ln() / (2f64.ln() * 2f64.ln())).ceil().max(8.0) as usize;
+        let k = ((m as f64 / n) * 2f64.ln()).round().max(1.0) as u32;
+        BloomFilter::new(m, k)
+    }
+
+    /// Filter size in bits.
+    pub fn m_bits(&self) -> usize {
+        self.m_bits
+    }
+
+    /// Number of hash functions.
+    pub fn k_hashes(&self) -> u32 {
+        self.k_hashes
+    }
+
+    /// The bit positions item `v` maps to.
+    fn positions(&self, v: &[u8]) -> Vec<usize> {
+        // One oracle call yields 8 bytes per hash function; reduce mod m.
+        // The slight mod bias is irrelevant for a filter.
+        let oracle = RandomOracle::new(b"minshare/bloom/v1");
+        let bytes = oracle.expand(v, self.k_hashes as usize * 8);
+        bytes
+            .chunks(8)
+            .map(|c| {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(c);
+                (u64::from_be_bytes(b) % self.m_bits as u64) as usize
+            })
+            .collect()
+    }
+
+    /// Inserts an item.
+    pub fn insert(&mut self, v: &[u8]) {
+        for pos in self.positions(v) {
+            self.bits[pos / 64] |= 1u64 << (pos % 64);
+        }
+    }
+
+    /// Membership test (no false negatives; false positives at the
+    /// configured rate).
+    pub fn contains(&self, v: &[u8]) -> bool {
+        self.positions(v)
+            .into_iter()
+            .all(|pos| self.bits[pos / 64] >> (pos % 64) & 1 == 1)
+    }
+
+    /// Fraction of set bits — drives the actual false-positive rate
+    /// `fill^k`.
+    pub fn fill_ratio(&self) -> f64 {
+        let ones: u64 = self.bits.iter().map(|w| w.count_ones() as u64).sum();
+        ones as f64 / self.m_bits as f64
+    }
+
+    /// The false-positive probability implied by the current fill.
+    pub fn false_positive_rate(&self) -> f64 {
+        self.fill_ratio().powi(self.k_hashes as i32)
+    }
+
+    /// Serializes as `m ‖ k ‖ bit words` (all big-endian).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.bits.len() * 8);
+        out.extend_from_slice(&(self.m_bits as u64).to_be_bytes());
+        out.extend_from_slice(&self.k_hashes.to_be_bytes());
+        for w in &self.bits {
+            out.extend_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses [`BloomFilter::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 12 {
+            return None;
+        }
+        let mut m8 = [0u8; 8];
+        m8.copy_from_slice(&bytes[..8]);
+        let m_bits = u64::from_be_bytes(m8) as usize;
+        let mut k4 = [0u8; 4];
+        k4.copy_from_slice(&bytes[8..12]);
+        let k_hashes = u32::from_be_bytes(k4);
+        if m_bits == 0 || k_hashes == 0 {
+            return None;
+        }
+        let words = m_bits.div_ceil(64);
+        if bytes.len() != 12 + words * 8 {
+            return None;
+        }
+        let bits = bytes[12..]
+            .chunks(8)
+            .map(|c| {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(c);
+                u64::from_be_bytes(w)
+            })
+            .collect();
+        Some(BloomFilter {
+            bits,
+            m_bits,
+            k_hashes,
+        })
+    }
+
+    /// Wire size in bits (what the tradeoff protocol sends).
+    pub fn wire_bits(&self) -> u64 {
+        (self.to_bytes().len() * 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_rate(100, 0.01);
+        let items: Vec<Vec<u8>> = (0..100u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        for item in &items {
+            f.insert(item);
+        }
+        for item in &items {
+            assert!(f.contains(item));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_target() {
+        let mut f = BloomFilter::with_rate(500, 0.02);
+        for i in 0..500u32 {
+            f.insert(&i.to_be_bytes());
+        }
+        // Probe 10_000 non-members.
+        let fp = (10_000u32..20_000)
+            .filter(|i| f.contains(&i.to_be_bytes()))
+            .count();
+        let rate = fp as f64 / 10_000.0;
+        assert!(rate < 0.06, "rate={rate}");
+        // The analytic estimate should be in the same ballpark.
+        assert!((f.false_positive_rate() - rate).abs() < 0.03);
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::new(1024, 4);
+        assert!(!f.contains(b"anything"));
+        assert_eq!(f.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut f = BloomFilter::new(300, 5); // non-multiple of 64
+        for i in 0..40u32 {
+            f.insert(&i.to_be_bytes());
+        }
+        let bytes = f.to_bytes();
+        let back = BloomFilter::from_bytes(&bytes).unwrap();
+        assert_eq!(back, f);
+        assert!(BloomFilter::from_bytes(&bytes[..5]).is_none());
+        assert!(BloomFilter::from_bytes(&[]).is_none());
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(BloomFilter::from_bytes(&longer).is_none());
+    }
+
+    #[test]
+    fn parameter_formula_sane() {
+        let f = BloomFilter::with_rate(1000, 0.01);
+        // ≈ 9.6 bits/item and ≈ 7 hashes for 1% FP.
+        assert!((9000..11000).contains(&f.m_bits()), "{}", f.m_bits());
+        assert!((6..=8).contains(&f.k_hashes()), "{}", f.k_hashes());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_bits_panics() {
+        BloomFilter::new(0, 3);
+    }
+}

@@ -1,0 +1,188 @@
+//! The ChaCha20 stream cipher (RFC 8439), from the specification.
+//!
+//! Used by the hybrid payload cipher `K` (paper §4.2, length-extension
+//! variant) and by the secure-channel session layer.
+
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+
+/// Nonce length in bytes (the RFC 8439 96-bit nonce).
+pub const NONCE_LEN: usize = 12;
+
+const BLOCK_WORDS: usize = 16;
+const BLOCK_BYTES: usize = 64;
+
+/// The ChaCha20 quarter round on four state words.
+#[inline]
+fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte keystream block for (key, nonce, counter).
+pub fn block(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> [u8; BLOCK_BYTES] {
+    let mut state = [0u32; BLOCK_WORDS];
+    // "expand 32-byte k"
+    state[0] = 0x61707865;
+    state[1] = 0x3320646e;
+    state[2] = 0x79622d32;
+    state[3] = 0x6b206574;
+    for i in 0..8 {
+        state[4 + i] =
+            u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[4 * i],
+            nonce[4 * i + 1],
+            nonce[4 * i + 2],
+            nonce[4 * i + 3],
+        ]);
+    }
+
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+
+    let mut out = [0u8; BLOCK_BYTES];
+    for i in 0..BLOCK_WORDS {
+        let word = working[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// XORs the ChaCha20 keystream into `data` in place, starting at block
+/// `initial_counter`. Applying it twice with the same parameters decrypts.
+pub fn apply_keystream(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    initial_counter: u32,
+    data: &mut [u8],
+) {
+    let mut counter = initial_counter;
+    for chunk in data.chunks_mut(BLOCK_BYTES) {
+        let ks = block(key, nonce, counter);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+        counter = counter
+            .checked_add(1)
+            .expect("ChaCha20 counter overflow: message too long");
+    }
+}
+
+/// Encrypts (or decrypts) a copy of `data`.
+pub fn xor_stream(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    initial_counter: u32,
+    data: &[u8],
+) -> Vec<u8> {
+    let mut out = data.to_vec();
+    apply_keystream(key, nonce, initial_counter, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn rfc_key() -> [u8; KEY_LEN] {
+        let mut k = [0u8; KEY_LEN];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        k
+    }
+
+    #[test]
+    fn rfc8439_block_function_vector() {
+        // RFC 8439 §2.3.2.
+        let key = rfc_key();
+        let nonce = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let ks = block(&key, &nonce, 1);
+        assert_eq!(
+            hex(&ks),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    #[test]
+    fn rfc8439_encryption_vector_prefix() {
+        // RFC 8439 §2.4.2: plaintext sunscreen message, counter starts at 1.
+        let key = rfc_key();
+        let nonce = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: \
+If I could offer you only one tip for the future, sunscreen would be it.";
+        let ct = xor_stream(&key, &nonce, 1, plaintext);
+        assert_eq!(
+            hex(&ct[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+    }
+
+    #[test]
+    fn round_trip() {
+        let key = [7u8; KEY_LEN];
+        let nonce = [3u8; NONCE_LEN];
+        let msg: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let ct = xor_stream(&key, &nonce, 0, &msg);
+        assert_ne!(ct, msg);
+        assert_eq!(xor_stream(&key, &nonce, 0, &ct), msg);
+    }
+
+    #[test]
+    fn counter_continuity() {
+        // Encrypting in one call equals encrypting per-block with advancing
+        // counters.
+        let key = [1u8; KEY_LEN];
+        let nonce = [2u8; NONCE_LEN];
+        let msg = vec![0u8; 200];
+        let whole = xor_stream(&key, &nonce, 5, &msg);
+        let mut parts = Vec::new();
+        parts.extend(xor_stream(&key, &nonce, 5, &msg[..64]));
+        parts.extend(xor_stream(&key, &nonce, 6, &msg[64..128]));
+        parts.extend(xor_stream(&key, &nonce, 7, &msg[128..]));
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn distinct_nonces_distinct_streams() {
+        let key = [9u8; KEY_LEN];
+        let a = block(&key, &[0u8; NONCE_LEN], 0);
+        let mut n2 = [0u8; NONCE_LEN];
+        n2[11] = 1;
+        let b = block(&key, &n2, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_message() {
+        let key = [0u8; KEY_LEN];
+        let nonce = [0u8; NONCE_LEN];
+        assert!(xor_stream(&key, &nonce, 0, &[]).is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! HKDF — extract-and-expand key derivation (RFC 5869) over HMAC-SHA-256.
+//!
+//! The equijoin protocol's hybrid payload cipher derives its symmetric key
+//! material from the group element `κ(v) = f_{e'S}(h(v))` via HKDF, and the
+//! secure-channel substrate derives session keys from a Diffie–Hellman
+//! shared secret the same way.
+
+use crate::hmac::HmacSha256;
+use crate::sha256::DIGEST_LEN;
+
+/// `HKDF-Extract(salt, ikm)` → pseudorandom key.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    HmacSha256::mac(salt, ikm)
+}
+
+/// `HKDF-Expand(prk, info, len)` → output keying material.
+///
+/// # Panics
+/// Panics if `len > 255 * 32` (the RFC 5869 limit).
+pub fn expand(prk: &[u8; DIGEST_LEN], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * DIGEST_LEN, "HKDF output length limit exceeded");
+    let mut okm = Vec::with_capacity(len);
+    let mut block: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while okm.len() < len {
+        let mut mac = HmacSha256::new(prk);
+        mac.update(&block);
+        mac.update(info);
+        mac.update(&[counter]);
+        block = mac.finalize().to_vec();
+        let take = (len - okm.len()).min(DIGEST_LEN);
+        okm.extend_from_slice(&block[..take]);
+        counter = counter
+            .checked_add(1)
+            .expect("counter bounded by len check");
+    }
+    okm
+}
+
+/// One-call extract-then-expand.
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    expand(&extract(salt, ikm), info, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = expand(&prk, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn rfc5869_case_3_no_salt_no_info() {
+        let ikm = [0x0bu8; 22];
+        let prk = extract(&[], &ikm);
+        let okm = expand(&prk, &[], 42);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn derive_composes() {
+        assert_eq!(
+            derive(b"salt", b"ikm", b"info", 64),
+            expand(&extract(b"salt", b"ikm"), b"info", 64)
+        );
+    }
+
+    #[test]
+    fn lengths_and_prefix_property() {
+        let prk = extract(b"s", b"k");
+        let long = expand(&prk, b"i", 100);
+        let short = expand(&prk, b"i", 33);
+        assert_eq!(long.len(), 100);
+        // HKDF outputs are prefix-consistent across lengths.
+        assert_eq!(&long[..33], &short[..]);
+        assert!(expand(&prk, b"i", 0).is_empty());
+    }
+
+    #[test]
+    fn info_separates_domains() {
+        let prk = extract(b"s", b"k");
+        assert_ne!(expand(&prk, b"a", 32), expand(&prk, b"b", 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "length limit")]
+    fn output_limit_enforced() {
+        let prk = extract(b"s", b"k");
+        let _ = expand(&prk, b"i", 255 * 32 + 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Streaming HMAC-SHA-256.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    /// The outer-pad key block, kept for finalization.
+    opad_block: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates a MAC instance keyed with `key` (any length; longer than one
+    /// block is hashed first, per the spec).
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            key_block[..DIGEST_LEN].copy_from_slice(&Sha256::digest(key));
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad_block = [0u8; BLOCK_LEN];
+        let mut opad_block = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad_block[i] = key_block[i] ^ 0x36;
+            opad_block[i] = key_block[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad_block);
+        HmacSha256 { inner, opad_block }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produces the 32-byte tag.
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_block);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot convenience.
+    pub fn mac(key: &[u8], data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut h = HmacSha256::new(key);
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Constant-time tag comparison. Returns `true` iff the tags match.
+    pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+        let expect = Self::mac(key, data);
+        if tag.len() != expect.len() {
+            return false;
+        }
+        let mut diff = 0u8;
+        for (a, b) in expect.iter().zip(tag) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = HmacSha256::mac(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        // Key "Jefe", data "what do ya want for nothing?".
+        let tag = HmacSha256::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn long_key_is_hashed() {
+        // Keys longer than one block must behave as their digest.
+        let long_key = vec![0xaau8; 100];
+        let mut short_key = [0u8; DIGEST_LEN];
+        short_key.copy_from_slice(&Sha256::digest(&long_key));
+        assert_eq!(
+            HmacSha256::mac(&long_key, b"msg"),
+            HmacSha256::mac(&short_key, b"msg")
+        );
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let key = b"streaming-key";
+        let data = b"split across several updates";
+        let mut h = HmacSha256::new(key);
+        h.update(&data[..5]);
+        h.update(&data[5..12]);
+        h.update(&data[12..]);
+        assert_eq!(h.finalize(), HmacSha256::mac(key, data));
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = HmacSha256::mac(b"k", b"m");
+        assert!(HmacSha256::verify(b"k", b"m", &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!HmacSha256::verify(b"k", b"m", &bad));
+        assert!(!HmacSha256::verify(b"k", b"m", &tag[..31]));
+        assert!(!HmacSha256::verify(b"k2", b"m", &tag));
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        assert_ne!(HmacSha256::mac(b"a", b"m"), HmacSha256::mac(b"b", b"m"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # minshare-hash
+//!
+//! From-scratch symmetric primitives for the `minshare` reproduction of
+//! *"Information Sharing Across Private Databases"* (SIGMOD 2003):
+//!
+//! * [`sha256`] — the SHA-256 compression function and streaming hasher,
+//! * [`hmac`] — HMAC-SHA-256,
+//! * [`hkdf`] — HKDF (RFC 5869) extract-and-expand key derivation,
+//! * [`chacha20`] — the ChaCha20 stream cipher (RFC 8439),
+//! * [`oracle`] — counter-mode expansion of SHA-256 into arbitrary-length
+//!   outputs, the concrete stand-in for the paper's ideal hash
+//!   `h : V → DomF` (random-oracle model, §3.2.2).
+//!
+//! Like `minshare-bignum`, this crate implements rather than imports its
+//! primitives: the hash and cipher layers are substrates the paper's
+//! protocol stack depends on (Figure 1 lists "libraries including
+//! encryption primitives" as a component of the system).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod chacha20;
+pub mod hkdf;
+pub mod hmac;
+pub mod oracle;
+pub mod sha256;
+
+pub use oracle::RandomOracle;
+pub use sha256::Sha256;

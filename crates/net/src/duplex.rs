@@ -1,0 +1,134 @@
+//! In-memory duplex transport built on crossbeam channels.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::error::NetError;
+use crate::transport::Transport;
+
+/// One endpoint of an in-memory duplex link.
+pub struct DuplexEndpoint {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    /// Reject frames larger than this (bug guard; default 256 MiB).
+    frame_limit: usize,
+}
+
+const DEFAULT_FRAME_LIMIT: usize = 256 * 1024 * 1024;
+
+/// Creates a connected pair of endpoints. Frames sent on one side arrive
+/// on the other, in order.
+pub fn duplex_pair() -> (DuplexEndpoint, DuplexEndpoint) {
+    let (a_tx, b_rx) = unbounded();
+    let (b_tx, a_rx) = unbounded();
+    (
+        DuplexEndpoint {
+            tx: a_tx,
+            rx: a_rx,
+            frame_limit: DEFAULT_FRAME_LIMIT,
+        },
+        DuplexEndpoint {
+            tx: b_tx,
+            rx: b_rx,
+            frame_limit: DEFAULT_FRAME_LIMIT,
+        },
+    )
+}
+
+impl DuplexEndpoint {
+    /// Overrides the frame-size guard (mainly for tests).
+    pub fn with_frame_limit(mut self, limit: usize) -> Self {
+        self.frame_limit = limit;
+        self
+    }
+
+    /// Non-blocking receive, for drivers that poll.
+    pub fn try_recv(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        match self.rx.try_recv() {
+            Ok(f) => Ok(Some(f)),
+            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+}
+
+impl Transport for DuplexEndpoint {
+    fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        if frame.len() > self.frame_limit {
+            return Err(NetError::FrameTooLarge {
+                size: frame.len(),
+                limit: self.frame_limit,
+            });
+        }
+        self.tx.send(frame.to_vec()).map_err(|_| NetError::Closed)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, NetError> {
+        self.rx.recv().map_err(|_| NetError::Closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_cross_in_both_directions() {
+        let (mut a, mut b) = duplex_pair();
+        a.send(b"hello").unwrap();
+        b.send(b"world").unwrap();
+        assert_eq!(b.recv().unwrap(), b"hello");
+        assert_eq!(a.recv().unwrap(), b"world");
+    }
+
+    #[test]
+    fn ordering_preserved() {
+        let (mut a, mut b) = duplex_pair();
+        for i in 0..10u8 {
+            a.send(&[i]).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(b.recv().unwrap(), vec![i]);
+        }
+    }
+
+    #[test]
+    fn closed_peer_detected() {
+        let (mut a, b) = duplex_pair();
+        drop(b);
+        assert_eq!(a.send(b"x").unwrap_err(), NetError::Closed);
+        assert_eq!(a.recv().unwrap_err(), NetError::Closed);
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let (mut a, mut b) = duplex_pair();
+        assert_eq!(b.try_recv().unwrap(), None);
+        a.send(b"x").unwrap();
+        assert_eq!(b.try_recv().unwrap(), Some(b"x".to_vec()));
+        drop(a);
+        assert_eq!(b.try_recv().unwrap_err(), NetError::Closed);
+    }
+
+    #[test]
+    fn frame_limit_enforced() {
+        let (a, _b) = duplex_pair();
+        let mut a = a.with_frame_limit(4);
+        assert!(a.send(b"1234").is_ok());
+        assert!(matches!(
+            a.send(b"12345").unwrap_err(),
+            NetError::FrameTooLarge { size: 5, limit: 4 }
+        ));
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let (mut a, mut b) = duplex_pair();
+        let handle = std::thread::spawn(move || {
+            let got = b.recv().unwrap();
+            b.send(&got).unwrap();
+        });
+        a.send(b"ping").unwrap();
+        assert_eq!(a.recv().unwrap(), b"ping");
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,31 @@
+//! # minshare-net
+//!
+//! The **secure communication** box of the paper's Figure 1: transports
+//! carrying length-framed messages between the two parties, with
+//!
+//! * [`transport::Transport`] — the byte-frame interface the protocol
+//!   engines speak,
+//! * [`duplex`] — an in-memory duplex pair (crossbeam channels) for running
+//!   both parties in one process,
+//! * [`counting::CountingTransport`] — exact wire accounting, used to
+//!   verify the paper's §6.1 communication-cost formulas against actual
+//!   bytes on the wire,
+//! * [`secure::SecureChannel`] — an authenticated-encryption session
+//!   (Diffie–Hellman over the safe-prime group → HKDF → ChaCha20 + HMAC),
+//!   standing in for the "standard libraries or packages for secure
+//!   communication" the paper assumes (§2.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counting;
+pub mod duplex;
+pub mod error;
+pub mod secure;
+pub mod tcp;
+pub mod transport;
+
+pub use counting::{CountingTransport, TrafficStats};
+pub use duplex::duplex_pair;
+pub use error::NetError;
+pub use transport::Transport;

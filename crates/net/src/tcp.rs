@@ -1,0 +1,184 @@
+//! TCP transport: length-prefixed frames over a socket, so the two
+//! parties can run in separate processes (or separate machines).
+//!
+//! Wire format: 4-byte big-endian frame length, then the frame bytes.
+//! The [`crate::secure::SecureChannel`] layer composes on top for
+//! confidentiality and integrity.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+
+use crate::error::NetError;
+use crate::transport::Transport;
+
+/// Default maximum accepted frame size (a corruption/abuse guard).
+const DEFAULT_FRAME_LIMIT: usize = 256 * 1024 * 1024;
+
+/// A framed transport over a TCP stream.
+pub struct TcpTransport {
+    stream: TcpStream,
+    frame_limit: usize,
+}
+
+impl TcpTransport {
+    /// Connects to a listening peer.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport {
+            stream,
+            frame_limit: DEFAULT_FRAME_LIMIT,
+        })
+    }
+
+    /// Binds `addr`, accepts exactly one connection, and returns the
+    /// transport plus the peer's address. Also returns the locally bound
+    /// address via [`TcpAcceptor`] when a port of 0 was requested — use
+    /// [`TcpAcceptor::bind`] for that flow.
+    pub fn accept_one<A: ToSocketAddrs>(addr: A) -> Result<(Self, SocketAddr), NetError> {
+        let acceptor = TcpAcceptor::bind(addr)?;
+        acceptor.accept()
+    }
+
+    /// Wraps an already-established stream.
+    pub fn from_stream(stream: TcpStream) -> Result<Self, NetError> {
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport {
+            stream,
+            frame_limit: DEFAULT_FRAME_LIMIT,
+        })
+    }
+
+    /// Overrides the frame-size guard.
+    pub fn with_frame_limit(mut self, limit: usize) -> Self {
+        self.frame_limit = limit;
+        self
+    }
+}
+
+/// A bound listener whose local address is known before accepting —
+/// needed by tests (port 0) and by callers that print "listening on …".
+pub struct TcpAcceptor {
+    listener: TcpListener,
+}
+
+impl TcpAcceptor {
+    /// Binds the address (may be port 0 for an ephemeral port).
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> Result<Self, NetError> {
+        Ok(TcpAcceptor {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The locally bound address.
+    pub fn local_addr(&self) -> Result<SocketAddr, NetError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Accepts one connection.
+    pub fn accept(&self) -> Result<(TcpTransport, SocketAddr), NetError> {
+        let (stream, peer) = self.listener.accept()?;
+        Ok((TcpTransport::from_stream(stream)?, peer))
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        if frame.len() > self.frame_limit {
+            return Err(NetError::FrameTooLarge {
+                size: frame.len(),
+                limit: self.frame_limit,
+            });
+        }
+        self.stream.write_all(&(frame.len() as u32).to_be_bytes())?;
+        self.stream.write_all(frame)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, NetError> {
+        let mut len_bytes = [0u8; 4];
+        self.stream.read_exact(&mut len_bytes)?;
+        let len = u32::from_be_bytes(len_bytes) as usize;
+        if len > self.frame_limit {
+            return Err(NetError::FrameTooLarge {
+                size: len,
+                limit: self.frame_limit,
+            });
+        }
+        let mut frame = vec![0u8; len];
+        self.stream.read_exact(&mut frame)?;
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn localhost_pair() -> (TcpTransport, TcpTransport) {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let client = std::thread::spawn(move || TcpTransport::connect(addr).unwrap());
+        let (server, _) = acceptor.accept().unwrap();
+        (server, client.join().unwrap())
+    }
+
+    #[test]
+    fn frames_cross_both_directions() {
+        let (mut a, mut b) = localhost_pair();
+        a.send(b"ping").unwrap();
+        assert_eq!(b.recv().unwrap(), b"ping");
+        b.send(b"pong-with-more-bytes").unwrap();
+        assert_eq!(a.recv().unwrap(), b"pong-with-more-bytes");
+    }
+
+    #[test]
+    fn empty_and_large_frames() {
+        let (mut a, mut b) = localhost_pair();
+        a.send(b"").unwrap();
+        assert_eq!(b.recv().unwrap(), b"");
+        let big = vec![0x5au8; 1 << 20];
+        a.send(&big).unwrap();
+        assert_eq!(b.recv().unwrap(), big);
+    }
+
+    #[test]
+    fn ordering_preserved() {
+        let (mut a, mut b) = localhost_pair();
+        for i in 0..20u8 {
+            a.send(&[i; 3]).unwrap();
+        }
+        for i in 0..20u8 {
+            assert_eq!(b.recv().unwrap(), vec![i; 3]);
+        }
+    }
+
+    #[test]
+    fn peer_close_is_detected() {
+        let (a, mut b) = localhost_pair();
+        drop(a);
+        assert_eq!(b.recv().unwrap_err(), NetError::Closed);
+    }
+
+    #[test]
+    fn frame_limit_rejects_oversize_send() {
+        let (a, _b) = localhost_pair();
+        let mut a = a.with_frame_limit(8);
+        assert!(matches!(
+            a.send(&[0u8; 9]).unwrap_err(),
+            NetError::FrameTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn frame_limit_rejects_oversize_recv() {
+        let (mut a, b) = localhost_pair();
+        let mut b = b.with_frame_limit(4);
+        a.send(&[0u8; 100]).unwrap();
+        assert!(matches!(
+            b.recv().unwrap_err(),
+            NetError::FrameTooLarge { .. }
+        ));
+    }
+}

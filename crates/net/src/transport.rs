@@ -1,0 +1,25 @@
+//! The byte-frame transport interface.
+
+use crate::error::NetError;
+
+/// A reliable, ordered, message-oriented duplex link between the two
+/// parties. Frames are opaque byte strings; serialization of protocol
+//  messages happens one layer up (in the `minshare` protocol crate).
+pub trait Transport {
+    /// Sends one frame.
+    fn send(&mut self, frame: &[u8]) -> Result<(), NetError>;
+
+    /// Receives the next frame, blocking until one arrives.
+    fn recv(&mut self) -> Result<Vec<u8>, NetError>;
+}
+
+/// Blanket impl so `&mut T` works where `T: Transport` is expected.
+impl<T: Transport + ?Sized> Transport for &mut T {
+    fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        (**self).send(frame)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, NetError> {
+        (**self).recv()
+    }
+}

@@ -1,0 +1,305 @@
+//! Grouped aggregation: `COUNT`, `SUM`, `MIN`, `MAX`, `AVG`.
+//!
+//! The medical application needs only `COUNT(*)` (see [`crate::query`]),
+//! but a substrate a downstream user would adopt needs the rest of the
+//! basic aggregate vocabulary — and the `minshare-aggregate` crate's
+//! intersection-sum protocol needs a clear-text `SUM` oracle to validate
+//! against.
+
+use std::collections::BTreeMap;
+
+use crate::error::DbError;
+use crate::schema::{ColumnType, Schema};
+use crate::table::Table;
+use crate::value::Value;
+
+/// An aggregate function over a column (or over rows, for `COUNT`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggFn {
+    /// `COUNT(*)` — rows per group.
+    Count,
+    /// `SUM(col)` over an `Int` column (NULLs skipped).
+    Sum(String),
+    /// `MIN(col)` (NULLs skipped; NULL if the group is all-NULL).
+    Min(String),
+    /// `MAX(col)` (NULLs skipped; NULL if the group is all-NULL).
+    Max(String),
+    /// `AVG(col)` over an `Int` column, rounded toward zero
+    /// (NULL for empty/all-NULL groups).
+    Avg(String),
+}
+
+impl AggFn {
+    fn column(&self) -> Option<&str> {
+        match self {
+            AggFn::Count => None,
+            AggFn::Sum(c) | AggFn::Min(c) | AggFn::Max(c) | AggFn::Avg(c) => Some(c),
+        }
+    }
+
+    fn output_type(&self, input: Option<ColumnType>) -> ColumnType {
+        match self {
+            AggFn::Count | AggFn::Sum(_) | AggFn::Avg(_) => ColumnType::Int,
+            AggFn::Min(_) | AggFn::Max(_) => input.unwrap_or(ColumnType::Int),
+        }
+    }
+}
+
+/// Accumulator state for one aggregate in one group.
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(i64),
+    Sum { total: i128 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { total: i128, n: i64 },
+}
+
+impl Acc {
+    fn new(f: &AggFn) -> Acc {
+        match f {
+            AggFn::Count => Acc::Count(0),
+            AggFn::Sum(_) => Acc::Sum { total: 0 },
+            AggFn::Min(_) => Acc::Min(None),
+            AggFn::Max(_) => Acc::Max(None),
+            AggFn::Avg(_) => Acc::Avg { total: 0, n: 0 },
+        }
+    }
+
+    fn update(&mut self, value: Option<&Value>, f: &AggFn) -> Result<(), DbError> {
+        let type_err = |col: &str, v: &Value| DbError::TypeMismatch {
+            column: col.to_string(),
+            expected: "int".to_string(),
+            got: v.type_name().to_string(),
+        };
+        match (self, value) {
+            (Acc::Count(n), _) => *n += 1,
+            (_, Some(Value::Null)) | (_, None) => {}
+            (Acc::Sum { total }, Some(v)) => {
+                let i = v
+                    .as_int()
+                    .ok_or_else(|| type_err(f.column().unwrap_or(""), v))?;
+                *total += i as i128;
+            }
+            (Acc::Avg { total, n }, Some(v)) => {
+                let i = v
+                    .as_int()
+                    .ok_or_else(|| type_err(f.column().unwrap_or(""), v))?;
+                *total += i as i128;
+                *n += 1;
+            }
+            (Acc::Min(cur), Some(v)) => {
+                if cur.as_ref().is_none_or(|c| v < c) {
+                    *cur = Some(v.clone());
+                }
+            }
+            (Acc::Max(cur), Some(v)) => {
+                if cur.as_ref().is_none_or(|c| v > c) {
+                    *cur = Some(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Acc::Count(n) => Value::Int(n),
+            Acc::Sum { total } => Value::Int(total as i64),
+            Acc::Min(v) | Acc::Max(v) => v.unwrap_or(Value::Null),
+            Acc::Avg { total, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Int((total / n as i128) as i64)
+                }
+            }
+        }
+    }
+}
+
+/// `SELECT group_cols…, aggs… FROM table GROUP BY group_cols…`.
+///
+/// Each aggregate is `(output column name, function)`. Groups are emitted
+/// in sorted key order; with no grouping columns, a single global group
+/// is produced (even for an empty table, matching SQL).
+pub fn group_by(
+    table: &Table,
+    group_cols: &[&str],
+    aggs: &[(&str, AggFn)],
+) -> Result<Table, DbError> {
+    let group_idx: Vec<usize> = group_cols
+        .iter()
+        .map(|c| table.schema().index_of(c))
+        .collect::<Result<_, _>>()?;
+    let agg_idx: Vec<Option<usize>> = aggs
+        .iter()
+        .map(|(_, f)| match f.column() {
+            Some(c) => table.schema().index_of(c).map(Some),
+            None => Ok(None),
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Output schema.
+    let mut cols: Vec<(&str, ColumnType)> = group_idx
+        .iter()
+        .map(|&i| {
+            let c = &table.schema().columns()[i];
+            (c.name.as_str(), c.ty)
+        })
+        .collect();
+    for ((name, f), idx) in aggs.iter().zip(&agg_idx) {
+        let input_ty = idx.map(|i| table.schema().columns()[i].ty);
+        cols.push((name, f.output_type(input_ty)));
+    }
+    let schema = Schema::new(cols)?;
+
+    // Accumulate.
+    let mut groups: BTreeMap<Vec<Value>, Vec<Acc>> = BTreeMap::new();
+    if group_cols.is_empty() {
+        groups.insert(Vec::new(), aggs.iter().map(|(_, f)| Acc::new(f)).collect());
+    }
+    for row in table.rows() {
+        let key: Vec<Value> = group_idx.iter().map(|&i| row[i].clone()).collect();
+        let accs = groups
+            .entry(key)
+            .or_insert_with(|| aggs.iter().map(|(_, f)| Acc::new(f)).collect());
+        for ((acc, (_, f)), idx) in accs.iter_mut().zip(aggs).zip(&agg_idx) {
+            acc.update(idx.map(|i| &row[i]), f)?;
+        }
+    }
+
+    let mut out = Table::new(&format!("{}_agg", table.name()), schema);
+    for (key, accs) in groups {
+        let mut row = key;
+        row.extend(accs.into_iter().map(Acc::finish));
+        out.insert(row)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sales() -> Table {
+        let schema = Schema::new(vec![
+            ("region", ColumnType::Text),
+            ("amount", ColumnType::Int),
+        ])
+        .unwrap();
+        let mut t = Table::new("sales", schema);
+        t.insert_all(vec![
+            vec![Value::from("east"), Value::Int(10)],
+            vec![Value::from("east"), Value::Int(30)],
+            vec![Value::from("west"), Value::Int(5)],
+            vec![Value::from("west"), Value::Null],
+            vec![Value::from("west"), Value::Int(7)],
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn grouped_count_sum_min_max_avg() {
+        let t = sales();
+        let out = group_by(
+            &t,
+            &["region"],
+            &[
+                ("n", AggFn::Count),
+                ("total", AggFn::Sum("amount".into())),
+                ("lo", AggFn::Min("amount".into())),
+                ("hi", AggFn::Max("amount".into())),
+                ("mean", AggFn::Avg("amount".into())),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(
+            out.rows()[0],
+            vec![
+                Value::from("east"),
+                Value::Int(2),
+                Value::Int(40),
+                Value::Int(10),
+                Value::Int(30),
+                Value::Int(20)
+            ]
+        );
+        // NULL skipped in sum/min/max/avg but counted by COUNT(*).
+        assert_eq!(
+            out.rows()[1],
+            vec![
+                Value::from("west"),
+                Value::Int(3),
+                Value::Int(12),
+                Value::Int(5),
+                Value::Int(7),
+                Value::Int(6)
+            ]
+        );
+    }
+
+    #[test]
+    fn global_aggregation_without_groups() {
+        let t = sales();
+        let out = group_by(&t, &[], &[("total", AggFn::Sum("amount".into()))]).unwrap();
+        assert_eq!(out.rows(), &[vec![Value::Int(52)]]);
+    }
+
+    #[test]
+    fn empty_table_global_group() {
+        let t = Table::new("empty", Schema::new(vec![("x", ColumnType::Int)]).unwrap());
+        let out = group_by(
+            &t,
+            &[],
+            &[("n", AggFn::Count), ("m", AggFn::Min("x".into()))],
+        )
+        .unwrap();
+        assert_eq!(out.rows(), &[vec![Value::Int(0), Value::Null]]);
+    }
+
+    #[test]
+    fn avg_of_all_null_group_is_null() {
+        let schema = Schema::new(vec![("x", ColumnType::Int)]).unwrap();
+        let mut t = Table::new("t", schema);
+        t.insert(vec![Value::Null]).unwrap();
+        let out = group_by(&t, &[], &[("a", AggFn::Avg("x".into()))]).unwrap();
+        assert_eq!(out.rows(), &[vec![Value::Null]]);
+    }
+
+    #[test]
+    fn sum_of_non_int_column_errors() {
+        let t = sales();
+        assert!(matches!(
+            group_by(&t, &[], &[("s", AggFn::Sum("region".into()))]),
+            Err(DbError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn min_max_work_on_text() {
+        let t = sales();
+        let out = group_by(
+            &t,
+            &[],
+            &[
+                ("first", AggFn::Min("region".into())),
+                ("last", AggFn::Max("region".into())),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            out.rows(),
+            &[vec![Value::from("east"), Value::from("west")]]
+        );
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        let t = sales();
+        assert!(group_by(&t, &["nope"], &[("n", AggFn::Count)]).is_err());
+        assert!(group_by(&t, &[], &[("s", AggFn::Sum("nope".into()))]).is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! CSV import/export, so each party can load its private tables from
+//! ordinary files (and the CLI's inputs have a relational on-ramp).
+//!
+//! Dialect: comma-separated, `"`-quoted fields with doubled inner quotes,
+//! `\n` row terminator. Typed parsing is driven by a [`Schema`]: `Int`
+//! and `Bool` columns parse their literal forms, `Bytes` columns parse
+//! hex, and empty unquoted fields read as NULL.
+
+use std::io::{BufRead, Write};
+
+use crate::error::DbError;
+use crate::schema::{ColumnType, Schema};
+use crate::table::Table;
+use crate::value::Value;
+
+fn decode_err(detail: String) -> DbError {
+    DbError::DecodeError { detail }
+}
+
+/// Splits a full CSV text into records of raw fields, honoring quotes —
+/// including newlines *inside* quoted fields, which a line-based reader
+/// would mangle. Each field carries whether it was quoted (quoted empty
+/// = empty text, unquoted empty = NULL). Records are terminated by `\n`
+/// (with optional preceding `\r`); a blank unquoted record is skipped.
+fn split_records(text: &str) -> Result<Vec<Vec<(String, bool)>>, DbError> {
+    let mut records = Vec::new();
+    let mut fields: Vec<(String, bool)> = Vec::new();
+    let mut cur = String::new();
+    let mut quoted = false;
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                c => cur.push(c),
+            }
+        } else {
+            match ch {
+                ',' => {
+                    fields.push((std::mem::take(&mut cur), quoted));
+                    quoted = false;
+                }
+                '"' if cur.is_empty() && !quoted => {
+                    in_quotes = true;
+                    quoted = true;
+                }
+                '"' => return Err(decode_err("stray quote inside unquoted field".into())),
+                '\r' | '\n' => {
+                    if ch == '\r' && chars.peek() == Some(&'\n') {
+                        chars.next();
+                    }
+                    fields.push((std::mem::take(&mut cur), quoted));
+                    records.push(std::mem::take(&mut fields));
+                    quoted = false;
+                }
+                c => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(decode_err("unterminated quoted field".into()));
+    }
+    // Final record without a trailing newline.
+    if !cur.is_empty() || quoted || !fields.is_empty() {
+        fields.push((cur, quoted));
+        records.push(fields);
+    }
+    Ok(records)
+}
+
+/// True for the record a blank line produces: one unquoted empty field.
+fn is_blank_record(record: &[(String, bool)]) -> bool {
+    record.len() == 1 && record[0].0.is_empty() && !record[0].1
+}
+
+fn parse_field(raw: &str, quoted: bool, ty: ColumnType) -> Result<Value, DbError> {
+    if raw.is_empty() && !quoted {
+        return Ok(Value::Null);
+    }
+    match ty {
+        ColumnType::Text => Ok(Value::Text(raw.to_string())),
+        ColumnType::Int => raw
+            .trim()
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| decode_err(format!("not an integer: {raw:?}"))),
+        ColumnType::Bool => match raw.trim() {
+            "true" | "TRUE" | "1" => Ok(Value::Bool(true)),
+            "false" | "FALSE" | "0" => Ok(Value::Bool(false)),
+            other => Err(decode_err(format!("not a bool: {other:?}"))),
+        },
+        ColumnType::Bytes => {
+            let hex = raw.trim();
+            if !hex.len().is_multiple_of(2) {
+                return Err(decode_err("odd-length hex".into()));
+            }
+            let bytes = (0..hex.len())
+                .step_by(2)
+                .map(|i| u8::from_str_radix(&hex[i..i + 2], 16))
+                .collect::<Result<Vec<u8>, _>>()
+                .map_err(|_| decode_err(format!("not hex: {hex:?}")))?;
+            Ok(Value::Bytes(bytes))
+        }
+    }
+}
+
+fn render_field(v: &Value) -> String {
+    match v {
+        Value::Null => String::new(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Text(s) => {
+            // Quote anything ambiguous: empty/whitespace-only (vs NULL or
+            // blank lines) and anything containing structural characters.
+            if s.trim().is_empty() || s.contains([',', '"', '\n', '\r']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        }
+        Value::Bytes(b) => {
+            if b.is_empty() {
+                // Quoted-empty distinguishes Bytes([]) from NULL.
+                "\"\"".to_string()
+            } else {
+                b.iter().map(|x| format!("{x:02x}")).collect()
+            }
+        }
+    }
+}
+
+/// Reads a table from CSV. The first record must be a header matching the
+/// schema's column names in order. Quoted fields may span lines.
+pub fn read_csv<R: BufRead>(name: &str, schema: Schema, mut reader: R) -> Result<Table, DbError> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| decode_err(e.to_string()))?;
+    let mut records = split_records(&text)?.into_iter();
+
+    let header_fields = records
+        .next()
+        .ok_or_else(|| decode_err("missing header row".into()))?;
+    let expected: Vec<&str> = schema.columns().iter().map(|c| c.name.as_str()).collect();
+    let got: Vec<&str> = header_fields.iter().map(|(f, _)| f.as_str()).collect();
+    if got != expected {
+        return Err(decode_err(format!(
+            "header mismatch: expected {expected:?}, got {got:?}"
+        )));
+    }
+
+    let mut table = Table::new(name, schema);
+    for fields in records {
+        // Blank lines are separators for multi-column schemas; for a
+        // single-column schema an empty unquoted field is a NULL row.
+        if is_blank_record(&fields) && table.schema().arity() > 1 {
+            continue;
+        }
+        if fields.len() != table.schema().arity() {
+            return Err(DbError::ArityMismatch {
+                expected: table.schema().arity(),
+                got: fields.len(),
+            });
+        }
+        let row: Vec<Value> = fields
+            .iter()
+            .zip(table.schema().columns().to_vec())
+            .map(|((raw, quoted), col)| parse_field(raw, *quoted, col.ty))
+            .collect::<Result<_, _>>()?;
+        table.insert(row)?;
+    }
+    Ok(table)
+}
+
+/// Writes a table as CSV (header + rows).
+pub fn write_csv<W: Write>(table: &Table, mut writer: W) -> Result<(), DbError> {
+    let io_err = |e: std::io::Error| decode_err(format!("write: {e}"));
+    let header: Vec<String> = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    writeln!(writer, "{}", header.join(",")).map_err(io_err)?;
+    for row in table.rows() {
+        let fields: Vec<String> = row.iter().map(render_field).collect();
+        writeln!(writer, "{}", fields.join(",")).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("id", ColumnType::Int),
+            ("name", ColumnType::Text),
+            ("active", ColumnType::Bool),
+            ("blob", ColumnType::Bytes),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut t = Table::new("t", schema());
+        t.insert_all(vec![
+            vec![
+                Value::Int(1),
+                Value::from("plain"),
+                Value::Bool(true),
+                Value::Bytes(vec![0xde, 0xad]),
+            ],
+            vec![
+                Value::Int(-5),
+                Value::from("with,comma and \"quotes\""),
+                Value::Bool(false),
+                Value::Bytes(vec![]),
+            ],
+            vec![Value::Null, Value::Null, Value::Null, Value::Null],
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv("t", schema(), buf.as_slice()).unwrap();
+        assert_eq!(back.rows(), t.rows());
+    }
+
+    #[test]
+    fn header_validated() {
+        let csv = "id,wrong,active,blob\n1,x,true,\n";
+        assert!(read_csv("t", schema(), csv.as_bytes()).is_err());
+        assert!(read_csv("t", schema(), "".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn typed_parsing_and_errors() {
+        let good = "id,name,active,blob\n7,alice,1,00ff\n";
+        let t = read_csv("t", schema(), good.as_bytes()).unwrap();
+        assert_eq!(
+            t.rows()[0],
+            vec![
+                Value::Int(7),
+                Value::from("alice"),
+                Value::Bool(true),
+                Value::Bytes(vec![0x00, 0xff])
+            ]
+        );
+        for bad in [
+            "id,name,active,blob\nxx,alice,1,\n",    // bad int
+            "id,name,active,blob\n7,alice,maybe,\n", // bad bool
+            "id,name,active,blob\n7,alice,1,abc\n",  // odd hex
+            "id,name,active,blob\n7,alice,1\n",      // arity
+            "id,name,active,blob\n7,al\"ice,1,\n",   // stray quote
+            "id,name,active,blob\n7,\"alice,1,\n",   // unterminated quote
+        ] {
+            assert!(read_csv("t", schema(), bad.as_bytes()).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn unquoted_empty_is_null_quoted_empty_is_text() {
+        let csv = "id,name,active,blob\n1,,true,\n2,\"\",false,\n";
+        let t = read_csv("t", schema(), csv.as_bytes()).unwrap();
+        assert_eq!(t.rows()[0][1], Value::Null);
+        assert_eq!(t.rows()[1][1], Value::Text(String::new()));
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = "id,name,active,blob\n1,a,true,\n\n2,b,false,\n";
+        let t = read_csv("t", schema(), csv.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Errors produced by table construction and query evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A row's arity does not match the schema.
+    ArityMismatch {
+        /// Columns expected by the schema.
+        expected: usize,
+        /// Values supplied in the row.
+        got: usize,
+    },
+    /// A value's type does not match its column.
+    TypeMismatch {
+        /// Column name.
+        column: String,
+        /// Expected column type (display form).
+        expected: String,
+        /// Supplied value (display form).
+        got: String,
+    },
+    /// Reference to a column that does not exist.
+    NoSuchColumn {
+        /// The missing column name.
+        column: String,
+    },
+    /// Two schemas collide (e.g. duplicate column names in a join output).
+    DuplicateColumn {
+        /// The duplicated name.
+        column: String,
+    },
+    /// Row bytes failed to decode.
+    DecodeError {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} values, schema has {expected} columns")
+            }
+            DbError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => write!(f, "column {column:?} expects {expected}, got {got}"),
+            DbError::NoSuchColumn { column } => write!(f, "no such column: {column:?}"),
+            DbError::DuplicateColumn { column } => write!(f, "duplicate column: {column:?}"),
+            DbError::DecodeError { detail } => write!(f, "row decode error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(DbError::ArityMismatch {
+            expected: 3,
+            got: 2
+        }
+        .to_string()
+        .contains("3"));
+        assert!(DbError::NoSuchColumn { column: "x".into() }
+            .to_string()
+            .contains("x"));
+    }
+}

@@ -1,0 +1,41 @@
+//! # minshare-privdb
+//!
+//! A minimal in-memory relational substrate for the `minshare`
+//! reproduction of *"Information Sharing Across Private Databases"*
+//! (SIGMOD 2003).
+//!
+//! Figure 1 of the paper places a **Database** component under the
+//! cryptographic protocol: each party hosts its private tables locally,
+//! extracts the join-attribute values `V_S` / `V_R` and the per-value
+//! payload `ext(v)`, and — for validation — can run the same query in the
+//! clear. This crate provides exactly that much relational machinery:
+//!
+//! * [`value::Value`] / [`schema::Schema`] — typed rows,
+//! * [`table::Table`] — validated storage with scans, filters, projections,
+//! * [`query`] — equijoin and group-by-count (enough to express the
+//!   paper's medical-research query of §1.1 / §6.2.2 in the clear),
+//! * [`rowcodec`] — canonical byte encoding of values and rows, used both
+//!   as protocol input (`h(v)` hashes the canonical encoding) and as the
+//!   `ext(v)` payload format.
+//!
+//! Nothing here is privacy-aware on its own; privacy enters one layer up,
+//! in the `minshare` protocol crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod csvio;
+pub mod error;
+pub mod query;
+pub mod rowcodec;
+pub mod schema;
+pub mod sort;
+pub mod sql;
+pub mod table;
+pub mod value;
+
+pub use error::DbError;
+pub use schema::{ColumnType, Schema};
+pub use table::Table;
+pub use value::Value;

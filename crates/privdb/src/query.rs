@@ -1,0 +1,217 @@
+//! Clear-text query operators: equijoin and group-by-count.
+//!
+//! These run *inside one trust domain* and serve two roles: computing the
+//! local halves of a distributed query (e.g. "ids of people who took the
+//! drug"), and providing the ground-truth oracle the integration tests
+//! compare every private protocol against.
+
+use std::collections::BTreeMap;
+
+use crate::error::DbError;
+use crate::schema::{ColumnType, Schema};
+use crate::table::{Row, Table};
+use crate::value::Value;
+
+/// Hash equijoin of `left` and `right` on `left_col = right_col`.
+///
+/// Output schema: all left columns, then all right columns with name
+/// collisions prefixed by `"<right name>_"`.
+pub fn equijoin(
+    left: &Table,
+    left_col: &str,
+    right: &Table,
+    right_col: &str,
+) -> Result<Table, DbError> {
+    let li = left.schema().index_of(left_col)?;
+    let ri = right.schema().index_of(right_col)?;
+    let prefix = format!("{}_", right.name());
+    let schema = left.schema().join_with(right.schema(), &prefix)?;
+
+    // Build side: right, keyed by join value.
+    let mut index: BTreeMap<&Value, Vec<&Row>> = BTreeMap::new();
+    for row in right.rows() {
+        index.entry(&row[ri]).or_default().push(row);
+    }
+
+    let mut out = Table::new(&format!("{}_join_{}", left.name(), right.name()), schema);
+    for lrow in left.rows() {
+        if let Some(matches) = index.get(&lrow[li]) {
+            for rrow in matches {
+                let mut row = lrow.clone();
+                row.extend(rrow.iter().cloned());
+                out.insert(row)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `SELECT cols…, COUNT(*) FROM table GROUP BY cols…`.
+///
+/// Output schema: the grouping columns followed by an `Int` column named
+/// `count`. Groups are emitted in sorted order of their key.
+pub fn group_by_count(table: &Table, columns: &[&str]) -> Result<Table, DbError> {
+    let indices: Vec<usize> = columns
+        .iter()
+        .map(|c| table.schema().index_of(c))
+        .collect::<Result<_, _>>()?;
+
+    let mut counts: BTreeMap<Vec<Value>, i64> = BTreeMap::new();
+    for row in table.rows() {
+        let key: Vec<Value> = indices.iter().map(|&i| row[i].clone()).collect();
+        *counts.entry(key).or_insert(0) += 1;
+    }
+
+    let mut schema_cols: Vec<(&str, ColumnType)> = indices
+        .iter()
+        .map(|&i| {
+            let c = &table.schema().columns()[i];
+            (c.name.as_str(), c.ty)
+        })
+        .collect();
+    schema_cols.push(("count", ColumnType::Int));
+    let schema = Schema::new(schema_cols)?;
+
+    let mut out = Table::new(&format!("{}_counts", table.name()), schema);
+    for (key, count) in counts {
+        let mut row = key;
+        row.push(Value::Int(count));
+        out.insert(row)?;
+    }
+    Ok(out)
+}
+
+/// Set intersection of the distinct values of two columns — the clear-text
+/// oracle for the paper's intersection protocol.
+pub fn intersect_values(
+    left: &Table,
+    left_col: &str,
+    right: &Table,
+    right_col: &str,
+) -> Result<Vec<Value>, DbError> {
+    let lv = left.distinct_values(left_col)?;
+    let rv: std::collections::BTreeSet<Value> =
+        right.distinct_values(right_col)?.into_iter().collect();
+    Ok(lv.into_iter().filter(|v| rv.contains(v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t_r() -> Table {
+        let schema = Schema::new(vec![
+            ("personid", ColumnType::Int),
+            ("pattern", ColumnType::Bool),
+        ])
+        .unwrap();
+        let mut t = Table::new("tr", schema);
+        t.insert_all(vec![
+            vec![Value::Int(1), Value::Bool(true)],
+            vec![Value::Int(2), Value::Bool(false)],
+            vec![Value::Int(3), Value::Bool(true)],
+            vec![Value::Int(4), Value::Bool(false)],
+        ])
+        .unwrap();
+        t
+    }
+
+    fn t_s() -> Table {
+        let schema = Schema::new(vec![
+            ("personid", ColumnType::Int),
+            ("drug", ColumnType::Bool),
+            ("reaction", ColumnType::Bool),
+        ])
+        .unwrap();
+        let mut t = Table::new("ts", schema);
+        t.insert_all(vec![
+            vec![Value::Int(1), Value::Bool(true), Value::Bool(true)],
+            vec![Value::Int(2), Value::Bool(true), Value::Bool(false)],
+            vec![Value::Int(3), Value::Bool(false), Value::Bool(false)],
+            vec![Value::Int(5), Value::Bool(true), Value::Bool(true)],
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn equijoin_matches_expected_pairs() {
+        let j = equijoin(&t_r(), "personid", &t_s(), "personid").unwrap();
+        // persons 1, 2, 3 are in both.
+        assert_eq!(j.len(), 3);
+        let names: Vec<&str> = j
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["personid", "pattern", "ts_personid", "drug", "reaction"]
+        );
+    }
+
+    #[test]
+    fn equijoin_with_duplicates_multiplies() {
+        let mut left = t_r();
+        left.insert(vec![Value::Int(1), Value::Bool(false)])
+            .unwrap();
+        let mut right = t_s();
+        right
+            .insert(vec![Value::Int(1), Value::Bool(false), Value::Bool(false)])
+            .unwrap();
+        // personid=1 now appears 2× left and 2× right → 4 joined rows.
+        let j = equijoin(&left, "personid", &right, "personid").unwrap();
+        let ones = j.rows().iter().filter(|r| r[0] == Value::Int(1)).count();
+        assert_eq!(ones, 4);
+    }
+
+    #[test]
+    fn medical_query_in_the_clear() {
+        // select pattern, reaction, count(*) from TR, TS
+        // where TR.personid = TS.personid and TS.drug = true
+        // group by pattern, reaction.
+        let joined = equijoin(&t_r(), "personid", &t_s(), "personid").unwrap();
+        let drug_idx = joined.schema().index_of("drug").unwrap();
+        let took = joined.filter("took_drug", |r| r[drug_idx] == Value::Bool(true));
+        let counts = group_by_count(&took, &["pattern", "reaction"]).unwrap();
+        // Person 1: pattern=T, reaction=T. Person 2: pattern=F, reaction=F.
+        // Person 3 excluded (drug=false).
+        assert_eq!(counts.len(), 2);
+        assert!(counts
+            .rows()
+            .contains(&vec![Value::Bool(true), Value::Bool(true), Value::Int(1)]));
+        assert!(counts.rows().contains(&vec![
+            Value::Bool(false),
+            Value::Bool(false),
+            Value::Int(1)
+        ]));
+    }
+
+    #[test]
+    fn group_by_empty_table() {
+        let t = Table::new("empty", Schema::new(vec![("x", ColumnType::Int)]).unwrap());
+        let g = group_by_count(&t, &["x"]).unwrap();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn group_by_all_rows_one_group() {
+        let mut t = Table::new("t", Schema::new(vec![("x", ColumnType::Int)]).unwrap());
+        t.insert_all((0..5).map(|_| vec![Value::Int(7)])).unwrap();
+        let g = group_by_count(&t, &["x"]).unwrap();
+        assert_eq!(g.rows(), &[vec![Value::Int(7), Value::Int(5)]]);
+    }
+
+    #[test]
+    fn intersect_values_oracle() {
+        let i = intersect_values(&t_r(), "personid", &t_s(), "personid").unwrap();
+        assert_eq!(i, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+    }
+
+    #[test]
+    fn bad_columns_error() {
+        assert!(equijoin(&t_r(), "nope", &t_s(), "personid").is_err());
+        assert!(group_by_count(&t_r(), &["nope"]).is_err());
+    }
+}

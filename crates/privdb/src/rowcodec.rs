@@ -1,0 +1,233 @@
+//! Canonical byte encoding of values and rows.
+//!
+//! Two distinct uses in the protocol stack:
+//!
+//! * **Hash input** — the protocols hash *values* (`h(v)`), so equal values
+//!   must encode identically and distinct values distinctly
+//!   ([`encode_value`] is injective by construction: a type tag plus a
+//!   length-framed body).
+//! * **Payload format** — `ext(v)` ships whole rows through the payload
+//!   cipher `K` ([`encode_rows`] / [`decode_rows`]).
+
+use crate::error::DbError;
+use crate::table::Row;
+use crate::value::Value;
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_TEXT: u8 = 3;
+const TAG_BYTES: u8 = 4;
+
+/// Appends the canonical encoding of one value.
+fn push_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_be_bytes());
+        }
+        Value::Text(s) => {
+            out.push(TAG_TEXT);
+            out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(TAG_BYTES);
+            out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+            out.extend_from_slice(b);
+        }
+    }
+}
+
+/// Canonical, injective encoding of a single value — the byte string the
+/// protocols feed to `h(·)`.
+pub fn encode_value(v: &Value) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_value(&mut out, v);
+    out
+}
+
+/// Reads one value from `bytes` starting at `pos`, advancing `pos`.
+fn read_value(bytes: &[u8], pos: &mut usize) -> Result<Value, DbError> {
+    let err = |detail: &str| DbError::DecodeError {
+        detail: detail.to_string(),
+    };
+    let tag = *bytes.get(*pos).ok_or_else(|| err("truncated tag"))?;
+    *pos += 1;
+    match tag {
+        TAG_NULL => Ok(Value::Null),
+        TAG_BOOL => {
+            let b = *bytes.get(*pos).ok_or_else(|| err("truncated bool"))?;
+            *pos += 1;
+            match b {
+                0 => Ok(Value::Bool(false)),
+                1 => Ok(Value::Bool(true)),
+                _ => Err(err("bad bool byte")),
+            }
+        }
+        TAG_INT => {
+            let end = *pos + 8;
+            let slice = bytes.get(*pos..end).ok_or_else(|| err("truncated int"))?;
+            *pos = end;
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(slice);
+            Ok(Value::Int(i64::from_be_bytes(buf)))
+        }
+        TAG_TEXT | TAG_BYTES => {
+            let end = *pos + 4;
+            let slice = bytes
+                .get(*pos..end)
+                .ok_or_else(|| err("truncated length"))?;
+            *pos = end;
+            let mut buf = [0u8; 4];
+            buf.copy_from_slice(slice);
+            let len = u32::from_be_bytes(buf) as usize;
+            let end = pos.checked_add(len).ok_or_else(|| err("length overflow"))?;
+            let body = bytes.get(*pos..end).ok_or_else(|| err("truncated body"))?;
+            *pos = end;
+            if tag == TAG_TEXT {
+                let s = std::str::from_utf8(body).map_err(|_| err("invalid utf-8"))?;
+                Ok(Value::Text(s.to_string()))
+            } else {
+                Ok(Value::Bytes(body.to_vec()))
+            }
+        }
+        _ => Err(err("unknown tag")),
+    }
+}
+
+/// Decodes a value encoded by [`encode_value`]; rejects trailing bytes.
+pub fn decode_value(bytes: &[u8]) -> Result<Value, DbError> {
+    let mut pos = 0;
+    let v = read_value(bytes, &mut pos)?;
+    if pos != bytes.len() {
+        return Err(DbError::DecodeError {
+            detail: "trailing bytes".to_string(),
+        });
+    }
+    Ok(v)
+}
+
+/// Encodes a list of rows (the `ext(v)` payload).
+pub fn encode_rows(rows: &[Row]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(rows.len() as u32).to_be_bytes());
+    for row in rows {
+        out.extend_from_slice(&(row.len() as u32).to_be_bytes());
+        for v in row {
+            push_value(&mut out, v);
+        }
+    }
+    out
+}
+
+/// Decodes rows encoded by [`encode_rows`].
+pub fn decode_rows(bytes: &[u8]) -> Result<Vec<Row>, DbError> {
+    let err = |detail: &str| DbError::DecodeError {
+        detail: detail.to_string(),
+    };
+    let mut pos = 0usize;
+    let take_u32 = |bytes: &[u8], pos: &mut usize| -> Result<u32, DbError> {
+        let end = *pos + 4;
+        let slice = bytes.get(*pos..end).ok_or_else(|| DbError::DecodeError {
+            detail: "truncated count".to_string(),
+        })?;
+        *pos = end;
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(slice);
+        Ok(u32::from_be_bytes(buf))
+    };
+    let n_rows = take_u32(bytes, &mut pos)?;
+    let mut rows = Vec::with_capacity(n_rows.min(1 << 20) as usize);
+    for _ in 0..n_rows {
+        let n_cols = take_u32(bytes, &mut pos)?;
+        let mut row = Vec::with_capacity(n_cols.min(1 << 16) as usize);
+        for _ in 0..n_cols {
+            row.push(read_value(bytes, &mut pos)?);
+        }
+        rows.push(row);
+    }
+    if pos != bytes.len() {
+        return Err(err("trailing bytes"));
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trips() {
+        let cases = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(-1),
+            Value::Int(i64::MAX),
+            Value::Int(i64::MIN),
+            Value::Text("".into()),
+            Value::Text("héllo".into()),
+            Value::Bytes(vec![]),
+            Value::Bytes(vec![0, 255, 1]),
+        ];
+        for v in cases {
+            assert_eq!(decode_value(&encode_value(&v)).unwrap(), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_injective_across_types() {
+        // Text "1" vs Bytes [b'1'] vs Int 1 must encode differently.
+        let a = encode_value(&Value::Text("1".into()));
+        let b = encode_value(&Value::Bytes(vec![b'1']));
+        let c = encode_value(&Value::Int(1));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn rows_round_trip() {
+        let rows = vec![
+            vec![Value::Int(1), Value::from("a"), Value::Null],
+            vec![Value::Int(2), Value::from("b"), Value::Bool(true)],
+        ];
+        assert_eq!(decode_rows(&encode_rows(&rows)).unwrap(), rows);
+        assert_eq!(decode_rows(&encode_rows(&[])).unwrap(), Vec::<Row>::new());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let rows = vec![vec![Value::Int(1), Value::from("abc")]];
+        let bytes = encode_rows(&rows);
+        for cut in [0, 1, 5, bytes.len() - 1] {
+            assert!(decode_rows(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut bytes = encode_value(&Value::Int(5));
+        bytes.push(0);
+        assert!(decode_value(&bytes).is_err());
+        let mut rb = encode_rows(&[vec![Value::Null]]);
+        rb.push(7);
+        assert!(decode_rows(&rb).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_tags_and_utf8() {
+        assert!(decode_value(&[99]).is_err());
+        assert!(decode_value(&[TAG_BOOL, 2]).is_err());
+        // TAG_TEXT with invalid UTF-8 body.
+        let bad = vec![TAG_TEXT, 0, 0, 0, 2, 0xff, 0xfe];
+        assert!(decode_value(&bad).is_err());
+    }
+}

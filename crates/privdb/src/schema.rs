@@ -1,0 +1,211 @@
+//! Table schemas: named, typed columns.
+
+use std::fmt;
+
+use crate::error::DbError;
+use crate::value::Value;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// UTF-8 text.
+    Text,
+    /// Raw bytes.
+    Bytes,
+}
+
+impl ColumnType {
+    /// Whether `value` inhabits this type (NULL inhabits every type).
+    pub fn admits(&self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (ColumnType::Bool, Value::Bool(_))
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Text, Value::Text(_))
+                | (ColumnType::Bytes, Value::Bytes(_))
+        )
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ColumnType::Bool => "bool",
+            ColumnType::Int => "int",
+            ColumnType::Text => "text",
+            ColumnType::Bytes => "bytes",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (unique within a schema).
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+/// An ordered list of uniquely named columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate column names.
+    pub fn new(columns: Vec<(&str, ColumnType)>) -> Result<Self, DbError> {
+        let mut seen = std::collections::HashSet::new();
+        let mut cols = Vec::with_capacity(columns.len());
+        for (name, ty) in columns {
+            if !seen.insert(name.to_string()) {
+                return Err(DbError::DuplicateColumn {
+                    column: name.to_string(),
+                });
+            }
+            cols.push(Column {
+                name: name.to_string(),
+                ty,
+            });
+        }
+        Ok(Schema { columns: cols })
+    }
+
+    /// The columns, in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Result<usize, DbError> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| DbError::NoSuchColumn {
+                column: name.to_string(),
+            })
+    }
+
+    /// Validates a row against the schema.
+    pub fn check_row(&self, row: &[Value]) -> Result<(), DbError> {
+        if row.len() != self.arity() {
+            return Err(DbError::ArityMismatch {
+                expected: self.arity(),
+                got: row.len(),
+            });
+        }
+        for (col, val) in self.columns.iter().zip(row) {
+            if !col.ty.admits(val) {
+                return Err(DbError::TypeMismatch {
+                    column: col.name.clone(),
+                    expected: col.ty.to_string(),
+                    got: val.type_name().to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Concatenates two schemas (for join outputs), prefixing collided
+    /// names from the right side with `rhs_prefix`.
+    pub fn join_with(&self, other: &Schema, rhs_prefix: &str) -> Result<Schema, DbError> {
+        let mut cols: Vec<(String, ColumnType)> = self
+            .columns
+            .iter()
+            .map(|c| (c.name.clone(), c.ty))
+            .collect();
+        let names: std::collections::HashSet<&String> =
+            self.columns.iter().map(|c| &c.name).collect();
+        for c in &other.columns {
+            let name = if names.contains(&c.name) {
+                format!("{rhs_prefix}{}", c.name)
+            } else {
+                c.name.clone()
+            };
+            cols.push((name, c.ty));
+        }
+        let refs: Vec<(&str, ColumnType)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        Schema::new(refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("id", ColumnType::Int),
+            ("name", ColumnType::Text),
+            ("active", ColumnType::Bool),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_duplicate_columns() {
+        assert!(matches!(
+            Schema::new(vec![("a", ColumnType::Int), ("a", ColumnType::Text)]),
+            Err(DbError::DuplicateColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = schema();
+        assert_eq!(s.index_of("name").unwrap(), 1);
+        assert!(matches!(
+            s.index_of("missing"),
+            Err(DbError::NoSuchColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn row_validation() {
+        let s = schema();
+        assert!(s
+            .check_row(&[Value::Int(1), Value::from("x"), Value::Bool(true)])
+            .is_ok());
+        // NULL fits anywhere.
+        assert!(s
+            .check_row(&[Value::Null, Value::Null, Value::Null])
+            .is_ok());
+        assert!(matches!(
+            s.check_row(&[Value::Int(1), Value::from("x")]),
+            Err(DbError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.check_row(&[Value::from("oops"), Value::from("x"), Value::Bool(true)]),
+            Err(DbError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn join_renames_collisions() {
+        let a = Schema::new(vec![("id", ColumnType::Int), ("x", ColumnType::Text)]).unwrap();
+        let b = Schema::new(vec![("id", ColumnType::Int), ("y", ColumnType::Bool)]).unwrap();
+        let j = a.join_with(&b, "rhs_").unwrap();
+        let names: Vec<&str> = j.columns().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["id", "x", "rhs_id", "y"]);
+    }
+
+    #[test]
+    fn admits_matrix() {
+        assert!(ColumnType::Int.admits(&Value::Int(1)));
+        assert!(!ColumnType::Int.admits(&Value::Bool(true)));
+        assert!(ColumnType::Bytes.admits(&Value::Null));
+        assert!(ColumnType::Text.admits(&Value::Text("x".into())));
+    }
+}

@@ -1,0 +1,99 @@
+//! `ORDER BY` for tables.
+
+use crate::error::DbError;
+use crate::table::Table;
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smallest first.
+    Ascending,
+    /// Largest first.
+    Descending,
+}
+
+/// `SELECT * FROM table ORDER BY keys…` — stable multi-key sort.
+pub fn order_by(table: &Table, keys: &[(&str, Direction)]) -> Result<Table, DbError> {
+    let indices: Vec<(usize, Direction)> = keys
+        .iter()
+        .map(|(c, d)| table.schema().index_of(c).map(|i| (i, *d)))
+        .collect::<Result<_, _>>()?;
+    let mut rows = table.rows().to_vec();
+    rows.sort_by(|a, b| {
+        for &(i, dir) in &indices {
+            let ord = a[i].cmp(&b[i]);
+            let ord = match dir {
+                Direction::Ascending => ord,
+                Direction::Descending => ord.reverse(),
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    let mut out = Table::new(&format!("{}_sorted", table.name()), table.schema().clone());
+    out.insert_all(rows)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+    use crate::value::Value;
+
+    fn people() -> Table {
+        let schema =
+            Schema::new(vec![("name", ColumnType::Text), ("age", ColumnType::Int)]).unwrap();
+        let mut t = Table::new("people", schema);
+        t.insert_all(vec![
+            vec![Value::from("carol"), Value::Int(30)],
+            vec![Value::from("ana"), Value::Int(25)],
+            vec![Value::from("bob"), Value::Int(30)],
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn single_key_ascending() {
+        let out = order_by(&people(), &[("age", Direction::Ascending)]).unwrap();
+        let ages: Vec<i64> = out.rows().iter().map(|r| r[1].as_int().unwrap()).collect();
+        assert_eq!(ages, vec![25, 30, 30]);
+    }
+
+    #[test]
+    fn multi_key_with_descending() {
+        let out = order_by(
+            &people(),
+            &[
+                ("age", Direction::Descending),
+                ("name", Direction::Ascending),
+            ],
+        )
+        .unwrap();
+        let names: Vec<&str> = out.rows().iter().map(|r| r[0].as_text().unwrap()).collect();
+        assert_eq!(names, vec!["bob", "carol", "ana"]);
+    }
+
+    #[test]
+    fn stability_preserves_input_order_on_ties() {
+        let out = order_by(&people(), &[("age", Direction::Ascending)]).unwrap();
+        // carol was inserted before bob; both age 30 — carol stays first.
+        assert_eq!(out.rows()[1][0], Value::from("carol"));
+        assert_eq!(out.rows()[2][0], Value::from("bob"));
+    }
+
+    #[test]
+    fn unknown_key_errors() {
+        assert!(order_by(&people(), &[("nope", Direction::Ascending)]).is_err());
+    }
+
+    #[test]
+    fn empty_keys_is_identity() {
+        let t = people();
+        let out = order_by(&t, &[]).unwrap();
+        assert_eq!(out.rows(), t.rows());
+    }
+}

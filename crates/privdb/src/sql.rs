@@ -1,0 +1,839 @@
+//! A small SQL front end over the relational substrate — enough to write
+//! the paper's §1.1 medical-research query exactly as printed:
+//!
+//! ```sql
+//! select pattern, reaction, count(*)
+//! from TR join TS on TR.personid = TS.personid
+//! where TS.drug = true
+//! group by pattern, reaction
+//! ```
+//!
+//! Supported grammar (case-insensitive keywords):
+//!
+//! ```text
+//! SELECT item [, item]…
+//! FROM table [JOIN table ON qual = qual]
+//! [WHERE pred {AND pred}…]
+//! [GROUP BY col [, col]…]
+//! [ORDER BY col [ASC|DESC] [, …]]
+//!
+//! item  := * | col [AS name] | COUNT(*) | SUM(col) | MIN(col)
+//!        | MAX(col) | AVG(col)   (each with optional AS name)
+//! pred  := qual (= | != | < | <= | > | >=) literal
+//!        | qual IS [NOT] NULL
+//! literal := integer | 'text' | true | false
+//! qual  := col | table.col
+//! ```
+//!
+//! Qualified names resolve against the working schema directly (`col`)
+//! or through the join's collision prefix (`table_col`).
+
+use std::collections::BTreeMap;
+
+use crate::aggregate::{group_by, AggFn};
+use crate::error::DbError;
+use crate::query::equijoin;
+use crate::sort::{order_by, Direction};
+use crate::table::Table;
+use crate::value::Value;
+
+/// A named collection of tables queries can reference.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a table under its own name.
+    pub fn register(&mut self, table: Table) {
+        self.tables.insert(table.name().to_string(), table);
+    }
+
+    /// Looks up a table.
+    pub fn get(&self, name: &str) -> Result<&Table, DbError> {
+        self.tables.get(name).ok_or_else(|| DbError::DecodeError {
+            detail: format!("no such table: {name}"),
+        })
+    }
+}
+
+// ---------------------------------------------------------------- lexer
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Text(String),
+    Star,
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Op(String), // = != < <= > >=
+}
+
+fn sql_err(detail: impl Into<String>) -> DbError {
+    DbError::DecodeError {
+        detail: format!("sql: {}", detail.into()),
+    }
+}
+
+fn lex(input: &str) -> Result<Vec<Token>, DbError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&ch) = chars.peek() {
+        match ch {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '*' => {
+                chars.next();
+                tokens.push(Token::Star);
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token::Comma);
+            }
+            '.' => {
+                chars.next();
+                tokens.push(Token::Dot);
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            '=' => {
+                chars.next();
+                tokens.push(Token::Op("=".into()));
+            }
+            '!' => {
+                chars.next();
+                if chars.next() != Some('=') {
+                    return Err(sql_err("expected != "));
+                }
+                tokens.push(Token::Op("!=".into()));
+            }
+            '<' | '>' => {
+                chars.next();
+                let mut op = ch.to_string();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    op.push('=');
+                } else if ch == '<' && chars.peek() == Some(&'>') {
+                    chars.next();
+                    op = "!=".into();
+                }
+                tokens.push(Token::Op(op));
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => s.push(c),
+                        None => return Err(sql_err("unterminated string literal")),
+                    }
+                }
+                tokens.push(Token::Text(s));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut s = String::new();
+                s.push(c);
+                chars.next();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Int(
+                    s.parse()
+                        .map_err(|_| sql_err(format!("bad integer {s:?}")))?,
+                ));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(s));
+            }
+            other => return Err(sql_err(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(tokens)
+}
+
+// ------------------------------------------------------------------ ast
+
+#[derive(Debug, Clone, PartialEq)]
+enum SelectItem {
+    Star,
+    Column {
+        name: QualName,
+        alias: Option<String>,
+    },
+    Agg {
+        f: AggKind,
+        col: Option<QualName>,
+        alias: Option<String>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum AggKind {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct QualName {
+    table: Option<String>,
+    column: String,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Pred {
+    Compare {
+        left: QualName,
+        op: String,
+        right: Value,
+    },
+    IsNull {
+        left: QualName,
+        negated: bool,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Query {
+    items: Vec<SelectItem>,
+    from: String,
+    join: Option<(String, QualName, QualName)>,
+    predicates: Vec<Pred>,
+    group_by: Vec<QualName>,
+    order_by: Vec<(QualName, Direction)>,
+}
+
+// --------------------------------------------------------------- parser
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), DbError> {
+        if self.keyword(kw) {
+            Ok(())
+        } else {
+            Err(sql_err(format!("expected {kw}, got {:?}", self.peek())))
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), DbError> {
+        match self.next() {
+            Some(got) if &got == t => Ok(()),
+            got => Err(sql_err(format!("expected {t:?}, got {got:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, DbError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            got => Err(sql_err(format!("expected identifier, got {got:?}"))),
+        }
+    }
+
+    fn qual_name(&mut self) -> Result<QualName, DbError> {
+        let first = self.ident()?;
+        if self.peek() == Some(&Token::Dot) {
+            self.pos += 1;
+            let column = self.ident()?;
+            Ok(QualName {
+                table: Some(first),
+                column,
+            })
+        } else {
+            Ok(QualName {
+                table: None,
+                column: first,
+            })
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value, DbError> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(Value::Int(i)),
+            Some(Token::Text(s)) => Ok(Value::Text(s)),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("null") => Ok(Value::Null),
+            got => Err(sql_err(format!("expected literal, got {got:?}"))),
+        }
+    }
+
+    fn agg_kind(name: &str) -> Option<AggKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "count" => Some(AggKind::Count),
+            "sum" => Some(AggKind::Sum),
+            "min" => Some(AggKind::Min),
+            "max" => Some(AggKind::Max),
+            "avg" => Some(AggKind::Avg),
+            _ => None,
+        }
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, DbError> {
+        if self.peek() == Some(&Token::Star) {
+            self.pos += 1;
+            return Ok(SelectItem::Star);
+        }
+        // Aggregate?
+        if let Some(Token::Ident(name)) = self.peek().cloned() {
+            if let Some(kind) = Self::agg_kind(&name) {
+                if self.tokens.get(self.pos + 1) == Some(&Token::LParen) {
+                    self.pos += 2; // name + (
+                    let col = if self.peek() == Some(&Token::Star) {
+                        if kind != AggKind::Count {
+                            return Err(sql_err("only COUNT accepts *"));
+                        }
+                        self.pos += 1;
+                        None
+                    } else {
+                        Some(self.qual_name()?)
+                    };
+                    self.expect(&Token::RParen)?;
+                    let alias = self.alias()?;
+                    return Ok(SelectItem::Agg {
+                        f: kind,
+                        col,
+                        alias,
+                    });
+                }
+            }
+        }
+        let name = self.qual_name()?;
+        let alias = self.alias()?;
+        Ok(SelectItem::Column { name, alias })
+    }
+
+    fn alias(&mut self) -> Result<Option<String>, DbError> {
+        if self.keyword("as") {
+            Ok(Some(self.ident()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Pred, DbError> {
+        let left = self.qual_name()?;
+        if self.keyword("is") {
+            let negated = self.keyword("not");
+            self.expect_keyword("null")?;
+            return Ok(Pred::IsNull { left, negated });
+        }
+        let op = match self.next() {
+            Some(Token::Op(op)) => op,
+            got => return Err(sql_err(format!("expected comparison, got {got:?}"))),
+        };
+        let right = self.literal()?;
+        Ok(Pred::Compare { left, op, right })
+    }
+
+    fn query(&mut self) -> Result<Query, DbError> {
+        self.expect_keyword("select")?;
+        let mut items = vec![self.select_item()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            items.push(self.select_item()?);
+        }
+        self.expect_keyword("from")?;
+        let from = self.ident()?;
+
+        let mut join = None;
+        if self.keyword("join") {
+            let table = self.ident()?;
+            self.expect_keyword("on")?;
+            let left = self.qual_name()?;
+            match self.next() {
+                Some(Token::Op(op)) if op == "=" => {}
+                got => return Err(sql_err(format!("JOIN requires =, got {got:?}"))),
+            }
+            let right = self.qual_name()?;
+            join = Some((table, left, right));
+        }
+
+        let mut predicates = Vec::new();
+        if self.keyword("where") {
+            predicates.push(self.predicate()?);
+            while self.keyword("and") {
+                predicates.push(self.predicate()?);
+            }
+        }
+
+        let mut group_by = Vec::new();
+        if self.keyword("group") {
+            self.expect_keyword("by")?;
+            group_by.push(self.qual_name()?);
+            while self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+                group_by.push(self.qual_name()?);
+            }
+        }
+
+        let mut order = Vec::new();
+        if self.keyword("order") {
+            self.expect_keyword("by")?;
+            loop {
+                let col = self.qual_name()?;
+                let dir = if self.keyword("desc") {
+                    Direction::Descending
+                } else {
+                    let _ = self.keyword("asc");
+                    Direction::Ascending
+                };
+                order.push((col, dir));
+                if self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        if self.pos != self.tokens.len() {
+            return Err(sql_err(format!("trailing tokens at {:?}", self.peek())));
+        }
+        Ok(Query {
+            items,
+            from,
+            join,
+            predicates,
+            group_by,
+            order_by: order,
+        })
+    }
+}
+
+// ------------------------------------------------------------- executor
+
+/// Resolves a possibly-qualified name against `table`'s schema: bare
+/// column first, then the join collision form `<table>_<col>`.
+fn resolve(table: &Table, name: &QualName) -> Result<usize, DbError> {
+    if let Ok(i) = table.schema().index_of(&name.column) {
+        return Ok(i);
+    }
+    if let Some(t) = &name.table {
+        let prefixed = format!("{t}_{}", name.column);
+        if let Ok(i) = table.schema().index_of(&prefixed) {
+            return Ok(i);
+        }
+    }
+    Err(DbError::NoSuchColumn {
+        column: match &name.table {
+            Some(t) => format!("{t}.{}", name.column),
+            None => name.column.clone(),
+        },
+    })
+}
+
+fn resolve_name(table: &Table, name: &QualName) -> Result<String, DbError> {
+    let idx = resolve(table, name)?;
+    Ok(table.schema().columns()[idx].name.clone())
+}
+
+fn apply_predicates(table: &Table, preds: &[Pred]) -> Result<Table, DbError> {
+    let mut compiled: Vec<(usize, &Pred)> = Vec::new();
+    for p in preds {
+        let name = match p {
+            Pred::Compare { left, .. } => left,
+            Pred::IsNull { left, .. } => left,
+        };
+        compiled.push((resolve(table, name)?, p));
+    }
+    Ok(table.filter("filtered", |row| {
+        compiled.iter().all(|(idx, p)| {
+            let v = &row[*idx];
+            match p {
+                Pred::IsNull { negated, .. } => (v == &Value::Null) != *negated,
+                Pred::Compare { op, right, .. } => {
+                    if v == &Value::Null {
+                        return false; // SQL three-valued logic: NULL compares unknown
+                    }
+                    match op.as_str() {
+                        "=" => v == right,
+                        "!=" => v != right,
+                        "<" => v < right,
+                        "<=" => v <= right,
+                        ">" => v > right,
+                        ">=" => v >= right,
+                        _ => false,
+                    }
+                }
+            }
+        })
+    }))
+}
+
+/// Parses and executes `sql` against `catalog`, returning a result table.
+pub fn execute(catalog: &Catalog, sql: &str) -> Result<Table, DbError> {
+    let tokens = lex(sql)?;
+    let query = Parser { tokens, pos: 0 }.query()?;
+
+    // FROM / JOIN.
+    let mut working: Table = catalog.get(&query.from)?.clone();
+    if let Some((right_name, on_left, on_right)) = &query.join {
+        let right = catalog.get(right_name)?;
+        // Determine which side each ON operand belongs to.
+        let (left_col, right_col) = if resolve(&working, on_left).is_ok() {
+            (
+                resolve_name(&working, on_left)?,
+                resolve_name(right, on_right)?,
+            )
+        } else {
+            (
+                resolve_name(&working, on_right)?,
+                resolve_name(right, on_left)?,
+            )
+        };
+        working = equijoin(&working, &left_col, right, &right_col)?;
+    }
+
+    // WHERE.
+    if !query.predicates.is_empty() {
+        working = apply_predicates(&working, &query.predicates)?;
+    }
+
+    // GROUP BY / aggregates.
+    let has_agg = query
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Agg { .. }));
+    if !query.group_by.is_empty() || has_agg {
+        let group_cols: Vec<String> = query
+            .group_by
+            .iter()
+            .map(|g| resolve_name(&working, g))
+            .collect::<Result<_, _>>()?;
+        let mut aggs: Vec<(String, AggFn)> = Vec::new();
+        for item in &query.items {
+            match item {
+                SelectItem::Agg { f, col, alias } => {
+                    let col_name = col
+                        .as_ref()
+                        .map(|c| resolve_name(&working, c))
+                        .transpose()?;
+                    let f = match (f, col_name.clone()) {
+                        (AggKind::Count, _) => AggFn::Count,
+                        (AggKind::Sum, Some(c)) => AggFn::Sum(c),
+                        (AggKind::Min, Some(c)) => AggFn::Min(c),
+                        (AggKind::Max, Some(c)) => AggFn::Max(c),
+                        (AggKind::Avg, Some(c)) => AggFn::Avg(c),
+                        _ => return Err(sql_err("aggregate requires a column")),
+                    };
+                    let default = match &f {
+                        AggFn::Count => "count".to_string(),
+                        AggFn::Sum(c) => format!("sum_{c}"),
+                        AggFn::Min(c) => format!("min_{c}"),
+                        AggFn::Max(c) => format!("max_{c}"),
+                        AggFn::Avg(c) => format!("avg_{c}"),
+                    };
+                    aggs.push((alias.clone().unwrap_or(default), f));
+                }
+                SelectItem::Column { name, .. } => {
+                    // Must be a grouping column.
+                    let resolved = resolve_name(&working, name)?;
+                    if !group_cols.contains(&resolved) {
+                        return Err(sql_err(format!(
+                            "column {resolved} must appear in GROUP BY"
+                        )));
+                    }
+                }
+                SelectItem::Star => {
+                    return Err(sql_err("* not allowed with GROUP BY"));
+                }
+            }
+        }
+        let group_refs: Vec<&str> = group_cols.iter().map(|c| c.as_str()).collect();
+        let agg_refs: Vec<(&str, AggFn)> =
+            aggs.iter().map(|(n, f)| (n.as_str(), f.clone())).collect();
+        working = group_by(&working, &group_refs, &agg_refs)?;
+    } else {
+        // Plain projection (unless SELECT *).
+        let is_star = query.items.iter().any(|i| matches!(i, SelectItem::Star));
+        if !is_star {
+            let cols: Vec<String> = query
+                .items
+                .iter()
+                .map(|i| match i {
+                    SelectItem::Column { name, .. } => resolve_name(&working, name),
+                    _ => unreachable!("aggregates handled above"),
+                })
+                .collect::<Result<_, _>>()?;
+            let refs: Vec<&str> = cols.iter().map(|c| c.as_str()).collect();
+            working = working.project("projected", &refs)?;
+        }
+    }
+
+    // ORDER BY.
+    if !query.order_by.is_empty() {
+        let keys: Vec<(String, Direction)> = query
+            .order_by
+            .iter()
+            .map(|(n, d)| resolve_name(&working, n).map(|c| (c, *d)))
+            .collect::<Result<_, _>>()?;
+        let refs: Vec<(&str, Direction)> = keys.iter().map(|(c, d)| (c.as_str(), *d)).collect();
+        working = order_by(&working, &refs)?;
+    }
+
+    Ok(working)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+
+        let schema = Schema::new(vec![
+            ("personid", ColumnType::Int),
+            ("pattern", ColumnType::Bool),
+        ])
+        .unwrap();
+        let mut tr = Table::new("TR", schema);
+        tr.insert_all(vec![
+            vec![Value::Int(1), Value::Bool(true)],
+            vec![Value::Int(2), Value::Bool(false)],
+            vec![Value::Int(3), Value::Bool(true)],
+            vec![Value::Int(4), Value::Bool(false)],
+        ])
+        .unwrap();
+        cat.register(tr);
+
+        let schema = Schema::new(vec![
+            ("personid", ColumnType::Int),
+            ("drug", ColumnType::Bool),
+            ("reaction", ColumnType::Bool),
+        ])
+        .unwrap();
+        let mut ts = Table::new("TS", schema);
+        ts.insert_all(vec![
+            vec![Value::Int(1), Value::Bool(true), Value::Bool(true)],
+            vec![Value::Int(2), Value::Bool(true), Value::Bool(false)],
+            vec![Value::Int(3), Value::Bool(false), Value::Bool(false)],
+            vec![Value::Int(4), Value::Bool(true), Value::Bool(true)],
+        ])
+        .unwrap();
+        cat.register(ts);
+        cat
+    }
+
+    #[test]
+    fn the_papers_medical_query_runs_verbatim() {
+        let cat = catalog();
+        let result = execute(
+            &cat,
+            "select pattern, reaction, count(*) \
+             from TR join TS on TR.personid = TS.personid \
+             where TS.drug = true \
+             group by pattern, reaction",
+        )
+        .unwrap();
+        // Drug takers: 1 (T,T), 2 (F,F), 4 (F,T).
+        assert_eq!(result.len(), 3);
+        assert!(result
+            .rows()
+            .contains(&vec![Value::Bool(true), Value::Bool(true), Value::Int(1)]));
+        assert!(result.rows().contains(&vec![
+            Value::Bool(false),
+            Value::Bool(false),
+            Value::Int(1)
+        ]));
+        assert!(result.rows().contains(&vec![
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(1)
+        ]));
+    }
+
+    #[test]
+    fn select_star_and_where() {
+        let cat = catalog();
+        let r = execute(&cat, "select * from TS where drug = true").unwrap();
+        assert_eq!(r.len(), 3);
+        let r = execute(&cat, "select * from TS where personid >= 3").unwrap();
+        assert_eq!(r.len(), 2);
+        let r = execute(&cat, "select * from TS where personid != 1").unwrap();
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn projection_and_alias() {
+        let cat = catalog();
+        let r = execute(&cat, "select personid from TR where pattern = true").unwrap();
+        assert_eq!(r.schema().arity(), 1);
+        assert_eq!(r.len(), 2);
+        let r = execute(&cat, "select count(*) as n from TR").unwrap();
+        assert_eq!(r.schema().columns()[0].name, "n");
+        assert_eq!(r.rows()[0][0], Value::Int(4));
+    }
+
+    #[test]
+    fn aggregates_without_group_by() {
+        let cat = catalog();
+        let r = execute(
+            &cat,
+            "select count(*), min(personid), max(personid), sum(personid), avg(personid) from TR",
+        )
+        .unwrap();
+        assert_eq!(
+            r.rows()[0],
+            vec![
+                Value::Int(4),
+                Value::Int(1),
+                Value::Int(4),
+                Value::Int(10),
+                Value::Int(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn order_by_directions() {
+        let cat = catalog();
+        let r = execute(&cat, "select personid from TS order by personid desc").unwrap();
+        let ids: Vec<i64> = r.rows().iter().map(|x| x[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn string_literals_and_is_null() {
+        let mut cat = Catalog::new();
+        let schema =
+            Schema::new(vec![("name", ColumnType::Text), ("age", ColumnType::Int)]).unwrap();
+        let mut t = Table::new("people", schema);
+        t.insert_all(vec![
+            vec![Value::from("ana"), Value::Int(30)],
+            vec![Value::from("bob"), Value::Null],
+            vec![Value::from("o'brien"), Value::Int(44)],
+        ])
+        .unwrap();
+        cat.register(t);
+        let r = execute(&cat, "select * from people where name = 'ana'").unwrap();
+        assert_eq!(r.len(), 1);
+        let r = execute(&cat, "select * from people where name = 'o''brien'").unwrap();
+        assert_eq!(r.len(), 1);
+        let r = execute(&cat, "select * from people where age is null").unwrap();
+        assert_eq!(r.len(), 1);
+        let r = execute(&cat, "select * from people where age is not null").unwrap();
+        assert_eq!(r.len(), 2);
+        // NULL never satisfies a comparison.
+        let r = execute(&cat, "select * from people where age > 0").unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn grouped_sums_per_key() {
+        let mut cat = Catalog::new();
+        let schema = Schema::new(vec![
+            ("region", ColumnType::Text),
+            ("amount", ColumnType::Int),
+        ])
+        .unwrap();
+        let mut t = Table::new("sales", schema);
+        t.insert_all(vec![
+            vec![Value::from("e"), Value::Int(10)],
+            vec![Value::from("e"), Value::Int(30)],
+            vec![Value::from("w"), Value::Int(5)],
+        ])
+        .unwrap();
+        cat.register(t);
+        let r = execute(
+            &cat,
+            "select region, sum(amount) as total from sales group by region order by region",
+        )
+        .unwrap();
+        assert_eq!(
+            r.rows(),
+            &[
+                vec![Value::from("e"), Value::Int(40)],
+                vec![Value::from("w"), Value::Int(5)],
+            ]
+        );
+    }
+
+    #[test]
+    fn error_paths() {
+        let cat = catalog();
+        assert!(execute(&cat, "select * from missing").is_err());
+        assert!(execute(&cat, "select nope from TR").is_err());
+        assert!(execute(&cat, "frobnicate TR").is_err());
+        assert!(execute(&cat, "select * from TR where").is_err());
+        assert!(execute(&cat, "select * from TR where pattern = 'x").is_err());
+        assert!(execute(&cat, "select pattern from TR group by personid").is_err());
+        assert!(execute(&cat, "select sum(*) from TR").is_err());
+        assert!(execute(&cat, "select * from TR extra").is_err());
+    }
+
+    #[test]
+    fn join_resolves_qualified_columns_on_either_side() {
+        let cat = catalog();
+        // ON operands reversed relative to FROM/JOIN order.
+        let r = execute(
+            &cat,
+            "select count(*) from TR join TS on TS.personid = TR.personid",
+        )
+        .unwrap();
+        assert_eq!(r.rows()[0][0], Value::Int(4));
+    }
+}

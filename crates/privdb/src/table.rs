@@ -1,0 +1,211 @@
+//! Validated in-memory tables with the scans the protocols need.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::error::DbError;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A row is an owned vector of cell values.
+pub type Row = Vec<Value>;
+
+/// An in-memory table: a schema plus validated rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: &str, schema: Schema) -> Self {
+        Table {
+            name: name.to_string(),
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Inserts a row after schema validation.
+    pub fn insert(&mut self, row: Row) -> Result<(), DbError> {
+        self.schema.check_row(&row)?;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Bulk insert.
+    pub fn insert_all<I: IntoIterator<Item = Row>>(&mut self, rows: I) -> Result<(), DbError> {
+        for row in rows {
+            self.insert(row)?;
+        }
+        Ok(())
+    }
+
+    /// The set of **distinct** values in a column — the paper's `V_S`
+    /// (`V_R`): "the set of values (without duplicates) that occur in
+    /// `T_S.A`" (§2.2.1). Sorted for determinism.
+    pub fn distinct_values(&self, column: &str) -> Result<Vec<Value>, DbError> {
+        let idx = self.schema.index_of(column)?;
+        let set: BTreeSet<Value> = self.rows.iter().map(|r| r[idx].clone()).collect();
+        Ok(set.into_iter().collect())
+    }
+
+    /// The **multiset** of values in a column (with duplicates), sorted —
+    /// what the equijoin-size protocol of §5.2 operates on.
+    pub fn multiset_values(&self, column: &str) -> Result<Vec<Value>, DbError> {
+        let idx = self.schema.index_of(column)?;
+        let mut vals: Vec<Value> = self.rows.iter().map(|r| r[idx].clone()).collect();
+        vals.sort();
+        Ok(vals)
+    }
+
+    /// Groups rows by the value of `column`: the paper's
+    /// `ext(v) = { records of T_S with T_S.A = v }` for every `v` at once.
+    pub fn extension_map(&self, column: &str) -> Result<BTreeMap<Value, Vec<Row>>, DbError> {
+        let idx = self.schema.index_of(column)?;
+        let mut map: BTreeMap<Value, Vec<Row>> = BTreeMap::new();
+        for row in &self.rows {
+            map.entry(row[idx].clone()).or_default().push(row.clone());
+        }
+        Ok(map)
+    }
+
+    /// Returns a new table with only the rows satisfying `predicate`.
+    pub fn filter<F: FnMut(&Row) -> bool>(&self, name: &str, mut predicate: F) -> Table {
+        Table {
+            name: name.to_string(),
+            schema: self.schema.clone(),
+            rows: self.rows.iter().filter(|r| predicate(r)).cloned().collect(),
+        }
+    }
+
+    /// Projects onto the named columns.
+    pub fn project(&self, name: &str, columns: &[&str]) -> Result<Table, DbError> {
+        let indices: Vec<usize> = columns
+            .iter()
+            .map(|c| self.schema.index_of(c))
+            .collect::<Result<_, _>>()?;
+        let schema_cols: Vec<(&str, crate::schema::ColumnType)> = indices
+            .iter()
+            .map(|&i| {
+                let c = &self.schema.columns()[i];
+                (c.name.as_str(), c.ty)
+            })
+            .collect();
+        let schema = Schema::new(schema_cols)?;
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        Ok(Table {
+            name: name.to_string(),
+            schema,
+            rows,
+        })
+    }
+
+    /// Convenience: value of `column` in `row`.
+    pub fn value_at(&self, row: &Row, column: &str) -> Result<Value, DbError> {
+        Ok(row[self.schema.index_of(column)?].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn people() -> Table {
+        let schema =
+            Schema::new(vec![("id", ColumnType::Int), ("city", ColumnType::Text)]).unwrap();
+        let mut t = Table::new("people", schema);
+        t.insert_all(vec![
+            vec![Value::Int(1), Value::from("sj")],
+            vec![Value::Int(2), Value::from("sf")],
+            vec![Value::Int(3), Value::from("sj")],
+            vec![Value::Int(4), Value::from("la")],
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_validates() {
+        let mut t = people();
+        assert!(t.insert(vec![Value::Int(5), Value::from("ny")]).is_ok());
+        assert!(t
+            .insert(vec![Value::from("bad"), Value::from("ny")])
+            .is_err());
+        assert!(t.insert(vec![Value::Int(5)]).is_err());
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn distinct_is_deduped_and_sorted() {
+        let t = people();
+        assert_eq!(
+            t.distinct_values("city").unwrap(),
+            vec![Value::from("la"), Value::from("sf"), Value::from("sj")]
+        );
+    }
+
+    #[test]
+    fn multiset_keeps_duplicates() {
+        let t = people();
+        assert_eq!(t.multiset_values("city").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn extension_map_groups_rows() {
+        let t = people();
+        let ext = t.extension_map("city").unwrap();
+        assert_eq!(ext[&Value::from("sj")].len(), 2);
+        assert_eq!(ext[&Value::from("sf")].len(), 1);
+        assert_eq!(ext.len(), 3);
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let t = people();
+        let sj = t.filter("sj_only", |r| r[1] == Value::from("sj"));
+        assert_eq!(sj.len(), 2);
+        let ids = sj.project("ids", &["id"]).unwrap();
+        assert_eq!(ids.schema().arity(), 1);
+        assert_eq!(ids.rows()[0], vec![Value::Int(1)]);
+        assert!(t.project("bad", &["nope"]).is_err());
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        let t = people();
+        assert!(t.distinct_values("nope").is_err());
+        assert!(t.extension_map("nope").is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the relational substrate: CSV round trips
+//! over arbitrary typed tables, aggregation against naive oracles, and
+//! sort laws.
+
+use minshare_privdb::aggregate::{group_by, AggFn};
+use minshare_privdb::csvio::{read_csv, write_csv};
+use minshare_privdb::sort::{order_by, Direction};
+use minshare_privdb::{query, ColumnType, Schema, Table, Value};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary value of the given type (with NULLs mixed in).
+fn value_of(ty: ColumnType) -> BoxedStrategy<Value> {
+    let non_null: BoxedStrategy<Value> = match ty {
+        ColumnType::Int => any::<i64>().prop_map(Value::Int).boxed(),
+        ColumnType::Bool => any::<bool>().prop_map(Value::Bool).boxed(),
+        ColumnType::Text => "[a-z,\"\n ]{0,12}".prop_map(Value::Text).boxed(),
+        ColumnType::Bytes => proptest::collection::vec(any::<u8>(), 0..8)
+            .prop_map(Value::Bytes)
+            .boxed(),
+    };
+    prop_oneof![
+        9 => non_null,
+        1 => Just(Value::Null),
+    ]
+    .boxed()
+}
+
+/// Strategy: a random table over a fixed 4-column schema.
+fn table() -> impl Strategy<Value = Table> {
+    let row = (
+        value_of(ColumnType::Int),
+        value_of(ColumnType::Text),
+        value_of(ColumnType::Bool),
+        value_of(ColumnType::Bytes),
+    );
+    proptest::collection::vec(row, 0..20).prop_map(|rows| {
+        let schema = Schema::new(vec![
+            ("id", ColumnType::Int),
+            ("name", ColumnType::Text),
+            ("flag", ColumnType::Bool),
+            ("blob", ColumnType::Bytes),
+        ])
+        .expect("schema");
+        let mut t = Table::new("t", schema);
+        for (a, b, c, d) in rows {
+            t.insert(vec![a, b, c, d]).expect("typed row");
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csv_round_trips_arbitrary_tables(t in table()) {
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let schema = t.schema().clone();
+        let back = read_csv("t", schema, buf.as_slice()).unwrap();
+        prop_assert_eq!(back.rows(), t.rows());
+    }
+
+    #[test]
+    fn count_star_equals_row_count(t in table()) {
+        let g = group_by(&t, &[], &[("n", AggFn::Count)]).unwrap();
+        prop_assert_eq!(g.rows()[0][0].clone(), Value::Int(t.len() as i64));
+    }
+
+    #[test]
+    fn grouped_counts_sum_to_total(t in table()) {
+        let g = group_by(&t, &["flag"], &[("n", AggFn::Count)]).unwrap();
+        let total: i64 = g.rows().iter().map(|r| r[1].as_int().unwrap()).sum();
+        prop_assert_eq!(total, t.len() as i64);
+    }
+
+    #[test]
+    fn min_max_bracket_all_values(t in table()) {
+        let g = group_by(
+            &t,
+            &[],
+            &[("lo", AggFn::Min("id".into())), ("hi", AggFn::Max("id".into()))],
+        )
+        .unwrap();
+        let lo = &g.rows()[0][0];
+        let hi = &g.rows()[0][1];
+        let idx = t.schema().index_of("id").unwrap();
+        for row in t.rows() {
+            if row[idx] == Value::Null {
+                continue;
+            }
+            prop_assert!(lo <= &row[idx] && &row[idx] <= hi);
+        }
+    }
+
+    #[test]
+    fn order_by_is_sorted_and_permutes(t in table()) {
+        let sorted = order_by(&t, &[("id", Direction::Ascending)]).unwrap();
+        prop_assert_eq!(sorted.len(), t.len());
+        let idx = t.schema().index_of("id").unwrap();
+        for w in sorted.rows().windows(2) {
+            prop_assert!(w[0][idx] <= w[1][idx]);
+        }
+        // Same multiset of rows.
+        let mut a = t.rows().to_vec();
+        let mut b = sorted.rows().to_vec();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn descending_is_reverse_of_ascending(t in table()) {
+        let asc = order_by(&t, &[("id", Direction::Ascending)]).unwrap();
+        let desc = order_by(&t, &[("id", Direction::Descending)]).unwrap();
+        let idx = t.schema().index_of("id").unwrap();
+        let mut asc_keys: Vec<&Value> = asc.rows().iter().map(|r| &r[idx]).collect();
+        asc_keys.reverse();
+        let desc_keys: Vec<&Value> = desc.rows().iter().map(|r| &r[idx]).collect();
+        prop_assert_eq!(asc_keys, desc_keys);
+    }
+
+    #[test]
+    fn join_row_count_is_sum_of_products(
+        left_keys in proptest::collection::vec(0i64..5, 0..15),
+        right_keys in proptest::collection::vec(0i64..5, 0..15),
+    ) {
+        let schema = || Schema::new(vec![("k", ColumnType::Int)]).unwrap();
+        let mut l = Table::new("l", schema());
+        for k in &left_keys {
+            l.insert(vec![Value::Int(*k)]).unwrap();
+        }
+        let mut r = Table::new("r", schema());
+        for k in &right_keys {
+            r.insert(vec![Value::Int(*k)]).unwrap();
+        }
+        let joined = query::equijoin(&l, "k", &r, "k").unwrap();
+        let expect: usize = (0..5)
+            .map(|k| {
+                left_keys.iter().filter(|&&x| x == k).count()
+                    * right_keys.iter().filter(|&&x| x == k).count()
+            })
+            .sum();
+        prop_assert_eq!(joined.len(), expect);
+    }
+
+    #[test]
+    fn sum_agg_matches_naive(ints in proptest::collection::vec(any::<i32>(), 0..20)) {
+        let schema = Schema::new(vec![("x", ColumnType::Int)]).unwrap();
+        let mut t = Table::new("t", schema);
+        for i in &ints {
+            t.insert(vec![Value::Int(*i as i64)]).unwrap();
+        }
+        let g = group_by(&t, &[], &[("s", AggFn::Sum("x".into()))]).unwrap();
+        let expect: i64 = ints.iter().map(|&i| i as i64).sum();
+        prop_assert_eq!(g.rows()[0][0].clone(), Value::Int(expect));
+    }
+}

@@ -1,0 +1,71 @@
+//! Why the straw-man of §3.1 fails — and why the real protocol doesn't.
+//!
+//! ```text
+//! cargo run --example broken_protocol
+//! ```
+//!
+//! The "obvious" private intersection — hash your values with a public
+//! hash and exchange the hashes — computes the right answer but reveals
+//! far more: the receiver can hash *candidate* values offline and probe
+//! the sender's set. Over a small domain (ages, zip codes, SSNs, DNA
+//! markers) that recovers the whole set. The paper's fix is to make the
+//! "hash" keyed and *commutative*, so neither side can evaluate it alone.
+
+use minshare::naive;
+use minshare::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // The sender's secret: ages of patients in a trial (domain 0..120!).
+    let secret_ages: Vec<u8> = vec![23, 42, 57, 61, 88];
+    let vs: Vec<Vec<u8>> = secret_ages.iter().map(|a| vec![*a]).collect();
+    // The receiver legitimately holds just one overlapping record.
+    let vr: Vec<Vec<u8>> = vec![vec![42u8]];
+
+    println!("=== naive hash protocol (§3.1) ===");
+    let (intersection, transcript) = naive::naive_intersection(&vs, &vr);
+    println!(
+        "protocol answer: {} common value(s) — correct",
+        intersection.len()
+    );
+
+    // The honest-but-curious receiver now sweeps the domain.
+    let domain: Vec<Vec<u8>> = (0u8..=120).map(|a| vec![a]).collect();
+    let recovered = naive::dictionary_attack(&transcript, domain.iter().map(|d| d.as_slice()));
+    println!(
+        "dictionary attack over ages 0..=120 recovered {} of {} secret values:",
+        recovered.len(),
+        vs.len()
+    );
+    for v in &recovered {
+        println!("  age {}", v[0]);
+    }
+    assert_eq!(recovered.len(), vs.len(), "the attack recovers everything");
+
+    println!("\n=== fixed protocol (§3.3, commutative encryption) ===");
+    let group = QrGroup::well_known(768).expect("bundled group");
+    let run = run_two_party(
+        |t| {
+            let mut rng = StdRng::seed_from_u64(1);
+            intersection::run_sender(t, &group, &vs, &mut rng)
+        },
+        |t| {
+            let mut rng = StdRng::seed_from_u64(2);
+            intersection::run_receiver(t, &group, &vr, &mut rng)
+        },
+    )
+    .expect("protocol run");
+    println!(
+        "protocol answer: {} common value(s) — also correct",
+        run.receiver.intersection.len()
+    );
+    println!(
+        "but now R's view is Y_S = f_eS(h(V_S)): {} random-looking {}-bit codewords.",
+        run.receiver.peer_set_size,
+        group.codeword_bits()
+    );
+    println!("Hashing a candidate value is useless without S's key e_S —");
+    println!("Statement 2 of the paper proves R's whole view is simulatable from");
+    println!("the answer alone (under DDH, in the random-oracle model).");
+}

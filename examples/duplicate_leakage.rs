@@ -1,0 +1,91 @@
+//! The §5.2 equijoin-size leak, made visible.
+//!
+//! ```text
+//! cargo run --example duplicate_leakage
+//! ```
+//!
+//! The equijoin-size protocol works on multisets, and the paper is
+//! candid that it leaks more than the join size: each side learns the
+//! other's duplicate distribution, and `R` learns how many of its values
+//! in each duplicate class matched each of `S`'s classes. This example
+//! runs the protocol on two contrived workloads — one where the leak is
+//! harmless (uniform duplicates) and one where it identifies every
+//! matching value (all duplicate counts distinct).
+
+use minshare::leakage;
+use minshare::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_case(group: &QrGroup, label: &str, vs: &[&str], vr: &[&str]) {
+    let vs_bytes: Vec<Vec<u8>> = vs.iter().map(|s| s.as_bytes().to_vec()).collect();
+    let vr_bytes: Vec<Vec<u8>> = vr.iter().map(|s| s.as_bytes().to_vec()).collect();
+    let run = run_two_party(
+        |t| {
+            let mut rng = StdRng::seed_from_u64(1);
+            equijoin_size::run_sender(t, group, &vs_bytes, &mut rng)
+        },
+        |t| {
+            let mut rng = StdRng::seed_from_u64(2);
+            equijoin_size::run_receiver(t, group, &vr_bytes, &mut rng)
+        },
+    )
+    .expect("protocol run");
+
+    println!("--- {label} ---");
+    println!("V_S (multiset): {vs:?}");
+    println!("V_R (multiset): {vr:?}");
+    println!("join size learned by R: {}", run.receiver.join_size);
+    println!(
+        "S learned R's duplicate distribution: {:?}",
+        run.sender.peer_duplicate_distribution
+    );
+    println!(
+        "R learned S's duplicate distribution: {:?}",
+        run.receiver.peer_duplicate_distribution
+    );
+    println!("R's class-intersection matrix (dup_R, dup_S) → count:");
+    for (k, v) in &run.receiver.class_intersections {
+        println!("  ({}, {}) → {}", k.0, k.1, v);
+    }
+    let expected = leakage::expected_class_intersections(&vr_bytes, &vs_bytes);
+    assert_eq!(run.receiver.class_intersections, expected);
+    let frac = leakage::identifiable_match_fraction(&vr_bytes, &vs_bytes);
+    println!("fraction of matches R can uniquely identify: {frac:.2}");
+    println!();
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xd0b);
+    let group = QrGroup::generate(&mut rng, 96).expect("group generation");
+
+    // Case 1 (the paper's benign extreme): no duplicates anywhere.
+    // "If all values have the same number of duplicates, R only learns
+    // |V_R ∩ V_S|."
+    run_case(
+        &group,
+        "uniform duplicates — leak degenerates to the intersection size",
+        &["a", "b", "c", "d"],
+        &["b", "c", "e"],
+    );
+
+    // Case 2 (the paper's warning): every value has a distinct duplicate
+    // count. "At the other extreme, if no two values have the same number
+    // of duplicates, R will learn V_R ∩ V_S."
+    run_case(
+        &group,
+        "distinct duplicate counts — R pinpoints every matching value",
+        &["x", "y", "y", "z", "z", "z"],
+        &["x", "y", "y", "y", "y", "z", "z", "z", "z", "z"],
+    );
+
+    // Case 3: a mixed workload.
+    run_case(
+        &group,
+        "mixed workload",
+        &["p", "p", "q", "r", "r", "s"],
+        &["p", "q", "q", "r", "r", "t"],
+    );
+
+    println!("OK — the protocol's observable leak matches the §5.2 characterization exactly.");
+}

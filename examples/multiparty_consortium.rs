@@ -1,0 +1,67 @@
+//! N-party intersection size: a consortium finds how many customers all
+//! of its members share — no member reveals its list to anyone.
+//!
+//! ```text
+//! cargo run --release --example multiparty_consortium
+//! ```
+//!
+//! Five banks want the size of their common-customer pool (say, to scope
+//! a joint fraud investigation) without any bank disclosing its customer
+//! base. The two-party §5.1 protocol generalizes to a ring: every list
+//! collects one commutative-encryption layer per bank (re-sorted at each
+//! hop so positions unlink), and the collector counts the codewords
+//! common to all fully-encrypted lists.
+
+use minshare::multiparty::multiparty_intersection_size;
+use minshare_crypto::QrGroup;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xc0504);
+    let group = QrGroup::generate(&mut rng, 96).expect("group generation");
+
+    // Synthetic customer bases: ~10k universe, each bank holds a few
+    // hundred customers, with a planted common core.
+    let n_banks = 5;
+    let core: Vec<Vec<u8>> = (0..37u32)
+        .map(|i| format!("core-customer-{i}").into_bytes())
+        .collect();
+    let mut sets = Vec::new();
+    for b in 0..n_banks {
+        let mut customers = core.clone();
+        for _ in 0..200 {
+            customers.push(format!("cust-{}", rng.random_range(0..10_000u32)).into_bytes());
+        }
+        println!("bank {b}: {} customer records (private)", customers.len());
+        sets.push(customers);
+    }
+
+    let run = multiparty_intersection_size(&group, &sets, 99).expect("protocol run");
+
+    println!(
+        "\nconsortium learned: {} customers common to all {n_banks} banks",
+        run.intersection_size
+    );
+    println!("per-bank set sizes disclosed: {:?}", run.set_sizes);
+    println!(
+        "costs: {} exponentiations total, {} bits across the ring",
+        run.ops.total_ce(),
+        run.total_bits
+    );
+
+    // Oracle: the random extras collide with the core only if a random
+    // "cust-N" string happens to be shared by *all five* banks — compute
+    // the true intersection in the clear to check.
+    let mut common: std::collections::BTreeSet<Vec<u8>> = sets[0].iter().cloned().collect();
+    for s in &sets[1..] {
+        let set: std::collections::BTreeSet<&Vec<u8>> = s.iter().collect();
+        common.retain(|v| set.contains(v));
+    }
+    assert_eq!(run.intersection_size, common.len());
+    println!(
+        "\nOK — matches the clear-text N-way intersection ({} values).",
+        common.len()
+    );
+    println!("Each bank saw only encrypted, re-sorted lists passing through the ring.");
+}

@@ -1,0 +1,169 @@
+//! Cross-crate property tests: for arbitrary generated inputs, the
+//! private protocols must agree with plain set algebra, and the whole
+//! privdb → rowcodec → protocol pipeline must round-trip.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::OnceLock;
+
+use minshare::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn group() -> &'static QrGroup {
+    static GROUP: OnceLock<QrGroup> = OnceLock::new();
+    GROUP.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xabcd);
+        QrGroup::generate(&mut rng, 64).expect("group")
+    })
+}
+
+/// Small-vocabulary value lists so that intersections are non-trivial.
+fn values(max_len: usize) -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(0u8..12, 0..max_len)
+        .prop_map(|v| v.into_iter().map(|b| vec![b]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn intersection_agrees_with_set_algebra(vs in values(12), vr in values(12), seed in any::<u64>()) {
+        let g = group();
+        let run = run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                intersection::run_sender(t, g, &vs, &mut rng)
+            },
+            |t| {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xffff);
+                intersection::run_receiver(t, g, &vr, &mut rng)
+            },
+        ).expect("run");
+        let s: BTreeSet<&Vec<u8>> = vs.iter().collect();
+        let r: BTreeSet<&Vec<u8>> = vr.iter().collect();
+        let expect: Vec<Vec<u8>> = s.intersection(&r).map(|v| (*v).clone()).collect();
+        prop_assert_eq!(run.receiver.intersection, expect);
+    }
+
+    #[test]
+    fn size_protocol_agrees_with_intersection_protocol(vs in values(12), vr in values(12), seed in any::<u64>()) {
+        let g = group();
+        let full = run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                intersection::run_sender(t, g, &vs, &mut rng)
+            },
+            |t| {
+                let mut rng = StdRng::seed_from_u64(seed ^ 1);
+                intersection::run_receiver(t, g, &vr, &mut rng)
+            },
+        ).expect("run");
+        let size = run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(seed ^ 2);
+                intersection_size::run_sender(t, g, &vs, &mut rng)
+            },
+            |t| {
+                let mut rng = StdRng::seed_from_u64(seed ^ 3);
+                intersection_size::run_receiver(t, g, &vr, &mut rng)
+            },
+        ).expect("run");
+        prop_assert_eq!(full.receiver.intersection.len(), size.receiver.intersection_size);
+        // Both runs transfer identical bit counts (§6.1).
+        prop_assert_eq!(full.total_bits(), size.total_bits());
+    }
+
+    #[test]
+    fn equijoin_payloads_are_exact(vs in values(8), vr in values(8), seed in any::<u64>()) {
+        let g = group();
+        let cipher = HybridCipher::new(g.clone(), 16);
+        let distinct: BTreeSet<&Vec<u8>> = vs.iter().collect();
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = distinct
+            .iter()
+            .map(|v| ((*v).clone(), (*v).clone()))
+            .collect();
+        let run = run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                equijoin::run_sender(t, g, &cipher, &entries, &mut rng)
+            },
+            |t| {
+                let cipher = HybridCipher::new(g.clone(), 16);
+                let mut rng = StdRng::seed_from_u64(seed ^ 9);
+                equijoin::run_receiver(t, g, &cipher, &vr, &mut rng)
+            },
+        ).expect("run");
+        // Every match carries its own value as payload, and the match set
+        // is the intersection.
+        let r: BTreeSet<&Vec<u8>> = vr.iter().collect();
+        let expect: Vec<(Vec<u8>, Vec<u8>)> = distinct
+            .iter()
+            .filter(|v| r.contains(**v))
+            .map(|v| ((*v).clone(), (*v).clone()))
+            .collect();
+        prop_assert_eq!(run.receiver.matches, expect);
+    }
+
+    #[test]
+    fn equijoin_size_is_sum_of_products(vs in values(10), vr in values(10), seed in any::<u64>()) {
+        let g = group();
+        let run = run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                equijoin_size::run_sender(t, g, &vs, &mut rng)
+            },
+            |t| {
+                let mut rng = StdRng::seed_from_u64(seed ^ 5);
+                equijoin_size::run_receiver(t, g, &vr, &mut rng)
+            },
+        ).expect("run");
+        let mut s_counts: BTreeMap<&Vec<u8>, u64> = BTreeMap::new();
+        for v in &vs {
+            *s_counts.entry(v).or_insert(0) += 1;
+        }
+        let mut r_counts: BTreeMap<&Vec<u8>, u64> = BTreeMap::new();
+        for v in &vr {
+            *r_counts.entry(v).or_insert(0) += 1;
+        }
+        let expect: u64 = r_counts
+            .iter()
+            .map(|(v, d_r)| d_r * s_counts.get(*v).copied().unwrap_or(0))
+            .sum();
+        prop_assert_eq!(run.receiver.join_size, expect);
+        // The class-intersection matrix must match the clear calculator.
+        prop_assert_eq!(
+            run.receiver.class_intersections,
+            minshare::leakage::expected_class_intersections(&vr, &vs)
+        );
+    }
+
+    #[test]
+    fn rowcodec_values_survive_protocol(ints in proptest::collection::vec(any::<i64>(), 0..8), seed in any::<u64>()) {
+        // Int values → canonical bytes → intersection → decode.
+        let g = group();
+        let vs: Vec<Vec<u8>> = ints
+            .iter()
+            .map(|i| rowcodec::encode_value(&Value::Int(*i)))
+            .collect();
+        let vr = vs.clone();
+        let run = run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                intersection::run_sender(t, g, &vs, &mut rng)
+            },
+            |t| {
+                let mut rng = StdRng::seed_from_u64(seed ^ 7);
+                intersection::run_receiver(t, g, &vr, &mut rng)
+            },
+        ).expect("run");
+        // Identical sets → intersection is the deduplicated input, and
+        // every element decodes back to an Int.
+        let distinct: BTreeSet<&Vec<u8>> = vs.iter().collect();
+        prop_assert_eq!(run.receiver.intersection.len(), distinct.len());
+        for v in &run.receiver.intersection {
+            let decoded = rowcodec::decode_value(v).expect("decode");
+            prop_assert!(matches!(decoded, Value::Int(_)));
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! End-to-end integration tests: all four protocols against clear-text
+//! oracles, across set shapes and group sizes, including the 768-bit
+//! RFC group the paper's parameter regime uses.
+
+use std::collections::BTreeSet;
+
+use minshare::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn small_group() -> QrGroup {
+    let mut rng = StdRng::seed_from_u64(77);
+    QrGroup::generate(&mut rng, 64).expect("group")
+}
+
+fn oracle_intersection(vs: &[Vec<u8>], vr: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let s: BTreeSet<&Vec<u8>> = vs.iter().collect();
+    let r: BTreeSet<&Vec<u8>> = vr.iter().collect();
+    s.intersection(&r).map(|v| (*v).clone()).collect()
+}
+
+fn random_sets(seed: u64, max: usize) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vocab: Vec<Vec<u8>> = (0..30u32).map(|i| format!("val{i}").into_bytes()).collect();
+    let pick = |rng: &mut StdRng| -> Vec<Vec<u8>> {
+        let n = rng.random_range(0..max);
+        (0..n)
+            .map(|_| vocab[rng.random_range(0..vocab.len())].clone())
+            .collect()
+    };
+    (pick(&mut rng), pick(&mut rng))
+}
+
+#[test]
+fn intersection_matches_oracle_randomized() {
+    let group = small_group();
+    for seed in 0..8u64 {
+        let (vs, vr) = random_sets(seed, 20);
+        let run = run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(seed + 1000);
+                intersection::run_sender(t, &group, &vs, &mut rng)
+            },
+            |t| {
+                let mut rng = StdRng::seed_from_u64(seed + 2000);
+                intersection::run_receiver(t, &group, &vr, &mut rng)
+            },
+        )
+        .expect("run");
+        assert_eq!(
+            run.receiver.intersection,
+            oracle_intersection(&vs, &vr),
+            "seed={seed}"
+        );
+        // Size disclosures match deduplicated inputs.
+        let vs_set: BTreeSet<&Vec<u8>> = vs.iter().collect();
+        let vr_set: BTreeSet<&Vec<u8>> = vr.iter().collect();
+        assert_eq!(run.receiver.peer_set_size, vs_set.len());
+        assert_eq!(run.sender.peer_set_size, vr_set.len());
+    }
+}
+
+#[test]
+fn intersection_size_matches_oracle_randomized() {
+    let group = small_group();
+    for seed in 0..8u64 {
+        let (vs, vr) = random_sets(seed.wrapping_mul(31), 20);
+        let run = run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(seed + 1);
+                intersection_size::run_sender(t, &group, &vs, &mut rng)
+            },
+            |t| {
+                let mut rng = StdRng::seed_from_u64(seed + 2);
+                intersection_size::run_receiver(t, &group, &vr, &mut rng)
+            },
+        )
+        .expect("run");
+        assert_eq!(
+            run.receiver.intersection_size,
+            oracle_intersection(&vs, &vr).len(),
+            "seed={seed}"
+        );
+    }
+}
+
+#[test]
+fn equijoin_returns_payloads_for_exactly_the_intersection() {
+    let group = small_group();
+    let cipher = HybridCipher::new(group.clone(), 128);
+    for seed in 0..5u64 {
+        let (vs, vr) = random_sets(seed.wrapping_mul(97) + 5, 15);
+        let vs_dedup: Vec<Vec<u8>> = vs
+            .iter()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .cloned()
+            .collect();
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = vs_dedup
+            .iter()
+            .map(|v| {
+                let mut payload = b"ext:".to_vec();
+                payload.extend_from_slice(v);
+                (v.clone(), payload)
+            })
+            .collect();
+        let run = run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(seed + 10);
+                equijoin::run_sender(t, &group, &cipher, &entries, &mut rng)
+            },
+            |t| {
+                let cipher = HybridCipher::new(group.clone(), 128);
+                let mut rng = StdRng::seed_from_u64(seed + 20);
+                equijoin::run_receiver(t, &group, &cipher, &vr, &mut rng)
+            },
+        )
+        .expect("run");
+        let expect: Vec<(Vec<u8>, Vec<u8>)> = oracle_intersection(&vs, &vr)
+            .into_iter()
+            .map(|v| {
+                let mut payload = b"ext:".to_vec();
+                payload.extend_from_slice(&v);
+                (v, payload)
+            })
+            .collect();
+        assert_eq!(run.receiver.matches, expect, "seed={seed}");
+    }
+}
+
+#[test]
+fn equijoin_ships_relational_rows_as_payloads() {
+    // Full pipeline: privdb rows → rowcodec → protocol → rowcodec → rows.
+    let group = small_group();
+    let cipher = HybridCipher::new(group.clone(), 256);
+
+    let schema = Schema::new(vec![
+        ("sku", ColumnType::Text),
+        ("qty", ColumnType::Int),
+        ("fragile", ColumnType::Bool),
+    ])
+    .expect("schema");
+    let mut table = Table::new("inventory", schema);
+    table
+        .insert_all(vec![
+            vec![Value::from("widget"), Value::Int(7), Value::Bool(false)],
+            vec![Value::from("widget"), Value::Int(3), Value::Bool(true)],
+            vec![Value::from("gadget"), Value::Int(1), Value::Bool(false)],
+        ])
+        .expect("rows");
+
+    let ext = table.extension_map("sku").expect("ext map");
+    let entries: Vec<(Vec<u8>, Vec<u8>)> = ext
+        .iter()
+        .map(|(v, rows)| (rowcodec::encode_value(v), rowcodec::encode_rows(rows)))
+        .collect();
+    let vr = vec![rowcodec::encode_value(&Value::from("widget"))];
+
+    let run = run_two_party(
+        |t| {
+            let mut rng = StdRng::seed_from_u64(1);
+            equijoin::run_sender(t, &group, &cipher, &entries, &mut rng)
+        },
+        |t| {
+            let cipher = HybridCipher::new(group.clone(), 256);
+            let mut rng = StdRng::seed_from_u64(2);
+            equijoin::run_receiver(t, &group, &cipher, &vr, &mut rng)
+        },
+    )
+    .expect("run");
+
+    assert_eq!(run.receiver.matches.len(), 1);
+    let (value, payload) = &run.receiver.matches[0];
+    assert_eq!(
+        rowcodec::decode_value(value).unwrap(),
+        Value::from("widget")
+    );
+    let rows = rowcodec::decode_rows(payload).expect("decode rows");
+    assert_eq!(rows.len(), 2, "both widget rows travel as ext(v)");
+    assert_eq!(rows[0][1], Value::Int(7));
+    assert_eq!(rows[1][2], Value::Bool(true));
+}
+
+#[test]
+fn equijoin_size_matches_oracle_randomized() {
+    let group = small_group();
+    for seed in 0..6u64 {
+        let (vs, vr) = random_sets(seed.wrapping_mul(7) + 3, 15);
+        let run = run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(seed + 100);
+                equijoin_size::run_sender(t, &group, &vs, &mut rng)
+            },
+            |t| {
+                let mut rng = StdRng::seed_from_u64(seed + 200);
+                equijoin_size::run_receiver(t, &group, &vr, &mut rng)
+            },
+        )
+        .expect("run");
+        // Oracle: Σ_v dup_S(v)·dup_R(v).
+        let mut s_counts = std::collections::BTreeMap::new();
+        for v in &vs {
+            *s_counts.entry(v).or_insert(0u64) += 1;
+        }
+        let mut expect = 0u64;
+        let mut r_counts = std::collections::BTreeMap::new();
+        for v in &vr {
+            *r_counts.entry(v).or_insert(0u64) += 1;
+        }
+        for (v, d_r) in r_counts {
+            expect += d_r * s_counts.get(v).copied().unwrap_or(0);
+        }
+        assert_eq!(run.receiver.join_size, expect, "seed={seed}");
+    }
+}
+
+#[test]
+fn works_over_paper_scale_768_bit_group() {
+    // One run at a realistic parameter size — slower, so just one case.
+    let group = QrGroup::well_known(768).expect("bundled group");
+    let vs: Vec<Vec<u8>> = (0..12u32).map(|i| format!("s{i}").into_bytes()).collect();
+    let mut vr: Vec<Vec<u8>> = (6..18u32).map(|i| format!("s{i}").into_bytes()).collect();
+    vr.push(b"only-r".to_vec());
+    let run = run_two_party(
+        |t| {
+            let mut rng = StdRng::seed_from_u64(1);
+            intersection::run_sender(t, &group, &vs, &mut rng)
+        },
+        |t| {
+            let mut rng = StdRng::seed_from_u64(2);
+            intersection::run_receiver(t, &group, &vr, &mut rng)
+        },
+    )
+    .expect("run");
+    assert_eq!(run.receiver.intersection.len(), 6); // s6..s11
+                                                    // §6.1 communication formula at k = 768 (plus framing headers).
+    let k = 768u64;
+    let formula_bits = (12 + 2 * 13) * k;
+    let measured = run.total_bits();
+    assert!(
+        measured >= formula_bits && measured <= formula_bits + 1000,
+        "measured {measured} vs formula {formula_bits}"
+    );
+}
+
+#[test]
+fn deterministic_given_seeds() {
+    let group = small_group();
+    let (vs, vr) = random_sets(9, 15);
+    let run_once = || {
+        run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(42);
+                intersection::run_sender(t, &group, &vs, &mut rng)
+            },
+            |t| {
+                let mut rng = StdRng::seed_from_u64(43);
+                intersection::run_receiver(t, &group, &vr, &mut rng)
+            },
+        )
+        .expect("run")
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a.receiver.intersection, b.receiver.intersection);
+    assert_eq!(a.total_bits(), b.total_bits());
+}
