@@ -1,0 +1,53 @@
+//! # minshare-analyzer
+//!
+//! A repo-local static analyzer for the `minshare` workspace. It walks
+//! every `crates/*/src/**/*.rs` file with a hand-rolled, comment- and
+//! string-aware lexer (no external parser crates) and enforces four rule
+//! families:
+//!
+//! * **SEC01** — secret-registry types must not `#[derive(Debug)]` or
+//!   `#[derive(PartialEq)]`; they need a redacted `Debug` and a
+//!   constant-time equality instead.
+//! * **SEC02** — secret byte material must not be compared with `==`,
+//!   `!=` or `assert_eq!`; comparisons must go through
+//!   `minshare_hash::ct`.
+//! * **PANIC01** — no `unwrap()` / `expect()` / `panic!` / direct slice
+//!   indexing in non-test code of `crates/crypto`, `crates/core` and
+//!   `crates/net` (code paths reachable from peer-supplied data).
+//! * **FMT01** — no `{}` / `{:?}` formatting of registry types or secret
+//!   identifiers in `println!` / `format!` / log-style macros.
+//!
+//! Pre-existing findings are ratcheted via a checked-in baseline
+//! (`analyzer.baseline.toml`): per `(rule, file)` counts that may only
+//! shrink. Any finding beyond its baselined count fails the build.
+
+pub mod baseline;
+pub mod lexer;
+pub mod registry;
+pub mod rules;
+pub mod scan;
+
+/// One lint finding, anchored to a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier, e.g. `"SEC01"`.
+    pub rule: &'static str,
+    /// Path of the offending file, relative to the scan root.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}

@@ -1,0 +1,137 @@
+//! CLI for the minshare workspace analyzer.
+//!
+//! ```text
+//! minshare-analyzer [--root DIR] [--baseline FILE] [--write-baseline FILE] [--list]
+//! ```
+//!
+//! Exit codes: 0 = clean (or fully baselined), 1 = un-baselined findings,
+//! 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use minshare_analyzer::baseline::{gate, Baseline};
+use minshare_analyzer::scan::scan;
+
+struct Args {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        baseline: None,
+        write_baseline: None,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a file")?));
+            }
+            "--write-baseline" => {
+                args.write_baseline =
+                    Some(PathBuf::from(it.next().ok_or("--write-baseline needs a file")?));
+            }
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                return Err("usage: minshare-analyzer [--root DIR] [--baseline FILE] \
+                            [--write-baseline FILE] [--list]"
+                    .to_string());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match scan(&args.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("analyzer: scan failed under {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &args.write_baseline {
+        let baseline = Baseline::from_findings(&findings);
+        if let Err(e) = std::fs::write(path, baseline.render()) {
+            eprintln!("analyzer: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "analyzer: wrote baseline covering {} finding(s) to {}",
+            findings.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if args.list {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!("analyzer: {} finding(s) total", findings.len());
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match &args.baseline {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("analyzer: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match Baseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("analyzer: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => Baseline::default(),
+    };
+
+    let result = gate(&findings, &baseline);
+    for (rule, file, slack) in &result.stale {
+        eprintln!(
+            "analyzer: note: baseline for {rule} in {file} tolerates {slack} more \
+             finding(s) than exist — ratchet it down"
+        );
+    }
+    if result.new_findings.is_empty() {
+        println!(
+            "analyzer: OK — {} finding(s), all within baseline",
+            findings.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &result.new_findings {
+            eprintln!("{f}");
+        }
+        eprintln!(
+            "analyzer: FAIL — {} new finding(s) not covered by the baseline",
+            result.new_findings.len()
+        );
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,77 @@
+//! The secret-type registry: which types and identifiers the rules treat
+//! as secret material.
+//!
+//! Kept as a plain source-of-truth module (not a config file) so adding a
+//! new key type to the workspace forces a visible diff here, reviewed
+//! alongside the type itself.
+
+/// Type names holding long-term or session secrets. SEC01 forbids
+/// `derive(Debug)` / `derive(PartialEq)` on these; FMT01 forbids
+/// formatting them.
+pub const SECRET_TYPES: &[&str] = &[
+    // crates/crypto: commutative-encryption exponents and SRA keys.
+    "CommutativeKey",
+    "SraKey",
+    "SraContext",
+    // crates/crypto: OT receiver trapdoor + choice bit.
+    "OtReceiverState",
+    // crates/net: per-direction session keys.
+    "DirectionKeys",
+    // crates/hashcore: the keyed MAC state embeds the key schedule.
+    "HmacSha256",
+];
+
+/// Identifiers that name secret byte material. SEC02 flags `==` / `!=` /
+/// `assert_eq!` comparisons mentioning them; FMT01 flags formatting them.
+pub const SECRET_IDENTS: &[&str] = &[
+    "exponent",
+    "inverse_exponent",
+    "e_inv",
+    "phi",
+    "opad_block",
+    "mac_key",
+    "cipher_key",
+    "shared_secret",
+    "ikm",
+    "okm",
+];
+
+/// Crates whose non-test code must be panic-free (PANIC01): these process
+/// peer-supplied bytes, where a panic is a remote denial of service.
+pub const PANIC_FREE_CRATES: &[&str] = &["crypto", "core", "net"];
+
+/// True iff `name` is a registered secret type.
+pub fn is_secret_type(name: &str) -> bool {
+    SECRET_TYPES.contains(&name)
+}
+
+/// True iff `name` is a registered secret identifier.
+pub fn is_secret_ident(name: &str) -> bool {
+    SECRET_IDENTS.contains(&name)
+}
+
+/// True iff a workspace-relative path (e.g. `crates/crypto/src/ot.rs`)
+/// lies in a panic-free crate.
+pub fn in_panic_free_crate(rel_path: &str) -> bool {
+    let normalized = rel_path.replace('\\', "/");
+    PANIC_FREE_CRATES
+        .iter()
+        .any(|c| normalized.starts_with(&format!("crates/{c}/src/")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lookups() {
+        assert!(is_secret_type("CommutativeKey"));
+        assert!(!is_secret_type("OtQuery"));
+        assert!(is_secret_ident("mac_key"));
+        assert!(!is_secret_ident("modulus"));
+        assert!(in_panic_free_crate("crates/crypto/src/ot.rs"));
+        assert!(in_panic_free_crate("crates/net/src/secure.rs"));
+        assert!(!in_panic_free_crate("crates/bignum/src/ubig.rs"));
+        assert!(!in_panic_free_crate("crates/crypto/tests/props.rs"));
+    }
+}

@@ -1,0 +1,379 @@
+//! The four lint rule families, as token-stream pattern matchers.
+
+use crate::lexer::{test_mask, Token, TokKind};
+use crate::registry;
+use crate::Finding;
+
+/// Runs every rule applicable to `rel_path` over `src` and returns the
+/// findings, sorted by position.
+pub fn check_file(rel_path: &str, src: &str) -> Vec<Finding> {
+    let tokens = crate::lexer::lex(src);
+    let mask = test_mask(&tokens);
+    let mut findings = Vec::new();
+    findings.extend(sec01_derives(rel_path, &tokens));
+    findings.extend(sec02_comparisons(rel_path, &tokens, &mask));
+    if registry::in_panic_free_crate(rel_path) {
+        findings.extend(panic01_panics(rel_path, &tokens, &mask));
+    }
+    findings.extend(fmt01_formatting(rel_path, &tokens, &mask));
+    findings.sort_by_key(|f| (f.line, f.col, f.rule));
+    findings
+}
+
+fn finding(rule: &'static str, rel_path: &str, tok: &Token, message: String) -> Finding {
+    Finding {
+        rule,
+        file: rel_path.to_string(),
+        line: tok.line,
+        col: tok.col,
+        message,
+    }
+}
+
+/// Index of the token closing the group opened at `open` (matching
+/// bracket of the same shape), or `tokens.len()` if unbalanced.
+fn matching_close(tokens: &[Token], open: usize) -> usize {
+    let (open_s, close_s) = match tokens[open].text.as_str() {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        "{" => ("{", "}"),
+        _ => return open,
+    };
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].text == open_s {
+            depth += 1;
+        } else if tokens[i].text == close_s {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// SEC01: `#[derive(Debug)]` / `#[derive(PartialEq)]` on registry types.
+///
+/// Applies to test code too — a secret type is a secret type wherever it
+/// is declared.
+fn sec01_derives(rel_path: &str, tokens: &[Token]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].text != "derive"
+            || i < 2
+            || tokens[i - 1].text != "["
+            || tokens[i - 2].text != "#"
+        {
+            continue;
+        }
+        let Some(open) = tokens.get(i + 1).filter(|t| t.text == "(") else {
+            continue;
+        };
+        let _ = open;
+        let close = matching_close(tokens, i + 1);
+        let derived: Vec<&Token> = tokens[i + 2..close]
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .collect();
+        let bad: Vec<&str> = derived
+            .iter()
+            .map(|t| t.text.as_str())
+            .filter(|t| *t == "Debug" || *t == "PartialEq")
+            .collect();
+        if bad.is_empty() {
+            continue;
+        }
+        // Walk past `)]` and any further attributes to the item header.
+        let mut k = close + 2;
+        while k + 1 < tokens.len() && tokens[k].text == "#" && tokens[k + 1].text == "[" {
+            k = matching_close(tokens, k + 1) + 1;
+        }
+        let mut name: Option<&str> = None;
+        while k < tokens.len() {
+            match tokens[k].text.as_str() {
+                "struct" | "enum" | "union" => {
+                    name = tokens.get(k + 1).map(|t| t.text.as_str());
+                    break;
+                }
+                "{" | ";" | "fn" | "impl" | "trait" => break,
+                _ => k += 1,
+            }
+        }
+        if let Some(name) = name {
+            if registry::is_secret_type(name) {
+                out.push(finding(
+                    "SEC01",
+                    rel_path,
+                    &tokens[i],
+                    format!(
+                        "secret type `{name}` derives {}; use a redacted Debug impl and \
+                         constant-time equality (minshare_hash::ct) instead",
+                        bad.join(" and ")
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// How many tokens around a comparison operator to inspect for secret
+/// identifiers. Covers expressions like `self.mac_key == other.mac_key`.
+const SEC02_WINDOW: usize = 8;
+
+/// SEC02: variable-time comparison of secret material.
+fn sec02_comparisons(rel_path: &str, tokens: &[Token], mask: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if mask[i] {
+            continue;
+        }
+        let t = &tokens[i];
+        if t.kind == TokKind::Punct && (t.text == "==" || t.text == "!=") {
+            // The window never crosses a statement boundary, so secret
+            // identifiers in an adjacent statement cannot taint this one.
+            let is_stmt_boundary =
+                |t: &Token| t.kind == TokKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}");
+            let mut lo = i.saturating_sub(SEC02_WINDOW);
+            let mut hi = (i + 1 + SEC02_WINDOW).min(tokens.len());
+            if let Some(off) = tokens[lo..i].iter().rposition(is_stmt_boundary) {
+                lo += off + 1;
+            }
+            if let Some(off) = tokens[i + 1..hi].iter().position(is_stmt_boundary) {
+                hi = i + 1 + off;
+            }
+            if let Some(sec) = tokens[lo..hi]
+                .iter()
+                .find(|t| t.kind == TokKind::Ident && registry::is_secret_ident(&t.text))
+            {
+                out.push(finding(
+                    "SEC02",
+                    rel_path,
+                    t,
+                    format!(
+                        "`{}` compares secret material (`{}`); use minshare_hash::ct::ct_eq \
+                         for constant-time comparison",
+                        t.text, sec.text
+                    ),
+                ));
+            }
+        }
+        if t.kind == TokKind::Ident
+            && (t.text == "assert_eq" || t.text == "assert_ne")
+            && tokens.get(i + 1).map(|n| n.text.as_str()) == Some("!")
+            && tokens.get(i + 2).map(|n| n.text.as_str()) == Some("(")
+        {
+            let close = matching_close(tokens, i + 2);
+            if let Some(sec) = tokens[i + 3..close.min(tokens.len())]
+                .iter()
+                .find(|t| t.kind == TokKind::Ident && registry::is_secret_ident(&t.text))
+            {
+                out.push(finding(
+                    "SEC02",
+                    rel_path,
+                    t,
+                    format!(
+                        "`{}!` on secret material (`{}`) outside tests; use \
+                         minshare_hash::ct::ct_eq",
+                        t.text, sec.text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// PANIC01: panic paths in crates that parse peer-supplied data.
+fn panic01_panics(rel_path: &str, tokens: &[Token], mask: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if mask[i] {
+            continue;
+        }
+        let t = &tokens[i];
+        match t.kind {
+            TokKind::Ident if t.text == "unwrap" || t.text == "expect" => {
+                let after_dot = i > 0 && tokens[i - 1].text == ".";
+                let called = tokens.get(i + 1).map(|n| n.text.as_str()) == Some("(");
+                if after_dot && called {
+                    out.push(finding(
+                        "PANIC01",
+                        rel_path,
+                        t,
+                        format!(
+                            "`.{}()` in peer-facing crate; return a typed error instead",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+            TokKind::Ident
+                if matches!(t.text.as_str(), "panic" | "todo" | "unimplemented") =>
+            {
+                if tokens.get(i + 1).map(|n| n.text.as_str()) == Some("!") {
+                    out.push(finding(
+                        "PANIC01",
+                        rel_path,
+                        t,
+                        format!(
+                            "`{}!` in peer-facing crate; return a typed error instead",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+            TokKind::Punct if t.text == "[" && i > 0 => {
+                // Direct indexing `expr[...]`: `[` directly after an
+                // identifier, `)` or `]`. Attributes (`#[...]`) and
+                // macro brackets (`vec![...]`) do not match this shape.
+                let prev = &tokens[i - 1];
+                let indexes = (prev.kind == TokKind::Ident
+                    && !is_keyword(&prev.text))
+                    || prev.text == ")"
+                    || prev.text == "]";
+                if indexes {
+                    out.push(finding(
+                        "PANIC01",
+                        rel_path,
+                        t,
+                        "direct slice indexing can panic on peer-controlled lengths; \
+                         use .get()/.get_mut() or a checked split"
+                            .to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn is_keyword(ident: &str) -> bool {
+    matches!(
+        ident,
+        "as" | "break" | "const" | "continue" | "crate" | "dyn" | "else" | "enum" | "extern"
+            | "fn" | "for" | "if" | "impl" | "in" | "let" | "loop" | "match" | "mod" | "move"
+            | "mut" | "pub" | "ref" | "return" | "static" | "struct" | "trait" | "type"
+            | "union" | "unsafe" | "use" | "where" | "while"
+    )
+}
+
+/// Macros whose first string argument is a format string.
+const FMT_MACROS: &[&str] = &[
+    "println", "print", "eprintln", "eprint", "format", "write", "writeln", "info", "warn",
+    "error", "debug", "trace",
+];
+
+/// FMT01: formatting secret material into strings/logs.
+fn fmt01_formatting(rel_path: &str, tokens: &[Token], mask: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if mask[i] {
+            continue;
+        }
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident
+            || !FMT_MACROS.contains(&t.text.as_str())
+            || tokens.get(i + 1).map(|n| n.text.as_str()) != Some("!")
+            || tokens.get(i + 2).map(|n| n.text.as_str()) != Some("(")
+        {
+            continue;
+        }
+        let close = matching_close(tokens, i + 2);
+        let args = &tokens[i + 3..close.min(tokens.len())];
+        let Some(fmt_str) = args.iter().find(|a| a.kind == TokKind::Str) else {
+            continue;
+        };
+        let placeholders = parse_placeholders(&fmt_str.text);
+        if placeholders.is_empty() {
+            continue;
+        }
+        // Inline captures: `{mac_key:?}` names the secret directly.
+        let inline_secret = placeholders.iter().find(|p| {
+            registry::is_secret_ident(p) || registry::is_secret_type(p)
+        });
+        // Positional placeholders: any argument expression mentioning a
+        // secret identifier or registry type feeds some placeholder.
+        let arg_secret = args.iter().find(|a| {
+            a.kind == TokKind::Ident
+                && (registry::is_secret_ident(&a.text) || registry::is_secret_type(&a.text))
+        });
+        if let Some(name) = inline_secret.map(|s| s.as_str()).or(arg_secret.map(|a| a.text.as_str()))
+        {
+            out.push(finding(
+                "FMT01",
+                rel_path,
+                t,
+                format!(
+                    "`{}!` formats secret material (`{name}`); secrets must never reach \
+                     strings or logs",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Extracts placeholder names from a format string: `{name}` / `{name:?}`
+/// yield `name`; positional `{}` / `{:?}` / `{0}` yield `""`. `{{` is an
+/// escape, not a placeholder.
+fn parse_placeholders(fmt: &str) -> Vec<String> {
+    let bytes = fmt.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'{' {
+            if bytes.get(i + 1) == Some(&b'{') {
+                i += 2;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j] != b'}' {
+                j += 1;
+            }
+            let inner = &fmt[i + 1..j.min(fmt.len())];
+            let name: String = inner
+                .split(':')
+                .next()
+                .unwrap_or("")
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            let name = if name.chars().all(|c| c.is_ascii_digit()) {
+                String::new()
+            } else {
+                name
+            };
+            out.push(name);
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placeholder_parsing() {
+        assert_eq!(parse_placeholders("no holes"), Vec::<String>::new());
+        assert_eq!(parse_placeholders("{} and {:?}"), vec!["", ""]);
+        assert_eq!(parse_placeholders("{key:?} {0}"), vec!["key", ""]);
+        assert_eq!(parse_placeholders("{{escaped}} {x}"), vec!["x"]);
+    }
+
+    #[test]
+    fn matching_close_handles_nesting() {
+        // Tokens: f ( a , ( b , c ) , d ) g — outer `(` at 1 closes at 11.
+        let toks = crate::lexer::lex("f(a, (b, c), d) g");
+        assert_eq!(matching_close(&toks, 1), 11);
+    }
+}

@@ -1,0 +1,50 @@
+//! Workspace walker: finds every `crates/*/src/**/*.rs` under a root and
+//! runs the rules over each file.
+
+use std::path::{Path, PathBuf};
+
+use crate::rules::check_file;
+use crate::Finding;
+
+/// Collects all lintable source files (`crates/*/src/**/*.rs`), sorted
+/// for deterministic output.
+pub fn lintable_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace under `root`. Paths in findings are
+/// root-relative with forward slashes.
+pub fn scan(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in lintable_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        findings.extend(check_file(&rel, &src));
+    }
+    Ok(findings)
+}

@@ -1,0 +1,27 @@
+// FMT01 fixture: formatting secret material.
+
+pub fn logging(key: &CommutativeKey, n: u64) {
+    // POSITIVE: debug-formatting a registry type.
+    println!("key state: {:?}", key.inverse_exponent());
+    // POSITIVE: inline capture of a secret identifier.
+    let mac_key = [0u8; 32];
+    let line = format!("mac: {mac_key:?}");
+    // POSITIVE: display-formatting a secret-named argument.
+    let phi = n;
+    eprintln!("totient is {}", phi);
+    // NEGATIVE: formatting public values.
+    println!("modulus bits: {} count: {n}", n);
+    // NEGATIVE: no placeholders at all.
+    println!("nothing interpolated");
+    let _ = line;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn debug_in_tests_is_fine() {
+        // NEGATIVE: tests may format secrets (e.g. redaction tests).
+        let rendered = format!("{:?}", key.exponent());
+        assert!(rendered.contains("redacted"));
+    }
+}

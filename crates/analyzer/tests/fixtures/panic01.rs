@@ -1,0 +1,35 @@
+// PANIC01 fixture: panic paths in peer-facing code.
+
+pub fn parse(frame: &[u8]) -> u8 {
+    // POSITIVE: direct slice indexing.
+    let tag = frame[0];
+    // POSITIVE: unwrap on peer data.
+    let first = frame.first().unwrap();
+    // POSITIVE: expect.
+    let second = frame.get(1).expect("second byte");
+    // POSITIVE: panic!.
+    if tag > 9 {
+        panic!("bad tag");
+    }
+    tag + first + second
+}
+
+pub fn safe(frame: &[u8]) -> Option<u8> {
+    // NEGATIVE: checked access.
+    let tag = frame.first()?;
+    // NEGATIVE: array *type* syntax and macro brackets are not indexing.
+    let zeroed: [u8; 4] = [0; 4];
+    let v = vec![1, 2, 3];
+    Some(*tag + zeroed.len() as u8 + v.len() as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        // NEGATIVE: tests may unwrap and index freely.
+        let frame = [1u8, 2];
+        assert_eq!(frame[0], parse(&frame).unwrap());
+        panic!("even this is fine in a test");
+    }
+}

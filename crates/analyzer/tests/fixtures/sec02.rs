@@ -1,0 +1,26 @@
+// SEC02 fixture: variable-time comparison of secret material.
+
+pub fn checks(a: &Key, b: &Key) -> bool {
+    // POSITIVE: `==` on a secret accessor.
+    if a.exponent() == b.exponent() {
+        return true;
+    }
+    // POSITIVE: `!=` on a secret field.
+    if a.mac_key != b.mac_key {
+        return false;
+    }
+    // POSITIVE: assert_eq! on secret material outside tests.
+    assert_eq!(a.opad_block, b.opad_block);
+    // NEGATIVE: comparing public material.
+    a.modulus() == b.modulus()
+}
+
+#[cfg(test)]
+mod tests {
+    // NEGATIVE: test code may compare secrets with `==`.
+    #[test]
+    fn eq_in_tests_is_fine() {
+        assert_eq!(key_a.exponent(), key_b.exponent());
+        assert!(key_a.mac_key == key_b.mac_key);
+    }
+}

@@ -1,0 +1,105 @@
+//! Fixture tests: at least one positive and one negative case per rule
+//! family. Fixtures live under `tests/fixtures/` and are fed to the rule
+//! engine as source text — they are never compiled and, because the
+//! scanner only walks `crates/*/src/`, never linted as part of the repo.
+
+use minshare_analyzer::rules::check_file;
+use minshare_analyzer::Finding;
+
+fn findings_for(rel_path: &str, src: &str, rule: &str) -> Vec<Finding> {
+    check_file(rel_path, src)
+        .into_iter()
+        .filter(|f| f.rule == rule)
+        .collect()
+}
+
+fn lines(findings: &[Finding]) -> Vec<u32> {
+    findings.iter().map(|f| f.line).collect()
+}
+
+// ---------------------------------------------------------------- SEC01
+
+#[test]
+fn sec01_flags_debug_and_partial_eq_derives_on_registry_types() {
+    let src = include_str!("fixtures/sec01.rs");
+    let found = findings_for("crates/crypto/src/fixture.rs", src, "SEC01");
+    // One finding per offending derive list: CommutativeKey (Debug and
+    // PartialEq combined), SraKey (Debug behind a second attribute).
+    assert_eq!(found.len(), 2, "findings: {found:#?}");
+    assert!(found.iter().all(|f| f.line == 4 || f.line == 11));
+    assert!(found.iter().any(|f| f.message.contains("CommutativeKey")
+        && f.message.contains("Debug")
+        && f.message.contains("PartialEq")));
+    assert!(found
+        .iter()
+        .any(|f| f.message.contains("SraKey") && f.message.contains("Debug")));
+}
+
+#[test]
+fn sec01_ignores_public_types_safe_derives_and_non_code() {
+    let src = include_str!("fixtures/sec01.rs");
+    let found = findings_for("crates/crypto/src/fixture.rs", src, "SEC01");
+    // OtQuery (non-registry) and OtReceiverState's Clone-only derive are
+    // clean; mentions in comments and string literals never fire.
+    assert!(found.iter().all(|f| !f.message.contains("OtQuery")));
+    assert!(found.iter().all(|f| !f.message.contains("OtReceiverState")));
+    assert!(found.iter().all(|f| !f.message.contains("DirectionKeys")));
+}
+
+// ---------------------------------------------------------------- SEC02
+
+#[test]
+fn sec02_flags_variable_time_comparisons_of_secret_material() {
+    let src = include_str!("fixtures/sec02.rs");
+    let found = findings_for("crates/crypto/src/fixture.rs", src, "SEC02");
+    assert_eq!(lines(&found), vec![5, 9, 13], "findings: {found:#?}");
+}
+
+#[test]
+fn sec02_ignores_public_comparisons_and_test_code() {
+    let src = include_str!("fixtures/sec02.rs");
+    let found = findings_for("crates/crypto/src/fixture.rs", src, "SEC02");
+    // The public `modulus()` comparison on line 15 and everything inside
+    // the #[cfg(test)] module stay clean.
+    assert!(found.iter().all(|f| f.line < 15), "findings: {found:#?}");
+}
+
+// --------------------------------------------------------------- PANIC01
+
+#[test]
+fn panic01_flags_panic_paths_in_panic_free_crates() {
+    let src = include_str!("fixtures/panic01.rs");
+    let found = findings_for("crates/net/src/fixture.rs", src, "PANIC01");
+    // frame[0], .unwrap(), .expect(), panic! — one finding each.
+    assert_eq!(lines(&found), vec![5, 7, 9, 12], "findings: {found:#?}");
+}
+
+#[test]
+fn panic01_ignores_checked_access_tests_and_other_crates() {
+    let src = include_str!("fixtures/panic01.rs");
+    // Negative paths in `safe()` and the #[cfg(test)] module are clean.
+    let found = findings_for("crates/net/src/fixture.rs", src, "PANIC01");
+    assert!(found.iter().all(|f| f.line < 17), "findings: {found:#?}");
+    // The rule only applies to the designated panic-free crates.
+    assert!(findings_for("crates/cli/src/fixture.rs", src, "PANIC01").is_empty());
+    // tests/ directories of panic-free crates are out of scope too.
+    assert!(findings_for("crates/net/tests/fixture.rs", src, "PANIC01").is_empty());
+}
+
+// ---------------------------------------------------------------- FMT01
+
+#[test]
+fn fmt01_flags_formatting_of_secret_material() {
+    let src = include_str!("fixtures/fmt01.rs");
+    let found = findings_for("crates/crypto/src/fixture.rs", src, "FMT01");
+    // {:?} of a registry-type accessor, inline {mac_key:?} capture, and a
+    // display placeholder fed the secret-named `phi`.
+    assert_eq!(lines(&found), vec![5, 8, 11], "findings: {found:#?}");
+}
+
+#[test]
+fn fmt01_ignores_public_formatting_and_test_code() {
+    let src = include_str!("fixtures/fmt01.rs");
+    let found = findings_for("crates/crypto/src/fixture.rs", src, "FMT01");
+    assert!(found.iter().all(|f| f.line < 12), "findings: {found:#?}");
+}

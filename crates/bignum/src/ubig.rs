@@ -73,6 +73,21 @@ impl UBig {
         &self.limbs
     }
 
+    /// Best-effort secure erasure: overwrites every allocated limb with
+    /// zero and leaves `self == 0`. The crate forbids `unsafe`, so instead
+    /// of volatile stores the zeroed buffer is passed through
+    /// [`std::hint::black_box`], which keeps the compiler from eliding the
+    /// writes as dead. Used by key types that hold secret exponents to
+    /// scrub them on drop. Copies made by earlier arithmetic (temporaries,
+    /// reallocations) are beyond its reach — hence *best-effort*.
+    pub fn zeroize(&mut self) {
+        for limb in self.limbs.iter_mut() {
+            *limb = 0;
+        }
+        std::hint::black_box(&mut self.limbs);
+        self.limbs.clear();
+    }
+
     /// Number of significant limbs (zero has none).
     pub fn limb_len(&self) -> usize {
         self.limbs.len()
@@ -358,6 +373,17 @@ mod tests {
         let y = UBig::from_limbs(vec![0, 1]);
         assert_eq!(y.bit_len(), 65);
         assert!(y.bit(64));
+    }
+
+    #[test]
+    fn zeroize_clears_to_zero() {
+        let mut x = UBig::from_limbs(vec![u64::MAX, 0xdead_beef, 7]);
+        x.zeroize();
+        assert!(x.is_zero());
+        assert!(x.limbs().is_empty());
+        // Idempotent, including on zero.
+        x.zeroize();
+        assert!(x.is_zero());
     }
 
     #[test]

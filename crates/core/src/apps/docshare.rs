@@ -13,7 +13,6 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use minshare_crypto::QrGroup;
 use rand::Rng;
-use rand::RngExt;
 
 use crate::error::ProtocolError;
 use crate::intersection_size;

@@ -25,7 +25,7 @@ use minshare_crypto::QrGroup;
 use minshare_net::{duplex_pair, CountingTransport, Transport};
 use minshare_privdb::{query, ColumnType, Schema, Table, Value};
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::error::ProtocolError;
 use crate::prepare::prepare_set;

@@ -60,7 +60,7 @@ fn party_worker<S: CommutativeScheme>(
     values: &[Vec<u8>],
     mut left: impl Transport,  // receive from left neighbor
     mut right: impl Transport, // send to right neighbor
-    mut to_collector: Option<impl Transport>,
+    mut to_collector: impl Transport,
     seed: u64,
 ) -> Result<OpCounters, ProtocolError> {
     let mut rng = StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9e37));
@@ -106,10 +106,7 @@ fn party_worker<S: CommutativeScheme>(
         if hop == n_parties - 1 {
             // Fully encrypted: deliver to the collector. Every party
             // (including the collector itself) holds a collector link.
-            to_collector
-                .as_mut()
-                .expect("collector link wired for every party")
-                .send(&frame)?;
+            to_collector.send(&frame)?;
         } else {
             right.send(&frame)?;
         }
@@ -129,35 +126,40 @@ pub fn multiparty_intersection_size<S: CommutativeScheme + Sync>(
     let n = sets.len();
     assert!(n >= 2, "need at least two parties");
 
-    // Ring links i → i+1, plus collector links i → 0 for i ≠ 0.
-    let mut ring_tx: Vec<Option<CountedLink>> = Vec::new();
-    let mut ring_rx: Vec<Option<minshare_net::duplex::DuplexEndpoint>> =
-        (0..n).map(|_| None).collect();
+    // Ring links i → i+1, plus a collector link for every party. Links
+    // are handed to the workers by value (zip + rotate), so no slot can
+    // be "unwired" — the invariant is structural, not asserted.
+    let mut ring_tx: Vec<CountedLink> = Vec::new();
+    let mut ring_rx: Vec<minshare_net::duplex::DuplexEndpoint> = Vec::new();
     let mut ring_stats: Vec<TrafficStats> = Vec::new();
-    for i in 0..n {
+    for _ in 0..n {
         let (tx, rx) = duplex_pair();
         let (tx, stats) = CountingTransport::new(tx);
-        ring_tx.push(Some(tx));
-        ring_rx[(i + 1) % n] = Some(rx);
+        ring_tx.push(tx);
+        ring_rx.push(rx);
         ring_stats.push(stats);
     }
-    let mut collector_tx: Vec<Option<CountedLink>> = (0..n).map(|_| None).collect();
+    // The rx end of link i belongs to party i+1.
+    ring_rx.rotate_right(1);
+    let mut collector_tx: Vec<CountedLink> = Vec::new();
     let mut collector_rx = Vec::new();
     let mut collector_stats: Vec<TrafficStats> = Vec::new();
-    for slot in collector_tx.iter_mut() {
+    for _ in 0..n {
         let (tx, rx) = duplex_pair();
         let (tx, stats) = CountingTransport::new(tx);
-        *slot = Some(tx);
+        collector_tx.push(tx);
         collector_rx.push(rx);
         collector_stats.push(stats);
     }
 
     let results = std::thread::scope(|scope| -> Result<Vec<OpCounters>, ProtocolError> {
         let mut handles = Vec::new();
-        for (i, values) in sets.iter().enumerate() {
-            let left = ring_rx[i].take().expect("wired");
-            let right = ring_tx[i].take().expect("wired");
-            let to_collector = collector_tx[i].take();
+        let links = ring_rx
+            .into_iter()
+            .zip(ring_tx)
+            .zip(collector_tx)
+            .enumerate();
+        for ((i, ((left, right), to_collector)), values) in links.zip(sets.iter()) {
             handles.push(scope.spawn(move || {
                 party_worker(scheme, i, n, values, left, right, to_collector, seed)
             }));

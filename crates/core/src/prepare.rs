@@ -69,7 +69,15 @@ pub fn prepare_multiset<S: CommutativeScheme>(
         prepared.entries.iter().map(|(v, h)| (v, h)).collect();
     Ok(values
         .iter()
-        .map(|v| (v.clone(), (*lookup.get(v).expect("hashed above")).clone()))
+        .map(|v| {
+            let h = match lookup.get(v) {
+                Some(h) => (*h).clone(),
+                // Unreachable: prepare_set hashed every distinct value of
+                // `values`. Recompute defensively rather than panic.
+                None => scheme.hash_value(v),
+            };
+            (v.clone(), h)
+        })
         .collect())
 }
 

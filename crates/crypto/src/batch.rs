@@ -58,7 +58,12 @@ fn map_batch<I: Sync, O: Send>(items: &[I], threads: usize, f: impl Fn(&I) -> O 
             .map(|slice| scope.spawn(|| slice.iter().map(&f).collect::<Vec<O>>()))
             .collect();
         for h in handles {
-            results.push(h.join().expect("batch worker panicked"));
+            match h.join() {
+                Ok(chunk) => results.push(chunk),
+                // Propagate the worker's panic payload on the caller's
+                // thread instead of masking it behind a generic expect.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     results.into_iter().flatten().collect()

@@ -21,10 +21,40 @@ use crate::group::QrGroup;
 
 /// A commutative-encryption key: the exponent `e ∈ KeyF = {1..q-1}` and
 /// its precomputed inverse `e⁻¹ mod q`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Secret hygiene: `Debug` is redacted (the exponent is the whole
+/// secret), equality is constant-time over the limb words, and dropping
+/// the key best-effort-zeroizes both exponents.
+#[derive(Clone)]
 pub struct CommutativeKey {
     e: UBig,
     e_inv: UBig,
+}
+
+impl std::fmt::Debug for CommutativeKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommutativeKey")
+            .field("e", &"<redacted>")
+            .field("e_inv", &"<redacted>")
+            .finish()
+    }
+}
+
+impl PartialEq for CommutativeKey {
+    fn eq(&self, other: &Self) -> bool {
+        // Non-short-circuiting `&` so both fields are always compared.
+        minshare_hash::ct::ct_eq_u64(self.e.limbs(), other.e.limbs())
+            & minshare_hash::ct::ct_eq_u64(self.e_inv.limbs(), other.e_inv.limbs())
+    }
+}
+
+impl Eq for CommutativeKey {}
+
+impl Drop for CommutativeKey {
+    fn drop(&mut self) {
+        self.e.zeroize();
+        self.e_inv.zeroize();
+    }
 }
 
 impl CommutativeKey {
@@ -120,6 +150,17 @@ mod tests {
             CommutativeKey::from_exponent(UBig::from(1439u64), &q).unwrap_err(),
             CryptoError::InvalidKey
         );
+    }
+
+    #[test]
+    fn key_debug_redacted_and_equality_semantic() {
+        let g = group();
+        let k = g.key_from_exponent(UBig::from(7u64)).unwrap();
+        let rendered = format!("{k:?}");
+        assert!(rendered.contains("<redacted>"));
+        assert!(!rendered.contains('7'), "exponent leaked: {rendered}");
+        assert_eq!(k, g.key_from_exponent(UBig::from(7u64)).unwrap());
+        assert_ne!(k, g.key_from_exponent(UBig::from(11u64)).unwrap());
     }
 
     #[test]

@@ -30,6 +30,9 @@ const HASH_SLACK_BITS: u64 = 128;
 pub struct QrGroup {
     p: UBig,
     q: UBig,
+    /// `p - 1`, precomputed at construction so the hash path needs no
+    /// fallible arithmetic per call.
+    p_minus_1: UBig,
     ctx: Arc<MontgomeryCtx>,
     oracle: RandomOracle,
 }
@@ -51,12 +54,14 @@ impl QrGroup {
         if p < UBig::from(5u64) || p.is_even() {
             return Err(CryptoError::NotSafePrime);
         }
-        let q = p.sub_small(1)?.shr_bits(1);
+        let p_minus_1 = p.sub_small(1)?;
+        let q = p_minus_1.shr_bits(1);
         let ctx = MontgomeryCtx::new(&p)?;
         let oracle = RandomOracle::new(b"minshare/qr-group/hash-to-group/v1");
         Ok(QrGroup {
             p,
             q,
+            p_minus_1,
             ctx: Arc::new(ctx),
             oracle,
         })
@@ -123,8 +128,16 @@ impl QrGroup {
     /// Uniformly samples a commutative-encryption key from
     /// `KeyF = {1, …, q-1}` and precomputes its inverse.
     pub fn gen_key<R: Rng + ?Sized>(&self, rng: &mut R) -> CommutativeKey {
-        let e = random_range(rng, &UBig::one(), &self.q);
-        CommutativeKey::from_exponent(e, &self.q).expect("sampled inside KeyF")
+        loop {
+            let e = random_range(rng, &UBig::one(), &self.q);
+            // With prime q every e ∈ {1..q-1} is invertible, so this
+            // accepts on the first draw; the loop (rather than an
+            // `expect`) covers callers who built a group on a composite
+            // "safe prime" via `new_unchecked`.
+            if let Ok(key) = CommutativeKey::from_exponent(e, &self.q) {
+                return key;
+            }
+        }
     }
 
     /// Reconstructs a key from a raw exponent (validating it lies in
@@ -142,8 +155,13 @@ impl QrGroup {
     pub fn hash_to_group(&self, value: &[u8]) -> UBig {
         let out_bytes = ((self.p.bit_len() + HASH_SLACK_BITS) as usize).div_ceil(8);
         let wide = UBig::from_be_bytes(&self.oracle.expand(value, out_bytes));
-        let p_minus_1 = self.p.sub_small(1).expect("p >= 5");
-        let t = wide.rem_ref(&p_minus_1).expect("p-1 nonzero").add_small(1); // t ∈ [1, p-1]
+        // Construction validates p ≥ 5, so p-1 is nonzero and the
+        // reduction cannot fail; the identity fallback is dead code kept
+        // only to avoid a panic path in library code.
+        let t = match wide.rem_ref(&self.p_minus_1) {
+            Ok(r) => r.add_small(1), // t ∈ [1, p-1]
+            Err(_) => UBig::one(),
+        };
         self.ctx.mul(&t, &t)
     }
 

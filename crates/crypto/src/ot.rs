@@ -34,10 +34,30 @@ pub struct ObliviousTransfer {
 }
 
 /// Receiver's private state between query and recovery.
-#[derive(Clone, Debug)]
+///
+/// Both fields are secret (`k` is the trapdoor, `choice` is exactly what
+/// OT exists to hide), so `Debug` redacts everything and dropping the
+/// state best-effort-zeroizes the key.
+#[derive(Clone)]
 pub struct OtReceiverState {
     k: UBig,
     choice: bool,
+}
+
+impl std::fmt::Debug for OtReceiverState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OtReceiverState")
+            .field("k", &"<redacted>")
+            .field("choice", &"<redacted>")
+            .finish()
+    }
+}
+
+impl Drop for OtReceiverState {
+    fn drop(&mut self) {
+        self.k.zeroize();
+        self.choice = false;
+    }
 }
 
 /// Receiver → sender message.
@@ -240,6 +260,15 @@ mod tests {
         let (state, query) = ot.receiver_query(true, &mut rng).unwrap();
         let resp = ot.sender_respond(&query, b"", b"", &mut rng).unwrap();
         assert!(ot.receiver_recover(&state, &resp).unwrap().is_empty());
+    }
+
+    #[test]
+    fn receiver_state_debug_redacted() {
+        let (ot, mut rng) = setup();
+        let (state, _) = ot.receiver_query(true, &mut rng).unwrap();
+        let rendered = format!("{state:?}");
+        assert!(rendered.contains("<redacted>"), "state leaked: {rendered}");
+        assert!(!rendered.contains("true"), "choice bit leaked: {rendered}");
     }
 
     #[test]

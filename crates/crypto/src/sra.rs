@@ -36,7 +36,10 @@ use crate::error::CryptoError;
 
 /// Shared SRA parameters: the modulus and (privately, between the two
 /// parties) its Euler totient.
-#[derive(Clone, Debug)]
+///
+/// `φ(n)` is equivalent to the factorization of `n`, so `Debug` prints
+/// only the public modulus and dropping the context scrubs the totient.
+#[derive(Clone)]
 pub struct SraContext {
     n: UBig,
     phi: UBig,
@@ -44,11 +47,55 @@ pub struct SraContext {
     oracle: RandomOracle,
 }
 
+impl std::fmt::Debug for SraContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SraContext")
+            .field("n", &self.n)
+            .field("phi", &"<redacted>")
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for SraContext {
+    fn drop(&mut self) {
+        self.phi.zeroize();
+    }
+}
+
 /// An SRA key: exponent and its inverse mod `φ(n)`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Secret hygiene mirrors [`crate::commutative::CommutativeKey`]:
+/// redacted `Debug`, constant-time equality, zeroize-on-drop.
+#[derive(Clone)]
 pub struct SraKey {
     e: UBig,
     d: UBig,
+}
+
+impl std::fmt::Debug for SraKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SraKey")
+            .field("e", &"<redacted>")
+            .field("d", &"<redacted>")
+            .finish()
+    }
+}
+
+impl PartialEq for SraKey {
+    fn eq(&self, other: &Self) -> bool {
+        // Non-short-circuiting `&` so both fields are always compared.
+        minshare_hash::ct::ct_eq_u64(self.e.limbs(), other.e.limbs())
+            & minshare_hash::ct::ct_eq_u64(self.d.limbs(), other.d.limbs())
+    }
+}
+
+impl Eq for SraKey {}
+
+impl Drop for SraKey {
+    fn drop(&mut self) {
+        self.e.zeroize();
+        self.d.zeroize();
+    }
 }
 
 impl SraKey {
@@ -103,12 +150,14 @@ impl SraContext {
     /// reduction with 128 bits of slack, gcd check with retry-by-counter).
     pub fn hash_to_domain(&self, value: &[u8]) -> UBig {
         let out_bytes = ((self.n.bit_len() + 128) as usize).div_ceil(8);
+        // Invariant expects: `generate` only builds contexts with n = p·q
+        // for distinct primes ≥ 2^7, so n-1 exists and is nonzero.
+        let n_minus_1 = self.n.sub_small(1).expect("n > 1");
         let mut suffix = 0u32;
         loop {
             let mut input = value.to_vec();
             input.extend_from_slice(&suffix.to_be_bytes());
             let wide = UBig::from_be_bytes(&self.oracle.expand(&input, out_bytes));
-            let n_minus_1 = self.n.sub_small(1).expect("n > 1");
             let x = wide.rem_ref(&n_minus_1).expect("n-1 nonzero").add_small(1);
             if x.gcd(&self.n).is_one() {
                 return x;
@@ -224,6 +273,19 @@ mod tests {
             let prod = k.e.mod_mul(&k.d, &c.phi).unwrap();
             assert!(prod.is_one());
         }
+    }
+
+    #[test]
+    fn secrets_redacted_in_debug() {
+        let c = ctx();
+        let rendered = format!("{c:?}");
+        assert!(rendered.contains("<redacted>"), "phi leaked: {rendered}");
+        let mut rng = StdRng::seed_from_u64(7);
+        let k = c.gen_key(&mut rng);
+        let kd = format!("{k:?}");
+        assert!(kd.contains("<redacted>"), "exponent leaked: {kd}");
+        assert_eq!(k, k.clone());
+        assert_ne!(k, c.gen_key(&mut rng));
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Constant-time comparison primitives.
+//!
+//! Every comparison of secret byte material in the workspace funnels
+//! through this module so the timing-safety argument lives in one place:
+//! both functions examine *every* element of their inputs regardless of
+//! where (or whether) a mismatch occurs, accumulating the difference with
+//! bitwise OR and collapsing to a `bool` only at the end. Early-exit
+//! comparisons (`==` on slices, `Iterator::eq`) leak the position of the
+//! first differing byte through timing, which lets a network attacker
+//! forge MAC tags one byte at a time; the accumulate-then-test shape
+//! removes that signal.
+//!
+//! Callers: [`crate::hmac::HmacSha256::verify`] for tag checks, and the
+//! secret-key `PartialEq` impls in `minshare-crypto` (via
+//! [`ct_eq_u64`] over bignum limbs).
+
+/// Constant-time equality over byte slices.
+///
+/// Returns `true` iff `a == b`. When the lengths match, runs in time
+/// dependent only on the length, touching every byte of both slices.
+/// Unequal lengths return `false`; the length itself is treated as
+/// public (MAC tags and serialized keys have fixed, known sizes).
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    // black_box keeps the optimizer from turning the accumulated-OR loop
+    // back into an early-exit memcmp.
+    std::hint::black_box(diff) == 0
+}
+
+/// Constant-time equality over `u64` words (e.g. bignum limbs).
+///
+/// Same contract as [`ct_eq`]: every word of both slices is read, the
+/// differences are OR-accumulated, and only the final accumulator is
+/// branched on. Word count is treated as public.
+#[must_use]
+pub fn ct_eq_u64(a: &[u64], b: &[u64]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u64;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    std::hint::black_box(diff) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(ct_eq_u64(&[], &[]));
+        assert!(ct_eq_u64(&[1, u64::MAX], &[1, u64::MAX]));
+    }
+
+    #[test]
+    fn unequal_content() {
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"xbc"));
+        assert!(!ct_eq_u64(&[1, 2], &[1, 3]));
+        assert!(!ct_eq_u64(&[0], &[1 << 63]));
+    }
+
+    #[test]
+    fn unequal_length() {
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(!ct_eq(b"", b"a"));
+        assert!(!ct_eq_u64(&[1], &[1, 0]));
+    }
+
+    #[test]
+    fn single_bit_differences_detected() {
+        // A difference in any one bit of any one byte must flip the result.
+        let base = [0x5au8; 16];
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut other = base;
+                other[byte] ^= 1 << bit;
+                assert!(!ct_eq(&base, &other), "missed byte {byte} bit {bit}");
+            }
+        }
+    }
+}

@@ -54,15 +54,7 @@ impl HmacSha256 {
 
     /// Constant-time tag comparison. Returns `true` iff the tags match.
     pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
-        let expect = Self::mac(key, data);
-        if tag.len() != expect.len() {
-            return false;
-        }
-        let mut diff = 0u8;
-        for (a, b) in expect.iter().zip(tag) {
-            diff |= a ^ b;
-        }
-        diff == 0
+        crate::ct::ct_eq(&Self::mac(key, data), tag)
     }
 }
 

@@ -3,6 +3,8 @@
 //! From-scratch symmetric primitives for the `minshare` reproduction of
 //! *"Information Sharing Across Private Databases"* (SIGMOD 2003):
 //!
+//! * [`ct`] — constant-time equality over bytes and words, the single
+//!   funnel for comparing secret material anywhere in the workspace,
 //! * [`sha256`] — the SHA-256 compression function and streaming hasher,
 //! * [`hmac`] — HMAC-SHA-256,
 //! * [`hkdf`] — HKDF (RFC 5869) extract-and-expand key derivation,
@@ -21,6 +23,7 @@
 
 pub mod bloom;
 pub mod chacha20;
+pub mod ct;
 pub mod hkdf;
 pub mod hmac;
 pub mod oracle;

@@ -1,0 +1,62 @@
+//! Property tests for the constant-time comparison module: `ct_eq` and
+//! `ct_eq_u64` must be extensionally identical to `==` — the whole point
+//! is changing *how* the answer is computed, never *what* it is.
+
+use minshare_hash::ct::{ct_eq, ct_eq_u64};
+use proptest::prelude::*;
+
+proptest! {
+    // On arbitrary byte-slice pairs (including length mismatches),
+    // `ct_eq` agrees with `==`.
+    #[test]
+    fn ct_eq_matches_slice_eq(
+        a in proptest::collection::vec(any::<u8>(), 0..64),
+        b in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        prop_assert_eq!(ct_eq(&a, &b), a == b);
+    }
+
+    // Reflexivity: every slice compares equal to itself.
+    #[test]
+    fn ct_eq_reflexive(a in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert!(ct_eq(&a, &a));
+    }
+
+    // Flipping exactly one bit anywhere must break equality — this is
+    // the "touches every byte" contract observed extensionally: if any
+    // position were skipped, a flip there would go unnoticed.
+    #[test]
+    fn ct_eq_detects_any_single_bit_flip(
+        a in proptest::collection::vec(any::<u8>(), 1..64),
+        idx in any::<u64>(),
+        bit in 0u32..8,
+    ) {
+        let pos = (idx as usize) % a.len();
+        let mut b = a.clone();
+        b[pos] ^= 1u8 << bit;
+        prop_assert!(!ct_eq(&a, &b));
+        prop_assert!(!ct_eq(&b, &a));
+    }
+
+    // Word-level variant agrees with `==` on arbitrary limb vectors.
+    #[test]
+    fn ct_eq_u64_matches_slice_eq(
+        a in proptest::collection::vec(any::<u64>(), 0..16),
+        b in proptest::collection::vec(any::<u64>(), 0..16),
+    ) {
+        prop_assert_eq!(ct_eq_u64(&a, &b), a == b);
+    }
+
+    // Flipping one bit of one limb must break word-level equality.
+    #[test]
+    fn ct_eq_u64_detects_any_single_bit_flip(
+        a in proptest::collection::vec(any::<u64>(), 1..16),
+        idx in any::<u64>(),
+        bit in 0u32..64,
+    ) {
+        let pos = (idx as usize) % a.len();
+        let mut b = a.clone();
+        b[pos] ^= 1u64 << bit;
+        prop_assert!(!ct_eq_u64(&a, &b));
+    }
+}

@@ -26,6 +26,9 @@ pub enum NetError {
     },
     /// Message authentication failed on a secured frame.
     AuthenticationFailed,
+    /// The per-direction frame counter would wrap, which would reuse a
+    /// nonce; the channel must be re-keyed instead.
+    SequenceExhausted,
     /// An operating-system I/O failure (TCP transport).
     Io {
         /// Human-readable description of the failure.
@@ -43,6 +46,9 @@ impl fmt::Display for NetError {
             NetError::MalformedFrame { detail } => write!(f, "malformed frame: {detail}"),
             NetError::HandshakeFailed { detail } => write!(f, "handshake failed: {detail}"),
             NetError::AuthenticationFailed => write!(f, "frame authentication failed"),
+            NetError::SequenceExhausted => {
+                write!(f, "frame counter exhausted; channel must be re-keyed")
+            }
             NetError::Io { detail } => write!(f, "io error: {detail}"),
         }
     }

@@ -29,12 +29,35 @@ pub enum Role {
 }
 
 /// Keys for one direction of the channel.
+///
+/// Deliberately does not derive `Debug` — the cipher and MAC keys are
+/// session secrets. Dropping the keys scrubs them best-effort.
 #[derive(Clone)]
 struct DirectionKeys {
     cipher_key: [u8; 32],
     mac_key: [u8; 32],
     /// Per-direction frame counter (nonce + replay protection).
     seq: u64,
+}
+
+impl std::fmt::Debug for DirectionKeys {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DirectionKeys")
+            .field("cipher_key", &"<redacted>")
+            .field("mac_key", &"<redacted>")
+            .field("seq", &self.seq)
+            .finish()
+    }
+}
+
+impl Drop for DirectionKeys {
+    fn drop(&mut self) {
+        self.cipher_key.fill(0);
+        self.mac_key.fill(0);
+        // Keep the zeroing stores from being elided as dead writes.
+        std::hint::black_box(&mut self.cipher_key);
+        std::hint::black_box(&mut self.mac_key);
+    }
 }
 
 const TAG_LEN: usize = 32;
@@ -148,7 +171,9 @@ impl<T: Transport> SecureChannel<T> {
 impl<T: Transport> Transport for SecureChannel<T> {
     fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
         let seq = self.send_keys.seq;
-        self.send_keys.seq = seq.checked_add(1).expect("frame counter overflow");
+        // A wrapped counter would reuse a ChaCha20 nonce; refuse instead
+        // of panicking so callers can re-key and continue.
+        self.send_keys.seq = seq.checked_add(1).ok_or(NetError::SequenceExhausted)?;
         let mut body = frame.to_vec();
         chacha20::apply_keystream(&self.send_keys.cipher_key, &Self::nonce(seq), 1, &mut body);
         let mut wire = Vec::with_capacity(SEQ_LEN + body.len() + TAG_LEN);
@@ -311,6 +336,21 @@ mod tests {
             b2.recv().unwrap_err(),
             NetError::MalformedFrame { .. }
         ));
+    }
+
+    #[test]
+    fn exhausted_counter_is_an_error_not_a_panic() {
+        let (mut a, _b) = establish_pair();
+        a.send_keys.seq = u64::MAX;
+        assert_eq!(a.send(b"x").unwrap_err(), NetError::SequenceExhausted);
+    }
+
+    #[test]
+    fn direction_keys_debug_redacted() {
+        let (a, _b) = establish_pair();
+        let rendered = format!("{:?}", a.send_keys);
+        assert!(rendered.contains("<redacted>"), "keys leaked: {rendered}");
+        assert!(rendered.contains("seq"));
     }
 
     #[test]

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate: build, test, then lint with the repo-local
+# static analyzer against the checked-in findings baseline.
+#
+# Run from anywhere; operates on the repo this script lives in.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+cargo build --release
+cargo test -q
+cargo run -p minshare-analyzer -- --baseline analyzer.baseline.toml

@@ -1,0 +1,475 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements, from scratch, the subset of the proptest API that the
+//! minshare property suites use: the [`strategy::Strategy`] trait with
+//! `prop_map`/`boxed`, `any::<T>()`, integer-range and character-class
+//! string strategies, tuple and [`collection::vec`] composition,
+//! weighted [`prop_oneof!`], and the [`proptest!`] test macro with
+//! `prop_assert*!`/`prop_assume!` and `#![proptest_config]`.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (derived from the test name), there is no shrinking,
+//! and failures report the raw assertion panic. That trades debugging
+//! convenience for a zero-dependency offline build; the generated
+//! distributions cover the same domains the tests were written against.
+
+pub mod strategy {
+    use rand::Rng;
+
+    /// The RNG handed to strategies. A deterministic xoshiro generator.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// A generator of values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Combinator returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    pub struct Just<V: Clone>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+
+        fn generate(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    /// Types with a canonical whole-domain strategy ([`any`]).
+    pub trait Arbitrary {
+        /// Draws a uniform value of the type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uniform {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.random()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uniform!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy form of [`Arbitrary`], returned by [`any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Whole-domain strategy for `T` (`any::<u8>()` etc.).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_range_strategy_signed {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy_signed!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+        (A.0, B.1, C.2, D.3, E.4, F.5);
+    }
+
+    /// `&'static str` patterns act as string strategies. Supported
+    /// syntax: a single character class with a bounded repetition,
+    /// `[<chars-and-ranges>]{lo,hi}`; any other pattern generates
+    /// itself literally.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            match parse_class_repeat(self) {
+                Some((alphabet, lo, hi)) => {
+                    let len = rng.random_range(lo..=hi);
+                    (0..len)
+                        .map(|_| alphabet[rng.random_range(0..alphabet.len())])
+                        .collect()
+                }
+                None => (*self).to_string(),
+            }
+        }
+    }
+
+    /// Parses `[class]{lo,hi}` into (alphabet, lo, hi).
+    fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class: Vec<char> = rest[..close].chars().collect();
+        let reps = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = reps.split_once(',')?;
+        let (lo, hi) = (lo.trim().parse().ok()?, hi.trim().parse().ok()?);
+
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            // `a-z` range (a dash first or last is a literal dash).
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (start, end) = (class[i], class[i + 2]);
+                for c in start..=end {
+                    alphabet.push(c);
+                }
+                i += 3;
+            } else if class[i] == '\\' && i + 1 < class.len() {
+                alphabet.push(match class[i + 1] {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                });
+                i += 2;
+            } else {
+                alphabet.push(class[i]);
+                i += 1;
+            }
+        }
+        if alphabet.is_empty() || lo > hi {
+            return None;
+        }
+        Some((alphabet, lo, hi))
+    }
+
+    /// Weighted choice among type-erased strategies ([`crate::prop_oneof!`]).
+    pub struct WeightedUnion<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u64,
+    }
+
+    impl<V> WeightedUnion<V> {
+        /// Builds a union; weights must not all be zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! requires a positive total weight");
+            WeightedUnion { arms, total }
+        }
+    }
+
+    impl<V> Strategy for WeightedUnion<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut ticket = rng.random_range(0..self.total);
+            for (w, s) in &self.arms {
+                if ticket < *w as u64 {
+                    return s.generate(rng);
+                }
+                ticket -= *w as u64;
+            }
+            unreachable!("ticket below total weight")
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Vec`s with sizes drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// `vec(element, 0..n)` — a vector of `element`-generated values.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range in collection::vec");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-suite configuration (`#![proptest_config(...)]`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases each test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the tier-1 gate fast
+            // while still exercising each property across a real spread.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic RNG for a named test (FNV-1a over the name).
+    pub fn seed_rng(test_name: &str) -> super::strategy::TestRng {
+        use rand::SeedableRng;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        rand::rngs::StdRng::seed_from_u64(h)
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `#[test] fn name(x in strategy, ...)`
+/// runs its body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $(
+        #[test]
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::seed_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Weighted (or unweighted) choice among strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::seed_rng;
+
+    #[test]
+    fn ranges_and_any_generate_in_domain() {
+        let mut rng = seed_rng("ranges");
+        for _ in 0..200 {
+            let x = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&x));
+            let _: u8 = any::<u8>().generate(&mut rng);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = seed_rng("vec");
+        for _ in 0..100 {
+            let v = crate::collection::vec(any::<u8>(), 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn string_class_strategy_draws_from_alphabet() {
+        let mut rng = seed_rng("string");
+        for _ in 0..100 {
+            let s = "[a-c,\n ]{0,12}".generate(&mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | ',' | '\n' | ' ')));
+        }
+    }
+
+    #[test]
+    fn oneof_honours_weights_roughly() {
+        let mut rng = seed_rng("oneof");
+        let s = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let trues = (0..1000).filter(|_| s.generate(&mut rng)).count();
+        assert!(trues > 700, "weighted arm under-sampled: {trues}");
+    }
+
+    #[test]
+    fn prop_map_and_boxed_compose() {
+        let mut rng = seed_rng("map");
+        let s: BoxedStrategy<String> = (0u32..10).prop_map(|x| format!("v{x}")).boxed();
+        let v = s.generate(&mut rng);
+        assert!(v.starts_with('v'));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_runs_and_binds(a in 0u8..10, b in any::<u64>(), v in crate::collection::vec(0u8..4, 0..6)) {
+            prop_assume!(a != 9);
+            prop_assert!(a < 9);
+            prop_assert_eq!(b, b);
+            prop_assert!(v.len() < 6);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names (marker traits plus, with
+//! the `derive` feature, the no-op derive macros from the sibling
+//! `serde_derive` stub). No serialization format ships in this workspace,
+//! so marker-level fidelity is sufficient for the cost-model structs that
+//! carry the derives.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
