@@ -27,8 +27,10 @@ const MIN_MODULUS_BITS: u64 = 16;
 pub struct PublicKey {
     n: UBig,
     n_squared: UBig,
-    /// Montgomery context modulo n² for fast `rⁿ` and ciphertext ops.
-    ctx: MontgomeryCtx,
+    /// Montgomery context modulo n² for fast `rⁿ` and ciphertext ops;
+    /// `Arc`-shared so cloning a key (every homomorphic op holds one)
+    /// never recomputes or copies the precomputed `R mod n²` state.
+    ctx: std::sync::Arc<MontgomeryCtx>,
 }
 
 /// The private (decryption) key.
@@ -56,7 +58,8 @@ impl PublicKey {
 
     fn from_modulus(n: UBig) -> Result<Self, AggregateError> {
         let n_squared = n.square();
-        let ctx = MontgomeryCtx::new(&n_squared).map_err(AggregateError::Arithmetic)?;
+        let ctx =
+            std::sync::Arc::new(MontgomeryCtx::new(&n_squared).map_err(AggregateError::Arithmetic)?);
         Ok(PublicKey { n, n_squared, ctx })
     }
 

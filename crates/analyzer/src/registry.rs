@@ -15,6 +15,10 @@ pub const SECRET_TYPES: &[&str] = &[
     "SraContext",
     // crates/crypto: OT receiver trapdoor + choice bit.
     "OtReceiverState",
+    // crates/crypto: pool work items carry the commutative key and group
+    // elements between threads.
+    "PoolJob",
+    "PendingBatch",
     // crates/net: per-direction session keys.
     "DirectionKeys",
     // crates/hashcore: the keyed MAC state embeds the key schedule.

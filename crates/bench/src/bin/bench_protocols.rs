@@ -1,0 +1,181 @@
+//! Emits `BENCH_protocols.json`: the committed throughput numbers for the
+//! perf-overhaul acceptance criteria — fixed-exponent 512-bit batch
+//! exponentiation (old fixed-4-bit windows vs. sliding windows + squaring
+//! kernel), §6.2 `EncryptPool` scaling, and serial vs. chunk-pipelined
+//! end-to-end protocol wall time.
+//!
+//! All numbers are wall-clock medians on the current host; the host's
+//! logical core count is recorded alongside so a single-core CI box's
+//! flat pool-scaling curve reads as hardware, not regression.
+
+use std::time::Instant;
+
+use minshare::pipeline::{self, PipelineConfig};
+use minshare::prelude::*;
+use minshare_bench::{bench_group, overlapping_sets};
+use minshare_bignum::montgomery::MontgomeryCtx;
+use minshare_bignum::random::random_below;
+use minshare_bignum::UBig;
+use minshare_crypto::pool::EncryptPool;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Median wall time of `samples` runs of `f`, in seconds.
+fn median_secs<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn odd_modulus(bits: usize, seed: u64) -> UBig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bytes = vec![0u8; bits / 8];
+    rng.fill_bytes(&mut bytes);
+    bytes[0] |= 0x80;
+    let last = bytes.len() - 1;
+    bytes[last] |= 1;
+    UBig::from_be_bytes(&bytes)
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // --- 512-bit fixed-exponent batch exponentiation -------------------
+    let n = odd_modulus(512, 0x5d);
+    let ctx = MontgomeryCtx::new(&n).expect("odd modulus");
+    let mut rng = StdRng::seed_from_u64(3);
+    let exp = random_below(&mut rng, &n);
+    let bases: Vec<UBig> = (0..32).map(|_| random_below(&mut rng, &n)).collect();
+    let batch = bases.len();
+    let fixed4_s = median_secs(9, || {
+        for b in &bases {
+            std::hint::black_box(ctx.pow_fixed4_reference(b, &exp));
+        }
+    });
+    let sliding_s = median_secs(9, || {
+        std::hint::black_box(ctx.pow_batch(&bases, &exp));
+    });
+    let speedup = fixed4_s / sliding_s;
+
+    // --- EncryptPool scaling (§6.2) ------------------------------------
+    let g = bench_group(256);
+    let mut rng = StdRng::seed_from_u64(7);
+    let key = g.gen_key(&mut rng);
+    let items: Vec<UBig> = (0..64).map(|_| g.sample_element(&mut rng)).collect();
+    let pool_runs: Vec<(usize, f64)> = [1usize, 2, 4]
+        .into_iter()
+        .map(|threads| {
+            let pool = EncryptPool::new(threads);
+            let t = median_secs(7, || {
+                std::hint::black_box(pool.encrypt_batch(&g, &key, &items));
+            });
+            (threads, t)
+        })
+        .collect();
+
+    // --- end-to-end serial vs. pipelined -------------------------------
+    let set_n = 48usize;
+    let (vs, vr) = overlapping_sets(set_n, set_n, set_n / 2);
+    let pool = EncryptPool::new(4);
+    let cfg = PipelineConfig { chunk_size: 8 };
+    let inter_serial_s = median_secs(7, || {
+        run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(1);
+                intersection::run_sender(t, &g, &vs, &mut rng)
+            },
+            |t| {
+                let mut rng = StdRng::seed_from_u64(2);
+                intersection::run_receiver(t, &g, &vr, &mut rng)
+            },
+        )
+        .expect("serial intersection");
+    });
+    let inter_pipelined_s = median_secs(7, || {
+        run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(1);
+                pipeline::run_intersection_sender(t, &g, &vs, &mut rng, &pool, cfg)
+            },
+            |t| {
+                let mut rng = StdRng::seed_from_u64(2);
+                pipeline::run_intersection_receiver(t, &g, &vr, &mut rng, &pool, cfg)
+            },
+        )
+        .expect("pipelined intersection");
+    });
+
+    let entries: Vec<(Vec<u8>, Vec<u8>)> = vs
+        .iter()
+        .map(|v| (v.clone(), b"record-payload".to_vec()))
+        .collect();
+    let cipher = HybridCipher::new(g.clone(), 32);
+    let join_serial_s = median_secs(7, || {
+        run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(1);
+                equijoin::run_sender(t, &g, &cipher, &entries, &mut rng)
+            },
+            |t| {
+                let cipher = HybridCipher::new(g.clone(), 32);
+                let mut rng = StdRng::seed_from_u64(2);
+                equijoin::run_receiver(t, &g, &cipher, &vr, &mut rng)
+            },
+        )
+        .expect("serial equijoin");
+    });
+    let join_pipelined_s = median_secs(7, || {
+        run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(1);
+                pipeline::run_equijoin_sender(t, &g, &cipher, &entries, &mut rng, &pool, cfg)
+            },
+            |t| {
+                let cipher = HybridCipher::new(g.clone(), 32);
+                let mut rng = StdRng::seed_from_u64(2);
+                pipeline::run_equijoin_receiver(t, &g, &cipher, &vr, &mut rng, &pool, cfg)
+            },
+        )
+        .expect("pipelined equijoin");
+    });
+
+    // --- hand-rolled JSON (no serde in the workspace) ------------------
+    let us = |s: f64| s * 1e6;
+    println!("{{");
+    println!("  \"host_cores\": {host_cores},");
+    println!("  \"modexp_512_fixed_exponent\": {{");
+    println!("    \"batch_size\": {batch},");
+    println!("    \"fixed4_reference_us\": {:.1},", us(fixed4_s));
+    println!("    \"sliding_window_us\": {:.1},", us(sliding_s));
+    println!("    \"speedup\": {speedup:.3}");
+    println!("  }},");
+    println!("  \"pool_scaling_encrypt64_qr256\": [");
+    let base_t = pool_runs[0].1;
+    for (i, (threads, t)) in pool_runs.iter().enumerate() {
+        let comma = if i + 1 == pool_runs.len() { "" } else { "," };
+        println!(
+            "    {{ \"threads\": {threads}, \"wall_us\": {:.1}, \"speedup_vs_1\": {:.3} }}{comma}",
+            us(*t),
+            base_t / t
+        );
+    }
+    println!("  ],");
+    println!("  \"e2e_qr256_n48\": {{");
+    println!("    \"intersection_serial_us\": {:.1},", us(inter_serial_s));
+    println!(
+        "    \"intersection_pipelined_us\": {:.1},",
+        us(inter_pipelined_s)
+    );
+    println!("    \"equijoin_serial_us\": {:.1},", us(join_serial_s));
+    println!("    \"equijoin_pipelined_us\": {:.1}", us(join_pipelined_s));
+    println!("  }}");
+    println!("}}");
+}

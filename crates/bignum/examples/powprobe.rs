@@ -1,0 +1,54 @@
+//! Chained-kernel microprobe: Montgomery multiply vs the dedicated
+//! squaring kernel, dependency-chained exactly like the exponentiation
+//! ladder uses them (each result feeds the next call).
+//!
+//! The interesting number is the ratio: the squaring kernel computes
+//! `~1.5s² + s` limb products against the multiplier's `2s²`, so on a
+//! quiet host the ratio should sit around 0.75 at 512 bits. Run with
+//! `cargo run --release -p minshare-bignum --example powprobe`; on a
+//! busy single-core host, trust the best round, not the average.
+
+use minshare_bignum::montgomery::MontgomeryCtx;
+use minshare_bignum::random::random_below;
+use minshare_bignum::UBig;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::time::Instant;
+
+const ITERS: u32 = 20_000;
+
+fn main() {
+    // Deterministic 512-bit odd modulus (top and bottom bits forced).
+    let mut rng = StdRng::seed_from_u64(0x5d);
+    let mut bytes = vec![0u8; 64];
+    rng.fill_bytes(&mut bytes);
+    bytes[0] |= 0x80;
+    bytes[63] |= 1;
+    let n = UBig::from_be_bytes(&bytes);
+    let ctx = MontgomeryCtx::new(&n).expect("odd modulus");
+    let x = random_below(&mut StdRng::seed_from_u64(9), &n);
+    let e = ctx.lift(&x);
+
+    for round in 0..3 {
+        let mut a = e.clone();
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            a = ctx.mul_elem(&a, &a);
+        }
+        let mul_ns = start.elapsed().as_secs_f64() * 1e9 / f64::from(ITERS);
+        std::hint::black_box(&a);
+
+        let mut a = e.clone();
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            a = ctx.sqr_elem(&a);
+        }
+        let sqr_ns = start.elapsed().as_secs_f64() * 1e9 / f64::from(ITERS);
+        std::hint::black_box(&a);
+
+        println!(
+            "round {round}: chained mul={mul_ns:.0}ns sqr={sqr_ns:.0}ns ratio={:.2}",
+            sqr_ns / mul_ns
+        );
+    }
+}

@@ -1,18 +1,192 @@
-//! Montgomery-form modular arithmetic (CIOS multiplication, fixed-window
-//! exponentiation).
+//! Montgomery-form modular arithmetic (CIOS multiplication, dedicated
+//! squaring kernel, sliding-window exponentiation).
 //!
 //! This module is the engine room of the reproduction: the paper's cost
 //! unit `Ce` — "the cost of encryption/decryption by F, e.g. exponentiation
 //! `x^y mod p` over k-bit integers" (§6.1) — is exactly one call to
 //! [`MontgomeryCtx::pow`] with a `k`-bit modulus. The `ce_modexp`
 //! benchmark calibrates `Ce` on the host machine through this code.
+//!
+//! Exponentiation squares far more often than it multiplies (~80% of the
+//! window-method work), so squarings go through [`MontgomeryCtx::sqr_elem`]'s
+//! dedicated kernel: the symmetric half of the partial products is computed
+//! once and doubled, cutting the multiply count from `2s²` to `~1.5s²`
+//! per squaring. On top of that, [`MontgomeryCtx::pow`] uses sliding
+//! windows with an odd-powers-only table, trimming both the precompute
+//! (half the entries of a fixed-window table) and the number of window
+//! multiplies. The pre-optimization fixed-4-bit path is kept as
+//! [`MontgomeryCtx::pow_fixed4_reference`] so the `BENCH_protocols.json`
+//! trajectory can regress the speedup forever.
 
 use crate::error::BigNumError;
-use crate::limb::{adc, Limb, LIMB_BITS};
+use crate::limb::{adc, mul_wide, Limb, LIMB_BITS};
 use crate::UBig;
 
-/// Exponentiation window width in bits.
+/// Fixed window width of the reference (pre-optimization) exponentiation.
 const WINDOW: u32 = 4;
+
+/// Largest sliding-window width [`window_for_bits`] will pick.
+const MAX_WINDOW: u32 = 6;
+
+/// Sliding-window width minimizing `table + bits/(w+1)` work for an
+/// exponent of the given bit length.
+fn window_for_bits(bits: u64) -> u32 {
+    match bits {
+        0..=7 => 1,
+        8..=23 => 2,
+        24..=79 => 3,
+        80..=239 => 4,
+        240..=767 => 5,
+        _ => MAX_WINDOW,
+    }
+}
+
+/// One ladder step of a recoded exponent: `squarings` squarings followed
+/// by one multiply with the odd power `base^(2·table_idx + 1)`.
+struct WindowStep {
+    squarings: u64,
+    table_idx: usize,
+}
+
+/// A sliding-window recoding of one exponent, independent of the base —
+/// computed once per exponent and replayed for every base in a batch.
+struct PowPlan {
+    /// Table index whose entry initializes the accumulator (the leading
+    /// window); `None` for a zero exponent.
+    init_idx: Option<usize>,
+    /// Largest table index referenced — bounds the per-base precompute.
+    max_idx: usize,
+    steps: Vec<WindowStep>,
+    /// Squarings after the final window (trailing zero bits).
+    tail_squarings: u64,
+}
+
+/// Recodes `exponent` for sliding-window exponentiation with the given
+/// window width: leading zeros are skipped, runs of zero bits between
+/// windows fold into the next step's squaring count, and windows slide
+/// down to their lowest set bit so only odd powers are referenced.
+fn recode_exponent(exponent: &UBig, window: u32) -> PowPlan {
+    let mut plan = PowPlan {
+        init_idx: None,
+        max_idx: 0,
+        steps: Vec::new(),
+        tail_squarings: 0,
+    };
+    let mut pending: u64 = 0;
+    let mut i = exponent.bit_len();
+    while i > 0 {
+        let top = i - 1;
+        if !exponent.bit(top) {
+            if plan.init_idx.is_some() {
+                pending += 1;
+            }
+            i -= 1;
+            continue;
+        }
+        // Slide the window down from `top` until its low bit is set, so
+        // only odd table entries are ever needed.
+        let floor = (top + 1).saturating_sub(window as u64);
+        let mut lo = floor;
+        while !exponent.bit(lo) {
+            lo += 1;
+        }
+        let width = top - lo + 1;
+        let mut val: usize = 0;
+        let mut b = top + 1;
+        while b > lo {
+            b -= 1;
+            val = (val << 1) | exponent.bit(b) as usize;
+        }
+        let idx = val >> 1;
+        plan.max_idx = plan.max_idx.max(idx);
+        match plan.init_idx {
+            None => plan.init_idx = Some(idx),
+            Some(_) => {
+                plan.steps.push(WindowStep {
+                    squarings: pending + width,
+                    table_idx: idx,
+                });
+                pending = 0;
+            }
+        }
+        i = lo;
+    }
+    plan.tail_squarings = pending;
+    plan
+}
+
+/// Generates a fixed-width Montgomery squaring kernel (square + REDC +
+/// conditional subtract) for a compile-time limb count. The literal trip
+/// counts let the compiler fully unroll every loop, drop all bounds
+/// checks, and keep the scratch on the stack — this is where the
+/// squaring kernel's `~1.5s² + s` vs `2s²` multiply advantage over
+/// [`MontgomeryCtx::mont_mul`] actually materializes on real hardware;
+/// with runtime-length rows the short triangle loops pay more in loop
+/// overhead than they save in multiplies.
+macro_rules! mont_sqr_fixed {
+    ($name:ident, $s:literal) => {
+        fn $name(&self, a: &[Limb], out: &mut Vec<Limb>) {
+            const S: usize = $s;
+            debug_assert_eq!(a.len(), S);
+            debug_assert_eq!(self.n.len(), S);
+            let a: &[Limb; S] = a.try_into().expect("dispatch checked width");
+            let n: &[Limb; S] = self.n.as_slice().try_into().expect("ctx width");
+            let mut t = [0 as Limb; 2 * $s + 1];
+            // Fused square: strict upper triangle, doubling + diagonal
+            // applied as soon as each limb pair is final (see
+            // `mont_sqr_to` for the invariant).
+            let mut shift_in: Limb = 0;
+            let mut dcarry: Limb = 0;
+            for i in 0..S {
+                let ai = a[i];
+                let mut carry: Limb = 0;
+                for j in i + 1..S {
+                    t[i + j] = crate::limb::mac(t[i + j], ai, a[j], &mut carry);
+                }
+                t[i + S] = carry;
+                let (lo, hi) = mul_wide(ai, ai);
+                let even = t[2 * i];
+                let odd = t[2 * i + 1];
+                let d0 = (even << 1) | shift_in;
+                let d1 = (odd << 1) | (even >> (LIMB_BITS - 1));
+                shift_in = odd >> (LIMB_BITS - 1);
+                t[2 * i] = adc(d0, lo, &mut dcarry);
+                t[2 * i + 1] = adc(d1, hi, &mut dcarry);
+            }
+            debug_assert_eq!(shift_in, 0);
+            debug_assert_eq!(dcarry, 0);
+            // REDC with branchless deferred row carries (see `redc_to`).
+            let mut deferred: Limb = 0;
+            for i in 0..S {
+                let m = t[i].wrapping_mul(self.n0_inv);
+                let mut carry: Limb = 0;
+                for j in 0..S {
+                    t[i + j] = crate::limb::mac(t[i + j], m, n[j], &mut carry);
+                }
+                let mut c1: Limb = 0;
+                let top = adc(t[i + S], carry, &mut c1);
+                let mut c2: Limb = 0;
+                t[i + S] = adc(top, deferred, &mut c2);
+                deferred = c1 + c2;
+            }
+            {
+                let mut c: Limb = 0;
+                t[2 * S] = adc(t[2 * S], deferred, &mut c);
+                debug_assert_eq!(c, 0);
+            }
+            out.clear();
+            out.extend_from_slice(&t[S..2 * S]);
+            let top = t[2 * S];
+            if top != 0 || geq(out, n) {
+                let mut borrow: Limb = 0;
+                for i in 0..S {
+                    out[i] = crate::limb::sbb(out[i], n[i], &mut borrow);
+                }
+                debug_assert_eq!(top.wrapping_sub(borrow), 0);
+            }
+        }
+    };
+}
 
 /// Precomputed context for repeated arithmetic modulo a fixed odd modulus.
 ///
@@ -62,6 +236,9 @@ fn geq(a: &[Limb], b: &[Limb]) -> bool {
 }
 
 impl MontgomeryCtx {
+    mont_sqr_fixed!(mont_sqr4_to, 4);
+    mont_sqr_fixed!(mont_sqr8_to, 8);
+
     /// Creates a context for an odd modulus greater than one.
     pub fn new(modulus: &UBig) -> Result<Self, BigNumError> {
         if modulus.is_even() || modulus.is_one() || modulus.is_zero() {
@@ -153,6 +330,168 @@ impl MontgomeryCtx {
         UBig::from_limbs(self.mont_mul(x, &one))
     }
 
+    /// CIOS Montgomery squaring: returns `a² · R⁻¹ mod n`.
+    ///
+    /// Computes the strict upper triangle of the partial-product matrix
+    /// once, doubles it with a single shift pass, adds the diagonal
+    /// `aᵢ²` terms, then runs a separate Montgomery reduction over the
+    /// double-width result — `s(s-1)/2 + s` limb multiplies for the
+    /// square plus `s²` for the reduction, versus `2s²` for
+    /// [`Self::mont_mul`].
+    fn mont_sqr(&self, a: &[Limb]) -> Vec<Limb> {
+        let mut t = Vec::new();
+        let mut out = Vec::new();
+        self.mont_sqr_to(a, &mut t, &mut out);
+        out
+    }
+
+    /// [`Self::mont_sqr`] writing into caller-owned buffers: `t` is the
+    /// double-width scratch, `out` receives the `s`-limb result. The
+    /// exponentiation ladder reuses both across hundreds of squarings so
+    /// the hot loop never touches the allocator.
+    fn mont_sqr_to(&self, a: &[Limb], t: &mut Vec<Limb>, out: &mut Vec<Limb>) {
+        let s = self.limbs();
+        debug_assert_eq!(a.len(), s);
+        // Protocol-standard widths go through fully unrolled kernels:
+        // 4 limbs (256-bit demo groups) and 8 limbs (the paper's 512-bit
+        // working size).
+        match s {
+            4 => return self.mont_sqr4_to(a, out),
+            8 => return self.mont_sqr8_to(a, out),
+            _ => {}
+        }
+        // Wide square into 2s+1 limbs (the extra limb is headroom for the
+        // reduction's carries).
+        t.clear();
+        t.resize(2 * s + 1, 0);
+        // Single pass: strict upper triangle t += Σ_{i<j} a_i·a_j·2^{64(i+j)}
+        // with doubling and the diagonal fused in. Row `i` macs into
+        // t[2i+1 .. i+s] (sliced to equal lengths so the inner loop
+        // compiles without bounds checks); once its macs finish, positions
+        // 2i and 2i+1 hold their final off-diagonal sums (no later row
+        // reaches below 2i+3), so they are doubled (1-bit shift) and the
+        // diagonal a_i² added immediately, while still cache- and
+        // register-hot. The total is a² < 2^(128s), so nothing spills
+        // past limb 2s-1.
+        let mut shift_in: Limb = 0;
+        let mut dcarry: Limb = 0;
+        for i in 0..s {
+            let ai = a[i];
+            let mut carry: Limb = 0;
+            let row = &mut t[2 * i + 1..i + s];
+            for (tj, &aj) in row.iter_mut().zip(&a[i + 1..]) {
+                *tj = crate::limb::mac(*tj, ai, aj, &mut carry);
+            }
+            // t[i+s] was never written by an earlier row (rows only reach
+            // index i+s-1), so the carry lands in a fresh limb.
+            t[i + s] = carry;
+            let (lo, hi) = mul_wide(ai, ai);
+            let even = t[2 * i];
+            let odd = t[2 * i + 1];
+            let d0 = (even << 1) | shift_in;
+            let d1 = (odd << 1) | (even >> (LIMB_BITS - 1));
+            shift_in = odd >> (LIMB_BITS - 1);
+            t[2 * i] = adc(d0, lo, &mut dcarry);
+            t[2 * i + 1] = adc(d1, hi, &mut dcarry);
+        }
+        debug_assert_eq!(shift_in, 0);
+        debug_assert_eq!(dcarry, 0);
+        self.redc_to(t, out);
+    }
+
+    /// Montgomery reduction of a double-width value `t < n·R` (plus one
+    /// headroom limb): writes `t · R⁻¹ mod n` into `out` as `s` limbs.
+    fn redc_to(&self, t: &mut [Limb], out: &mut Vec<Limb>) {
+        let s = self.limbs();
+        debug_assert_eq!(t.len(), 2 * s + 1);
+        // Row carries are deferred branchlessly: row i's carry out of
+        // position i+s lands at i+s+1, which is exactly where row i+1
+        // finishes — so a single `deferred` limb replaces a cascading
+        // (branch-mispredicting) carry walk.
+        let mut deferred: Limb = 0;
+        for i in 0..s {
+            let m = t[i].wrapping_mul(self.n0_inv);
+            let mut carry: Limb = 0;
+            let row = &mut t[i..i + s];
+            for (tj, &nj) in row.iter_mut().zip(&self.n) {
+                *tj = crate::limb::mac(*tj, m, nj, &mut carry);
+            }
+            let mut c1: Limb = 0;
+            let top = adc(t[i + s], carry, &mut c1);
+            let mut c2: Limb = 0;
+            t[i + s] = adc(top, deferred, &mut c2);
+            // Both carries are 0/1 and cannot both fire past 2^64 - 1.
+            deferred = c1 + c2;
+        }
+        {
+            let mut c: Limb = 0;
+            t[2 * s] = adc(t[2 * s], deferred, &mut c);
+            debug_assert_eq!(c, 0);
+        }
+        // The upper half (plus carry limb t[2s]) is the reduced value,
+        // < 2n: one conditional subtract, written straight into `out`.
+        out.clear();
+        out.extend_from_slice(&t[s..2 * s]);
+        let top = t[2 * s];
+        if top != 0 || geq(out, &self.n) {
+            let mut borrow: Limb = 0;
+            #[allow(clippy::needless_range_loop)] // lockstep limb walk
+            for i in 0..s {
+                out[i] = crate::limb::sbb(out[i], self.n[i], &mut borrow);
+            }
+            // When the carry limb was set, subtracting n must clear it.
+            debug_assert_eq!(top.wrapping_sub(borrow), 0);
+        }
+    }
+
+    /// [`Self::mont_mul`] writing into caller-owned buffers, for the
+    /// exponentiation hot loop. `t` is the `s + 2`-limb scratch, `out`
+    /// receives the `s`-limb product. Kept separate from [`Self::mont_mul`]
+    /// so the committed [`Self::pow_fixed4_reference`] baseline is
+    /// untouched by hot-path tuning.
+    fn mont_mul_to(&self, a: &[Limb], b: &[Limb], t: &mut Vec<Limb>, out: &mut Vec<Limb>) {
+        let s = self.limbs();
+        debug_assert_eq!(a.len(), s);
+        debug_assert_eq!(b.len(), s);
+        t.clear();
+        t.resize(s + 2, 0);
+        for &ai in a {
+            // t += ai * b
+            let mut carry: Limb = 0;
+            for j in 0..s {
+                t[j] = crate::limb::mac(t[j], ai, b[j], &mut carry);
+            }
+            let mut c2: Limb = 0;
+            t[s] = adc(t[s], carry, &mut c2);
+            t[s + 1] = c2;
+
+            // m = t[0] * n0_inv mod 2^64; t = (t + m*n) / 2^64
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let mut carry: Limb = 0;
+            // First step: low limb becomes zero by construction.
+            let _ = crate::limb::mac(t[0], m, self.n[0], &mut carry);
+            for j in 1..s {
+                t[j - 1] = crate::limb::mac(t[j], m, self.n[j], &mut carry);
+            }
+            let mut c2: Limb = 0;
+            t[s - 1] = adc(t[s], carry, &mut c2);
+            t[s] = t[s + 1] + c2; // cannot overflow: t < 2n·R
+            t[s + 1] = 0;
+        }
+        out.clear();
+        out.extend_from_slice(&t[..s]);
+        let top = t[s];
+        // Conditional subtraction: result < 2n, so one pass suffices.
+        if top != 0 || geq(out, &self.n) {
+            let mut borrow: Limb = 0;
+            #[allow(clippy::needless_range_loop)] // lockstep limb walk
+            for i in 0..s {
+                out[i] = crate::limb::sbb(out[i], self.n[i], &mut borrow);
+            }
+            debug_assert_eq!(top.wrapping_sub(borrow), 0);
+        }
+    }
+
     /// `(a * b) mod n` for ordinary (non-Montgomery) operands.
     pub fn mul(&self, a: &UBig, b: &UBig) -> UBig {
         let am = self.to_mont(a);
@@ -160,8 +499,120 @@ impl MontgomeryCtx {
         self.from_mont(&self.mont_mul(&am, &bm))
     }
 
-    /// `base^exponent mod n` by fixed 4-bit-window exponentiation.
+    /// `a² mod n` through the dedicated squaring kernel.
+    pub fn sqr(&self, a: &UBig) -> UBig {
+        let am = self.to_mont(a);
+        self.from_mont(&self.mont_sqr(&am))
+    }
+
+    /// Lifts `x` into Montgomery form for repeated kernel-level work.
+    pub fn lift(&self, x: &UBig) -> MontElem {
+        MontElem(self.to_mont(x))
+    }
+
+    /// Converts a Montgomery-form element back to an ordinary integer.
+    pub fn retrieve(&self, x: &MontElem) -> UBig {
+        self.from_mont(&x.0)
+    }
+
+    /// One Montgomery multiplication over lifted elements
+    /// (`a · b · R⁻¹ mod n`, staying in Montgomery form).
+    pub fn mul_elem(&self, a: &MontElem, b: &MontElem) -> MontElem {
+        MontElem(self.mont_mul(&a.0, &b.0))
+    }
+
+    /// One Montgomery squaring over a lifted element, through the
+    /// dedicated kernel (`a² · R⁻¹ mod n`, staying in Montgomery form).
+    pub fn sqr_elem(&self, a: &MontElem) -> MontElem {
+        MontElem(self.mont_sqr(&a.0))
+    }
+
+    /// `base^exponent mod n` by sliding-window exponentiation with an
+    /// odd-powers-only table and the dedicated squaring kernel. Window
+    /// width is chosen from the exponent's bit length.
     pub fn pow(&self, base: &UBig, exponent: &UBig) -> UBig {
+        self.pow_with_window(base, exponent, window_for_bits(exponent.bit_len()))
+    }
+
+    /// [`Self::pow`] with an explicit window width (clamped to
+    /// `1..=6`) — exposed for the window-width ablation bench.
+    pub fn pow_with_window(&self, base: &UBig, exponent: &UBig, window: u32) -> UBig {
+        let base_m = self.to_mont(base);
+        self.from_mont(&self.pow_mont(&base_m, exponent, window))
+    }
+
+    /// Exponentiates every base in `bases` to the same `exponent`,
+    /// reusing this context's precomputed state across the batch. This is
+    /// the protocol hot path: one commutative-encryption round raises the
+    /// whole codeword set to a fixed secret exponent.
+    pub fn pow_batch(&self, bases: &[UBig], exponent: &UBig) -> Vec<UBig> {
+        let window = window_for_bits(exponent.bit_len());
+        // Recode the exponent once: every base replays the same plan, so
+        // the per-base cost is pure kernel work (no bit scanning).
+        let plan = recode_exponent(exponent, window.clamp(1, MAX_WINDOW));
+        bases
+            .iter()
+            .map(|b| self.from_mont(&self.pow_planned(&self.to_mont(b), &plan)))
+            .collect()
+    }
+
+    /// Core sliding-window ladder over Montgomery-form operands.
+    fn pow_mont(&self, base_m: &[Limb], exponent: &UBig, window: u32) -> Vec<Limb> {
+        let plan = recode_exponent(exponent, window.clamp(1, MAX_WINDOW));
+        self.pow_planned(base_m, &plan)
+    }
+
+    /// Executes a recoded exponent against one Montgomery-form base.
+    ///
+    /// Two result buffers ping-pong through the ladder and the wide
+    /// scratch is reused by every kernel call, so the hot loop performs
+    /// no allocation after the odd-powers table is built.
+    fn pow_planned(&self, base_m: &[Limb], plan: &PowPlan) -> Vec<Limb> {
+        let init_idx = match plan.init_idx {
+            // Zero exponent: empty ladder, result is 1 in Montgomery form.
+            None => return self.one_mont.clone(),
+            Some(idx) => idx,
+        };
+        let s = self.limbs();
+        let mut wide: Vec<Limb> = Vec::with_capacity(2 * s + 1);
+        let mut tmp: Vec<Limb> = Vec::with_capacity(s);
+
+        // Odd powers only: table[i] = base^(2i+1) in Montgomery form,
+        // built just far enough to cover the plan's largest index.
+        let table_len = plan.max_idx + 1;
+        let mut table: Vec<Vec<Limb>> = Vec::with_capacity(table_len);
+        table.push(base_m.to_vec());
+        if table_len > 1 {
+            let mut base_sq = Vec::new();
+            self.mont_sqr_to(base_m, &mut wide, &mut base_sq);
+            for i in 1..table_len {
+                let mut next = Vec::with_capacity(s);
+                self.mont_mul_to(&table[i - 1], &base_sq, &mut wide, &mut next);
+                table.push(next);
+            }
+        }
+
+        let mut acc = table[init_idx].clone();
+        for step in &plan.steps {
+            for _ in 0..step.squarings {
+                self.mont_sqr_to(&acc, &mut wide, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+            self.mont_mul_to(&acc, &table[step.table_idx], &mut wide, &mut tmp);
+            std::mem::swap(&mut acc, &mut tmp);
+        }
+        for _ in 0..plan.tail_squarings {
+            self.mont_sqr_to(&acc, &mut wide, &mut tmp);
+            std::mem::swap(&mut acc, &mut tmp);
+        }
+        acc
+    }
+
+    /// The pre-optimization fixed 4-bit-window exponentiation (generic
+    /// CIOS multiply for squarings, full even+odd table). Kept verbatim as
+    /// the committed baseline for the `BENCH_protocols.json` speedup
+    /// trajectory; protocol code must use [`Self::pow`].
+    pub fn pow_fixed4_reference(&self, base: &UBig, exponent: &UBig) -> UBig {
         if exponent.is_zero() {
             return UBig::one().rem_ref(&self.modulus).expect("nonzero");
         }
@@ -203,6 +654,12 @@ impl MontgomeryCtx {
         self.from_mont(&acc)
     }
 }
+
+/// An element in Montgomery representation, produced by
+/// [`MontgomeryCtx::lift`] and only meaningful with the context that
+/// created it (mixing contexts of different limb widths is a logic error).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MontElem(Vec<Limb>);
 
 #[cfg(test)]
 mod tests {
@@ -273,6 +730,111 @@ mod tests {
         let ctx = MontgomeryCtx::new(&m).unwrap();
         assert_eq!(ctx.pow(&UBig::from(7u64), &UBig::zero()), UBig::one());
         assert_eq!(ctx.pow(&UBig::from(7u64), &UBig::one()), UBig::from(7u64));
+    }
+
+    #[test]
+    fn sqr_matches_mul() {
+        let m =
+            UBig::from_hex_str("f37fa8e5afa15b9d4b2f7c8d6e5a4b3c2d1e0f9a8b7c6d5e4f3a2b1c0d9e8f71")
+                .unwrap();
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let mut x = UBig::from_hex_str("123456789abcdef0fedcba9876543210").unwrap();
+        for _ in 0..50 {
+            assert_eq!(ctx.sqr(&x), ctx.mul(&x, &x));
+            x = ctx.sqr(&x);
+        }
+    }
+
+    #[test]
+    fn mont_elem_kernel_roundtrip() {
+        let m = UBig::from(1_000_000_007u64);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let a = UBig::from(999_999_999u64);
+        let b = UBig::from(123_456_789u64);
+        let (am, bm) = (ctx.lift(&a), ctx.lift(&b));
+        assert_eq!(ctx.retrieve(&am), a);
+        assert_eq!(ctx.retrieve(&ctx.mul_elem(&am, &bm)), ctx.mul(&a, &b));
+        assert_eq!(ctx.retrieve(&ctx.sqr_elem(&am)), ctx.sqr(&a));
+        assert_eq!(ctx.mul_elem(&am, &am), ctx.sqr_elem(&am));
+    }
+
+    #[test]
+    fn all_window_widths_agree_with_oracle() {
+        let m =
+            UBig::from_hex_str("f37fa8e5afa15b9d4b2f7c8d6e5a4b3c2d1e0f9a8b7c6d5e4f3a2b1c0d9e8f71")
+                .unwrap();
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let base = UBig::from_hex_str("123456789abcdef0fedcba9876543210").unwrap();
+        let exp = UBig::from_hex_str("deadbeefcafebabe0123456789abcdef").unwrap();
+        let want = base.modpow_binary(&exp, &m);
+        for w in 0..=8u32 {
+            // widths outside 1..=6 are clamped, so every call must agree
+            assert_eq!(ctx.pow_with_window(&base, &exp, w), want, "window={w}");
+        }
+    }
+
+    #[test]
+    fn adversarial_exponents_match_oracle() {
+        let m =
+            UBig::from_hex_str("f37fa8e5afa15b9d4b2f7c8d6e5a4b3c2d1e0f9a8b7c6d5e4f3a2b1c0d9e8f71")
+                .unwrap();
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let base = UBig::from_hex_str("0fedcba987654321ffffffffffffffff").unwrap();
+        // All-ones exponents stress maximal windows; 2^k stresses all-zero
+        // tails; m-2 is the Fermat-inversion shape used by key setup.
+        let exps = [
+            UBig::zero(),
+            UBig::one(),
+            UBig::from(2u64),
+            UBig::from(0xffff_ffff_ffff_ffffu64),
+            UBig::one().shl_bits(255),
+            UBig::one().shl_bits(256).sub_small(1).unwrap(),
+            m.sub_small(2).unwrap(),
+        ];
+        for exp in &exps {
+            assert_eq!(
+                ctx.pow(&base, exp),
+                base.modpow_binary(exp, &m),
+                "exp bits={}",
+                exp.bit_len()
+            );
+        }
+    }
+
+    #[test]
+    fn pow_batch_matches_pointwise_pow() {
+        let m = UBig::from(1_000_000_007u64);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let exp = UBig::from(65537u64);
+        let bases: Vec<UBig> = (0u64..20).map(|i| UBig::from(i * 37 + 5)).collect();
+        let batch = ctx.pow_batch(&bases, &exp);
+        assert_eq!(batch.len(), bases.len());
+        for (b, got) in bases.iter().zip(&batch) {
+            assert_eq!(got, &ctx.pow(b, &exp));
+        }
+        assert!(ctx.pow_batch(&[], &exp).is_empty());
+    }
+
+    #[test]
+    fn fixed4_reference_matches_sliding_pow() {
+        let m =
+            UBig::from_hex_str("f37fa8e5afa15b9d4b2f7c8d6e5a4b3c2d1e0f9a8b7c6d5e4f3a2b1c0d9e8f71")
+                .unwrap();
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let base = UBig::from_hex_str("123456789abcdef0fedcba9876543210").unwrap();
+        for exp in [
+            UBig::zero(),
+            UBig::one(),
+            UBig::from(65537u64),
+            m.sub_small(2).unwrap(),
+        ] {
+            assert_eq!(
+                ctx.pow_fixed4_reference(&base, &exp),
+                ctx.pow(&base, &exp),
+                "exp bits={}",
+                exp.bit_len()
+            );
+        }
     }
 
     #[test]

@@ -22,9 +22,17 @@ impl UBig {
         }
         if modulus.is_odd() {
             let ctx = MontgomeryCtx::new(modulus).expect("odd modulus > 1");
-            return ctx.pow(self, exponent);
+            return self.modpow_with_ctx(exponent, &ctx);
         }
         self.modpow_binary(exponent, modulus)
+    }
+
+    /// `self^exponent mod ctx.modulus()` through an existing Montgomery
+    /// context. Same-modulus loops should build the context once and call
+    /// this instead of [`UBig::modpow`], which pays the `R mod n` / `R² mod n`
+    /// precompute divisions on every call.
+    pub fn modpow_with_ctx(&self, exponent: &UBig, ctx: &MontgomeryCtx) -> UBig {
+        ctx.pow(self, exponent)
     }
 
     /// Schoolbook square-and-multiply with division-based reduction.

@@ -4,6 +4,7 @@
 //! encryption, the protocols) silently relies on.
 
 use minshare_bignum::modular::Jacobi;
+use minshare_bignum::montgomery::MontgomeryCtx;
 use minshare_bignum::UBig;
 use proptest::prelude::*;
 
@@ -27,6 +28,26 @@ fn odd_modulus() -> impl Strategy<Value = UBig> {
             x
         }
     })
+}
+
+/// Strategy: exponents that stress the sliding-window ladder — the edge
+/// cases (0, 1, powers of two with their long zero runs, all-ones values
+/// where every window is the maximal odd table entry, full 512-bit) mixed
+/// with random multi-limb values.
+fn adversarial_exponent() -> impl Strategy<Value = UBig> {
+    prop_oneof![
+        Just(UBig::from(0u64)),
+        Just(UBig::from(1u64)),
+        Just(UBig::from(2u64)),
+        // Single set bit: maximal leading/interior zero runs.
+        (0u64..=512).prop_map(|b| UBig::one().shl_bits(b)),
+        // All ones: back-to-back maximal odd windows.
+        (1u64..=512).prop_map(|bits| {
+            UBig::one().shl_bits(bits).sub_small(1).expect("2^bits >= 1")
+        }),
+        // Random multi-limb exponents up to 512 bits.
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(|b| UBig::from_be_bytes(&b)),
+    ]
 }
 
 proptest! {
@@ -190,6 +211,62 @@ proptest! {
         if !m.is_zero() {
             prop_assert_eq!(a.low_bits(bits), a.rem_ref(&m).unwrap());
         }
+    }
+
+    #[test]
+    fn sliding_window_pow_matches_oracle(
+        base in ubig(),
+        exp in adversarial_exponent(),
+        m in odd_modulus(),
+    ) {
+        // The default path (sliding windows + squaring kernel) against the
+        // plain square-and-multiply oracle, over multi-limb bases and the
+        // ladder's adversarial exponent shapes.
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        prop_assert_eq!(ctx.pow(&base, &exp), base.modpow_binary(&exp, &m));
+    }
+
+    #[test]
+    fn every_window_width_matches_oracle(
+        base in ubig(),
+        exp in adversarial_exponent(),
+        m in odd_modulus(),
+        w in 1u32..=6,
+    ) {
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        prop_assert_eq!(ctx.pow_with_window(&base, &exp, w), base.modpow_binary(&exp, &m));
+    }
+
+    #[test]
+    fn exponent_m_minus_2_matches_oracle(base in ubig(), m in odd_modulus()) {
+        // The modular-inversion exponent (Fermat shape): long odd tail.
+        if let Ok(e) = m.sub_small(2) {
+            let ctx = MontgomeryCtx::new(&m).unwrap();
+            prop_assert_eq!(ctx.pow(&base, &e), base.modpow_binary(&e, &m));
+        }
+    }
+
+    #[test]
+    fn pow_batch_matches_pointwise(
+        bases in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..96), 0..5
+        ),
+        exp in adversarial_exponent(),
+        m in odd_modulus(),
+    ) {
+        let bases: Vec<UBig> = bases.iter().map(|b| UBig::from_be_bytes(b)).collect();
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let batch = ctx.pow_batch(&bases, &exp);
+        prop_assert_eq!(batch.len(), bases.len());
+        for (b, got) in bases.iter().zip(&batch) {
+            prop_assert_eq!(got, &b.modpow_binary(&exp, &m));
+        }
+    }
+
+    #[test]
+    fn squaring_kernel_matches_general_multiply(a in ubig(), m in odd_modulus()) {
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        prop_assert_eq!(ctx.sqr(&a), ctx.mul(&a, &a));
     }
 }
 

@@ -70,6 +70,7 @@ pub mod intersection_size;
 pub mod leakage;
 pub mod multiparty;
 pub mod naive;
+pub mod pipeline;
 pub mod prepare;
 pub mod runner;
 pub mod stats;
@@ -86,10 +87,11 @@ pub mod prelude {
     pub use crate::equijoin_size;
     pub use crate::intersection;
     pub use crate::intersection_size;
+    pub use crate::pipeline::{self, PipelineConfig};
     pub use crate::runner::{run_two_party, TwoPartyRun};
     pub use crate::stats::OpCounters;
     pub use crate::ProtocolError;
     pub use minshare_crypto::kcipher::{ExtCipher, HybridCipher, MulBlockCipher};
-    pub use minshare_crypto::QrGroup;
+    pub use minshare_crypto::{EncryptPool, QrGroup};
     pub use minshare_privdb::{rowcodec, ColumnType, Schema, Table, Value};
 }

@@ -9,6 +9,7 @@
 use bytes::{Buf, BufMut, BytesMut};
 use minshare_bignum::UBig;
 use minshare_crypto::CommutativeScheme;
+use minshare_net::Transport;
 
 use crate::error::ProtocolError;
 
@@ -27,9 +28,16 @@ pub enum Message {
     PayloadPairs(Vec<(UBig, Vec<u8>)>),
 }
 
-const TAG_CODEWORDS: u8 = 1;
-const TAG_CODEWORD_PAIRS: u8 = 2;
-const TAG_PAYLOAD_PAIRS: u8 = 3;
+pub(crate) const TAG_CODEWORDS: u8 = 1;
+pub(crate) const TAG_CODEWORD_PAIRS: u8 = 2;
+pub(crate) const TAG_PAYLOAD_PAIRS: u8 = 3;
+/// Envelope tag announcing that one logical message follows split across
+/// several frames (see [`ChunkedWriter`]).
+pub(crate) const TAG_CHUNKED: u8 = 4;
+
+/// Bytes of a chunked-envelope header frame:
+/// `[TAG_CHUNKED, inner_tag, total_items: u32, chunk_count: u32]`.
+pub(crate) const CHUNK_HEADER_LEN: usize = 10;
 
 impl Message {
     /// Short name for error reporting.
@@ -38,6 +46,24 @@ impl Message {
             Message::Codewords(_) => "codewords",
             Message::CodewordPairs(_) => "codeword-pairs",
             Message::PayloadPairs(_) => "payload-pairs",
+        }
+    }
+
+    /// Wire tag of this message variant.
+    pub(crate) fn tag(&self) -> u8 {
+        match self {
+            Message::Codewords(_) => TAG_CODEWORDS,
+            Message::CodewordPairs(_) => TAG_CODEWORD_PAIRS,
+            Message::PayloadPairs(_) => TAG_PAYLOAD_PAIRS,
+        }
+    }
+
+    /// Number of logical items (codewords or pairs) the message carries.
+    pub(crate) fn item_count(&self) -> usize {
+        match self {
+            Message::Codewords(list) => list.len(),
+            Message::CodewordPairs(list) => list.len(),
+            Message::PayloadPairs(list) => list.len(),
         }
     }
 
@@ -91,10 +117,9 @@ impl Message {
         let width = scheme.codeword_len();
 
         let take_element = |buf: &mut &[u8]| -> Result<UBig, ProtocolError> {
-            if buf.remaining() < width {
-                return Err(malformed("truncated codeword"));
-            }
-            let bytes = &buf[..width];
+            let bytes = buf
+                .get(..width)
+                .ok_or_else(|| malformed("truncated codeword"))?;
             let x = scheme.decode_elem(bytes)?;
             buf.advance(width);
             Ok(x)
@@ -125,14 +150,19 @@ impl Message {
                         return Err(malformed("truncated payload length"));
                     }
                     let len = buf.get_u32() as usize;
-                    if buf.remaining() < len {
-                        return Err(malformed("truncated payload"));
-                    }
-                    let payload = buf[..len].to_vec();
+                    let payload = buf
+                        .get(..len)
+                        .ok_or_else(|| malformed("truncated payload"))?
+                        .to_vec();
                     buf.advance(len);
                     list.push((a, payload));
                 }
                 Message::PayloadPairs(list)
+            }
+            TAG_CHUNKED => {
+                return Err(malformed(
+                    "chunked envelope where a single message was expected",
+                ))
             }
             _ => return Err(malformed("unknown message tag")),
         };
@@ -148,8 +178,10 @@ impl Message {
 /// duplicate hashes, the paper's collision check).
 pub fn require_strictly_sorted(list: &[UBig], what: &'static str) -> Result<(), ProtocolError> {
     for w in list.windows(2) {
-        if w[0] >= w[1] {
-            return Err(ProtocolError::NotSorted { what });
+        if let [a, b] = w {
+            if a >= b {
+                return Err(ProtocolError::NotSorted { what });
+            }
         }
     }
     Ok(())
@@ -159,11 +191,233 @@ pub fn require_strictly_sorted(list: &[UBig], what: &'static str) -> Result<(), 
 /// by the equijoin-size protocol where duplicates are legitimate).
 pub fn require_sorted(list: &[UBig], what: &'static str) -> Result<(), ProtocolError> {
     for w in list.windows(2) {
-        if w[0] > w[1] {
-            return Err(ProtocolError::NotSorted { what });
+        if let [a, b] = w {
+            if a > b {
+                return Err(ProtocolError::NotSorted { what });
+            }
         }
     }
     Ok(())
+}
+
+/// Default number of codewords per chunk for the pipelined engines: small
+/// enough that encryption of one chunk overlaps the wire time of another,
+/// large enough that the 5-byte frame header is noise.
+pub const DEFAULT_CHUNK_SIZE: usize = 32;
+
+fn chunk_malformed(detail: &str) -> ProtocolError {
+    ProtocolError::MalformedMessage {
+        detail: detail.to_string(),
+    }
+}
+
+/// Streams one logical message as several frames under a chunked envelope.
+///
+/// Wire layout: a 10-byte header frame
+/// `[TAG_CHUNKED, inner_tag, total_items: u32be, chunk_count: u32be]`
+/// followed by `chunk_count` ordinary [`Message`] frames of `inner_tag`
+/// whose item counts sum to `total_items`. When everything fits in one
+/// chunk the header is skipped and a single plain frame goes out, so a
+/// single-chunk stream is byte-identical to the serial protocol and
+/// readable by a serial peer.
+pub(crate) struct ChunkedWriter {
+    inner_tag: u8,
+    items_left: usize,
+    chunks_left: u32,
+}
+
+impl ChunkedWriter {
+    /// Starts a stream that will carry `total` items split every
+    /// `chunk_size` items (the last chunk may be short).
+    pub(crate) fn begin<T: Transport + ?Sized>(
+        transport: &mut T,
+        inner_tag: u8,
+        total: usize,
+        chunk_size: usize,
+    ) -> Result<Self, ProtocolError> {
+        let chunk_size = chunk_size.max(1);
+        Self::begin_with_chunks(transport, inner_tag, total, total.div_ceil(chunk_size).max(1))
+    }
+
+    /// Starts a stream with an explicit chunk count — used when answering
+    /// a peer's list chunk-for-chunk, whatever sizes the peer chose.
+    pub(crate) fn begin_with_chunks<T: Transport + ?Sized>(
+        transport: &mut T,
+        inner_tag: u8,
+        total: usize,
+        chunk_count: usize,
+    ) -> Result<Self, ProtocolError> {
+        let chunk_count = chunk_count.max(1);
+        if chunk_count > 1 {
+            if total > u32::MAX as usize || chunk_count > u32::MAX as usize {
+                return Err(chunk_malformed("chunked stream exceeds u32 bounds"));
+            }
+            let mut frame = Vec::with_capacity(CHUNK_HEADER_LEN);
+            frame.push(TAG_CHUNKED);
+            frame.push(inner_tag);
+            frame.extend_from_slice(&(total as u32).to_be_bytes());
+            frame.extend_from_slice(&(chunk_count as u32).to_be_bytes());
+            transport.send(&frame)?;
+        }
+        Ok(ChunkedWriter {
+            inner_tag,
+            items_left: total,
+            chunks_left: chunk_count as u32,
+        })
+    }
+
+    /// Sends the next chunk. The message kind and cumulative item count
+    /// must agree with what `begin` announced.
+    pub(crate) fn send<T: Transport + ?Sized, S: CommutativeScheme>(
+        &mut self,
+        transport: &mut T,
+        scheme: &S,
+        msg: &Message,
+    ) -> Result<(), ProtocolError> {
+        if msg.tag() != self.inner_tag {
+            return Err(chunk_malformed("chunk kind differs from envelope"));
+        }
+        if self.chunks_left == 0 || msg.item_count() > self.items_left {
+            return Err(chunk_malformed("chunk stream overflow"));
+        }
+        self.items_left -= msg.item_count();
+        self.chunks_left -= 1;
+        transport.send(&msg.encode(scheme)?)?;
+        Ok(())
+    }
+
+    /// Verifies the stream was fully sent.
+    pub(crate) fn finish(self) -> Result<(), ProtocolError> {
+        if self.items_left != 0 || self.chunks_left != 0 {
+            return Err(chunk_malformed("chunk stream ended early"));
+        }
+        Ok(())
+    }
+}
+
+/// Sends an already-materialized codeword list through the chunked
+/// envelope (plain single frame when it fits in one chunk).
+pub(crate) fn send_codewords_chunked<T: Transport + ?Sized, S: CommutativeScheme>(
+    transport: &mut T,
+    scheme: &S,
+    items: &[UBig],
+    chunk_size: usize,
+) -> Result<(), ProtocolError> {
+    let chunk_size = chunk_size.max(1);
+    let mut writer = ChunkedWriter::begin(transport, TAG_CODEWORDS, items.len(), chunk_size)?;
+    if items.is_empty() {
+        writer.send(transport, scheme, &Message::Codewords(Vec::new()))?;
+    } else {
+        for chunk in items.chunks(chunk_size) {
+            writer.send(transport, scheme, &Message::Codewords(chunk.to_vec()))?;
+        }
+    }
+    writer.finish()
+}
+
+/// Reads one logical message that may arrive either as a single plain
+/// frame (serial peer, or a stream that fit in one chunk) or as a chunked
+/// envelope. Yields each chunk as it lands so callers overlap computation
+/// with the remaining receives.
+pub(crate) struct ChunkedReader {
+    inner_tag: u8,
+    expected_kind: &'static str,
+    total: usize,
+    chunks_left: u32,
+    items_seen: usize,
+    first: Option<Message>,
+}
+
+impl ChunkedReader {
+    /// Receives the first frame and dispatches on plain vs. chunked.
+    pub(crate) fn begin<T: Transport + ?Sized, S: CommutativeScheme>(
+        transport: &mut T,
+        scheme: &S,
+        inner_tag: u8,
+        expected_kind: &'static str,
+    ) -> Result<Self, ProtocolError> {
+        let frame = transport.recv()?;
+        if frame.first() == Some(&TAG_CHUNKED) {
+            if frame.len() != CHUNK_HEADER_LEN {
+                return Err(chunk_malformed("bad chunked header length"));
+            }
+            if frame.get(1) != Some(&inner_tag) {
+                return Err(chunk_malformed("chunked envelope of unexpected kind"));
+            }
+            let word = |at: usize| -> Result<usize, ProtocolError> {
+                let bytes = frame
+                    .get(at..at + 4)
+                    .and_then(|s| <[u8; 4]>::try_from(s).ok())
+                    .ok_or_else(|| chunk_malformed("bad chunked header length"))?;
+                Ok(u32::from_be_bytes(bytes) as usize)
+            };
+            let total = word(2)?;
+            let chunk_count = word(6)?;
+            if chunk_count == 0 || chunk_count > total.max(1) {
+                return Err(chunk_malformed("implausible chunk count"));
+            }
+            Ok(ChunkedReader {
+                inner_tag,
+                expected_kind,
+                total,
+                chunks_left: chunk_count as u32,
+                items_seen: 0,
+                first: None,
+            })
+        } else {
+            let msg = Message::decode(&frame, scheme)?;
+            if msg.tag() != inner_tag {
+                return Err(ProtocolError::UnexpectedMessage {
+                    expected: expected_kind,
+                    got: msg.kind(),
+                });
+            }
+            Ok(ChunkedReader {
+                inner_tag,
+                expected_kind,
+                total: msg.item_count(),
+                chunks_left: 1,
+                items_seen: 0,
+                first: Some(msg),
+            })
+        }
+    }
+
+    /// Total item count across the whole stream (trusted only after the
+    /// stream finishes: `next` verifies the chunks actually add up).
+    pub(crate) fn total_items(&self) -> usize {
+        self.total
+    }
+
+    /// Returns the next chunk, or `None` once the stream is complete.
+    pub(crate) fn next<T: Transport + ?Sized, S: CommutativeScheme>(
+        &mut self,
+        transport: &mut T,
+        scheme: &S,
+    ) -> Result<Option<Message>, ProtocolError> {
+        if let Some(msg) = self.first.take() {
+            self.items_seen = msg.item_count();
+            self.chunks_left = 0;
+            return Ok(Some(msg));
+        }
+        if self.chunks_left == 0 {
+            return Ok(None);
+        }
+        let msg = Message::decode(&transport.recv()?, scheme)?;
+        if msg.tag() != self.inner_tag {
+            return Err(ProtocolError::UnexpectedMessage {
+                expected: self.expected_kind,
+                got: msg.kind(),
+            });
+        }
+        self.items_seen = self.items_seen.saturating_add(msg.item_count());
+        self.chunks_left -= 1;
+        if self.items_seen > self.total || (self.chunks_left == 0 && self.items_seen != self.total)
+        {
+            return Err(chunk_malformed("chunk item counts disagree with header"));
+        }
+        Ok(Some(msg))
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +513,118 @@ mod tests {
             Message::decode(&frame, &g),
             Err(ProtocolError::Crypto(_))
         ));
+    }
+
+    #[test]
+    fn chunked_round_trip_over_duplex() {
+        let g = group();
+        let items = {
+            let mut v = elements(&g, 11);
+            v.sort();
+            v
+        };
+        for chunk_size in [1usize, 3, 4, 11, 64] {
+            let (mut a, mut b) = minshare_net::duplex_pair();
+            send_codewords_chunked(&mut a, &g, &items, chunk_size).unwrap();
+            let mut reader = ChunkedReader::begin(&mut b, &g, TAG_CODEWORDS, "codewords").unwrap();
+            assert_eq!(reader.total_items(), items.len());
+            let mut got = Vec::new();
+            while let Some(Message::Codewords(chunk)) = reader.next(&mut b, &g).unwrap() {
+                assert!(chunk.len() <= chunk_size);
+                got.extend(chunk);
+            }
+            assert_eq!(got, items, "chunk_size={chunk_size}");
+        }
+    }
+
+    #[test]
+    fn single_chunk_stream_is_byte_identical_to_plain() {
+        // A stream that fits in one chunk must put exactly the serial
+        // protocol's bytes on the wire (no envelope header).
+        let g = group();
+        let items = elements(&g, 4);
+        let (mut a, mut b) = minshare_net::duplex_pair();
+        send_codewords_chunked(&mut a, &g, &items, 16).unwrap();
+        let frame = b.recv().unwrap();
+        assert_eq!(
+            frame,
+            Message::Codewords(items.clone()).encode(&g).unwrap()
+        );
+    }
+
+    #[test]
+    fn chunked_reader_accepts_plain_message() {
+        let g = group();
+        let items = elements(&g, 3);
+        let (mut a, mut b) = minshare_net::duplex_pair();
+        a.send(&Message::Codewords(items.clone()).encode(&g).unwrap())
+            .unwrap();
+        let mut reader = ChunkedReader::begin(&mut b, &g, TAG_CODEWORDS, "codewords").unwrap();
+        assert_eq!(reader.total_items(), 3);
+        assert_eq!(
+            reader.next(&mut b, &g).unwrap(),
+            Some(Message::Codewords(items))
+        );
+        assert_eq!(reader.next(&mut b, &g).unwrap(), None);
+    }
+
+    #[test]
+    fn chunked_reader_rejects_lying_header() {
+        let g = group();
+        let items = elements(&g, 2);
+        // Header promises 5 items over 2 chunks; only 4 arrive.
+        let (mut a, mut b) = minshare_net::duplex_pair();
+        let mut header = vec![TAG_CHUNKED, TAG_CODEWORDS];
+        header.extend_from_slice(&5u32.to_be_bytes());
+        header.extend_from_slice(&2u32.to_be_bytes());
+        a.send(&header).unwrap();
+        for _ in 0..2 {
+            a.send(&Message::Codewords(items.clone()).encode(&g).unwrap())
+                .unwrap();
+        }
+        let mut reader = ChunkedReader::begin(&mut b, &g, TAG_CODEWORDS, "codewords").unwrap();
+        assert!(reader.next(&mut b, &g).unwrap().is_some());
+        assert!(reader.next(&mut b, &g).is_err());
+    }
+
+    #[test]
+    fn chunked_reader_rejects_kind_mismatch() {
+        let g = group();
+        let (mut a, mut b) = minshare_net::duplex_pair();
+        a.send(
+            &Message::CodewordPairs(vec![])
+                .encode(&g)
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(
+            ChunkedReader::begin(&mut b, &g, TAG_CODEWORDS, "codewords"),
+            Err(ProtocolError::UnexpectedMessage { .. })
+        ));
+    }
+
+    #[test]
+    fn writer_enforces_announced_counts() {
+        let g = group();
+        let items = elements(&g, 4);
+        let (mut a, _b) = minshare_net::duplex_pair();
+        let mut w = ChunkedWriter::begin(&mut a, TAG_CODEWORDS, 4, 2).unwrap();
+        w.send(&mut a, &g, &Message::Codewords(items[..2].to_vec()))
+            .unwrap();
+        // Wrong kind is rejected.
+        assert!(w.send(&mut a, &g, &Message::CodewordPairs(vec![])).is_err());
+        // Finishing with items outstanding is rejected.
+        let w2 = ChunkedWriter::begin(&mut a, TAG_CODEWORDS, 4, 2).unwrap();
+        assert!(w2.finish().is_err());
+    }
+
+    #[test]
+    fn serial_decode_rejects_envelope_header() {
+        let g = group();
+        let mut header = vec![TAG_CHUNKED, TAG_CODEWORDS];
+        header.extend_from_slice(&1u32.to_be_bytes());
+        header.extend_from_slice(&1u32.to_be_bytes());
+        assert!(Message::decode(&header, &g).is_err());
     }
 
     #[test]

@@ -43,19 +43,24 @@ pub fn hash_encrypt_batch(
     map_batch(values, threads, |v| group.hash_encrypt(key, v))
 }
 
-/// Order-preserving parallel map with contiguous chunking (keeps cache
-/// behavior predictable and needs no work-stealing machinery).
+/// Order-preserving parallel map with balanced contiguous chunking (keeps
+/// cache behavior predictable and needs no work-stealing machinery).
 fn map_batch<I: Sync, O: Send>(items: &[I], threads: usize, f: impl Fn(&I) -> O + Sync) -> Vec<O> {
     let threads = threads.max(1).min(items.len().max(1));
     if threads == 1 {
         return items.iter().map(f).collect();
     }
-    let chunk = items.len().div_ceil(threads);
     let mut results: Vec<Vec<O>> = Vec::with_capacity(threads);
+    let f = &f;
     std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|slice| scope.spawn(|| slice.iter().map(&f).collect::<Vec<O>>()))
+        let mut rest = items;
+        let handles: Vec<_> = balanced_chunk_sizes(items.len(), threads)
+            .into_iter()
+            .map(|take| {
+                let (slice, tail) = rest.split_at(take);
+                rest = tail;
+                scope.spawn(move || slice.iter().map(f).collect::<Vec<O>>())
+            })
             .collect();
         for h in handles {
             match h.join() {
@@ -67,6 +72,17 @@ fn map_batch<I: Sync, O: Send>(items: &[I], threads: usize, f: impl Fn(&I) -> O 
         }
     });
     results.into_iter().flatten().collect()
+}
+
+/// Splits `len` items into `threads` contiguous chunks whose sizes differ
+/// by at most one, so a `len` not divisible by `threads` can never leave
+/// one worker with a near-double share (the old `div_ceil`-sized chunking
+/// gave e.g. `len = 9, threads = 8` a worker with 2 items while three
+/// workers sat idle).
+fn balanced_chunk_sizes(len: usize, threads: usize) -> Vec<usize> {
+    let base = len / threads;
+    let extra = len % threads;
+    (0..threads).map(|i| base + usize::from(i < extra)).collect()
 }
 
 #[cfg(test)]
@@ -116,6 +132,31 @@ mod tests {
         for (v, e) in values.iter().zip(&batch) {
             assert_eq!(&g.hash_encrypt(&key, v), e);
         }
+    }
+
+    #[test]
+    fn chunk_sizes_are_balanced() {
+        for len in 0..100usize {
+            for threads in 1..=16usize {
+                let sizes = balanced_chunk_sizes(len, threads);
+                assert_eq!(sizes.len(), threads);
+                assert_eq!(sizes.iter().sum::<usize>(), len);
+                let max = sizes.iter().copied().max().unwrap_or(0);
+                let min = sizes.iter().copied().min().unwrap_or(0);
+                assert!(max - min <= 1, "len={len} threads={threads} {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_lengths_match_serial() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(5);
+        let key = g.gen_key(&mut rng);
+        // len = threads + 1 was the old near-double worst case.
+        let items: Vec<UBig> = (0..9).map(|_| g.sample_element(&mut rng)).collect();
+        let serial = encrypt_batch(&g, &key, &items, 1);
+        assert_eq!(encrypt_batch(&g, &key, &items, 8), serial);
     }
 
     #[test]

@@ -42,10 +42,12 @@ pub mod error;
 pub mod group;
 pub mod kcipher;
 pub mod ot;
+pub mod pool;
 pub mod scheme;
 pub mod sra;
 
 pub use commutative::CommutativeKey;
 pub use error::CryptoError;
 pub use group::QrGroup;
+pub use pool::{EncryptPool, PendingBatch};
 pub use scheme::CommutativeScheme;

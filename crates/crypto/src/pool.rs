@@ -1,0 +1,388 @@
+//! Persistent work-stealing encryption pool.
+//!
+//! §6.2 of the paper assumes "P processors that we can utilize in
+//! parallel" when dividing its time estimates. [`crate::batch`] supplies
+//! that `P` per call by spawning scoped threads; this module makes the
+//! workers *persistent* so one pool, sized once per session, serves every
+//! protocol round without re-paying thread spawn/join on each batch — the
+//! structure the chunk-pipelined engines in `minshare-core` need, where
+//! many small batches are in flight at once.
+//!
+//! Work distribution is by atomic sub-chunk claiming: every job is
+//! broadcast to all workers, and each worker (plus the waiting caller)
+//! repeatedly claims a small contiguous range with a `fetch_add` cursor.
+//! Stragglers rebalance at sub-chunk granularity, which is the same
+//! property a stealing deque buys, with nothing but channels and one
+//! atomic. The caller *helps*: [`PendingBatch::wait`] runs the job on the
+//! calling thread too, so a pool with zero workers still completes every
+//! job (inline), and a pool on a loaded machine never deadlocks waiting
+//! for a busy worker.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use minshare_bignum::UBig;
+use parking_lot::Mutex;
+
+use crate::commutative::CommutativeKey;
+use crate::group::QrGroup;
+
+/// Upper bound on the items a single cursor claim takes; keeps work items
+/// small so stragglers rebalance even on short batches.
+const MAX_CLAIM: usize = 16;
+
+/// Counters for observing pool behavior (benches and tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs submitted over the pool's lifetime.
+    pub jobs: u64,
+    /// Total items across all submitted jobs.
+    pub items: u64,
+}
+
+/// The operation a job applies to each of its items.
+enum PoolTask {
+    /// `f_e(x)` over group elements.
+    Encrypt(Vec<UBig>),
+    /// `f_e⁻¹(x)` over group elements.
+    Decrypt(Vec<UBig>),
+    /// `f_e(h(v))` over raw byte values.
+    HashEncrypt(Vec<Vec<u8>>),
+}
+
+impl PoolTask {
+    fn len(&self) -> usize {
+        match self {
+            PoolTask::Encrypt(v) | PoolTask::Decrypt(v) => v.len(),
+            PoolTask::HashEncrypt(v) => v.len(),
+        }
+    }
+
+    /// Applies the operation to `range`, or `None` if the range is out of
+    /// bounds (unreachable for cursor-claimed ranges).
+    fn eval_range(
+        &self,
+        group: &QrGroup,
+        key: &CommutativeKey,
+        start: usize,
+        end: usize,
+    ) -> Option<Vec<UBig>> {
+        match self {
+            PoolTask::Encrypt(v) => Some(
+                v.get(start..end)?
+                    .iter()
+                    .map(|x| group.encrypt(key, x))
+                    .collect(),
+            ),
+            PoolTask::Decrypt(v) => Some(
+                v.get(start..end)?
+                    .iter()
+                    .map(|x| group.decrypt(key, x))
+                    .collect(),
+            ),
+            PoolTask::HashEncrypt(v) => Some(
+                v.get(start..end)?
+                    .iter()
+                    .map(|x| group.hash_encrypt(key, x))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// One in-flight batch: owned copies of the group, key, and inputs, a
+/// claim cursor, and the channel results flow back on.
+///
+/// Holds a live commutative key for the duration of the batch, so it is
+/// registered with the secret-hygiene analyzer: no `Debug`, no
+/// structural equality.
+struct PoolJob {
+    group: QrGroup,
+    key: CommutativeKey,
+    task: PoolTask,
+    /// Next unclaimed item index; claimed in `chunk`-sized strides.
+    cursor: AtomicUsize,
+    /// Items per cursor claim.
+    chunk: usize,
+    results: Sender<(usize, Vec<UBig>)>,
+}
+
+impl PoolJob {
+    /// Claims and evaluates sub-chunks until the job is exhausted. Called
+    /// by every worker that receives the job and by the waiting caller.
+    fn run(&self) {
+        let total = self.task.len();
+        loop {
+            let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= total {
+                return;
+            }
+            let end = start.saturating_add(self.chunk).min(total);
+            if let Some(out) = self.task.eval_range(&self.group, &self.key, start, end) {
+                // A send error means the caller abandoned the batch;
+                // keep draining the cursor so the job finishes quietly.
+                let _ = self.results.send((start, out));
+            }
+        }
+    }
+}
+
+/// Handle to an in-flight batch; redeem with [`PendingBatch::wait`].
+pub struct PendingBatch {
+    job: Arc<PoolJob>,
+    rx: Receiver<(usize, Vec<UBig>)>,
+}
+
+impl PendingBatch {
+    /// Number of items the batch will produce.
+    pub fn len(&self) -> usize {
+        self.job.task.len()
+    }
+
+    /// True if the batch holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocks until every item is processed and returns the outputs in
+    /// input order. The calling thread helps with unclaimed sub-chunks
+    /// first, so completion never depends on pool workers being free.
+    pub fn wait(self) -> Vec<UBig> {
+        self.job.run();
+        let total = self.job.task.len();
+        let mut parts: Vec<(usize, Vec<UBig>)> = Vec::new();
+        let mut received = 0usize;
+        while received < total {
+            match self.rx.recv() {
+                Ok((start, part)) => {
+                    received += part.len();
+                    parts.push((start, part));
+                }
+                // Unreachable while `self.job` (which owns a sender) is
+                // alive; bail rather than spin if it ever happens.
+                Err(_) => break,
+            }
+        }
+        parts.sort_by_key(|(start, _)| *start);
+        parts.into_iter().flat_map(|(_, part)| part).collect()
+    }
+}
+
+/// A persistent pool of encryption workers, sized once and shared across
+/// protocol rounds. Cheap to share by reference; submission takes `&self`.
+pub struct EncryptPool {
+    /// One job-broadcast channel per worker.
+    senders: Vec<Sender<Arc<PoolJob>>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Mutex<PoolStats>,
+}
+
+impl EncryptPool {
+    /// Creates a pool with `threads` background workers. `threads == 0`
+    /// is valid: jobs then run entirely on the caller during
+    /// [`PendingBatch::wait`].
+    pub fn new(threads: usize) -> Self {
+        let mut senders = Vec::with_capacity(threads);
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let (tx, rx) = unbounded::<Arc<PoolJob>>();
+            let builder = std::thread::Builder::new().name(format!("encrypt-pool-{i}"));
+            // A failed spawn degrades capacity, never correctness: the
+            // caller-help in `wait` still completes every job.
+            if let Ok(handle) = builder.spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job.run();
+                }
+            }) {
+                senders.push(tx);
+                workers.push(handle);
+            }
+        }
+        EncryptPool {
+            senders,
+            workers,
+            stats: Mutex::new(PoolStats::default()),
+        }
+    }
+
+    /// Number of live background workers.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Snapshot of lifetime submission counters.
+    pub fn stats(&self) -> PoolStats {
+        *self.stats.lock()
+    }
+
+    fn submit(&self, group: &QrGroup, key: &CommutativeKey, task: PoolTask) -> PendingBatch {
+        let total = task.len();
+        // Small claims so stragglers rebalance; at least one claim per
+        // worker-and-caller even on short batches.
+        let parties = self.workers.len() + 1;
+        let chunk = total.div_ceil(parties * 4).clamp(1, MAX_CLAIM);
+        let (tx, rx) = unbounded();
+        let job = Arc::new(PoolJob {
+            group: group.clone(),
+            key: key.clone(),
+            task,
+            cursor: AtomicUsize::new(0),
+            chunk,
+            results: tx,
+        });
+        {
+            let mut stats = self.stats.lock();
+            stats.jobs += 1;
+            stats.items += total as u64;
+        }
+        for sender in &self.senders {
+            let _ = sender.send(Arc::clone(&job));
+        }
+        PendingBatch { job, rx }
+    }
+
+    /// Starts encrypting `items` with `key`; returns immediately.
+    pub fn submit_encrypt(
+        &self,
+        group: &QrGroup,
+        key: &CommutativeKey,
+        items: &[UBig],
+    ) -> PendingBatch {
+        self.submit(group, key, PoolTask::Encrypt(items.to_vec()))
+    }
+
+    /// Starts decrypting `items` with `key`; returns immediately.
+    pub fn submit_decrypt(
+        &self,
+        group: &QrGroup,
+        key: &CommutativeKey,
+        items: &[UBig],
+    ) -> PendingBatch {
+        self.submit(group, key, PoolTask::Decrypt(items.to_vec()))
+    }
+
+    /// Starts hash-then-encrypt (`f_e(h(v))`) over raw values.
+    pub fn submit_hash_encrypt(
+        &self,
+        group: &QrGroup,
+        key: &CommutativeKey,
+        values: &[Vec<u8>],
+    ) -> PendingBatch {
+        self.submit(group, key, PoolTask::HashEncrypt(values.to_vec()))
+    }
+
+    /// Convenience: submit + wait. Drop-in for [`crate::batch::encrypt_batch`].
+    pub fn encrypt_batch(&self, group: &QrGroup, key: &CommutativeKey, items: &[UBig]) -> Vec<UBig> {
+        self.submit_encrypt(group, key, items).wait()
+    }
+
+    /// Convenience: submit + wait for decryption.
+    pub fn decrypt_batch(&self, group: &QrGroup, key: &CommutativeKey, items: &[UBig]) -> Vec<UBig> {
+        self.submit_decrypt(group, key, items).wait()
+    }
+
+    /// Convenience: submit + wait for hash-then-encrypt.
+    pub fn hash_encrypt_batch(
+        &self,
+        group: &QrGroup,
+        key: &CommutativeKey,
+        values: &[Vec<u8>],
+    ) -> Vec<UBig> {
+        self.submit_hash_encrypt(group, key, values).wait()
+    }
+}
+
+impl Drop for EncryptPool {
+    fn drop(&mut self) {
+        // Closing the channels ends each worker's recv loop; workers
+        // finish any job already in hand first.
+        self.senders.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn group() -> QrGroup {
+        let mut rng = StdRng::seed_from_u64(0xba7c);
+        QrGroup::generate(&mut rng, 64).unwrap()
+    }
+
+    #[test]
+    fn pool_matches_serial_batch() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(11);
+        let key = g.gen_key(&mut rng);
+        let items: Vec<UBig> = (0..41).map(|_| g.sample_element(&mut rng)).collect();
+        let serial = batch::encrypt_batch(&g, &key, &items, 1);
+        for threads in [0usize, 1, 2, 4] {
+            let pool = EncryptPool::new(threads);
+            assert_eq!(pool.encrypt_batch(&g, &key, &items), serial, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_decrypt_inverts() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(12);
+        let key = g.gen_key(&mut rng);
+        let items: Vec<UBig> = (0..17).map(|_| g.sample_element(&mut rng)).collect();
+        let pool = EncryptPool::new(2);
+        let enc = pool.encrypt_batch(&g, &key, &items);
+        assert_eq!(pool.decrypt_batch(&g, &key, &enc), items);
+    }
+
+    #[test]
+    fn pool_hash_encrypt_matches_pointwise() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(13);
+        let key = g.gen_key(&mut rng);
+        let values: Vec<Vec<u8>> = (0..9u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        let pool = EncryptPool::new(3);
+        let out = pool.hash_encrypt_batch(&g, &key, &values);
+        for (v, e) in values.iter().zip(&out) {
+            assert_eq!(&g.hash_encrypt(&key, v), e);
+        }
+    }
+
+    #[test]
+    fn many_jobs_in_flight_preserve_order() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(14);
+        let key = g.gen_key(&mut rng);
+        let pool = EncryptPool::new(2);
+        let batches: Vec<Vec<UBig>> = (0..6)
+            .map(|i| (0..(i * 3 + 1)).map(|_| g.sample_element(&mut rng)).collect())
+            .collect();
+        let pending: Vec<PendingBatch> = batches
+            .iter()
+            .map(|b| pool.submit_encrypt(&g, &key, b))
+            .collect();
+        for (b, p) in batches.iter().zip(pending) {
+            assert_eq!(p.wait(), batch::encrypt_batch(&g, &key, b, 1));
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.jobs, 6);
+        assert_eq!(stats.items, batches.iter().map(|b| b.len() as u64).sum());
+    }
+
+    #[test]
+    fn empty_batch_completes() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(15);
+        let key = g.gen_key(&mut rng);
+        let pool = EncryptPool::new(2);
+        let pending = pool.submit_encrypt(&g, &key, &[]);
+        assert!(pending.is_empty());
+        assert!(pending.wait().is_empty());
+    }
+}

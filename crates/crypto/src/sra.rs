@@ -43,7 +43,11 @@ use crate::error::CryptoError;
 pub struct SraContext {
     n: UBig,
     phi: UBig,
-    ctx: MontgomeryCtx,
+    /// Cached Montgomery state for `mod n`; behind an `Arc` so cloning a
+    /// context (one per party in the ablation benches) shares the
+    /// precomputed `R mod n` / `R² mod n` instead of recomputing or
+    /// copying them.
+    ctx: std::sync::Arc<MontgomeryCtx>,
     oracle: RandomOracle,
 }
 
@@ -121,7 +125,7 @@ impl SraContext {
             }
             let n = p.mul_ref(&q);
             let phi = p.sub_small(1)?.mul_ref(&q.sub_small(1)?);
-            let ctx = MontgomeryCtx::new(&n)?;
+            let ctx = std::sync::Arc::new(MontgomeryCtx::new(&n)?);
             return Ok(SraContext {
                 n,
                 phi,

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates the committed benchmark snapshot (BENCH_protocols.json) and
+# runs the criterion perf suite for eyeballing. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== bench_protocols -> BENCH_protocols.json" >&2
+cargo run --release -q -p minshare-bench --bin bench_protocols | tee BENCH_protocols.json
+
+echo "== criterion perf suite (pipeline)" >&2
+cargo bench -q -p minshare-bench --bench pipeline

@@ -11,3 +11,6 @@ cd "$repo_root"
 cargo build --release
 cargo test -q
 cargo run -p minshare-analyzer -- --baseline analyzer.baseline.toml
+# Smoke-run the perf suite (one pass per routine, no timing loops) so a
+# bench that stops compiling or panics fails the gate.
+cargo bench -q -p minshare-bench --bench pipeline -- --test

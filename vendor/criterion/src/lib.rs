@@ -9,6 +9,12 @@
 
 use std::time::{Duration, Instant};
 
+/// True when the harness was invoked as `cargo bench -- --test`: each
+/// routine runs exactly once (a smoke test) instead of being timed.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Identifier for one benchmark within a group.
 #[derive(Clone, Debug)]
 pub struct BenchmarkId {
@@ -68,11 +74,17 @@ pub enum Throughput {
 pub struct Bencher {
     samples: usize,
     result: Option<Duration>,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Times `routine`, storing the median per-iteration duration.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            // Smoke run: execute once so panics/assertions still fire.
+            std::hint::black_box(routine());
+            return;
+        }
         // Warm-up: find an iteration count lasting ≥ ~5 ms per sample.
         let mut iters: u64 = 1;
         loop {
@@ -200,8 +212,13 @@ fn run_one(
     let mut bencher = Bencher {
         samples,
         result: None,
+        test_mode: test_mode(),
     };
     f(&mut bencher);
+    if bencher.test_mode {
+        eprintln!("bench: {label:<50} ok (--test smoke run)");
+        return;
+    }
     match bencher.result {
         Some(median) => {
             let extra = match throughput {
