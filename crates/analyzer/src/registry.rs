@@ -21,6 +21,11 @@ pub const SECRET_TYPES: &[&str] = &[
     "PendingBatch",
     // crates/net: per-direction session keys.
     "DirectionKeys",
+    // crates/net simnet/robust types (FaultPlan, SimEndpoint,
+    // RobustTransport, SimTrace, ...) are deliberately absent: they
+    // carry only opaque frame bytes, fault schedules and public seeds —
+    // no key material. Revisit if the retry layer ever learns about
+    // session state beyond ARQ counters.
     // crates/hashcore: the keyed MAC state embeds the key schedule.
     "HmacSha256",
 ];

@@ -1,0 +1,304 @@
+//! Fault sweep: replay all four protocols over hundreds of seeded fault
+//! schedules on the simulated network and prove the conformance contract
+//! at scale — zero panics, zero hangs (virtual-clock deadline), zero
+//! wrong answers — then re-run one schedule to demonstrate that a seed
+//! reproduces its fault trace byte for byte.
+//!
+//! Usage: `fault_sweep [--schedules N] [--base-seed S]`
+//!
+//! With the default `--schedules 60`, the sweep is 60 schedules × 4
+//! protocols = 240 seeded runs. The process exits non-zero on any
+//! contract violation, so it can gate CI.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use minshare::naive::naive_intersection;
+use minshare::prelude::*;
+use minshare::simrun::{run_two_party_sim, SimOutcome, SimRunConfig, SimTwoPartyRun};
+use minshare_bench::bench_group;
+use minshare_net::FaultPlan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn to_values(strs: &[&str]) -> Vec<Vec<u8>> {
+    strs.iter().map(|s| s.as_bytes().to_vec()).collect()
+}
+
+fn vs() -> Vec<Vec<u8>> {
+    to_values(&["apple", "grape", "melon", "peach", "berry", "mango", "lemon"])
+}
+
+fn vr() -> Vec<Vec<u8>> {
+    to_values(&["grape", "kiwi", "apple", "plum", "melon"])
+}
+
+fn ms() -> Vec<Vec<u8>> {
+    to_values(&["ash", "ash", "ash", "oak", "oak", "elm", "fir"])
+}
+
+fn mr() -> Vec<Vec<u8>> {
+    to_values(&["oak", "ash", "oak", "yew", "yew", "elm"])
+}
+
+fn chunked() -> PipelineConfig {
+    PipelineConfig { chunk_size: 3 }
+}
+
+/// Per-protocol sweep tally.
+#[derive(Debug, Default)]
+struct Tally {
+    complete: u32,
+    typed_failure: u32,
+    violations: u32,
+}
+
+impl Tally {
+    fn record<SO, RO>(
+        &mut self,
+        tag: &str,
+        seed: u64,
+        baseline: &SimTwoPartyRun<SO, RO>,
+        faulty: &SimTwoPartyRun<SO, RO>,
+    ) where
+        SO: PartialEq + std::fmt::Debug,
+        RO: PartialEq + std::fmt::Debug,
+    {
+        match faulty.outcome() {
+            SimOutcome::Panicked => {
+                self.violations += 1;
+                eprintln!(
+                    "VIOLATION [{tag} seed {seed}]: party panicked: {:?} / {:?}",
+                    faulty.sender, faulty.receiver
+                );
+                return;
+            }
+            SimOutcome::Complete => self.complete += 1,
+            SimOutcome::TypedFailure => self.typed_failure += 1,
+        }
+        // A completing party must match the perfect-link run exactly, in
+        // output and in protocol-layer bytes (retransmits excluded).
+        if let (Ok(b), Ok(f)) = (&baseline.sender, &faulty.sender) {
+            if b != f {
+                self.violations += 1;
+                eprintln!("VIOLATION [{tag} seed {seed}]: wrong sender answer");
+            }
+            if baseline.sender_traffic.bytes_sent() != faulty.sender_traffic.bytes_sent() {
+                self.violations += 1;
+                eprintln!("VIOLATION [{tag} seed {seed}]: sender leakage profile changed");
+            }
+        }
+        if let (Ok(b), Ok(f)) = (&baseline.receiver, &faulty.receiver) {
+            if b != f {
+                self.violations += 1;
+                eprintln!("VIOLATION [{tag} seed {seed}]: wrong receiver answer");
+            }
+            if baseline.receiver_traffic.bytes_sent() != faulty.receiver_traffic.bytes_sent() {
+                self.violations += 1;
+                eprintln!("VIOLATION [{tag} seed {seed}]: receiver leakage profile changed");
+            }
+        }
+    }
+}
+
+fn sweep_protocol<SO, RO>(
+    tag: &str,
+    schedules: u64,
+    base_seed: u64,
+    run: impl Fn(&FaultPlan) -> SimTwoPartyRun<SO, RO>,
+) -> Tally
+where
+    SO: PartialEq + std::fmt::Debug,
+    RO: PartialEq + std::fmt::Debug,
+{
+    let mut tally = Tally::default();
+    let baseline = run(&FaultPlan::perfect());
+    if baseline.outcome() != SimOutcome::Complete {
+        tally.violations += 1;
+        eprintln!(
+            "VIOLATION [{tag}]: perfect link did not complete: {:?} / {:?}",
+            baseline.sender, baseline.receiver
+        );
+        return tally;
+    }
+    for i in 0..schedules {
+        let seed = base_seed.wrapping_add(i);
+        let faulty = run(&FaultPlan::from_seed(seed));
+        tally.record(tag, seed, &baseline, &faulty);
+    }
+    // Reproducibility spot check: replaying the first schedule must give
+    // a byte-identical fault trace and the same outcome.
+    let plan = FaultPlan::from_seed(base_seed);
+    let (r1, r2) = (run(&plan), run(&plan));
+    if r1.trace.digest() != r2.trace.digest() || r1.outcome() != r2.outcome() {
+        tally.violations += 1;
+        eprintln!("VIOLATION [{tag}]: seed {base_seed} did not reproduce its trace");
+    }
+    tally
+}
+
+fn parse_args() -> Result<(u64, u64), String> {
+    let mut schedules = 60u64;
+    let mut base_seed = 0x5eed_0000u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut grab = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--schedules" => schedules = grab("--schedules")?,
+            "--base-seed" => base_seed = grab("--base-seed")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if schedules == 0 {
+        return Err("--schedules must be positive".into());
+    }
+    Ok((schedules, base_seed))
+}
+
+fn main() -> ExitCode {
+    let (schedules, base_seed) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("fault_sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let group = bench_group(64);
+    let pool = EncryptPool::new(2);
+    let sim = SimRunConfig::default();
+
+    println!(
+        "fault_sweep: {schedules} schedules x 4 protocols = {} seeded runs (base seed {base_seed:#x})",
+        schedules * 4
+    );
+
+    let g = &group;
+    let p = &pool;
+    let intersection = sweep_protocol("intersection", schedules, base_seed, |plan| {
+        let (s_vals, r_vals) = (vs(), vr());
+        run_two_party_sim(
+            sim,
+            plan,
+            move |t| {
+                let mut rng = StdRng::seed_from_u64(7);
+                pipeline::run_intersection_sender(t, g, &s_vals, &mut rng, p, chunked())
+            },
+            move |t| {
+                let mut rng = StdRng::seed_from_u64(8);
+                pipeline::run_intersection_receiver(t, g, &r_vals, &mut rng, p, chunked())
+            },
+        )
+    });
+    let equijoin = sweep_protocol("equijoin", schedules, base_seed, |plan| {
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = vs()
+            .into_iter()
+            .map(|v| {
+                let mut ext = b"ext:".to_vec();
+                ext.extend_from_slice(&v);
+                (v, ext)
+            })
+            .collect();
+        let r_vals = vr();
+        run_two_party_sim(
+            sim,
+            plan,
+            move |t| {
+                let cipher = HybridCipher::new(g.clone(), 16);
+                let mut rng = StdRng::seed_from_u64(9);
+                pipeline::run_equijoin_sender(t, g, &cipher, &entries, &mut rng, p, chunked())
+            },
+            move |t| {
+                let cipher = HybridCipher::new(g.clone(), 16);
+                let mut rng = StdRng::seed_from_u64(10);
+                pipeline::run_equijoin_receiver(t, g, &cipher, &r_vals, &mut rng, p, chunked())
+            },
+        )
+    });
+    let intersection_size = sweep_protocol("intersection-size", schedules, base_seed, |plan| {
+        let (s_vals, r_vals) = (vs(), vr());
+        run_two_party_sim(
+            sim,
+            plan,
+            move |t| {
+                let mut rng = StdRng::seed_from_u64(11);
+                intersection_size::run_sender(t, g, &s_vals, &mut rng)
+            },
+            move |t| {
+                let mut rng = StdRng::seed_from_u64(12);
+                intersection_size::run_receiver(t, g, &r_vals, &mut rng)
+            },
+        )
+    });
+    let equijoin_size = sweep_protocol("equijoin-size", schedules, base_seed, |plan| {
+        let (s_vals, r_vals) = (ms(), mr());
+        run_two_party_sim(
+            sim,
+            plan,
+            move |t| {
+                let mut rng = StdRng::seed_from_u64(13);
+                equijoin_size::run_sender(t, g, &s_vals, &mut rng)
+            },
+            move |t| {
+                let mut rng = StdRng::seed_from_u64(14);
+                equijoin_size::run_receiver(t, g, &r_vals, &mut rng)
+            },
+        )
+    });
+
+    // Sanity-check the baselines against the clear-text reference once,
+    // so "complete" above really means "correct", not just "consistent".
+    let (clear, _) = naive_intersection(&vs(), &vr());
+    let clear_set: BTreeSet<Vec<u8>> = clear.into_iter().collect();
+    let reference_ok = {
+        let run = run_two_party_sim(
+            sim,
+            &FaultPlan::perfect(),
+            |t| {
+                let mut rng = StdRng::seed_from_u64(7);
+                pipeline::run_intersection_sender(t, g, &vs(), &mut rng, p, chunked())
+            },
+            |t| {
+                let mut rng = StdRng::seed_from_u64(8);
+                pipeline::run_intersection_receiver(t, g, &vr(), &mut rng, p, chunked())
+            },
+        );
+        match run.receiver {
+            Ok(out) => out.intersection.into_iter().collect::<BTreeSet<_>>() == clear_set,
+            Err(_) => false,
+        }
+    };
+
+    let mut violations = 0;
+    for (tag, tally) in [
+        ("intersection", &intersection),
+        ("equijoin", &equijoin),
+        ("intersection-size", &intersection_size),
+        ("equijoin-size", &equijoin_size),
+    ] {
+        println!(
+            "  {tag:<18} complete {:>4}  typed-failure {:>4}  violations {}",
+            tally.complete, tally.typed_failure, tally.violations
+        );
+        violations += tally.violations;
+    }
+    if !reference_ok {
+        violations += 1;
+        eprintln!("VIOLATION: perfect-link intersection disagrees with the clear reference");
+    }
+
+    if violations == 0 {
+        println!(
+            "fault_sweep: PASS — {} runs, zero panics, zero hangs, zero wrong answers",
+            schedules * 4
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("fault_sweep: FAIL — {violations} contract violations");
+        ExitCode::FAILURE
+    }
+}

@@ -73,12 +73,14 @@ pub mod naive;
 pub mod pipeline;
 pub mod prepare;
 pub mod runner;
+pub mod simrun;
 pub mod stats;
 pub mod tradeoff;
 pub mod wire;
 
 pub use error::ProtocolError;
 pub use runner::{run_two_party, TwoPartyRun};
+pub use simrun::{run_two_party_sim, SimOutcome, SimRunConfig, SimTwoPartyRun};
 pub use stats::OpCounters;
 
 /// Convenient glob import for applications.
@@ -89,6 +91,7 @@ pub mod prelude {
     pub use crate::intersection_size;
     pub use crate::pipeline::{self, PipelineConfig};
     pub use crate::runner::{run_two_party, TwoPartyRun};
+    pub use crate::simrun::{run_two_party_sim, SimOutcome, SimRunConfig, SimTwoPartyRun};
     pub use crate::stats::OpCounters;
     pub use crate::ProtocolError;
     pub use minshare_crypto::kcipher::{ExtCipher, HybridCipher, MulBlockCipher};

@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::error::NetError;
-use crate::transport::Transport;
+use crate::transport::{DeadlineTransport, Transport};
 
 /// Shared counters readable while the transport is owned by a protocol
 /// engine (possibly on another thread).
@@ -90,6 +90,19 @@ impl<T: Transport> Transport for CountingTransport<T> {
             .bytes_received
             .fetch_add(frame.len() as u64, Ordering::Relaxed);
         self.stats.frames_received.fetch_add(1, Ordering::Relaxed);
+        Ok(frame)
+    }
+}
+
+impl<T: DeadlineTransport> DeadlineTransport for CountingTransport<T> {
+    fn recv_deadline(&mut self, timeout_ms: u64) -> Result<Option<Vec<u8>>, NetError> {
+        let frame = self.inner.recv_deadline(timeout_ms)?;
+        if let Some(frame) = frame.as_ref() {
+            self.stats
+                .bytes_received
+                .fetch_add(frame.len() as u64, Ordering::Relaxed);
+            self.stats.frames_received.fetch_add(1, Ordering::Relaxed);
+        }
         Ok(frame)
     }
 }

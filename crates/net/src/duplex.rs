@@ -1,9 +1,9 @@
 //! In-memory duplex transport built on crossbeam channels.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::error::NetError;
-use crate::transport::Transport;
+use crate::transport::{DeadlineTransport, Transport};
 
 /// One endpoint of an in-memory duplex link.
 pub struct DuplexEndpoint {
@@ -67,6 +67,22 @@ impl Transport for DuplexEndpoint {
     }
 }
 
+impl DeadlineTransport for DuplexEndpoint {
+    /// Wall-clock deadline. A peer that hangs up mid-wait wakes the
+    /// blocked reader with [`NetError::Closed`] rather than letting it
+    /// sit out the timeout.
+    fn recv_deadline(&mut self, timeout_ms: u64) -> Result<Option<Vec<u8>>, NetError> {
+        match self
+            .rx
+            .recv_timeout(std::time::Duration::from_millis(timeout_ms))
+        {
+            Ok(frame) => Ok(Some(frame)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +134,46 @@ mod tests {
             a.send(b"12345").unwrap_err(),
             NetError::FrameTooLarge { size: 5, limit: 4 }
         ));
+    }
+
+    /// Regression: a reader blocked inside `recv` (mid-frame, from its
+    /// point of view) must be woken with `Closed` the moment the peer
+    /// endpoint is dropped — never left hanging.
+    #[test]
+    fn drop_while_peer_blocked_returns_closed() {
+        let (mut a, b) = duplex_pair();
+        let (started_tx, started_rx) = unbounded();
+        let reader = std::thread::spawn(move || {
+            started_tx.send(()).unwrap();
+            a.recv()
+        });
+        // Wait until the reader thread is up and (almost certainly)
+        // parked inside recv, then hang up without sending anything.
+        started_rx.recv().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(b);
+        let result = reader.join().unwrap();
+        assert_eq!(result.unwrap_err(), NetError::Closed);
+    }
+
+    /// Same scenario through the deadline path: the disconnect must win
+    /// over the timeout.
+    #[test]
+    fn drop_while_peer_blocked_with_deadline_returns_closed() {
+        let (mut a, b) = duplex_pair();
+        let reader = std::thread::spawn(move || a.recv_deadline(60_000));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(b);
+        let result = reader.join().unwrap();
+        assert_eq!(result.unwrap_err(), NetError::Closed);
+    }
+
+    #[test]
+    fn recv_deadline_times_out_then_delivers() {
+        let (mut a, mut b) = duplex_pair();
+        assert_eq!(b.recv_deadline(1).unwrap(), None);
+        a.send(b"late").unwrap();
+        assert_eq!(b.recv_deadline(1_000).unwrap(), Some(b"late".to_vec()));
     }
 
     #[test]

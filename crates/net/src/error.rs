@@ -34,6 +34,22 @@ pub enum NetError {
         /// Human-readable description of the failure.
         detail: String,
     },
+    /// A receive deadline elapsed (virtual or wall-clock, depending on
+    /// the transport) before a frame arrived.
+    TimedOut {
+        /// How long the caller was willing to wait, in milliseconds.
+        waited_ms: u64,
+    },
+    /// Both parties were blocked waiting on an empty link with no
+    /// deadline in force — nothing could ever arrive (simnet only; a
+    /// real network cannot prove this).
+    Deadlock,
+    /// The retry layer gave up: every (re)transmission of a frame went
+    /// unacknowledged within the configured attempt budget.
+    RetriesExhausted {
+        /// Number of transmission attempts made (1 + retries).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -50,6 +66,15 @@ impl fmt::Display for NetError {
                 write!(f, "frame counter exhausted; channel must be re-keyed")
             }
             NetError::Io { detail } => write!(f, "io error: {detail}"),
+            NetError::TimedOut { waited_ms } => {
+                write!(f, "no frame arrived within {waited_ms} ms")
+            }
+            NetError::Deadlock => {
+                write!(f, "both parties blocked on an empty link with no deadline")
+            }
+            NetError::RetriesExhausted { attempts } => {
+                write!(f, "frame unacknowledged after {attempts} attempts")
+            }
         }
     }
 }

@@ -13,7 +13,13 @@
 //! * [`secure::SecureChannel`] — an authenticated-encryption session
 //!   (Diffie–Hellman over the safe-prime group → HKDF → ChaCha20 + HMAC),
 //!   standing in for the "standard libraries or packages for secure
-//!   communication" the paper assumes (§2.1).
+//!   communication" the paper assumes (§2.1),
+//! * [`simnet`] — a deterministic fault-injecting simulated network
+//!   (seeded drop/delay/duplicate/reorder/corrupt schedules on a virtual
+//!   clock) for conformance testing the protocols under adversity,
+//! * [`robust::RobustTransport`] — bounded-retry ARQ with checksummed
+//!   frames and a resumable handshake, restoring reliable-channel
+//!   semantics on top of a faulty link.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,11 +27,15 @@
 pub mod counting;
 pub mod duplex;
 pub mod error;
+pub mod robust;
 pub mod secure;
+pub mod simnet;
 pub mod tcp;
 pub mod transport;
 
 pub use counting::{CountingTransport, TrafficStats};
 pub use duplex::duplex_pair;
 pub use error::NetError;
-pub use transport::Transport;
+pub use robust::{RobustConfig, RobustTransport};
+pub use simnet::{sim_pair, FaultPlan, SimConfig, SimEndpoint, SimTrace, TraceHandle};
+pub use transport::{DeadlineTransport, Transport};

@@ -1,0 +1,602 @@
+//! Deterministic in-process simulated network.
+//!
+//! [`sim_pair`] returns two [`SimEndpoint`]s joined by a fault-injecting
+//! link. Faults (drop, delay, duplicate, reorder, truncate, bit-flip,
+//! partitions, bandwidth caps) come from a [`FaultPlan`] — a schedule
+//! fully determined by one `u64` seed. Time is *virtual*: each endpoint
+//! carries a clock in virtual milliseconds that advances on sends
+//! (transmission time under a bandwidth cap) and on receives (to the
+//! frame's delivery time), so a "500 ms outage" costs microseconds of
+//! wall time and replays identically.
+//!
+//! # Determinism
+//!
+//! Two sources of nondeterminism exist in a two-thread simulation: the
+//! fault schedule and timeout ordering. Both are pinned:
+//!
+//! * Fault draws come from **per-direction** RNG streams seeded from
+//!   `(plan.seed, direction)` and consumed in per-direction send order.
+//!   Thread interleaving cannot reorder draws within a direction, and
+//!   directions do not share a stream, so the fate of message `i` on a
+//!   direction is a pure function of the seed.
+//! * A blocked receiver's timeout is declared only on virtual evidence:
+//!   either a queued frame is due *after* the deadline, or **both**
+//!   parties are provably blocked on empty queues — then the earliest
+//!   virtual deadline fires (ties break toward side A). Wall-clock never
+//!   decides; a configurable real-time backstop exists only to surface
+//!   harness bugs as errors instead of hung test runs.
+
+pub mod fault;
+pub(crate) mod link;
+pub mod trace;
+
+pub use fault::{FaultPlan, Faults, PartitionWindow};
+pub use link::Side;
+pub use trace::{SimTrace, TraceEvent, TraceHandle};
+
+use std::cmp::Reverse;
+use std::sync::Arc;
+
+use crate::error::NetError;
+use crate::simnet::fault::FaultInjector;
+use crate::simnet::link::{LinkShared, Scheduled, WaitState};
+use crate::simnet::trace::TraceEvent as Event;
+use crate::transport::{DeadlineTransport, Transport};
+
+/// Fixed (non-seeded) parameters of a simulated link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Base one-way latency in virtual milliseconds.
+    pub latency_ms: u64,
+    /// Virtual deadline for a whole run; once an endpoint's clock passes
+    /// it, sends and deliveries fail with [`NetError::TimedOut`]. This is
+    /// the harness's hang detector: any schedule that cannot finish
+    /// within the budget terminates with a typed error.
+    pub run_deadline_ms: u64,
+    /// Wall-clock backstop for condvar waits. Virtual logic never
+    /// depends on it; it only turns a harness bug (a wait nothing will
+    /// ever signal) into an error instead of a hung test.
+    pub real_backstop_ms: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            latency_ms: 5,
+            run_deadline_ms: 600_000,
+            real_backstop_ms: 30_000,
+        }
+    }
+}
+
+/// One endpoint of a simulated link. Implements [`Transport`] and
+/// [`DeadlineTransport`]; deadlines are measured on the virtual clock.
+pub struct SimEndpoint {
+    shared: Arc<LinkShared>,
+    side: Side,
+    config: SimConfig,
+    injector: FaultInjector,
+    bytes_per_ms: u64,
+    clock: u64,
+}
+
+/// Creates a connected pair of simulated endpoints plus a handle to the
+/// link's event trace.
+pub fn sim_pair(config: SimConfig, plan: &FaultPlan) -> (SimEndpoint, SimEndpoint, TraceHandle) {
+    // The conservative delivery rule needs a strictly positive lookahead
+    // (a send can never arrive at the sender's own instant), so a zero
+    // latency is bumped to one virtual millisecond.
+    let config = SimConfig {
+        latency_ms: config.latency_ms.max(1),
+        ..config
+    };
+    let shared = Arc::new(LinkShared::default());
+    let endpoint = |side: Side| SimEndpoint {
+        shared: shared.clone(),
+        side,
+        config,
+        injector: FaultInjector::new(plan, side.direction()),
+        bytes_per_ms: plan.bytes_per_ms,
+        clock: 0,
+    };
+    let (a, b) = (endpoint(Side::A), endpoint(Side::B));
+    (a, b, TraceHandle { shared })
+}
+
+impl SimEndpoint {
+    /// This endpoint's current virtual time, in milliseconds.
+    pub fn clock_ms(&self) -> u64 {
+        self.clock
+    }
+
+    /// Which side of the link this endpoint is.
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    fn over_deadline(&self) -> Result<(), NetError> {
+        if self.clock > self.config.run_deadline_ms {
+            Err(NetError::TimedOut {
+                waited_ms: self.config.run_deadline_ms,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Blocking receive with an optional virtual deadline. `Ok(None)`
+    /// only when a deadline was given and elapsed.
+    ///
+    /// Delivery and timeout decisions follow the conservative rule: an
+    /// event at virtual time `t` commits only once `t` is provably no
+    /// later than anything the peer could still send. The proof is a
+    /// lower bound on the peer's next delivery — its published clock
+    /// plus link latency while it runs; `min(its queue head, its
+    /// deadline) + latency` while it is blocked; `∞` once it is closed.
+    /// Everything else waits on the condvar for the peer to advance the
+    /// shared virtual state.
+    fn recv_inner(&mut self, timeout_ms: Option<u64>) -> Result<Option<Vec<u8>>, NetError> {
+        self.over_deadline()?;
+        let deadline = timeout_ms.map(|t| self.clock.saturating_add(t));
+        let latency = self.config.latency_ms.max(1);
+        let peer = self.side.peer();
+        let shared = self.shared.clone();
+        let mut st = shared.lock();
+        let mut backstopped = false;
+        let mut registered = false;
+        loop {
+            // A deadlock verdict proven by the peer.
+            if st
+                .waiting
+                .get(self.side)
+                .as_ref()
+                .is_some_and(|w| w.deadlocked)
+            {
+                *st.waiting.get_mut(self.side) = None;
+                shared.wakeup.notify_all();
+                return Err(NetError::Deadlock);
+            }
+            let top = st.queues.get(self.side).peek().map(|r| r.0.vtime);
+            // Lower bound on the delivery time of any frame the peer has
+            // not sent yet.
+            let lb = if *st.closed.get(peer) {
+                u64::MAX
+            } else if let Some(pw) = st.waiting.get(peer) {
+                let head = st.queues.get(peer).peek().map_or(u64::MAX, |r| r.0.vtime);
+                head.min(pw.deadline.unwrap_or(u64::MAX))
+                    .saturating_add(latency)
+            } else {
+                st.clocks.get(peer).saturating_add(latency)
+            };
+            // Deliver the queue head once nothing can precede it. A tie
+            // with `lb` is safe: a later send at the same instant gets a
+            // larger insertion sequence and sorts after the head.
+            if let Some(t) = top {
+                if deadline.is_none_or(|d| t <= d) && t <= lb {
+                    if let Some(Reverse(frame)) = st.queues.get_mut(self.side).pop() {
+                        *st.waiting.get_mut(self.side) = None;
+                        self.clock = self.clock.max(frame.vtime);
+                        *st.clocks.get_mut(self.side) = self.clock;
+                        shared.wakeup.notify_all();
+                        self.over_deadline()?;
+                        return Ok(Some(frame.bytes));
+                    }
+                }
+            }
+            // Empty queue + peer gone: nothing can ever arrive.
+            if top.is_none() && *st.closed.get(peer) {
+                *st.waiting.get_mut(self.side) = None;
+                return Err(NetError::Closed);
+            }
+            // Time out once nothing can arrive by the deadline.
+            if let Some(d) = deadline {
+                if top.is_none_or(|t| t > d) && d < lb {
+                    *st.waiting.get_mut(self.side) = None;
+                    self.clock = self.clock.max(d);
+                    *st.clocks.get_mut(self.side) = self.clock;
+                    shared.wakeup.notify_all();
+                    return Ok(None);
+                }
+            }
+            // Undecidable for now: register as blocked (the registration
+            // itself is virtual state — it sharpens the peer's bound, so
+            // announce it).
+            if !registered {
+                *st.waiting.get_mut(self.side) = Some(WaitState {
+                    deadline,
+                    deadlocked: false,
+                });
+                registered = true;
+                shared.wakeup.notify_all();
+            }
+            // Provable mutual starvation: both sides blocked with no
+            // deadline and nothing in flight either way.
+            let peer_stuck = st
+                .waiting
+                .get(peer)
+                .as_ref()
+                .is_some_and(|w| w.deadline.is_none() && !w.deadlocked)
+                && st.queues.get(peer).is_empty();
+            if deadline.is_none() && top.is_none() && peer_stuck {
+                if let Some(w) = st.waiting.get_mut(peer).as_mut() {
+                    w.deadlocked = true;
+                }
+                *st.waiting.get_mut(self.side) = None;
+                shared.wakeup.notify_all();
+                return Err(NetError::Deadlock);
+            }
+            // Wait for the peer to advance the virtual state. The
+            // wall-clock backstop converts a harness bug into an error;
+            // one full re-check runs before giving up, in case the
+            // wake-up raced the timeout.
+            if backstopped {
+                *st.waiting.get_mut(self.side) = None;
+                return Err(NetError::TimedOut {
+                    waited_ms: self.config.real_backstop_ms,
+                });
+            }
+            let wait = std::time::Duration::from_millis(self.config.real_backstop_ms);
+            let (guard, result) = shared
+                .wakeup
+                .wait_timeout(st, wait)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+            backstopped = result.timed_out();
+        }
+    }
+}
+
+impl Transport for SimEndpoint {
+    /// Sends one frame. Unlike the in-memory duplex pair, sending to a
+    /// closed peer is *not* an error: the frame (and its fault draws, and
+    /// its trace event) happen exactly as if the peer were alive, so a
+    /// run's trace cannot depend on the wall-clock race between one
+    /// party's exit and the other's last sends. Peer departure surfaces
+    /// on the receive side, after the in-flight queue drains.
+    fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        self.over_deadline()?;
+        let shared = self.shared.clone();
+        let mut st = shared.lock();
+        let transmission = if self.bytes_per_ms == 0 {
+            0
+        } else {
+            (frame.len() as u64).div_ceil(self.bytes_per_ms)
+        };
+        let start = self.clock.max(*st.link_free_at.get(self.side));
+        *st.link_free_at.get_mut(self.side) = start + transmission;
+        self.clock = start + transmission;
+        *st.clocks.get_mut(self.side) = self.clock;
+        let (index, attempts) = self.injector.on_send(frame, start);
+        for attempt in attempts {
+            let delivered_len = attempt.payload.as_ref().map_or(0, |p| p.len() as u32);
+            let delivery_vtime = attempt.payload.as_ref().map(|_| {
+                start + transmission + self.config.latency_ms + attempt.extra_delay_ms
+            });
+            st.trace.get_mut(self.side).push(Event {
+                index,
+                sent_len: frame.len() as u32,
+                delivered_len,
+                send_vtime: start,
+                delivery_vtime,
+                faults: attempt.faults,
+            });
+            if let (Some(bytes), Some(vtime)) = (attempt.payload, delivery_vtime) {
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                st.queues.get_mut(self.side.peer()).push(Reverse(Scheduled {
+                    vtime,
+                    seq,
+                    bytes,
+                }));
+            }
+        }
+        shared.wakeup.notify_all();
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, NetError> {
+        match self.recv_inner(None)? {
+            Some(frame) => Ok(frame),
+            // Unreachable: without a deadline, recv_inner never returns
+            // a timeout. Mapped defensively rather than unwrapped.
+            None => Err(NetError::Deadlock),
+        }
+    }
+}
+
+impl DeadlineTransport for SimEndpoint {
+    fn recv_deadline(&mut self, timeout_ms: u64) -> Result<Option<Vec<u8>>, NetError> {
+        self.recv_inner(Some(timeout_ms))
+    }
+}
+
+impl Drop for SimEndpoint {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        *st.closed.get_mut(self.side) = true;
+        self.shared.wakeup.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            real_backstop_ms: 2_000,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn perfect_link_delivers_in_order() {
+        let (mut a, mut b, _trace) = sim_pair(cfg(), &FaultPlan::perfect());
+        for i in 0..20u8 {
+            a.send(&[i]).unwrap();
+        }
+        for i in 0..20u8 {
+            assert_eq!(b.recv().unwrap(), vec![i]);
+        }
+        assert_eq!(b.clock_ms(), cfg().latency_ms);
+    }
+
+    #[test]
+    fn both_directions_work() {
+        let (mut a, mut b, _trace) = sim_pair(cfg(), &FaultPlan::perfect());
+        a.send(b"ping").unwrap();
+        assert_eq!(b.recv().unwrap(), b"ping");
+        b.send(b"pong").unwrap();
+        assert_eq!(a.recv().unwrap(), b"pong");
+    }
+
+    #[test]
+    fn closed_peer_detected_on_recv() {
+        let (mut a, b, _trace) = sim_pair(cfg(), &FaultPlan::perfect());
+        drop(b);
+        // Sends to a dead peer vanish into the link (deterministically —
+        // see `send`); the receive side reports the closure.
+        assert!(a.send(b"x").is_ok());
+        assert_eq!(a.recv().unwrap_err(), NetError::Closed);
+        assert_eq!(a.recv_deadline(10).unwrap_err(), NetError::Closed);
+    }
+
+    #[test]
+    fn queued_frames_drain_before_closed() {
+        let (mut a, mut b, _trace) = sim_pair(cfg(), &FaultPlan::perfect());
+        a.send(b"parting gift").unwrap();
+        drop(a);
+        assert_eq!(b.recv().unwrap(), b"parting gift");
+        assert_eq!(b.recv().unwrap_err(), NetError::Closed);
+    }
+
+    #[test]
+    fn virtual_deadline_fires_against_future_frame() {
+        let plan = FaultPlan {
+            delay: 1.0,
+            max_delay_ms: 100,
+            ..FaultPlan::perfect()
+        };
+        let (mut a, mut b, _trace) = sim_pair(cfg(), &plan);
+        a.send(b"late").unwrap();
+        // The frame is due at latency + delay > 1 virtual ms: a 1 ms
+        // deadline must time out without wall-clock sleeping (sound even
+        // with `a` alive: its published clock bounds any further send).
+        assert_eq!(b.recv_deadline(1).unwrap(), None);
+        assert_eq!(b.clock_ms(), 1);
+        // Close the idle sender so the future frame becomes provably
+        // minimal, then a generous deadline sees it.
+        drop(a);
+        assert_eq!(b.recv_deadline(100_000).unwrap(), Some(b"late".to_vec()));
+    }
+
+    #[test]
+    fn dropped_frames_never_arrive() {
+        let plan = FaultPlan {
+            drop: 1.0,
+            ..FaultPlan::perfect()
+        };
+        let (mut a, mut b, trace) = sim_pair(cfg(), &plan);
+        a.send(b"gone").unwrap();
+        // Nothing queued and the sender thread (us) isn't blocked, so a
+        // peer-side deadline fires via the both-blocked rule only in
+        // threaded runs; single-threaded, the future-frame rule cannot
+        // apply. Use try-style: deadline with both parties blocked needs
+        // threads, so just assert the trace recorded a drop.
+        let snap = trace.snapshot();
+        assert_eq!(snap.a_to_b.len(), 1);
+        assert!(snap.a_to_b[0].faults.dropped);
+        assert_eq!(snap.a_to_b[0].delivery_vtime, None);
+        drop(a);
+        assert_eq!(b.recv().unwrap_err(), NetError::Closed);
+    }
+
+    #[test]
+    fn both_blocked_earliest_deadline_fires() {
+        let (mut a, mut b, _trace) = sim_pair(cfg(), &FaultPlan::perfect());
+        let handle = std::thread::spawn(move || {
+            // B blocks with the later deadline; A must fire first, send,
+            // and this side then receives the frame.
+            let first = b.recv_deadline(50).unwrap();
+            (first, b)
+        });
+        // A blocks with the earlier deadline: times out, then sends.
+        assert_eq!(a.recv_deadline(10).unwrap(), None);
+        assert_eq!(a.clock_ms(), 10);
+        a.send(b"after-timeout").unwrap();
+        let (first, _b) = handle.join().unwrap();
+        assert_eq!(first, Some(b"after-timeout".to_vec()));
+    }
+
+    #[test]
+    fn both_blocked_without_deadlines_is_deadlock() {
+        let (mut a, mut b, _trace) = sim_pair(cfg(), &FaultPlan::perfect());
+        let handle = std::thread::spawn(move || b.recv());
+        let got_a = a.recv();
+        let got_b = handle.join().unwrap();
+        assert_eq!(got_a.unwrap_err(), NetError::Deadlock);
+        assert_eq!(got_b.unwrap_err(), NetError::Deadlock);
+    }
+
+    #[test]
+    fn duplicate_delivers_twice() {
+        let plan = FaultPlan {
+            duplicate: 1.0,
+            max_delay_ms: 3,
+            ..FaultPlan::perfect()
+        };
+        let (mut a, mut b, trace) = sim_pair(cfg(), &plan);
+        a.send(b"twice").unwrap();
+        drop(a); // quiesce the sender so the delayed copy is deliverable
+        assert_eq!(b.recv().unwrap(), b"twice");
+        assert_eq!(b.recv().unwrap(), b"twice");
+        let snap = trace.snapshot();
+        assert_eq!(snap.a_to_b.len(), 2);
+        assert!(snap.a_to_b[1].faults.duplicated);
+    }
+
+    #[test]
+    fn truncation_shortens_payload() {
+        let plan = FaultPlan {
+            truncate: 1.0,
+            ..FaultPlan::perfect()
+        };
+        let (mut a, mut b, trace) = sim_pair(cfg(), &plan);
+        a.send(&[7u8; 100]).unwrap();
+        let got = b.recv().unwrap();
+        assert!(got.len() < 100);
+        assert!(got.iter().all(|&x| x == 7));
+        assert!(trace.snapshot().a_to_b[0].faults.truncated);
+    }
+
+    #[test]
+    fn bitflip_changes_exactly_one_bit() {
+        let plan = FaultPlan {
+            bitflip: 1.0,
+            ..FaultPlan::perfect()
+        };
+        let (mut a, mut b, _trace) = sim_pair(cfg(), &plan);
+        let original = [0u8; 64];
+        a.send(&original).unwrap();
+        let got = b.recv().unwrap();
+        let flipped: u32 = got
+            .iter()
+            .zip(original.iter())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn partition_window_drops_by_virtual_time() {
+        let plan = FaultPlan {
+            partitions: vec![PartitionWindow {
+                from_ms: 0,
+                until_ms: 50,
+            }],
+            ..FaultPlan::perfect()
+        };
+        let (mut a, mut b, trace) = sim_pair(cfg(), &plan);
+        a.send(b"lost").unwrap(); // clock 0: inside the window
+        // A blocks without a deadline so B's 60 ms deadline can fire via
+        // the both-blocked rule; B then replies from outside the window.
+        let handle = std::thread::spawn(move || a.recv());
+        assert_eq!(b.recv_deadline(60).unwrap(), None); // advances b to 60
+        b.send(b"reply-after-window").unwrap(); // clock 60: outside
+        assert_eq!(handle.join().unwrap().unwrap(), b"reply-after-window");
+        let snap = trace.snapshot();
+        assert!(snap.a_to_b[0].faults.partitioned);
+        assert_eq!(snap.b_to_a[0].faults.as_bits(), 0);
+    }
+
+    #[test]
+    fn bandwidth_cap_advances_clock() {
+        let plan = FaultPlan {
+            bytes_per_ms: 10,
+            ..FaultPlan::perfect()
+        };
+        let (mut a, mut b, _trace) = sim_pair(cfg(), &plan);
+        a.send(&[0u8; 100]).unwrap(); // 10 ms of transmission
+        assert_eq!(a.clock_ms(), 10);
+        b.recv().unwrap();
+        assert_eq!(b.clock_ms(), 10 + cfg().latency_ms);
+    }
+
+    #[test]
+    fn run_deadline_turns_starvation_into_typed_error() {
+        let plan = FaultPlan {
+            drop: 1.0,
+            ..FaultPlan::perfect()
+        };
+        let config = SimConfig {
+            run_deadline_ms: 100,
+            ..cfg()
+        };
+        let (mut a, _b, _trace) = sim_pair(config, &plan);
+        // Simulate a retry loop: every send is dropped, every wait times
+        // out and advances the virtual clock; the run deadline must cut
+        // it off with a typed error, never a hang.
+        let mut outcome = None;
+        for _ in 0..1_000 {
+            if let Err(e) = a.send(b"retry") {
+                outcome = Some(e);
+                break;
+            }
+            // Future-frame rule can't fire (nothing queued), so emulate
+            // the robust layer's virtual wait by advancing via deadline
+            // against... nothing: both-blocked needs the peer, so just
+            // bump the clock through sends under a bandwidth-less link
+            // by pretending a timeout elapsed.
+            a.clock = a.clock.saturating_add(50);
+        }
+        assert!(matches!(outcome, Some(NetError::TimedOut { .. })));
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_traces_across_threads() {
+        let run = |seed: u64| {
+            let plan = FaultPlan::from_seed(seed);
+            let (mut a, mut b, trace) = sim_pair(cfg(), &plan);
+            let handle = std::thread::spawn(move || {
+                // Party B: echo whatever arrives until the link closes.
+                // Never exits early, so A's waits always resolve on
+                // virtual evidence (both-blocked), never the backstop.
+                loop {
+                    match b.recv_deadline(200) {
+                        Ok(Some(frame)) => {
+                            let _ = b.send(&frame);
+                        }
+                        Ok(None) => {}
+                        Err(_) => break,
+                    }
+                }
+                b
+            });
+            let mut received = 0u32;
+            let mut sent = 0u32;
+            while received < 30 && sent < 400 {
+                if a.send(&[sent as u8; 16]).is_err() {
+                    break;
+                }
+                sent += 1;
+                match a.recv_deadline(40) {
+                    Ok(Some(_)) => received += 1,
+                    Ok(None) => {}
+                    Err(_) => break,
+                }
+            }
+            // Close A first so B's loop terminates on `Closed`, never on
+            // the wall-clock backstop (which would be nondeterministic).
+            drop(a);
+            let b_end = handle.join().unwrap();
+            drop(b_end);
+            trace.snapshot()
+        };
+        for seed in [1u64, 9, 23] {
+            let t1 = run(seed);
+            let t2 = run(seed);
+            assert_eq!(t1, t2, "trace diverged for seed {seed}");
+            assert_eq!(t1.digest(), t2.digest());
+        }
+    }
+}

@@ -23,3 +23,22 @@ impl<T: Transport + ?Sized> Transport for &mut T {
         (**self).recv()
     }
 }
+
+/// A transport whose receive side can give up after a deadline.
+///
+/// The retry layer ([`crate::robust`]) needs bounded waits to decide when
+/// to retransmit. Over the simulated network the deadline is measured on
+/// the *virtual* clock (so runs are deterministic and instant); over real
+/// transports it is wall-clock time.
+pub trait DeadlineTransport: Transport {
+    /// Waits up to `timeout_ms` for the next frame. Returns `Ok(None)` if
+    /// the deadline elapsed with no frame; transport failures (peer gone,
+    /// link closed) are errors as in [`Transport::recv`].
+    fn recv_deadline(&mut self, timeout_ms: u64) -> Result<Option<Vec<u8>>, NetError>;
+}
+
+impl<T: DeadlineTransport + ?Sized> DeadlineTransport for &mut T {
+    fn recv_deadline(&mut self, timeout_ms: u64) -> Result<Option<Vec<u8>>, NetError> {
+        (**self).recv_deadline(timeout_ms)
+    }
+}

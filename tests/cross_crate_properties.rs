@@ -167,3 +167,173 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Pipelined-vs-serial-vs-naive differential suite: for arbitrary value
+// sets (duplicates, empty sides, tiny overlaps all arise from the
+// generator; the explicit edge test below pins the important shapes),
+// the chunk-pipelined engines must agree with the serial engines, and
+// both must agree with clear-text set algebra (`naive.rs`).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pipelined_serial_and_naive_agree(
+        vs in values(14),
+        vr in values(14),
+        seed in any::<u64>(),
+        chunk in 1usize..6,
+    ) {
+        let g = group();
+        let pool = EncryptPool::new(2);
+        let cfg = PipelineConfig { chunk_size: chunk };
+        let serial = run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                intersection::run_sender(t, g, &vs, &mut rng)
+            },
+            |t| {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xaaaa);
+                intersection::run_receiver(t, g, &vr, &mut rng)
+            },
+        ).expect("serial");
+        let piped = run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                pipeline::run_intersection_sender(t, g, &vs, &mut rng, &pool, cfg)
+            },
+            |t| {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xaaaa);
+                pipeline::run_intersection_receiver(t, g, &vr, &mut rng, &pool, cfg)
+            },
+        ).expect("pipelined");
+        prop_assert_eq!(&piped.sender, &serial.sender);
+        prop_assert_eq!(&piped.receiver, &serial.receiver);
+        let (clear, _) = minshare::naive::naive_intersection(&vs, &vr);
+        prop_assert_eq!(&piped.receiver.intersection, &clear);
+    }
+}
+
+#[test]
+fn pipelined_edge_shapes_agree_with_naive() {
+    let g = group();
+    let pool = EncryptPool::new(2);
+    let cfg = PipelineConfig { chunk_size: 2 };
+    let cases: Vec<(Vec<Vec<u8>>, Vec<Vec<u8>>)> = vec![
+        (vec![], vec![]),                                     // both empty
+        (vec![], vec![vec![1], vec![2]]),                     // empty sender
+        (vec![vec![1], vec![2]], vec![]),                     // empty receiver
+        (vec![vec![7]], vec![vec![7]]),                       // singleton overlap
+        (vec![vec![3]; 4], vec![vec![3], vec![4]]),           // sender all duplicates
+        (vec![vec![1], vec![2]], vec![vec![3], vec![4]]),     // disjoint
+    ];
+    for (vs, vr) in cases {
+        let run = run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(31);
+                pipeline::run_intersection_sender(t, g, &vs, &mut rng, &pool, cfg)
+            },
+            |t| {
+                let mut rng = StdRng::seed_from_u64(32);
+                pipeline::run_intersection_receiver(t, g, &vr, &mut rng, &pool, cfg)
+            },
+        )
+        .expect("run");
+        let (clear, _) = minshare::naive::naive_intersection(&vs, &vr);
+        assert_eq!(run.receiver.intersection, clear, "vs={vs:?} vr={vr:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Equijoin-size multiset edges (§5.2).
+// ---------------------------------------------------------------------
+
+fn run_equijoin_size_pair(
+    vs: &[Vec<u8>],
+    vr: &[Vec<u8>],
+) -> (
+    minshare::equijoin_size::EquijoinSizeSenderOutput,
+    minshare::equijoin_size::EquijoinSizeReceiverOutput,
+) {
+    let g = group();
+    let run = run_two_party(
+        |t| {
+            let mut rng = StdRng::seed_from_u64(41);
+            equijoin_size::run_sender(t, g, vs, &mut rng)
+        },
+        |t| {
+            let mut rng = StdRng::seed_from_u64(42);
+            equijoin_size::run_receiver(t, g, vr, &mut rng)
+        },
+    )
+    .expect("run");
+    (run.sender, run.receiver)
+}
+
+#[test]
+fn equijoin_size_all_duplicates_single_class() {
+    // Both sides hold one value many times: the join size is the product
+    // of the multiplicities and the §5.2 leak collapses to one class
+    // pair |VR(3) ∩ VS(5)| = 1.
+    let vs = vec![b"dup".to_vec(); 5];
+    let vr = vec![b"dup".to_vec(); 3];
+    let (sender, receiver) = run_equijoin_size_pair(&vs, &vr);
+    assert_eq!(receiver.join_size, 15);
+    assert_eq!(
+        receiver.class_intersections,
+        minshare::leakage::expected_class_intersections(&vr, &vs)
+    );
+    assert_eq!(receiver.class_intersections, BTreeMap::from([((3, 5), 1)]));
+    // Each party sees exactly the peer's duplicate distribution, nothing
+    // about the value itself.
+    assert_eq!(sender.peer_multiset_size, 3);
+    assert_eq!(sender.peer_duplicate_distribution, BTreeMap::from([(3, 1)]));
+    assert_eq!(receiver.peer_multiset_size, 5);
+    assert_eq!(receiver.peer_duplicate_distribution, BTreeMap::from([(5, 1)]));
+}
+
+#[test]
+fn equijoin_size_disjoint_duplicate_classes() {
+    // No value crosses sides: the join is empty and the class matrix has
+    // no entries — but the duplicate distributions still leak, exactly
+    // as §5.2 concedes.
+    let vs: Vec<Vec<u8>> = [b"a", b"a", b"b", b"b", b"c"].map(|v| v.to_vec()).into();
+    let vr: Vec<Vec<u8>> = [b"d", b"d", b"d", b"e"].map(|v| v.to_vec()).into();
+    let (sender, receiver) = run_equijoin_size_pair(&vs, &vr);
+    assert_eq!(receiver.join_size, 0);
+    assert!(receiver.class_intersections.is_empty());
+    assert_eq!(
+        receiver.class_intersections,
+        minshare::leakage::expected_class_intersections(&vr, &vs)
+    );
+    // S's classes: two values twice, one once → {2: 2, 1: 1}.
+    assert_eq!(
+        receiver.peer_duplicate_distribution,
+        BTreeMap::from([(1, 1), (2, 2)])
+    );
+    // R's classes: one value three times, one once.
+    assert_eq!(
+        sender.peer_duplicate_distribution,
+        BTreeMap::from([(1, 1), (3, 1)])
+    );
+}
+
+#[test]
+fn equijoin_size_mixed_classes_match_leakage_prediction() {
+    // Overlapping classes with different multiplicities on each side:
+    // the |VR(d) ∩ VS(d')| matrix must match the clear calculator cell
+    // for cell.
+    let vs: Vec<Vec<u8>> = [b"x", b"x", b"x", b"y", b"z", b"z"].map(|v| v.to_vec()).into();
+    let vr: Vec<Vec<u8>> = [b"x", b"y", b"y", b"z", b"z", b"w"].map(|v| v.to_vec()).into();
+    let (_, receiver) = run_equijoin_size_pair(&vs, &vr);
+    // x: 1×3, y: 2×1, z: 2×2 → join size 3 + 2 + 4 = 9.
+    assert_eq!(receiver.join_size, 9);
+    let expected = minshare::leakage::expected_class_intersections(&vr, &vs);
+    assert_eq!(receiver.class_intersections, expected);
+    assert_eq!(
+        expected,
+        BTreeMap::from([((1, 3), 1), ((2, 1), 1), ((2, 2), 1)])
+    );
+}

@@ -140,3 +140,166 @@ fn equijoin_over_encrypted_channel() {
         vec![(b"k2".to_vec(), b"payload-two".to_vec())]
     );
 }
+
+/// A transport wrapper that can replay or swap incoming raw frames once
+/// a shared switch is flipped (pass-through until then, so the handshake
+/// goes through untouched).
+#[derive(Clone, Copy, PartialEq)]
+enum Meddle {
+    Pass,
+    Replay,
+    Swap,
+}
+
+struct Meddler<T: Transport> {
+    inner: T,
+    mode: std::sync::Arc<parking_lot::Mutex<Meddle>>,
+    stash: Option<Vec<u8>>,
+}
+
+impl<T: Transport> Transport for Meddler<T> {
+    fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        self.inner.send(frame)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, NetError> {
+        let mode = *self.mode.lock();
+        match mode {
+            Meddle::Pass => self.inner.recv(),
+            Meddle::Replay => {
+                // Deliver each frame, then deliver it again.
+                if let Some(copy) = self.stash.take() {
+                    return Ok(copy);
+                }
+                let frame = self.inner.recv()?;
+                self.stash = Some(frame.clone());
+                Ok(frame)
+            }
+            Meddle::Swap => {
+                // Deliver frames pairwise in reversed order.
+                if let Some(first) = self.stash.take() {
+                    return Ok(first);
+                }
+                let first = self.inner.recv()?;
+                let second = self.inner.recv()?;
+                self.stash = Some(first);
+                Ok(second)
+            }
+        }
+    }
+}
+
+fn meddled_pair() -> (
+    std::thread::JoinHandle<()>,
+    SecureChannel<Meddler<impl Transport>>,
+    std::sync::Arc<parking_lot::Mutex<Meddle>>,
+) {
+    let g = group();
+    let (s_end, r_end) = duplex_pair();
+    let g_s = g.clone();
+    let sender = std::thread::spawn(move || {
+        let mut hs_rng = StdRng::seed_from_u64(71);
+        let mut chan =
+            SecureChannel::establish(s_end, &g_s, Role::Initiator, &mut hs_rng).expect("hs");
+        chan.send(b"frame-one").expect("send one");
+        chan.send(b"frame-two").expect("send two");
+    });
+    let switch = std::sync::Arc::new(parking_lot::Mutex::new(Meddle::Pass));
+    let meddler = Meddler {
+        inner: r_end,
+        mode: switch.clone(),
+        stash: None,
+    };
+    let mut hs_rng = StdRng::seed_from_u64(72);
+    let chan = SecureChannel::establish(meddler, &g, Role::Responder, &mut hs_rng).expect("hs");
+    (sender, chan, switch)
+}
+
+#[test]
+fn replayed_ciphertext_frame_is_rejected() {
+    let (sender, mut chan, switch) = meddled_pair();
+    *switch.lock() = Meddle::Replay;
+    // The first delivery decrypts fine; the byte-identical replay must
+    // fail the sequence check before any plaintext is produced.
+    assert_eq!(chan.recv().expect("first"), b"frame-one");
+    assert!(matches!(
+        chan.recv().expect_err("replay must be rejected"),
+        NetError::MalformedFrame { .. } | NetError::AuthenticationFailed
+    ));
+    sender.join().expect("sender");
+}
+
+#[test]
+fn reordered_ciphertext_frames_are_rejected() {
+    let (sender, mut chan, switch) = meddled_pair();
+    *switch.lock() = Meddle::Swap;
+    // Frame two arrives first: its sequence number (1) does not match
+    // the expected counter (0), so the channel refuses it — a swapped
+    // pair can never silently reorder the plaintext stream.
+    assert!(matches!(
+        chan.recv().expect_err("reordered frame must be rejected"),
+        NetError::MalformedFrame { .. } | NetError::AuthenticationFailed
+    ));
+    sender.join().expect("sender");
+}
+
+#[test]
+fn secure_counters_survive_retransmits_on_a_faulty_link() {
+    // SecureChannel on top of the bounded-retry transport on top of a
+    // seeded-fault simulated link. Retransmits happen *below* the secure
+    // layer and duplicates are filtered by the ARQ sequence numbers, so
+    // the per-direction secure counters never desynchronize and no
+    // nonce/sequence is ever reused — every frame that decrypts is the
+    // next expected one. One-sided typed errors are tolerated (a lost
+    // final acknowledgement), but at least one seed must complete
+    // cleanly on both sides.
+    use minshare_net::{sim_pair, FaultPlan, RobustTransport, SimConfig};
+
+    let g = group();
+    let mut clean = 0u32;
+    for seed in 0..6u64 {
+        let plan = FaultPlan::from_seed(0xbeef_0000 + seed);
+        let (a_end, b_end, _trace) = sim_pair(SimConfig::default(), &plan);
+        let g_a = g.clone();
+        let side_a = std::thread::spawn(move || -> Result<(), NetError> {
+            let mut hs_rng = StdRng::seed_from_u64(81);
+            let mut chan =
+                SecureChannel::establish(RobustTransport::new(a_end), &g_a, Role::Initiator, &mut hs_rng)?;
+            for i in 0..6u8 {
+                chan.send(&[i; 24])?;
+            }
+            assert_eq!(chan.recv()?, b"all six arrived in order");
+            Ok(())
+        });
+        let g_b = g.clone();
+        let side_b = std::thread::spawn(move || -> Result<(), NetError> {
+            let mut hs_rng = StdRng::seed_from_u64(82);
+            let mut chan =
+                SecureChannel::establish(RobustTransport::new(b_end), &g_b, Role::Responder, &mut hs_rng)?;
+            for i in 0..6u8 {
+                // In-order, exactly-once delivery even though the link
+                // below dropped/duplicated/reordered raw frames.
+                assert_eq!(chan.recv()?, [i; 24]);
+            }
+            chan.send(b"all six arrived in order")?;
+            Ok(())
+        });
+        let ra = side_a.join().expect("side a");
+        let rb = side_b.join().expect("side b");
+        let tail_ok = |r: &Result<(), NetError>| {
+            matches!(
+                r,
+                Ok(())
+                    | Err(NetError::Closed)
+                    | Err(NetError::RetriesExhausted { .. })
+                    | Err(NetError::TimedOut { .. })
+            )
+        };
+        assert!(tail_ok(&ra), "seed {seed}: side a: {ra:?}");
+        assert!(tail_ok(&rb), "seed {seed}: side b: {rb:?}");
+        if ra.is_ok() && rb.is_ok() {
+            clean += 1;
+        }
+    }
+    assert!(clean > 0, "no seed completed cleanly on both sides");
+}

@@ -11,6 +11,13 @@ cd "$repo_root"
 cargo build --release
 cargo test -q
 cargo run -p minshare-analyzer -- --baseline analyzer.baseline.toml
+# Protocol conformance under network faults: the fixed-seed suite runs
+# as part of `cargo test` above; re-run it by name so a registration
+# slip (e.g. the [[test]] entry disappearing) fails loudly, then sweep a
+# reduced schedule count through the fault_sweep binary as a smoke test
+# (the full 60×4 sweep is the default when run by hand).
+cargo test -q --test conformance
+cargo run -q --release -p minshare-bench --bin fault_sweep -- --schedules 10
 # Smoke-run the perf suite (one pass per routine, no timing loops) so a
 # bench that stops compiling or panics fails the gate.
 cargo bench -q -p minshare-bench --bench pipeline -- --test

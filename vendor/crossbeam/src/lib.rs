@@ -7,7 +7,7 @@
 
 /// MPSC channels with the crossbeam-channel surface.
 pub mod channel {
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// Sending half of an unbounded channel.
     pub struct Sender<T>(std::sync::mpsc::Sender<T>);
@@ -43,6 +43,12 @@ pub mod channel {
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.0.try_recv()
+        }
+
+        /// Blocks until a message arrives, all senders are gone, or the
+        /// timeout elapses.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
         }
     }
 }
