@@ -15,6 +15,11 @@ pub const SECRET_TYPES: &[&str] = &[
     "SraContext",
     // crates/crypto: OT receiver trapdoor + choice bit.
     "OtReceiverState",
+    // crates/bignum: the recoded window schedule of a fixed exponent is
+    // a deterministic encoding of the exponent; crates/crypto: the lazy
+    // per-key cache cells holding such plans.
+    "FixedExponentPlan",
+    "PlanCachePair",
     // crates/crypto: pool work items carry the commutative key and group
     // elements between threads.
     "PoolJob",
@@ -75,6 +80,7 @@ mod tests {
     #[test]
     fn registry_lookups() {
         assert!(is_secret_type("CommutativeKey"));
+        assert!(is_secret_type("FixedExponentPlan"));
         assert!(!is_secret_type("OtQuery"));
         assert!(is_secret_ident("mac_key"));
         assert!(!is_secret_ident("modulus"));

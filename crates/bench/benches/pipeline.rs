@@ -97,6 +97,32 @@ fn fixed4_vs_sliding(c: &mut Criterion) {
     group.finish();
 }
 
+/// The multi-lane interleaved kernel against the scalar sliding-window
+/// batch at the protocol's hot shape (512-bit modulus, 32-element batch),
+/// plus the cached-plan front end the keys actually use.
+fn pow_multi_lanes(c: &mut Criterion) {
+    use std::sync::Arc;
+
+    let mut group = c.benchmark_group("pow_multi_512");
+    group.sample_size(10);
+    let n = odd_modulus(512, 0x5d);
+    let ctx = MontgomeryCtx::new(&n).expect("odd modulus");
+    let exp = random_below_modulus(&n, 3);
+    let bases: Vec<UBig> = (0..32).map(|i| random_below_modulus(&n, 200 + i)).collect();
+    group.bench_function("scalar_sliding_batch32", |b| {
+        b.iter(|| black_box(ctx.pow_batch(&bases, &exp)))
+    });
+    group.bench_function("multi_lane_batch32", |b| {
+        b.iter(|| black_box(ctx.pow_multi_ctx(&bases, &exp)))
+    });
+    let plan =
+        minshare_bignum::FixedExponentPlan::new(Arc::new(MontgomeryCtx::new(&n).unwrap()), &exp);
+    group.bench_function("cached_plan_batch32", |b| {
+        b.iter(|| black_box(plan.pow_batch(&bases)))
+    });
+    group.finish();
+}
+
 /// §6.2 P-processor scaling: one batch of commutative encryptions pushed
 /// through the persistent pool at increasing worker counts. (On a
 /// single-core host the curve flattens at 1; BENCH_protocols.json records
@@ -126,7 +152,7 @@ fn e2e_serial_vs_pipelined(c: &mut Criterion) {
     let n = 48usize;
     let (vs, vr) = overlapping_sets(n, n, n / 2);
     let pool = EncryptPool::new(4);
-    let cfg = PipelineConfig { chunk_size: 8 };
+    let cfg = PipelineConfig::chunked(8);
 
     group.bench_function("intersection_serial", |b| {
         b.iter(|| {
@@ -204,6 +230,7 @@ criterion_group!(
     square_vs_mul,
     window_widths,
     fixed4_vs_sliding,
+    pow_multi_lanes,
     pool_scaling,
     e2e_serial_vs_pipelined
 );

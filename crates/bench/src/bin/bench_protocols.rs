@@ -1,12 +1,18 @@
 //! Emits `BENCH_protocols.json`: the committed throughput numbers for the
-//! perf-overhaul acceptance criteria — fixed-exponent 512-bit batch
-//! exponentiation (old fixed-4-bit windows vs. sliding windows + squaring
-//! kernel), §6.2 `EncryptPool` scaling, and serial vs. chunk-pipelined
-//! end-to-end protocol wall time.
+//! perf acceptance criteria — 512-bit fixed-exponent exponentiation
+//! (fixed-4-bit reference vs. scalar sliding windows vs. the multi-lane
+//! interleaved kernel), §6.2 `EncryptPool` scaling, and serial vs.
+//! chunk-pipelined end-to-end wall time for all four protocols.
 //!
 //! All numbers are wall-clock medians on the current host; the host's
 //! logical core count is recorded alongside so a single-core CI box's
 //! flat pool-scaling curve reads as hardware, not regression.
+//!
+//! Usage:
+//!   bench_protocols            # print a fresh JSON snapshot to stdout
+//!   bench_protocols --check    # re-measure the e2e rows and fail (exit 1)
+//!                              # if any optimized/serial ratio regressed
+//!                              # >10% vs. the committed BENCH_protocols.json
 
 use std::time::Instant;
 
@@ -43,50 +49,40 @@ fn odd_modulus(bits: usize, seed: u64) -> UBig {
     UBig::from_be_bytes(&bytes)
 }
 
-fn main() {
-    let host_cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+/// Extracts the number following `"key":` from hand-rolled JSON. Good
+/// enough for the flat keys this binary itself emits; no serde in the
+/// workspace.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
 
-    // --- 512-bit fixed-exponent batch exponentiation -------------------
-    let n = odd_modulus(512, 0x5d);
-    let ctx = MontgomeryCtx::new(&n).expect("odd modulus");
-    let mut rng = StdRng::seed_from_u64(3);
-    let exp = random_below(&mut rng, &n);
-    let bases: Vec<UBig> = (0..32).map(|_| random_below(&mut rng, &n)).collect();
-    let batch = bases.len();
-    let fixed4_s = median_secs(9, || {
-        for b in &bases {
-            std::hint::black_box(ctx.pow_fixed4_reference(b, &exp));
-        }
-    });
-    let sliding_s = median_secs(9, || {
-        std::hint::black_box(ctx.pow_batch(&bases, &exp));
-    });
-    let speedup = fixed4_s / sliding_s;
+/// The four end-to-end rows: wall-clock medians for every protocol, with
+/// pipelined variants where the engines have them.
+struct E2e {
+    inter_serial_s: f64,
+    inter_pipelined_s: f64,
+    join_serial_s: f64,
+    join_pipelined_s: f64,
+    inter_size_serial_s: f64,
+    join_size_serial_s: f64,
+}
 
-    // --- EncryptPool scaling (§6.2) ------------------------------------
+fn measure_e2e(samples: usize) -> E2e {
     let g = bench_group(256);
-    let mut rng = StdRng::seed_from_u64(7);
-    let key = g.gen_key(&mut rng);
-    let items: Vec<UBig> = (0..64).map(|_| g.sample_element(&mut rng)).collect();
-    let pool_runs: Vec<(usize, f64)> = [1usize, 2, 4]
-        .into_iter()
-        .map(|threads| {
-            let pool = EncryptPool::new(threads);
-            let t = median_secs(7, || {
-                std::hint::black_box(pool.encrypt_batch(&g, &key, &items));
-            });
-            (threads, t)
-        })
-        .collect();
-
-    // --- end-to-end serial vs. pipelined -------------------------------
     let set_n = 48usize;
     let (vs, vr) = overlapping_sets(set_n, set_n, set_n / 2);
     let pool = EncryptPool::new(4);
-    let cfg = PipelineConfig { chunk_size: 8 };
-    let inter_serial_s = median_secs(7, || {
+    // The adaptive config the protocol apps would pick on this host: on a
+    // worker-less (single-core) pool it degenerates to the serial path.
+    let cfg = PipelineConfig::calibrated(&g, &pool);
+
+    let inter_serial_s = median_secs(samples, || {
         run_two_party(
             |t| {
                 let mut rng = StdRng::seed_from_u64(1);
@@ -99,7 +95,7 @@ fn main() {
         )
         .expect("serial intersection");
     });
-    let inter_pipelined_s = median_secs(7, || {
+    let inter_pipelined_s = median_secs(samples, || {
         run_two_party(
             |t| {
                 let mut rng = StdRng::seed_from_u64(1);
@@ -118,7 +114,7 @@ fn main() {
         .map(|v| (v.clone(), b"record-payload".to_vec()))
         .collect();
     let cipher = HybridCipher::new(g.clone(), 32);
-    let join_serial_s = median_secs(7, || {
+    let join_serial_s = median_secs(samples, || {
         run_two_party(
             |t| {
                 let mut rng = StdRng::seed_from_u64(1);
@@ -132,7 +128,7 @@ fn main() {
         )
         .expect("serial equijoin");
     });
-    let join_pipelined_s = median_secs(7, || {
+    let join_pipelined_s = median_secs(samples, || {
         run_two_party(
             |t| {
                 let mut rng = StdRng::seed_from_u64(1);
@@ -147,6 +143,145 @@ fn main() {
         .expect("pipelined equijoin");
     });
 
+    let inter_size_serial_s = median_secs(samples, || {
+        run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(1);
+                intersection_size::run_sender(t, &g, &vs, &mut rng)
+            },
+            |t| {
+                let mut rng = StdRng::seed_from_u64(2);
+                intersection_size::run_receiver(t, &g, &vr, &mut rng)
+            },
+        )
+        .expect("intersection_size");
+    });
+    let join_size_serial_s = median_secs(samples, || {
+        run_two_party(
+            |t| {
+                let mut rng = StdRng::seed_from_u64(1);
+                equijoin_size::run_sender(t, &g, &vs, &mut rng)
+            },
+            |t| {
+                let mut rng = StdRng::seed_from_u64(2);
+                equijoin_size::run_receiver(t, &g, &vr, &mut rng)
+            },
+        )
+        .expect("equijoin_size");
+    });
+
+    E2e {
+        inter_serial_s,
+        inter_pipelined_s,
+        join_serial_s,
+        join_pipelined_s,
+        inter_size_serial_s,
+        join_size_serial_s,
+    }
+}
+
+/// `--check`: re-measure the e2e rows and compare each optimized/serial
+/// ratio against the committed snapshot with 10% tolerance. Ratios (not
+/// absolute wall times) are compared so the check is stable across hosts
+/// and background load.
+fn run_check(snapshot_path: &str) -> i32 {
+    let committed = match std::fs::read_to_string(snapshot_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("bench --check: cannot read {snapshot_path}: {err}");
+            return 1;
+        }
+    };
+    let e2e = measure_e2e(5);
+    let rows = [
+        (
+            "intersection_pipelined_vs_serial",
+            e2e.inter_pipelined_s / e2e.inter_serial_s,
+        ),
+        (
+            "equijoin_pipelined_vs_serial",
+            e2e.join_pipelined_s / e2e.join_serial_s,
+        ),
+    ];
+    let mut failed = false;
+    for (key, fresh) in rows {
+        let Some(baseline) = json_number(&committed, key) else {
+            eprintln!("bench --check: {snapshot_path} has no \"{key}\" row");
+            failed = true;
+            continue;
+        };
+        let limit = baseline * 1.10;
+        // A ratio at or below 1.0 means the optimized engine still beats
+        // (or matches) serial outright — never a regression, whatever the
+        // committed number was.
+        if fresh > limit && fresh > 1.0 {
+            eprintln!(
+                "bench --check: {key} regressed: fresh {fresh:.3} > committed {baseline:.3} +10%"
+            );
+            failed = true;
+        } else {
+            eprintln!("bench --check: {key} ok: fresh {fresh:.3} vs committed {baseline:.3}");
+        }
+    }
+    if failed {
+        1
+    } else {
+        eprintln!("bench --check: all e2e rows within 10% of {snapshot_path}");
+        0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_protocols.json");
+        std::process::exit(run_check(path));
+    }
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // --- 512-bit fixed-exponent batch exponentiation -------------------
+    let n = odd_modulus(512, 0x5d);
+    let ctx = MontgomeryCtx::new(&n).expect("odd modulus");
+    let mut rng = StdRng::seed_from_u64(3);
+    let exp = random_below(&mut rng, &n);
+    let bases: Vec<UBig> = (0..32).map(|_| random_below(&mut rng, &n)).collect();
+    let batch = bases.len();
+    let fixed4_s = median_secs(15, || {
+        for b in &bases {
+            std::hint::black_box(ctx.pow_fixed4_reference(b, &exp));
+        }
+    });
+    let sliding_s = median_secs(15, || {
+        std::hint::black_box(ctx.pow_batch(&bases, &exp));
+    });
+    let multi_s = median_secs(15, || {
+        std::hint::black_box(ctx.pow_multi_ctx(&bases, &exp));
+    });
+    let sliding_speedup = fixed4_s / sliding_s;
+    let multi_speedup = sliding_s / multi_s;
+
+    // --- EncryptPool scaling (§6.2) ------------------------------------
+    let g = bench_group(256);
+    let mut rng = StdRng::seed_from_u64(7);
+    let key = g.gen_key(&mut rng);
+    let items: Vec<UBig> = (0..64).map(|_| g.sample_element(&mut rng)).collect();
+    let pool_runs: Vec<(usize, f64)> = [1usize, 2, 4]
+        .into_iter()
+        .map(|threads| {
+            let pool = EncryptPool::new(threads);
+            let t = median_secs(9, || {
+                std::hint::black_box(pool.encrypt_batch(&g, &key, &items));
+            });
+            (threads, t)
+        })
+        .collect();
+
+    // --- end-to-end serial vs. pipelined, all four protocols -----------
+    let e2e = measure_e2e(7);
+
     // --- hand-rolled JSON (no serde in the workspace) ------------------
     let us = |s: f64| s * 1e6;
     println!("{{");
@@ -155,7 +290,9 @@ fn main() {
     println!("    \"batch_size\": {batch},");
     println!("    \"fixed4_reference_us\": {:.1},", us(fixed4_s));
     println!("    \"sliding_window_us\": {:.1},", us(sliding_s));
-    println!("    \"speedup\": {speedup:.3}");
+    println!("    \"pow_multi_us\": {:.1},", us(multi_s));
+    println!("    \"sliding_speedup_vs_fixed4\": {sliding_speedup:.3},");
+    println!("    \"pow_multi_speedup_vs_sliding\": {multi_speedup:.3}");
     println!("  }},");
     println!("  \"pool_scaling_encrypt64_qr256\": [");
     let base_t = pool_runs[0].1;
@@ -169,13 +306,32 @@ fn main() {
     }
     println!("  ],");
     println!("  \"e2e_qr256_n48\": {{");
-    println!("    \"intersection_serial_us\": {:.1},", us(inter_serial_s));
+    println!("    \"intersection_serial_us\": {:.1},", us(e2e.inter_serial_s));
     println!(
         "    \"intersection_pipelined_us\": {:.1},",
-        us(inter_pipelined_s)
+        us(e2e.inter_pipelined_s)
     );
-    println!("    \"equijoin_serial_us\": {:.1},", us(join_serial_s));
-    println!("    \"equijoin_pipelined_us\": {:.1}", us(join_pipelined_s));
+    println!(
+        "    \"intersection_pipelined_vs_serial\": {:.3},",
+        e2e.inter_pipelined_s / e2e.inter_serial_s
+    );
+    println!("    \"equijoin_serial_us\": {:.1},", us(e2e.join_serial_s));
+    println!(
+        "    \"equijoin_pipelined_us\": {:.1},",
+        us(e2e.join_pipelined_s)
+    );
+    println!(
+        "    \"equijoin_pipelined_vs_serial\": {:.3},",
+        e2e.join_pipelined_s / e2e.join_serial_s
+    );
+    println!(
+        "    \"intersection_size_serial_us\": {:.1},",
+        us(e2e.inter_size_serial_s)
+    );
+    println!(
+        "    \"equijoin_size_serial_us\": {:.1}",
+        us(e2e.join_size_serial_s)
+    );
     println!("  }}");
     println!("}}");
 }

@@ -42,7 +42,7 @@ fn mr() -> Vec<Vec<u8>> {
 }
 
 fn chunked() -> PipelineConfig {
-    PipelineConfig { chunk_size: 3 }
+    PipelineConfig::chunked(3)
 }
 
 /// Per-protocol sweep tally.

@@ -1,0 +1,434 @@
+//! Multi-lane fixed-exponent exponentiation.
+//!
+//! Every protocol round in the paper raises a whole codeword set to the
+//! *same* secret exponent — §6.1 charges `Ce·(|VS| + 2|VR|)`
+//! exponentiations for intersection, all sharing one `e` per key. Two
+//! amortizations fall out of that shape:
+//!
+//! 1. **Plan reuse** ([`FixedExponentPlan`]): the sliding-window recoding
+//!    of the exponent (window schedule, odd-powers table layout) is
+//!    computed once per key and replayed for every base, across calls.
+//! 2. **Lane interleaving** ([`MontgomeryCtx::pow_multi_ctx`]): the
+//!    ladder advances [`LANES`] independent Montgomery lanes per window
+//!    step. A single CIOS carry chain is serial — each `mac` waits on the
+//!    previous carry — so a scalar kernel leaves most of the multiplier's
+//!    pipeline idle. Interleaving K independent lanes at the *limb* level
+//!    (inner loop over lanes for each limb position) puts K disjoint
+//!    carry chains in flight, letting the out-of-order core overlap them.
+//!    This is a single-core ILP win: it needs no threads, so it holds on
+//!    the 1-core bench host where thread pools lose.
+//!
+//! The interleaved kernels are monomorphized per limb count (4-limb
+//! demo groups and the paper's 8-limb/512-bit working size) with all
+//! scratch on the stack; other widths fall back to the scalar
+//! sliding-window ladder, so results are identical for every modulus.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::limb::{adc, mac, mul_wide, sbb, Limb, LIMB_BITS};
+use crate::montgomery::{geq, recode_exponent, window_for_bits, MontgomeryCtx, PowPlan};
+use crate::UBig;
+
+/// Number of independent Montgomery lanes the interleaved kernels
+/// advance per window step. Four 64-bit carry chains are enough to cover
+/// the multiply latency on current cores without spilling the per-lane
+/// state out of registers.
+pub const LANES: usize = 4;
+
+/// Widest limb count with a dedicated interleaved kernel (8 limbs = the
+/// paper's 512-bit working modulus). Lane state is padded to this width
+/// so every specialization shares one stack layout.
+const MAX_FIXED_LIMBS: usize = 8;
+
+/// One lane's value, padded to [`MAX_FIXED_LIMBS`]; only the low `S`
+/// limbs are meaningful for an `S`-limb modulus.
+type LaneVal = [Limb; MAX_FIXED_LIMBS];
+
+/// Zero-initialized lane block.
+const ZERO_BLOCK: [LaneVal; LANES] = [[0; MAX_FIXED_LIMBS]; LANES];
+
+/// The modulus limbs padded to the fixed kernel width.
+fn padded_modulus<const S: usize>(ctx: &MontgomeryCtx) -> LaneVal {
+    let mut n = [0 as Limb; MAX_FIXED_LIMBS];
+    n[..S].copy_from_slice(&ctx.n[..S]);
+    n
+}
+
+/// Final CIOS cleanup for one lane: copy the low `S` limbs out of the
+/// row buffer and apply the single conditional subtract (`t < 2n`).
+fn finish_lane<const S: usize>(t: &[Limb], top: Limb, n: &LaneVal, out: &mut LaneVal) {
+    out[..S].copy_from_slice(&t[..S]);
+    if top != 0 || geq(&out[..S], &n[..S]) {
+        let mut borrow: Limb = 0;
+        for i in 0..S {
+            out[i] = sbb(out[i], n[i], &mut borrow);
+        }
+        debug_assert_eq!(top.wrapping_sub(borrow), 0);
+    }
+}
+
+/// [`LANES`]-lane CIOS Montgomery multiplication: `out[l] = a[l]·b[l]·R⁻¹
+/// mod n` for all lanes. The inner loops run lane-innermost so the four
+/// independent carry chains interleave in the instruction stream; all
+/// scratch lives on the stack and the loop bodies are allocation-free.
+fn mul_multi<const S: usize>(
+    ctx: &MontgomeryCtx,
+    a: &[LaneVal; LANES],
+    b: &[LaneVal; LANES],
+    out: &mut [LaneVal; LANES],
+) {
+    let n = padded_modulus::<S>(ctx);
+    let n0_inv = ctx.n0_inv;
+    let mut t = [[0 as Limb; MAX_FIXED_LIMBS + 2]; LANES];
+    for i in 0..S {
+        // t[l] += a[l][i] * b[l]
+        let mut carry = [0 as Limb; LANES];
+        for j in 0..S {
+            for l in 0..LANES {
+                t[l][j] = mac(t[l][j], a[l][i], b[l][j], &mut carry[l]);
+            }
+        }
+        for l in 0..LANES {
+            let mut c2: Limb = 0;
+            t[l][S] = adc(t[l][S], carry[l], &mut c2);
+            t[l][S + 1] = c2;
+        }
+        // m[l] = t[l][0] * n0_inv; t[l] = (t[l] + m[l]*n) / 2^64
+        let mut m = [0 as Limb; LANES];
+        let mut carry = [0 as Limb; LANES];
+        for l in 0..LANES {
+            m[l] = t[l][0].wrapping_mul(n0_inv);
+            // First step: low limb becomes zero by construction.
+            let _ = mac(t[l][0], m[l], n[0], &mut carry[l]);
+        }
+        for j in 1..S {
+            for l in 0..LANES {
+                t[l][j - 1] = mac(t[l][j], m[l], n[j], &mut carry[l]);
+            }
+        }
+        for l in 0..LANES {
+            let mut c2: Limb = 0;
+            t[l][S - 1] = adc(t[l][S], carry[l], &mut c2);
+            t[l][S] = t[l][S + 1] + c2; // cannot overflow: t < 2n·R
+            t[l][S + 1] = 0;
+        }
+    }
+    for l in 0..LANES {
+        finish_lane::<S>(&t[l][..S], t[l][S], &n, &mut out[l]);
+    }
+}
+
+/// [`LANES`]-lane Montgomery squaring: the fused
+/// triangle + double + diagonal pass of the scalar kernel (see
+/// `MontgomeryCtx::mont_sqr_to`), with the rows of all lanes interleaved
+/// limb-by-limb, followed by a lane-interleaved deferred-carry REDC.
+fn sqr_multi<const S: usize>(
+    ctx: &MontgomeryCtx,
+    a: &[LaneVal; LANES],
+    out: &mut [LaneVal; LANES],
+) {
+    let n = padded_modulus::<S>(ctx);
+    let n0_inv = ctx.n0_inv;
+    let mut t = [[0 as Limb; 2 * MAX_FIXED_LIMBS + 1]; LANES];
+    // Strict upper triangle with doubling + diagonal fused per row (the
+    // invariant is documented on the scalar kernel: once row i's macs
+    // finish, positions 2i and 2i+1 are final).
+    let mut shift_in = [0 as Limb; LANES];
+    let mut dcarry = [0 as Limb; LANES];
+    for i in 0..S {
+        let mut carry = [0 as Limb; LANES];
+        for j in i + 1..S {
+            for l in 0..LANES {
+                t[l][i + j] = mac(t[l][i + j], a[l][i], a[l][j], &mut carry[l]);
+            }
+        }
+        for l in 0..LANES {
+            t[l][i + S] = carry[l];
+            let (lo, hi) = mul_wide(a[l][i], a[l][i]);
+            let even = t[l][2 * i];
+            let odd = t[l][2 * i + 1];
+            let d0 = (even << 1) | shift_in[l];
+            let d1 = (odd << 1) | (even >> (LIMB_BITS - 1));
+            shift_in[l] = odd >> (LIMB_BITS - 1);
+            t[l][2 * i] = adc(d0, lo, &mut dcarry[l]);
+            t[l][2 * i + 1] = adc(d1, hi, &mut dcarry[l]);
+        }
+    }
+    // REDC with branchless deferred row carries (see `redc_to`).
+    let mut deferred = [0 as Limb; LANES];
+    for i in 0..S {
+        let mut m = [0 as Limb; LANES];
+        for l in 0..LANES {
+            m[l] = t[l][i].wrapping_mul(n0_inv);
+        }
+        let mut carry = [0 as Limb; LANES];
+        for j in 0..S {
+            for l in 0..LANES {
+                t[l][i + j] = mac(t[l][i + j], m[l], n[j], &mut carry[l]);
+            }
+        }
+        for l in 0..LANES {
+            let mut c1: Limb = 0;
+            let top = adc(t[l][i + S], carry[l], &mut c1);
+            let mut c2: Limb = 0;
+            t[l][i + S] = adc(top, deferred[l], &mut c2);
+            deferred[l] = c1 + c2;
+        }
+    }
+    for l in 0..LANES {
+        let mut c: Limb = 0;
+        t[l][2 * S] = adc(t[l][2 * S], deferred[l], &mut c);
+        debug_assert_eq!(c, 0);
+        finish_lane::<S>(&t[l][S..2 * S], t[l][2 * S], &n, &mut out[l]);
+    }
+}
+
+impl MontgomeryCtx {
+    /// Executes a recoded exponent against one block of [`LANES`]
+    /// Montgomery-form bases, advancing all lanes through the shared
+    /// window schedule. Identical ladder shape to the scalar
+    /// `pow_planned`; only the kernels are lane-blocked.
+    fn pow_block<const S: usize>(&self, bases: &[LaneVal; LANES], plan: &PowPlan) -> [LaneVal; LANES] {
+        let init_idx = match plan.init_idx {
+            // Zero exponent: empty ladder, every lane is 1 in Montgomery form.
+            None => {
+                let mut ones = ZERO_BLOCK;
+                for lane in ones.iter_mut() {
+                    lane[..S].copy_from_slice(&self.one_mont);
+                }
+                return ones;
+            }
+            Some(idx) => idx,
+        };
+        // Odd powers only: table[i][l] = base_l^(2i+1) in Montgomery form.
+        let table_len = plan.max_idx + 1;
+        let mut table: Vec<[LaneVal; LANES]> = Vec::with_capacity(table_len);
+        table.push(*bases);
+        if table_len > 1 {
+            let mut base_sq = ZERO_BLOCK;
+            sqr_multi::<S>(self, bases, &mut base_sq);
+            for i in 1..table_len {
+                let mut next = ZERO_BLOCK;
+                mul_multi::<S>(self, &table[i - 1], &base_sq, &mut next);
+                table.push(next);
+            }
+        }
+        let mut acc = table[init_idx];
+        let mut tmp = ZERO_BLOCK;
+        for step in &plan.steps {
+            for _ in 0..step.squarings {
+                sqr_multi::<S>(self, &acc, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+            mul_multi::<S>(self, &acc, &table[step.table_idx], &mut tmp);
+            std::mem::swap(&mut acc, &mut tmp);
+        }
+        for _ in 0..plan.tail_squarings {
+            sqr_multi::<S>(self, &acc, &mut tmp);
+            std::mem::swap(&mut acc, &mut tmp);
+        }
+        acc
+    }
+
+    /// Raises a batch of bases through the fixed-width interleaved
+    /// kernels, [`LANES`] at a time. A ragged tail replays lane 0 in the
+    /// unused lanes and discards their results — same wall time as a
+    /// full block, but correctness never depends on the batch shape.
+    fn pow_batch_fixed<const S: usize>(&self, bases: &[UBig], plan: &PowPlan) -> Vec<UBig> {
+        let mut out = Vec::with_capacity(bases.len());
+        for block in bases.chunks(LANES) {
+            let mut lanes = ZERO_BLOCK;
+            for (lane, base) in lanes.iter_mut().zip(block) {
+                lane[..S].copy_from_slice(&self.to_mont(base));
+            }
+            for l in block.len()..LANES {
+                lanes[l] = lanes[0];
+            }
+            let res = self.pow_block::<S>(&lanes, plan);
+            for lane in res.iter().take(block.len()) {
+                out.push(self.from_mont(&lane[..S]));
+            }
+        }
+        out
+    }
+
+    /// Replays one recoded plan over a batch of bases, choosing the
+    /// interleaved fixed-width kernel when the modulus has one and the
+    /// scalar sliding-window ladder otherwise.
+    pub(crate) fn pow_batch_planned(&self, bases: &[UBig], plan: &PowPlan) -> Vec<UBig> {
+        match self.limbs() {
+            4 => self.pow_batch_fixed::<4>(bases, plan),
+            8 => self.pow_batch_fixed::<8>(bases, plan),
+            _ => bases
+                .iter()
+                .map(|b| self.from_mont(&self.pow_planned(&self.to_mont(b), plan)))
+                .collect(),
+        }
+    }
+
+    /// Exponentiates every base in `bases` to the same `exponent`
+    /// through the [`LANES`]-lane interleaved kernel: the exponent is
+    /// recoded once, then each block of [`LANES`] bases walks the shared
+    /// window schedule together so their Montgomery carry chains overlap
+    /// on a single core. Returns exactly [`MontgomeryCtx::pow_batch`]'s
+    /// results, faster. For an exponent reused across calls, build a
+    /// [`FixedExponentPlan`] instead to amortize the recoding too.
+    pub fn pow_multi_ctx(&self, bases: &[UBig], exponent: &UBig) -> Vec<UBig> {
+        let plan = recode_exponent(exponent, window_for_bits(exponent.bit_len()));
+        self.pow_batch_planned(bases, &plan)
+    }
+}
+
+/// A reusable fixed-exponent exponentiation plan: the sliding-window
+/// recoding of one exponent plus (a handle to) the Montgomery constants
+/// of one modulus, built once per key and replayed for every value.
+///
+/// The recoded schedule is a deterministic encoding of the exponent, so
+/// the plan is secret material wherever the exponent is: it has no
+/// `Debug`/`PartialEq` derives, and the schedule is zeroized on drop.
+pub struct FixedExponentPlan {
+    ctx: Arc<MontgomeryCtx>,
+    plan: PowPlan,
+}
+
+impl FixedExponentPlan {
+    /// Recodes `exponent` for the modulus behind `ctx`. Cost is one bit
+    /// scan of the exponent; no per-base state is built until use.
+    pub fn new(ctx: Arc<MontgomeryCtx>, exponent: &UBig) -> Self {
+        let plan = recode_exponent(exponent, window_for_bits(exponent.bit_len()));
+        FixedExponentPlan { ctx, plan }
+    }
+
+    /// The modulus this plan exponentiates under.
+    pub fn modulus(&self) -> &UBig {
+        self.ctx.modulus()
+    }
+
+    /// `base^e mod n` for this plan's fixed `e`, via the scalar ladder.
+    pub fn pow(&self, base: &UBig) -> UBig {
+        self.ctx
+            .from_mont(&self.ctx.pow_planned(&self.ctx.to_mont(base), &self.plan))
+    }
+
+    /// `base^e mod n` for every base, via the [`LANES`]-lane interleaved
+    /// kernel (`pow_multi_ctx` with this plan's cached recoding).
+    pub fn pow_batch(&self, bases: &[UBig]) -> Vec<UBig> {
+        self.ctx.pow_batch_planned(bases, &self.plan)
+    }
+}
+
+impl fmt::Debug for FixedExponentPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The schedule encodes the exponent: expose only public shape.
+        f.debug_struct("FixedExponentPlan")
+            .field("modulus_bits", &self.ctx.modulus().bit_len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for FixedExponentPlan {
+    fn drop(&mut self) {
+        self.plan.zeroize();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_512() -> MontgomeryCtx {
+        // Odd 512-bit modulus (8 limbs): exercises the interleaved kernel.
+        let m = UBig::from_hex_str(
+            "f37fa8e5afa15b9d4b2f7c8d6e5a4b3c2d1e0f9a8b7c6d5e4f3a2b1c0d9e8f71\
+             23456789abcdef0fedcba987654321ffffffffffffffff0123456789abcdef03",
+        )
+        .unwrap();
+        MontgomeryCtx::new(&m).unwrap()
+    }
+
+    fn ctx_3_limbs() -> MontgomeryCtx {
+        // 192-bit modulus: no fixed kernel, exercises the scalar fallback.
+        let m = UBig::from_hex_str(
+            "f37fa8e5afa15b9d4b2f7c8d6e5a4b3c2d1e0f9a8b7c6d5f",
+        )
+        .unwrap();
+        MontgomeryCtx::new(&m).unwrap()
+    }
+
+    fn bases(ctx: &MontgomeryCtx, count: usize) -> Vec<UBig> {
+        (0..count as u64)
+            .map(|i| {
+                UBig::from(i.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(3))
+                    .modpow_binary(&UBig::from(3u64), ctx.modulus())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multi_matches_scalar_batch_all_ragged_tails() {
+        let ctx = ctx_512();
+        let exp = UBig::from_hex_str("deadbeefcafebabe0123456789abcdef").unwrap();
+        // 1..=2·LANES+1 covers every tail shape (batch % LANES in 0..LANES).
+        for count in 1..=(2 * LANES + 1) {
+            let bases = bases(&ctx, count);
+            assert_eq!(
+                ctx.pow_multi_ctx(&bases, &exp),
+                ctx.pow_batch(&bases, &exp),
+                "count={count}"
+            );
+        }
+        assert!(ctx.pow_multi_ctx(&[], &exp).is_empty());
+    }
+
+    #[test]
+    fn multi_adversarial_exponents() {
+        let ctx = ctx_512();
+        let bases = bases(&ctx, LANES + 1);
+        let exps = [
+            UBig::zero(),
+            UBig::one(),
+            UBig::from(2u64),
+            ctx.modulus().sub_small(2).unwrap(),
+            UBig::one().shl_bits(511),
+            UBig::one().shl_bits(512).sub_small(1).unwrap(),
+        ];
+        for exp in &exps {
+            let want: Vec<UBig> = bases
+                .iter()
+                .map(|b| b.modpow_binary(exp, ctx.modulus()))
+                .collect();
+            assert_eq!(
+                ctx.pow_multi_ctx(&bases, exp),
+                want,
+                "exp bits={}",
+                exp.bit_len()
+            );
+        }
+    }
+
+    #[test]
+    fn generic_width_falls_back_to_scalar() {
+        let ctx = ctx_3_limbs();
+        let exp = UBig::from(65537u64);
+        let bases = bases(&ctx, LANES + 2);
+        let want: Vec<UBig> = bases
+            .iter()
+            .map(|b| b.modpow_binary(&exp, ctx.modulus()))
+            .collect();
+        assert_eq!(ctx.pow_multi_ctx(&bases, &exp), want);
+    }
+
+    #[test]
+    fn plan_reuse_matches_fresh_recode() {
+        let ctx = Arc::new(ctx_512());
+        let exp = UBig::from_hex_str("0123456789abcdef00ff00ff00ff00ff").unwrap();
+        let plan = FixedExponentPlan::new(Arc::clone(&ctx), &exp);
+        assert_eq!(plan.modulus(), ctx.modulus());
+        let bases = bases(&ctx, 2 * LANES + 3);
+        for _ in 0..2 {
+            assert_eq!(plan.pow_batch(&bases), ctx.pow_batch(&bases, &exp));
+        }
+        assert_eq!(plan.pow(&bases[0]), ctx.pow(&bases[0], &exp));
+    }
+}

@@ -48,6 +48,7 @@ mod ubig;
 
 pub mod barrett;
 pub mod error;
+pub mod fixpow;
 pub mod limb;
 pub mod modular;
 pub mod montgomery;
@@ -57,4 +58,5 @@ pub mod random;
 pub mod safe_prime;
 
 pub use error::BigNumError;
+pub use fixpow::FixedExponentPlan;
 pub use ubig::UBig;

@@ -30,7 +30,7 @@ const MAX_WINDOW: u32 = 6;
 
 /// Sliding-window width minimizing `table + bits/(w+1)` work for an
 /// exponent of the given bit length.
-fn window_for_bits(bits: u64) -> u32 {
+pub(crate) fn window_for_bits(bits: u64) -> u32 {
     match bits {
         0..=7 => 1,
         8..=23 => 2,
@@ -43,29 +43,48 @@ fn window_for_bits(bits: u64) -> u32 {
 
 /// One ladder step of a recoded exponent: `squarings` squarings followed
 /// by one multiply with the odd power `base^(2·table_idx + 1)`.
-struct WindowStep {
-    squarings: u64,
-    table_idx: usize,
+pub(crate) struct WindowStep {
+    pub(crate) squarings: u64,
+    pub(crate) table_idx: usize,
 }
 
 /// A sliding-window recoding of one exponent, independent of the base —
 /// computed once per exponent and replayed for every base in a batch.
-struct PowPlan {
+pub(crate) struct PowPlan {
     /// Table index whose entry initializes the accumulator (the leading
     /// window); `None` for a zero exponent.
-    init_idx: Option<usize>,
+    pub(crate) init_idx: Option<usize>,
     /// Largest table index referenced — bounds the per-base precompute.
-    max_idx: usize,
-    steps: Vec<WindowStep>,
+    pub(crate) max_idx: usize,
+    pub(crate) steps: Vec<WindowStep>,
     /// Squarings after the final window (trailing zero bits).
-    tail_squarings: u64,
+    pub(crate) tail_squarings: u64,
+}
+
+impl PowPlan {
+    /// Overwrites the recoded schedule in place. The step sequence is a
+    /// deterministic function of the exponent, so a plan derived from a
+    /// secret exponent is itself secret material; callers that cache
+    /// plans must scrub them before the allocation is returned.
+    pub(crate) fn zeroize(&mut self) {
+        for step in self.steps.iter_mut() {
+            step.squarings = 0;
+            step.table_idx = 0;
+        }
+        self.steps.clear();
+        self.init_idx = None;
+        self.max_idx = 0;
+        self.tail_squarings = 0;
+        // Keep the writes above from being optimized out as dead stores.
+        std::hint::black_box(&self.steps);
+    }
 }
 
 /// Recodes `exponent` for sliding-window exponentiation with the given
 /// window width: leading zeros are skipped, runs of zero bits between
 /// windows fold into the next step's squaring count, and windows slide
 /// down to their lowest set bit so only odd powers are referenced.
-fn recode_exponent(exponent: &UBig, window: u32) -> PowPlan {
+pub(crate) fn recode_exponent(exponent: &UBig, window: u32) -> PowPlan {
     let mut plan = PowPlan {
         init_idx: None,
         max_idx: 0,
@@ -195,13 +214,13 @@ macro_rules! mont_sqr_fixed {
 #[derive(Clone, Debug)]
 pub struct MontgomeryCtx {
     /// The modulus `n` (odd, > 1), padded to `limbs` little-endian limbs.
-    n: Vec<Limb>,
+    pub(crate) n: Vec<Limb>,
     /// `-n⁻¹ mod 2^64`.
-    n0_inv: Limb,
+    pub(crate) n0_inv: Limb,
     /// `R mod n` where `R = 2^(64·limbs)` — the Montgomery form of 1.
-    one_mont: Vec<Limb>,
+    pub(crate) one_mont: Vec<Limb>,
     /// `R² mod n` — used to convert into Montgomery form.
-    r2: Vec<Limb>,
+    pub(crate) r2: Vec<Limb>,
     /// The modulus as a `UBig` (for comparisons and callers).
     modulus: UBig,
 }
@@ -226,7 +245,7 @@ fn padded(x: &UBig, len: usize) -> Vec<Limb> {
 }
 
 /// `a >= b` over equal-length little-endian limb slices.
-fn geq(a: &[Limb], b: &[Limb]) -> bool {
+pub(crate) fn geq(a: &[Limb], b: &[Limb]) -> bool {
     for i in (0..a.len()).rev() {
         if a[i] != b[i] {
             return a[i] > b[i];
@@ -265,7 +284,7 @@ impl MontgomeryCtx {
     }
 
     /// Number of limbs in the Montgomery representation.
-    fn limbs(&self) -> usize {
+    pub(crate) fn limbs(&self) -> usize {
         self.n.len()
     }
 
@@ -317,14 +336,14 @@ impl MontgomeryCtx {
     }
 
     /// Converts `x` (any size) into Montgomery form.
-    fn to_mont(&self, x: &UBig) -> Vec<Limb> {
+    pub(crate) fn to_mont(&self, x: &UBig) -> Vec<Limb> {
         let reduced = x.rem_ref(&self.modulus).expect("modulus nonzero");
         self.mont_mul(&padded(&reduced, self.limbs()), &self.r2)
     }
 
     /// Converts out of Montgomery form.
     #[allow(clippy::wrong_self_convention)] // standard Montgomery naming
-    fn from_mont(&self, x: &[Limb]) -> UBig {
+    pub(crate) fn from_mont(&self, x: &[Limb]) -> UBig {
         let mut one = vec![0 as Limb; self.limbs()];
         one[0] = 1;
         UBig::from_limbs(self.mont_mul(x, &one))
@@ -567,7 +586,7 @@ impl MontgomeryCtx {
     /// Two result buffers ping-pong through the ladder and the wide
     /// scratch is reused by every kernel call, so the hot loop performs
     /// no allocation after the odd-powers table is built.
-    fn pow_planned(&self, base_m: &[Limb], plan: &PowPlan) -> Vec<Limb> {
+    pub(crate) fn pow_planned(&self, base_m: &[Limb], plan: &PowPlan) -> Vec<Limb> {
         let init_idx = match plan.init_idx {
             // Zero exponent: empty ladder, result is 1 in Montgomery form.
             None => return self.one_mont.clone(),

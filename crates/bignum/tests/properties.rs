@@ -3,9 +3,11 @@
 //! laws. These are the invariants everything above (commutative
 //! encryption, the protocols) silently relies on.
 
+use std::sync::Arc;
+
 use minshare_bignum::modular::Jacobi;
 use minshare_bignum::montgomery::MontgomeryCtx;
-use minshare_bignum::UBig;
+use minshare_bignum::{FixedExponentPlan, UBig};
 use proptest::prelude::*;
 
 /// Strategy: arbitrary-width UBig from raw bytes (0 to ~96 bytes ≈ 768 bits).
@@ -48,6 +50,31 @@ fn adversarial_exponent() -> impl Strategy<Value = UBig> {
         // Random multi-limb exponents up to 512 bits.
         proptest::collection::vec(any::<u8>(), 0..64).prop_map(|b| UBig::from_be_bytes(&b)),
     ]
+}
+
+/// Strategy: a full-width odd modulus of exactly 4 or 8 limbs (256 or
+/// 512 bits) — the widths the interleaved multi-lane kernel dispatches
+/// on. Other widths take the scalar fallback, covered separately below.
+fn kernel_modulus() -> impl Strategy<Value = UBig> {
+    (
+        prop_oneof![Just(32usize), Just(64)],
+        proptest::collection::vec(any::<u8>(), 64..65),
+    )
+        .prop_map(|(len, mut b)| {
+            b.truncate(len);
+            b[0] |= 0x80; // full width: exactly len/8 limbs
+            let last = b.len() - 1;
+            b[last] |= 1; // odd
+            UBig::from_be_bytes(&b)
+        })
+}
+
+/// Strategy: batches sized to sweep every lane-occupancy shape of the
+/// K-lane kernel — empty, partial first block (1..K), exactly full
+/// blocks, and full blocks plus a ragged tail.
+fn ragged_bases() -> impl Strategy<Value = Vec<UBig>> {
+    proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..96), 0..11)
+        .prop_map(|raw| raw.iter().map(|b| UBig::from_be_bytes(b)).collect())
 }
 
 proptest! {
@@ -267,6 +294,76 @@ proptest! {
     fn squaring_kernel_matches_general_multiply(a in ubig(), m in odd_modulus()) {
         let ctx = MontgomeryCtx::new(&m).unwrap();
         prop_assert_eq!(ctx.sqr(&a), ctx.mul(&a, &a));
+    }
+
+    // -----------------------------------------------------------------
+    // Multi-lane fixed-exponent kernel differentials: `pow_multi_ctx`
+    // and `FixedExponentPlan` against the plain square-and-multiply
+    // oracle, across every lane-occupancy shape and the adversarial
+    // exponents (0, 1, single-bit, all-ones, full random).
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn pow_multi_ctx_matches_scalar_oracle(
+        bases in ragged_bases(),
+        exp in adversarial_exponent(),
+        m in kernel_modulus(),
+    ) {
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let multi = ctx.pow_multi_ctx(&bases, &exp);
+        prop_assert_eq!(multi.len(), bases.len());
+        for (b, got) in bases.iter().zip(&multi) {
+            prop_assert_eq!(got, &b.modpow_binary(&exp, &m));
+        }
+    }
+
+    #[test]
+    fn pow_multi_ctx_fallback_width_matches_oracle(
+        bases in ragged_bases(),
+        exp in adversarial_exponent(),
+        m in odd_modulus(),
+    ) {
+        // Arbitrary-width moduli (usually not 4 or 8 limbs) take the
+        // scalar fallback inside `pow_multi_ctx`; the contract is the
+        // same either way.
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let multi = ctx.pow_multi_ctx(&bases, &exp);
+        for (b, got) in bases.iter().zip(&multi) {
+            prop_assert_eq!(got, &b.modpow_binary(&exp, &m));
+        }
+    }
+
+    #[test]
+    fn pow_multi_ctx_fermat_exponent_matches_oracle(
+        bases in ragged_bases(),
+        m in kernel_modulus(),
+    ) {
+        // e = m - 2: the modular-inversion shape — near-full bit length
+        // with high Hamming weight, the worst case for window recoding.
+        let e = m.sub_small(2).unwrap();
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let multi = ctx.pow_multi_ctx(&bases, &e);
+        for (b, got) in bases.iter().zip(&multi) {
+            prop_assert_eq!(got, &b.modpow_binary(&e, &m));
+        }
+    }
+
+    #[test]
+    fn fixed_exponent_plan_matches_scalar_oracle(
+        bases in ragged_bases(),
+        exp in adversarial_exponent(),
+        m in kernel_modulus(),
+    ) {
+        // The cached-plan front end: scalar `pow` and interleaved
+        // `pow_batch` must agree with each other and with the oracle.
+        let ctx = Arc::new(MontgomeryCtx::new(&m).unwrap());
+        let plan = FixedExponentPlan::new(ctx, &exp);
+        let batch = plan.pow_batch(&bases);
+        prop_assert_eq!(batch.len(), bases.len());
+        for (b, got) in bases.iter().zip(&batch) {
+            prop_assert_eq!(got, &b.modpow_binary(&exp, &m));
+            prop_assert_eq!(&plan.pow(b), got);
+        }
     }
 }
 

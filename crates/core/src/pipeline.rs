@@ -26,7 +26,7 @@ use minshare_bignum::UBig;
 use minshare_crypto::kcipher::ExtCipher;
 use minshare_crypto::{EncryptPool, PendingBatch, QrGroup};
 use minshare_net::Transport;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use crate::equijoin::{EquijoinReceiverOutput, EquijoinSenderOutput};
 use crate::error::ProtocolError;
@@ -34,8 +34,8 @@ use crate::intersection::{IntersectionReceiverOutput, IntersectionSenderOutput};
 use crate::prepare::prepare_set;
 use crate::stats::OpCounters;
 use crate::wire::{
-    send_codewords_chunked, ChunkedReader, ChunkedWriter, Message, DEFAULT_CHUNK_SIZE,
-    TAG_CODEWORDS, TAG_CODEWORD_PAIRS, TAG_PAYLOAD_PAIRS,
+    send_codewords_chunked, send_payload_pairs_chunked, ChunkedReader, ChunkedWriter, Message,
+    DEFAULT_CHUNK_SIZE, TAG_CODEWORDS, TAG_CODEWORD_PAIRS, TAG_PAYLOAD_PAIRS,
 };
 
 /// Tuning knobs for the pipelined engines.
@@ -44,19 +44,81 @@ pub struct PipelineConfig {
     /// Codewords per wire chunk. Lists that fit in one chunk go out as a
     /// plain (serial-compatible) frame.
     pub chunk_size: usize,
+    /// Lists shorter than this go out as a single chunk — the serial
+    /// fallback. Chunking exists to overlap encryption with the wire;
+    /// below the break-even point the envelope and per-chunk job
+    /// overhead are pure loss (measurably so on a 1-core host, where
+    /// the pool has no workers to overlap with). `0` always pipelines;
+    /// `usize::MAX` always falls back. A single-chunk stream is
+    /// byte-identical to the serial protocol.
+    pub serial_below: usize,
 }
 
 impl Default for PipelineConfig {
     fn default() -> Self {
         PipelineConfig {
             chunk_size: DEFAULT_CHUNK_SIZE,
+            serial_below: 0,
         }
     }
 }
 
 impl PipelineConfig {
+    /// A config with an explicit chunk size and no serial fallback.
+    pub fn chunked(chunk_size: usize) -> Self {
+        PipelineConfig {
+            chunk_size,
+            serial_below: 0,
+        }
+    }
+
+    /// Calibrates the knobs against a live pool: a quick probe measures
+    /// the per-item encrypt cost, and the pool reports its measured job
+    /// hand-off overhead. A chunk is sized to amortize one hand-off to
+    /// ~10% overhead, and lists that cannot fill at least two chunks
+    /// (nothing to overlap) fall back to the serial single-chunk path.
+    /// On a pool with no workers (1-core host) every list falls back —
+    /// that configuration can only lose to serial.
+    pub fn calibrated(group: &QrGroup, pool: &EncryptPool) -> Self {
+        if pool.threads() == 0 {
+            return PipelineConfig {
+                chunk_size: DEFAULT_CHUNK_SIZE,
+                serial_below: usize::MAX,
+            };
+        }
+        const PROBE_ITEMS: usize = 8;
+        let probe: Vec<UBig> = (0..PROBE_ITEMS)
+            .map(|i| group.hash_to_group(&[b'c', b'a', b'l', i as u8]))
+            .collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x9e37_79b9);
+        let key = group.gen_key(&mut rng);
+        let started = std::time::Instant::now();
+        let _ = group.encrypt_many(&key, &probe);
+        let item_ns = (started.elapsed().as_nanos() / PROBE_ITEMS as u128).max(1) as u64;
+        let dispatch_ns = pool.dispatch_overhead_ns().max(1);
+        // 10 dispatches' worth of work per chunk ≈ 10% hand-off overhead.
+        let chunk_size = usize::try_from(10 * dispatch_ns / item_ns)
+            .unwrap_or(usize::MAX)
+            .clamp(DEFAULT_CHUNK_SIZE, 4096);
+        PipelineConfig {
+            chunk_size,
+            serial_below: chunk_size.saturating_mul(2),
+        }
+    }
+
     fn chunk(&self) -> usize {
         self.chunk_size.max(1)
+    }
+
+    /// Chunk size to use for a list of `n` items: the configured size,
+    /// or effectively-unbounded (single serial-compatible frame) for
+    /// lists under the fallback threshold.
+    fn effective_chunk(&self, n: usize) -> usize {
+        if n < self.serial_below {
+            usize::MAX
+        } else {
+            self.chunk()
+        }
     }
 }
 
@@ -126,10 +188,11 @@ pub fn run_intersection_sender<T: Transport + ?Sized, R: Rng + ?Sized>(
         pending.push(pool.submit_encrypt(group, &key, &chunk));
     }
 
-    // Step 4(a): ship Y_S sorted, chunked.
+    // Step 4(a): ship Y_S sorted, chunked (single serial-identical frame
+    // below the fallback threshold).
     let mut ys = ys_job.wait();
     ys.sort();
-    send_codewords_chunked(transport, group, &ys, config.chunk())?;
+    send_codewords_chunked(transport, group, &ys, config.effective_chunk(ys.len()))?;
 
     // Step 4(b): answer Y_R chunk-for-chunk as re-encryption jobs drain;
     // chunk k goes on the wire while k+1.. are still encrypting.
@@ -164,7 +227,7 @@ pub fn run_intersection_receiver<T: Transport + ?Sized, R: Rng + ?Sized>(
     let mut encrypted: Vec<(UBig, Vec<u8>)> = enc.into_iter().zip(own_values).collect();
     encrypted.sort_by(|a, b| a.0.cmp(&b.0));
     let yr: Vec<UBig> = encrypted.iter().map(|(y, _)| y.clone()).collect();
-    send_codewords_chunked(transport, group, &yr, config.chunk())?;
+    send_codewords_chunked(transport, group, &yr, config.effective_chunk(yr.len()))?;
 
     // Step 4(a): stream Y_S in, overlapping Z_S = f_eR(Y_S) with receive.
     let mut reader = ChunkedReader::begin(transport, group, TAG_CODEWORDS, "codewords")?;
@@ -280,16 +343,12 @@ pub fn run_equijoin_sender<T: Transport + ?Sized, C: ExtCipher + ?Sized, R: Rng 
         })
         .collect::<Result<_, ProtocolError>>()?;
     payload_pairs.sort_by(|a, b| a.0.cmp(&b.0));
-    let total = payload_pairs.len();
-    let mut writer = ChunkedWriter::begin(transport, TAG_PAYLOAD_PAIRS, total, config.chunk())?;
-    if payload_pairs.is_empty() {
-        writer.send(transport, group, &Message::PayloadPairs(Vec::new()))?;
-    } else {
-        for chunk in payload_pairs.chunks(config.chunk()) {
-            writer.send(transport, group, &Message::PayloadPairs(chunk.to_vec()))?;
-        }
-    }
-    writer.finish()?;
+    send_payload_pairs_chunked(
+        transport,
+        group,
+        &payload_pairs,
+        config.effective_chunk(payload_pairs.len()),
+    )?;
 
     Ok(EquijoinSenderOutput { peer_set_size, ops })
 }
@@ -316,7 +375,7 @@ pub fn run_equijoin_receiver<T: Transport + ?Sized, C: ExtCipher + ?Sized, R: Rn
     let mut encrypted: Vec<(UBig, Vec<u8>)> = enc.into_iter().zip(own_values).collect();
     encrypted.sort_by(|a, b| a.0.cmp(&b.0));
     let yr: Vec<UBig> = encrypted.iter().map(|(y, _)| y.clone()).collect();
-    send_codewords_chunked(transport, group, &yr, config.chunk())?;
+    send_codewords_chunked(transport, group, &yr, config.effective_chunk(yr.len()))?;
 
     // Step 4 response: (f_eS(y), f_e'S(y)) aligned with Y_R; strip our
     // layer per chunk on the pool, overlapping with receive.
@@ -435,7 +494,7 @@ mod tests {
     }
 
     fn cfg(chunk: usize) -> PipelineConfig {
-        PipelineConfig { chunk_size: chunk }
+        PipelineConfig::chunked(chunk)
     }
 
     /// Pipelined sender+receiver must produce the exact outputs of the

@@ -206,9 +206,14 @@ mod tests {
             |t| -> Result<Vec<u8>, ProtocolError> { Ok(t.recv()?) },
         );
         assert_eq!(run.outcome(), SimOutcome::TypedFailure);
+        // Normally retries exhaust; on a heavily loaded host the sim's
+        // wall-clock backstop can fire first, which is still a typed
+        // failure rather than a hang or panic.
         assert!(matches!(
             run.sender,
-            Err(ProtocolError::Net(NetError::RetriesExhausted { .. }))
+            Err(ProtocolError::Net(
+                NetError::RetriesExhausted { .. } | NetError::TimedOut { .. }
+            ))
         ));
     }
 

@@ -13,11 +13,15 @@
 //!    testable property, but the sampling obeys the construction the DDH
 //!    reduction in the paper's Example 1 requires.
 
-use minshare_bignum::UBig;
+use std::sync::Arc;
+
+use minshare_bignum::montgomery::MontgomeryCtx;
+use minshare_bignum::{FixedExponentPlan, UBig};
 use rand::Rng;
 
 use crate::error::CryptoError;
 use crate::group::QrGroup;
+use crate::plan::PlanCachePair;
 
 /// A commutative-encryption key: the exponent `e ∈ KeyF = {1..q-1}` and
 /// its precomputed inverse `e⁻¹ mod q`.
@@ -29,6 +33,9 @@ use crate::group::QrGroup;
 pub struct CommutativeKey {
     e: UBig,
     e_inv: UBig,
+    /// Lazily-built fixed-exponent plans for each direction; the recoded
+    /// schedule is as secret as the exponent and zeroizes on drop.
+    plans: PlanCachePair,
 }
 
 impl std::fmt::Debug for CommutativeKey {
@@ -64,7 +71,11 @@ impl CommutativeKey {
             return Err(CryptoError::InvalidKey);
         }
         let e_inv = e.mod_inv(q).map_err(|_| CryptoError::InvalidKey)?;
-        Ok(CommutativeKey { e, e_inv })
+        Ok(CommutativeKey {
+            e,
+            e_inv,
+            plans: PlanCachePair::new(),
+        })
     }
 
     /// The encryption exponent.
@@ -76,19 +87,50 @@ impl CommutativeKey {
     pub fn inverse_exponent(&self) -> &UBig {
         &self.e_inv
     }
+
+    /// The cached encryption plan for this key under `ctx` (built on
+    /// first use, shared by clones of the key).
+    pub(crate) fn enc_plan(&self, ctx: &Arc<MontgomeryCtx>) -> Arc<FixedExponentPlan> {
+        self.plans.enc_plan(ctx, &self.e)
+    }
+
+    /// The cached decryption plan for this key under `ctx`.
+    pub(crate) fn dec_plan(&self, ctx: &Arc<MontgomeryCtx>) -> Arc<FixedExponentPlan> {
+        self.plans.dec_plan(ctx, &self.e_inv)
+    }
 }
 
 impl QrGroup {
     /// `f_e(x) = x^e mod p`. The input must be a group element — in the
     /// protocols it always is, because values enter the group through
-    /// [`QrGroup::hash_to_group`].
+    /// [`QrGroup::hash_to_group`]. Goes through the key's cached
+    /// fixed-exponent plan, so repeated calls skip the exponent recoding.
     pub fn encrypt(&self, key: &CommutativeKey, x: &UBig) -> UBig {
-        self.pow(x, key.exponent())
+        key.enc_plan(self.mont_ctx()).pow(x)
     }
 
     /// `f_e⁻¹(y) = y^(e⁻¹ mod q) mod p`.
     pub fn decrypt(&self, key: &CommutativeKey, y: &UBig) -> UBig {
-        self.pow(y, key.inverse_exponent())
+        key.dec_plan(self.mont_ctx()).pow(y)
+    }
+
+    /// `f_e` over a whole batch through the multi-lane fixed-exponent
+    /// kernel (`pow_multi_ctx`): one recoding, [`minshare_bignum::fixpow::LANES`]
+    /// interleaved Montgomery lanes per window step. Same results as
+    /// mapping [`QrGroup::encrypt`], faster per item.
+    pub fn encrypt_many(&self, key: &CommutativeKey, items: &[UBig]) -> Vec<UBig> {
+        key.enc_plan(self.mont_ctx()).pow_batch(items)
+    }
+
+    /// `f_e⁻¹` over a whole batch through the multi-lane kernel.
+    pub fn decrypt_many(&self, key: &CommutativeKey, items: &[UBig]) -> Vec<UBig> {
+        key.dec_plan(self.mont_ctx()).pow_batch(items)
+    }
+
+    /// `f_e(h(v))` over a whole batch of raw values.
+    pub fn hash_encrypt_many(&self, key: &CommutativeKey, values: &[Vec<u8>]) -> Vec<UBig> {
+        let hashes: Vec<UBig> = values.iter().map(|v| self.hash_to_group(v)).collect();
+        self.encrypt_many(key, &hashes)
     }
 
     /// Checked variant of [`QrGroup::encrypt`] for untrusted inputs.

@@ -182,6 +182,12 @@ impl QrGroup {
         self.ctx.pow(base, exp)
     }
 
+    /// The shared Montgomery context for `mod p`, for building
+    /// fixed-exponent plans against this group.
+    pub(crate) fn mont_ctx(&self) -> &Arc<MontgomeryCtx> {
+        &self.ctx
+    }
+
     /// Serializes a group element to the fixed codeword width.
     pub fn encode_element(&self, x: &UBig) -> Result<Vec<u8>, CryptoError> {
         Ok(x.to_be_bytes_padded(self.codeword_bytes())?)

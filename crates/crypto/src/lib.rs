@@ -42,6 +42,7 @@ pub mod error;
 pub mod group;
 pub mod kcipher;
 pub mod ot;
+mod plan;
 pub mod pool;
 pub mod scheme;
 pub mod sra;

@@ -1,0 +1,85 @@
+//! Per-key caches of fixed-exponent encryption plans.
+//!
+//! A commutative key is used with one fixed exponent per direction for
+//! thousands of values (§6.1 charges `Ce·(|VS| + 2|VR|)` exponentiations
+//! per protocol run, all under the same key). Caching the
+//! [`FixedExponentPlan`] — the sliding-window recoding plus a handle to
+//! the Montgomery constants — inside the key amortizes the per-exponent
+//! setup across every batch, chunk, and pool claim of a run.
+//!
+//! The plan encodes the exponent (its window schedule is a deterministic
+//! function of the bits), so the cache is secret material exactly like
+//! the key that owns it: `FixedExponentPlan` zeroizes its schedule on
+//! drop and is registered with the secret-hygiene analyzer.
+
+use std::sync::{Arc, OnceLock};
+
+use minshare_bignum::montgomery::MontgomeryCtx;
+use minshare_bignum::{FixedExponentPlan, UBig};
+
+/// Lazily-built encrypt/decrypt plan pair embedded in a key.
+///
+/// Cloning a key clones the cache by sharing the already-built plans
+/// (`Arc`), so a key cloned into a pool job reuses its owner's recoding.
+pub(crate) struct PlanCachePair {
+    enc: OnceLock<Arc<FixedExponentPlan>>,
+    dec: OnceLock<Arc<FixedExponentPlan>>,
+}
+
+impl PlanCachePair {
+    /// Empty cache; plans are built on first use.
+    pub(crate) const fn new() -> Self {
+        PlanCachePair {
+            enc: OnceLock::new(),
+            dec: OnceLock::new(),
+        }
+    }
+
+    /// The cached encryption-direction plan for `exponent` under `ctx`,
+    /// building it on first call.
+    pub(crate) fn enc_plan(
+        &self,
+        ctx: &Arc<MontgomeryCtx>,
+        exponent: &UBig,
+    ) -> Arc<FixedExponentPlan> {
+        plan_for(&self.enc, ctx, exponent)
+    }
+
+    /// The cached decryption-direction plan for `exponent` under `ctx`.
+    pub(crate) fn dec_plan(
+        &self,
+        ctx: &Arc<MontgomeryCtx>,
+        exponent: &UBig,
+    ) -> Arc<FixedExponentPlan> {
+        plan_for(&self.dec, ctx, exponent)
+    }
+}
+
+impl Clone for PlanCachePair {
+    fn clone(&self) -> Self {
+        let pair = PlanCachePair::new();
+        if let Some(plan) = self.enc.get() {
+            let _ = pair.enc.set(Arc::clone(plan));
+        }
+        if let Some(plan) = self.dec.get() {
+            let _ = pair.dec.set(Arc::clone(plan));
+        }
+        pair
+    }
+}
+
+/// Serves the cached plan when it matches `ctx`'s modulus; a key used
+/// against a *different* group (possible in tests and ablations) gets a
+/// fresh uncached plan rather than a wrong one.
+fn plan_for(
+    cell: &OnceLock<Arc<FixedExponentPlan>>,
+    ctx: &Arc<MontgomeryCtx>,
+    exponent: &UBig,
+) -> Arc<FixedExponentPlan> {
+    let plan = cell.get_or_init(|| Arc::new(FixedExponentPlan::new(Arc::clone(ctx), exponent)));
+    if plan.modulus() == ctx.modulus() {
+        Arc::clone(plan)
+    } else {
+        Arc::new(FixedExponentPlan::new(Arc::clone(ctx), exponent))
+    }
+}

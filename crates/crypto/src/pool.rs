@@ -17,21 +17,42 @@
 //! calling thread too, so a pool with zero workers still completes every
 //! job (inline), and a pool on a loaded machine never deadlocks waiting
 //! for a busy worker.
+//!
+//! Two guards keep the pool from losing to serial (as it measurably did
+//! on a 1-core host):
+//!
+//! * [`EncryptPool::new`] clamps the worker count to `cores - 1` (the
+//!   caller is the remaining party), so a 1-core host gets zero workers
+//!   and every job runs inline — identical code path to serial.
+//! * Batches below a *measured* hand-off threshold run inline even when
+//!   workers exist: construction times one probe round-trip through the
+//!   job channel, inline runs feed an EWMA of per-item encrypt cost, and
+//!   the threshold is their ratio — a batch must outweigh the dispatch
+//!   overhead before it is worth waking another thread.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use minshare_bignum::UBig;
+use minshare_bignum::{FixedExponentPlan, UBig};
 use parking_lot::Mutex;
 
+use crate::batch::effective_threads;
 use crate::commutative::CommutativeKey;
 use crate::group::QrGroup;
 
 /// Upper bound on the items a single cursor claim takes; keeps work items
-/// small so stragglers rebalance even on short batches.
+/// small so stragglers rebalance even on short batches. Also the floor of
+/// the inline hand-off threshold: anything one claim would cover is not
+/// worth dispatching.
 const MAX_CLAIM: usize = 16;
+
+/// Ceiling of the measured inline threshold, so a mis-calibrated probe
+/// (e.g. a descheduled worker inflating the round-trip) cannot disable
+/// the pool for genuinely large batches.
+const MAX_INLINE: usize = 1024;
 
 /// Counters for observing pool behavior (benches and tests).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -40,6 +61,8 @@ pub struct PoolStats {
     pub jobs: u64,
     /// Total items across all submitted jobs.
     pub items: u64,
+    /// Jobs that ran inline on the caller (below threshold or no workers).
+    pub inline_jobs: u64,
 }
 
 /// The operation a job applies to each of its items.
@@ -60,48 +83,51 @@ impl PoolTask {
         }
     }
 
-    /// Applies the operation to `range`, or `None` if the range is out of
-    /// bounds (unreachable for cursor-claimed ranges).
+    /// Applies the operation to `range` through the job's fixed-exponent
+    /// plan (multi-lane within the claim), or `None` if the range is out
+    /// of bounds (unreachable for cursor-claimed ranges).
     fn eval_range(
         &self,
         group: &QrGroup,
-        key: &CommutativeKey,
+        plan: &FixedExponentPlan,
         start: usize,
         end: usize,
     ) -> Option<Vec<UBig>> {
         match self {
-            PoolTask::Encrypt(v) => Some(
-                v.get(start..end)?
+            PoolTask::Encrypt(v) | PoolTask::Decrypt(v) => Some(plan.pow_batch(v.get(start..end)?)),
+            PoolTask::HashEncrypt(v) => {
+                let hashes: Vec<UBig> = v
+                    .get(start..end)?
                     .iter()
-                    .map(|x| group.encrypt(key, x))
-                    .collect(),
-            ),
-            PoolTask::Decrypt(v) => Some(
-                v.get(start..end)?
-                    .iter()
-                    .map(|x| group.decrypt(key, x))
-                    .collect(),
-            ),
-            PoolTask::HashEncrypt(v) => Some(
-                v.get(start..end)?
-                    .iter()
-                    .map(|x| group.hash_encrypt(key, x))
-                    .collect(),
-            ),
+                    .map(|x| group.hash_to_group(x))
+                    .collect();
+                Some(plan.pow_batch(&hashes))
+            }
         }
     }
 }
 
-/// One in-flight batch: owned copies of the group, key, and inputs, a
-/// claim cursor, and the channel results flow back on.
+/// What a broadcast job asks the workers to do.
+enum JobWork {
+    /// A batch of cipher operations under one fixed-exponent plan.
+    Crypto {
+        group: QrGroup,
+        plan: Arc<FixedExponentPlan>,
+        task: PoolTask,
+    },
+    /// Construction-time dispatch probe: the first claimer sends one
+    /// empty marker so the pool can time a channel round-trip.
+    Probe,
+}
+
+/// One in-flight batch: the work, a claim cursor, and the channel
+/// results flow back on.
 ///
-/// Holds a live commutative key for the duration of the batch, so it is
-/// registered with the secret-hygiene analyzer: no `Debug`, no
-/// structural equality.
+/// Holds a live fixed-exponent plan (equivalent to the key) for the
+/// duration of the batch, so it is registered with the secret-hygiene
+/// analyzer: no `Debug`, no structural equality.
 struct PoolJob {
-    group: QrGroup,
-    key: CommutativeKey,
-    task: PoolTask,
+    work: JobWork,
     /// Next unclaimed item index; claimed in `chunk`-sized strides.
     cursor: AtomicUsize,
     /// Items per cursor claim.
@@ -113,32 +139,68 @@ impl PoolJob {
     /// Claims and evaluates sub-chunks until the job is exhausted. Called
     /// by every worker that receives the job and by the waiting caller.
     fn run(&self) {
-        let total = self.task.len();
-        loop {
-            let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
-            if start >= total {
-                return;
+        match &self.work {
+            JobWork::Probe => {
+                if self.cursor.fetch_add(1, Ordering::Relaxed) == 0 {
+                    let _ = self.results.send((0, Vec::new()));
+                }
             }
-            let end = start.saturating_add(self.chunk).min(total);
-            if let Some(out) = self.task.eval_range(&self.group, &self.key, start, end) {
-                // A send error means the caller abandoned the batch;
-                // keep draining the cursor so the job finishes quietly.
-                let _ = self.results.send((start, out));
+            JobWork::Crypto { group, plan, task } => {
+                let total = task.len();
+                loop {
+                    let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+                    if start >= total {
+                        return;
+                    }
+                    let end = start.saturating_add(self.chunk).min(total);
+                    if let Some(out) = task.eval_range(group, plan, start, end) {
+                        // A send error means the caller abandoned the batch;
+                        // keep draining the cursor so the job finishes quietly.
+                        let _ = self.results.send((start, out));
+                    }
+                }
             }
+        }
+    }
+
+    fn total_items(&self) -> usize {
+        match &self.work {
+            JobWork::Probe => 0,
+            JobWork::Crypto { task, .. } => task.len(),
         }
     }
 }
 
 /// Handle to an in-flight batch; redeem with [`PendingBatch::wait`].
 pub struct PendingBatch {
-    job: Arc<PoolJob>,
-    rx: Receiver<(usize, Vec<UBig>)>,
+    inner: PendingInner,
+}
+
+enum PendingInner {
+    /// Results computed inline at submission (small batch or no workers).
+    Ready(Vec<UBig>),
+    /// Broadcast to the workers; the caller helps at `wait`.
+    InFlight {
+        job: Arc<PoolJob>,
+        rx: Receiver<(usize, Vec<UBig>)>,
+    },
 }
 
 impl PendingBatch {
+    /// Wraps already-computed results, e.g. from a serial fallback path.
+    /// `wait` returns them unchanged.
+    pub fn ready(results: Vec<UBig>) -> Self {
+        PendingBatch {
+            inner: PendingInner::Ready(results),
+        }
+    }
+
     /// Number of items the batch will produce.
     pub fn len(&self) -> usize {
-        self.job.task.len()
+        match &self.inner {
+            PendingInner::Ready(v) => v.len(),
+            PendingInner::InFlight { job, .. } => job.total_items(),
+        }
     }
 
     /// True if the batch holds no items.
@@ -150,17 +212,21 @@ impl PendingBatch {
     /// input order. The calling thread helps with unclaimed sub-chunks
     /// first, so completion never depends on pool workers being free.
     pub fn wait(self) -> Vec<UBig> {
-        self.job.run();
-        let total = self.job.task.len();
+        let (job, rx) = match self.inner {
+            PendingInner::Ready(v) => return v,
+            PendingInner::InFlight { job, rx } => (job, rx),
+        };
+        job.run();
+        let total = job.total_items();
         let mut parts: Vec<(usize, Vec<UBig>)> = Vec::new();
         let mut received = 0usize;
         while received < total {
-            match self.rx.recv() {
+            match rx.recv() {
                 Ok((start, part)) => {
                     received += part.len();
                     parts.push((start, part));
                 }
-                // Unreachable while `self.job` (which owns a sender) is
+                // Unreachable while `job` (which owns a sender) is
                 // alive; bail rather than spin if it ever happens.
                 Err(_) => break,
             }
@@ -177,13 +243,34 @@ pub struct EncryptPool {
     senders: Vec<Sender<Arc<PoolJob>>>,
     workers: Vec<JoinHandle<()>>,
     stats: Mutex<PoolStats>,
+    /// Measured job-channel round-trip at construction (ns); 0 when the
+    /// pool has no workers or the probe failed.
+    dispatch_ns: u64,
+    /// EWMA of per-item encrypt cost from inline runs (ns); 0 until the
+    /// first nonempty inline batch calibrates it.
+    item_ns: AtomicU64,
 }
 
 impl EncryptPool {
-    /// Creates a pool with `threads` background workers. `threads == 0`
-    /// is valid: jobs then run entirely on the caller during
-    /// [`PendingBatch::wait`].
+    /// Creates a pool with at most `threads` background workers, clamped
+    /// to the host's available parallelism minus one (the submitting
+    /// thread is the remaining party — it always helps in
+    /// [`PendingBatch::wait`]). On a 1-core host this yields zero workers
+    /// and every job runs inline, which measurably beats oversubscribing.
+    /// `threads == 0` is valid: jobs then always run on the caller.
     pub fn new(threads: usize) -> Self {
+        let workers = effective_threads(threads.saturating_add(1), usize::MAX).saturating_sub(1);
+        Self::build(workers.min(threads))
+    }
+
+    /// Creates a pool with exactly `threads` workers, bypassing the core
+    /// clamp. For tests and ablations that need the cross-thread path on
+    /// hosts with too few cores to get it from [`EncryptPool::new`].
+    pub fn with_workers(threads: usize) -> Self {
+        Self::build(threads)
+    }
+
+    fn build(threads: usize) -> Self {
         let mut senders = Vec::with_capacity(threads);
         let mut workers = Vec::with_capacity(threads);
         for i in 0..threads {
@@ -200,10 +287,13 @@ impl EncryptPool {
                 workers.push(handle);
             }
         }
+        let dispatch_ns = measure_dispatch(&senders);
         EncryptPool {
             senders,
             workers,
             stats: Mutex::new(PoolStats::default()),
+            dispatch_ns,
+            item_ns: AtomicU64::new(0),
         }
     }
 
@@ -212,35 +302,84 @@ impl EncryptPool {
         self.workers.len()
     }
 
+    /// The measured job-channel round-trip from construction, in
+    /// nanoseconds (0 for a workerless pool).
+    pub fn dispatch_overhead_ns(&self) -> u64 {
+        self.dispatch_ns
+    }
+
     /// Snapshot of lifetime submission counters.
     pub fn stats(&self) -> PoolStats {
         *self.stats.lock()
     }
 
+    /// Batch size at or below which submission runs inline: the measured
+    /// dispatch round-trip divided by the measured per-item cost, floored
+    /// at one claim and capped so large batches always use the workers.
+    fn inline_threshold(&self) -> usize {
+        if self.senders.is_empty() {
+            return usize::MAX;
+        }
+        let item = self.item_ns.load(Ordering::Relaxed);
+        if item == 0 {
+            return MAX_CLAIM;
+        }
+        ((self.dispatch_ns / item) as usize).clamp(MAX_CLAIM, MAX_INLINE)
+    }
+
+    /// Folds an inline run's per-item cost into the EWMA calibration.
+    fn record_item_cost(&self, elapsed: Duration, items: usize) {
+        if items == 0 {
+            return;
+        }
+        let per = ((elapsed.as_nanos() / items as u128).min(u128::from(u64::MAX)) as u64).max(1);
+        let old = self.item_ns.load(Ordering::Relaxed);
+        let next = if old == 0 { per } else { (3 * old + per) / 4 };
+        self.item_ns.store(next, Ordering::Relaxed);
+    }
+
     fn submit(&self, group: &QrGroup, key: &CommutativeKey, task: PoolTask) -> PendingBatch {
         let total = task.len();
+        let plan = match &task {
+            PoolTask::Encrypt(_) | PoolTask::HashEncrypt(_) => key.enc_plan(group.mont_ctx()),
+            PoolTask::Decrypt(_) => key.dec_plan(group.mont_ctx()),
+        };
+        let inline = total <= self.inline_threshold();
+        {
+            let mut stats = self.stats.lock();
+            stats.jobs += 1;
+            stats.items += total as u64;
+            if inline {
+                stats.inline_jobs += 1;
+            }
+        }
+        if inline {
+            let started = Instant::now();
+            let out = task.eval_range(group, &plan, 0, total).unwrap_or_default();
+            self.record_item_cost(started.elapsed(), total);
+            return PendingBatch::ready(out);
+        }
         // Small claims so stragglers rebalance; at least one claim per
         // worker-and-caller even on short batches.
         let parties = self.workers.len() + 1;
         let chunk = total.div_ceil(parties * 4).clamp(1, MAX_CLAIM);
         let (tx, rx) = unbounded();
         let job = Arc::new(PoolJob {
-            group: group.clone(),
-            key: key.clone(),
-            task,
+            work: JobWork::Crypto {
+                group: group.clone(),
+                plan,
+                task,
+            },
             cursor: AtomicUsize::new(0),
             chunk,
             results: tx,
         });
-        {
-            let mut stats = self.stats.lock();
-            stats.jobs += 1;
-            stats.items += total as u64;
-        }
         for sender in &self.senders {
             let _ = sender.send(Arc::clone(&job));
         }
-        PendingBatch { job, rx }
+        PendingBatch {
+            inner: PendingInner::InFlight { job, rx },
+        }
     }
 
     /// Starts encrypting `items` with `key`; returns immediately.
@@ -294,6 +433,29 @@ impl EncryptPool {
     }
 }
 
+/// Times one probe round-trip through a worker's job channel. Returns 0
+/// when there is nothing to measure (no workers).
+fn measure_dispatch(senders: &[Sender<Arc<PoolJob>>]) -> u64 {
+    let Some(first) = senders.first() else {
+        return 0;
+    };
+    let (tx, rx) = unbounded();
+    let probe = Arc::new(PoolJob {
+        work: JobWork::Probe,
+        cursor: AtomicUsize::new(0),
+        chunk: 1,
+        results: tx,
+    });
+    let started = Instant::now();
+    if first.send(probe).is_err() {
+        return 0;
+    }
+    // A bounded wait: a wedged worker should degrade calibration, not
+    // hang construction.
+    let _ = rx.recv_timeout(Duration::from_millis(100));
+    started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
 impl Drop for EncryptPool {
     fn drop(&mut self) {
         // Closing the channels ends each worker's recv loop; workers
@@ -331,12 +493,51 @@ mod tests {
     }
 
     #[test]
+    fn unclamped_pool_matches_serial_batch() {
+        // The cross-thread path, regardless of host core count.
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(21);
+        let key = g.gen_key(&mut rng);
+        let items: Vec<UBig> = (0..MAX_INLINE + 7).map(|_| g.sample_element(&mut rng)).collect();
+        let serial = batch::encrypt_batch(&g, &key, &items, 1);
+        let pool = EncryptPool::with_workers(2);
+        assert_eq!(pool.threads(), 2);
+        assert_eq!(pool.encrypt_batch(&g, &key, &items), serial);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_cores() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let pool = EncryptPool::new(64);
+        assert!(
+            pool.threads() <= cores.saturating_sub(1),
+            "workers={} cores={cores}",
+            pool.threads()
+        );
+        assert_eq!(EncryptPool::new(0).threads(), 0);
+    }
+
+    #[test]
+    fn small_batches_run_inline_on_worker_pools() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(22);
+        let key = g.gen_key(&mut rng);
+        let pool = EncryptPool::with_workers(2);
+        let items: Vec<UBig> = (0..MAX_CLAIM).map(|_| g.sample_element(&mut rng)).collect();
+        let out = pool.encrypt_batch(&g, &key, &items);
+        assert_eq!(out, batch::encrypt_batch(&g, &key, &items, 1));
+        assert_eq!(pool.stats().inline_jobs, 1, "≤ MAX_CLAIM must not dispatch");
+    }
+
+    #[test]
     fn pool_decrypt_inverts() {
         let g = group();
         let mut rng = StdRng::seed_from_u64(12);
         let key = g.gen_key(&mut rng);
         let items: Vec<UBig> = (0..17).map(|_| g.sample_element(&mut rng)).collect();
-        let pool = EncryptPool::new(2);
+        let pool = EncryptPool::with_workers(2);
         let enc = pool.encrypt_batch(&g, &key, &items);
         assert_eq!(pool.decrypt_batch(&g, &key, &enc), items);
     }
@@ -347,7 +548,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let key = g.gen_key(&mut rng);
         let values: Vec<Vec<u8>> = (0..9u32).map(|i| i.to_be_bytes().to_vec()).collect();
-        let pool = EncryptPool::new(3);
+        let pool = EncryptPool::with_workers(3);
         let out = pool.hash_encrypt_batch(&g, &key, &values);
         for (v, e) in values.iter().zip(&out) {
             assert_eq!(&g.hash_encrypt(&key, v), e);
@@ -359,7 +560,7 @@ mod tests {
         let g = group();
         let mut rng = StdRng::seed_from_u64(14);
         let key = g.gen_key(&mut rng);
-        let pool = EncryptPool::new(2);
+        let pool = EncryptPool::with_workers(2);
         let batches: Vec<Vec<UBig>> = (0..6)
             .map(|i| (0..(i * 3 + 1)).map(|_| g.sample_element(&mut rng)).collect())
             .collect();
@@ -373,6 +574,17 @@ mod tests {
         let stats = pool.stats();
         assert_eq!(stats.jobs, 6);
         assert_eq!(stats.items, batches.iter().map(|b| b.len() as u64).sum());
+    }
+
+    #[test]
+    fn ready_batch_is_transparent() {
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(16);
+        let items: Vec<UBig> = (0..5).map(|_| g.sample_element(&mut rng)).collect();
+        let pending = PendingBatch::ready(items.clone());
+        assert_eq!(pending.len(), 5);
+        assert!(!pending.is_empty());
+        assert_eq!(pending.wait(), items);
     }
 
     #[test]

@@ -33,6 +33,7 @@ use minshare_hash::RandomOracle;
 use rand::Rng;
 
 use crate::error::CryptoError;
+use crate::plan::PlanCachePair;
 
 /// Shared SRA parameters: the modulus and (privately, between the two
 /// parties) its Euler totient.
@@ -74,6 +75,9 @@ impl Drop for SraContext {
 pub struct SraKey {
     e: UBig,
     d: UBig,
+    /// Lazily-built fixed-exponent plans (encrypt/decrypt); the recoded
+    /// schedule is as secret as the exponent and zeroizes on drop.
+    plans: PlanCachePair,
 }
 
 impl std::fmt::Debug for SraKey {
@@ -145,7 +149,11 @@ impl SraContext {
         loop {
             let e = random_range(rng, &UBig::from(3u64), &self.phi);
             if let Ok(d) = e.mod_inv(&self.phi) {
-                return SraKey { e, d };
+                return SraKey {
+                    e,
+                    d,
+                    plans: PlanCachePair::new(),
+                };
             }
         }
     }
@@ -172,14 +180,24 @@ impl SraContext {
         }
     }
 
-    /// `f_e(x) = x^e mod n`.
+    /// `f_e(x) = x^e mod n`, through the key's cached fixed-exponent plan.
     pub fn encrypt(&self, key: &SraKey, x: &UBig) -> UBig {
-        self.ctx.pow(x, &key.e)
+        key.plans.enc_plan(&self.ctx, &key.e).pow(x)
     }
 
     /// `f_e⁻¹(y) = y^d mod n`.
     pub fn decrypt(&self, key: &SraKey, y: &UBig) -> UBig {
-        self.ctx.pow(y, &key.d)
+        key.plans.dec_plan(&self.ctx, &key.d).pow(y)
+    }
+
+    /// `f_e` over a whole batch through the multi-lane kernel.
+    pub fn encrypt_many(&self, key: &SraKey, items: &[UBig]) -> Vec<UBig> {
+        key.plans.enc_plan(&self.ctx, &key.e).pow_batch(items)
+    }
+
+    /// `f_e⁻¹` over a whole batch through the multi-lane kernel.
+    pub fn decrypt_many(&self, key: &SraKey, items: &[UBig]) -> Vec<UBig> {
+        key.plans.dec_plan(&self.ctx, &key.d).pow_batch(items)
     }
 }
 

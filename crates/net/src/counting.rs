@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::error::NetError;
+use crate::framebatch::FrameBatch;
 use crate::transport::{DeadlineTransport, Transport};
 
 /// Shared counters readable while the transport is owned by a protocol
@@ -81,6 +82,17 @@ impl<T: Transport> Transport for CountingTransport<T> {
             .bytes_sent
             .fetch_add(frame.len() as u64, Ordering::Relaxed);
         self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Forwards the whole batch on the inner bulk path, then accounts
+    /// each frame exactly as the per-frame `send` would have.
+    fn send_batch(&mut self, batch: FrameBatch) -> Result<(), NetError> {
+        let frames = batch.len() as u64;
+        let payload: u64 = batch.frames().map(|f| f.len() as u64).sum();
+        self.inner.send_batch(batch)?;
+        self.stats.bytes_sent.fetch_add(payload, Ordering::Relaxed);
+        self.stats.frames_sent.fetch_add(frames, Ordering::Relaxed);
         Ok(())
     }
 

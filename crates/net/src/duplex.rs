@@ -1,14 +1,22 @@
 //! In-memory duplex transport built on crossbeam channels.
+//!
+//! Frames cross the channel as shared [`Bytes`] views: a single `send`
+//! copies the borrowed frame once into a fresh buffer, while
+//! [`Transport::send_batch`] hands over per-frame *slices* of the
+//! batch's one contiguous buffer — zero copies on the send side, one
+//! `Arc` clone per frame.
 
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::error::NetError;
+use crate::framebatch::FrameBatch;
 use crate::transport::{DeadlineTransport, Transport};
 
 /// One endpoint of an in-memory duplex link.
 pub struct DuplexEndpoint {
-    tx: Sender<Vec<u8>>,
-    rx: Receiver<Vec<u8>>,
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
     /// Reject frames larger than this (bug guard; default 256 MiB).
     frame_limit: usize,
 }
@@ -44,26 +52,39 @@ impl DuplexEndpoint {
     /// Non-blocking receive, for drivers that poll.
     pub fn try_recv(&mut self) -> Result<Option<Vec<u8>>, NetError> {
         match self.rx.try_recv() {
-            Ok(f) => Ok(Some(f)),
+            Ok(f) => Ok(Some(f.into_vec())),
             Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
             Err(crossbeam::channel::TryRecvError::Disconnected) => Err(NetError::Closed),
         }
     }
-}
 
-impl Transport for DuplexEndpoint {
-    fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
+    fn send_shared(&mut self, frame: Bytes) -> Result<(), NetError> {
         if frame.len() > self.frame_limit {
             return Err(NetError::FrameTooLarge {
                 size: frame.len(),
                 limit: self.frame_limit,
             });
         }
-        self.tx.send(frame.to_vec()).map_err(|_| NetError::Closed)
+        self.tx.send(frame).map_err(|_| NetError::Closed)
+    }
+}
+
+impl Transport for DuplexEndpoint {
+    fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        self.send_shared(Bytes::copy_from_slice(frame))
+    }
+
+    /// Zero-copy bulk path: the batch's single buffer is frozen once and
+    /// each frame crosses the channel as a shared slice of it.
+    fn send_batch(&mut self, batch: FrameBatch) -> Result<(), NetError> {
+        for frame in batch.into_shared_frames() {
+            self.send_shared(frame)?;
+        }
+        Ok(())
     }
 
     fn recv(&mut self) -> Result<Vec<u8>, NetError> {
-        self.rx.recv().map_err(|_| NetError::Closed)
+        self.rx.recv().map(Bytes::into_vec).map_err(|_| NetError::Closed)
     }
 }
 
@@ -76,7 +97,7 @@ impl DeadlineTransport for DuplexEndpoint {
             .rx
             .recv_timeout(std::time::Duration::from_millis(timeout_ms))
         {
-            Ok(frame) => Ok(Some(frame)),
+            Ok(frame) => Ok(Some(frame.into_vec())),
             Err(RecvTimeoutError::Timeout) => Ok(None),
             Err(RecvTimeoutError::Disconnected) => Err(NetError::Closed),
         }

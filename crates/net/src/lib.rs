@@ -6,7 +6,10 @@
 //! * [`transport::Transport`] — the byte-frame interface the protocol
 //!   engines speak,
 //! * [`duplex`] — an in-memory duplex pair (crossbeam channels) for running
-//!   both parties in one process,
+//!   both parties in one process, carrying frames as shared buffers,
+//! * [`framebatch::FrameBatch`] — scatter/gather frame batching: many
+//!   frames packed into one buffer in a single length-prefix pass, sent
+//!   zero-copy where the transport supports it,
 //! * [`counting::CountingTransport`] — exact wire accounting, used to
 //!   verify the paper's §6.1 communication-cost formulas against actual
 //!   bytes on the wire,
@@ -27,6 +30,7 @@
 pub mod counting;
 pub mod duplex;
 pub mod error;
+pub mod framebatch;
 pub mod robust;
 pub mod secure;
 pub mod simnet;
@@ -36,6 +40,7 @@ pub mod transport;
 pub use counting::{CountingTransport, TrafficStats};
 pub use duplex::duplex_pair;
 pub use error::NetError;
+pub use framebatch::FrameBatch;
 pub use robust::{RobustConfig, RobustTransport};
 pub use simnet::{sim_pair, FaultPlan, SimConfig, SimEndpoint, SimTrace, TraceHandle};
 pub use transport::{DeadlineTransport, Transport};

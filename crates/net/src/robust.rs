@@ -71,14 +71,23 @@ enum Frame {
     Sync { send_seq: u64, recv_seq: u64, reply: bool },
 }
 
-fn encode_data(seq: u64, payload: &[u8]) -> Vec<u8> {
+/// Encodes a DATA frame into `out` (cleared first), so a caller sending
+/// many messages can reuse one scratch buffer instead of allocating per
+/// frame.
+fn encode_data_into(seq: u64, payload: &[u8], out: &mut Vec<u8>) {
     let seq_bytes = seq.to_be_bytes();
     let crc = crc32(&[&[TAG_DATA], &seq_bytes, payload]);
-    let mut out = Vec::with_capacity(13 + payload.len());
+    out.clear();
+    out.reserve(13 + payload.len());
     out.push(TAG_DATA);
     out.extend_from_slice(&seq_bytes);
     out.extend_from_slice(&crc.to_be_bytes());
     out.extend_from_slice(payload);
+}
+
+fn encode_data(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_data_into(seq, payload, &mut out);
     out
 }
 
@@ -305,18 +314,15 @@ impl<T: DeadlineTransport> RobustTransport<T> {
     pub fn resync(&mut self) -> Result<(), NetError> {
         self.establish()
     }
-}
 
-impl<T: DeadlineTransport> Transport for RobustTransport<T> {
-    /// Sends one message, retransmitting until acknowledged. Incoming
-    /// DATA frames that arrive while waiting are acknowledged and
-    /// buffered for [`Self::recv`].
-    fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
+    /// The stop-and-wait core: transmits `encoded` (a DATA frame
+    /// carrying the current `send_seq`) until its ACK arrives, servicing
+    /// crossing traffic meanwhile.
+    fn send_encoded(&mut self, encoded: &[u8]) -> Result<(), NetError> {
         let seq = self.send_seq;
-        let encoded = encode_data(seq, frame);
         let mut timeout = self.config.base_timeout_ms;
         for _ in 0..self.config.max_attempts {
-            self.inner.send(&encoded)?;
+            self.inner.send(encoded)?;
             let mut frames = 0u32;
             while frames < FRAMES_PER_WAIT {
                 frames += 1;
@@ -338,6 +344,29 @@ impl<T: DeadlineTransport> Transport for RobustTransport<T> {
         Err(NetError::RetriesExhausted {
             attempts: self.config.max_attempts,
         })
+    }
+}
+
+impl<T: DeadlineTransport> Transport for RobustTransport<T> {
+    /// Sends one message, retransmitting until acknowledged. Incoming
+    /// DATA frames that arrive while waiting are acknowledged and
+    /// buffered for [`Self::recv`].
+    fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        let encoded = encode_data(self.send_seq, frame);
+        self.send_encoded(&encoded)
+    }
+
+    /// Sends every frame of the batch through the stop-and-wait ARQ,
+    /// reusing one encode buffer across the run (the per-message wait
+    /// for an ACK is inherent to the protocol, so there is no bulk wire
+    /// path to exploit — only the allocation churn to avoid).
+    fn send_batch(&mut self, batch: crate::framebatch::FrameBatch) -> Result<(), NetError> {
+        let mut encoded = Vec::new();
+        for frame in batch.frames() {
+            encode_data_into(self.send_seq, frame, &mut encoded);
+            self.send_encoded(&encoded)?;
+        }
+        Ok(())
     }
 
     /// Receives the next message, waiting through a bounded number of

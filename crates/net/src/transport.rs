@@ -1,6 +1,7 @@
 //! The byte-frame transport interface.
 
 use crate::error::NetError;
+use crate::framebatch::FrameBatch;
 
 /// A reliable, ordered, message-oriented duplex link between the two
 /// parties. Frames are opaque byte strings; serialization of protocol
@@ -8,6 +9,17 @@ use crate::error::NetError;
 pub trait Transport {
     /// Sends one frame.
     fn send(&mut self, frame: &[u8]) -> Result<(), NetError>;
+
+    /// Sends every frame of `batch`, in order. Wire-equivalent to
+    /// calling [`Transport::send`] once per frame (the default does
+    /// exactly that); transports with a cheaper bulk path — shared-buffer
+    /// hand-off, reused encode scratch — override it.
+    fn send_batch(&mut self, batch: FrameBatch) -> Result<(), NetError> {
+        for frame in batch.frames() {
+            self.send(frame)?;
+        }
+        Ok(())
+    }
 
     /// Receives the next frame, blocking until one arrives.
     fn recv(&mut self) -> Result<Vec<u8>, NetError>;
@@ -17,6 +29,10 @@ pub trait Transport {
 impl<T: Transport + ?Sized> Transport for &mut T {
     fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
         (**self).send(frame)
+    }
+
+    fn send_batch(&mut self, batch: FrameBatch) -> Result<(), NetError> {
+        (**self).send_batch(batch)
     }
 
     fn recv(&mut self) -> Result<Vec<u8>, NetError> {

@@ -30,7 +30,7 @@ use std::sync::OnceLock;
 use minshare::naive::naive_intersection;
 use minshare::prelude::*;
 use minshare::simrun::{run_two_party_sim, SimOutcome, SimRunConfig, SimTwoPartyRun};
-use minshare_net::FaultPlan;
+use minshare_net::{FaultPlan, Transport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -78,7 +78,7 @@ fn sim_cfg() -> SimRunConfig {
 fn chunked() -> PipelineConfig {
     // Small chunks so the pipelined wire format (multi-frame lists) is
     // actually exercised against reordering and loss.
-    PipelineConfig { chunk_size: 3 }
+    PipelineConfig::chunked(3)
 }
 
 /// The fixed seed set every protocol is replayed over. `tools/verify.sh`
@@ -349,4 +349,157 @@ fn heavy_corruption_never_yields_a_wrong_answer() {
         let faulty = run_intersection(&plan);
         check_run(&format!("corruption seed {seed}"), &baseline, &faulty);
     }
+}
+
+// ---------------------------------------------------------------------
+// Serial-fallback wire identity: a pipelined engine whose config says
+// "fall back" (`serial_below` above every list size — what `calibrated`
+// returns on a worker-less pool) must put *byte-identical frames* on the
+// wire as the serial engine, in the same order, on both sides.
+// ---------------------------------------------------------------------
+
+/// Records every frame a party sends, in order. The default
+/// `send_batch` loops over `send`, so batched frames are recorded
+/// individually — exactly the granularity the serial engine uses.
+struct RecordingTransport<T: Transport> {
+    inner: T,
+    sent: std::sync::Arc<std::sync::Mutex<Vec<Vec<u8>>>>,
+}
+
+impl<T: Transport> RecordingTransport<T> {
+    fn new(inner: T) -> (Self, std::sync::Arc<std::sync::Mutex<Vec<Vec<u8>>>>) {
+        let sent = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        (
+            RecordingTransport {
+                inner,
+                sent: sent.clone(),
+            },
+            sent,
+        )
+    }
+}
+
+impl<T: Transport> Transport for RecordingTransport<T> {
+    fn send(&mut self, frame: &[u8]) -> Result<(), minshare_net::NetError> {
+        self.inner.send(frame)?;
+        self.sent.lock().unwrap().push(frame.to_vec());
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, minshare_net::NetError> {
+        self.inner.recv()
+    }
+}
+
+/// Runs a two-party exchange over duplex with frame recording on both
+/// sides; returns (sender frames, receiver frames).
+fn record_frames<SO: Send, RO: Send>(
+    sender: impl FnOnce(&mut dyn Transport) -> Result<SO, ProtocolError> + Send,
+    receiver: impl FnOnce(&mut dyn Transport) -> Result<RO, ProtocolError> + Send,
+) -> (Vec<Vec<u8>>, Vec<Vec<u8>>, SO, RO) {
+    use minshare_net::duplex_pair;
+    let (s_end, r_end) = duplex_pair();
+    let (mut s_t, s_frames) = RecordingTransport::new(s_end);
+    let (mut r_t, r_frames) = RecordingTransport::new(r_end);
+    let (s_out, r_out) = std::thread::scope(|scope| {
+        let s = scope.spawn(move || sender(&mut s_t));
+        let r = scope.spawn(move || receiver(&mut r_t));
+        (s.join().unwrap(), r.join().unwrap())
+    });
+    let s_frames = std::sync::Arc::try_unwrap(s_frames).unwrap().into_inner().unwrap();
+    let r_frames = std::sync::Arc::try_unwrap(r_frames).unwrap().into_inner().unwrap();
+    (s_frames, r_frames, s_out.unwrap(), r_out.unwrap())
+}
+
+/// The fallback config `PipelineConfig::calibrated` produces on a pool
+/// with no workers: tiny chunks on paper, but every list is under the
+/// serial threshold.
+fn fallback_cfg() -> PipelineConfig {
+    PipelineConfig {
+        chunk_size: 3,
+        serial_below: usize::MAX,
+    }
+}
+
+#[test]
+fn intersection_serial_fallback_is_wire_identical_to_serial() {
+    let g = group();
+    let p = pool();
+    let (s_vals, r_vals) = (vs(), vr());
+
+    let (ser_s, ser_r, _, ser_out) = record_frames(
+        |t| {
+            let mut rng = StdRng::seed_from_u64(7);
+            intersection::run_sender(t, g, &s_vals, &mut rng)
+        },
+        |t| {
+            let mut rng = StdRng::seed_from_u64(8);
+            intersection::run_receiver(t, g, &r_vals, &mut rng)
+        },
+    );
+    let (pip_s, pip_r, _, pip_out) = record_frames(
+        |t| {
+            let mut rng = StdRng::seed_from_u64(7);
+            pipeline::run_intersection_sender(t, g, &s_vals, &mut rng, p, fallback_cfg())
+        },
+        |t| {
+            let mut rng = StdRng::seed_from_u64(8);
+            pipeline::run_intersection_receiver(t, g, &r_vals, &mut rng, p, fallback_cfg())
+        },
+    );
+    assert_eq!(ser_s, pip_s, "sender frames diverge in fallback mode");
+    assert_eq!(ser_r, pip_r, "receiver frames diverge in fallback mode");
+    assert_eq!(ser_out.intersection, pip_out.intersection);
+}
+
+#[test]
+fn equijoin_serial_fallback_is_wire_identical_to_serial() {
+    let g = group();
+    let p = pool();
+    let entries: Vec<(Vec<u8>, Vec<u8>)> = vs()
+        .into_iter()
+        .map(|v| {
+            let mut ext = b"ext:".to_vec();
+            ext.extend_from_slice(&v);
+            (v, ext)
+        })
+        .collect();
+    let r_vals = vr();
+
+    let (ser_s, ser_r, _, ser_out) = record_frames(
+        |t| {
+            let cipher = HybridCipher::new(g.clone(), 16);
+            let mut rng = StdRng::seed_from_u64(9);
+            equijoin::run_sender(t, g, &cipher, &entries, &mut rng)
+        },
+        |t| {
+            let cipher = HybridCipher::new(g.clone(), 16);
+            let mut rng = StdRng::seed_from_u64(10);
+            equijoin::run_receiver(t, g, &cipher, &r_vals, &mut rng)
+        },
+    );
+    let (pip_s, pip_r, _, pip_out) = record_frames(
+        |t| {
+            let cipher = HybridCipher::new(g.clone(), 16);
+            let mut rng = StdRng::seed_from_u64(9);
+            pipeline::run_equijoin_sender(t, g, &cipher, &entries, &mut rng, p, fallback_cfg())
+        },
+        |t| {
+            let cipher = HybridCipher::new(g.clone(), 16);
+            let mut rng = StdRng::seed_from_u64(10);
+            pipeline::run_equijoin_receiver(t, g, &cipher, &r_vals, &mut rng, p, fallback_cfg())
+        },
+    );
+    assert_eq!(ser_s, pip_s, "sender frames diverge in fallback mode");
+    assert_eq!(ser_r, pip_r, "receiver frames diverge in fallback mode");
+    assert_eq!(ser_out.matches, pip_out.matches);
+}
+
+#[test]
+fn calibrated_config_on_workerless_pool_always_falls_back() {
+    let g = group();
+    let solo = EncryptPool::new(1); // clamps to zero workers on any host
+    assert_eq!(solo.threads(), 0);
+    let cfg = PipelineConfig::calibrated(g, &solo);
+    assert_eq!(cfg.serial_below, usize::MAX);
 }

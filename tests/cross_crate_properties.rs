@@ -188,7 +188,7 @@ proptest! {
     ) {
         let g = group();
         let pool = EncryptPool::new(2);
-        let cfg = PipelineConfig { chunk_size: chunk };
+        let cfg = PipelineConfig::chunked(chunk);
         let serial = run_two_party(
             |t| {
                 let mut rng = StdRng::seed_from_u64(seed);
@@ -220,7 +220,7 @@ proptest! {
 fn pipelined_edge_shapes_agree_with_naive() {
     let g = group();
     let pool = EncryptPool::new(2);
-    let cfg = PipelineConfig { chunk_size: 2 };
+    let cfg = PipelineConfig::chunked(2);
     let cases: Vec<(Vec<Vec<u8>>, Vec<Vec<u8>>)> = vec![
         (vec![], vec![]),                                     // both empty
         (vec![], vec![vec![1], vec![2]]),                     // empty sender

@@ -1,8 +1,19 @@
 #!/usr/bin/env bash
 # Regenerates the committed benchmark snapshot (BENCH_protocols.json) and
 # runs the criterion perf suite for eyeballing. Run from the repo root.
+#
+# With --check, no snapshot is written: the e2e rows are re-measured and
+# compared against the committed BENCH_protocols.json, failing (exit 1)
+# if any optimized/serial ratio regressed by more than 10%. verify.sh
+# runs this as its perf-regression smoke step.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--check" ]; then
+    echo "== bench_protocols --check vs BENCH_protocols.json" >&2
+    exec cargo run --release -q -p minshare-bench --bin bench_protocols -- \
+        --check BENCH_protocols.json
+fi
 
 echo "== bench_protocols -> BENCH_protocols.json" >&2
 cargo run --release -q -p minshare-bench --bin bench_protocols | tee BENCH_protocols.json

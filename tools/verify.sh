@@ -21,3 +21,8 @@ cargo run -q --release -p minshare-bench --bin fault_sweep -- --schedules 10
 # Smoke-run the perf suite (one pass per routine, no timing loops) so a
 # bench that stops compiling or panics fails the gate.
 cargo bench -q -p minshare-bench --bench pipeline -- --test
+# Perf-regression smoke: re-measure the end-to-end rows and compare the
+# optimized/serial ratios against the committed BENCH_protocols.json
+# (10% tolerance; ratios, not wall times, so background load and host
+# speed cancel out).
+bash tools/bench.sh --check

@@ -1,9 +1,13 @@
 //! Offline stand-in for the `bytes` crate.
 //!
 //! Implements the subset the minshare wire codecs use: the [`Buf`]
-//! cursor trait over `&[u8]`, the [`BufMut`] writer trait, and a
-//! [`BytesMut`] growable buffer. Integers are big-endian, matching the
+//! cursor trait over `&[u8]`, the [`BufMut`] writer trait, a
+//! [`BytesMut`] growable buffer, and a cheaply-cloneable shared
+//! [`Bytes`] view (`Arc`-backed, sliceable without copying — the
+//! upstream zero-copy contract). Integers are big-endian, matching the
 //! upstream `get_u32`/`put_u32` contract.
+
+use std::sync::Arc;
 
 /// Read cursor over a byte source. Implemented for `&[u8]`, where reads
 /// advance the slice in place.
@@ -142,6 +146,123 @@ impl BytesMut {
     pub fn into_vec(self) -> Vec<u8> {
         self.inner
     }
+
+    /// Freezes the buffer into an immutable, cheaply-cloneable [`Bytes`]
+    /// without copying the contents.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.inner)
+    }
+}
+
+/// Immutable shared byte view: an `Arc`-backed buffer plus a window.
+/// Cloning and [`Bytes::slice`] are O(1) and never copy the underlying
+/// storage.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Empty view.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Takes ownership of `data` without copying.
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Bytes {
+            data: Arc::new(data),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Copies `data` into a fresh shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from_vec(data.to_vec())
+    }
+
+    /// Bytes in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view sharing the same storage (no copy).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice {range:?} out of bounds for Bytes of len {}",
+            self.len()
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copies the viewed bytes out as a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+
+    /// Consumes the view, yielding its bytes. Reuses the backing `Vec`
+    /// without copying when this view covers the whole buffer and is the
+    /// only reference to it.
+    pub fn into_vec(self) -> Vec<u8> {
+        if self.start == 0 && self.end == self.data.len() {
+            match Arc::try_unwrap(self.data) {
+                Ok(vec) => return vec,
+                Err(shared) => return shared[..self.end].to_vec(),
+            }
+        }
+        self.data[self.start..self.end].to_vec()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes::from_vec(data)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(data)
+    }
 }
 
 impl BufMut for BytesMut {
@@ -199,5 +320,37 @@ mod tests {
         let mut w = BytesMut::new();
         w.put_u32(1);
         assert_eq!(&w[..], &[0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn freeze_and_slice_share_storage() {
+        let mut w = BytesMut::new();
+        w.put_slice(b"hello world");
+        let frozen = w.freeze();
+        let hello = frozen.slice(0..5);
+        let world = frozen.slice(6..11);
+        assert_eq!(&hello[..], b"hello");
+        assert_eq!(&world[..], b"world");
+        // Slices of a slice re-base correctly.
+        assert_eq!(&world.slice(1..4)[..], b"orl");
+        assert_eq!(frozen.len(), 11);
+        assert_eq!(hello.clone(), hello);
+    }
+
+    #[test]
+    fn into_vec_reclaims_unique_full_view() {
+        let b = Bytes::from_vec(vec![1, 2, 3]);
+        assert_eq!(b.into_vec(), vec![1, 2, 3]);
+        let b = Bytes::from_vec(vec![1, 2, 3, 4]);
+        let tail = b.slice(2..4);
+        drop(b);
+        assert_eq!(tail.into_vec(), vec![3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from_vec(vec![0; 4]);
+        let _ = b.slice(2..6);
     }
 }
