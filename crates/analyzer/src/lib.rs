@@ -2,7 +2,7 @@
 //!
 //! A repo-local static analyzer for the `minshare` workspace. It walks
 //! every `crates/*/src/**/*.rs` file with a hand-rolled, comment- and
-//! string-aware lexer (no external parser crates) and enforces four rule
+//! string-aware lexer (no external parser crates) and enforces five rule
 //! families:
 //!
 //! * **SEC01** — secret-registry types must not `#[derive(Debug)]` or
@@ -16,6 +16,11 @@
 //!   `crates/net` (code paths reachable from peer-supplied data).
 //! * **FMT01** — no `{}` / `{:?}` formatting of registry types or secret
 //!   identifiers in `println!` / `format!` / log-style macros.
+//! * **OBS01** — no registered secret identifiers or types anywhere
+//!   inside `trace::…(...)` / `minshare_trace::…(...)` telemetry call
+//!   sites (including nested `format!` and inline `{secret:?}`
+//!   captures); trace fields are typed counts, sizes, durations and
+//!   flags, never values.
 //!
 //! Pre-existing findings are ratcheted via a checked-in baseline
 //! (`analyzer.baseline.toml`): per `(rule, file)` counts that may only

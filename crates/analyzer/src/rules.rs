@@ -1,4 +1,4 @@
-//! The four lint rule families, as token-stream pattern matchers.
+//! The five lint rule families, as token-stream pattern matchers.
 
 use crate::lexer::{test_mask, Token, TokKind};
 use crate::registry;
@@ -16,6 +16,7 @@ pub fn check_file(rel_path: &str, src: &str) -> Vec<Finding> {
         findings.extend(panic01_panics(rel_path, &tokens, &mask));
     }
     findings.extend(fmt01_formatting(rel_path, &tokens, &mask));
+    findings.extend(obs01_trace_telemetry(rel_path, &tokens, &mask));
     findings.sort_by_key(|f| (f.line, f.col, f.rule));
     findings
 }
@@ -315,6 +316,80 @@ fn fmt01_formatting(rel_path: &str, tokens: &[Token], mask: &[bool]) -> Vec<Find
                 ),
             ));
         }
+    }
+    out
+}
+
+/// Leading path segments that mark a telemetry call site: the
+/// `minshare_trace` crate and its conventional `trace` alias (covers
+/// `use minshare_trace as trace;` and re-export modules named `trace`).
+const OBS01_TRACE_HEADS: &[&str] = &["trace", "minshare_trace"];
+
+/// OBS01: secret material inside telemetry call sites.
+///
+/// The trace layer is secret-safe by construction — fields are typed
+/// counts, sizes, durations and flags — so any registered secret
+/// identifier or type appearing *anywhere* inside a
+/// `trace::…(...)`/`minshare_trace::…(...)` call (including the lazy
+/// field closure, nested `format!` arguments, and inline `{secret:?}`
+/// captures in string literals) is a leak of key material into
+/// observability output. Test code is exempt, like FMT01: redaction
+/// tests legitimately format secrets to assert on the redacted text.
+fn obs01_trace_telemetry(rel_path: &str, tokens: &[Token], mask: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if mask[i] {
+            i += 1;
+            continue;
+        }
+        let t = &tokens[i];
+        let is_head = t.kind == TokKind::Ident
+            && OBS01_TRACE_HEADS.contains(&t.text.as_str())
+            && tokens.get(i + 1).map(|n| n.text.as_str()) == Some("::")
+            // `run.trace` / `self.trace` is a field access, not the path.
+            && (i == 0 || tokens[i - 1].text != ".");
+        if !is_head {
+            i += 1;
+            continue;
+        }
+        // Walk the rest of the path (`trace::sink::…`) to its final
+        // segment, then require a call.
+        let mut j = i;
+        while tokens.get(j + 1).map(|n| n.text.as_str()) == Some("::")
+            && tokens.get(j + 2).map(|n| n.kind == TokKind::Ident) == Some(true)
+        {
+            j += 2;
+        }
+        if tokens.get(j + 1).map(|n| n.text.as_str()) != Some("(") {
+            i = j + 1;
+            continue;
+        }
+        let close = matching_close(tokens, j + 1);
+        let args = &tokens[j + 2..close.min(tokens.len())];
+        let direct = args.iter().find(|a| {
+            a.kind == TokKind::Ident
+                && (registry::is_secret_ident(&a.text) || registry::is_secret_type(&a.text))
+        });
+        let via_placeholder = args.iter().filter(|a| a.kind == TokKind::Str).find_map(|a| {
+            parse_placeholders(&a.text)
+                .into_iter()
+                .find(|p| registry::is_secret_ident(p) || registry::is_secret_type(p))
+        });
+        if let Some(name) = direct.map(|a| a.text.clone()).or(via_placeholder) {
+            out.push(finding(
+                "OBS01",
+                rel_path,
+                t,
+                format!(
+                    "telemetry call site captures secret material (`{name}`); trace \
+                     fields are counts, sizes, durations and flags — never secret values"
+                ),
+            ));
+        }
+        // Nested trace calls inside `args` were scanned with the outer
+        // call; one finding per outermost site.
+        i = close.max(j) + 1;
     }
     out
 }

@@ -1,0 +1,54 @@
+// OBS01 fixture: secret material must never reach telemetry call sites.
+
+fn bad_direct(exponent: &[u8]) {
+    // POSITIVE: secret identifier fed into a trace field builder.
+    minshare_trace::emit("crypto", "encrypt", true, || {
+        vec![minshare_trace::size("key_bits", exponent.len() as u64)]
+    });
+}
+
+fn bad_debug() {
+    // POSITIVE: Debug-formatting a registry type inside a trace call.
+    trace::event("crypto", format!("{:?}", CommutativeKey::default()));
+}
+
+fn bad_inline_capture(mac_key: &[u8; 32]) {
+    // POSITIVE: inline capture names the secret in the format string.
+    minshare_trace::emit("net", "sealed", false, || {
+        vec![minshare_trace::flag("redacted", format!("{mac_key:?}").is_empty())]
+    });
+}
+
+fn good_counts(items: u64, bytes: u64) {
+    // NEGATIVE: typed count/size fields are exactly what the layer is for.
+    minshare_trace::emit("net", "frame_sent", true, || {
+        vec![
+            minshare_trace::count("items", items),
+            minshare_trace::size("bytes", bytes),
+        ]
+    });
+}
+
+fn good_outside_telemetry(exponent: &[u8]) {
+    // NEGATIVE: secret use outside a telemetry call site is not OBS01's
+    // business (SEC02/FMT01 cover comparisons and logging).
+    let _bits = exponent.len() * 8;
+}
+
+fn good_field_access(run: &SimTwoPartyRun<(), ()>) {
+    // NEGATIVE: `run.trace` is a field access, not the trace crate path.
+    let _digest = run.trace.digest();
+}
+
+// NEGATIVE: a comment mentioning minshare_trace::emit(exponent) never fires.
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn redaction_tests_may_mention_secrets() {
+        // NEGATIVE: test code is exempt, as for FMT01.
+        minshare_trace::emit("crypto", "encrypt", true, || {
+            vec![minshare_trace::size("key_bits", exponent.len() as u64)]
+        });
+    }
+}

@@ -103,3 +103,27 @@ fn fmt01_ignores_public_formatting_and_test_code() {
     let found = findings_for("crates/crypto/src/fixture.rs", src, "FMT01");
     assert!(found.iter().all(|f| f.line < 12), "findings: {found:#?}");
 }
+
+// ---------------------------------------------------------------- OBS01
+
+#[test]
+fn obs01_flags_secret_material_in_trace_call_sites() {
+    let src = include_str!("fixtures/obs01.rs");
+    let found = findings_for("crates/crypto/src/fixture.rs", src, "OBS01");
+    // Direct secret-ident capture, Debug of a registry type, and an
+    // inline {mac_key:?} capture in a nested format string.
+    assert_eq!(lines(&found), vec![5, 12, 17], "findings: {found:#?}");
+    assert!(found[0].message.contains("exponent"));
+    assert!(found[1].message.contains("CommutativeKey"));
+    assert!(found[2].message.contains("mac_key"));
+}
+
+#[test]
+fn obs01_ignores_typed_fields_field_access_comments_and_tests() {
+    let src = include_str!("fixtures/obs01.rs");
+    let found = findings_for("crates/crypto/src/fixture.rs", src, "OBS01");
+    // Nothing past the last positive: typed count/size fields, secrets
+    // outside telemetry, `run.trace` field access, commented-out calls
+    // and test code are all clean.
+    assert!(found.iter().all(|f| f.line <= 17), "findings: {found:#?}");
+}

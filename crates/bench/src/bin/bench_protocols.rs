@@ -13,7 +13,14 @@
 //!   bench_protocols --check    # re-measure the e2e rows and fail (exit 1)
 //!                              # if any optimized/serial ratio regressed
 //!                              # >10% vs. the committed BENCH_protocols.json
+//!   bench_protocols --profile  # run every protocol under the trace
+//!                              # metrics sink and reconcile the measured
+//!                              # Ce ops and wire bytes against §6.1;
+//!                              # exit 1 unless all four reconcile.
+//!                              # `--profile smoke` shrinks the group and
+//!                              # set sizes for CI.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use minshare::pipeline::{self, PipelineConfig};
@@ -22,7 +29,11 @@ use minshare_bench::{bench_group, overlapping_sets};
 use minshare_bignum::montgomery::MontgomeryCtx;
 use minshare_bignum::random::random_below;
 use minshare_bignum::UBig;
+use minshare_costmodel::reconcile::{self, MeasuredRun, Reconciliation};
+use minshare_costmodel::section6::Protocol;
 use minshare_crypto::pool::EncryptPool;
+use minshare_trace::sink::MetricsSink;
+use minshare_trace::{TraceSink, Tracer};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -231,8 +242,164 @@ fn run_check(snapshot_path: &str) -> i32 {
     }
 }
 
+/// One protocol run under the aggregating metrics sink: both parties
+/// share a [`MetricsSink`], and the reconciliation pulls everything from
+/// the recorded events — `Ce` from the engines' `*_done` events, bytes
+/// and frames from the counting transport's `frame_sent` events, set
+/// sizes from the events' `own_values` fields.
+fn profile_protocol(
+    protocol: Protocol,
+    sink: &MetricsSink,
+    k_bits: u64,
+    k_prime_bits: u64,
+) -> Reconciliation {
+    let scope = reconcile::protocol_slug(protocol);
+    let ce = |name: &str| sink.sum(scope, name, "encryptions") + sink.sum(scope, name, "decryptions");
+    let run = MeasuredRun {
+        protocol,
+        vs: sink.sum(scope, "sender_done", "own_values"),
+        vr: sink.sum(scope, "receiver_done", "own_values"),
+        k_bits,
+        k_prime_bits,
+        measured_ce: ce("sender_done") + ce("receiver_done"),
+        measured_bytes: sink.sum("net", "frame_sent", "bytes"),
+        frames: sink.sum("net", "frame_sent", "frames"),
+    };
+    reconcile::reconcile(run)
+}
+
+/// `--profile [smoke]`: serial runs of all four protocols with tracing
+/// on, reconciled against the §6.1 formulas. Prints a JSON report and
+/// exits nonzero unless every protocol's measured `Ce` count matches the
+/// formula exactly and its wire bytes sit within the framing envelope.
+fn run_profile(smoke: bool) -> i32 {
+    let (group_bits, set_n) = if smoke { (256u64, 32usize) } else { (512, 48) };
+    let g = bench_group(group_bits);
+    let (vs, vr) = overlapping_sets(set_n, set_n, set_n / 2);
+    let k_bits = 8 * g.codeword_bytes() as u64;
+    let record = b"record-payload".to_vec();
+    let cipher = HybridCipher::new(g.clone(), record.len());
+    // One payload-table entry costs its codeword (in the k term) plus a
+    // 4-byte length prefix and the fixed-width ciphertext: that is §6.1's
+    // k' as this wire format realizes it.
+    let k_prime_bits = 8 * (4 + cipher.ciphertext_len()) as u64;
+
+    let mut reconciliations: Vec<Reconciliation> = Vec::new();
+    for protocol in Protocol::all() {
+        let sink = Arc::new(MetricsSink::new());
+        let traced = |sink: &Arc<MetricsSink>| {
+            Tracer::to_sink(Arc::clone(sink) as Arc<dyn TraceSink>)
+        };
+        let (s_sink, r_sink) = (Arc::clone(&sink), Arc::clone(&sink));
+        let run = match protocol {
+            Protocol::Intersection => run_two_party(
+                |t| {
+                    let _trace = minshare_trace::install(traced(&s_sink));
+                    let mut rng = StdRng::seed_from_u64(1);
+                    intersection::run_sender(t, &g, &vs, &mut rng).map(|_| ())
+                },
+                |t| {
+                    let _trace = minshare_trace::install(traced(&r_sink));
+                    let mut rng = StdRng::seed_from_u64(2);
+                    intersection::run_receiver(t, &g, &vr, &mut rng).map(|_| ())
+                },
+            ),
+            Protocol::Equijoin => {
+                let entries: Vec<(Vec<u8>, Vec<u8>)> =
+                    vs.iter().map(|v| (v.clone(), record.clone())).collect();
+                run_two_party(
+                    |t| {
+                        let _trace = minshare_trace::install(traced(&s_sink));
+                        let mut rng = StdRng::seed_from_u64(1);
+                        equijoin::run_sender(t, &g, &cipher, &entries, &mut rng).map(|_| ())
+                    },
+                    |t| {
+                        let _trace = minshare_trace::install(traced(&r_sink));
+                        let cipher = HybridCipher::new(g.clone(), record.len());
+                        let mut rng = StdRng::seed_from_u64(2);
+                        equijoin::run_receiver(t, &g, &cipher, &vr, &mut rng).map(|_| ())
+                    },
+                )
+            }
+            Protocol::IntersectionSize => run_two_party(
+                |t| {
+                    let _trace = minshare_trace::install(traced(&s_sink));
+                    let mut rng = StdRng::seed_from_u64(1);
+                    intersection_size::run_sender(t, &g, &vs, &mut rng).map(|_| ())
+                },
+                |t| {
+                    let _trace = minshare_trace::install(traced(&r_sink));
+                    let mut rng = StdRng::seed_from_u64(2);
+                    intersection_size::run_receiver(t, &g, &vr, &mut rng).map(|_| ())
+                },
+            ),
+            Protocol::EquijoinSize => run_two_party(
+                |t| {
+                    let _trace = minshare_trace::install(traced(&s_sink));
+                    let mut rng = StdRng::seed_from_u64(1);
+                    equijoin_size::run_sender(t, &g, &vs, &mut rng).map(|_| ())
+                },
+                |t| {
+                    let _trace = minshare_trace::install(traced(&r_sink));
+                    let mut rng = StdRng::seed_from_u64(2);
+                    equijoin_size::run_receiver(t, &g, &vr, &mut rng).map(|_| ())
+                },
+            ),
+        };
+        run.expect("profiled protocol run");
+        reconciliations.push(profile_protocol(
+            protocol,
+            &sink,
+            k_bits,
+            if protocol == Protocol::Equijoin {
+                k_prime_bits
+            } else {
+                0
+            },
+        ));
+    }
+
+    println!("{{");
+    println!(
+        "  \"profile\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    println!("  \"group_bits\": {group_bits},");
+    println!("  \"set_n\": {set_n},");
+    println!("  \"reconciliations\": [");
+    for (i, r) in reconciliations.iter().enumerate() {
+        let comma = if i + 1 == reconciliations.len() { "" } else { "," };
+        println!("    {}{comma}", r.to_json());
+    }
+    println!("  ]");
+    println!("}}");
+
+    let failed: Vec<&Reconciliation> = reconciliations.iter().filter(|r| !r.ok()).collect();
+    for r in &failed {
+        eprintln!(
+            "bench --profile: {} failed reconciliation: ce {}/{} bytes {}/{}+{}",
+            reconcile::protocol_slug(r.run.protocol),
+            r.run.measured_ce,
+            r.predicted_ce,
+            r.run.measured_bytes,
+            r.predicted_bytes,
+            reconcile::ENVELOPE_BYTES_PER_FRAME * r.run.frames,
+        );
+    }
+    if failed.is_empty() {
+        eprintln!("bench --profile: all four protocols reconcile with the section 6.1 model");
+        0
+    } else {
+        1
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--profile") {
+        let smoke = args.get(1).map(String::as_str) == Some("smoke");
+        std::process::exit(run_profile(smoke));
+    }
     if args.first().map(String::as_str) == Some("--check") {
         let path = args.get(1).map(String::as_str).unwrap_or("BENCH_protocols.json");
         std::process::exit(run_check(path));

@@ -9,15 +9,26 @@
 //! With the default `--schedules 60`, the sweep is 60 schedules × 4
 //! protocols = 240 seeded runs. The process exits non-zero on any
 //! contract violation, so it can gate CI.
+//!
+//! Output is machine-first: stdout carries one JSON object per seeded
+//! run — wall-clock time, outcome, violation latency, and the
+//! trace-layer counters (`Ce` operations charged, protocol-layer frames
+//! and bytes from the metrics sink) — followed by a final summary
+//! object. The human-readable tallies and VIOLATION diagnostics go to
+//! stderr.
 
 use std::collections::BTreeSet;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use minshare::naive::naive_intersection;
 use minshare::prelude::*;
 use minshare::simrun::{run_two_party_sim, SimOutcome, SimRunConfig, SimTwoPartyRun};
 use minshare_bench::bench_group;
 use minshare_net::FaultPlan;
+use minshare_trace::sink::MetricsSink;
+use minshare_trace::{TraceSink, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -45,6 +56,13 @@ fn chunked() -> PipelineConfig {
     PipelineConfig::chunked(3)
 }
 
+/// A tracer feeding the shared per-run metrics sink; installed inside
+/// each party closure so the thread-local trace context exists on the
+/// party threads that `run_two_party_sim` spawns.
+fn metrics_tracer(sink: &Arc<MetricsSink>) -> Tracer {
+    Tracer::to_sink(Arc::clone(sink) as Arc<dyn TraceSink>)
+}
+
 /// Per-protocol sweep tally.
 #[derive(Debug, Default)]
 struct Tally {
@@ -54,16 +72,20 @@ struct Tally {
 }
 
 impl Tally {
+    /// Classifies one faulty run against the perfect-link baseline and
+    /// returns how many violations this seed alone contributed.
     fn record<SO, RO>(
         &mut self,
         tag: &str,
         seed: u64,
         baseline: &SimTwoPartyRun<SO, RO>,
         faulty: &SimTwoPartyRun<SO, RO>,
-    ) where
+    ) -> u32
+    where
         SO: PartialEq + std::fmt::Debug,
         RO: PartialEq + std::fmt::Debug,
     {
+        let before = self.violations;
         match faulty.outcome() {
             SimOutcome::Panicked => {
                 self.violations += 1;
@@ -71,7 +93,7 @@ impl Tally {
                     "VIOLATION [{tag} seed {seed}]: party panicked: {:?} / {:?}",
                     faulty.sender, faulty.receiver
                 );
-                return;
+                return self.violations - before;
             }
             SimOutcome::Complete => self.complete += 1,
             SimOutcome::TypedFailure => self.typed_failure += 1,
@@ -98,21 +120,79 @@ impl Tally {
                 eprintln!("VIOLATION [{tag} seed {seed}]: receiver leakage profile changed");
             }
         }
+        self.violations - before
     }
+}
+
+fn outcome_slug(outcome: SimOutcome) -> &'static str {
+    match outcome {
+        SimOutcome::Complete => "complete",
+        SimOutcome::TypedFailure => "typed_failure",
+        SimOutcome::Panicked => "panicked",
+    }
+}
+
+fn millis(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// One JSON-lines row per seeded run. `ce_ops` counts the §6.1 units
+/// charged by parties that *completed* (a failed party never reaches its
+/// `*_done` event); `frames`/`bytes` count protocol-layer traffic from
+/// both endpoints' counting transports, retransmits excluded.
+#[allow(clippy::too_many_arguments)]
+fn seed_row_json(
+    tag: &str,
+    scope: &str,
+    seed: u64,
+    outcome: SimOutcome,
+    wall: Duration,
+    violations: u32,
+    violation_latency: Option<Duration>,
+    sink: &MetricsSink,
+) -> String {
+    let ce_ops = sink.sum(scope, "sender_done", "encryptions")
+        + sink.sum(scope, "sender_done", "decryptions")
+        + sink.sum(scope, "receiver_done", "encryptions")
+        + sink.sum(scope, "receiver_done", "decryptions");
+    let frames = sink.sum("net", "frame_sent", "frames");
+    let bytes = sink.sum("net", "frame_sent", "bytes");
+    let latency = match violation_latency {
+        Some(d) => format!("{:.3}", millis(d)),
+        None => "null".to_string(),
+    };
+    format!(
+        concat!(
+            "{{\"fault_sweep_seed\":{{\"protocol\":\"{}\",\"seed\":{},",
+            "\"outcome\":\"{}\",\"wall_ms\":{:.3},\"violations\":{},",
+            "\"violation_latency_ms\":{},\"ce_ops\":{},\"frames\":{},",
+            "\"bytes\":{}}}}}"
+        ),
+        tag,
+        seed,
+        outcome_slug(outcome),
+        millis(wall),
+        violations,
+        latency,
+        ce_ops,
+        frames,
+        bytes,
+    )
 }
 
 fn sweep_protocol<SO, RO>(
     tag: &str,
+    scope: &str,
     schedules: u64,
     base_seed: u64,
-    run: impl Fn(&FaultPlan) -> SimTwoPartyRun<SO, RO>,
+    run: impl Fn(&FaultPlan, &Arc<MetricsSink>) -> SimTwoPartyRun<SO, RO>,
 ) -> Tally
 where
     SO: PartialEq + std::fmt::Debug,
     RO: PartialEq + std::fmt::Debug,
 {
     let mut tally = Tally::default();
-    let baseline = run(&FaultPlan::perfect());
+    let baseline = run(&FaultPlan::perfect(), &Arc::new(MetricsSink::new()));
     if baseline.outcome() != SimOutcome::Complete {
         tally.violations += 1;
         eprintln!(
@@ -123,13 +203,34 @@ where
     }
     for i in 0..schedules {
         let seed = base_seed.wrapping_add(i);
-        let faulty = run(&FaultPlan::from_seed(seed));
-        tally.record(tag, seed, &baseline, &faulty);
+        let sink = Arc::new(MetricsSink::new());
+        let started = Instant::now();
+        let faulty = run(&FaultPlan::from_seed(seed), &sink);
+        let wall = started.elapsed();
+        let seed_violations = tally.record(tag, seed, &baseline, &faulty);
+        // Violation latency: how long after the run started the contract
+        // breach was established (the run itself plus the post-hoc
+        // baseline comparison — the sweep only ever detects post-hoc).
+        let latency = (seed_violations > 0).then(|| started.elapsed());
+        println!(
+            "{}",
+            seed_row_json(
+                tag,
+                scope,
+                seed,
+                faulty.outcome(),
+                wall,
+                seed_violations,
+                latency,
+                &sink
+            )
+        );
     }
     // Reproducibility spot check: replaying the first schedule must give
     // a byte-identical fault trace and the same outcome.
     let plan = FaultPlan::from_seed(base_seed);
-    let (r1, r2) = (run(&plan), run(&plan));
+    let fresh = || Arc::new(MetricsSink::new());
+    let (r1, r2) = (run(&plan, &fresh()), run(&plan, &fresh()));
     if r1.trace.digest() != r2.trace.digest() || r1.outcome() != r2.outcome() {
         tally.violations += 1;
         eprintln!("VIOLATION [{tag}]: seed {base_seed} did not reproduce its trace");
@@ -172,29 +273,38 @@ fn main() -> ExitCode {
     let pool = EncryptPool::new(2);
     let sim = SimRunConfig::default();
 
-    println!(
+    eprintln!(
         "fault_sweep: {schedules} schedules x 4 protocols = {} seeded runs (base seed {base_seed:#x})",
         schedules * 4
     );
 
     let g = &group;
     let p = &pool;
-    let intersection = sweep_protocol("intersection", schedules, base_seed, |plan| {
-        let (s_vals, r_vals) = (vs(), vr());
-        run_two_party_sim(
-            sim,
-            plan,
-            move |t| {
-                let mut rng = StdRng::seed_from_u64(7);
-                pipeline::run_intersection_sender(t, g, &s_vals, &mut rng, p, chunked())
-            },
-            move |t| {
-                let mut rng = StdRng::seed_from_u64(8);
-                pipeline::run_intersection_receiver(t, g, &r_vals, &mut rng, p, chunked())
-            },
-        )
-    });
-    let equijoin = sweep_protocol("equijoin", schedules, base_seed, |plan| {
+    let intersection = sweep_protocol(
+        "intersection",
+        "intersection",
+        schedules,
+        base_seed,
+        |plan, sink| {
+            let (s_vals, r_vals) = (vs(), vr());
+            let (s_sink, r_sink) = (Arc::clone(sink), Arc::clone(sink));
+            run_two_party_sim(
+                sim,
+                plan,
+                move |t| {
+                    let _trace = minshare_trace::install(metrics_tracer(&s_sink));
+                    let mut rng = StdRng::seed_from_u64(7);
+                    pipeline::run_intersection_sender(t, g, &s_vals, &mut rng, p, chunked())
+                },
+                move |t| {
+                    let _trace = minshare_trace::install(metrics_tracer(&r_sink));
+                    let mut rng = StdRng::seed_from_u64(8);
+                    pipeline::run_intersection_receiver(t, g, &r_vals, &mut rng, p, chunked())
+                },
+            )
+        },
+    );
+    let equijoin = sweep_protocol("equijoin", "equijoin", schedules, base_seed, |plan, sink| {
         let entries: Vec<(Vec<u8>, Vec<u8>)> = vs()
             .into_iter()
             .map(|v| {
@@ -204,51 +314,72 @@ fn main() -> ExitCode {
             })
             .collect();
         let r_vals = vr();
+        let (s_sink, r_sink) = (Arc::clone(sink), Arc::clone(sink));
         run_two_party_sim(
             sim,
             plan,
             move |t| {
+                let _trace = minshare_trace::install(metrics_tracer(&s_sink));
                 let cipher = HybridCipher::new(g.clone(), 16);
                 let mut rng = StdRng::seed_from_u64(9);
                 pipeline::run_equijoin_sender(t, g, &cipher, &entries, &mut rng, p, chunked())
             },
             move |t| {
+                let _trace = minshare_trace::install(metrics_tracer(&r_sink));
                 let cipher = HybridCipher::new(g.clone(), 16);
                 let mut rng = StdRng::seed_from_u64(10);
                 pipeline::run_equijoin_receiver(t, g, &cipher, &r_vals, &mut rng, p, chunked())
             },
         )
     });
-    let intersection_size = sweep_protocol("intersection-size", schedules, base_seed, |plan| {
-        let (s_vals, r_vals) = (vs(), vr());
-        run_two_party_sim(
-            sim,
-            plan,
-            move |t| {
-                let mut rng = StdRng::seed_from_u64(11);
-                intersection_size::run_sender(t, g, &s_vals, &mut rng)
-            },
-            move |t| {
-                let mut rng = StdRng::seed_from_u64(12);
-                intersection_size::run_receiver(t, g, &r_vals, &mut rng)
-            },
-        )
-    });
-    let equijoin_size = sweep_protocol("equijoin-size", schedules, base_seed, |plan| {
-        let (s_vals, r_vals) = (ms(), mr());
-        run_two_party_sim(
-            sim,
-            plan,
-            move |t| {
-                let mut rng = StdRng::seed_from_u64(13);
-                equijoin_size::run_sender(t, g, &s_vals, &mut rng)
-            },
-            move |t| {
-                let mut rng = StdRng::seed_from_u64(14);
-                equijoin_size::run_receiver(t, g, &r_vals, &mut rng)
-            },
-        )
-    });
+    let intersection_size = sweep_protocol(
+        "intersection-size",
+        "intersection_size",
+        schedules,
+        base_seed,
+        |plan, sink| {
+            let (s_vals, r_vals) = (vs(), vr());
+            let (s_sink, r_sink) = (Arc::clone(sink), Arc::clone(sink));
+            run_two_party_sim(
+                sim,
+                plan,
+                move |t| {
+                    let _trace = minshare_trace::install(metrics_tracer(&s_sink));
+                    let mut rng = StdRng::seed_from_u64(11);
+                    intersection_size::run_sender(t, g, &s_vals, &mut rng)
+                },
+                move |t| {
+                    let _trace = minshare_trace::install(metrics_tracer(&r_sink));
+                    let mut rng = StdRng::seed_from_u64(12);
+                    intersection_size::run_receiver(t, g, &r_vals, &mut rng)
+                },
+            )
+        },
+    );
+    let equijoin_size = sweep_protocol(
+        "equijoin-size",
+        "equijoin_size",
+        schedules,
+        base_seed,
+        |plan, sink| {
+            let (s_vals, r_vals) = (ms(), mr());
+            let (s_sink, r_sink) = (Arc::clone(sink), Arc::clone(sink));
+            run_two_party_sim(
+                sim,
+                plan,
+                move |t| {
+                    let _trace = minshare_trace::install(metrics_tracer(&s_sink));
+                    let mut rng = StdRng::seed_from_u64(13);
+                    equijoin_size::run_sender(t, g, &s_vals, &mut rng)
+                },
+                move |t| {
+                    let _trace = minshare_trace::install(metrics_tracer(&r_sink));
+                    let mut rng = StdRng::seed_from_u64(14);
+                    equijoin_size::run_receiver(t, g, &r_vals, &mut rng)
+                },
+            )
+        },
+    );
 
     // Sanity-check the baselines against the clear-text reference once,
     // so "complete" above really means "correct", not just "consistent".
@@ -280,7 +411,7 @@ fn main() -> ExitCode {
         ("intersection-size", &intersection_size),
         ("equijoin-size", &equijoin_size),
     ] {
-        println!(
+        eprintln!(
             "  {tag:<18} complete {:>4}  typed-failure {:>4}  violations {}",
             tally.complete, tally.typed_failure, tally.violations
         );
@@ -291,8 +422,13 @@ fn main() -> ExitCode {
         eprintln!("VIOLATION: perfect-link intersection disagrees with the clear reference");
     }
 
+    println!(
+        "{{\"fault_sweep\":{{\"schedules\":{schedules},\"runs\":{},\"violations\":{violations},\"pass\":{}}}}}",
+        schedules * 4,
+        violations == 0
+    );
     if violations == 0 {
-        println!(
+        eprintln!(
             "fault_sweep: PASS — {} runs, zero panics, zero hangs, zero wrong answers",
             schedules * 4
         );

@@ -69,6 +69,9 @@ pub struct Args {
     pub secure: bool,
     /// RNG seed; `None` = OS entropy.
     pub seed: Option<u64>,
+    /// Write a JSON-lines trace of the run to this file, followed by a
+    /// final §6.1 reconciliation line.
+    pub trace_path: Option<String>,
 }
 
 /// A parse failure with a usage hint.
@@ -99,6 +102,9 @@ options:
   --key-bits N           Paillier modulus bits for `sum` (default 1024)
   --secure               run inside the encrypted session channel
   --seed N               deterministic RNG seed (default: OS entropy)
+  --trace FILE           write a JSON-lines event trace (counts, sizes and
+                         durations only — never values or keys), ending
+                         with a measured-vs-predicted cost reconciliation
 ";
 
 impl Args {
@@ -119,6 +125,7 @@ impl Args {
         let mut key_bits = 1024u64;
         let mut secure = false;
         let mut seed = None;
+        let mut trace_path = None;
 
         let next_value =
             |it: &mut dyn Iterator<Item = String>, flag: &str| -> Result<String, ArgsError> {
@@ -155,6 +162,7 @@ impl Args {
                         .map_err(|_| ArgsError("--key-bits expects a number".to_string()))?
                 }
                 "--secure" => secure = true,
+                "--trace" => trace_path = Some(next_value(&mut it, "--trace")?),
                 "--seed" => {
                     seed = Some(
                         next_value(&mut it, "--seed")?
@@ -184,6 +192,7 @@ impl Args {
             key_bits,
             secure,
             seed,
+            trace_path,
         })
     }
 }
@@ -237,6 +246,23 @@ mod tests {
         assert_eq!(a.key_bits, 512);
         assert!(a.secure);
         assert_eq!(a.seed, Some(7));
+        assert_eq!(a.trace_path, None);
+    }
+
+    #[test]
+    fn trace_flag_takes_a_path() {
+        let a = parse(&[
+            "intersect",
+            "--listen",
+            "h:1",
+            "--values",
+            "v",
+            "--trace",
+            "run.jsonl",
+        ])
+        .unwrap();
+        assert_eq!(a.trace_path.as_deref(), Some("run.jsonl"));
+        assert!(parse(&["intersect", "--listen", "h:1", "--values", "v", "--trace"]).is_err());
     }
 
     #[test]

@@ -17,16 +17,22 @@ mod args;
 mod input;
 
 use std::fs::File;
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use args::{Args, Command, Endpoint, Side, USAGE};
 use minshare::prelude::*;
 use minshare_aggregate::intersection_sum;
 use minshare_aggregate::paillier::PrivateKey;
+use minshare_costmodel::reconcile::{self, Party};
+use minshare_costmodel::section6::Protocol;
+use minshare_costmodel::CostConstants;
 use minshare_net::secure::{Role, SecureChannel};
 use minshare_net::tcp::{TcpAcceptor, TcpTransport};
-use minshare_net::Transport;
+use minshare_net::{CountingTransport, TrafficStats, Transport};
+use minshare_trace::sink::JsonLinesSink;
+use minshare_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -166,22 +172,57 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         Box::new(tcp)
     };
 
+    // Count protocol-layer frames and bytes (outermost wrap, so with
+    // --secure this still measures plaintext protocol traffic — the
+    // quantity the §6.1 formulas predict).
+    let (mut transport, traffic) = CountingTransport::new(&mut *transport);
+
+    // With --trace, install a JSON-lines tracer for this thread. The
+    // trace carries counts, sizes and durations only — never values,
+    // hashes or key material (enforced by the field types and the
+    // analyzer's OBS01 rule).
+    let trace_sink = match &args.trace_path {
+        Some(path) => {
+            let file = File::create(path)
+                .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
+            Some(Arc::new(JsonLinesSink::new(std::io::BufWriter::new(file))))
+        }
+        None => None,
+    };
+    let trace_guard = trace_sink.as_ref().map(|sink| {
+        minshare_trace::install(Tracer::to_sink(
+            Arc::clone(sink) as Arc<dyn minshare_trace::TraceSink>
+        ))
+    });
+
     let file = File::open(&args.values_path)
         .map_err(|e| format!("cannot open {}: {e}", args.values_path))?;
     let reader = BufReader::new(file);
+
+    // What the reconciliation needs from the run; `None` for `sum`
+    // (the §7 extension has no §6.1 formula to check against).
+    let mut summary: Option<RunSummary> = None;
 
     match (args.command, args.side) {
         (Command::Intersect, Side::Sender) => {
             let values = input::read_values(reader)?;
             eprintln!("running intersection as S with {} values…", values.len());
-            let out = intersection::run_sender(&mut *transport, &group, &values, &mut rng)?;
+            let out = intersection::run_sender(&mut transport, &group, &values, &mut rng)?;
             eprintln!("done: peer set size |V_R| = {}", out.peer_set_size);
             eprintln!("cost: {} Ce, {} Ch", out.ops.total_ce(), out.ops.hashes);
+            summary = Some(RunSummary {
+                protocol: Protocol::Intersection,
+                party: Party::Sender,
+                own_values: unique_count(&values),
+                peer_values: out.peer_set_size as u64,
+                measured_ce: out.ops.total_ce(),
+                k_prime_bits: 0,
+            });
         }
         (Command::Intersect, Side::Receiver) => {
             let values = input::read_values(reader)?;
             eprintln!("running intersection as R with {} values…", values.len());
-            let out = intersection::run_receiver(&mut *transport, &group, &values, &mut rng)?;
+            let out = intersection::run_receiver(&mut transport, &group, &values, &mut rng)?;
             for v in &out.intersection {
                 println!("{}", String::from_utf8_lossy(v));
             }
@@ -190,17 +231,41 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
                 out.peer_set_size,
                 out.intersection.len()
             );
+            summary = Some(RunSummary {
+                protocol: Protocol::Intersection,
+                party: Party::Receiver,
+                own_values: unique_count(&values),
+                peer_values: out.peer_set_size as u64,
+                measured_ce: out.ops.total_ce(),
+                k_prime_bits: 0,
+            });
         }
         (Command::IntersectSize, Side::Sender) => {
             let values = input::read_values(reader)?;
-            let out = intersection_size::run_sender(&mut *transport, &group, &values, &mut rng)?;
+            let out = intersection_size::run_sender(&mut transport, &group, &values, &mut rng)?;
             eprintln!("done: |V_R| = {}", out.peer_set_size);
+            summary = Some(RunSummary {
+                protocol: Protocol::IntersectionSize,
+                party: Party::Sender,
+                own_values: unique_count(&values),
+                peer_values: out.peer_set_size as u64,
+                measured_ce: out.ops.total_ce(),
+                k_prime_bits: 0,
+            });
         }
         (Command::IntersectSize, Side::Receiver) => {
             let values = input::read_values(reader)?;
-            let out = intersection_size::run_receiver(&mut *transport, &group, &values, &mut rng)?;
+            let out = intersection_size::run_receiver(&mut transport, &group, &values, &mut rng)?;
             println!("{}", out.intersection_size);
             eprintln!("done: |V_S| = {}", out.peer_set_size);
+            summary = Some(RunSummary {
+                protocol: Protocol::IntersectionSize,
+                party: Party::Receiver,
+                own_values: unique_count(&values),
+                peer_values: out.peer_set_size as u64,
+                measured_ce: out.ops.total_ce(),
+                k_prime_bits: 0,
+            });
         }
         (Command::Join, Side::Sender) => {
             let entries = input::read_value_payloads(reader)?;
@@ -210,8 +275,17 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
             // record length first as a tiny header frame.
             transport.send(&(cipher.max_plaintext_len() as u32).to_be_bytes())?;
             eprintln!("running equijoin as S with {} entries…", entries.len());
-            let out = equijoin::run_sender(&mut *transport, &group, &cipher, &entries, &mut rng)?;
+            let out = equijoin::run_sender(&mut transport, &group, &cipher, &entries, &mut rng)?;
             eprintln!("done: |V_R| = {}", out.peer_set_size);
+            let keys: Vec<Vec<u8>> = entries.iter().map(|(v, _)| v.clone()).collect();
+            summary = Some(RunSummary {
+                protocol: Protocol::Equijoin,
+                party: Party::Sender,
+                own_values: unique_count(&keys),
+                peer_values: out.peer_set_size as u64,
+                measured_ce: out.ops.total_ce(),
+                k_prime_bits: 8 * (4 + cipher.ciphertext_len()) as u64,
+            });
         }
         (Command::Join, Side::Receiver) => {
             let values = input::read_values(reader)?;
@@ -223,7 +297,7 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
                 u32::from_be_bytes([header[0], header[1], header[2], header[3]]) as usize;
             let cipher = HybridCipher::new(group.clone(), record_len);
             eprintln!("running equijoin as R with {} values…", values.len());
-            let out = equijoin::run_receiver(&mut *transport, &group, &cipher, &values, &mut rng)?;
+            let out = equijoin::run_receiver(&mut transport, &group, &cipher, &values, &mut rng)?;
             for (v, payload) in &out.matches {
                 println!(
                     "{}\t{}",
@@ -236,23 +310,48 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
                 out.peer_set_size,
                 out.matches.len()
             );
+            summary = Some(RunSummary {
+                protocol: Protocol::Equijoin,
+                party: Party::Receiver,
+                own_values: unique_count(&values),
+                peer_values: out.peer_set_size as u64,
+                measured_ce: out.ops.total_ce(),
+                k_prime_bits: 8 * (4 + cipher.ciphertext_len()) as u64,
+            });
         }
         (Command::JoinSize, Side::Sender) => {
             let values = input::read_values(reader)?;
-            let out = equijoin_size::run_sender(&mut *transport, &group, &values, &mut rng)?;
+            let out = equijoin_size::run_sender(&mut transport, &group, &values, &mut rng)?;
             eprintln!(
                 "done: |V_R| = {} (duplicate distribution learned: {:?})",
                 out.peer_multiset_size, out.peer_duplicate_distribution
             );
+            summary = Some(RunSummary {
+                protocol: Protocol::EquijoinSize,
+                party: Party::Sender,
+                // Multiset protocol: duplicates are kept and priced.
+                own_values: values.len() as u64,
+                peer_values: out.peer_multiset_size as u64,
+                measured_ce: out.ops.total_ce(),
+                k_prime_bits: 0,
+            });
         }
         (Command::JoinSize, Side::Receiver) => {
             let values = input::read_values(reader)?;
-            let out = equijoin_size::run_receiver(&mut *transport, &group, &values, &mut rng)?;
+            let out = equijoin_size::run_receiver(&mut transport, &group, &values, &mut rng)?;
             println!("{}", out.join_size);
             eprintln!(
                 "done: |V_S| = {}, S's duplicate distribution: {:?}",
                 out.peer_multiset_size, out.peer_duplicate_distribution
             );
+            summary = Some(RunSummary {
+                protocol: Protocol::EquijoinSize,
+                party: Party::Receiver,
+                own_values: values.len() as u64,
+                peer_values: out.peer_multiset_size as u64,
+                measured_ce: out.ops.total_ce(),
+                k_prime_bits: 0,
+            });
         }
         (Command::Sum, Side::Sender) => {
             let entries = input::read_value_weights(reader)?;
@@ -263,7 +362,7 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
                 entries.len()
             );
             let out =
-                intersection_sum::run_sender(&mut *transport, &group, &key, &entries, &mut rng)?;
+                intersection_sum::run_sender(&mut transport, &group, &key, &entries, &mut rng)?;
             println!("count\t{}", out.intersection_count);
             println!("sum\t{}", out.sum);
             eprintln!("done: |V_R| = {}", out.peer_set_size);
@@ -274,11 +373,94 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
                 "running intersection-sum as R with {} values…",
                 values.len()
             );
-            let out = intersection_sum::run_receiver(&mut *transport, &group, &values, &mut rng)?;
+            let out = intersection_sum::run_receiver(&mut transport, &group, &values, &mut rng)?;
             println!("count\t{}", out.intersection_count);
             println!("sum\t{}", out.sum);
             eprintln!("done: |V_S| = {}", out.peer_set_size);
         }
     }
+
+    // Close out the trace: uninstall the tracer, flush the event stream,
+    // then append the reconciliation verdict as the final line.
+    drop(trace_guard);
+    if let (Some(sink), Some(path)) = (trace_sink, args.trace_path.as_ref()) {
+        sink.flush();
+        drop(sink);
+        match &summary {
+            Some(s) => {
+                let line =
+                    reconciliation_json(s, &traffic, 8 * group.codeword_bytes() as u64);
+                let mut out = std::fs::OpenOptions::new().append(true).open(path)?;
+                writeln!(out, "{line}")?;
+                eprintln!("trace written to {path} (with cost reconciliation)");
+            }
+            None => eprintln!("trace written to {path} (no §6.1 formula for this command)"),
+        }
+    }
     Ok(())
+}
+
+/// What the reconciliation line needs from a finished protocol run.
+struct RunSummary {
+    protocol: Protocol,
+    party: Party,
+    own_values: u64,
+    peer_values: u64,
+    measured_ce: u64,
+    k_prime_bits: u64,
+}
+
+/// Distinct-value count (the engines deduplicate, and §6.1 prices sets).
+fn unique_count(values: &[Vec<u8>]) -> u64 {
+    values
+        .iter()
+        .collect::<std::collections::BTreeSet<_>>()
+        .len() as u64
+}
+
+/// The final trace line: this party's measured `Ce` against its §6.1
+/// share, and the *total* observed traffic (one endpoint sees both
+/// directions) against the communication formula plus the framing
+/// envelope. Counting wraps the protocol layer, so the numbers hold with
+/// or without `--secure`.
+fn reconciliation_json(s: &RunSummary, traffic: &TrafficStats, k_bits: u64) -> String {
+    let (vs, vr) = match s.party {
+        Party::Sender => (s.own_values, s.peer_values),
+        Party::Receiver => (s.peer_values, s.own_values),
+    };
+    let consts = CostConstants {
+        k_bits,
+        k_prime_bits: s.k_prime_bits,
+        ..CostConstants::paper()
+    };
+    let predicted_ce = reconcile::party_ce_ops(s.protocol, s.party, vs, vr);
+    let predicted_bytes = s.protocol.communication_bits(vs, vr, &consts).div_ceil(8);
+    let measured_bytes = traffic.bytes_sent() + traffic.bytes_received();
+    let frames = traffic.frames_sent() + traffic.frames_received();
+    let ce_exact = s.measured_ce == predicted_ce;
+    let bytes_within_envelope = measured_bytes >= predicted_bytes
+        && measured_bytes - predicted_bytes <= reconcile::ENVELOPE_BYTES_PER_FRAME * frames;
+    format!(
+        concat!(
+            "{{\"reconciliation\":{{\"protocol\":\"{}\",\"party\":\"{}\",",
+            "\"vs\":{},\"vr\":{},\"k_bits\":{},\"k_prime_bits\":{},",
+            "\"measured_ce\":{},\"predicted_party_ce\":{},\"ce_exact\":{},",
+            "\"measured_bytes\":{},\"predicted_bytes\":{},\"frames\":{},",
+            "\"bytes_within_envelope\":{},\"ok\":{}}}}}"
+        ),
+        reconcile::protocol_slug(s.protocol),
+        s.party.name(),
+        vs,
+        vr,
+        k_bits,
+        s.k_prime_bits,
+        s.measured_ce,
+        predicted_ce,
+        ce_exact,
+        measured_bytes,
+        predicted_bytes,
+        frames,
+        bytes_within_envelope,
+        ce_exact && bytes_within_envelope,
+    )
 }

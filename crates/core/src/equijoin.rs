@@ -105,6 +105,13 @@ pub fn run_sender<T: Transport + ?Sized, C: ExtCipher + ?Sized, R: Rng + ?Sized>
     payload_pairs.sort_by(|a, b| a.0.cmp(&b.0));
     transport.send(&Message::PayloadPairs(payload_pairs).encode(group)?)?;
 
+    crate::stats::emit_ops(
+        "equijoin",
+        "sender_done",
+        &ops,
+        prepared.entries.len(),
+        peer_set_size,
+    );
     Ok(EquijoinSenderOutput { peer_set_size, ops })
 }
 
@@ -166,6 +173,7 @@ pub fn run_receiver<T: Transport + ?Sized, C: ExtCipher + ?Sized, R: Rng + ?Size
     let table: BTreeMap<UBig, Vec<u8>> = payload_pairs.into_iter().collect();
 
     // Steps 6-7: strip our layer from both entries; match; decrypt.
+    let own_set_size = encrypted.len();
     let mut matches = Vec::new();
     let mut seen_tags = BTreeSet::new();
     for ((_, v), (fes_y, fesp_y)) in encrypted.into_iter().zip(pairs) {
@@ -185,6 +193,13 @@ pub fn run_receiver<T: Transport + ?Sized, C: ExtCipher + ?Sized, R: Rng + ?Size
     }
     matches.sort();
 
+    crate::stats::emit_ops(
+        "equijoin",
+        "receiver_done",
+        &ops,
+        own_set_size,
+        peer_set_size,
+    );
     Ok(EquijoinReceiverOutput {
         matches,
         peer_set_size,

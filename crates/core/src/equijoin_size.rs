@@ -114,6 +114,13 @@ pub fn run_sender<T: Transport + ?Sized, S: CommutativeScheme, R: Rng + ?Sized>(
     zr.sort();
     transport.send(&Message::Codewords(zr).encode(scheme)?)?;
 
+    crate::stats::emit_ops(
+        "equijoin_size",
+        "sender_done",
+        &ops,
+        prepared.len(),
+        peer_multiset_size,
+    );
     Ok(EquijoinSizeSenderOutput {
         peer_multiset_size,
         peer_duplicate_distribution,
@@ -181,6 +188,13 @@ pub fn run_receiver<T: Transport + ?Sized, S: CommutativeScheme, R: Rng + ?Sized
         }
     }
 
+    crate::stats::emit_ops(
+        "equijoin_size",
+        "receiver_done",
+        &ops,
+        yr_len,
+        peer_multiset_size,
+    );
     Ok(EquijoinSizeReceiverOutput {
         join_size,
         peer_multiset_size,

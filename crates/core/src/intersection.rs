@@ -114,6 +114,13 @@ pub fn run_sender<T: Transport + ?Sized, S: CommutativeScheme, R: Rng + ?Sized>(
         .collect();
     transport.send(&Message::Codewords(reencrypted).encode(scheme)?)?;
 
+    crate::stats::emit_ops(
+        "intersection",
+        "sender_done",
+        &ops,
+        prepared.entries.len(),
+        peer_set_size,
+    );
     Ok(IntersectionSenderOutput { peer_set_size, ops })
 }
 
@@ -167,6 +174,7 @@ pub fn run_receiver<T: Transport + ?Sized, S: CommutativeScheme, R: Rng + ?Sized
         .collect();
 
     // Step 6: v is in the intersection iff f_eS(f_eR(h(v))) ∈ Z_S.
+    let own_set_size = encrypted.len();
     let mut intersection: Vec<Vec<u8>> = encrypted
         .into_iter()
         .zip(reencrypted)
@@ -175,6 +183,13 @@ pub fn run_receiver<T: Transport + ?Sized, S: CommutativeScheme, R: Rng + ?Sized
         .collect();
     intersection.sort();
 
+    crate::stats::emit_ops(
+        "intersection",
+        "receiver_done",
+        &ops,
+        own_set_size,
+        peer_set_size,
+    );
     Ok(IntersectionReceiverOutput {
         intersection,
         peer_set_size,

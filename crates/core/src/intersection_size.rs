@@ -81,6 +81,13 @@ pub fn run_sender<T: Transport + ?Sized, S: CommutativeScheme, R: Rng + ?Sized>(
     zr.sort();
     transport.send(&Message::Codewords(zr).encode(scheme)?)?;
 
+    crate::stats::emit_ops(
+        "intersection_size",
+        "sender_done",
+        &ops,
+        prepared.entries.len(),
+        peer_set_size,
+    );
     Ok(IntersectionSizeSenderOutput { peer_set_size, ops })
 }
 
@@ -134,6 +141,13 @@ pub fn run_receiver<T: Transport + ?Sized, S: CommutativeScheme, R: Rng + ?Sized
     // Step 6: |Z_S ∩ Z_R|.
     let intersection_size = zr.iter().filter(|z| zs.contains(z)).count();
 
+    crate::stats::emit_ops(
+        "intersection_size",
+        "receiver_done",
+        &ops,
+        yr_len,
+        peer_set_size,
+    );
     Ok(IntersectionSizeReceiverOutput {
         intersection_size,
         peer_set_size,

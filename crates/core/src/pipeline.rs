@@ -203,6 +203,13 @@ pub fn run_intersection_sender<T: Transport + ?Sized, R: Rng + ?Sized>(
     }
     writer.finish()?;
 
+    crate::stats::emit_ops(
+        "intersection",
+        "sender_done",
+        &ops,
+        hashes.len(),
+        peer_set_size,
+    );
     Ok(IntersectionSenderOutput { peer_set_size, ops })
 }
 
@@ -267,6 +274,13 @@ pub fn run_intersection_receiver<T: Transport + ?Sized, R: Rng + ?Sized>(
         .collect();
     intersection.sort();
 
+    crate::stats::emit_ops(
+        "intersection",
+        "receiver_done",
+        &ops,
+        yr.len(),
+        peer_set_size,
+    );
     Ok(IntersectionReceiverOutput {
         intersection,
         peer_set_size,
@@ -350,6 +364,13 @@ pub fn run_equijoin_sender<T: Transport + ?Sized, C: ExtCipher + ?Sized, R: Rng 
         config.effective_chunk(payload_pairs.len()),
     )?;
 
+    crate::stats::emit_ops(
+        "equijoin",
+        "sender_done",
+        &ops,
+        hashes.len(),
+        peer_set_size,
+    );
     Ok(EquijoinSenderOutput { peer_set_size, ops })
 }
 
@@ -455,6 +476,13 @@ pub fn run_equijoin_receiver<T: Transport + ?Sized, C: ExtCipher + ?Sized, R: Rn
     }
     matches.sort();
 
+    crate::stats::emit_ops(
+        "equijoin",
+        "receiver_done",
+        &ops,
+        yr.len(),
+        peer_set_size,
+    );
     Ok(EquijoinReceiverOutput {
         matches,
         peer_set_size,

@@ -35,6 +35,37 @@ impl OpCounters {
     pub fn total_ck(&self) -> u64 {
         self.payload_encryptions + self.payload_decryptions
     }
+
+    /// The counters as trace fields, in the paper's cost units.
+    pub fn trace_fields(&self) -> Vec<minshare_trace::Field> {
+        vec![
+            minshare_trace::count("encryptions", self.encryptions),
+            minshare_trace::count("decryptions", self.decryptions),
+            minshare_trace::count("hashes", self.hashes),
+            minshare_trace::count("payload_encryptions", self.payload_encryptions),
+            minshare_trace::count("payload_decryptions", self.payload_decryptions),
+        ]
+    }
+}
+
+/// Emits one deterministic ops event for a finished party: the party's
+/// exact `Ce`/`Ch`/`CK` expenditure in §6.1 units, plus both set sizes.
+/// An aggregating sink over both parties therefore reproduces the §6.1
+/// totals (e.g. intersection: `Σ encryptions + decryptions = 2(v_s+v_r)`).
+pub(crate) fn emit_ops(
+    scope: &'static str,
+    name: &'static str,
+    ops: &OpCounters,
+    own_values: usize,
+    peer_values: usize,
+) {
+    let ops = *ops;
+    minshare_trace::emit(scope, name, true, move || {
+        let mut fields = ops.trace_fields();
+        fields.push(minshare_trace::count("own_values", own_values as u64));
+        fields.push(minshare_trace::count("peer_values", peer_values as u64));
+        fields
+    });
 }
 
 impl Add for OpCounters {

@@ -290,6 +290,7 @@ impl ChunkedWriter {
         self.items_left -= msg.item_count();
         self.chunks_left -= 1;
         transport.send(&msg.encode(scheme)?)?;
+        emit_chunk_sent(msg.item_count() as u64);
         Ok(())
     }
 
@@ -358,13 +359,31 @@ pub(crate) fn send_codewords_chunked<T: Transport + ?Sized, S: CommutativeScheme
     push_chunk_header(&mut batch, TAG_CODEWORDS, items.len(), chunk_count)?;
     if items.is_empty() {
         encode_codewords_into(scheme, &[], &mut batch.frame_writer())?;
+        emit_chunk_sent(0);
     } else {
         for chunk in items.chunks(chunk_size) {
             encode_codewords_into(scheme, chunk, &mut batch.frame_writer())?;
+            emit_chunk_sent(chunk.len() as u64);
         }
     }
     transport.send_batch(batch)?;
     Ok(())
+}
+
+/// One `pipeline/chunk_sent` trace event. Chunk boundaries are a pure
+/// function of item count and chunk size, so the event is deterministic.
+fn emit_chunk_sent(items: u64) {
+    minshare_trace::emit("pipeline", "chunk_sent", true, move || {
+        vec![minshare_trace::count("items", items)]
+    });
+}
+
+/// One `pipeline/chunk_recv` trace event, mirroring [`emit_chunk_sent`]
+/// on the reading side.
+fn emit_chunk_recv(items: u64) {
+    minshare_trace::emit("pipeline", "chunk_recv", true, move || {
+        vec![minshare_trace::count("items", items)]
+    });
 }
 
 /// Sends a materialized payload-pair table through the chunked envelope,
@@ -395,9 +414,11 @@ pub(crate) fn send_payload_pairs_chunked<T: Transport + ?Sized, S: CommutativeSc
     };
     if items.is_empty() {
         push_pairs(&[])?;
+        emit_chunk_sent(0);
     } else {
         for chunk in items.chunks(chunk_size) {
             push_pairs(chunk)?;
+            emit_chunk_sent(chunk.len() as u64);
         }
     }
     transport.send_batch(batch)?;
@@ -487,6 +508,7 @@ impl ChunkedReader {
         if let Some(msg) = self.first.take() {
             self.items_seen = msg.item_count();
             self.chunks_left = 0;
+            emit_chunk_recv(msg.item_count() as u64);
             return Ok(Some(msg));
         }
         if self.chunks_left == 0 {
@@ -505,6 +527,7 @@ impl ChunkedReader {
         {
             return Err(chunk_malformed("chunk item counts disagree with header"));
         }
+        emit_chunk_recv(msg.item_count() as u64);
         Ok(Some(msg))
     }
 }

@@ -76,10 +76,21 @@ fn plan_for(
     ctx: &Arc<MontgomeryCtx>,
     exponent: &UBig,
 ) -> Arc<FixedExponentPlan> {
+    // Which thread populates the cell first depends on scheduling when a
+    // key is shared across pool workers, so hit/build classification is
+    // not seed-deterministic.
+    let hit = cell.get().is_some();
+    minshare_trace::emit(
+        "plan_cache",
+        if hit { "hit" } else { "build" },
+        false,
+        Vec::new,
+    );
     let plan = cell.get_or_init(|| Arc::new(FixedExponentPlan::new(Arc::clone(ctx), exponent)));
     if plan.modulus() == ctx.modulus() {
         Arc::clone(plan)
     } else {
+        minshare_trace::emit("plan_cache", "modulus_mismatch", false, Vec::new);
         Arc::new(FixedExponentPlan::new(Arc::clone(ctx), exponent))
     }
 }

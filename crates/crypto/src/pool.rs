@@ -216,6 +216,7 @@ impl PendingBatch {
             PendingInner::Ready(v) => return v,
             PendingInner::InFlight { job, rx } => (job, rx),
         };
+        let waited = minshare_trace::span("pool", "wait", false);
         job.run();
         let total = job.total_items();
         let mut parts: Vec<(usize, Vec<UBig>)> = Vec::new();
@@ -232,6 +233,7 @@ impl PendingBatch {
             }
         }
         parts.sort_by_key(|(start, _)| *start);
+        waited.finish(vec![minshare_trace::count("items", total as u64)]);
         parts.into_iter().flat_map(|(_, part)| part).collect()
     }
 }
@@ -353,6 +355,16 @@ impl EncryptPool {
                 stats.inline_jobs += 1;
             }
         }
+        // The inline decision feeds on the EWMA of measured per-item
+        // cost, so the flag (and in principle the event count a sink
+        // sees, if a caller branches on pool behaviour) is
+        // timing-dependent — non-deterministic by construction.
+        minshare_trace::emit("pool", "submit", false, || {
+            vec![
+                minshare_trace::count("items", total as u64),
+                minshare_trace::flag("inline", inline),
+            ]
+        });
         if inline {
             let started = Instant::now();
             let out = task.eval_range(group, &plan, 0, total).unwrap_or_default();

@@ -5,6 +5,12 @@
 //! [`CountingTransport`] records exactly what crosses the wire so the
 //! bench harness can put the formula and the measurement side by side
 //! (experiment E5 in DESIGN.md).
+//!
+//! When a tracer is installed on the calling thread, every successful
+//! send/receive also emits a `net` trace event carrying the same frame
+//! and byte counts, so a metrics sink reproduces these counters without
+//! holding the stats handle. Frame sequences and sizes are pure
+//! functions of the protocol inputs, so the events are deterministic.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -82,6 +88,12 @@ impl<T: Transport> Transport for CountingTransport<T> {
             .bytes_sent
             .fetch_add(frame.len() as u64, Ordering::Relaxed);
         self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+        minshare_trace::emit("net", "frame_sent", true, || {
+            vec![
+                minshare_trace::count("frames", 1),
+                minshare_trace::size("bytes", frame.len() as u64),
+            ]
+        });
         Ok(())
     }
 
@@ -93,6 +105,12 @@ impl<T: Transport> Transport for CountingTransport<T> {
         self.inner.send_batch(batch)?;
         self.stats.bytes_sent.fetch_add(payload, Ordering::Relaxed);
         self.stats.frames_sent.fetch_add(frames, Ordering::Relaxed);
+        minshare_trace::emit("net", "frame_sent", true, || {
+            vec![
+                minshare_trace::count("frames", frames),
+                minshare_trace::size("bytes", payload),
+            ]
+        });
         Ok(())
     }
 
@@ -102,6 +120,12 @@ impl<T: Transport> Transport for CountingTransport<T> {
             .bytes_received
             .fetch_add(frame.len() as u64, Ordering::Relaxed);
         self.stats.frames_received.fetch_add(1, Ordering::Relaxed);
+        minshare_trace::emit("net", "frame_recv", true, || {
+            vec![
+                minshare_trace::count("frames", 1),
+                minshare_trace::size("bytes", frame.len() as u64),
+            ]
+        });
         Ok(frame)
     }
 }
@@ -114,6 +138,12 @@ impl<T: DeadlineTransport> DeadlineTransport for CountingTransport<T> {
                 .bytes_received
                 .fetch_add(frame.len() as u64, Ordering::Relaxed);
             self.stats.frames_received.fetch_add(1, Ordering::Relaxed);
+            minshare_trace::emit("net", "frame_recv", true, || {
+                vec![
+                    minshare_trace::count("frames", 1),
+                    minshare_trace::size("bytes", frame.len() as u64),
+                ]
+            });
         }
         Ok(frame)
     }

@@ -312,6 +312,7 @@ impl<T: DeadlineTransport> RobustTransport<T> {
     /// (e.g. after an application-level recovery from
     /// [`NetError::RetriesExhausted`]).
     pub fn resync(&mut self) -> Result<(), NetError> {
+        minshare_trace::emit("net", "resync", false, Vec::new);
         self.establish()
     }
 
@@ -321,7 +322,18 @@ impl<T: DeadlineTransport> RobustTransport<T> {
     fn send_encoded(&mut self, encoded: &[u8]) -> Result<(), NetError> {
         let seq = self.send_seq;
         let mut timeout = self.config.base_timeout_ms;
-        for _ in 0..self.config.max_attempts {
+        for attempt in 0..self.config.max_attempts {
+            if attempt > 0 {
+                // Retransmissions depend on real-clock timeout expiry, so
+                // the event is timing-dependent, not seed-deterministic.
+                let timeout_ms = timeout;
+                minshare_trace::emit("net", "retransmit", false, || {
+                    vec![
+                        minshare_trace::count("attempt", u64::from(attempt)),
+                        minshare_trace::count("timeout_ms", timeout_ms),
+                    ]
+                });
+            }
             self.inner.send(encoded)?;
             let mut frames = 0u32;
             while frames < FRAMES_PER_WAIT {
@@ -397,6 +409,7 @@ impl<T: DeadlineTransport> Transport for RobustTransport<T> {
                 }
             }
             if self.recv_seq > 0 {
+                minshare_trace::emit("net", "reack", false, Vec::new);
                 self.inner.send(&encode_ack(self.recv_seq - 1))?;
             }
             timeout = self.next_timeout(timeout);

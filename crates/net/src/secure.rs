@@ -194,6 +194,12 @@ impl<T: Transport> Transport for SecureChannel<T> {
         wire.extend_from_slice(&seq_bytes);
         wire.extend_from_slice(&body);
         wire.extend_from_slice(&tag);
+        minshare_trace::emit("net", "sealed", true, || {
+            vec![
+                minshare_trace::size("plain_bytes", frame.len() as u64),
+                minshare_trace::size("wire_bytes", wire.len() as u64),
+            ]
+        });
         self.inner.send(&wire)
     }
 
@@ -234,6 +240,12 @@ impl<T: Transport> Transport for SecureChannel<T> {
         self.recv_keys.seq += 1;
         let mut body = signed[SEQ_LEN..].to_vec();
         chacha20::apply_keystream(&self.recv_keys.cipher_key, &Self::nonce(seq), 1, &mut body);
+        minshare_trace::emit("net", "opened", true, || {
+            vec![
+                minshare_trace::size("plain_bytes", body.len() as u64),
+                minshare_trace::size("wire_bytes", wire.len() as u64),
+            ]
+        });
         Ok(body)
     }
 }

@@ -272,6 +272,19 @@ impl Transport for SimEndpoint {
             let delivery_vtime = attempt.payload.as_ref().map(|_| {
                 start + transmission + self.config.latency_ms + attempt.extra_delay_ms
             });
+            // Fault draws come from a per-direction seeded RNG in
+            // per-direction send order, on the sending party's own
+            // thread: deterministic under a fixed FaultPlan seed.
+            if attempt.faults.as_bits() != 0 || attempt.faults.extra_delay_ms != 0 {
+                let faults = attempt.faults;
+                minshare_trace::emit("simnet", "fault", true, || {
+                    vec![
+                        minshare_trace::count("index", index),
+                        minshare_trace::count("faults_bits", u64::from(faults.as_bits())),
+                        minshare_trace::count("extra_delay_ms", faults.extra_delay_ms),
+                    ]
+                });
+            }
             st.trace.get_mut(self.side).push(Event {
                 index,
                 sent_len: frame.len() as u32,

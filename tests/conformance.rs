@@ -503,3 +503,142 @@ fn calibrated_config_on_workerless_pool_always_falls_back() {
     let cfg = PipelineConfig::calibrated(g, &solo);
     assert_eq!(cfg.serial_below, usize::MAX);
 }
+
+// ---------------------------------------------------------------------
+// Trace-layer conformance: the telemetry must itself be deterministic
+// (same simnet seed ⇒ same per-party event digest) and must aggregate
+// identically across execution strategies (a pipelined run's metrics
+// equal the serial run's §6.1 counters).
+// ---------------------------------------------------------------------
+
+use std::sync::Arc;
+
+use minshare_trace::sink::{MetricsSink, RingSink};
+use minshare_trace::TraceSink;
+
+fn traced<S: TraceSink + 'static>(sink: &Arc<S>) -> minshare_trace::Tracer {
+    minshare_trace::Tracer::to_sink(Arc::clone(sink) as Arc<dyn TraceSink>)
+}
+
+#[test]
+fn trace_digest_is_reproducible_from_the_simnet_seed() {
+    let plan = FaultPlan::from_seed(0x7ace_0001);
+    let go = || {
+        let (g, p) = (group(), pool());
+        let (s_vals, r_vals) = (vs(), vr());
+        let s_sink = Arc::new(RingSink::new(4096));
+        let r_sink = Arc::new(RingSink::new(4096));
+        let run = {
+            let (ss, rs) = (Arc::clone(&s_sink), Arc::clone(&r_sink));
+            run_two_party_sim(
+                sim_cfg(),
+                &plan,
+                move |t| {
+                    let _trace = minshare_trace::install(traced(&ss));
+                    let mut rng = StdRng::seed_from_u64(7);
+                    pipeline::run_intersection_sender(t, g, &s_vals, &mut rng, p, chunked())
+                },
+                move |t| {
+                    let _trace = minshare_trace::install(traced(&rs));
+                    let mut rng = StdRng::seed_from_u64(8);
+                    pipeline::run_intersection_receiver(t, g, &r_vals, &mut rng, p, chunked())
+                },
+            )
+        };
+        assert!(s_sink.recorded() > 0, "sender emitted no events");
+        assert!(r_sink.recorded() > 0, "receiver emitted no events");
+        (run.outcome(), s_sink.digest(), r_sink.digest())
+    };
+    let (o1, s1, r1) = go();
+    let (o2, s2, r2) = go();
+    assert_eq!(o1, o2, "outcome not reproducible");
+    assert_eq!(s1, s2, "sender event digest not reproducible from seed");
+    assert_eq!(r1, r2, "receiver event digest not reproducible from seed");
+}
+
+/// Runs a perfect-link two-party exchange with both parties feeding one
+/// shared metrics sink; returns the sink.
+fn metrics_of<SO: Send, RO: Send>(
+    sender: impl FnOnce(&mut dyn Transport) -> Result<SO, ProtocolError> + Send,
+    receiver: impl FnOnce(&mut dyn Transport) -> Result<RO, ProtocolError> + Send,
+) -> Arc<MetricsSink> {
+    let sink = Arc::new(MetricsSink::new());
+    let (ss, rs) = (Arc::clone(&sink), Arc::clone(&sink));
+    run_two_party(
+        move |t| {
+            let _trace = minshare_trace::install(traced(&ss));
+            sender(t)
+        },
+        move |t| {
+            let _trace = minshare_trace::install(traced(&rs));
+            receiver(t)
+        },
+    )
+    .expect("perfect-link run");
+    sink
+}
+
+/// §6.1 `Ce` units charged across both parties' `*_done` events.
+fn ce_ops(sink: &MetricsSink, scope: &str) -> u64 {
+    sink.sum(scope, "sender_done", "encryptions")
+        + sink.sum(scope, "sender_done", "decryptions")
+        + sink.sum(scope, "receiver_done", "encryptions")
+        + sink.sum(scope, "receiver_done", "decryptions")
+}
+
+#[test]
+fn pipelined_metrics_equal_serial_metrics() {
+    let g = group();
+    let p = pool();
+    let serial = metrics_of(
+        |t| {
+            let mut rng = StdRng::seed_from_u64(7);
+            intersection::run_sender(t, g, &vs(), &mut rng)
+        },
+        |t| {
+            let mut rng = StdRng::seed_from_u64(8);
+            intersection::run_receiver(t, g, &vr(), &mut rng)
+        },
+    );
+    // Fallback mode is wire-identical to serial, so the aggregated
+    // metrics must agree on *everything*: Ce operations, frames, bytes.
+    let fallback = metrics_of(
+        |t| {
+            let mut rng = StdRng::seed_from_u64(7);
+            pipeline::run_intersection_sender(t, g, &vs(), &mut rng, p, fallback_cfg())
+        },
+        |t| {
+            let mut rng = StdRng::seed_from_u64(8);
+            pipeline::run_intersection_receiver(t, g, &vr(), &mut rng, p, fallback_cfg())
+        },
+    );
+    let serial_ce = ce_ops(&serial, "intersection");
+    assert!(serial_ce > 0, "serial run charged no Ce operations");
+    assert_eq!(ce_ops(&fallback, "intersection"), serial_ce);
+    assert_eq!(
+        fallback.sum("net", "frame_sent", "frames"),
+        serial.sum("net", "frame_sent", "frames"),
+    );
+    assert_eq!(
+        fallback.sum("net", "frame_sent", "bytes"),
+        serial.sum("net", "frame_sent", "bytes"),
+    );
+    // Genuinely chunked streaming re-frames the wire (envelope headers)
+    // but must charge exactly the same §6.1 encryption work.
+    let streamed = metrics_of(
+        |t| {
+            let mut rng = StdRng::seed_from_u64(7);
+            pipeline::run_intersection_sender(t, g, &vs(), &mut rng, p, chunked())
+        },
+        |t| {
+            let mut rng = StdRng::seed_from_u64(8);
+            pipeline::run_intersection_receiver(t, g, &vr(), &mut rng, p, chunked())
+        },
+    );
+    assert_eq!(ce_ops(&streamed, "intersection"), serial_ce);
+    assert!(
+        streamed.sum("net", "frame_sent", "bytes")
+            >= serial.sum("net", "frame_sent", "bytes"),
+        "chunked streaming cannot shrink protocol-layer bytes",
+    );
+}

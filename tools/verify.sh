@@ -18,6 +18,16 @@ cargo run -p minshare-analyzer -- --baseline analyzer.baseline.toml
 # (the full 60×4 sweep is the default when run by hand).
 cargo test -q --test conformance
 cargo run -q --release -p minshare-bench --bin fault_sweep -- --schedules 10
+# Cost-model reconciliation smoke: the profiler replays all four
+# protocols with tracing on and judges the measured counters against the
+# §6.1 formulas. The binary exits non-zero unless every protocol
+# reconciles; the greps additionally pin the report shape — it must
+# parse as the expected JSON and show exactly four ce_exact:true entries
+# (measured encryption counts equal to the predictions, not merely
+# close).
+profile_json=$(cargo run -q --release -p minshare-bench --bin bench_protocols -- --profile smoke)
+echo "$profile_json" | grep -q '"profile": *"smoke"'
+[ "$(echo "$profile_json" | grep -o '"ce_exact":true' | wc -l)" -eq 4 ]
 # Smoke-run the perf suite (one pass per routine, no timing loops) so a
 # bench that stops compiling or panics fails the gate.
 cargo bench -q -p minshare-bench --bench pipeline -- --test
