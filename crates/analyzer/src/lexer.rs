@@ -307,9 +307,18 @@ fn lex_char_or_lifetime(cur: &mut Cursor<'_>, line: u32, col: u32) -> Option<Tok
     cur.bump(); // the quote
     match cur.peek() {
         Some(b'\\') => {
-            // Escaped char literal.
+            // Escaped char literal. The byte after the backslash is the
+            // escaped character itself and must be consumed
+            // unconditionally: in `'\''` it *is* a quote, and treating
+            // it as the terminator would leave the real closing quote
+            // to start a bogus literal that swallows the next token
+            // (unbalancing every delimiter after it).
             cur.bump();
             let mut text = String::from("\\");
+            if let Some(e) = cur.peek() {
+                text.push(e as char);
+                cur.bump();
+            }
             while let Some(c) = cur.peek() {
                 cur.bump();
                 if c == b'\'' {

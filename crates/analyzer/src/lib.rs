@@ -2,35 +2,48 @@
 //!
 //! A repo-local static analyzer for the `minshare` workspace. It walks
 //! every `crates/*/src/**/*.rs` file with a hand-rolled, comment- and
-//! string-aware lexer (no external parser crates) and enforces five rule
-//! families:
+//! string-aware lexer (no external parser crates), builds a token tree
+//! ([`ast`]), extracts per-function binding facts ([`dataflow`]), runs an
+//! intraprocedural taint pass ([`taint`]) configured by the secret
+//! registry, and enforces seven rule families:
 //!
 //! * **SEC01** — secret-registry types must not `#[derive(Debug)]` or
 //!   `#[derive(PartialEq)]`; they need a redacted `Debug` and a
 //!   constant-time equality instead.
-//! * **SEC02** — secret byte material must not be compared with `==`,
+//! * **SEC02** — KEY-tainted material must not be compared with `==`,
 //!   `!=` or `assert_eq!`; comparisons must go through
 //!   `minshare_hash::ct`.
 //! * **PANIC01** — no `unwrap()` / `expect()` / `panic!` / direct slice
 //!   indexing in non-test code of `crates/crypto`, `crates/core` and
 //!   `crates/net` (code paths reachable from peer-supplied data).
-//! * **FMT01** — no `{}` / `{:?}` formatting of registry types or secret
-//!   identifiers in `println!` / `format!` / log-style macros.
-//! * **OBS01** — no registered secret identifiers or types anywhere
-//!   inside `trace::…(...)` / `minshare_trace::…(...)` telemetry call
-//!   sites (including nested `format!` and inline `{secret:?}`
-//!   captures); trace fields are typed counts, sizes, durations and
-//!   flags, never values.
+//! * **FMT01** — no KEY-tainted expressions or inline `{secret}`
+//!   captures in `println!` / `format!` / log-style macros.
+//! * **OBS01** — no KEY-tainted material anywhere inside `trace::…(...)`
+//!   / `minshare_trace::…(...)` telemetry call sites; trace fields are
+//!   typed counts, sizes, durations and flags, never values.
+//! * **WIRE01** — nothing but hash-then-encrypt output may reach a wire
+//!   sink (`Transport::send`/`send_batch`, `encode_*`, `FrameBatch`
+//!   writers) in `crates/core`, `crates/crypto` and `crates/net`: the
+//!   paper's minimal-sharing invariant, proven mechanically with an
+//!   expected count of zero.
+//! * **LOCK01** — no blocking `recv`/`join`/`wait` while a lock guard is
+//!   held in `crates/crypto` and `crates/net`; expected count zero.
+//!
+//! Run `minshare-analyzer --explain RULE` for the full rationale of any
+//! rule, or see SECURITY.md for the taint model's guarantees and limits.
 //!
 //! Pre-existing findings are ratcheted via a checked-in baseline
 //! (`analyzer.baseline.toml`): per `(rule, file)` counts that may only
 //! shrink. Any finding beyond its baselined count fails the build.
 
+pub mod ast;
 pub mod baseline;
+pub mod dataflow;
 pub mod lexer;
 pub mod registry;
 pub mod rules;
 pub mod scan;
+pub mod taint;
 
 /// One lint finding, anchored to a source position.
 #[derive(Debug, Clone, PartialEq, Eq)]

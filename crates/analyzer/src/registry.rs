@@ -50,6 +50,154 @@ pub const SECRET_IDENTS: &[&str] = &[
     "okm",
 ];
 
+/// Identifiers that name *raw set values* — plaintexts that have not yet
+/// passed `prepare_set`'s hash step. The taint pass seeds them with
+/// `Taint::RAW`; WIRE01 forbids them (and anything derived from them)
+/// from reaching a wire sink un-hashed-and-encrypted. Names are chosen
+/// to match the protocol engines' parameter conventions (`values` in the
+/// two-party engines, `vs`/`vr` in the three-party medical runs).
+pub const RAW_VALUE_IDENTS: &[&str] = &["values", "vs", "vr", "raw_values", "plaintexts"];
+
+/// Functions whose *return value* is key material (`Taint::KEY`):
+/// key generation and key derivation. `hkdf::derive` is a source, not a
+/// sanitizer — its output is the session key schedule, which must never
+/// travel.
+pub const KEY_SOURCE_FNS: &[&str] = &["key_gen", "gen_key", "gen_key_pair", "derive"];
+
+/// Hash-class sanitizers: one-way maps into the group/digest domain.
+/// Their output is no longer the raw value, but it is **not yet safe to
+/// transmit** — the paper's invariant is hash *then* encrypt, and a bare
+/// `h(v)` on the wire permits offline dictionary probing. The taint pass
+/// maps `RAW → HASHED` through these and absorbs their arguments.
+/// A `KEY` input maps to clean: a digest/MAC tag over key material
+/// (e.g. `HmacSha256::finalize`) does not reveal the key.
+pub const HASH_SANITIZER_FNS: &[&str] = &[
+    // crates/hashcore + scheme trait: the paper's h : V → Z*_p.
+    "hash_value",
+    "hash_to_group",
+    // crates/core/src/prepare.rs: dedup + hash of a whole value set.
+    "prepare_set",
+    "prepare_multiset",
+    // crates/hashcore HMAC: tag emission over (already-clean) frames.
+    "finalize",
+];
+
+/// Encrypt-class sanitizers: commutative/stream encryption and the
+/// modexp paths implementing it. Anything that passed through one of
+/// these is ciphertext and is safe to transmit (`→ CLEAN`). `pow` is
+/// included deliberately: `g^x` with a secret exponent is a DH public
+/// value whose safety is exactly the discrete-log assumption the whole
+/// protocol rests on.
+pub const ENC_SANITIZER_FNS: &[&str] = &[
+    // crates/crypto scheme + QrGroup.
+    "apply",
+    "unapply",
+    "encrypt",
+    "decrypt",
+    "encrypt_many",
+    "decrypt_many",
+    "encrypt_checked",
+    "decrypt_checked",
+    "hash_encrypt",
+    "hash_encrypt_many",
+    "pow",
+    "pow_batch",
+    "pow_multi_ctx",
+    // crates/crypto/src/pool.rs: batch jobs — the pool applies the
+    // scheme ops above on worker threads; the submitted items come back
+    // encrypted via `PendingBatch::wait`, so `wait`'s output is
+    // ciphertext too (the pool runs nothing but scheme ops).
+    "submit_encrypt",
+    "submit_decrypt",
+    "submit_hash_encrypt",
+    "encrypt_batch",
+    "wait",
+    // crates/core/src/pipeline.rs: accessor extracting the ciphertext
+    // half of the sorted `(codeword, value)` pairing the receivers keep
+    // for local matching; its output is exactly the pool-encrypted
+    // codewords.
+    "sorted_codewords",
+    // crates/crypto/src/chacha20.rs: the secure-channel stream cipher.
+    "apply_keystream",
+    // crates/crypto/src/kcipher.rs: K(κ, ext(v)) payload encryption.
+    "seal",
+];
+
+/// Benign projections: methods that return sizes/counters/metadata of a
+/// tainted receiver, not its contents. The taint pass absorbs the
+/// receiver chain of these calls (a length is not the value). Keep this
+/// list to genuinely content-free accessors.
+pub const PROJECTION_FNS: &[&str] = &[
+    "len",
+    "is_empty",
+    "is_some",
+    "is_none",
+    "count",
+    // The group modulus is a public parameter; reading it off a
+    // key-holding plan/context reveals nothing secret.
+    "modulus",
+    "total_items",
+    "codeword_len",
+    "elem_len",
+    "wire_bits",
+    "bytes_sent",
+    "bytes_received",
+    "ciphertext_len",
+    "max_plaintext_len",
+];
+
+/// Wire/encode sinks (WIRE01): a tainted argument (or receiver chain)
+/// reaching one of these without hash-then-encrypt is excess leakage.
+/// `send`/`send_batch` are the `Transport` methods; `encode*` build wire
+/// frames; `put_slice` is the `FrameBatch` writer append; the two
+/// `*_chunked` helpers stream codewords straight onto a transport.
+pub const WIRE_SINK_FNS: &[&str] = &[
+    "send",
+    "send_batch",
+    "encode",
+    "encode_into",
+    "encode_codewords_into",
+    "send_codewords_chunked",
+    "send_payload_pairs_chunked",
+    "put_slice",
+];
+
+/// Crates WIRE01 runs over: everything that can reach a transport.
+pub const WIRE01_CRATES: &[&str] = &["core", "crypto", "net"];
+
+/// Files exempt from WIRE01, each with the reason the exemption is
+/// sound. These are reviewed here, not silently baselined.
+pub const WIRE01_EXEMPT_FILES: &[(&str, &str)] = &[
+    (
+        "crates/core/src/tradeoff.rs",
+        "§7 tradeoff protocols *deliberately* disclose BF(V_R) — a Bloom \
+         filter over hashed values — and a hit count in exchange for \
+         zero/fewer exponentiations; the module quantifies its own \
+         disclosure (see FilterDisclosure) and SECURITY.md documents it",
+    ),
+    (
+        "crates/crypto/src/pool.rs",
+        "the pool's crossbeam channels move PoolJob (which holds the \
+         commutative key) between worker threads of the same process; \
+         `Sender::send` here is not a network transport. A real wire \
+         sink must never be added to this file",
+    ),
+];
+
+/// Crates LOCK01 runs over: the pool (ROADMAP sharding work) and the
+/// transport stack, where a blocking call under a held guard can
+/// deadlock a protocol party.
+pub const LOCK01_CRATES: &[&str] = &["crypto", "net"];
+
+/// Calls that produce a lock guard when they terminate a binding's
+/// call chain (`let g = m.lock();`).
+pub const GUARD_FNS: &[&str] = &["lock", "read", "write"];
+
+/// Potentially unbounded blocking calls LOCK01 forbids while a guard is
+/// live. `wait`/`wait_timeout` invocations that *consume the guard
+/// itself* (condvar style, releasing the lock while parked) are exempt.
+pub const BLOCKING_FNS: &[&str] = &["recv", "join", "wait", "wait_timeout"];
+
 /// Crates whose non-test code must be panic-free (PANIC01): these process
 /// peer-supplied bytes, where a panic is a remote denial of service.
 pub const PANIC_FREE_CRATES: &[&str] = &["crypto", "core", "net"];
@@ -64,13 +212,68 @@ pub fn is_secret_ident(name: &str) -> bool {
     SECRET_IDENTS.contains(&name)
 }
 
+/// True iff `name` is a registered raw-value identifier.
+pub fn is_raw_value_ident(name: &str) -> bool {
+    RAW_VALUE_IDENTS.contains(&name)
+}
+
+/// True iff calling `name` yields key material.
+pub fn is_key_source_fn(name: &str) -> bool {
+    KEY_SOURCE_FNS.contains(&name)
+}
+
+/// True iff `name` is a hash-class sanitizer.
+pub fn is_hash_sanitizer(name: &str) -> bool {
+    HASH_SANITIZER_FNS.contains(&name)
+}
+
+/// True iff `name` is an encrypt-class sanitizer.
+pub fn is_enc_sanitizer(name: &str) -> bool {
+    ENC_SANITIZER_FNS.contains(&name)
+}
+
+/// True iff `name` is a benign size/counter projection.
+pub fn is_projection_fn(name: &str) -> bool {
+    PROJECTION_FNS.contains(&name)
+}
+
+/// True iff `name` is a wire/encode sink method or function.
+pub fn is_wire_sink_fn(name: &str) -> bool {
+    WIRE_SINK_FNS.contains(&name)
+}
+
+/// Reason `rel_path` is exempt from WIRE01, if it is.
+pub fn wire01_exemption(rel_path: &str) -> Option<&'static str> {
+    let normalized = rel_path.replace('\\', "/");
+    WIRE01_EXEMPT_FILES
+        .iter()
+        .find(|(f, _)| *f == normalized)
+        .map(|(_, why)| *why)
+}
+
+/// True iff a workspace-relative path lies in a crate the given rule
+/// scope covers (`crates/<name>/src/...`).
+fn in_crates(rel_path: &str, crates: &[&str]) -> bool {
+    let normalized = rel_path.replace('\\', "/");
+    crates
+        .iter()
+        .any(|c| normalized.starts_with(&format!("crates/{c}/src/")))
+}
+
+/// True iff WIRE01 runs over this file.
+pub fn in_wire01_scope(rel_path: &str) -> bool {
+    in_crates(rel_path, WIRE01_CRATES) && wire01_exemption(rel_path).is_none()
+}
+
+/// True iff LOCK01 runs over this file.
+pub fn in_lock01_scope(rel_path: &str) -> bool {
+    in_crates(rel_path, LOCK01_CRATES)
+}
+
 /// True iff a workspace-relative path (e.g. `crates/crypto/src/ot.rs`)
 /// lies in a panic-free crate.
 pub fn in_panic_free_crate(rel_path: &str) -> bool {
-    let normalized = rel_path.replace('\\', "/");
-    PANIC_FREE_CRATES
-        .iter()
-        .any(|c| normalized.starts_with(&format!("crates/{c}/src/")))
+    in_crates(rel_path, PANIC_FREE_CRATES)
 }
 
 #[cfg(test)]
@@ -88,5 +291,24 @@ mod tests {
         assert!(in_panic_free_crate("crates/net/src/secure.rs"));
         assert!(!in_panic_free_crate("crates/bignum/src/ubig.rs"));
         assert!(!in_panic_free_crate("crates/crypto/tests/props.rs"));
+    }
+
+    #[test]
+    fn taint_registry_lookups() {
+        assert!(is_raw_value_ident("values"));
+        assert!(!is_raw_value_ident("vr_size"));
+        assert!(is_key_source_fn("gen_key"));
+        assert!(is_hash_sanitizer("prepare_set"));
+        assert!(is_enc_sanitizer("pow_multi_ctx"));
+        assert!(!is_enc_sanitizer("encode"));
+        assert!(is_wire_sink_fn("send_batch"));
+        assert!(is_projection_fn("total_items"));
+        // Scope and exemptions.
+        assert!(in_wire01_scope("crates/core/src/intersection.rs"));
+        assert!(!in_wire01_scope("crates/core/src/tradeoff.rs"));
+        assert!(wire01_exemption("crates/crypto/src/pool.rs").is_some());
+        assert!(!in_wire01_scope("crates/bench/src/lib.rs"));
+        assert!(in_lock01_scope("crates/net/src/simnet/mod.rs"));
+        assert!(!in_lock01_scope("crates/core/src/wire.rs"));
     }
 }

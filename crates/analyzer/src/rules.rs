@@ -1,7 +1,17 @@
-//! The five lint rule families, as token-stream pattern matchers.
+//! The lint rule families.
+//!
+//! SEC01 and PANIC01 remain token-stream pattern matchers (their targets
+//! — derives and panic sites — are purely syntactic). SEC02, FMT01,
+//! OBS01, WIRE01 and LOCK01 run on the token-tree + taint engine
+//! (`ast` → `dataflow` → `taint`), so a secret flowing through a local
+//! binding is caught, while an unrelated identifier eight tokens away no
+//! longer trips a window heuristic.
 
-use crate::lexer::{test_mask, Token, TokKind};
+use crate::ast::{self, Delim, Tree};
+use crate::dataflow::{self, FnDef};
+use crate::lexer::{test_mask, TokKind, Token};
 use crate::registry;
+use crate::taint::{self, FnTaint, KEY};
 use crate::Finding;
 
 /// Runs every rule applicable to `rel_path` over `src` and returns the
@@ -9,17 +19,114 @@ use crate::Finding;
 pub fn check_file(rel_path: &str, src: &str) -> Vec<Finding> {
     let tokens = crate::lexer::lex(src);
     let mask = test_mask(&tokens);
+    let trees = ast::parse(&tokens);
+    let fns = dataflow::functions(&tokens, &trees);
     let mut findings = Vec::new();
     findings.extend(sec01_derives(rel_path, &tokens));
-    findings.extend(sec02_comparisons(rel_path, &tokens, &mask));
     if registry::in_panic_free_crate(rel_path) {
         findings.extend(panic01_panics(rel_path, &tokens, &mask));
     }
-    findings.extend(fmt01_formatting(rel_path, &tokens, &mask));
-    findings.extend(obs01_trace_telemetry(rel_path, &tokens, &mask));
+    let wire = registry::in_wire01_scope(rel_path);
+    let lock = registry::in_lock01_scope(rel_path);
+    for f in &fns {
+        let ft = taint::analyze_fn(&tokens, f);
+        sec02_fn(rel_path, &tokens, &mask, f, &ft, &mut findings);
+        fmt01_fn(rel_path, &tokens, &mask, f, &ft, &mut findings);
+        obs01_fn(rel_path, &tokens, &mask, f, &ft, &mut findings);
+        if wire {
+            taint::wire01_fn(rel_path, &tokens, &mask, f, &ft, &mut findings);
+        }
+        if lock {
+            taint::lock01_fn(rel_path, &tokens, &mask, f, &mut findings);
+        }
+    }
     findings.sort_by_key(|f| (f.line, f.col, f.rule));
+    // Nested named fns are members of their enclosing fn's body too;
+    // drop the duplicate scan's findings.
+    findings.dedup_by(|a, b| a.rule == b.rule && a.line == b.line && a.col == b.col);
     findings
 }
+
+/// Per-rule rationale for `--explain RULE` (and SECURITY.md's tables).
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "SEC01" => {
+            "SEC01 — no Debug/PartialEq derives on secret types.\n\
+             A derived Debug prints key material into panic messages and logs; a\n\
+             derived PartialEq compares secrets in variable time, leaking match\n\
+             length through timing. Secret types (see analyzer registry\n\
+             SECRET_TYPES) must implement a redacted Debug and constant-time\n\
+             equality (minshare_hash::ct) by hand. Applies to test code too: a\n\
+             secret type is a secret type wherever it is declared."
+        }
+        "SEC02" => {
+            "SEC02 — no variable-time comparison of secret material.\n\
+             `==`, `!=` and assert_eq!/assert_ne! short-circuit on the first\n\
+             differing byte, so comparison time reveals how much of a secret an\n\
+             attacker guessed. The taint engine flags comparisons whose operands\n\
+             carry KEY taint (registered secret idents/types, key-source call\n\
+             results, or bindings derived from them). Use\n\
+             minshare_hash::ct::ct_eq. Test code is exempt."
+        }
+        "PANIC01" => {
+            "PANIC01 — no panic paths in peer-facing crates (crypto, core, net).\n\
+             These crates parse peer-supplied bytes; an unwrap/expect/panic!/\n\
+             direct index reachable from a message is a remote denial of\n\
+             service. Return typed errors; index with .get(). Test code is\n\
+             exempt, as are the other workspace crates."
+        }
+        "FMT01" => {
+            "FMT01 — no secret material in format strings.\n\
+             format!/println!/write!-family macros move their arguments into\n\
+             strings that outlive the call: logs, error messages, panic output.\n\
+             The taint engine flags macro arguments (and inline `{name}`\n\
+             captures) carrying KEY taint. Test code is exempt: redaction tests\n\
+             legitimately format secrets to assert on the redacted text."
+        }
+        "OBS01" => {
+            "OBS01 — no secret material at telemetry call sites.\n\
+             The trace layer is secret-safe by construction: fields are typed\n\
+             counts, sizes, durations and flags. Any KEY-tainted expression (or\n\
+             inline string capture) inside a trace::/minshare_trace:: call —\n\
+             including the lazy field closure — would leak key material into\n\
+             observability output, which is exported, retained and searchable.\n\
+             Enforced as a count-0 ratchet anchor."
+        }
+        "WIRE01" => {
+            "WIRE01 — nothing but h-then-enc reaches the wire.\n\
+             The paper's minimal-sharing argument (§3) rests on one discipline:\n\
+             a party transmits only f_e(h(v)) — hashed then commutatively\n\
+             encrypted — plus protocol framing. The taint engine tracks RAW set\n\
+             values, HASHED-but-not-encrypted values and KEY material through\n\
+             bindings; any of the three reaching a Transport::send/send_batch,\n\
+             wire encode_*, FrameBatch writer or chunked-send helper is excess\n\
+             leakage (a bare h(v) permits offline dictionary probing). Runs\n\
+             over core, crypto and net; expected count 0, anchored in the\n\
+             baseline. File-level exemptions live in the registry with their\n\
+             justifications (tradeoff.rs's deliberate Bloom disclosure,\n\
+             pool.rs's in-process channels). See SECURITY.md for the model's\n\
+             limits."
+        }
+        "LOCK01" => {
+            "LOCK01 — no blocking calls while holding a lock guard.\n\
+             A recv/join/wait under a held Mutex/parking_lot guard in the pool\n\
+             or transport stack can deadlock a protocol party: the peer that\n\
+             would unblock the call may itself be waiting on the lock. The\n\
+             engine tracks `let g = ….lock()/read()/write()` guard bindings to\n\
+             the end of their scope (or an explicit `drop(g)`) and flags\n\
+             blocking calls inside it. Condvar-style `cv.wait(&mut g)` is\n\
+             exempt — it releases the lock while parked — as are closures\n\
+             (other threads). Runs over crypto and net; expected count 0,\n\
+             anchored in the baseline."
+        }
+        _ => return None,
+    })
+}
+
+/// Every rule the analyzer knows, for `--explain` discovery.
+pub const ALL_RULES: &[&str] = &[
+    "SEC01", "SEC02", "PANIC01", "FMT01", "OBS01", "WIRE01", "LOCK01",
+];
 
 fn finding(rule: &'static str, rel_path: &str, tok: &Token, message: String) -> Finding {
     Finding {
@@ -121,71 +228,118 @@ fn sec01_derives(rel_path: &str, tokens: &[Token]) -> Vec<Finding> {
     out
 }
 
-/// How many tokens around a comparison operator to inspect for secret
-/// identifiers. Covers expressions like `self.mac_key == other.mac_key`.
-const SEC02_WINDOW: usize = 8;
+/// Sibling-list tokens that end a comparison operand: the taint check
+/// never crosses these, so an unrelated neighbouring expression cannot
+/// trip the rule (the old ±8-token window's false-positive mode).
+fn is_operand_boundary(tokens: &[Token], tree: &Tree) -> bool {
+    match tree {
+        Tree::Leaf(i) => tokens.get(*i).is_some_and(|t| match t.kind {
+            TokKind::Punct => matches!(t.text.as_str(), "," | ";" | "&&" | "||" | "=" | "=>"),
+            TokKind::Ident => matches!(
+                t.text.as_str(),
+                "let" | "if" | "else" | "while" | "for" | "in" | "match" | "return"
+            ),
+            _ => false,
+        }),
+        // A `{` ends the expression being compared: `if a == b { … }`
+        // must not read the if-body as part of the right operand.
+        Tree::Group(g) => g.delim == Delim::Brace,
+    }
+}
 
-/// SEC02: variable-time comparison of secret material.
-fn sec02_comparisons(rel_path: &str, tokens: &[Token], mask: &[bool]) -> Vec<Finding> {
-    let mut out = Vec::new();
-    for i in 0..tokens.len() {
-        if mask[i] {
-            continue;
-        }
-        let t = &tokens[i];
-        if t.kind == TokKind::Punct && (t.text == "==" || t.text == "!=") {
-            // The window never crosses a statement boundary, so secret
-            // identifiers in an adjacent statement cannot taint this one.
-            let is_stmt_boundary =
-                |t: &Token| t.kind == TokKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}");
-            let mut lo = i.saturating_sub(SEC02_WINDOW);
-            let mut hi = (i + 1 + SEC02_WINDOW).min(tokens.len());
-            if let Some(off) = tokens[lo..i].iter().rposition(is_stmt_boundary) {
-                lo += off + 1;
+/// SEC02: variable-time comparison of KEY-tainted material.
+fn sec02_fn(
+    rel_path: &str,
+    tokens: &[Token],
+    mask: &[bool],
+    f: &FnDef,
+    ft: &FnTaint,
+    out: &mut Vec<Finding>,
+) {
+    ast::walk_sibling_lists(std::slice::from_ref(&Tree::Group(f.body.clone())), &mut |list| {
+        for (i, tree) in list.iter().enumerate() {
+            let Tree::Leaf(tok_idx) = tree else { continue };
+            let Some(tok) = tokens.get(*tok_idx) else { continue };
+            if mask.get(*tok_idx).copied().unwrap_or(false) {
+                continue;
             }
-            if let Some(off) = tokens[i + 1..hi].iter().position(is_stmt_boundary) {
-                hi = i + 1 + off;
+            // Binary comparison: taint either operand span.
+            if tok.kind == TokKind::Punct && (tok.text == "==" || tok.text == "!=") {
+                let lo = (0..i)
+                    .rev()
+                    .find(|&k| is_operand_boundary(tokens, &list[k]))
+                    .map(|k| k + 1)
+                    .unwrap_or(0);
+                let hi = (i + 1..list.len())
+                    .find(|&k| is_operand_boundary(tokens, &list[k]))
+                    .unwrap_or(list.len());
+                let bits = taint::eval_span(tokens, &list[lo..i], ft)
+                    | taint::eval_span(tokens, &list[i + 1..hi], ft);
+                if bits & KEY != 0 {
+                    let name = key_ident_in(tokens, &list[lo..hi], ft)
+                        .unwrap_or_else(|| "key material".to_string());
+                    out.push(finding(
+                        "SEC02",
+                        rel_path,
+                        tok,
+                        format!(
+                            "`{}` compares secret material (`{name}`); use \
+                             minshare_hash::ct::ct_eq for constant-time comparison",
+                            tok.text
+                        ),
+                    ));
+                }
             }
-            if let Some(sec) = tokens[lo..hi]
-                .iter()
-                .find(|t| t.kind == TokKind::Ident && registry::is_secret_ident(&t.text))
+            // assert_eq!/assert_ne! outside tests.
+            if tok.kind == TokKind::Ident
+                && matches!(
+                    tok.text.as_str(),
+                    "assert_eq" | "assert_ne" | "debug_assert_eq" | "debug_assert_ne"
+                )
+                && list.get(i + 1).is_some_and(|t| ast::is_punct(tokens, t, "!"))
             {
-                out.push(finding(
-                    "SEC02",
-                    rel_path,
-                    t,
-                    format!(
-                        "`{}` compares secret material (`{}`); use minshare_hash::ct::ct_eq \
-                         for constant-time comparison",
-                        t.text, sec.text
-                    ),
-                ));
+                if let Some(Tree::Group(g)) = list.get(i + 2) {
+                    if taint::eval_span(tokens, &g.children, ft) & KEY != 0 {
+                        let name = key_ident_in(tokens, &g.children, ft)
+                            .unwrap_or_else(|| "key material".to_string());
+                        out.push(finding(
+                            "SEC02",
+                            rel_path,
+                            tok,
+                            format!(
+                                "`{}!` on secret material (`{name}`) outside tests; use \
+                                 minshare_hash::ct::ct_eq",
+                                tok.text
+                            ),
+                        ));
+                    }
+                }
             }
         }
-        if t.kind == TokKind::Ident
-            && (t.text == "assert_eq" || t.text == "assert_ne")
-            && tokens.get(i + 1).map(|n| n.text.as_str()) == Some("!")
-            && tokens.get(i + 2).map(|n| n.text.as_str()) == Some("(")
-        {
-            let close = matching_close(tokens, i + 2);
-            if let Some(sec) = tokens[i + 3..close.min(tokens.len())]
-                .iter()
-                .find(|t| t.kind == TokKind::Ident && registry::is_secret_ident(&t.text))
-            {
-                out.push(finding(
-                    "SEC02",
-                    rel_path,
-                    t,
-                    format!(
-                        "`{}!` on secret material (`{}`) outside tests; use \
-                         minshare_hash::ct::ct_eq",
-                        t.text, sec.text
-                    ),
-                ));
+    });
+}
+
+/// First identifier in a span that carries KEY taint, for messages.
+fn key_ident_in(tokens: &[Token], trees: &[Tree], ft: &FnTaint) -> Option<String> {
+    for t in trees {
+        match t {
+            Tree::Leaf(i) => {
+                let tok = tokens.get(*i)?;
+                if tok.kind == TokKind::Ident
+                    && (registry::is_secret_ident(&tok.text)
+                        || ft.of(&tok.text) & KEY != 0)
+                {
+                    return Some(tok.text.clone());
+                }
+            }
+            Tree::Group(g) => {
+                if let Some(n) = key_ident_in(tokens, &g.children, ft) {
+                    return Some(n);
+                }
             }
         }
     }
-    out
+    None
 }
 
 /// PANIC01: panic paths in crates that parse peer-supplied data.
@@ -269,55 +423,76 @@ const FMT_MACROS: &[&str] = &[
     "error", "debug", "trace",
 ];
 
-/// FMT01: formatting secret material into strings/logs.
-fn fmt01_formatting(rel_path: &str, tokens: &[Token], mask: &[bool]) -> Vec<Finding> {
-    let mut out = Vec::new();
-    for i in 0..tokens.len() {
-        if mask[i] {
-            continue;
+/// FMT01: KEY-tainted material formatted into strings/logs.
+fn fmt01_fn(
+    rel_path: &str,
+    tokens: &[Token],
+    mask: &[bool],
+    f: &FnDef,
+    ft: &FnTaint,
+    out: &mut Vec<Finding>,
+) {
+    ast::walk_sibling_lists(std::slice::from_ref(&Tree::Group(f.body.clone())), &mut |list| {
+        for (i, tree) in list.iter().enumerate() {
+            let Tree::Leaf(tok_idx) = tree else { continue };
+            let Some(tok) = tokens.get(*tok_idx) else { continue };
+            if mask.get(*tok_idx).copied().unwrap_or(false)
+                || tok.kind != TokKind::Ident
+                || !FMT_MACROS.contains(&tok.text.as_str())
+                || !list.get(i + 1).is_some_and(|t| ast::is_punct(tokens, t, "!"))
+            {
+                continue;
+            }
+            let Some(Tree::Group(g)) = list.get(i + 2) else {
+                continue;
+            };
+            if let Some(name) = tainted_fmt_arg(tokens, &g.children, ft) {
+                out.push(finding(
+                    "FMT01",
+                    rel_path,
+                    tok,
+                    format!(
+                        "`{}!` formats secret material (`{name}`); secrets must never \
+                         reach strings or logs",
+                        tok.text
+                    ),
+                ));
+            }
         }
-        let t = &tokens[i];
-        if t.kind != TokKind::Ident
-            || !FMT_MACROS.contains(&t.text.as_str())
-            || tokens.get(i + 1).map(|n| n.text.as_str()) != Some("!")
-            || tokens.get(i + 2).map(|n| n.text.as_str()) != Some("(")
-        {
-            continue;
-        }
-        let close = matching_close(tokens, i + 2);
-        let args = &tokens[i + 3..close.min(tokens.len())];
-        let Some(fmt_str) = args.iter().find(|a| a.kind == TokKind::Str) else {
-            continue;
-        };
-        let placeholders = parse_placeholders(&fmt_str.text);
-        if placeholders.is_empty() {
-            continue;
-        }
-        // Inline captures: `{mac_key:?}` names the secret directly.
-        let inline_secret = placeholders.iter().find(|p| {
-            registry::is_secret_ident(p) || registry::is_secret_type(p)
-        });
-        // Positional placeholders: any argument expression mentioning a
-        // secret identifier or registry type feeds some placeholder.
-        let arg_secret = args.iter().find(|a| {
-            a.kind == TokKind::Ident
-                && (registry::is_secret_ident(&a.text) || registry::is_secret_type(&a.text))
-        });
-        if let Some(name) = inline_secret.map(|s| s.as_str()).or(arg_secret.map(|a| a.text.as_str()))
-        {
-            out.push(finding(
-                "FMT01",
-                rel_path,
-                t,
-                format!(
-                    "`{}!` formats secret material (`{name}`); secrets must never reach \
-                     strings or logs",
-                    t.text
-                ),
-            ));
+    });
+}
+
+/// Name of the first KEY-tainted macro argument or inline string
+/// capture, if any.
+fn tainted_fmt_arg(tokens: &[Token], args: &[Tree], ft: &FnTaint) -> Option<String> {
+    // Inline captures: `"{mac_key:?}"` names the secret directly;
+    // `"{total}"` names a (possibly tainted) local.
+    for t in args {
+        if let Tree::Leaf(i) = t {
+            if let Some(tok) = tokens.get(*i) {
+                if tok.kind == TokKind::Str {
+                    for p in parse_placeholders(&tok.text) {
+                        if registry::is_secret_ident(&p)
+                            || registry::is_secret_type(&p)
+                            || ft.of(&p) & KEY != 0
+                        {
+                            return Some(p);
+                        }
+                    }
+                }
+            }
         }
     }
-    out
+    // Positional arguments: each comma segment is an expression feeding
+    // a placeholder.
+    for seg in dataflow::split_top_level(tokens, args, ",") {
+        if taint::eval_span(tokens, seg, ft) & KEY != 0 {
+            return Some(
+                key_ident_in(tokens, seg, ft).unwrap_or_else(|| "key material".to_string()),
+            );
+        }
+    }
+    None
 }
 
 /// Leading path segments that mark a telemetry call site: the
@@ -325,71 +500,145 @@ fn fmt01_formatting(rel_path: &str, tokens: &[Token], mask: &[bool]) -> Vec<Find
 /// `use minshare_trace as trace;` and re-export modules named `trace`).
 const OBS01_TRACE_HEADS: &[&str] = &["trace", "minshare_trace"];
 
-/// OBS01: secret material inside telemetry call sites.
+/// OBS01: KEY-tainted material inside telemetry call sites.
 ///
 /// The trace layer is secret-safe by construction — fields are typed
-/// counts, sizes, durations and flags — so any registered secret
-/// identifier or type appearing *anywhere* inside a
-/// `trace::…(...)`/`minshare_trace::…(...)` call (including the lazy
-/// field closure, nested `format!` arguments, and inline `{secret:?}`
-/// captures in string literals) is a leak of key material into
-/// observability output. Test code is exempt, like FMT01: redaction
-/// tests legitimately format secrets to assert on the redacted text.
-fn obs01_trace_telemetry(rel_path: &str, tokens: &[Token], mask: &[bool]) -> Vec<Finding> {
-    let mut out = Vec::new();
-    let mut i = 0usize;
-    while i < tokens.len() {
-        if mask[i] {
-            i += 1;
-            continue;
-        }
-        let t = &tokens[i];
-        let is_head = t.kind == TokKind::Ident
-            && OBS01_TRACE_HEADS.contains(&t.text.as_str())
-            && tokens.get(i + 1).map(|n| n.text.as_str()) == Some("::")
-            // `run.trace` / `self.trace` is a field access, not the path.
-            && (i == 0 || tokens[i - 1].text != ".");
-        if !is_head {
+/// counts, sizes, durations and flags — so key material appearing
+/// *anywhere* inside a `trace::…(...)`/`minshare_trace::…(...)` call
+/// (including the lazy field closure, nested `format!` arguments, and
+/// inline `{secret:?}` captures) is a leak into observability output.
+/// One finding per outermost call site; test code is exempt.
+fn obs01_fn(
+    rel_path: &str,
+    tokens: &[Token],
+    mask: &[bool],
+    f: &FnDef,
+    ft: &FnTaint,
+    out: &mut Vec<Finding>,
+) {
+    obs01_list(rel_path, tokens, mask, &f.body.children, ft, None, out);
+}
+
+fn obs01_list(
+    rel_path: &str,
+    tokens: &[Token],
+    mask: &[bool],
+    list: &[Tree],
+    ft: &FnTaint,
+    prev_outer: Option<&Tree>,
+    out: &mut Vec<Finding>,
+) {
+    let mut i = 0;
+    while i < list.len() {
+        let tree = &list[i];
+        let head = ast::ident_text(tokens, tree).filter(|n| {
+            OBS01_TRACE_HEADS.contains(n)
+                && list.get(i + 1).is_some_and(|t| ast::is_punct(tokens, t, "::"))
+                // `run.trace` / `self.trace` is a field access, not the path.
+                && !match i {
+                    0 => prev_outer.is_some_and(|p| ast::is_punct(tokens, p, ".")),
+                    _ => ast::is_punct(tokens, &list[i - 1], "."),
+                }
+        });
+        if head.is_none() {
+            if let Tree::Group(g) = tree {
+                let prev = if i > 0 { Some(&list[i - 1]) } else { prev_outer };
+                obs01_list(rel_path, tokens, mask, &g.children, ft, prev, out);
+            }
             i += 1;
             continue;
         }
         // Walk the rest of the path (`trace::sink::…`) to its final
         // segment, then require a call.
         let mut j = i;
-        while tokens.get(j + 1).map(|n| n.text.as_str()) == Some("::")
-            && tokens.get(j + 2).map(|n| n.kind == TokKind::Ident) == Some(true)
+        while list.get(j + 1).is_some_and(|t| ast::is_punct(tokens, t, "::"))
+            && list.get(j + 2).is_some_and(|t| ast::ident_text(tokens, t).is_some())
         {
             j += 2;
         }
-        if tokens.get(j + 1).map(|n| n.text.as_str()) != Some("(") {
+        let Some(Tree::Group(args)) = list.get(j + 1) else {
+            i = j + 1;
+            continue;
+        };
+        if args.delim != Delim::Paren {
             i = j + 1;
             continue;
         }
-        let close = matching_close(tokens, j + 1);
-        let args = &tokens[j + 2..close.min(tokens.len())];
-        let direct = args.iter().find(|a| {
-            a.kind == TokKind::Ident
-                && (registry::is_secret_ident(&a.text) || registry::is_secret_type(&a.text))
-        });
-        let via_placeholder = args.iter().filter(|a| a.kind == TokKind::Str).find_map(|a| {
-            parse_placeholders(&a.text)
-                .into_iter()
-                .find(|p| registry::is_secret_ident(p) || registry::is_secret_type(p))
-        });
-        if let Some(name) = direct.map(|a| a.text.clone()).or(via_placeholder) {
-            out.push(finding(
-                "OBS01",
-                rel_path,
-                t,
-                format!(
-                    "telemetry call site captures secret material (`{name}`); trace \
-                     fields are counts, sizes, durations and flags — never secret values"
-                ),
-            ));
+        let tok_idx = tree.first_token();
+        if !mask.get(tok_idx).copied().unwrap_or(false) {
+            // Telemetry is stricter than FMT01: exported, retained and
+            // searchable output must not even *mention* a registered
+            // secret name — projections included. Locals that merely
+            // carry propagated taint get the normal taint evaluation
+            // (so `job.total_items()` stays clean).
+            let via_registry = registry_name_in(tokens, &args.children);
+            let direct = taint::eval_span(tokens, &args.children, ft) & KEY != 0;
+            let via_placeholder = str_leaves(tokens, &args.children).into_iter().find_map(|s| {
+                parse_placeholders(&s).into_iter().find(|p| {
+                    registry::is_secret_ident(p)
+                        || registry::is_secret_type(p)
+                        || ft.of(p) & KEY != 0
+                })
+            });
+            if direct || via_registry.is_some() || via_placeholder.is_some() {
+                let name = via_placeholder
+                    .or(via_registry)
+                    .or_else(|| key_ident_in(tokens, &args.children, ft))
+                    .unwrap_or_else(|| "key material".to_string());
+                out.push(finding(
+                    "OBS01",
+                    rel_path,
+                    &tokens[tok_idx],
+                    format!(
+                        "telemetry call site captures secret material (`{name}`); trace \
+                         fields are counts, sizes, durations and flags — never secret values"
+                    ),
+                ));
+            }
         }
-        // Nested trace calls inside `args` were scanned with the outer
+        // Nested trace calls inside `args` were judged with the outer
         // call; one finding per outermost site.
-        i = close.max(j) + 1;
+        i = j + 2;
+    }
+}
+
+/// First identifier in a span that *names* a registered secret (ident
+/// or type), regardless of taint evaluation — OBS01's strict check.
+fn registry_name_in(tokens: &[Token], trees: &[Tree]) -> Option<String> {
+    for t in trees {
+        match t {
+            Tree::Leaf(i) => {
+                let tok = tokens.get(*i)?;
+                if tok.kind == TokKind::Ident
+                    && (registry::is_secret_ident(&tok.text) || registry::is_secret_type(&tok.text))
+                {
+                    return Some(tok.text.clone());
+                }
+            }
+            Tree::Group(g) => {
+                if let Some(n) = registry_name_in(tokens, &g.children) {
+                    return Some(n);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// String-literal contents anywhere in a span.
+fn str_leaves(tokens: &[Token], trees: &[Tree]) -> Vec<String> {
+    let mut out = Vec::new();
+    for t in trees {
+        match t {
+            Tree::Leaf(i) => {
+                if let Some(tok) = tokens.get(*i) {
+                    if tok.kind == TokKind::Str {
+                        out.push(tok.text.clone());
+                    }
+                }
+            }
+            Tree::Group(g) => out.extend(str_leaves(tokens, &g.children)),
+        }
     }
     out
 }
@@ -450,5 +699,13 @@ mod tests {
         // Tokens: f ( a , ( b , c ) , d ) g — outer `(` at 1 closes at 11.
         let toks = crate::lexer::lex("f(a, (b, c), d) g");
         assert_eq!(matching_close(&toks, 1), 11);
+    }
+
+    #[test]
+    fn explain_covers_every_rule() {
+        for rule in ALL_RULES {
+            assert!(explain(rule).is_some(), "missing explanation for {rule}");
+        }
+        assert!(explain("NOPE99").is_none());
     }
 }

@@ -127,3 +127,54 @@ fn obs01_ignores_typed_fields_field_access_comments_and_tests() {
     // and test code are all clean.
     assert!(found.iter().all(|f| f.line <= 17), "findings: {found:#?}");
 }
+
+// ---------------------------------------------------------------- WIRE01
+
+#[test]
+fn wire01_flags_raw_hashed_and_key_material_reaching_wire_sinks() {
+    let src = include_str!("fixtures/wire01.rs");
+    let found = findings_for("crates/net/src/fixture.rs", src, "WIRE01");
+    // Raw send, hash-only send, key send, and a taint chain through
+    // rebinding + buffer building.
+    assert_eq!(lines(&found), vec![5, 12, 18, 28], "findings: {found:#?}");
+    assert!(found[0].message.contains("raw (pre-hash)"));
+    assert!(found[1].message.contains("hashed-but-not-encrypted"));
+    assert!(found[2].message.contains("key material"));
+}
+
+#[test]
+fn wire01_passes_h_then_enc_framing_tests_and_respects_scope() {
+    let src = include_str!("fixtures/wire01.rs");
+    let found = findings_for("crates/net/src/fixture.rs", src, "WIRE01");
+    // The blessed prepare→encrypt→send path, counter framing, and test
+    // code are all clean.
+    assert!(found.iter().all(|f| f.line < 30), "findings: {found:#?}");
+    // Registry-exempt files and out-of-scope crates never fire.
+    assert!(findings_for("crates/crypto/src/pool.rs", src, "WIRE01").is_empty());
+    assert!(findings_for("crates/core/src/tradeoff.rs", src, "WIRE01").is_empty());
+    assert!(findings_for("crates/bench/src/fixture.rs", src, "WIRE01").is_empty());
+}
+
+// ---------------------------------------------------------------- LOCK01
+
+#[test]
+fn lock01_flags_blocking_calls_under_held_guards() {
+    let src = include_str!("fixtures/lock01.rs");
+    let found = findings_for("crates/net/src/fixture.rs", src, "LOCK01");
+    // recv, join, and a pool-batch wait, each under a live guard.
+    assert_eq!(lines(&found), vec![7, 14, 20], "findings: {found:#?}");
+    assert!(found[0].message.contains("`st`"));
+    assert!(found[1].message.contains("`g`"));
+    assert!(found[2].message.contains("`map`"));
+}
+
+#[test]
+fn lock01_passes_condvar_scoping_drop_closures_and_tests() {
+    let src = include_str!("fixtures/lock01.rs");
+    let found = findings_for("crates/net/src/fixture.rs", src, "LOCK01");
+    // Condvar wait(st), block-scoped guard, drop(g), closure bodies,
+    // io::Read::read and `let _` are all clean, as is test code.
+    assert!(found.iter().all(|f| f.line < 21), "findings: {found:#?}");
+    // LOCK01 runs over crypto and net only.
+    assert!(findings_for("crates/core/src/fixture.rs", src, "LOCK01").is_empty());
+}

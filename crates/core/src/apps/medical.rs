@@ -51,38 +51,50 @@ pub struct MedicalCost {
 }
 
 /// Builds `T_R(personid, pattern)`.
-pub fn make_tr(rows: &[(i64, bool)]) -> Table {
+pub fn make_tr(rows: &[(i64, bool)]) -> Result<Table, ProtocolError> {
     let schema = Schema::new(vec![
         ("personid", ColumnType::Int),
         ("pattern", ColumnType::Bool),
-    ])
-    .expect("static schema");
+    ])?;
     let mut t = Table::new("TR", schema);
     for (id, pattern) in rows {
-        t.insert(vec![Value::Int(*id), Value::Bool(*pattern)])
-            .expect("typed row");
+        t.insert(vec![Value::Int(*id), Value::Bool(*pattern)])?;
     }
-    t
+    Ok(t)
 }
 
 /// Builds `T_S(personid, drug, reaction)`.
-pub fn make_ts(rows: &[(i64, bool, bool)]) -> Table {
+pub fn make_ts(rows: &[(i64, bool, bool)]) -> Result<Table, ProtocolError> {
     let schema = Schema::new(vec![
         ("personid", ColumnType::Int),
         ("drug", ColumnType::Bool),
         ("reaction", ColumnType::Bool),
-    ])
-    .expect("static schema");
+    ])?;
     let mut t = Table::new("TS", schema);
     for (id, drug, reaction) in rows {
         t.insert(vec![
             Value::Int(*id),
             Value::Bool(*drug),
             Value::Bool(*reaction),
-        ])
-        .expect("typed row");
+        ])?;
     }
-    t
+    Ok(t)
+}
+
+/// Reads one cell of a row by column index, as a typed error rather
+/// than an indexing panic if the row is narrower than its schema.
+fn cell<'a>(row: &'a [Value], idx: usize) -> Result<&'a Value, ProtocolError> {
+    row.get(idx).ok_or_else(|| ProtocolError::MalformedMessage {
+        detail: format!("table row has no column {idx}"),
+    })
+}
+
+/// Writes one contingency-table cell; `p`/`x` come from bool casts and
+/// are always in range, so an out-of-range pair is simply ignored.
+fn set_count(counts: &mut [[u64; 2]; 2], p: usize, x: usize, n: u64) {
+    if let Some(c) = counts.get_mut(p).and_then(|r| r.get_mut(x)) {
+        *c = n;
+    }
 }
 
 /// Extracts person-id value sets: Figure 2's local preprocessing.
@@ -101,25 +113,25 @@ pub fn partition_ids(tr: &Table, ts: &Table) -> Result<[Vec<Vec<u8>>; 4], Protoc
     let mut r_match = BTreeSet::new();
     let mut r_nomatch = BTreeSet::new();
     for row in tr.rows() {
-        let set = if row[pattern_idx] == Value::Bool(true) {
+        let set = if cell(row, pattern_idx)? == &Value::Bool(true) {
             &mut r_match
         } else {
             &mut r_nomatch
         };
-        set.insert(encode(&row[id_idx_r]));
+        set.insert(encode(cell(row, id_idx_r)?));
     }
     let mut s_reaction = BTreeSet::new();
     let mut s_noreaction = BTreeSet::new();
     for row in ts.rows() {
-        if row[drug_idx] != Value::Bool(true) {
+        if cell(row, drug_idx)? != &Value::Bool(true) {
             continue; // TS.drug = "true" filter
         }
-        let set = if row[reaction_idx] == Value::Bool(true) {
+        let set = if cell(row, reaction_idx)? == &Value::Bool(true) {
             &mut s_reaction
         } else {
             &mut s_noreaction
         };
-        set.insert(encode(&row[id_idx_s]));
+        set.insert(encode(cell(row, id_idx_s)?));
     }
     Ok([
         r_match.into_iter().collect(),
@@ -327,7 +339,7 @@ pub fn run_medical_study(
     ];
     for (i, (p, x, vr, vs)) in cells.into_iter().enumerate() {
         let run = three_party_intersection_size(group, vs, vr, seed.wrapping_add(i as u64))?;
-        counts[p][x] = run.intersection_size as u64;
+        set_count(&mut counts, p, x, run.intersection_size as u64);
         cost.ops += run.ops;
         cost.total_bits += run.total_bits;
     }
@@ -339,13 +351,15 @@ pub fn run_medical_study(
 pub fn medical_counts_in_clear(tr: &Table, ts: &Table) -> Result<MedicalCounts, ProtocolError> {
     let joined = query::equijoin(tr, "personid", ts, "personid")?;
     let drug_idx = joined.schema().index_of("drug")?;
-    let took = joined.filter("took_drug", |row| row[drug_idx] == Value::Bool(true));
+    let took = joined.filter("took_drug", |row| {
+        row.get(drug_idx) == Some(&Value::Bool(true))
+    });
     let grouped = query::group_by_count(&took, &["pattern", "reaction"])?;
     let mut counts = [[0u64; 2]; 2];
     for row in grouped.rows() {
-        let p = (row[0] == Value::Bool(true)) as usize;
-        let x = (row[1] == Value::Bool(true)) as usize;
-        counts[p][x] = row[2].as_int().unwrap_or(0) as u64;
+        let p = (cell(row, 0)? == &Value::Bool(true)) as usize;
+        let x = (cell(row, 1)? == &Value::Bool(true)) as usize;
+        set_count(&mut counts, p, x, cell(row, 2)?.as_int().unwrap_or(0) as u64);
     }
     Ok(MedicalCounts { counts })
 }
@@ -372,9 +386,9 @@ pub fn medical_counts_via_sql(tr: &Table, ts: &Table) -> Result<MedicalCounts, P
     )?;
     let mut counts = [[0u64; 2]; 2];
     for row in result.rows() {
-        let p = (row[0] == Value::Bool(true)) as usize;
-        let x = (row[1] == Value::Bool(true)) as usize;
-        counts[p][x] = row[2].as_int().unwrap_or(0) as u64;
+        let p = (cell(row, 0)? == &Value::Bool(true)) as usize;
+        let x = (cell(row, 1)? == &Value::Bool(true)) as usize;
+        set_count(&mut counts, p, x, cell(row, 2)?.as_int().unwrap_or(0) as u64);
     }
     Ok(MedicalCounts { counts })
 }
@@ -390,7 +404,7 @@ pub fn synthetic_study<R: Rng>(
     p_drug: f64,
     p_reaction_given_pattern: f64,
     p_reaction_base: f64,
-) -> (Table, Table) {
+) -> Result<(Table, Table), ProtocolError> {
     let mut tr_rows = Vec::with_capacity(n);
     let mut ts_rows = Vec::with_capacity(n);
     for id in 0..n as i64 {
@@ -405,7 +419,7 @@ pub fn synthetic_study<R: Rng>(
         tr_rows.push((id, pattern));
         ts_rows.push((id, drug, reaction));
     }
-    (make_tr(&tr_rows), make_ts(&ts_rows))
+    Ok((make_tr(&tr_rows)?, make_ts(&ts_rows)?))
 }
 
 #[cfg(test)]
@@ -435,7 +449,7 @@ mod tests {
     fn study_matches_clear_counts() {
         let g = group();
         let mut rng = StdRng::seed_from_u64(33);
-        let (tr, ts) = synthetic_study(&mut rng, 40, 0.4, 0.6, 0.7, 0.2);
+        let (tr, ts) = synthetic_study(&mut rng, 40, 0.4, 0.6, 0.7, 0.2).unwrap();
         let (private, _) = run_medical_study(&g, &tr, &ts, 123).unwrap();
         let clear = medical_counts_in_clear(&tr, &ts).unwrap();
         assert_eq!(private, clear);
@@ -446,12 +460,13 @@ mod tests {
 
     #[test]
     fn partition_respects_drug_filter() {
-        let tr = make_tr(&[(1, true), (2, false), (3, true)]);
+        let tr = make_tr(&[(1, true), (2, false), (3, true)]).unwrap();
         let ts = make_ts(&[
             (1, true, true),
             (2, false, true), // did not take the drug → excluded
             (3, true, false),
-        ]);
+        ])
+        .unwrap();
         let [rm, rn, sr, sn] = partition_ids(&tr, &ts).unwrap();
         assert_eq!(rm.len(), 2); // persons 1, 3 have the pattern
         assert_eq!(rn.len(), 1); // person 2
@@ -462,8 +477,8 @@ mod tests {
     #[test]
     fn empty_cells_are_zero() {
         let g = group();
-        let tr = make_tr(&[(1, true)]);
-        let ts = make_ts(&[(1, true, true)]);
+        let tr = make_tr(&[(1, true)]).unwrap();
+        let ts = make_ts(&[(1, true, true)]).unwrap();
         let (counts, _) = run_medical_study(&g, &tr, &ts, 5).unwrap();
         assert_eq!(counts.counts[1][1], 1);
         assert_eq!(counts.counts[0][0], 0);
@@ -474,8 +489,8 @@ mod tests {
     #[test]
     fn clear_oracle_handles_missing_people() {
         // Person in TS but not TR and vice versa — the join drops them.
-        let tr = make_tr(&[(1, true), (99, false)]);
-        let ts = make_ts(&[(1, true, false), (50, true, true)]);
+        let tr = make_tr(&[(1, true), (99, false)]).unwrap();
+        let ts = make_ts(&[(1, true, false), (50, true, true)]).unwrap();
         let clear = medical_counts_in_clear(&tr, &ts).unwrap();
         assert_eq!(clear.counts[1][0], 1);
         assert_eq!(

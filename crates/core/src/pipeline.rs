@@ -153,6 +153,15 @@ fn into_codewords(msg: Message) -> Result<Vec<UBig>, ProtocolError> {
     }
 }
 
+/// Ciphertext half of the sorted `(codeword, value)` pairing a receiver
+/// keeps for local matching, in pairing order. The raw values stay in
+/// the pairing and never travel; only the pool-encrypted codewords come
+/// out of here. Registered as encrypt-class in the analyzer's taint
+/// registry, which is what lets WIRE01 prove the subsequent send clean.
+fn sorted_codewords(encrypted: &[(UBig, Vec<u8>)]) -> Vec<UBig> {
+    encrypted.iter().map(|(y, _)| y.clone()).collect()
+}
+
 /// Pipelined intersection sender (`S` side of §3.2). Protocol-equivalent
 /// to [`crate::intersection::run_sender`]; encryption runs on `pool` and
 /// every list is streamed chunk by chunk.
@@ -233,7 +242,7 @@ pub fn run_intersection_receiver<T: Transport + ?Sized, R: Rng + ?Sized>(
     let enc = pool.submit_encrypt(group, &key, &hashes).wait();
     let mut encrypted: Vec<(UBig, Vec<u8>)> = enc.into_iter().zip(own_values).collect();
     encrypted.sort_by(|a, b| a.0.cmp(&b.0));
-    let yr: Vec<UBig> = encrypted.iter().map(|(y, _)| y.clone()).collect();
+    let yr: Vec<UBig> = sorted_codewords(&encrypted);
     send_codewords_chunked(transport, group, &yr, config.effective_chunk(yr.len()))?;
 
     // Step 4(a): stream Y_S in, overlapping Z_S = f_eR(Y_S) with receive.
@@ -395,7 +404,7 @@ pub fn run_equijoin_receiver<T: Transport + ?Sized, C: ExtCipher + ?Sized, R: Rn
     let enc = pool.submit_encrypt(group, &e_r, &hashes).wait();
     let mut encrypted: Vec<(UBig, Vec<u8>)> = enc.into_iter().zip(own_values).collect();
     encrypted.sort_by(|a, b| a.0.cmp(&b.0));
-    let yr: Vec<UBig> = encrypted.iter().map(|(y, _)| y.clone()).collect();
+    let yr: Vec<UBig> = sorted_codewords(&encrypted);
     send_codewords_chunked(transport, group, &yr, config.effective_chunk(yr.len()))?;
 
     // Step 4 response: (f_eS(y), f_e'S(y)) aligned with Y_R; strip our

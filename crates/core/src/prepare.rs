@@ -33,6 +33,11 @@ impl PreparedSet {
 /// hashes each into the group, and performs the paper's collision check:
 /// sort the hashes and look for duplicates. Counts one `Ch` per distinct
 /// value in `ops`.
+///
+/// Registered as a hash-class sanitizer in the analyzer's taint
+/// registry (`HASH_SANITIZER_FNS`): its output is `HASHED`, which is
+/// still wire-forbidden — WIRE01 requires a subsequent encrypt-class
+/// call before a send. Rename it and the registry entry must move too.
 pub fn prepare_set<S: CommutativeScheme>(
     scheme: &S,
     values: &[Vec<u8>],

@@ -29,6 +29,12 @@ use crate::plan::PlanCachePair;
 /// Secret hygiene: `Debug` is redacted (the exponent is the whole
 /// secret), equality is constant-time over the limb words, and dropping
 /// the key best-effort-zeroizes both exponents.
+///
+/// This type is registered in the analyzer's taint registry
+/// (`SECRET_TYPES` in `crates/analyzer/src/registry.rs`): every binding
+/// annotated with it seeds `KEY` taint, and WIRE01 fails the build if
+/// any dataflow from it reaches a wire sink. Rename it and the registry
+/// entry must move with it.
 #[derive(Clone)]
 pub struct CommutativeKey {
     e: UBig,

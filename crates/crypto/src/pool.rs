@@ -29,6 +29,14 @@
 //!   job channel, inline runs feed an EWMA of per-item encrypt cost, and
 //!   the threshold is their ratio — a batch must outweigh the dispatch
 //!   overhead before it is worth waking another thread.
+//!
+//! This file carries a WIRE01 exemption in the analyzer's taint
+//! registry (`WIRE01_EXEMPT_FILES`): the `send` calls here are
+//! crossbeam channel hand-offs to worker threads in the same process,
+//! not network transmission. Conversely [`PendingBatch::wait`] is
+//! registered encrypt-class — the pool runs nothing but scheme ops, so
+//! its output is ciphertext. Keep both properties true if this module
+//! grows.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;

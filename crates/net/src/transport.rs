@@ -6,6 +6,12 @@ use crate::framebatch::FrameBatch;
 /// A reliable, ordered, message-oriented duplex link between the two
 /// parties. Frames are opaque byte strings; serialization of protocol
 //  messages happens one layer up (in the `minshare` protocol crate).
+///
+/// `send`/`send_batch` are registered as wire sinks in the analyzer's
+/// taint registry (`WIRE_SINK_FNS`): WIRE01 statically proves that no
+/// raw set value, hash-only value, or key material flows into them —
+/// nothing but hash-then-encrypt output reaches the wire. New
+/// transmitting methods on this trait must be added to that registry.
 pub trait Transport {
     /// Sends one frame.
     fn send(&mut self, frame: &[u8]) -> Result<(), NetError>;

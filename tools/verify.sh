@@ -10,7 +10,26 @@ cd "$repo_root"
 
 cargo build --release
 cargo test -q
-cargo run -p minshare-analyzer -- --baseline analyzer.baseline.toml
+# The analyzer's own unit + fixture suite: every rule must prove both
+# detection (seeded-bug fixtures flagged at the expected lines) and the
+# clean pass before its verdict on the workspace means anything.
+cargo test -q -p minshare-analyzer
+# Gate the workspace against the findings baseline, and report how long
+# the full scan takes (it runs on every commit, so its cost is watched).
+t0=$(date +%s%N)
+cargo run -q --release -p minshare-analyzer -- --baseline analyzer.baseline.toml
+t1=$(date +%s%N)
+echo "analyzer wall-time: $(( (t1 - t0) / 1000000 )) ms"
+# The zero-count ratchet anchors record that the paper's minimal-sharing
+# invariant (WIRE01) and the pool/transport liveness invariant (LOCK01)
+# hold everywhere in scope. Deleting an anchor would let findings creep
+# back in silently, so their absence fails the gate.
+for anchor in WIRE01 LOCK01; do
+    if ! grep -q "rule = \"$anchor\"" analyzer.baseline.toml; then
+        echo "verify: missing $anchor ratchet anchor in analyzer.baseline.toml" >&2
+        exit 1
+    fi
+done
 # Protocol conformance under network faults: the fixed-seed suite runs
 # as part of `cargo test` above; re-run it by name so a registration
 # slip (e.g. the [[test]] entry disappearing) fails loudly, then sweep a
