@@ -21,9 +21,18 @@ pub const SECRET_TYPES: &[&str] = &[
     "FixedExponentPlan",
     "PlanCachePair",
     // crates/crypto: pool work items carry the commutative key and group
-    // elements between threads.
+    // elements between threads. The pool's tuning/counter cells
+    // (PoolTuning, PoolCounters, CachePadded) are deliberately absent:
+    // they hold only dispatch/item timing EWMAs and job counts — public
+    // performance metadata, no key material.
     "PoolJob",
     "PendingBatch",
+    // crates/simd: IfmaCtx is deliberately absent — it precomputes only
+    // public modulus constants (n, R' mod n, R'^2 mod n, -n^-1 mod 2^52)
+    // and touches group elements/ciphertexts; the secret window schedule
+    // (FixedExponentPlan, above) never leaves crates/bignum, which
+    // drives the vector ladder step by step. Revisit if the SIMD crate
+    // ever grows exponent-dependent state.
     // crates/net: per-direction session keys.
     "DirectionKeys",
     // crates/net simnet/robust types (FaultPlan, SimEndpoint,
@@ -103,6 +112,10 @@ pub const ENC_SANITIZER_FNS: &[&str] = &[
     "pow",
     "pow_batch",
     "pow_multi_ctx",
+    // crates/bignum/src/fixpow.rs: pow_multi_ctx pinned to the scalar
+    // kernels — same modexp, same DH-safety argument, just no SIMD
+    // dispatch. Exists as the differential oracle for the `simd` feature.
+    "pow_batch_scalar",
     // crates/crypto/src/pool.rs: batch jobs — the pool applies the
     // scheme ops above on worker threads; the submitted items come back
     // encrypted via `PendingBatch::wait`, so `wait`'s output is

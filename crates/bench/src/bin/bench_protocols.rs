@@ -37,6 +37,15 @@ use minshare_trace::{TraceSink, Tracer};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
+/// Minimum pool speedup at 4 threads a multicore snapshot must commit;
+/// `--check` fails if a committed multicore BENCH_protocols.json falls
+/// below it (single-core snapshots are exempt — there is nothing to scale).
+const POOL_SCALING_FLOOR: f64 = 1.5;
+
+/// Minimum SIMD-vs-scalar-`pow_multi` speedup at 512-bit when the IFMA
+/// backend is active on both the committed snapshot and the current host.
+const SIMD_SPEEDUP_FLOOR: f64 = 1.2;
+
 /// Median wall time of `samples` runs of `f`, in seconds.
 fn median_secs<F: FnMut()>(samples: usize, mut f: F) -> f64 {
     let mut times: Vec<f64> = (0..samples.max(1))
@@ -71,6 +80,14 @@ fn json_number(text: &str, key: &str) -> Option<f64> {
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Extracts `"speedup_vs_1"` from the pool-scaling row with the given
+/// thread count in the hand-rolled snapshot JSON.
+fn pool_speedup_at(text: &str, threads: usize) -> Option<f64> {
+    let needle = format!("\"threads\": {threads}");
+    let at = text.find(&needle)?;
+    json_number(&text[at..], "speedup_vs_1")
 }
 
 /// The four end-to-end rows: wall-clock medians for every protocol, with
@@ -234,10 +251,108 @@ fn run_check(snapshot_path: &str) -> i32 {
             eprintln!("bench --check: {key} ok: fresh {fresh:.3} vs committed {baseline:.3}");
         }
     }
+
+    // On a multicore host the pipelined engines must genuinely beat
+    // serial (speedup = serial/pipelined > 1); a single-core host runs
+    // the serial-fallback path, where only the ratio ratchet above
+    // applies.
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if host_cores > 1 {
+        for (key, serial_s, pipelined_s) in [
+            ("intersection", e2e.inter_serial_s, e2e.inter_pipelined_s),
+            ("equijoin", e2e.join_serial_s, e2e.join_pipelined_s),
+        ] {
+            let speedup = serial_s / pipelined_s;
+            // 3% tolerance absorbs wall-clock noise at the break-even point.
+            if speedup < 0.97 {
+                eprintln!(
+                    "bench --check: {key} pipelined speedup {speedup:.3} < 1.0 on a \
+                     {host_cores}-core host"
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "bench --check: {key} pipelined speedup {speedup:.3} on {host_cores} cores ok"
+                );
+            }
+        }
+    }
+
+    // Pool-scaling floor: a committed snapshot taken on a multicore host
+    // must show the pool actually scaling; a single-core snapshot has
+    // nothing to scale and is exempt (the documented fallback).
+    let committed_cores = json_number(&committed, "host_cores").unwrap_or(1.0);
+    if committed_cores > 1.0 {
+        match pool_speedup_at(&committed, 4) {
+            Some(speedup) if speedup >= POOL_SCALING_FLOOR => {
+                eprintln!(
+                    "bench --check: committed pool scaling at 4 threads {speedup:.3} >= \
+                     floor {POOL_SCALING_FLOOR}"
+                );
+            }
+            Some(speedup) => {
+                eprintln!(
+                    "bench --check: committed pool scaling at 4 threads {speedup:.3} is \
+                     below the {POOL_SCALING_FLOOR} floor (snapshot host_cores={committed_cores})"
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("bench --check: {snapshot_path} has no 4-thread pool-scaling row");
+                failed = true;
+            }
+        }
+    } else {
+        eprintln!(
+            "bench --check: committed snapshot is single-core (host_cores={committed_cores}); \
+             pool-scaling floor not applicable"
+        );
+    }
+
+    // SIMD kernel ratchet: when the committed snapshot was produced with
+    // the IFMA backend active and this build/host can run it too, the
+    // kernel must still clear its speedup floor over the forced-scalar
+    // path. A build without the feature (or a host without AVX-512 IFMA)
+    // runs the scalar fallback and is exempt.
+    if committed.contains("\"simd_active\": true") {
+        let n = odd_modulus(512, 0x5d);
+        let ctx = MontgomeryCtx::new(&n).expect("odd modulus");
+        if ctx.simd_active() {
+            let mut rng = StdRng::seed_from_u64(3);
+            let exp = random_below(&mut rng, &n);
+            let bases: Vec<UBig> = (0..32).map(|_| random_below(&mut rng, &n)).collect();
+            let scalar_s = median_secs(9, || {
+                std::hint::black_box(ctx.pow_batch_scalar(&bases, &exp));
+            });
+            let simd_s = median_secs(9, || {
+                std::hint::black_box(ctx.pow_multi_ctx(&bases, &exp));
+            });
+            let speedup = scalar_s / simd_s;
+            if speedup < SIMD_SPEEDUP_FLOOR {
+                eprintln!(
+                    "bench --check: SIMD kernel speedup {speedup:.3} fell below the \
+                     {SIMD_SPEEDUP_FLOOR} floor vs scalar pow_multi"
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "bench --check: SIMD kernel speedup {speedup:.3} >= floor {SIMD_SPEEDUP_FLOOR}"
+                );
+            }
+        } else {
+            eprintln!(
+                "bench --check: committed snapshot used SIMD but this build/host runs the \
+                 scalar fallback; kernel floor not applicable"
+            );
+        }
+    }
+
     if failed {
         1
     } else {
-        eprintln!("bench --check: all e2e rows within 10% of {snapshot_path}");
+        eprintln!("bench --check: all rows within tolerance of {snapshot_path}");
         0
     }
 }
@@ -427,8 +542,15 @@ fn main() {
     let multi_s = median_secs(15, || {
         std::hint::black_box(ctx.pow_multi_ctx(&bases, &exp));
     });
+    // Forced-scalar interleaved kernel: the honest baseline for the SIMD
+    // speedup claim (identical ladder, no IFMA dispatch).
+    let scalar_multi_s = median_secs(15, || {
+        std::hint::black_box(ctx.pow_batch_scalar(&bases, &exp));
+    });
+    let simd_active = ctx.simd_active();
     let sliding_speedup = fixed4_s / sliding_s;
     let multi_speedup = sliding_s / multi_s;
+    let simd_speedup = scalar_multi_s / multi_s;
 
     // --- EncryptPool scaling (§6.2) ------------------------------------
     let g = bench_group(256);
@@ -458,8 +580,11 @@ fn main() {
     println!("    \"fixed4_reference_us\": {:.1},", us(fixed4_s));
     println!("    \"sliding_window_us\": {:.1},", us(sliding_s));
     println!("    \"pow_multi_us\": {:.1},", us(multi_s));
+    println!("    \"scalar_multi_us\": {:.1},", us(scalar_multi_s));
+    println!("    \"simd_active\": {simd_active},");
     println!("    \"sliding_speedup_vs_fixed4\": {sliding_speedup:.3},");
-    println!("    \"pow_multi_speedup_vs_sliding\": {multi_speedup:.3}");
+    println!("    \"pow_multi_speedup_vs_sliding\": {multi_speedup:.3},");
+    println!("    \"simd_speedup_vs_scalar_multi\": {simd_speedup:.3}");
     println!("  }},");
     println!("  \"pool_scaling_encrypt64_qr256\": [");
     let base_t = pool_runs[0].1;
@@ -482,6 +607,10 @@ fn main() {
         "    \"intersection_pipelined_vs_serial\": {:.3},",
         e2e.inter_pipelined_s / e2e.inter_serial_s
     );
+    println!(
+        "    \"intersection_speedup_vs_serial\": {:.3},",
+        e2e.inter_serial_s / e2e.inter_pipelined_s
+    );
     println!("    \"equijoin_serial_us\": {:.1},", us(e2e.join_serial_s));
     println!(
         "    \"equijoin_pipelined_us\": {:.1},",
@@ -490,6 +619,10 @@ fn main() {
     println!(
         "    \"equijoin_pipelined_vs_serial\": {:.3},",
         e2e.join_pipelined_s / e2e.join_serial_s
+    );
+    println!(
+        "    \"equijoin_speedup_vs_serial\": {:.3},",
+        e2e.join_serial_s / e2e.join_pipelined_s
     );
     println!(
         "    \"intersection_size_serial_us\": {:.1},",

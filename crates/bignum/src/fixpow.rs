@@ -253,10 +253,25 @@ impl MontgomeryCtx {
         out
     }
 
-    /// Replays one recoded plan over a batch of bases, choosing the
-    /// interleaved fixed-width kernel when the modulus has one and the
-    /// scalar sliding-window ladder otherwise.
+    /// Replays one recoded plan over a batch of bases, choosing the best
+    /// kernel available: the AVX-512 IFMA lane backend when the `simd`
+    /// feature is on, the CPU supports it and the batch is large enough
+    /// to fill its wider lanes; otherwise the interleaved fixed-width
+    /// scalar kernel (4/8-limb moduli) or the scalar sliding-window
+    /// ladder. All paths are proptest-differentialed to identical results.
     pub(crate) fn pow_batch_planned(&self, bases: &[UBig], plan: &PowPlan) -> Vec<UBig> {
+        #[cfg(feature = "simd")]
+        if bases.len() >= simd_path::MIN_SIMD_BATCH {
+            if let Some(ictx) = self.ifma_ctx() {
+                return self.pow_batch_ifma(ictx, bases, plan);
+            }
+        }
+        self.pow_batch_scalar_planned(bases, plan)
+    }
+
+    /// The scalar kernel dispatch: interleaved fixed-width kernels for the
+    /// protocol-standard 4/8-limb moduli, sliding-window ladder otherwise.
+    fn pow_batch_scalar_planned(&self, bases: &[UBig], plan: &PowPlan) -> Vec<UBig> {
         match self.limbs() {
             4 => self.pow_batch_fixed::<4>(bases, plan),
             8 => self.pow_batch_fixed::<8>(bases, plan),
@@ -264,6 +279,29 @@ impl MontgomeryCtx {
                 .iter()
                 .map(|b| self.from_mont(&self.pow_planned(&self.to_mont(b), plan)))
                 .collect(),
+        }
+    }
+
+    /// [`Self::pow_multi_ctx`] pinned to the scalar kernels, bypassing any
+    /// SIMD backend. This is the differential oracle for the `simd`
+    /// feature's proptests and the honest "scalar `pow_multi`" side of the
+    /// kernel benchmarks; in a default build it is exactly `pow_multi_ctx`.
+    pub fn pow_batch_scalar(&self, bases: &[UBig], exponent: &UBig) -> Vec<UBig> {
+        let plan = recode_exponent(exponent, window_for_bits(exponent.bit_len()));
+        self.pow_batch_scalar_planned(bases, &plan)
+    }
+
+    /// True when batches under this context actually run on the SIMD
+    /// backend: the `simd` feature is compiled in, the CPU passes runtime
+    /// detection, and the modulus fits the lane kernel's digit budget.
+    pub fn simd_active(&self) -> bool {
+        #[cfg(feature = "simd")]
+        {
+            self.ifma_ctx().is_some()
+        }
+        #[cfg(not(feature = "simd"))]
+        {
+            false
         }
     }
 
@@ -277,6 +315,169 @@ impl MontgomeryCtx {
     pub fn pow_multi_ctx(&self, bases: &[UBig], exponent: &UBig) -> Vec<UBig> {
         let plan = recode_exponent(exponent, window_for_bits(exponent.bit_len()));
         self.pow_batch_planned(bases, &plan)
+    }
+}
+
+/// AVX-512 IFMA lane path: digit conversions between 64-bit limbs and the
+/// radix-2^52 layout the SIMD crate computes in, plus the batch driver.
+/// The exponent's recoded schedule stays on this side of the crate
+/// boundary — `minshare-simd` only ever sees individual multiply operands
+/// and public modulus constants.
+#[cfg(feature = "simd")]
+mod simd_path {
+    use super::*;
+    use minshare_simd::{IfmaCtx, LaneBlock, DIGIT_BITS, DIGIT_MASK, LANES as SIMD_LANES};
+
+    /// Below this batch size the 8-wide lane kernel runs mostly empty and
+    /// the scalar interleaved kernel is faster; the protocol hot path
+    /// (whole codeword sets per round) is always far above it.
+    pub(super) const MIN_SIMD_BATCH: usize = 4;
+
+    /// Radix-2^52 digit count covering an `limbs`-limb modulus.
+    fn digit_count(limbs: usize) -> usize {
+        (limbs * LIMB_BITS as usize).div_ceil(DIGIT_BITS as usize)
+    }
+
+    /// Canonical radix-2^52 digits of a little-endian limb slice (which
+    /// may be shorter than the digits cover — high digits read as zero).
+    fn limbs_to_digits(limbs: &[Limb], out: &mut [u64]) {
+        for (d, slot) in out.iter_mut().enumerate() {
+            let off = d * DIGIT_BITS as usize;
+            let i = off / LIMB_BITS as usize;
+            let sh = off % LIMB_BITS as usize;
+            let mut v = limbs.get(i).copied().unwrap_or(0) >> sh;
+            if sh > (LIMB_BITS - DIGIT_BITS) as usize {
+                v |= limbs.get(i + 1).copied().unwrap_or(0) << (LIMB_BITS as usize - sh);
+            }
+            *slot = v & DIGIT_MASK;
+        }
+    }
+
+    /// Reassembles canonical radix-2^52 digits into a `UBig`.
+    fn digits_to_ubig(digits: &[u64]) -> UBig {
+        let bits = digits.len() * DIGIT_BITS as usize;
+        let nlimbs = bits.div_ceil(LIMB_BITS as usize);
+        let mut limbs = vec![0 as Limb; nlimbs];
+        for (d, &dig) in digits.iter().enumerate() {
+            let off = d * DIGIT_BITS as usize;
+            let i = off / LIMB_BITS as usize;
+            let sh = off % LIMB_BITS as usize;
+            limbs[i] |= dig << sh;
+            if sh > (LIMB_BITS - DIGIT_BITS) as usize && i + 1 < nlimbs {
+                limbs[i + 1] |= dig >> (LIMB_BITS as usize - sh);
+            }
+        }
+        UBig::from_limbs(limbs)
+    }
+
+    impl MontgomeryCtx {
+        /// The cached IFMA lane context for this modulus, built on first
+        /// use: `None` (once probed) when the CPU lacks AVX-512 IFMA or
+        /// the modulus exceeds the lane kernel's digit budget. Only public
+        /// constants (n, R' mod n, R'² mod n, -n⁻¹ mod 2^52) cross into
+        /// the SIMD crate.
+        pub(crate) fn ifma_ctx(&self) -> Option<&Arc<IfmaCtx>> {
+            self.ifma
+                .get_or_init(|| {
+                    if !minshare_simd::available() {
+                        return None;
+                    }
+                    let k = digit_count(self.limbs());
+                    if k == 0 || k > minshare_simd::MAX_DIGITS {
+                        return None;
+                    }
+                    let r_bits = (k as u64) * DIGIT_BITS as u64;
+                    let one = UBig::one().shl_bits(r_bits).rem_ref(self.modulus()).ok()?;
+                    let rr = UBig::one()
+                        .shl_bits(2 * r_bits)
+                        .rem_ref(self.modulus())
+                        .ok()?;
+                    let mut n52 = vec![0u64; k];
+                    let mut rr52 = vec![0u64; k];
+                    let mut one52 = vec![0u64; k];
+                    limbs_to_digits(&self.n, &mut n52);
+                    limbs_to_digits(rr.limbs(), &mut rr52);
+                    limbs_to_digits(one.limbs(), &mut one52);
+                    let n0_inv52 = self.n0_inv & DIGIT_MASK;
+                    IfmaCtx::new(k, &n52, n0_inv52, &rr52, &one52).map(Arc::new)
+                })
+                .as_ref()
+        }
+
+        /// The shared window ladder over one 8-wide lane block — the same
+        /// shape as [`MontgomeryCtx::pow_block`], with the lane kernels
+        /// swapped for the IFMA backend.
+        fn pow_block_ifma(&self, ictx: &IfmaCtx, bases: &LaneBlock, plan: &PowPlan) -> LaneBlock {
+            let init_idx = match plan.init_idx {
+                // Zero exponent: every lane is 1 in Montgomery form.
+                None => return ictx.one_block(),
+                Some(idx) => idx,
+            };
+            let table_len = plan.max_idx + 1;
+            let mut table: Vec<LaneBlock> = Vec::with_capacity(table_len);
+            table.push(*bases);
+            if table_len > 1 {
+                let base_sq = ictx.mont_sqr(bases);
+                for i in 1..table_len {
+                    table.push(ictx.mont_mul(&table[i - 1], &base_sq));
+                }
+            }
+            let mut acc = table[init_idx];
+            for step in &plan.steps {
+                for _ in 0..step.squarings {
+                    acc = ictx.mont_sqr(&acc);
+                }
+                acc = ictx.mont_mul(&acc, &table[step.table_idx]);
+            }
+            for _ in 0..plan.tail_squarings {
+                acc = ictx.mont_sqr(&acc);
+            }
+            acc
+        }
+
+        /// Batch driver for the IFMA path: blocks of 8 bases walk the
+        /// shared window schedule together. Ragged tails replay lane 0 in
+        /// the unused lanes (uniform kernel math, discarded results),
+        /// mirroring the scalar kernel's tail policy.
+        pub(super) fn pow_batch_ifma(
+            &self,
+            ictx: &IfmaCtx,
+            bases: &[UBig],
+            plan: &PowPlan,
+        ) -> Vec<UBig> {
+            let k = ictx.k();
+            let mut out = Vec::with_capacity(bases.len());
+            let mut digits = vec![0u64; k];
+            for block in bases.chunks(SIMD_LANES) {
+                let mut lanes = LaneBlock::zero();
+                for (lane, base) in block.iter().enumerate() {
+                    let reduced = base.rem_ref(self.modulus()).expect("modulus nonzero");
+                    limbs_to_digits(reduced.limbs(), &mut digits);
+                    lanes.set_lane(lane, &digits);
+                }
+                if block.len() < SIMD_LANES {
+                    let mut lane0 = vec![0u64; k];
+                    lanes.lane(0, &mut lane0);
+                    for l in block.len()..SIMD_LANES {
+                        lanes.set_lane(l, &lane0);
+                    }
+                }
+                let bases_m = ictx.to_mont(&lanes);
+                let res_m = self.pow_block_ifma(ictx, &bases_m, plan);
+                let res = ictx.from_mont(&res_m);
+                for lane in 0..block.len() {
+                    res.lane(lane, &mut digits);
+                    // from_mont leaves values <= n; one rem finishes the
+                    // conditional subtract in the integer domain.
+                    out.push(
+                        digits_to_ubig(&digits)
+                            .rem_ref(self.modulus())
+                            .expect("modulus nonzero"),
+                    );
+                }
+            }
+            out
+        }
     }
 }
 

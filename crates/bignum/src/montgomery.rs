@@ -223,6 +223,12 @@ pub struct MontgomeryCtx {
     pub(crate) r2: Vec<Limb>,
     /// The modulus as a `UBig` (for comparisons and callers).
     modulus: UBig,
+    /// Lazily-probed AVX-512 IFMA lane context (`None` once probed when
+    /// the host CPU lacks IFMA or the modulus is too wide). Holds only
+    /// public modulus constants in radix-2^52; the secret exponent
+    /// schedule never crosses into the SIMD crate.
+    #[cfg(feature = "simd")]
+    pub(crate) ifma: std::sync::OnceLock<Option<std::sync::Arc<minshare_simd::IfmaCtx>>>,
 }
 
 /// `-n0⁻¹ mod 2^64` for odd `n0`, by Newton iteration.
@@ -275,6 +281,8 @@ impl MontgomeryCtx {
             one_mont,
             r2,
             modulus: modulus.clone(),
+            #[cfg(feature = "simd")]
+            ifma: std::sync::OnceLock::new(),
         })
     }
 
@@ -628,9 +636,18 @@ impl MontgomeryCtx {
     }
 
     /// The pre-optimization fixed 4-bit-window exponentiation (generic
-    /// CIOS multiply for squarings, full even+odd table). Kept verbatim as
-    /// the committed baseline for the `BENCH_protocols.json` speedup
+    /// CIOS multiply for squarings, full even+odd table). Kept as the
+    /// committed baseline for the `BENCH_protocols.json` speedup
     /// trajectory; protocol code must use [`Self::pow`].
+    ///
+    /// The original formulation skipped the window multiply whenever a
+    /// window's bits happened to be all zero — a data-dependent branch on
+    /// exponent material (the SEC02 finding baselined in PR 6). The ladder
+    /// now runs a constant schedule for a given bit length: every window
+    /// below the top one performs [`WINDOW`] squarings followed by an
+    /// unconditional multiply with `table[idx]` (`table[0]` is 1 in
+    /// Montgomery form, so zero windows cost the same multiply as any
+    /// other). Results are unchanged; only the skip is gone.
     pub fn pow_fixed4_reference(&self, base: &UBig, exponent: &UBig) -> UBig {
         if exponent.is_zero() {
             return UBig::one().rem_ref(&self.modulus).expect("nonzero");
@@ -646,29 +663,26 @@ impl MontgomeryCtx {
             table.push(self.mont_mul(prev, &base_m));
         }
 
-        let bits = exponent.bit_len();
-        let windows = bits.div_ceil(WINDOW as u64);
-        let mut acc = self.one_mont.clone();
-        let mut started = false;
-        for w in (0..windows).rev() {
-            if started {
-                for _ in 0..WINDOW {
-                    acc = self.mont_mul(&acc, &acc);
-                }
-            }
+        let window_idx = |w: u64| {
             let mut idx: usize = 0;
             for b in (0..WINDOW as u64).rev() {
                 let bit_pos = w * WINDOW as u64 + b;
                 idx = (idx << 1) | exponent.bit(bit_pos) as usize;
             }
-            if idx != 0 {
-                acc = self.mont_mul(&acc, &table[idx]);
-                started = true;
-            } else if started {
-                // Nothing to multiply; squarings above already applied.
-            } else {
-                // Leading zero windows: keep acc = 1, no squarings needed.
+            idx
+        };
+
+        let bits = exponent.bit_len();
+        let windows = bits.div_ceil(WINDOW as u64);
+        // The top window contains the exponent's leading set bit, so it
+        // seeds the accumulator directly; every remaining window squares
+        // then multiplies, unconditionally.
+        let mut acc = table[window_idx(windows - 1)].clone();
+        for w in (0..windows - 1).rev() {
+            for _ in 0..WINDOW {
+                acc = self.mont_mul(&acc, &acc);
             }
+            acc = self.mont_mul(&acc, &table[window_idx(w)]);
         }
         self.from_mont(&acc)
     }

@@ -77,6 +77,20 @@ fn ragged_bases() -> impl Strategy<Value = Vec<UBig>> {
         .prop_map(|raw| raw.iter().map(|b| UBig::from_be_bytes(b)).collect())
 }
 
+/// Strategy: full-width odd moduli of 1..=8 limbs — the whole width range
+/// the SIMD (AVX-512 IFMA) backend accepts. Widths outside the scalar
+/// kernel's 4/8-limb specializations matter here: the SIMD path covers
+/// them all, so the differential must too.
+fn simd_modulus() -> impl Strategy<Value = UBig> {
+    (1usize..=8, proptest::collection::vec(any::<u8>(), 64..65)).prop_map(|(limbs, mut b)| {
+        b.truncate(limbs * 8);
+        b[0] |= 0x80; // full width: exactly `limbs` limbs
+        let last = b.len() - 1;
+        b[last] |= 1; // odd
+        UBig::from_be_bytes(&b)
+    })
+}
+
 proptest! {
     #[test]
     fn add_commutes(a in ubig(), b in ubig()) {
@@ -346,6 +360,44 @@ proptest! {
         for (b, got) in bases.iter().zip(&multi) {
             prop_assert_eq!(got, &b.modpow_binary(&e, &m));
         }
+    }
+
+    // -----------------------------------------------------------------
+    // SIMD differentials: the auto-dispatching batch front end against
+    // the forced-scalar kernel, bitwise. In a default (scalar) build
+    // both sides run the same code and the test degenerates to a
+    // determinism check; with `--features simd` on an IFMA host it is
+    // the real vector-vs-scalar differential. Moduli sweep every width
+    // the vector backend accepts (1..=8 limbs), batches sweep every
+    // lane-occupancy shape (0..=10 over 8 lanes), and exponents take
+    // the adversarial shapes (0, 1, single-bit, all-ones, random).
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn simd_batch_matches_forced_scalar(
+        bases in ragged_bases(),
+        exp in adversarial_exponent(),
+        m in simd_modulus(),
+    ) {
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let auto = ctx.pow_multi_ctx(&bases, &exp);
+        let scalar = ctx.pow_batch_scalar(&bases, &exp);
+        prop_assert_eq!(&auto, &scalar);
+        for (b, got) in bases.iter().zip(&auto) {
+            prop_assert_eq!(got, &b.modpow_binary(&exp, &m));
+        }
+    }
+
+    #[test]
+    fn simd_batch_fermat_exponent_matches_forced_scalar(
+        bases in ragged_bases(),
+        m in simd_modulus(),
+    ) {
+        // e = m - 2: near-full bit length, high Hamming weight — the
+        // densest multiply schedule the ladder produces.
+        let e = m.sub_small(2).unwrap();
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        prop_assert_eq!(ctx.pow_multi_ctx(&bases, &e), ctx.pow_batch_scalar(&bases, &e));
     }
 
     #[test]

@@ -72,13 +72,17 @@ impl PipelineConfig {
         }
     }
 
-    /// Calibrates the knobs against a live pool: a quick probe measures
-    /// the per-item encrypt cost, and the pool reports its measured job
-    /// hand-off overhead. A chunk is sized to amortize one hand-off to
-    /// ~10% overhead, and lists that cannot fill at least two chunks
-    /// (nothing to overlap) fall back to the serial single-chunk path.
-    /// On a pool with no workers (1-core host) every list falls back —
-    /// that configuration can only lose to serial.
+    /// Calibrates the knobs against a live pool, preferring the pool's
+    /// own live measurements: its dispatch estimate (construction-probe
+    /// median refined by observed submit→first-claim latencies) and its
+    /// per-item cost EWMA (fed by inline runs and pooled claims alike).
+    /// Only when the pool has not yet processed a batch does a quick
+    /// inline probe seed the per-item figure. A chunk is sized to
+    /// amortize one hand-off to ~10% overhead, and lists that cannot
+    /// fill at least two chunks (nothing to overlap) fall back to the
+    /// serial single-chunk path. On a pool with no workers (1-core host)
+    /// every list falls back — that configuration can only lose to
+    /// serial.
     pub fn calibrated(group: &QrGroup, pool: &EncryptPool) -> Self {
         if pool.threads() == 0 {
             return PipelineConfig {
@@ -86,18 +90,23 @@ impl PipelineConfig {
                 serial_below: usize::MAX,
             };
         }
-        const PROBE_ITEMS: usize = 8;
-        let probe: Vec<UBig> = (0..PROBE_ITEMS)
-            .map(|i| group.hash_to_group(&[b'c', b'a', b'l', i as u8]))
-            .collect();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0x9e37_79b9);
-        let key = group.gen_key(&mut rng);
-        let started = std::time::Instant::now();
-        let _ = group.encrypt_many(&key, &probe);
-        let item_ns = (started.elapsed().as_nanos() / PROBE_ITEMS as u128).max(1) as u64;
+        let mut item_ns = pool.item_cost_ns();
+        if item_ns == 0 {
+            // Cold pool: measure a short inline batch to seed the figure
+            // (the same kernel path the pool's EWMA tracks).
+            const PROBE_ITEMS: usize = 8;
+            let probe: Vec<UBig> = (0..PROBE_ITEMS)
+                .map(|i| group.hash_to_group(&[b'c', b'a', b'l', i as u8]))
+                .collect();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0x9e37_79b9);
+            let key = group.gen_key(&mut rng);
+            let started = std::time::Instant::now();
+            let _ = group.encrypt_many(&key, &probe);
+            item_ns = (started.elapsed().as_nanos() / PROBE_ITEMS as u128).max(1) as u64;
+        }
         let dispatch_ns = pool.dispatch_overhead_ns().max(1);
         // 10 dispatches' worth of work per chunk ≈ 10% hand-off overhead.
-        let chunk_size = usize::try_from(10 * dispatch_ns / item_ns)
+        let chunk_size = usize::try_from(10 * dispatch_ns / item_ns.max(1))
             .unwrap_or(usize::MAX)
             .clamp(DEFAULT_CHUNK_SIZE, 4096);
         PipelineConfig {

@@ -10,25 +10,39 @@
 //!
 //! Work distribution is by atomic sub-chunk claiming: every job is
 //! broadcast to all workers, and each worker (plus the waiting caller)
-//! repeatedly claims a small contiguous range with a `fetch_add` cursor.
-//! Stragglers rebalance at sub-chunk granularity, which is the same
-//! property a stealing deque buys, with nothing but channels and one
-//! atomic. The caller *helps*: [`PendingBatch::wait`] runs the job on the
-//! calling thread too, so a pool with zero workers still completes every
-//! job (inline), and a pool on a loaded machine never deadlocks waiting
-//! for a busy worker.
+//! repeatedly claims a contiguous range with a `fetch_add` cursor. Claim
+//! sizes are *guided* (half the remaining share of the claiming party,
+//! floored at [`MIN_CLAIM`]): the first parties to arrive take large
+//! contiguous head chunks — so the submitting thread does most of its help
+//! in one cache-friendly run instead of contending per-item — while the
+//! geometric decay leaves [`MIN_CLAIM`]-sized crumbs at the tail for
+//! straggler rebalancing, the same property a stealing deque buys with
+//! nothing but channels and one atomic. The claim cursor and every other
+//! hot counter sit on their own cache line ([`CachePadded`]) so claims
+//! from different threads never false-share.
 //!
-//! Two guards keep the pool from losing to serial (as it measurably did
-//! on a 1-core host):
+//! The caller *helps*: [`PendingBatch::wait`] runs the job on the calling
+//! thread too, so a pool with zero workers still completes every job
+//! (inline), and a pool on a loaded machine never deadlocks waiting for a
+//! busy worker.
+//!
+//! Two measured guards keep the pool from losing to serial (as it
+//! measurably did on a 1-core host):
 //!
 //! * [`EncryptPool::new`] clamps the worker count to `cores - 1` (the
 //!   caller is the remaining party), so a 1-core host gets zero workers
 //!   and every job runs inline — identical code path to serial.
 //! * Batches below a *measured* hand-off threshold run inline even when
-//!   workers exist: construction times one probe round-trip through the
-//!   job channel, inline runs feed an EWMA of per-item encrypt cost, and
-//!   the threshold is their ratio — a batch must outweigh the dispatch
-//!   overhead before it is worth waking another thread.
+//!   workers exist. Construction times several probe round-trips through
+//!   the job channel and takes their median (one descheduled worker no
+//!   longer poisons the estimate); afterwards, every pooled job's first
+//!   worker claim feeds the observed submit→claim latency back into a
+//!   dispatch EWMA, and every evaluated claim (inline *and* pooled) feeds
+//!   the per-item cost EWMA. The inline threshold is their ratio — a
+//!   batch must outweigh the dispatch overhead before it is worth waking
+//!   another thread — and it keeps auto-tuning as the workload shifts.
+//!   [`PipelineConfig::calibrated`] in `minshare-core` reads both EWMAs
+//!   to pick its chunk sizes from the same measurements.
 //!
 //! This file carries a WIRE01 exemption in the analyzer's taint
 //! registry (`WIRE01_EXEMPT_FILES`): the `send` calls here are
@@ -45,22 +59,68 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use minshare_bignum::{FixedExponentPlan, UBig};
-use parking_lot::Mutex;
 
 use crate::batch::effective_threads;
 use crate::commutative::CommutativeKey;
 use crate::group::QrGroup;
 
-/// Upper bound on the items a single cursor claim takes; keeps work items
-/// small so stragglers rebalance even on short batches. Also the floor of
-/// the inline hand-off threshold: anything one claim would cover is not
-/// worth dispatching.
-const MAX_CLAIM: usize = 16;
+/// Smallest cursor claim: the tail granularity stragglers rebalance at,
+/// and the floor of the inline hand-off threshold (anything one claim
+/// would cover is not worth dispatching).
+const MIN_CLAIM: usize = 16;
 
 /// Ceiling of the measured inline threshold, so a mis-calibrated probe
 /// (e.g. a descheduled worker inflating the round-trip) cannot disable
 /// the pool for genuinely large batches.
 const MAX_INLINE: usize = 1024;
+
+/// Construction-time dispatch probe rounds; the first is a warm-up
+/// (thread start-up, cold caches) and is discarded, the median of the
+/// rest becomes the initial dispatch estimate.
+const DISPATCH_PROBES: usize = 6;
+
+/// Live dispatch samples above this are treated as scheduler noise (a
+/// descheduled worker, not channel cost) and clipped before entering the
+/// EWMA.
+const DISPATCH_SAMPLE_CAP_NS: u64 = 50_000_000;
+
+/// Pads a hot atomic to its own cache line (128 bytes covers the spatial
+/// prefetcher pair on current x86 cores), so claim traffic on one counter
+/// never invalidates a neighbour. Hand-rolled because this workspace
+/// forbids `unsafe` and vendors no utility crates.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct CachePadded<T>(T);
+
+/// EWMA fold: `next = (3·old + sample) / 4`, seeding on the first sample.
+fn ewma_record(cell: &AtomicU64, sample: u64) {
+    let sample = sample.max(1);
+    let old = cell.load(Ordering::Relaxed);
+    let next = if old == 0 { sample } else { (3 * old + sample) / 4 };
+    cell.store(next, Ordering::Relaxed);
+}
+
+/// The pool's live calibration state, shared with every in-flight job so
+/// pooled claims keep tuning the estimates (inline-only feedback went
+/// stale as soon as the pool warmed up and stopped running inline).
+#[derive(Debug, Default)]
+struct PoolTuning {
+    /// EWMA of submit→first-worker-claim latency (ns); seeded by the
+    /// construction probe median. 0 only for a workerless pool.
+    dispatch_ns: CachePadded<AtomicU64>,
+    /// EWMA of per-item encrypt cost (ns), fed by inline runs and pooled
+    /// claims alike; 0 until the first nonempty batch calibrates it.
+    item_ns: CachePadded<AtomicU64>,
+}
+
+/// Lifetime submission counters, one padded atomic each (the stats lock
+/// this replaces serialized every submit across threads).
+#[derive(Debug, Default)]
+struct PoolCounters {
+    jobs: CachePadded<AtomicU64>,
+    items: CachePadded<AtomicU64>,
+    inline_jobs: CachePadded<AtomicU64>,
+}
 
 /// Counters for observing pool behavior (benches and tests).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -136,32 +196,59 @@ enum JobWork {
 /// analyzer: no `Debug`, no structural equality.
 struct PoolJob {
     work: JobWork,
-    /// Next unclaimed item index; claimed in `chunk`-sized strides.
-    cursor: AtomicUsize,
-    /// Items per cursor claim.
-    chunk: usize,
+    /// Next unclaimed item index; cache-line isolated so concurrent
+    /// claims touch nothing else.
+    cursor: CachePadded<AtomicUsize>,
+    /// Workers + the helping caller: the denominator of guided claims.
+    parties: usize,
+    /// When the job was broadcast; the first worker claim measures
+    /// submit→claim latency against it.
+    submitted: Instant,
+    /// Live calibration shared with the owning pool.
+    tuning: Arc<PoolTuning>,
     results: Sender<(usize, Vec<UBig>)>,
 }
 
 impl PoolJob {
-    /// Claims and evaluates sub-chunks until the job is exhausted. Called
-    /// by every worker that receives the job and by the waiting caller.
-    fn run(&self) {
+    /// Claims and evaluates contiguous sub-chunks until the job is
+    /// exhausted. Called by every worker that receives the job
+    /// (`is_worker`) and by the waiting caller. Guided claim sizing:
+    /// each claim takes half the claimant's share of what remains, so
+    /// early claims are large and contiguous and the tail degrades to
+    /// [`MIN_CLAIM`] crumbs for rebalancing.
+    fn run(&self, is_worker: bool) {
         match &self.work {
             JobWork::Probe => {
-                if self.cursor.fetch_add(1, Ordering::Relaxed) == 0 {
+                if self.cursor.0.fetch_add(1, Ordering::Relaxed) == 0 {
                     let _ = self.results.send((0, Vec::new()));
                 }
             }
             JobWork::Crypto { group, plan, task } => {
                 let total = task.len();
+                let mut first_claim = is_worker;
                 loop {
-                    let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+                    let claimed = self.cursor.0.load(Ordering::Relaxed);
+                    if claimed >= total {
+                        return;
+                    }
+                    // A stale `claimed` only skews the claim size, never
+                    // correctness: the fetch_add below is the sole
+                    // authority on who owns which range.
+                    let want = ((total - claimed) / (2 * self.parties)).max(MIN_CLAIM);
+                    let start = self.cursor.0.fetch_add(want, Ordering::Relaxed);
                     if start >= total {
                         return;
                     }
-                    let end = start.saturating_add(self.chunk).min(total);
+                    if first_claim {
+                        first_claim = false;
+                        let lat = self.submitted.elapsed().as_nanos().min(u128::from(u64::MAX))
+                            as u64;
+                        ewma_record(&self.tuning.dispatch_ns.0, lat.min(DISPATCH_SAMPLE_CAP_NS));
+                    }
+                    let end = start.saturating_add(want).min(total);
+                    let eval_started = Instant::now();
                     if let Some(out) = task.eval_range(group, plan, start, end) {
+                        record_item_cost(&self.tuning, eval_started.elapsed(), end - start);
                         // A send error means the caller abandoned the batch;
                         // keep draining the cursor so the job finishes quietly.
                         let _ = self.results.send((start, out));
@@ -177,6 +264,15 @@ impl PoolJob {
             JobWork::Crypto { task, .. } => task.len(),
         }
     }
+}
+
+/// Folds a measured run's per-item cost into the EWMA calibration.
+fn record_item_cost(tuning: &PoolTuning, elapsed: Duration, items: usize) {
+    if items == 0 {
+        return;
+    }
+    let per = (elapsed.as_nanos() / items as u128).min(u128::from(u64::MAX)) as u64;
+    ewma_record(&tuning.item_ns.0, per);
 }
 
 /// Handle to an in-flight batch; redeem with [`PendingBatch::wait`].
@@ -218,14 +314,15 @@ impl PendingBatch {
 
     /// Blocks until every item is processed and returns the outputs in
     /// input order. The calling thread helps with unclaimed sub-chunks
-    /// first, so completion never depends on pool workers being free.
+    /// first — its guided claims take contiguous ranges, not per-item
+    /// nibbles — so completion never depends on pool workers being free.
     pub fn wait(self) -> Vec<UBig> {
         let (job, rx) = match self.inner {
             PendingInner::Ready(v) => return v,
             PendingInner::InFlight { job, rx } => (job, rx),
         };
         let waited = minshare_trace::span("pool", "wait", false);
-        job.run();
+        job.run(false);
         let total = job.total_items();
         let mut parts: Vec<(usize, Vec<UBig>)> = Vec::new();
         let mut received = 0usize;
@@ -252,13 +349,9 @@ pub struct EncryptPool {
     /// One job-broadcast channel per worker.
     senders: Vec<Sender<Arc<PoolJob>>>,
     workers: Vec<JoinHandle<()>>,
-    stats: Mutex<PoolStats>,
-    /// Measured job-channel round-trip at construction (ns); 0 when the
-    /// pool has no workers or the probe failed.
-    dispatch_ns: u64,
-    /// EWMA of per-item encrypt cost from inline runs (ns); 0 until the
-    /// first nonempty inline batch calibrates it.
-    item_ns: AtomicU64,
+    counters: PoolCounters,
+    /// Live dispatch/per-item estimates, shared with in-flight jobs.
+    tuning: Arc<PoolTuning>,
 }
 
 impl EncryptPool {
@@ -290,20 +383,23 @@ impl EncryptPool {
             // caller-help in `wait` still completes every job.
             if let Ok(handle) = builder.spawn(move || {
                 while let Ok(job) = rx.recv() {
-                    job.run();
+                    job.run(true);
                 }
             }) {
                 senders.push(tx);
                 workers.push(handle);
             }
         }
-        let dispatch_ns = measure_dispatch(&senders);
+        let tuning = Arc::new(PoolTuning::default());
+        tuning
+            .dispatch_ns
+            .0
+            .store(measure_dispatch(&senders, &tuning), Ordering::Relaxed);
         EncryptPool {
             senders,
             workers,
-            stats: Mutex::new(PoolStats::default()),
-            dispatch_ns,
-            item_ns: AtomicU64::new(0),
+            counters: PoolCounters::default(),
+            tuning,
         }
     }
 
@@ -312,40 +408,42 @@ impl EncryptPool {
         self.workers.len()
     }
 
-    /// The measured job-channel round-trip from construction, in
-    /// nanoseconds (0 for a workerless pool).
+    /// The current submit→first-claim dispatch estimate in nanoseconds:
+    /// the construction probe median, refined by the EWMA of observed
+    /// first-claim latencies on real jobs (0 for a workerless pool).
     pub fn dispatch_overhead_ns(&self) -> u64 {
-        self.dispatch_ns
+        self.tuning.dispatch_ns.0.load(Ordering::Relaxed)
+    }
+
+    /// The current per-item cost estimate in nanoseconds (EWMA over
+    /// inline runs and pooled claims; 0 until the first batch). The
+    /// pipeline calibrator sizes its chunks from this.
+    pub fn item_cost_ns(&self) -> u64 {
+        self.tuning.item_ns.0.load(Ordering::Relaxed)
     }
 
     /// Snapshot of lifetime submission counters.
     pub fn stats(&self) -> PoolStats {
-        *self.stats.lock()
+        PoolStats {
+            jobs: self.counters.jobs.0.load(Ordering::Relaxed),
+            items: self.counters.items.0.load(Ordering::Relaxed),
+            inline_jobs: self.counters.inline_jobs.0.load(Ordering::Relaxed),
+        }
     }
 
     /// Batch size at or below which submission runs inline: the measured
-    /// dispatch round-trip divided by the measured per-item cost, floored
+    /// dispatch latency divided by the measured per-item cost, floored
     /// at one claim and capped so large batches always use the workers.
+    /// Both inputs are live EWMAs, so the threshold tracks the workload.
     fn inline_threshold(&self) -> usize {
         if self.senders.is_empty() {
             return usize::MAX;
         }
-        let item = self.item_ns.load(Ordering::Relaxed);
+        let item = self.item_cost_ns();
         if item == 0 {
-            return MAX_CLAIM;
+            return MIN_CLAIM;
         }
-        ((self.dispatch_ns / item) as usize).clamp(MAX_CLAIM, MAX_INLINE)
-    }
-
-    /// Folds an inline run's per-item cost into the EWMA calibration.
-    fn record_item_cost(&self, elapsed: Duration, items: usize) {
-        if items == 0 {
-            return;
-        }
-        let per = ((elapsed.as_nanos() / items as u128).min(u128::from(u64::MAX)) as u64).max(1);
-        let old = self.item_ns.load(Ordering::Relaxed);
-        let next = if old == 0 { per } else { (3 * old + per) / 4 };
-        self.item_ns.store(next, Ordering::Relaxed);
+        ((self.dispatch_overhead_ns() / item) as usize).clamp(MIN_CLAIM, MAX_INLINE)
     }
 
     fn submit(&self, group: &QrGroup, key: &CommutativeKey, task: PoolTask) -> PendingBatch {
@@ -355,13 +453,10 @@ impl EncryptPool {
             PoolTask::Decrypt(_) => key.dec_plan(group.mont_ctx()),
         };
         let inline = total <= self.inline_threshold();
-        {
-            let mut stats = self.stats.lock();
-            stats.jobs += 1;
-            stats.items += total as u64;
-            if inline {
-                stats.inline_jobs += 1;
-            }
+        self.counters.jobs.0.fetch_add(1, Ordering::Relaxed);
+        self.counters.items.0.fetch_add(total as u64, Ordering::Relaxed);
+        if inline {
+            self.counters.inline_jobs.0.fetch_add(1, Ordering::Relaxed);
         }
         // The inline decision feeds on the EWMA of measured per-item
         // cost, so the flag (and in principle the event count a sink
@@ -376,13 +471,9 @@ impl EncryptPool {
         if inline {
             let started = Instant::now();
             let out = task.eval_range(group, &plan, 0, total).unwrap_or_default();
-            self.record_item_cost(started.elapsed(), total);
+            record_item_cost(&self.tuning, started.elapsed(), total);
             return PendingBatch::ready(out);
         }
-        // Small claims so stragglers rebalance; at least one claim per
-        // worker-and-caller even on short batches.
-        let parties = self.workers.len() + 1;
-        let chunk = total.div_ceil(parties * 4).clamp(1, MAX_CLAIM);
         let (tx, rx) = unbounded();
         let job = Arc::new(PoolJob {
             work: JobWork::Crypto {
@@ -390,8 +481,10 @@ impl EncryptPool {
                 plan,
                 task,
             },
-            cursor: AtomicUsize::new(0),
-            chunk,
+            cursor: CachePadded(AtomicUsize::new(0)),
+            parties: self.workers.len() + 1,
+            submitted: Instant::now(),
+            tuning: Arc::clone(&self.tuning),
             results: tx,
         });
         for sender in &self.senders {
@@ -453,27 +546,40 @@ impl EncryptPool {
     }
 }
 
-/// Times one probe round-trip through a worker's job channel. Returns 0
-/// when there is nothing to measure (no workers).
-fn measure_dispatch(senders: &[Sender<Arc<PoolJob>>]) -> u64 {
+/// Measures the job-channel dispatch latency at construction:
+/// [`DISPATCH_PROBES`] probe round-trips through the first worker's
+/// channel, discarding the first (worker start-up) and taking the median
+/// of the rest, so one descheduled round cannot poison the estimate the
+/// inline threshold and pipeline calibration start from. Returns 0 when
+/// there is nothing to measure (no workers).
+fn measure_dispatch(senders: &[Sender<Arc<PoolJob>>], tuning: &Arc<PoolTuning>) -> u64 {
     let Some(first) = senders.first() else {
         return 0;
     };
-    let (tx, rx) = unbounded();
-    let probe = Arc::new(PoolJob {
-        work: JobWork::Probe,
-        cursor: AtomicUsize::new(0),
-        chunk: 1,
-        results: tx,
-    });
-    let started = Instant::now();
-    if first.send(probe).is_err() {
-        return 0;
+    let mut samples = Vec::with_capacity(DISPATCH_PROBES);
+    for _ in 0..DISPATCH_PROBES {
+        let (tx, rx) = unbounded();
+        let probe = Arc::new(PoolJob {
+            work: JobWork::Probe,
+            cursor: CachePadded(AtomicUsize::new(0)),
+            parties: senders.len() + 1,
+            submitted: Instant::now(),
+            tuning: Arc::clone(tuning),
+            results: tx,
+        });
+        let started = Instant::now();
+        if first.send(probe).is_err() {
+            return 0;
+        }
+        // A bounded wait: a wedged worker should degrade calibration,
+        // not hang construction.
+        let _ = rx.recv_timeout(Duration::from_millis(100));
+        samples.push(started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
     }
-    // A bounded wait: a wedged worker should degrade calibration, not
-    // hang construction.
-    let _ = rx.recv_timeout(Duration::from_millis(100));
-    started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    // Drop the warm-up round, then take the median.
+    samples.remove(0);
+    samples.sort_unstable();
+    samples.get(samples.len() / 2).copied().unwrap_or(0)
 }
 
 impl Drop for EncryptPool {
@@ -526,6 +632,49 @@ mod tests {
     }
 
     #[test]
+    fn stress_pool_matches_serial_at_every_thread_count() {
+        // The guided-claiming scheme must never change results: every
+        // thread count, repeated rounds (so the EWMAs move and the inline
+        // threshold shifts mid-test), exact equality with serial.
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(31);
+        let key = g.gen_key(&mut rng);
+        let items: Vec<UBig> = (0..257).map(|_| g.sample_element(&mut rng)).collect();
+        let serial = batch::encrypt_batch(&g, &key, &items, 1);
+        for threads in [0usize, 1, 2, 3, 4, 8] {
+            let pool = EncryptPool::with_workers(threads);
+            for round in 0..3 {
+                assert_eq!(
+                    pool.encrypt_batch(&g, &key, &items),
+                    serial,
+                    "t={threads} round={round}"
+                );
+            }
+            let stats = pool.stats();
+            assert_eq!(stats.jobs, 3);
+            assert_eq!(stats.items, 3 * items.len() as u64);
+        }
+    }
+
+    #[test]
+    fn guided_claims_cover_exactly_once() {
+        // Claim-ledger property: across many shapes, the concatenated
+        // sorted parts must reconstruct the whole input — no item done
+        // twice, none skipped — even when claims race.
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(32);
+        let key = g.gen_key(&mut rng);
+        for count in [MIN_CLAIM + 1, 63, 100, 255] {
+            let items: Vec<UBig> = (0..count).map(|_| g.sample_element(&mut rng)).collect();
+            let serial = batch::encrypt_batch(&g, &key, &items, 1);
+            let pool = EncryptPool::with_workers(3);
+            let out = pool.encrypt_batch(&g, &key, &items);
+            assert_eq!(out.len(), items.len(), "count={count}");
+            assert_eq!(out, serial, "count={count}");
+        }
+    }
+
+    #[test]
     fn worker_count_is_clamped_to_cores() {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -545,10 +694,25 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(22);
         let key = g.gen_key(&mut rng);
         let pool = EncryptPool::with_workers(2);
-        let items: Vec<UBig> = (0..MAX_CLAIM).map(|_| g.sample_element(&mut rng)).collect();
+        let items: Vec<UBig> = (0..MIN_CLAIM).map(|_| g.sample_element(&mut rng)).collect();
         let out = pool.encrypt_batch(&g, &key, &items);
         assert_eq!(out, batch::encrypt_batch(&g, &key, &items, 1));
-        assert_eq!(pool.stats().inline_jobs, 1, "≤ MAX_CLAIM must not dispatch");
+        assert_eq!(pool.stats().inline_jobs, 1, "≤ MIN_CLAIM must not dispatch");
+    }
+
+    #[test]
+    fn pooled_jobs_feed_the_item_ewma() {
+        // The per-item EWMA must calibrate from dispatched jobs too, not
+        // only inline runs — otherwise the threshold goes stale the
+        // moment the pool warms up.
+        let g = group();
+        let mut rng = StdRng::seed_from_u64(23);
+        let key = g.gen_key(&mut rng);
+        let pool = EncryptPool::with_workers(2);
+        let items: Vec<UBig> = (0..MAX_INLINE + 7).map(|_| g.sample_element(&mut rng)).collect();
+        let _ = pool.encrypt_batch(&g, &key, &items);
+        assert!(pool.item_cost_ns() > 0, "dispatched batch left EWMA cold");
+        assert!(pool.dispatch_overhead_ns() > 0);
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! AVX-512 IFMA lane kernel — the only `unsafe` module in the workspace.
+//!
+//! Eight Montgomery multiplications run in parallel, one per 64-bit slot of
+//! a zmm register, using the 52x52->104-bit fused multiply-adds
+//! (`vpmadd52luq` / `vpmadd52huq`). The algorithm is word-by-word CIOS in
+//! radix-2^52 with a redundant (non-canonical) accumulator:
+//!
+//! For each of the k rounds i:
+//!   t[j]   += lo52(a_i * b_j)        (all j, one vpmadd52luq each)
+//!   t[j+1] += hi52(a_i * b_j)        (all j, one vpmadd52huq each)
+//!   m       = lo52(t[0] * n0_inv)
+//!   t[j]   += lo52(m * n_j), t[j+1] += hi52(m * n_j)
+//!   t[1]   += t[0] >> 52             (t[0] is now divisible by 2^52)
+//!   shift t down one digit
+//!
+//! Overflow safety: every vpmadd52 adds a value < 2^52 to a 64-bit
+//! accumulator; a slot absorbs at most 4 such adds per round plus one carry,
+//! so after k <= 10 rounds an accumulator is < 4*10*2^52 + 2^12 < 2^58 —
+//! comfortably inside u64 with no lane crosstalk. The final normalization
+//! propagates carries once and masks every digit back to canonical form.
+//!
+//! Bound discipline (almost-Montgomery): for inputs < 2n the output value is
+//! (a*b + m*n)/R' < 4n^2/R' + n <= 2n whenever 4n <= R' = 2^(52k). With
+//! k = ceil(64*S/52) for an S-limb modulus, 52k >= 64S + 3 for every
+//! S in 1..=8, so the invariant always holds. `from_mont` (multiply by 1)
+//! tightens the bound to <= n; the caller does the last conditional subtract.
+
+#![allow(unsafe_code)]
+
+use crate::{LaneBlock, DIGIT_MASK, MAX_DIGITS};
+
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::*;
+
+/// Lane-parallel almost-Montgomery multiply, writing canonical radix-2^52
+/// digits into `out`.
+///
+/// # Safety
+/// The caller must have verified at runtime that the CPU supports
+/// `avx512f` and `avx512ifma` (see [`crate::available`]); `IfmaCtx`
+/// enforces this at construction.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512ifma")]
+pub unsafe fn mont_mul(
+    k: usize,
+    n: &[u64; MAX_DIGITS],
+    n0_inv: u64,
+    a: &LaneBlock,
+    b: &LaneBlock,
+    out: &mut LaneBlock,
+) {
+    debug_assert!(k >= 1 && k <= MAX_DIGITS);
+    let zero = _mm512_setzero_si512();
+    let mask = _mm512_set1_epi64(DIGIT_MASK as i64);
+    let k0 = _mm512_set1_epi64(n0_inv as i64);
+
+    let mut nv = [zero; MAX_DIGITS];
+    let mut bv = [zero; MAX_DIGITS];
+    for j in 0..k {
+        nv[j] = _mm512_set1_epi64(n[j] as i64);
+        bv[j] = _mm512_loadu_epi64(b.d[j].as_ptr() as *const i64);
+    }
+
+    // Redundant accumulator, one extra slot for the high half of the last
+    // digit column. Slots hold values < 2^58 (see module docs).
+    let mut t = [zero; MAX_DIGITS + 1];
+
+    for i in 0..k {
+        let ai = _mm512_loadu_epi64(a.d[i].as_ptr() as *const i64);
+        for j in 0..k {
+            t[j] = _mm512_madd52lo_epu64(t[j], ai, bv[j]);
+            t[j + 1] = _mm512_madd52hi_epu64(t[j + 1], ai, bv[j]);
+        }
+        let t0 = _mm512_and_si512(t[0], mask);
+        let m = _mm512_madd52lo_epu64(zero, t0, k0);
+        for j in 0..k {
+            t[j] = _mm512_madd52lo_epu64(t[j], m, nv[j]);
+            t[j + 1] = _mm512_madd52hi_epu64(t[j + 1], m, nv[j]);
+        }
+        // t[0] is now 0 mod 2^52; fold its carry into t[1] and shift down.
+        let carry = _mm512_srli_epi64(t[0], 52);
+        t[1] = _mm512_add_epi64(t[1], carry);
+        for j in 0..k {
+            t[j] = t[j + 1];
+        }
+        t[k] = zero;
+    }
+
+    // Normalize the redundant digits to canonical radix-2^52. The value is
+    // < 2n < 2^(52k), so the carry out of digit k-1 is always zero.
+    let mut carry = zero;
+    for j in 0..k {
+        let v = _mm512_add_epi64(t[j], carry);
+        carry = _mm512_srli_epi64(v, 52);
+        let v = _mm512_and_si512(v, mask);
+        _mm512_storeu_epi64(out.d[j].as_mut_ptr() as *mut i64, v);
+    }
+}

@@ -1,0 +1,320 @@
+//! SIMD backend for the multi-lane fixed-exponent Montgomery kernel.
+//!
+//! This crate is the one place in the workspace where `unsafe` is allowed:
+//! every other crate carries `#![forbid(unsafe_code)]`, so the arch
+//! intrinsics live here behind a small, safe, data-only API. The backend is
+//! AVX-512 IFMA (`vpmadd52luq`/`vpmadd52huq`): eight independent Montgomery
+//! lanes in radix-2^52, the same digit layout production RSA stacks use for
+//! batched modexp. Runtime CPU detection gates construction — on hosts (or
+//! architectures) without AVX-512 IFMA, [`IfmaCtx::new`] returns `None` and
+//! callers fall back to the scalar interleaved kernel, so a `--features simd`
+//! build is safe to ship anywhere.
+//!
+//! Security posture: this crate never sees key material. It operates on
+//! public modulus constants (n, R^2 mod n, R mod n, -n^-1 mod 2^52) and on
+//! group elements that are already hashed values or ciphertexts. Exponents —
+//! the secret half of a commutative key — stay in `minshare-bignum`, which
+//! drives the square/multiply schedule and only hands this crate individual
+//! multiply operands. There is therefore nothing here to zeroize, and no
+//! Debug impl exposes anything a wire observer could not already see.
+
+pub mod ifma;
+
+/// Number of parallel Montgomery lanes in one SIMD block (one zmm register
+/// holds eight 64-bit digit slots).
+pub const LANES: usize = 8;
+
+/// Digits are radix-2^52 so the 52x52->104 bit IFMA multiplier applies.
+pub const DIGIT_BITS: u32 = 52;
+
+/// Low-52-bit mask for canonical digits.
+pub const DIGIT_MASK: u64 = (1 << DIGIT_BITS) - 1;
+
+/// Largest supported digit count: an 8-limb (512-bit) modulus needs
+/// ceil(512/52) = 10 radix-2^52 digits.
+pub const MAX_DIGITS: usize = 10;
+
+/// Returns true when the running CPU supports the AVX-512 IFMA path
+/// (detected once and cached). Always false off x86_64.
+pub fn available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static DETECTED: OnceLock<bool> = OnceLock::new();
+        *DETECTED.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512ifma")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Eight residues in digit-major ("lanes of limbs") layout: `d[j][lane]` is
+/// digit `j` of lane `lane`, so one unaligned 512-bit load fetches digit `j`
+/// of all eight lanes at once. Digits are canonical radix-2^52 (< 2^52).
+#[derive(Clone, Copy)]
+pub struct LaneBlock {
+    pub d: [[u64; LANES]; MAX_DIGITS],
+}
+
+impl LaneBlock {
+    /// All-zero block (the additive identity in every lane).
+    pub fn zero() -> Self {
+        LaneBlock {
+            d: [[0u64; LANES]; MAX_DIGITS],
+        }
+    }
+
+    /// Block with the same `digits` value in every lane.
+    pub fn broadcast(digits: &[u64]) -> Self {
+        let mut b = Self::zero();
+        for lane in 0..LANES {
+            b.set_lane(lane, digits);
+        }
+        b
+    }
+
+    /// Writes `digits` (length <= MAX_DIGITS, canonical radix-2^52) into one
+    /// lane, zero-padding the high digits.
+    pub fn set_lane(&mut self, lane: usize, digits: &[u64]) {
+        debug_assert!(lane < LANES && digits.len() <= MAX_DIGITS);
+        for j in 0..MAX_DIGITS {
+            self.d[j][lane] = digits.get(j).copied().unwrap_or(0);
+        }
+    }
+
+    /// Reads the first `out.len()` digits of one lane.
+    pub fn lane(&self, lane: usize, out: &mut [u64]) {
+        debug_assert!(lane < LANES && out.len() <= MAX_DIGITS);
+        for (j, slot) in out.iter_mut().enumerate() {
+            *slot = self.d[j][lane];
+        }
+    }
+}
+
+/// Per-modulus constants for the radix-2^52 Montgomery domain, R' = 2^(52k).
+/// All fields are public parameters of the group; construction fails (returns
+/// `None`) unless the CPU supports the IFMA path, so every method can assume
+/// the intrinsics are safe to execute.
+#[derive(Clone)]
+pub struct IfmaCtx {
+    k: usize,
+    n: [u64; MAX_DIGITS],
+    n0_inv: u64,
+    rr: [u64; MAX_DIGITS],
+    one: [u64; MAX_DIGITS],
+}
+
+impl std::fmt::Debug for IfmaCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The modulus is public, but a one-line summary keeps logs readable.
+        f.debug_struct("IfmaCtx")
+            .field("digits", &self.k)
+            .field("backend", &"avx512-ifma")
+            .finish()
+    }
+}
+
+impl IfmaCtx {
+    /// Builds the lane context from caller-computed public constants:
+    /// `n` = modulus digits, `n0_inv` = -n^-1 mod 2^52, `rr` = R'^2 mod n,
+    /// `one` = R' mod n (the Montgomery representation of 1), all canonical
+    /// radix-2^52 of length `k`. Returns `None` when the CPU lacks AVX-512
+    /// IFMA, `k` is out of range, or any input is non-canonical.
+    pub fn new(k: usize, n: &[u64], n0_inv: u64, rr: &[u64], one: &[u64]) -> Option<Self> {
+        if !available() || k == 0 || k > MAX_DIGITS {
+            return None;
+        }
+        if n.len() != k || rr.len() != k || one.len() != k {
+            return None;
+        }
+        let canonical =
+            |d: &[u64]| d.iter().all(|&x| x <= DIGIT_MASK);
+        if !canonical(n) || !canonical(rr) || !canonical(one) || n0_inv > DIGIT_MASK {
+            return None;
+        }
+        if n[0] & 1 == 0 {
+            return None; // Montgomery needs an odd modulus
+        }
+        let pad = |d: &[u64]| {
+            let mut a = [0u64; MAX_DIGITS];
+            a[..k].copy_from_slice(d);
+            a
+        };
+        Some(IfmaCtx {
+            k,
+            n: pad(n),
+            n0_inv,
+            rr: pad(rr),
+            one: pad(one),
+        })
+    }
+
+    /// Digit count k (R' = 2^(52k)).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The Montgomery representation of 1 broadcast to all lanes — the
+    /// starting accumulator for an exponentiation ladder.
+    pub fn one_block(&self) -> LaneBlock {
+        LaneBlock::broadcast(&self.one[..self.k])
+    }
+
+    /// Lane-parallel almost-Montgomery multiplication: each lane computes
+    /// a*b*R'^-1 with the relaxed bound `< 2n`. Inputs must be canonical
+    /// digits representing values `< 2n`; the output satisfies the same
+    /// invariant, so products chain without intermediate reductions.
+    pub fn mont_mul(&self, a: &LaneBlock, b: &LaneBlock) -> LaneBlock {
+        let mut out = LaneBlock::zero();
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `IfmaCtx::new` returns `Some` only after runtime detection
+        // of avx512f + avx512ifma on this CPU, so the target-feature gated
+        // kernel is safe to call here.
+        unsafe {
+            ifma::mont_mul(self.k, &self.n, self.n0_inv, a, b, &mut out);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (a, b);
+            unreachable!("IfmaCtx cannot be constructed off x86_64");
+        }
+        out
+    }
+
+    /// Lane-parallel Montgomery squaring (currently mont_mul(a, a); the
+    /// IFMA port is the bottleneck either way).
+    pub fn mont_sqr(&self, a: &LaneBlock) -> LaneBlock {
+        self.mont_mul(a, a)
+    }
+
+    /// Converts residues (< n) into the Montgomery domain by multiplying
+    /// with R'^2 mod n.
+    pub fn to_mont(&self, x: &LaneBlock) -> LaneBlock {
+        let rr = LaneBlock::broadcast(&self.rr[..self.k]);
+        self.mont_mul(x, &rr)
+    }
+
+    /// Leaves the Montgomery domain (multiply by 1). The result is `<= n`;
+    /// callers perform the final conditional subtract in their own integer
+    /// domain.
+    pub fn from_mont(&self, x: &LaneBlock) -> LaneBlock {
+        let mut one_digits = [0u64; MAX_DIGITS];
+        one_digits[0] = 1;
+        let one = LaneBlock::broadcast(&one_digits[..self.k]);
+        self.mont_mul(x, &one)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_roundtrip() {
+        let mut b = LaneBlock::zero();
+        let digits = [1u64, 2, 3, 4, 5];
+        b.set_lane(3, &digits);
+        let mut out = [0u64; 5];
+        b.lane(3, &mut out);
+        assert_eq!(out, digits);
+        let mut other = [0u64; 5];
+        b.lane(0, &mut other);
+        assert_eq!(other, [0u64; 5]);
+    }
+
+    #[test]
+    fn ctx_rejects_bad_inputs() {
+        // Whatever the host supports, these must all be rejected.
+        let n = [3u64, 1];
+        assert!(IfmaCtx::new(0, &[], 0, &[], &[]).is_none());
+        assert!(IfmaCtx::new(2, &n, 1 << 52, &n, &n).is_none()); // n0_inv too wide
+        assert!(IfmaCtx::new(2, &[4, 1], 1, &n, &n).is_none()); // even modulus
+        assert!(IfmaCtx::new(2, &n, 1, &n[..1], &n).is_none()); // length mismatch
+        assert!(IfmaCtx::new(MAX_DIGITS + 1, &[0; 11], 1, &[0; 11], &[0; 11]).is_none());
+    }
+
+    #[test]
+    fn detection_is_stable() {
+        assert_eq!(available(), available());
+    }
+
+    // A tiny self-contained correctness check (k = 2, modulus 2^52 + 1 digit
+    // arithmetic) so the crate has a reference test that does not depend on
+    // minshare-bignum. Full differentials against the scalar oracle live in
+    // the bignum proptest suite.
+    #[test]
+    fn mont_mul_small_reference() {
+        if !available() {
+            eprintln!("skipping: AVX-512 IFMA not available on this host");
+            return;
+        }
+        // n = 0x0009_3afb_0000_0001_0003 (arbitrary odd < 2^80), k = 2 digits.
+        let n_val: u128 = (0x93afbu128 << 52) | 0x0000_0001_0003;
+        let k = 2usize;
+        let rbits = 52 * k as u32;
+        let r = 1u128 << rbits;
+        let n_lo = (n_val & DIGIT_MASK as u128) as u64;
+        let n_hi = ((n_val >> 52) & DIGIT_MASK as u128) as u64;
+        // -n^-1 mod 2^52 by Newton iteration on 64-bit then masking.
+        let mut inv: u64 = 1;
+        let n0 = n_lo;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        let n0_inv = inv.wrapping_neg() & DIGIT_MASK;
+        let rr_val = {
+            // R^2 mod n via u128 math: square by repeated doubling of R mod n.
+            let rm = r % n_val;
+            let mut acc = 0u128;
+            let mut add = rm;
+            let mut bits = rm;
+            while bits > 0 {
+                if bits & 1 == 1 {
+                    acc = (acc + add) % n_val;
+                }
+                add = (add + add) % n_val;
+                bits >>= 1;
+            }
+            acc
+        };
+        let one_val = r % n_val;
+        let digits = |v: u128| [ (v & DIGIT_MASK as u128) as u64, ((v >> 52) & DIGIT_MASK as u128) as u64 ];
+        let ctx = IfmaCtx::new(k, &[n_lo, n_hi], n0_inv, &digits(rr_val), &digits(one_val))
+            .expect("host supports IFMA");
+        // Check a * b mod n for a few values in every lane.
+        let a_val: u128 = 0x1234_5678_9abc_def0_1234 % n_val;
+        let b_val: u128 = 0x0fed_cba9_8765_4321_0fed % n_val;
+        let expect = {
+            let mut acc = 0u128;
+            let mut add = a_val;
+            let mut bits = b_val;
+            while bits > 0 {
+                if bits & 1 == 1 {
+                    acc = (acc + add) % n_val;
+                }
+                add = (add + add) % n_val;
+                bits >>= 1;
+            }
+            acc
+        };
+        let a = LaneBlock::broadcast(&digits(a_val));
+        let b = LaneBlock::broadcast(&digits(b_val));
+        let am = ctx.to_mont(&a);
+        let bm = ctx.to_mont(&b);
+        let prod = ctx.mont_mul(&am, &bm);
+        let norm = ctx.from_mont(&prod);
+        for lane in 0..LANES {
+            let mut out = [0u64; 2];
+            norm.lane(lane, &mut out);
+            let mut got = (out[0] as u128) | ((out[1] as u128) << 52);
+            if got >= n_val {
+                got -= n_val; // from_mont may return exactly n
+            }
+            assert_eq!(got, expect, "lane {lane}");
+        }
+    }
+}

@@ -10,6 +10,15 @@ cd "$repo_root"
 
 cargo build --release
 cargo test -q
+# SIMD feature matrix: the AVX-512 IFMA backend must build and its
+# differential suites pass alongside the default (scalar) configuration
+# just tested above. On a host without the CPU feature the runtime
+# detection keeps the scalar fallback active, so this still exercises
+# the dispatch seam.
+cargo build --release -p minshare-bench --features simd
+cargo test -q -p minshare-simd
+cargo test -q -p minshare-bignum --features simd
+cargo test -q -p minshare-crypto --features simd
 # The analyzer's own unit + fixture suite: every rule must prove both
 # detection (seeded-bug fixtures flagged at the expected lines) and the
 # clean pass before its verdict on the workspace means anything.
