@@ -35,6 +35,18 @@ pub const SECRET_TYPES: &[&str] = &[
     // ever grows exponent-dependent state.
     // crates/net: per-direction session keys.
     "DirectionKeys",
+    // crates/core: the daemon's protocol brain owns the private database
+    // (`V_S` with ext payloads, pre-hash plaintext) plus the base seed
+    // every per-session key derives from. Debug/format on it would spill
+    // the very set the protocols exist to protect. The surrounding
+    // session *metadata* types (SessionRequest, SessionReport,
+    // ClientTraffic in core; MuxFrame, SessionRegistry, ServerStats,
+    // SessionTransport in net; SessionState/PoolSession in crypto) are
+    // deliberately absent: they carry protocol codes, byte/op counters
+    // and fair-share scheduling state — public observables with no key
+    // or value material. Revisit if any of them ever grows a payload
+    // field.
+    "Service",
     // crates/net simnet/robust types (FaultPlan, SimEndpoint,
     // RobustTransport, SimTrace, ...) are deliberately absent: they
     // carry only opaque frame bytes, fault schedules and public seeds —
@@ -190,8 +202,9 @@ pub const WIRE01_EXEMPT_FILES: &[(&str, &str)] = &[
     ),
     (
         "crates/crypto/src/pool.rs",
-        "the pool's crossbeam channels move PoolJob (which holds the \
-         commutative key) between worker threads of the same process; \
+        "the pool's fair-share run queue hands Arc<PoolJob> (which holds \
+         the commutative key) to worker threads of the same process, and \
+         crossbeam result channels carry the ciphertexts back; \
          `Sender::send` here is not a network transport. A real wire \
          sink must never be added to this file",
     ),
@@ -297,7 +310,13 @@ mod tests {
     fn registry_lookups() {
         assert!(is_secret_type("CommutativeKey"));
         assert!(is_secret_type("FixedExponentPlan"));
+        assert!(is_secret_type("Service"));
         assert!(!is_secret_type("OtQuery"));
+        // Session metadata stays formattable: counters and scheduling
+        // state, not secrets.
+        assert!(!is_secret_type("SessionReport"));
+        assert!(!is_secret_type("SessionState"));
+        assert!(!is_secret_type("MuxFrame"));
         assert!(is_secret_ident("mac_key"));
         assert!(!is_secret_ident("modulus"));
         assert!(in_panic_free_crate("crates/crypto/src/ot.rs"));

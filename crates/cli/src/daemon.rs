@@ -1,0 +1,285 @@
+//! `minshare serve` / `minshare client` — the long-running protocol
+//! daemon and its session client.
+//!
+//! ```text
+//! # terminal 1: the daemon (sender S), serving its private list
+//! minshare serve --listen 127.0.0.1:7200 --values supplier.txt
+//!
+//! # terminal 2+: any number of concurrent receiver sessions
+//! minshare client --connect 127.0.0.1:7200 --protocol intersection --values retailer.txt
+//! ```
+//!
+//! One TCP connection carries one mux envelope; each `client` invocation
+//! opens one session inside it. The daemon multiplexes sessions across
+//! all connections against a shared [`SessionRegistry`] (admission cap)
+//! and a shared [`EncryptPool`] (per-session fair scheduling), prints a
+//! per-session reconciliation line for every session it runs, and on
+//! graceful shutdown drains active sessions before exiting.
+//!
+//! Both sides must agree on `--group-bits` (a well-known group, so no
+//! parameters travel out of band) and, for equijoins, `--record-len`.
+
+use std::fs::File;
+use std::io::{BufReader, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use minshare::prelude::*;
+use minshare_net::tcp::{TcpAcceptor, TcpTransport};
+use minshare_net::{
+    serve_mux_connection, MuxClient, MuxConfig, NetError, SessionRegistry, ShutdownHandle,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::input;
+
+type AnyError = Box<dyn std::error::Error>;
+
+/// Well-known group lookup shared by both subcommands: the daemon and
+/// its clients must land on the *same* group without any out-of-band
+/// parameter exchange, so only the baked-in moduli are allowed here.
+fn well_known_group(bits: u64) -> Result<QrGroup, AnyError> {
+    match bits {
+        768 | 1024 | 1536 | 2048 => Ok(QrGroup::well_known(bits)?),
+        other => Err(format!(
+            "--group-bits {other} is not a well-known group; daemon mode requires 768, 1024, 1536 or 2048"
+        )
+        .into()),
+    }
+}
+
+/// `minshare serve`: accept connections forever (or until
+/// `--shutdown-after` admission outcomes), one mux connection loop per
+/// TCP peer, all sharing one session registry and one encrypt pool.
+pub fn run_serve(raw: &[String]) -> Result<(), AnyError> {
+    let mut listen = None;
+    let mut values_path = None;
+    let mut max_sessions = 8usize;
+    let mut group_bits = 768u64;
+    let mut record_len = 64usize;
+    let mut seed = 0x5e55_10b5u64;
+    let mut shutdown_after: Option<u64> = None;
+    let mut port_file: Option<String> = None;
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, AnyError> {
+            Ok(it.next().ok_or(format!("{name} requires a value"))?.clone())
+        };
+        match arg.as_str() {
+            "--listen" => listen = Some(take("--listen")?),
+            "--values" => values_path = Some(take("--values")?),
+            "--max-sessions" => max_sessions = take("--max-sessions")?.parse()?,
+            "--group-bits" => group_bits = take("--group-bits")?.parse()?,
+            "--record-len" => record_len = take("--record-len")?.parse()?,
+            "--seed" => seed = take("--seed")?.parse()?,
+            "--shutdown-after" => shutdown_after = Some(take("--shutdown-after")?.parse()?),
+            "--port-file" => port_file = Some(take("--port-file")?),
+            other => return Err(format!("unknown serve option {other:?}").into()),
+        }
+    }
+    let listen = listen.ok_or("--listen is required")?;
+    let values_path = values_path.ok_or("--values is required")?;
+
+    let group = well_known_group(group_bits)?;
+    let file = File::open(&values_path).map_err(|e| format!("cannot open {values_path}: {e}"))?;
+    let entries = input::read_value_payloads(BufReader::new(file))?;
+    eprintln!(
+        "serving {} entries ({group_bits}-bit group, {max_sessions} session slots)",
+        entries.len()
+    );
+
+    let service = Arc::new(Service::new(
+        group,
+        entries,
+        EncryptPool::new(2),
+        PipelineConfig::default(),
+        record_len,
+        seed,
+    ));
+    let registry = SessionRegistry::new(max_sessions);
+    let shutdown = ShutdownHandle::new();
+    let acceptor = TcpAcceptor::bind(listen.as_str())?;
+    let local = acceptor.local_addr()?;
+    eprintln!("listening on {local}");
+    if let Some(path) = &port_file {
+        // Written atomically-enough for scripts: port last, newline-terminated.
+        let mut f = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        writeln!(f, "{}", local.port())?;
+    }
+
+    // Admission outcomes across all connections: admitted sessions
+    // (which by connection end have run to completion or been closed by
+    // their peer) plus typed Busy rejections. `--shutdown-after N` turns
+    // the daemon into a deterministic fixture: it serves exactly N
+    // outcomes, drains, and exits.
+    let outcomes = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| -> Result<(), AnyError> {
+        loop {
+            if shutdown.is_shutdown() {
+                break;
+            }
+            let (transport, peer) = acceptor.accept()?;
+            if shutdown.is_shutdown() {
+                // Woken only to observe shutdown; the dial was a courtesy.
+                break;
+            }
+            eprintln!("connection from {peer}");
+            let service = Arc::clone(&service);
+            let registry = Arc::clone(&registry);
+            let conn_shutdown = shutdown.clone();
+            let shutdown = shutdown.clone();
+            let outcomes = Arc::clone(&outcomes);
+            scope.spawn(move || {
+                let config = MuxConfig::default();
+                let result = serve_mux_connection(
+                    transport,
+                    &config,
+                    &registry,
+                    &conn_shutdown,
+                    |sid, request, session_t| match service.handle(sid, &request, session_t) {
+                        Ok(report) => println!(
+                            "session={} protocol={} peer_set_size={} bytes_sent={} bytes_received={} encryptions={} status=ok",
+                            report.session,
+                            report.protocol.name(),
+                            report.peer_set_size,
+                            report.bytes_sent,
+                            report.bytes_received,
+                            report.ops.total_ce(),
+                        ),
+                        Err(e) => println!("session={sid} status=error detail=\"{e}\""),
+                    },
+                );
+                match result {
+                    Ok(stats) => {
+                        eprintln!(
+                            "connection {peer} done: opened={} completed={} closed_by_peer={} busy={} shed={} malformed={}",
+                            stats.opened,
+                            stats.completed,
+                            stats.closed_by_peer,
+                            stats.rejected_busy,
+                            stats.shed_overflow,
+                            stats.malformed,
+                        );
+                        let served = stats.opened + stats.rejected_busy;
+                        let total = outcomes.fetch_add(served, Ordering::AcqRel) + served;
+                        if shutdown_after.is_some_and(|n| total >= n) && !shutdown.is_shutdown() {
+                            eprintln!("served {total} session outcomes; shutting down");
+                            shutdown.shutdown();
+                            // The accept loop is blocked; dial it once so
+                            // it wakes and observes the flag.
+                            let _ = std::net::TcpStream::connect(local);
+                        }
+                    }
+                    Err(e) => eprintln!("connection {peer} failed: {e}"),
+                }
+            });
+        }
+        Ok(())
+    })?;
+    eprintln!("daemon drained; exiting");
+    Ok(())
+}
+
+/// `minshare client`: open one session against a running daemon, run
+/// the client (receiver) side of the requested protocol, print the
+/// answer to stdout and a reconciliation line mirroring the daemon's.
+pub fn run_client(raw: &[String]) -> Result<(), AnyError> {
+    let mut connect = None;
+    let mut values_path = None;
+    let mut protocol = None;
+    let mut group_bits = 768u64;
+    let mut record_len = 64usize;
+    let mut seed: Option<u64> = None;
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, AnyError> {
+            Ok(it.next().ok_or(format!("{name} requires a value"))?.clone())
+        };
+        match arg.as_str() {
+            "--connect" => connect = Some(take("--connect")?),
+            "--values" => values_path = Some(take("--values")?),
+            "--protocol" => protocol = Some(take("--protocol")?),
+            "--group-bits" => group_bits = take("--group-bits")?.parse()?,
+            "--record-len" => record_len = take("--record-len")?.parse()?,
+            "--seed" => seed = Some(take("--seed")?.parse()?),
+            other => return Err(format!("unknown client option {other:?}").into()),
+        }
+    }
+    let connect = connect.ok_or("--connect is required")?;
+    let values_path = values_path.ok_or("--values is required")?;
+    let protocol = protocol.ok_or("--protocol is required (intersection | equijoin)")?;
+    let protocol = ProtocolKind::parse(&protocol)
+        .ok_or_else(|| format!("unknown protocol {protocol:?} (intersection | equijoin)"))?;
+
+    let group = well_known_group(group_bits)?;
+    let file = File::open(&values_path).map_err(|e| format!("cannot open {values_path}: {e}"))?;
+    let values = input::read_values(BufReader::new(file))?;
+    let mut rng = match seed {
+        Some(s) => StdRng::seed_from_u64(s),
+        None => StdRng::seed_from_u64(rand::rng().next_u64()),
+    };
+
+    let tcp = TcpTransport::connect(connect.as_str())?;
+    let mut client = MuxClient::new(tcp, MuxConfig::default());
+    let session = match client.open_session(&SessionRequest::new(protocol).encode()) {
+        Ok(session) => session,
+        Err(e @ NetError::Busy { .. }) => {
+            // Typed load-shedding is an expected answer, not a crash;
+            // scripts match on "busy".
+            return Err(format!("busy: {e}").into());
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let sid = session.session_id();
+    eprintln!(
+        "session {sid} open: {} with {} values",
+        protocol.name(),
+        values.len()
+    );
+
+    let pool = EncryptPool::new(0);
+    let config = PipelineConfig::default();
+    let traffic = match protocol {
+        ProtocolKind::Intersection => {
+            let (out, traffic) =
+                run_client_intersection(session, &group, &values, &mut rng, &pool, config)?;
+            for v in &out.intersection {
+                println!("{}", String::from_utf8_lossy(v));
+            }
+            eprintln!(
+                "done: |V_S| = {}, intersection = {} values",
+                out.peer_set_size,
+                out.intersection.len()
+            );
+            traffic
+        }
+        ProtocolKind::Equijoin => {
+            let (out, traffic) = run_client_equijoin(
+                session, &group, &values, &mut rng, &pool, config, record_len,
+            )?;
+            for (v, payload) in &out.matches {
+                println!(
+                    "{}\t{}",
+                    String::from_utf8_lossy(v),
+                    String::from_utf8_lossy(payload)
+                );
+            }
+            eprintln!(
+                "done: |V_S| = {}, matches = {}",
+                out.peer_set_size,
+                out.matches.len()
+            );
+            traffic
+        }
+    };
+    // The mirror image of the daemon's line: this side's sent must be
+    // the daemon's received and vice versa.
+    println!(
+        "session={sid} bytes_sent={} bytes_received={} status=ok",
+        traffic.bytes_sent, traffic.bytes_received
+    );
+    client.close()?;
+    Ok(())
+}

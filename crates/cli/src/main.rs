@@ -14,6 +14,7 @@
 //! for the other protocols.
 
 mod args;
+mod daemon;
 mod input;
 
 use std::fs::File;
@@ -45,7 +46,32 @@ fn main() -> ExitCode {
              minshare query --sql 'SELECT …' --table 'NAME=file.csv;col:type,col:type' …\n  \
              types: int, text, bool, bytes — runs the SQL locally and prints CSV"
         );
+        println!(
+            "\ndaemon mode (many concurrent sessions over one port):\n  \
+             minshare serve  --listen ADDR --values FILE [--max-sessions N] [--group-bits B]\n                  \
+             [--record-len N] [--seed S] [--shutdown-after N] [--port-file PATH]\n  \
+             minshare client --connect ADDR --protocol intersection|equijoin --values FILE\n                  \
+             [--group-bits B] [--record-len N] [--seed S]"
+        );
         return ExitCode::SUCCESS;
+    }
+    if raw.first().map(|s| s.as_str()) == Some("serve") {
+        return match daemon::run_serve(&raw[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if raw.first().map(|s| s.as_str()) == Some("client") {
+        return match daemon::run_client(&raw[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     if raw.first().map(|s| s.as_str()) == Some("query") {
         return match run_query(&raw[1..]) {

@@ -73,6 +73,7 @@ pub mod naive;
 pub mod pipeline;
 pub mod prepare;
 pub mod runner;
+pub mod service;
 pub mod simrun;
 pub mod stats;
 pub mod tradeoff;
@@ -91,6 +92,10 @@ pub mod prelude {
     pub use crate::intersection_size;
     pub use crate::pipeline::{self, PipelineConfig};
     pub use crate::runner::{run_two_party, TwoPartyRun};
+    pub use crate::service::{
+        run_client_equijoin, run_client_intersection, ProtocolKind, Service, SessionReport,
+        SessionRequest,
+    };
     pub use crate::simrun::{run_two_party_sim, SimOutcome, SimRunConfig, SimTwoPartyRun};
     pub use crate::stats::OpCounters;
     pub use crate::ProtocolError;

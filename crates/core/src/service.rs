@@ -1,0 +1,485 @@
+//! Per-session protocol dispatch for the long-running daemon.
+//!
+//! The mux server in `minshare-net` turns one framed connection into many
+//! concurrent sessions; this module gives those sessions protocol
+//! semantics. A client opens a session whose OPEN payload is an encoded
+//! [`SessionRequest`] naming the protocol it wants; the daemon-side
+//! [`Service`] decodes it and runs the matching *sender* engine (the
+//! daemon is `S`, the party holding the private database) over the
+//! session's transport, while the client runs the *receiver* engine and
+//! learns exactly what §3/§4 of the paper allow — nothing else changes
+//! hands.
+//!
+//! Every session runs inside its own [`minshare_crypto::PoolSession`]
+//! scope, so the shared [`EncryptPool`] schedules its exponentiations
+//! fairly against every other live session, and through a
+//! [`CountingTransport`] so the daemon can print per-session byte
+//! reconciliation against the §6.1 cost formulas.
+//!
+//! Key material is derived per session from the service seed and the
+//! session id, so concurrent sessions never share an exponent and a
+//! session replayed solo (same id, same seed) reproduces its run — the
+//! property the multi-session conformance harness pins.
+
+use minshare_crypto::kcipher::HybridCipher;
+use minshare_crypto::{EncryptPool, QrGroup};
+use minshare_net::{CountingTransport, Transport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::equijoin::EquijoinReceiverOutput;
+use crate::error::ProtocolError;
+use crate::intersection::IntersectionReceiverOutput;
+use crate::pipeline::{self, PipelineConfig};
+use crate::stats::OpCounters;
+
+/// Leading bytes of every session request, so a daemon never mistakes a
+/// stray protocol frame for a request.
+const REQUEST_MAGIC: [u8; 2] = *b"MS";
+
+/// Session-request codec version.
+const REQUEST_VERSION: u8 = 1;
+
+/// The protocol a client asks a daemon session to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// §3.2 intersection: the client learns `V_S ∩ V_R`.
+    Intersection,
+    /// §4.3 equijoin: the client additionally learns `ext(v)` for
+    /// matching values.
+    Equijoin,
+}
+
+impl ProtocolKind {
+    /// Stable wire code.
+    fn code(self) -> u8 {
+        match self {
+            ProtocolKind::Intersection => 1,
+            ProtocolKind::Equijoin => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(ProtocolKind::Intersection),
+            2 => Some(ProtocolKind::Equijoin),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name (also the CLI spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Intersection => "intersection",
+            ProtocolKind::Equijoin => "equijoin",
+        }
+    }
+
+    /// Parses the CLI spelling produced by [`ProtocolKind::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "intersection" => Some(ProtocolKind::Intersection),
+            "equijoin" => Some(ProtocolKind::Equijoin),
+            _ => None,
+        }
+    }
+}
+
+/// The OPEN payload of a daemon session: which protocol to run.
+///
+/// Wire format: `b"MS" ‖ version ‖ protocol-code` — four bytes, strictly
+/// validated so a malformed or truncated request is a typed
+/// [`ProtocolError::MalformedMessage`], never a misdispatched session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionRequest {
+    /// The protocol the client wants this session to run.
+    pub protocol: ProtocolKind,
+}
+
+impl SessionRequest {
+    /// A request for `protocol`.
+    pub fn new(protocol: ProtocolKind) -> Self {
+        SessionRequest { protocol }
+    }
+
+    /// Encodes the request as an OPEN payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let [m0, m1] = REQUEST_MAGIC;
+        vec![m0, m1, REQUEST_VERSION, self.protocol.code()]
+    }
+
+    /// Decodes an OPEN payload; every malformation is typed.
+    pub fn decode(raw: &[u8]) -> Result<Self, ProtocolError> {
+        let [m0, m1, version, code] = raw else {
+            return Err(ProtocolError::MalformedMessage {
+                detail: format!("session request must be 4 bytes, got {}", raw.len()),
+            });
+        };
+        if [*m0, *m1] != REQUEST_MAGIC {
+            return Err(ProtocolError::MalformedMessage {
+                detail: "session request magic mismatch".to_string(),
+            });
+        }
+        if *version != REQUEST_VERSION {
+            return Err(ProtocolError::MalformedMessage {
+                detail: format!("unsupported session request version {version}"),
+            });
+        }
+        let Some(protocol) = ProtocolKind::from_code(*code) else {
+            return Err(ProtocolError::MalformedMessage {
+                detail: format!("unknown protocol code {code}"),
+            });
+        };
+        Ok(SessionRequest { protocol })
+    }
+}
+
+/// What one completed daemon session did — the per-session
+/// reconciliation record the daemon prints and the harness asserts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionReport {
+    /// Mux session id.
+    pub session: u32,
+    /// The protocol that ran.
+    pub protocol: ProtocolKind,
+    /// `|V_R|` as learned by the sender side.
+    pub peer_set_size: usize,
+    /// Payload bytes this session sent.
+    pub bytes_sent: u64,
+    /// Payload bytes this session received.
+    pub bytes_received: u64,
+    /// §6.1 cost-unit counts for the daemon side.
+    pub ops: OpCounters,
+}
+
+/// The daemon's protocol brain: one private database (`V_S` with
+/// optional `ext` payloads), one shared [`EncryptPool`], dispatched to by
+/// session id. `handle` takes `&self` and is safe to call from many
+/// session handler threads at once.
+pub struct Service {
+    group: QrGroup,
+    /// `(v, ext(v))` — the value set serves intersections, the pairs
+    /// serve equijoins.
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Values only, precomputed for the intersection path.
+    values: Vec<Vec<u8>>,
+    pool: EncryptPool,
+    config: PipelineConfig,
+    /// Equijoin `ext` record length for the hybrid payload cipher.
+    record_len: usize,
+    /// Base seed; per-session key material derives from this and the
+    /// session id.
+    seed: u64,
+}
+
+impl Service {
+    /// Builds a service over `entries` (`(value, ext-payload)` pairs; use
+    /// empty payloads when only intersections will run). The pool is
+    /// owned by the service and shared — fairly — by every session.
+    pub fn new(
+        group: QrGroup,
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+        pool: EncryptPool,
+        config: PipelineConfig,
+        record_len: usize,
+        seed: u64,
+    ) -> Self {
+        let values = entries.iter().map(|(v, _)| v.clone()).collect();
+        Service {
+            group,
+            entries,
+            values,
+            pool,
+            config,
+            record_len,
+            seed,
+        }
+    }
+
+    /// The service's group (clients must use the same one).
+    pub fn group(&self) -> &QrGroup {
+        &self.group
+    }
+
+    /// The shared encryption pool (e.g. for stats).
+    pub fn pool(&self) -> &EncryptPool {
+        &self.pool
+    }
+
+    /// Deterministic per-session RNG seed: a SplitMix-style mix of the
+    /// service seed and the session id, so concurrent sessions use
+    /// independent keys and a replayed session reproduces its run.
+    fn session_seed(&self, session: u32) -> u64 {
+        self.seed ^ u64::from(session).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Runs one daemon session to completion: decode the request, then
+    /// drive the matching sender engine over `transport` inside this
+    /// session's fair-scheduling pool scope. Errors are per-session — the
+    /// caller (the mux server handler) reports them without touching any
+    /// other session.
+    pub fn handle<T: Transport>(
+        &self,
+        session: u32,
+        request: &[u8],
+        transport: T,
+    ) -> Result<SessionReport, ProtocolError> {
+        let request = SessionRequest::decode(request)?;
+        let (mut counted, traffic) = CountingTransport::new(transport);
+        let mut rng = StdRng::seed_from_u64(self.session_seed(session));
+        let pool_session = self.pool.session(1);
+        let (peer_set_size, ops) = pool_session.scope(|| match request.protocol {
+            ProtocolKind::Intersection => pipeline::run_intersection_sender(
+                &mut counted,
+                &self.group,
+                &self.values,
+                &mut rng,
+                &self.pool,
+                self.config,
+            )
+            .map(|out| (out.peer_set_size, out.ops)),
+            ProtocolKind::Equijoin => {
+                let cipher = HybridCipher::new(self.group.clone(), self.record_len);
+                pipeline::run_equijoin_sender(
+                    &mut counted,
+                    &self.group,
+                    &cipher,
+                    &self.entries,
+                    &mut rng,
+                    &self.pool,
+                    self.config,
+                )
+                .map(|out| (out.peer_set_size, out.ops))
+            }
+        })?;
+        let report = SessionReport {
+            session,
+            protocol: request.protocol,
+            peer_set_size,
+            bytes_sent: traffic.bytes_sent(),
+            bytes_received: traffic.bytes_received(),
+            ops,
+        };
+        // Deterministic per-session completion event: everything in it is
+        // a pure function of the protocol inputs (no session id — the
+        // harness compares a session's digest against a solo replay that
+        // may be numbered differently).
+        minshare_trace::emit("service", "session_done", true, || {
+            vec![
+                minshare_trace::count("peer_set_size", report.peer_set_size as u64),
+                minshare_trace::size("bytes_sent", report.bytes_sent),
+                minshare_trace::size("bytes_received", report.bytes_received),
+                minshare_trace::count("encryptions", report.ops.encryptions),
+            ]
+        });
+        Ok(report)
+    }
+}
+
+/// Client side of a daemon intersection session. `transport` is the
+/// already-open session (the OPEN payload must have been
+/// `SessionRequest::new(ProtocolKind::Intersection).encode()`); returns
+/// the receiver output plus the session's byte counts for
+/// reconciliation against the daemon's [`SessionReport`].
+pub fn run_client_intersection<T: Transport, R: Rng + ?Sized>(
+    transport: T,
+    group: &QrGroup,
+    values: &[Vec<u8>],
+    rng: &mut R,
+    pool: &EncryptPool,
+    config: PipelineConfig,
+) -> Result<(IntersectionReceiverOutput, ClientTraffic), ProtocolError> {
+    let (mut counted, traffic) = CountingTransport::new(transport);
+    let out = pipeline::run_intersection_receiver(&mut counted, group, values, rng, pool, config)?;
+    Ok((out, ClientTraffic::from(&traffic)))
+}
+
+/// Client side of a daemon equijoin session; see
+/// [`run_client_intersection`]. `record_len` must match the daemon's.
+pub fn run_client_equijoin<T: Transport, R: Rng + ?Sized>(
+    transport: T,
+    group: &QrGroup,
+    values: &[Vec<u8>],
+    rng: &mut R,
+    pool: &EncryptPool,
+    config: PipelineConfig,
+    record_len: usize,
+) -> Result<(EquijoinReceiverOutput, ClientTraffic), ProtocolError> {
+    let (mut counted, traffic) = CountingTransport::new(transport);
+    let cipher = HybridCipher::new(group.clone(), record_len);
+    let out =
+        pipeline::run_equijoin_receiver(&mut counted, group, &cipher, values, rng, pool, config)?;
+    Ok((out, ClientTraffic::from(&traffic)))
+}
+
+/// A client session's byte counts, mirror image of the daemon's
+/// [`SessionReport`] traffic fields: the client's `sent` must equal the
+/// daemon's `received` and vice versa.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientTraffic {
+    /// Payload bytes the client sent.
+    pub bytes_sent: u64,
+    /// Payload bytes the client received.
+    pub bytes_received: u64,
+}
+
+impl From<&minshare_net::TrafficStats> for ClientTraffic {
+    fn from(stats: &minshare_net::TrafficStats) -> Self {
+        ClientTraffic {
+            bytes_sent: stats.bytes_sent(),
+            bytes_received: stats.bytes_received(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minshare_net::duplex_pair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn group() -> QrGroup {
+        let mut rng = StdRng::seed_from_u64(0x5e55);
+        QrGroup::generate(&mut rng, 64).unwrap()
+    }
+
+    fn to_values(names: &[&str]) -> Vec<Vec<u8>> {
+        names.iter().map(|n| n.as_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn request_codec_round_trips_and_rejects_junk() {
+        for protocol in [ProtocolKind::Intersection, ProtocolKind::Equijoin] {
+            let wire = SessionRequest::new(protocol).encode();
+            assert_eq!(SessionRequest::decode(&wire).unwrap().protocol, protocol);
+            assert_eq!(ProtocolKind::parse(protocol.name()), Some(protocol));
+        }
+        for bad in [
+            &b""[..],
+            &b"MS"[..],
+            &b"XX\x01\x01"[..],
+            &b"MS\x02\x01"[..],
+            &b"MS\x01\x09"[..],
+            &b"MS\x01\x01\x00"[..],
+        ] {
+            assert!(matches!(
+                SessionRequest::decode(bad),
+                Err(ProtocolError::MalformedMessage { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn service_runs_an_intersection_session() {
+        let g = group();
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = to_values(&["apple", "grape", "melon"])
+            .into_iter()
+            .map(|v| (v, Vec::new()))
+            .collect();
+        let service = Service::new(
+            g.clone(),
+            entries,
+            EncryptPool::new(2),
+            PipelineConfig::default(),
+            16,
+            7,
+        );
+        let (server_t, client_t) = duplex_pair();
+        let request = SessionRequest::new(ProtocolKind::Intersection).encode();
+        let client_pool = EncryptPool::new(2);
+        let client = std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(99);
+            run_client_intersection(
+                client_t,
+                &group(),
+                &to_values(&["grape", "melon", "pear"]),
+                &mut rng,
+                &client_pool,
+                PipelineConfig::default(),
+            )
+            .unwrap()
+        });
+        let report = service.handle(1, &request, server_t).unwrap();
+        let (out, traffic) = client.join().unwrap();
+        assert_eq!(out.intersection, to_values(&["grape", "melon"]));
+        assert_eq!(report.protocol, ProtocolKind::Intersection);
+        assert_eq!(report.peer_set_size, 3);
+        // Byte reconciliation: each side's sent is the other's received.
+        assert_eq!(report.bytes_sent, traffic.bytes_received);
+        assert_eq!(report.bytes_received, traffic.bytes_sent);
+        assert!(report.bytes_sent > 0 && report.bytes_received > 0);
+    }
+
+    #[test]
+    fn service_runs_an_equijoin_session() {
+        let g = group();
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = vec![
+            (b"apple".to_vec(), b"fruit:1".to_vec()),
+            (b"grape".to_vec(), b"fruit:2".to_vec()),
+        ];
+        let service = Service::new(
+            g.clone(),
+            entries,
+            EncryptPool::new(2),
+            PipelineConfig::default(),
+            64,
+            7,
+        );
+        let (server_t, client_t) = duplex_pair();
+        let request = SessionRequest::new(ProtocolKind::Equijoin).encode();
+        let client_pool = EncryptPool::new(2);
+        let client = std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(3);
+            run_client_equijoin(
+                client_t,
+                &group(),
+                &to_values(&["grape", "kiwi"]),
+                &mut rng,
+                &client_pool,
+                PipelineConfig::default(),
+                64,
+            )
+            .unwrap()
+        });
+        let report = service.handle(2, &request, server_t).unwrap();
+        let (out, traffic) = client.join().unwrap();
+        assert_eq!(out.matches, vec![(b"grape".to_vec(), b"fruit:2".to_vec())]);
+        assert_eq!(report.protocol, ProtocolKind::Equijoin);
+        assert_eq!(report.bytes_sent, traffic.bytes_received);
+        assert_eq!(report.bytes_received, traffic.bytes_sent);
+    }
+
+    #[test]
+    fn malformed_request_is_a_typed_session_error() {
+        let g = group();
+        let service = Service::new(
+            g,
+            vec![(b"x".to_vec(), Vec::new())],
+            EncryptPool::new(0),
+            PipelineConfig::default(),
+            16,
+            1,
+        );
+        let (server_t, _client_t) = duplex_pair();
+        assert!(matches!(
+            service.handle(1, b"garbage!", server_t),
+            Err(ProtocolError::MalformedMessage { .. })
+        ));
+    }
+
+    #[test]
+    fn session_seeds_differ_per_session_and_replay_stably() {
+        let g = group();
+        let service = Service::new(
+            g,
+            vec![(b"x".to_vec(), Vec::new())],
+            EncryptPool::new(0),
+            PipelineConfig::default(),
+            16,
+            0xfeed,
+        );
+        assert_ne!(service.session_seed(1), service.session_seed(2));
+        assert_eq!(service.session_seed(7), service.session_seed(7));
+    }
+}

@@ -50,6 +50,13 @@ pub enum NetError {
         /// Number of transmission attempts made (1 + retries).
         attempts: u32,
     },
+    /// The server declined a new session: admission control is at its
+    /// in-flight capacity. A typed load-shedding outcome — clients see
+    /// this instead of a hang and may retry later.
+    Busy {
+        /// The session capacity that was in force.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -74,6 +81,9 @@ impl fmt::Display for NetError {
             }
             NetError::RetriesExhausted { attempts } => {
                 write!(f, "frame unacknowledged after {attempts} attempts")
+            }
+            NetError::Busy { limit } => {
+                write!(f, "server at session capacity ({limit}); try again later")
             }
         }
     }
@@ -105,5 +115,6 @@ mod tests {
         assert!(NetError::FrameTooLarge { size: 10, limit: 5 }
             .to_string()
             .contains("10"));
+        assert!(NetError::Busy { limit: 8 }.to_string().contains("8"));
     }
 }

@@ -22,7 +22,14 @@
 //!   clock) for conformance testing the protocols under adversity,
 //! * [`robust::RobustTransport`] — bounded-retry ARQ with checksummed
 //!   frames and a resumable handshake, restoring reliable-channel
-//!   semantics on top of a faulty link.
+//!   semantics on top of a faulty link,
+//! * [`mux`] — the session-multiplexing envelope: many independent
+//!   protocol sessions interleaved over one framed connection, each
+//!   frame tagged with a checksummed session id + sequence header,
+//! * [`server`] — the long-running protocol daemon built on the mux: a
+//!   session registry with admission control, bounded per-session
+//!   queues with typed `Busy` load-shedding, and graceful shutdown that
+//!   drains active sessions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,8 +38,10 @@ pub mod counting;
 pub mod duplex;
 pub mod error;
 pub mod framebatch;
+pub mod mux;
 pub mod robust;
 pub mod secure;
+pub mod server;
 pub mod simnet;
 pub mod tcp;
 pub mod transport;
@@ -41,6 +50,11 @@ pub use counting::{CountingTransport, TrafficStats};
 pub use duplex::duplex_pair;
 pub use error::NetError;
 pub use framebatch::FrameBatch;
+pub use mux::{MuxFrame, MuxKind, MUX_HEADER_LEN};
 pub use robust::{RobustConfig, RobustTransport};
+pub use server::{
+    serve_mux_connection, MuxClient, MuxConfig, ServerStats, SessionRegistry, SessionTransport,
+    ShutdownHandle,
+};
 pub use simnet::{sim_pair, FaultPlan, SimConfig, SimEndpoint, SimTrace, TraceHandle};
 pub use transport::{DeadlineTransport, Transport};

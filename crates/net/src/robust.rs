@@ -35,7 +35,9 @@ const TAG_SYNC: u8 = 3;
 const TAG_SYNC_REPLY: u8 = 4;
 
 /// CRC-32 (IEEE 802.3, reflected) over the concatenation of `parts`.
-fn crc32(parts: &[&[u8]]) -> u32 {
+/// Shared with the session-mux envelope, whose header carries the same
+/// checksum so corruption becomes loss rather than misrouting.
+pub(crate) fn crc32(parts: &[&[u8]]) -> u32 {
     let mut crc = 0xffff_ffffu32;
     for part in parts {
         for &byte in *part {
@@ -158,6 +160,22 @@ fn decode(raw: &[u8]) -> Option<Frame> {
     }
 }
 
+/// Absorbs `Closed` from a best-effort inner operation into the
+/// `peer_gone` flag. A peer's departure mid-operation must surface as the
+/// operation's own deterministic outcome, never as a `Closed` whose
+/// timing depends on which side's timeout fired first: the receiver
+/// legitimately drops its endpoint the moment its own deadline budget
+/// runs out, and that drop can race any of the sender's inner calls.
+fn absorb_closed(result: Result<(), NetError>, peer_gone: &mut bool) -> Result<(), NetError> {
+    match result {
+        Err(NetError::Closed) => {
+            *peer_gone = true;
+            Ok(())
+        }
+        other => other,
+    }
+}
+
 /// Retry policy for [`RobustTransport`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RobustConfig {
@@ -266,14 +284,25 @@ impl<T: DeadlineTransport> RobustTransport<T> {
     pub fn establish(&mut self) -> Result<(), NetError> {
         let mut got_reply = false;
         let mut timeout = self.config.base_timeout_ms;
+        let mut peer_gone = false;
         for _ in 0..self.config.max_attempts {
-            self.inner
-                .send(&encode_sync(false, self.send_seq, self.recv_seq))?;
+            if !peer_gone {
+                let sync = encode_sync(false, self.send_seq, self.recv_seq);
+                absorb_closed(self.inner.send(&sync), &mut peer_gone)?;
+            }
             let mut frames = 0u32;
             while frames < FRAMES_PER_WAIT {
                 frames += 1;
-                let Some(raw) = self.inner.recv_deadline(timeout)? else {
-                    break;
+                // Once the peer is gone, only frames already in flight
+                // can still help; poll them out without waiting.
+                let wait = if peer_gone { 0 } else { timeout };
+                let raw = match self.inner.recv_deadline(wait) {
+                    Ok(Some(raw)) => raw,
+                    Ok(None) => break,
+                    // Nothing buffered and the peer is closed: no reply
+                    // can ever arrive, so the attempt budget is moot.
+                    Err(NetError::Closed) => return Err(self.exhausted()),
+                    Err(e) => return Err(e),
                 };
                 match decode(&raw) {
                     Some(Frame::Sync {
@@ -284,7 +313,7 @@ impl<T: DeadlineTransport> RobustTransport<T> {
                         // Adopt the peer's view where it is ahead.
                         self.recv_seq = self.recv_seq.max(send_seq);
                         self.send_seq = self.send_seq.max(recv_seq);
-                        self.answer_sync(reply)?;
+                        absorb_closed(self.answer_sync(reply), &mut peer_gone)?;
                         if reply {
                             got_reply = true;
                         }
@@ -295,17 +324,18 @@ impl<T: DeadlineTransport> RobustTransport<T> {
                     // The peer already left the handshake and is sending
                     // data: the channel is established.
                     Some(Frame::Data { seq, payload }) => {
-                        self.accept_data(seq, payload)?;
+                        absorb_closed(self.accept_data(seq, payload), &mut peer_gone)?;
                         return Ok(());
                     }
                     Some(Frame::Ack { .. }) | None => {}
                 }
             }
+            if peer_gone {
+                return Err(self.exhausted());
+            }
             timeout = self.next_timeout(timeout);
         }
-        Err(NetError::RetriesExhausted {
-            attempts: self.config.max_attempts,
-        })
+        Err(self.exhausted())
     }
 
     /// Re-runs the handshake mid-stream to realign both sides' counters
@@ -316,12 +346,24 @@ impl<T: DeadlineTransport> RobustTransport<T> {
         self.establish()
     }
 
+    /// The single typed outcome of an operation whose attempt budget can
+    /// no longer be satisfied — whether the budget genuinely ran out or
+    /// the peer departed mid-retransmit. Reporting the full configured
+    /// budget in both cases keeps the error value independent of *when*
+    /// the departure was observed.
+    fn exhausted(&self) -> NetError {
+        NetError::RetriesExhausted {
+            attempts: self.config.max_attempts,
+        }
+    }
+
     /// The stop-and-wait core: transmits `encoded` (a DATA frame
     /// carrying the current `send_seq`) until its ACK arrives, servicing
     /// crossing traffic meanwhile.
     fn send_encoded(&mut self, encoded: &[u8]) -> Result<(), NetError> {
         let seq = self.send_seq;
         let mut timeout = self.config.base_timeout_ms;
+        let mut peer_gone = false;
         for attempt in 0..self.config.max_attempts {
             if attempt > 0 {
                 // Retransmissions depend on real-clock timeout expiry, so
@@ -334,28 +376,46 @@ impl<T: DeadlineTransport> RobustTransport<T> {
                     ]
                 });
             }
-            self.inner.send(encoded)?;
+            if !peer_gone {
+                absorb_closed(self.inner.send(encoded), &mut peer_gone)?;
+            }
             let mut frames = 0u32;
             while frames < FRAMES_PER_WAIT {
                 frames += 1;
-                let Some(raw) = self.inner.recv_deadline(timeout)? else {
-                    break;
+                // A departed peer may still have frames in flight (its
+                // final ACK can already be queued); drain them without
+                // waiting before giving up.
+                let wait = if peer_gone { 0 } else { timeout };
+                let raw = match self.inner.recv_deadline(wait) {
+                    Ok(Some(raw)) => raw,
+                    Ok(None) => break,
+                    // Nothing buffered and the peer is closed: the ACK
+                    // can never arrive. Same typed outcome as a genuine
+                    // exhaustion, so the result does not depend on the
+                    // timing of the peer's departure.
+                    Err(NetError::Closed) => return Err(self.exhausted()),
+                    Err(e) => return Err(e),
                 };
                 match decode(&raw) {
                     Some(Frame::Ack { seq: acked }) if acked == seq => {
                         self.send_seq += 1;
                         return Ok(());
                     }
-                    Some(Frame::Data { seq, payload }) => self.accept_data(seq, payload)?,
-                    Some(Frame::Sync { reply, .. }) => self.answer_sync(reply)?,
+                    Some(Frame::Data { seq, payload }) => {
+                        absorb_closed(self.accept_data(seq, payload), &mut peer_gone)?;
+                    }
+                    Some(Frame::Sync { reply, .. }) => {
+                        absorb_closed(self.answer_sync(reply), &mut peer_gone)?;
+                    }
                     Some(Frame::Ack { .. }) | None => {}
                 }
             }
+            if peer_gone {
+                return Err(self.exhausted());
+            }
             timeout = self.next_timeout(timeout);
         }
-        Err(NetError::RetriesExhausted {
-            attempts: self.config.max_attempts,
-        })
+        Err(self.exhausted())
     }
 }
 
@@ -390,33 +450,86 @@ impl<T: DeadlineTransport> Transport for RobustTransport<T> {
             return Ok(payload);
         }
         let mut timeout = self.config.base_timeout_ms;
+        let mut peer_gone = false;
         for _ in 0..self.config.max_attempts {
             let mut frames = 0u32;
             while frames < FRAMES_PER_WAIT {
                 frames += 1;
-                let Some(raw) = self.inner.recv_deadline(timeout)? else {
+                // After the peer departs, drain whatever it left in
+                // flight — a parting message must still be delivered.
+                let wait = if peer_gone { 0 } else { timeout };
+                let Some(raw) = self.inner.recv_deadline(wait)? else {
                     break;
                 };
                 match decode(&raw) {
                     Some(Frame::Data { seq, payload }) => {
-                        self.accept_data(seq, payload)?;
+                        absorb_closed(self.accept_data(seq, payload), &mut peer_gone)?;
                         if let Some(payload) = self.buffered.pop_front() {
                             return Ok(payload);
                         }
                     }
-                    Some(Frame::Sync { reply, .. }) => self.answer_sync(reply)?,
+                    Some(Frame::Sync { reply, .. }) => {
+                        absorb_closed(self.answer_sync(reply), &mut peer_gone)?;
+                    }
                     Some(Frame::Ack { .. }) | None => {}
                 }
             }
+            if peer_gone {
+                // Every in-flight frame has been drained; the receive
+                // contract reports departure as `Closed`.
+                return Err(NetError::Closed);
+            }
             if self.recv_seq > 0 {
                 minshare_trace::emit("net", "reack", false, Vec::new);
-                self.inner.send(&encode_ack(self.recv_seq - 1))?;
+                absorb_closed(self.inner.send(&encode_ack(self.recv_seq - 1)), &mut peer_gone)?;
             }
             timeout = self.next_timeout(timeout);
         }
         Err(NetError::TimedOut {
             waited_ms: self.config.max_timeout_ms,
         })
+    }
+}
+
+impl<T: DeadlineTransport> DeadlineTransport for RobustTransport<T> {
+    /// One bounded poll of the reliability layer: services whatever the
+    /// link delivers within roughly `timeout_ms` (ACKing and buffering
+    /// DATA, answering SYNC probes) and returns the next in-order
+    /// message if one became available. `Ok(None)` is a quiet window —
+    /// unlike [`Transport::recv`] this never retries across multiple
+    /// backoff windows, so an event loop multiplexing many sessions can
+    /// interleave sends between polls. The poll itself keeps the ARQ
+    /// live: a peer blocked in its own `send` is serviced by the ACKs
+    /// this side emits while polling.
+    fn recv_deadline(&mut self, timeout_ms: u64) -> Result<Option<Vec<u8>>, NetError> {
+        if let Some(payload) = self.buffered.pop_front() {
+            return Ok(Some(payload));
+        }
+        let mut peer_gone = false;
+        let mut frames = 0u32;
+        while frames < FRAMES_PER_WAIT {
+            frames += 1;
+            let wait = if peer_gone { 0 } else { timeout_ms };
+            let Some(raw) = self.inner.recv_deadline(wait)? else {
+                break;
+            };
+            match decode(&raw) {
+                Some(Frame::Data { seq, payload }) => {
+                    absorb_closed(self.accept_data(seq, payload), &mut peer_gone)?;
+                    if let Some(payload) = self.buffered.pop_front() {
+                        return Ok(Some(payload));
+                    }
+                }
+                Some(Frame::Sync { reply, .. }) => {
+                    absorb_closed(self.answer_sync(reply), &mut peer_gone)?;
+                }
+                Some(Frame::Ack { .. }) | None => {}
+            }
+        }
+        if peer_gone {
+            return Err(NetError::Closed);
+        }
+        Ok(None)
     }
 }
 
@@ -559,6 +672,101 @@ mod tests {
         );
         drop(a);
         peer.join().unwrap();
+    }
+
+    #[test]
+    fn receiver_departure_mid_retransmit_is_retries_exhausted() {
+        // Pins the pre-PR-8 `Closed` race: under total loss the receiver's
+        // own deadline budget runs out first, it drops its endpoint, and
+        // the sender — still mid-retransmit — used to surface whichever
+        // error its next inner call happened to hit (`Closed` from the
+        // wait, `Closed` from the send, or `RetriesExhausted` if the
+        // budget ran out before the drop was observed). The simnet's
+        // virtual-time rules make this schedule exact: the receiver
+        // provably departs at virtual time 15 while the sender has four
+        // attempts left, and the sender must still report the single
+        // deterministic retry-exhaustion outcome.
+        let plan = FaultPlan {
+            drop: 1.0,
+            ..FaultPlan::perfect()
+        };
+        let (a, mut b, _trace) = sim_pair(sim_cfg(), &plan);
+        let receiver = std::thread::spawn(move || {
+            let _ = b.recv_deadline(15);
+            drop(b);
+        });
+        let mut a = RobustTransport::with_config(
+            a,
+            RobustConfig {
+                max_attempts: 6,
+                base_timeout_ms: 10,
+                max_timeout_ms: 40,
+            },
+        );
+        assert_eq!(
+            a.send(b"doomed").unwrap_err(),
+            NetError::RetriesExhausted { attempts: 6 }
+        );
+        receiver.join().unwrap();
+    }
+
+    #[test]
+    fn departed_peer_turns_send_into_retries_exhausted_on_duplex() {
+        // The in-memory duplex surfaces departure on the *send* side
+        // (unlike the simnet, where sends to a dead peer succeed); the
+        // outcome must be the same typed exhaustion either way.
+        let (a, b) = crate::duplex::duplex_pair();
+        drop(b);
+        let mut a = RobustTransport::with_config(
+            a,
+            RobustConfig {
+                max_attempts: 3,
+                base_timeout_ms: 1,
+                max_timeout_ms: 2,
+            },
+        );
+        assert_eq!(
+            a.send(b"x").unwrap_err(),
+            NetError::RetriesExhausted { attempts: 3 }
+        );
+    }
+
+    #[test]
+    fn parting_message_still_delivered_after_departure() {
+        // A peer that sends and immediately leaves: the DATA frame is in
+        // flight when the endpoint closes. recv must deliver it (the ACK
+        // goes nowhere, harmlessly) and only then report `Closed`.
+        let (mut a, b) = crate::duplex::duplex_pair();
+        let mut b = RobustTransport::new(b);
+        a.send(&encode_data(0, b"parting gift")).unwrap();
+        drop(a);
+        assert_eq!(b.recv().unwrap(), b"parting gift");
+        assert_eq!(b.recv().unwrap_err(), NetError::Closed);
+    }
+
+    #[test]
+    fn deadline_poll_is_a_single_quiet_window() {
+        // The DeadlineTransport impl polls one bounded window: quiet
+        // links yield Ok(None) (never a retry loop), delivered frames
+        // come back in order, and departure after the drain is Closed.
+        let (mut a, b) = crate::duplex::duplex_pair();
+        let mut b = RobustTransport::new(b);
+        assert_eq!(b.recv_deadline(1).unwrap(), None);
+        a.send(&encode_data(0, b"first")).unwrap();
+        a.send(&encode_data(1, b"second")).unwrap();
+        assert_eq!(b.recv_deadline(50).unwrap(), Some(b"first".to_vec()));
+        assert_eq!(b.recv_deadline(50).unwrap(), Some(b"second".to_vec()));
+        // Both frames were ACKed back to the raw endpoint.
+        assert!(matches!(
+            decode(&a.recv().unwrap()),
+            Some(Frame::Ack { seq: 0 })
+        ));
+        assert!(matches!(
+            decode(&a.recv().unwrap()),
+            Some(Frame::Ack { seq: 1 })
+        ));
+        drop(a);
+        assert_eq!(b.recv_deadline(1).unwrap_err(), NetError::Closed);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use rand::Rng;
 
 use crate::error::NetError;
 use crate::framebatch::FrameBatch;
-use crate::transport::Transport;
+use crate::transport::{DeadlineTransport, Transport};
 
 /// Which side of the handshake this endpoint plays (determines key
 /// directionality; both sides otherwise run identical code).
@@ -185,6 +185,40 @@ impl<T: Transport> SecureChannel<T> {
         mac.update(&body);
         Ok((seq_bytes, body, mac.finalize()))
     }
+
+    /// Verifies, sequence-checks, and decrypts one wire record, advancing
+    /// the receive counter. Shared by the blocking and deadline receive
+    /// paths.
+    fn open(&mut self, wire: Vec<u8>) -> Result<Vec<u8>, NetError> {
+        if wire.len() < SEQ_LEN + TAG_LEN {
+            return Err(NetError::MalformedFrame {
+                detail: "secured frame too short".to_string(),
+            });
+        }
+        let (signed, tag) = wire.split_at(wire.len() - TAG_LEN);
+        if !HmacSha256::verify(&self.recv_keys.mac_key, signed, tag) {
+            return Err(NetError::AuthenticationFailed);
+        }
+        let mut seq_bytes = [0u8; SEQ_LEN];
+        seq_bytes.copy_from_slice(&signed[..SEQ_LEN]);
+        let seq = u64::from_be_bytes(seq_bytes);
+        if seq != self.recv_keys.seq {
+            // Replay or reorder.
+            return Err(NetError::MalformedFrame {
+                detail: format!("expected seq {}, got {seq}", self.recv_keys.seq),
+            });
+        }
+        self.recv_keys.seq += 1;
+        let mut body = signed[SEQ_LEN..].to_vec();
+        chacha20::apply_keystream(&self.recv_keys.cipher_key, &Self::nonce(seq), 1, &mut body);
+        minshare_trace::emit("net", "opened", true, || {
+            vec![
+                minshare_trace::size("plain_bytes", body.len() as u64),
+                minshare_trace::size("wire_bytes", wire.len() as u64),
+            ]
+        });
+        Ok(body)
+    }
 }
 
 impl<T: Transport> Transport for SecureChannel<T> {
@@ -219,34 +253,18 @@ impl<T: Transport> Transport for SecureChannel<T> {
 
     fn recv(&mut self) -> Result<Vec<u8>, NetError> {
         let wire = self.inner.recv()?;
-        if wire.len() < SEQ_LEN + TAG_LEN {
-            return Err(NetError::MalformedFrame {
-                detail: "secured frame too short".to_string(),
-            });
+        self.open(wire)
+    }
+}
+
+impl<T: DeadlineTransport> DeadlineTransport for SecureChannel<T> {
+    /// Deadline semantics are the inner transport's; a record that does
+    /// arrive is verified and decrypted exactly as in [`Self::recv`].
+    fn recv_deadline(&mut self, timeout_ms: u64) -> Result<Option<Vec<u8>>, NetError> {
+        match self.inner.recv_deadline(timeout_ms)? {
+            Some(wire) => Ok(Some(self.open(wire)?)),
+            None => Ok(None),
         }
-        let (signed, tag) = wire.split_at(wire.len() - TAG_LEN);
-        if !HmacSha256::verify(&self.recv_keys.mac_key, signed, tag) {
-            return Err(NetError::AuthenticationFailed);
-        }
-        let mut seq_bytes = [0u8; SEQ_LEN];
-        seq_bytes.copy_from_slice(&signed[..SEQ_LEN]);
-        let seq = u64::from_be_bytes(seq_bytes);
-        if seq != self.recv_keys.seq {
-            // Replay or reorder.
-            return Err(NetError::MalformedFrame {
-                detail: format!("expected seq {}, got {seq}", self.recv_keys.seq),
-            });
-        }
-        self.recv_keys.seq += 1;
-        let mut body = signed[SEQ_LEN..].to_vec();
-        chacha20::apply_keystream(&self.recv_keys.cipher_key, &Self::nonce(seq), 1, &mut body);
-        minshare_trace::emit("net", "opened", true, || {
-            vec![
-                minshare_trace::size("plain_bytes", body.len() as u64),
-                minshare_trace::size("wire_bytes", wire.len() as u64),
-            ]
-        });
-        Ok(body)
     }
 }
 

@@ -7,9 +7,10 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 use crate::error::NetError;
-use crate::transport::Transport;
+use crate::transport::{DeadlineTransport, Transport};
 
 /// Default maximum accepted frame size (a corruption/abuse guard).
 const DEFAULT_FRAME_LIMIT: usize = 256 * 1024 * 1024;
@@ -18,6 +19,10 @@ const DEFAULT_FRAME_LIMIT: usize = 256 * 1024 * 1024;
 pub struct TcpTransport {
     stream: TcpStream,
     frame_limit: usize,
+    /// Bytes of the frame currently being assembled (header included).
+    /// Lets the deadline receive path give up mid-frame and resume on
+    /// the next call without losing stream position.
+    rdbuf: Vec<u8>,
 }
 
 impl TcpTransport {
@@ -28,6 +33,7 @@ impl TcpTransport {
         Ok(TcpTransport {
             stream,
             frame_limit: DEFAULT_FRAME_LIMIT,
+            rdbuf: Vec::new(),
         })
     }
 
@@ -46,6 +52,7 @@ impl TcpTransport {
         Ok(TcpTransport {
             stream,
             frame_limit: DEFAULT_FRAME_LIMIT,
+            rdbuf: Vec::new(),
         })
     }
 
@@ -53,6 +60,52 @@ impl TcpTransport {
     pub fn with_frame_limit(mut self, limit: usize) -> Self {
         self.frame_limit = limit;
         self
+    }
+
+    /// Pops one complete frame off `rdbuf` if the header and body have
+    /// fully arrived.
+    fn take_frame(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        let Some(header) = self.rdbuf.get(0..4) else {
+            return Ok(None);
+        };
+        let header: [u8; 4] = header.try_into().unwrap_or_default();
+        let len = u32::from_be_bytes(header) as usize;
+        if len > self.frame_limit {
+            return Err(NetError::FrameTooLarge {
+                size: len,
+                limit: self.frame_limit,
+            });
+        }
+        let Some(body) = self.rdbuf.get(4..4 + len) else {
+            return Ok(None);
+        };
+        let frame = body.to_vec();
+        self.rdbuf.drain(..4 + len);
+        Ok(Some(frame))
+    }
+
+    /// One `read` into `rdbuf`. `Ok(true)` when bytes arrived, `Ok(false)`
+    /// when the read timed out (non-blocking window elapsed), `Closed`
+    /// on end-of-stream.
+    fn read_some(&mut self) -> Result<bool, NetError> {
+        let mut chunk = [0u8; 64 * 1024];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Err(NetError::Closed),
+            Ok(n) => {
+                self.rdbuf
+                    .extend_from_slice(chunk.get(..n).unwrap_or(&[]));
+                Ok(true)
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Ok(false)
+            }
+            Err(e) => Err(NetError::from(e)),
+        }
     }
 }
 
@@ -97,18 +150,45 @@ impl Transport for TcpTransport {
     }
 
     fn recv(&mut self) -> Result<Vec<u8>, NetError> {
-        let mut len_bytes = [0u8; 4];
-        self.stream.read_exact(&mut len_bytes)?;
-        let len = u32::from_be_bytes(len_bytes) as usize;
-        if len > self.frame_limit {
-            return Err(NetError::FrameTooLarge {
-                size: len,
-                limit: self.frame_limit,
-            });
+        // Resume any frame a deadline poll left half-assembled.
+        self.stream.set_read_timeout(None)?;
+        loop {
+            if let Some(frame) = self.take_frame()? {
+                return Ok(frame);
+            }
+            if !self.read_some()? {
+                // Blocking read cannot time out; treat it as a spurious
+                // wakeup and retry.
+                continue;
+            }
         }
-        let mut frame = vec![0u8; len];
-        self.stream.read_exact(&mut frame)?;
-        Ok(frame)
+    }
+}
+
+impl DeadlineTransport for TcpTransport {
+    /// Wall-clock deadline via the socket's read timeout. A frame split
+    /// across polls is assembled incrementally in `rdbuf`; giving up
+    /// mid-frame never loses stream position.
+    fn recv_deadline(&mut self, timeout_ms: u64) -> Result<Option<Vec<u8>>, NetError> {
+        if let Some(frame) = self.take_frame()? {
+            return Ok(Some(frame));
+        }
+        let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            // `set_read_timeout` rejects zero; a 1 ms floor turns
+            // `recv_deadline(0)` into a short poll.
+            self.stream
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
+            if self.read_some()? {
+                if let Some(frame) = self.take_frame()? {
+                    return Ok(Some(frame));
+                }
+            }
+            if Instant::now() >= deadline {
+                return Ok(None);
+            }
+        }
     }
 }
 
@@ -169,6 +249,61 @@ mod tests {
             a.send(&[0u8; 9]).unwrap_err(),
             NetError::FrameTooLarge { .. }
         ));
+    }
+
+    #[test]
+    fn recv_deadline_times_out_then_delivers() {
+        let (mut a, mut b) = localhost_pair();
+        assert_eq!(b.recv_deadline(10).unwrap(), None);
+        a.send(b"late frame").unwrap();
+        assert_eq!(
+            b.recv_deadline(5_000).unwrap(),
+            Some(b"late frame".to_vec())
+        );
+    }
+
+    /// A frame split across the wire must survive a deadline poll giving
+    /// up mid-frame: the next receive resumes from buffered bytes.
+    #[test]
+    fn recv_deadline_resumes_partial_frames() {
+        use std::io::Write;
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut raw = std::net::TcpStream::connect(addr).unwrap();
+            raw.set_nodelay(true).unwrap();
+            // Header promises 8 bytes; send half, stall, send the rest.
+            raw.write_all(&8u32.to_be_bytes()).unwrap();
+            raw.write_all(b"firs").unwrap();
+            raw.flush().unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(150));
+            raw.write_all(b"tsec").unwrap();
+            raw.flush().unwrap();
+            // Hold the socket open until the reader is done.
+            std::thread::sleep(std::time::Duration::from_millis(300));
+        });
+        let (mut server, _) = acceptor.accept().unwrap();
+        // First poll expires mid-frame...
+        assert_eq!(server.recv_deadline(20).unwrap(), None);
+        // ...the blocking path then completes the same frame.
+        assert_eq!(server.recv().unwrap(), b"firstsec");
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn deadline_then_burst_preserves_framing() {
+        let (mut a, mut b) = localhost_pair();
+        assert_eq!(b.recv_deadline(5).unwrap(), None);
+        for i in 0..10u8 {
+            a.send(&[i; 5]).unwrap();
+        }
+        for i in 0..10u8 {
+            let got = b
+                .recv_deadline(5_000)
+                .unwrap()
+                .expect("frame should arrive within deadline");
+            assert_eq!(got, vec![i; 5]);
+        }
     }
 
     #[test]

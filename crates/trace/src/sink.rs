@@ -182,6 +182,30 @@ impl TraceSink for MetricsSink {
     }
 }
 
+/// Fans every event out to all wrapped sinks, in order. The daemon uses
+/// this to give each session a private [`RingSink`] (per-session digest
+/// for the conformance harness) while the same events also feed a shared
+/// [`MetricsSink`] (fleet-wide reconciliation) — without the
+/// instrumentation sites knowing about either.
+pub struct TeeSink {
+    sinks: Vec<std::sync::Arc<dyn TraceSink>>,
+}
+
+impl TeeSink {
+    /// Tees onto `sinks`; an empty list is a valid null sink.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn TraceSink>>) -> TeeSink {
+        TeeSink { sinks }
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn record(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+}
+
 /// Writes one JSON object per event to the wrapped writer:
 ///
 /// ```json
@@ -357,6 +381,19 @@ mod tests {
         let sink = JsonLinesSink::new(Vec::new());
         sink.record(&e);
         sink.flush();
+    }
+
+    #[test]
+    fn tee_fans_out_to_every_sink() {
+        let ring = Arc::new(RingSink::new(8));
+        let metrics = Arc::new(MetricsSink::new());
+        let tee = TeeSink::new(vec![ring.clone(), metrics.clone()]);
+        tee.record(&event(0, "x", true, vec![count("n", 3)]));
+        tee.record(&event(1, "x", true, vec![count("n", 4)]));
+        assert_eq!(ring.recorded(), 2);
+        assert_eq!(metrics.sum("test", "x", "n"), 7);
+        // An empty tee is a valid null sink.
+        TeeSink::new(Vec::new()).record(&event(2, "x", true, vec![]));
     }
 
     #[test]

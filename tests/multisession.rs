@@ -1,0 +1,539 @@
+//! Multi-session daemon conformance: N concurrent sessions over one mux
+//! connection, under seeded fault schedules, checked for **isolation**.
+//!
+//! The headline property of the daemon (`minshare_net::server` +
+//! `minshare::service`): a session's answer, trace digest, and byte
+//! counters depend only on *that session's* inputs — never on what the
+//! other sessions on the same connection are doing. The harness checks
+//! this the strong way: every well-behaved session's concurrent outcome
+//! must be **byte-identical** to a solo replay of the same session id
+//! over a private perfect link, while
+//!
+//! * seven other sessions (a mix of §3 intersections and §4 equijoins,
+//!   including empty and empty-overlap sets) run interleaved on the same
+//!   connection,
+//! * one rogue peer opens a session with a malformed request (typed
+//!   per-session failure, nothing else), and
+//! * one rogue peer aborts mid-protocol by dropping its session (typed
+//!   per-session failure, nothing else),
+//!
+//! across `SCHEDULES` seeded drop/dup/delay/reorder/corrupt fault plans
+//! injected *below* the retry layer. Faults may slow a session down;
+//! they may never change any answer, digest, or payload-byte count.
+//!
+//! Two deterministic sub-tests cover the admission-control edges:
+//! typed `Busy` load-shedding at the registry cap (the surviving
+//! session is unperturbed), and graceful shutdown draining an active
+//! session while shedding new OPENs.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use minshare::prelude::*;
+use minshare::service::ClientTraffic;
+use minshare_net::{
+    serve_mux_connection, sim_pair, FaultPlan, MuxClient, MuxConfig, NetError, RobustConfig,
+    RobustTransport, SessionRegistry, ShutdownHandle, SimConfig,
+};
+use minshare_trace::sink::RingSink;
+use minshare_trace::Tracer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Seeded fault schedules the concurrent matrix runs under.
+const SCHEDULES: u64 = 20;
+/// Well-behaved sessions per schedule (plus two rogue peers).
+const WELL_BEHAVED: u32 = 8;
+/// Session id of the rogue peer whose OPEN request is garbage.
+const MALFORMED_SID: u32 = WELL_BEHAVED + 1;
+/// Session id of the rogue peer that aborts mid-protocol.
+const ABORT_SID: u32 = WELL_BEHAVED + 2;
+
+fn group() -> QrGroup {
+    let mut rng = StdRng::seed_from_u64(0x5e55);
+    QrGroup::generate(&mut rng, 64).unwrap()
+}
+
+fn to_values(names: &[&str]) -> Vec<Vec<u8>> {
+    names.iter().map(|n| n.as_bytes().to_vec()).collect()
+}
+
+/// The daemon's private database: values with fixed-length ext payloads
+/// (the equijoin sessions decrypt these for matches).
+fn server_entries() -> Vec<(Vec<u8>, Vec<u8>)> {
+    [
+        "apple", "grape", "melon", "peach", "mango", "lemon", "olive", "guava", "plumb", "caper",
+    ]
+    .iter()
+    .map(|v| (v.as_bytes().to_vec(), format!("ext:{v}").into_bytes()))
+    .collect()
+}
+
+fn make_service(workers: usize) -> Service {
+    Service::new(
+        group(),
+        server_entries(),
+        EncryptPool::new(workers),
+        PipelineConfig::default(),
+        32,
+        0xDAE_0_5EED,
+    )
+}
+
+/// One well-behaved client session: which protocol it runs and with
+/// which value set. Indexed by `session id - 1` — the mux client
+/// assigns ids in open order, which is what lets the solo baseline use
+/// the same id (and hence the same per-session server keys).
+#[derive(Clone)]
+struct SessionSpec {
+    protocol: ProtocolKind,
+    values: Vec<Vec<u8>>,
+}
+
+fn session_specs() -> Vec<SessionSpec> {
+    let inter = |names: &[&str]| SessionSpec {
+        protocol: ProtocolKind::Intersection,
+        values: to_values(names),
+    };
+    let join = |names: &[&str]| SessionSpec {
+        protocol: ProtocolKind::Equijoin,
+        values: to_values(names),
+    };
+    vec![
+        inter(&["grape", "melon", "pear"]),
+        inter(&["apple", "caper", "quark", "zesty"]),
+        // Empty overlap: the answer must still be exact (empty).
+        inter(&["durian", "lychee"]),
+        // Empty client set: degenerate but legal.
+        inter(&[]),
+        join(&["grape", "kiwi"]),
+        join(&["olive", "guava", "plumb", "apple", "wrong"]),
+        inter(&["mango", "lemon", "olive", "melon", "apple", "grape"]),
+        join(&["durian"]),
+    ]
+}
+
+/// Per-session client randomness: distinct per session, identical
+/// between the solo baseline and every concurrent run.
+fn client_rng(session: u32) -> StdRng {
+    StdRng::seed_from_u64(0xC11E_0000 ^ u64::from(session).wrapping_mul(0x9E37_79B9))
+}
+
+/// What the client side of one session produced.
+#[derive(Debug, PartialEq)]
+enum Answer {
+    Intersection(Vec<Vec<u8>>),
+    Equijoin(Vec<(Vec<u8>, Vec<u8>)>),
+}
+
+/// Runs one client session over `transport` and returns its answer plus
+/// byte counts. Used identically for the solo baseline and the
+/// concurrent runs — only the transport differs.
+fn run_client<T: minshare_net::Transport>(
+    spec: &SessionSpec,
+    session: u32,
+    transport: T,
+    pool: &EncryptPool,
+) -> Result<(Answer, ClientTraffic), ProtocolError> {
+    let g = group();
+    let mut rng = client_rng(session);
+    match spec.protocol {
+        ProtocolKind::Intersection => {
+            let (out, traffic) = run_client_intersection(
+                transport,
+                &g,
+                &spec.values,
+                &mut rng,
+                pool,
+                PipelineConfig::default(),
+            )?;
+            Ok((Answer::Intersection(out.intersection), traffic))
+        }
+        ProtocolKind::Equijoin => {
+            let (out, traffic) = run_client_equijoin(
+                transport,
+                &g,
+                &spec.values,
+                &mut rng,
+                pool,
+                PipelineConfig::default(),
+                32,
+            )?;
+            Ok((Answer::Equijoin(out.matches), traffic))
+        }
+    }
+}
+
+/// Everything one session's two halves produced, compared wholesale
+/// between solo and concurrent runs.
+#[derive(Debug, PartialEq)]
+struct SessionOutcome {
+    answer: Answer,
+    traffic: ClientTraffic,
+    report: SessionReport,
+    /// Order-sensitive digest of the server side's deterministic trace
+    /// events for this session.
+    digest: u64,
+}
+
+/// What the server handler recorded for one session.
+struct ServerSide {
+    report: Result<SessionReport, String>,
+    digest: u64,
+}
+
+/// Solo baseline: the same session id, request, and client seed as the
+/// concurrent run, but over a private perfect duplex link with nothing
+/// else happening. This is the ground truth every concurrent run must
+/// reproduce byte-for-byte.
+fn solo_baseline(service: &Arc<Service>, session: u32, spec: &SessionSpec) -> SessionOutcome {
+    let (server_t, client_t) = minshare_net::duplex_pair();
+    let request = SessionRequest::new(spec.protocol).encode();
+    let svc = Arc::clone(service);
+    let server = std::thread::spawn(move || {
+        let ring = Arc::new(RingSink::new(1 << 14));
+        let sink: Arc<dyn minshare_trace::TraceSink> = ring.clone();
+        let _installed = minshare_trace::install(Tracer::to_sink(sink));
+        let report = svc.handle(session, &request, server_t);
+        (report, ring.digest())
+    });
+    let pool = EncryptPool::new(0);
+    let (answer, traffic) = run_client(spec, session, client_t, &pool).expect("solo session");
+    let (report, digest) = server.join().expect("solo server thread");
+    SessionOutcome {
+        answer,
+        traffic,
+        report: report.expect("solo report"),
+        digest,
+    }
+}
+
+/// Runs the whole concurrent matrix once under the fault schedule for
+/// `seed`: 8 well-behaved sessions + 2 rogue peers over one mux
+/// connection on a faulty simulated link. Returns per-session client
+/// outcomes, per-session server records, and the connection stats.
+#[allow(clippy::type_complexity)]
+fn run_concurrent(
+    service: &Arc<Service>,
+    seed: u64,
+) -> (
+    HashMap<u32, (Answer, ClientTraffic)>,
+    HashMap<u32, ServerSide>,
+    minshare_net::ServerStats,
+) {
+    let specs = session_specs();
+    let plan = FaultPlan::from_seed(seed);
+    let sim = SimConfig {
+        latency_ms: 1,
+        // The mux loops poll the transport, and every quiet poll advances
+        // the virtual clock; a protocol's worth of polling burns virtual
+        // time far faster than wall time, so the deadline is effectively
+        // "never" and the wall-clock backstop is the real hang guard.
+        run_deadline_ms: 1 << 40,
+        real_backstop_ms: 120_000,
+    };
+    let (server_end, client_end, _trace) = sim_pair(sim, &plan);
+    let server_rt = RobustTransport::with_config(server_end, RobustConfig::default());
+    let client_rt = RobustTransport::with_config(client_end, RobustConfig::default());
+
+    let mux = MuxConfig {
+        poll_interval_ms: 1,
+        ..MuxConfig::default()
+    };
+    let registry = SessionRegistry::new(64);
+    let shutdown = ShutdownHandle::new();
+    let server_sides: Arc<Mutex<HashMap<u32, ServerSide>>> = Arc::new(Mutex::new(HashMap::new()));
+
+    let svc = Arc::clone(service);
+    let sides = Arc::clone(&server_sides);
+    let server_mux = mux.clone();
+    let server_registry = Arc::clone(&registry);
+    let server_shutdown = shutdown.clone();
+    let server = std::thread::spawn(move || {
+        serve_mux_connection(
+            server_rt,
+            &server_mux,
+            &server_registry,
+            &server_shutdown,
+            |sid, request, session_t| {
+                // Per-session tracer: the handler thread is the only
+                // thread emitting this session's deterministic events.
+                let ring = Arc::new(RingSink::new(1 << 14));
+                let sink: Arc<dyn minshare_trace::TraceSink> = ring.clone();
+                let _installed = minshare_trace::install(Tracer::to_sink(sink));
+                let report = svc
+                    .handle(sid, &request, session_t)
+                    .map_err(|e| e.to_string());
+                let mut map = sides.lock().unwrap_or_else(|e| e.into_inner());
+                map.insert(
+                    sid,
+                    ServerSide {
+                        report,
+                        digest: ring.digest(),
+                    },
+                );
+            },
+        )
+    });
+
+    let mut client = MuxClient::new(client_rt, mux);
+    // Open in spec order so ids land 1..=8, matching the baselines.
+    let mut opened = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let request = SessionRequest::new(spec.protocol).encode();
+        let st = client.open_session(&request).expect("open well-behaved");
+        assert_eq!(st.session_id(), i as u32 + 1);
+        opened.push((i as u32 + 1, spec.clone(), st));
+    }
+    // Rogue peer #1: the OPEN payload is not a session request at all.
+    // Admission happens before the handler looks at the payload, so the
+    // open itself succeeds; the handler must fail *that session only*.
+    let rogue_malformed = client
+        .open_session(b"not a session request")
+        .expect("open malformed rogue");
+    assert_eq!(rogue_malformed.session_id(), MALFORMED_SID);
+    // Rogue peer #2: a legal open, then the peer vanishes mid-protocol.
+    let rogue_abort = client
+        .open_session(&SessionRequest::new(ProtocolKind::Intersection).encode())
+        .expect("open aborting rogue");
+    assert_eq!(rogue_abort.session_id(), ABORT_SID);
+    drop(rogue_abort);
+    drop(rogue_malformed);
+
+    // Drive all eight well-behaved sessions concurrently.
+    let client_pool = EncryptPool::new(0);
+    let mut outcomes: HashMap<u32, (Answer, ClientTraffic)> = HashMap::new();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for (sid, spec, st) in opened {
+            let pool = &client_pool;
+            joins.push((
+                sid,
+                scope.spawn(move || run_client(&spec, sid, st, pool).expect("concurrent session")),
+            ));
+        }
+        for (sid, join) in joins {
+            outcomes.insert(sid, join.join().expect("client session thread"));
+        }
+    });
+
+    client.close().expect("client close");
+    let stats = server.join().expect("server thread").expect("server loop");
+    let sides = Arc::try_unwrap(server_sides)
+        .unwrap_or_else(|_| panic!("server sides still shared after join"))
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
+    (outcomes, sides, stats)
+}
+
+/// The headline matrix: for every seeded fault schedule, every
+/// well-behaved session's concurrent outcome — answer, payload bytes in
+/// both directions, §6.1 op counts, and server trace digest — is
+/// byte-identical to its solo baseline, while two rogue peers fail with
+/// typed per-session errors on the same connection.
+#[test]
+fn concurrent_sessions_match_solo_baselines_across_fault_schedules() {
+    let service = Arc::new(make_service(2));
+    let specs = session_specs();
+    assert_eq!(specs.len(), WELL_BEHAVED as usize);
+
+    // Ground truth, one solo run per session id.
+    let baselines: HashMap<u32, SessionOutcome> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| (i as u32 + 1, solo_baseline(&service, i as u32 + 1, spec)))
+        .collect();
+
+    for seed in 0..SCHEDULES {
+        let (outcomes, sides, stats) = run_concurrent(&service, seed);
+
+        for sid in 1..=WELL_BEHAVED {
+            let base = &baselines[&sid];
+            let (answer, traffic) = &outcomes[&sid];
+            let side = &sides[&sid];
+            let report = side
+                .report
+                .as_ref()
+                .unwrap_or_else(|e| panic!("seed {seed} session {sid} server error: {e}"));
+            // Same answer, same payload bytes, same op counts, same
+            // per-session server trace — as if the session ran alone.
+            assert_eq!(answer, &base.answer, "seed {seed} session {sid} answer");
+            assert_eq!(traffic, &base.traffic, "seed {seed} session {sid} traffic");
+            assert_eq!(report, &base.report, "seed {seed} session {sid} report");
+            assert_eq!(
+                side.digest, base.digest,
+                "seed {seed} session {sid} server trace digest"
+            );
+            // Cross-reconciliation inside the concurrent run itself.
+            assert_eq!(report.bytes_sent, traffic.bytes_received);
+            assert_eq!(report.bytes_received, traffic.bytes_sent);
+        }
+
+        // The rogue peers failed — typed, and only for themselves.
+        let malformed = &sides[&MALFORMED_SID];
+        let aborted = &sides[&ABORT_SID];
+        assert!(
+            malformed.report.is_err(),
+            "seed {seed}: malformed OPEN must fail its own session"
+        );
+        assert!(
+            aborted.report.is_err(),
+            "seed {seed}: aborted peer must fail its own session"
+        );
+
+        // Connection accounting: everything opened, nothing shed.
+        assert_eq!(stats.opened, u64::from(WELL_BEHAVED) + 2, "seed {seed}");
+        assert_eq!(stats.rejected_busy, 0, "seed {seed}");
+        assert_eq!(stats.shed_overflow, 0, "seed {seed}");
+        assert_eq!(
+            stats.completed + stats.closed_by_peer,
+            u64::from(WELL_BEHAVED) + 2,
+            "seed {seed}: every session accounted for exactly once"
+        );
+    }
+}
+
+/// Admission control: with a one-slot registry, a second OPEN while the
+/// first session is still running is refused with a typed `Busy`
+/// carrying the limit — and the surviving session's answer is exactly
+/// its solo baseline.
+#[test]
+fn admission_cap_rejects_with_typed_busy_and_leaves_peers_unperturbed() {
+    let service = Arc::new(make_service(0));
+    let spec = &session_specs()[0];
+    let baseline = solo_baseline(&service, 1, spec);
+
+    let (server_t, client_t) = minshare_net::duplex_pair();
+    let mux = MuxConfig {
+        poll_interval_ms: 1,
+        ..MuxConfig::default()
+    };
+    let registry = SessionRegistry::new(1);
+    let shutdown = ShutdownHandle::new();
+    let sides: Arc<Mutex<HashMap<u32, ServerSide>>> = Arc::new(Mutex::new(HashMap::new()));
+
+    let svc = Arc::clone(&service);
+    let sides_in = Arc::clone(&sides);
+    let server_mux = mux.clone();
+    let server_registry = Arc::clone(&registry);
+    let server_shutdown = shutdown.clone();
+    let server = std::thread::spawn(move || {
+        serve_mux_connection(
+            server_t,
+            &server_mux,
+            &server_registry,
+            &server_shutdown,
+            |sid, request, session_t| {
+                let ring = Arc::new(RingSink::new(1 << 14));
+                let sink: Arc<dyn minshare_trace::TraceSink> = ring.clone();
+                let _installed = minshare_trace::install(Tracer::to_sink(sink));
+                let report = svc
+                    .handle(sid, &request, session_t)
+                    .map_err(|e| e.to_string());
+                sides_in
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(sid, ServerSide { report, digest: ring.digest() });
+            },
+        )
+    });
+
+    let mut client = MuxClient::new(client_t, mux);
+    let request = SessionRequest::new(spec.protocol).encode();
+    let held = client.open_session(&request).expect("first open");
+    assert_eq!(held.session_id(), 1);
+    // The slot is held until session 1's handler finishes, which cannot
+    // happen before we run the client side — so this OPEN must shed.
+    match client.open_session(&request) {
+        Err(NetError::Busy { limit }) => assert_eq!(limit, 1),
+        other => panic!("expected typed Busy, got {other:?}"),
+    }
+
+    // The shed OPEN did not perturb the admitted session.
+    let pool = EncryptPool::new(0);
+    let (answer, traffic) = run_client(spec, 1, held, &pool).expect("held session");
+    assert_eq!(answer, baseline.answer);
+    assert_eq!(traffic, baseline.traffic);
+
+    client.close().expect("client close");
+    let stats = server.join().expect("server thread").expect("server loop");
+    let sides = sides.lock().unwrap_or_else(|e| e.into_inner());
+    let side = &sides[&1];
+    assert_eq!(side.report.as_ref().expect("session 1 report"), &baseline.report);
+    assert_eq!(side.digest, baseline.digest);
+    assert_eq!(stats.opened, 1);
+    assert_eq!(stats.rejected_busy, 1);
+}
+
+/// Graceful shutdown: a session admitted before shutdown runs to
+/// completion with its exact solo answer; an OPEN arriving after
+/// shutdown is shed with a typed `Busy` even though the registry has
+/// free capacity; the connection loop then drains and returns.
+#[test]
+fn graceful_shutdown_drains_active_sessions_and_sheds_new_opens() {
+    let service = Arc::new(make_service(0));
+    let spec = &session_specs()[4];
+    let baseline = solo_baseline(&service, 1, spec);
+
+    let (server_t, client_t) = minshare_net::duplex_pair();
+    let mux = MuxConfig {
+        poll_interval_ms: 1,
+        ..MuxConfig::default()
+    };
+    let registry = SessionRegistry::new(8);
+    let shutdown = ShutdownHandle::new();
+
+    let svc = Arc::clone(&service);
+    let server_mux = mux.clone();
+    let server_registry = Arc::clone(&registry);
+    let server_shutdown = shutdown.clone();
+    let reports: Arc<Mutex<Vec<Result<SessionReport, String>>>> = Arc::new(Mutex::new(Vec::new()));
+    let reports_in = Arc::clone(&reports);
+    let server = std::thread::spawn(move || {
+        serve_mux_connection(
+            server_t,
+            &server_mux,
+            &server_registry,
+            &server_shutdown,
+            |sid, request, session_t| {
+                let report = svc
+                    .handle(sid, &request, session_t)
+                    .map_err(|e| e.to_string());
+                reports_in
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(report);
+            },
+        )
+    });
+
+    let mut client = MuxClient::new(client_t, mux);
+    let request = SessionRequest::new(spec.protocol).encode();
+    let admitted = client.open_session(&request).expect("open before shutdown");
+
+    // Shutdown begins while the session is mid-flight: it must drain,
+    // not be cut off.
+    shutdown.shutdown();
+
+    // A new OPEN after shutdown sheds even though 7 slots are free.
+    match client.open_session(&request) {
+        Err(NetError::Busy { .. }) => {}
+        other => panic!("expected Busy while draining, got {other:?}"),
+    }
+
+    let pool = EncryptPool::new(0);
+    let (answer, traffic) = run_client(spec, 1, admitted, &pool).expect("drained session");
+    assert_eq!(answer, baseline.answer);
+    assert_eq!(traffic, baseline.traffic);
+
+    // The server loop exits on its own once the session drains — no
+    // client GOAWAY needed.
+    let stats = server.join().expect("server thread").expect("server loop");
+    assert_eq!(stats.opened, 1);
+    assert_eq!(stats.rejected_busy, 1);
+    assert_eq!(stats.completed + stats.closed_by_peer, 1);
+    let reports = reports.lock().unwrap_or_else(|e| e.into_inner());
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].as_ref().expect("drained report"), &baseline.report);
+    drop(client);
+}

@@ -56,6 +56,75 @@ cargo run -q --release -p minshare-bench --bin fault_sweep -- --schedules 10
 profile_json=$(cargo run -q --release -p minshare-bench --bin bench_protocols -- --profile smoke)
 echo "$profile_json" | grep -q '"profile": *"smoke"'
 [ "$(echo "$profile_json" | grep -o '"ce_exact":true' | wc -l)" -eq 4 ]
+# Multi-session daemon conformance: N concurrent sessions × seeded
+# fault schedules through the real server path, asserting per-session
+# isolation against solo baselines (answers, trace digests, byte
+# counters), typed Busy shedding, and graceful-shutdown draining.
+cargo test -q --test multisession
+# Daemon smoke over real loopback TCP: one `minshare serve` process,
+# two concurrent `minshare client` sessions (intersection + equijoin),
+# per-session reconciliation lines on both sides, then a zero-capacity
+# daemon proving typed Busy shedding. `--shutdown-after` doubles as the
+# graceful-shutdown check: the daemon must drain and exit 0 by itself.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+printf 'apple\text:apple\ngrape\text:grape\nmelon\text:melon\npeach\text:peach\n' > "$smoke_dir/server.txt"
+printf 'grape\nmelon\npear\n' > "$smoke_dir/c1.txt"
+printf 'apple\nkiwi\n' > "$smoke_dir/c2.txt"
+minshare=target/release/minshare
+"$minshare" serve --listen 127.0.0.1:0 --values "$smoke_dir/server.txt" \
+    --max-sessions 4 --shutdown-after 2 --seed 7 \
+    --port-file "$smoke_dir/port.txt" > "$smoke_dir/serve.out" 2> "$smoke_dir/serve.err" &
+serve_pid=$!
+i=0
+while [ ! -s "$smoke_dir/port.txt" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "verify: daemon never wrote its port" >&2; exit 1; }
+    sleep 0.1
+done
+port=$(cat "$smoke_dir/port.txt")
+"$minshare" client --connect "127.0.0.1:$port" --protocol intersection \
+    --values "$smoke_dir/c1.txt" --seed 1 > "$smoke_dir/c1.out" 2>&1 &
+c1_pid=$!
+"$minshare" client --connect "127.0.0.1:$port" --protocol equijoin \
+    --values "$smoke_dir/c2.txt" --seed 2 > "$smoke_dir/c2.out" 2>&1 &
+c2_pid=$!
+wait "$c1_pid"
+wait "$c2_pid"
+# Graceful shutdown: after two session outcomes the daemon drains and
+# exits 0 on its own — a hung or crashed daemon fails here.
+wait "$serve_pid"
+grep -q '^grape$' "$smoke_dir/c1.out"
+grep -q '^melon$' "$smoke_dir/c1.out"
+grep -q 'apple	ext:apple' "$smoke_dir/c2.out"
+# Per-session reconciliation lines on both sides of the wire.
+[ "$(grep -c 'status=ok' "$smoke_dir/serve.out")" -eq 2 ]
+grep -q 'protocol=intersection' "$smoke_dir/serve.out"
+grep -q 'protocol=equijoin' "$smoke_dir/serve.out"
+grep -q 'status=ok' "$smoke_dir/c1.out"
+grep -q 'status=ok' "$smoke_dir/c2.out"
+# Typed Busy load-shedding: a zero-capacity daemon refuses the session
+# with the typed error (the client says "busy", not a protocol failure)
+# and the rejection itself counts as the outcome that shuts it down.
+rm -f "$smoke_dir/port.txt"
+"$minshare" serve --listen 127.0.0.1:0 --values "$smoke_dir/server.txt" \
+    --max-sessions 0 --shutdown-after 1 \
+    --port-file "$smoke_dir/port.txt" > /dev/null 2>&1 &
+busy_pid=$!
+i=0
+while [ ! -s "$smoke_dir/port.txt" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "verify: busy daemon never wrote its port" >&2; exit 1; }
+    sleep 0.1
+done
+port=$(cat "$smoke_dir/port.txt")
+if "$minshare" client --connect "127.0.0.1:$port" --protocol intersection \
+    --values "$smoke_dir/c1.txt" > "$smoke_dir/busy.out" 2>&1; then
+    echo "verify: zero-capacity daemon admitted a session" >&2
+    exit 1
+fi
+grep -q 'busy' "$smoke_dir/busy.out"
+wait "$busy_pid"
 # Smoke-run the perf suite (one pass per routine, no timing loops) so a
 # bench that stops compiling or panics fails the gate.
 cargo bench -q -p minshare-bench --bench pipeline -- --test

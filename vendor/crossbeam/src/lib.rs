@@ -1,36 +1,72 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
 //! Only the `channel` module is provided, backed by `std::sync::mpsc`.
-//! The minshare duplex transport uses exactly the unbounded
-//! single-consumer pattern, for which the std channel has identical
-//! semantics (FIFO order, disconnect on drop of either end).
+//! The minshare duplex transport uses the unbounded single-consumer
+//! pattern; the mux server additionally uses bounded channels with
+//! non-blocking `try_send` for per-session backpressure. For both, the
+//! std channels have identical semantics to crossbeam-channel's (FIFO
+//! order, disconnect on drop of either end, `Full` when a bounded
+//! queue is at capacity).
 
 /// MPSC channels with the crossbeam-channel surface.
 pub mod channel {
-    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{
+        RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError,
+    };
 
-    /// Sending half of an unbounded channel.
-    pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+    enum SenderInner<T> {
+        Unbounded(std::sync::mpsc::Sender<T>),
+        Bounded(std::sync::mpsc::SyncSender<T>),
+    }
 
-    /// Receiving half of an unbounded channel.
+    /// Sending half of a channel.
+    pub struct Sender<T>(SenderInner<T>);
+
+    /// Receiving half of a channel.
     pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            match &self.0 {
+                SenderInner::Unbounded(tx) => Sender(SenderInner::Unbounded(tx.clone())),
+                SenderInner::Bounded(tx) => Sender(SenderInner::Bounded(tx.clone())),
+            }
         }
     }
 
     /// Creates an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = std::sync::mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        (Sender(SenderInner::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// Creates a bounded FIFO channel holding at most `cap` messages.
+    /// `send` blocks while full; `try_send` reports `Full` instead.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+        (Sender(SenderInner::Bounded(tx)), Receiver(rx))
     }
 
     impl<T> Sender<T> {
-        /// Enqueues a message; fails if the receiver is gone.
+        /// Enqueues a message; fails if the receiver is gone. On a
+        /// bounded channel this blocks while the queue is full.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value)
+            match &self.0 {
+                SenderInner::Unbounded(tx) => tx.send(value),
+                SenderInner::Bounded(tx) => tx.send(value),
+            }
+        }
+
+        /// Non-blocking enqueue: `Full` when a bounded queue is at
+        /// capacity (an unbounded queue never is), `Disconnected` when
+        /// the receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                SenderInner::Unbounded(tx) => tx
+                    .send(value)
+                    .map_err(|SendError(v)| TrySendError::Disconnected(v)),
+                SenderInner::Bounded(tx) => tx.try_send(value),
+            }
         }
     }
 
@@ -55,7 +91,7 @@ pub mod channel {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{unbounded, TryRecvError};
+    use super::channel::{bounded, unbounded, TryRecvError, TrySendError};
 
     #[test]
     fn fifo_and_disconnect_semantics() {
@@ -74,5 +110,30 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3).unwrap_err(), TrySendError::Full(3)));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn unbounded_try_send_never_full() {
+        let (tx, rx) = unbounded();
+        for i in 0..1000 {
+            tx.try_send(i).unwrap();
+        }
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(0).unwrap_err(),
+            TrySendError::Disconnected(0)
+        ));
     }
 }
