@@ -226,13 +226,30 @@ pub fn collect_binds(
     propagates_mut_args: &dyn Fn(&str) -> bool,
     out: &mut Vec<Bind>,
 ) {
+    // The entry list is a function body — a brace group's children.
+    collect_binds_in(tokens, list, Delim::Brace, propagates_mut_args, out);
+}
+
+fn collect_binds_in(
+    tokens: &[Token],
+    list: &[Tree],
+    delim: Delim,
+    propagates_mut_args: &dyn Fn(&str) -> bool,
+    out: &mut Vec<Bind>,
+) {
     collect_lets_and_loops(tokens, list, out);
     collect_assignments(tokens, list, out);
-    collect_stmt_mutations(tokens, list, out);
+    // Statement-level method mutation only exists in statement lists.
+    // Running it on paren groups misreads a multi-argument call list
+    // `f(group, …, x.method(), &mut out)` as `group` absorbing the
+    // arguments' taint.
+    if delim == Delim::Brace {
+        collect_stmt_mutations(tokens, list, out);
+    }
     collect_mut_out_params(tokens, list, propagates_mut_args, out);
     for t in list {
         if let Tree::Group(g) = t {
-            collect_binds(tokens, &g.children, propagates_mut_args, out);
+            collect_binds_in(tokens, &g.children, g.delim, propagates_mut_args, out);
         }
     }
 }
@@ -487,6 +504,20 @@ mod tests {
         // The typed let keeps its annotation.
         let acc = binds.iter().find(|b| b.names == ["acc"]).unwrap();
         assert!(acc.ty.iter().any(|t| t == "Vec"));
+    }
+
+    #[test]
+    fn call_argument_lists_are_not_statement_mutations() {
+        // `group` heads the argument list and `cfg.window()` puts a
+        // method call in it; that must not read as `group.method(...)`
+        // absorbing the arguments' taint.
+        let src = "fn f() { encrypt_to(group, pool, &key, cfg.window(), &mut sorter); }";
+        let (tokens, fns) = fns_of(src);
+        let mut binds = Vec::new();
+        collect_binds(&tokens, &fns[0].body.children, &|_| true, &mut binds);
+        assert!(binds.iter().all(|b| !b.names.contains(&"group".to_string())));
+        // The `&mut` out-param fact is still collected.
+        assert!(binds.iter().any(|b| b.names.contains(&"sorter".to_string())));
     }
 
     #[test]

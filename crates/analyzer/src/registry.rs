@@ -146,6 +146,13 @@ pub const ENC_SANITIZER_FNS: &[&str] = &[
     "apply_keystream",
     // crates/crypto/src/kcipher.rs: K(κ, ext(v)) payload encryption.
     "seal",
+    // crates/core/src/spill.rs + shard.rs: records entering the spill
+    // sorter are post-h-post-enc by construction (`push_record` is a
+    // registered sink enforcing it), so reloading them from the merged
+    // stream yields the same ciphertext codewords back.
+    "next_record",
+    "take_bucket",
+    "rec_codeword",
 ];
 
 /// Benign projections: methods that return sizes/counters/metadata of a
@@ -169,6 +176,18 @@ pub const PROJECTION_FNS: &[&str] = &[
     "bytes_received",
     "ciphertext_len",
     "max_plaintext_len",
+    // crates/core/src/spill.rs: run/byte/record counters of the external
+    // sorter — sizes of ciphertext runs, no content.
+    "stats",
+    // crates/core/src/shard.rs: bucket arithmetic. `bucket_of` reads a
+    // prefix of an *encoded group element* (its callers feed it h(v)
+    // codewords or spilled ciphertexts) and returns an index mod B —
+    // the public, mutually computable bucket assignment, disclosed by
+    // design as per-bucket set sizes (see leakage.rs). `effective_shards`
+    // is config arithmetic.
+    "bucket_of",
+    "value_bucket",
+    "effective_shards",
 ];
 
 /// Wire/encode sinks (WIRE01): a tainted argument (or receiver chain)
@@ -185,6 +204,11 @@ pub const WIRE_SINK_FNS: &[&str] = &[
     "send_codewords_chunked",
     "send_payload_pairs_chunked",
     "put_slice",
+    // crates/core/src/spill.rs: spill-run files persist outside the
+    // process's memory protection, so a record entering the external
+    // sorter is held to the same hash-then-encrypt bar as a network
+    // frame — WIRE01 proves spill files carry only ciphertext bytes.
+    "push_record",
 ];
 
 /// Crates WIRE01 runs over: everything that can reach a transport.
@@ -334,6 +358,10 @@ mod tests {
         assert!(is_enc_sanitizer("pow_multi_ctx"));
         assert!(!is_enc_sanitizer("encode"));
         assert!(is_wire_sink_fn("send_batch"));
+        assert!(is_wire_sink_fn("push_record"));
+        assert!(is_enc_sanitizer("next_record"));
+        assert!(is_enc_sanitizer("take_bucket"));
+        assert!(is_projection_fn("bucket_of"));
         assert!(is_projection_fn("total_items"));
         // Scope and exemptions.
         assert!(in_wire01_scope("crates/core/src/intersection.rs"));

@@ -72,6 +72,14 @@ pub struct Args {
     /// Write a JSON-lines trace of the run to this file, followed by a
     /// final §6.1 reconciliation line.
     pub trace_path: Option<String>,
+    /// Bucket count for the sharded bounded-memory engines; `1` runs the
+    /// classic engines byte-identically. Receiver-side: the receiver
+    /// announces the count and the sender adopts it.
+    pub shards: u32,
+    /// In-memory byte budget of the sharded engines' spill sorters.
+    pub mem_budget: usize,
+    /// Directory for spill run files (default: the OS temp dir).
+    pub spill_dir: Option<String>,
 }
 
 /// A parse failure with a usage hint.
@@ -105,6 +113,14 @@ options:
   --trace FILE           write a JSON-lines event trace (counts, sizes and
                          durations only — never values or keys), ending
                          with a measured-vs-predicted cost reconciliation
+  --shards B             receiver-side: split the run into B hash buckets
+                         streamed through the bounded-memory engines
+                         (default 1 = classic, byte-identical protocol);
+                         the sender side adopts B automatically
+  --mem-budget BYTES     in-memory budget per spill sorter before sorted
+                         runs go to disk (default 67108864)
+  --spill-dir DIR        where spill runs live while in flight (default:
+                         OS temp dir; files are unlinked at creation)
 ";
 
 impl Args {
@@ -126,6 +142,9 @@ impl Args {
         let mut secure = false;
         let mut seed = None;
         let mut trace_path = None;
+        let mut shards = 1u32;
+        let mut mem_budget = 64usize << 20;
+        let mut spill_dir = None;
 
         let next_value =
             |it: &mut dyn Iterator<Item = String>, flag: &str| -> Result<String, ArgsError> {
@@ -163,6 +182,20 @@ impl Args {
                 }
                 "--secure" => secure = true,
                 "--trace" => trace_path = Some(next_value(&mut it, "--trace")?),
+                "--shards" => {
+                    shards = next_value(&mut it, "--shards")?
+                        .parse()
+                        .map_err(|_| ArgsError("--shards expects a number".to_string()))?;
+                    if shards == 0 {
+                        return Err(ArgsError("--shards must be at least 1".to_string()));
+                    }
+                }
+                "--mem-budget" => {
+                    mem_budget = next_value(&mut it, "--mem-budget")?
+                        .parse()
+                        .map_err(|_| ArgsError("--mem-budget expects a byte count".to_string()))?
+                }
+                "--spill-dir" => spill_dir = Some(next_value(&mut it, "--spill-dir")?),
                 "--seed" => {
                     seed = Some(
                         next_value(&mut it, "--seed")?
@@ -193,6 +226,9 @@ impl Args {
             secure,
             seed,
             trace_path,
+            shards,
+            mem_budget,
+            spill_dir,
         })
     }
 }
@@ -263,6 +299,45 @@ mod tests {
         .unwrap();
         assert_eq!(a.trace_path.as_deref(), Some("run.jsonl"));
         assert!(parse(&["intersect", "--listen", "h:1", "--values", "v", "--trace"]).is_err());
+    }
+
+    #[test]
+    fn shard_flags_parse_and_default() {
+        let a = parse(&["intersect", "--connect", "h:1", "--values", "v"]).unwrap();
+        assert_eq!(a.shards, 1);
+        assert_eq!(a.mem_budget, 64 << 20);
+        assert_eq!(a.spill_dir, None);
+        let a = parse(&[
+            "intersect",
+            "--connect",
+            "h:1",
+            "--values",
+            "v",
+            "--shards",
+            "16",
+            "--mem-budget",
+            "1048576",
+            "--spill-dir",
+            "/tmp/spills",
+        ])
+        .unwrap();
+        assert_eq!(a.shards, 16);
+        assert_eq!(a.mem_budget, 1 << 20);
+        assert_eq!(a.spill_dir.as_deref(), Some("/tmp/spills"));
+        assert!(parse(&[
+            "intersect", "--connect", "h:1", "--values", "v", "--shards", "0"
+        ])
+        .is_err());
+        assert!(parse(&[
+            "intersect",
+            "--connect",
+            "h:1",
+            "--values",
+            "v",
+            "--mem-budget",
+            "lots"
+        ])
+        .is_err());
     }
 
     #[test]

@@ -61,6 +61,8 @@ pub fn run_serve(raw: &[String]) -> Result<(), AnyError> {
     let mut seed = 0x5e55_10b5u64;
     let mut shutdown_after: Option<u64> = None;
     let mut port_file: Option<String> = None;
+    let mut mem_budget: Option<usize> = None;
+    let mut spill_dir: Option<String> = None;
     let mut it = raw.iter();
     while let Some(arg) = it.next() {
         let mut take = |name: &str| -> Result<String, AnyError> {
@@ -75,6 +77,8 @@ pub fn run_serve(raw: &[String]) -> Result<(), AnyError> {
             "--seed" => seed = take("--seed")?.parse()?,
             "--shutdown-after" => shutdown_after = Some(take("--shutdown-after")?.parse()?),
             "--port-file" => port_file = Some(take("--port-file")?),
+            "--mem-budget" => mem_budget = Some(take("--mem-budget")?.parse()?),
+            "--spill-dir" => spill_dir = Some(take("--spill-dir")?),
             other => return Err(format!("unknown serve option {other:?}").into()),
         }
     }
@@ -89,14 +93,24 @@ pub fn run_serve(raw: &[String]) -> Result<(), AnyError> {
         entries.len()
     );
 
-    let service = Arc::new(Service::new(
-        group,
-        entries,
-        EncryptPool::new(2),
-        PipelineConfig::default(),
-        record_len,
-        seed,
-    ));
+    // Spill knobs used when a client elects sharding; the client's hello
+    // chooses the bucket count.
+    let shard_cfg = ShardConfig {
+        mem_budget: mem_budget.unwrap_or_else(|| ShardConfig::default().mem_budget),
+        spill_dir: spill_dir.map(std::path::PathBuf::from),
+        ..ShardConfig::default()
+    };
+    let service = Arc::new(
+        Service::new(
+            group,
+            entries,
+            EncryptPool::new(2),
+            PipelineConfig::default(),
+            record_len,
+            seed,
+        )
+        .with_shard_config(shard_cfg),
+    );
     let registry = SessionRegistry::new(max_sessions);
     let shutdown = ShutdownHandle::new();
     let acceptor = TcpAcceptor::bind(listen.as_str())?;
@@ -192,6 +206,9 @@ pub fn run_client(raw: &[String]) -> Result<(), AnyError> {
     let mut group_bits = 768u64;
     let mut record_len = 64usize;
     let mut seed: Option<u64> = None;
+    let mut shards = 1u32;
+    let mut mem_budget: Option<usize> = None;
+    let mut spill_dir: Option<String> = None;
     let mut it = raw.iter();
     while let Some(arg) = it.next() {
         let mut take = |name: &str| -> Result<String, AnyError> {
@@ -204,8 +221,14 @@ pub fn run_client(raw: &[String]) -> Result<(), AnyError> {
             "--group-bits" => group_bits = take("--group-bits")?.parse()?,
             "--record-len" => record_len = take("--record-len")?.parse()?,
             "--seed" => seed = Some(take("--seed")?.parse()?),
+            "--shards" => shards = take("--shards")?.parse()?,
+            "--mem-budget" => mem_budget = Some(take("--mem-budget")?.parse()?),
+            "--spill-dir" => spill_dir = Some(take("--spill-dir")?),
             other => return Err(format!("unknown client option {other:?}").into()),
         }
+    }
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
     }
     let connect = connect.ok_or("--connect is required")?;
     let values_path = values_path.ok_or("--values is required")?;
@@ -241,10 +264,17 @@ pub fn run_client(raw: &[String]) -> Result<(), AnyError> {
 
     let pool = EncryptPool::new(0);
     let config = PipelineConfig::default();
+    let shard_cfg = ShardConfig {
+        shards,
+        mem_budget: mem_budget.unwrap_or_else(|| ShardConfig::default().mem_budget),
+        spill_dir: spill_dir.map(std::path::PathBuf::from),
+        ..ShardConfig::default()
+    };
     let traffic = match protocol {
         ProtocolKind::Intersection => {
-            let (out, traffic) =
-                run_client_intersection(session, &group, &values, &mut rng, &pool, config)?;
+            let (out, traffic) = run_client_intersection_sharded(
+                session, &group, &values, &mut rng, &pool, config, &shard_cfg,
+            )?;
             for v in &out.intersection {
                 println!("{}", String::from_utf8_lossy(v));
             }
@@ -256,8 +286,8 @@ pub fn run_client(raw: &[String]) -> Result<(), AnyError> {
             traffic
         }
         ProtocolKind::Equijoin => {
-            let (out, traffic) = run_client_equijoin(
-                session, &group, &values, &mut rng, &pool, config, record_len,
+            let (out, traffic) = run_client_equijoin_sharded(
+                session, &group, &values, &mut rng, &pool, config, record_len, &shard_cfg,
             )?;
             for (v, payload) in &out.matches {
                 println!(

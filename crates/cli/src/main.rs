@@ -49,9 +49,11 @@ fn main() -> ExitCode {
         println!(
             "\ndaemon mode (many concurrent sessions over one port):\n  \
              minshare serve  --listen ADDR --values FILE [--max-sessions N] [--group-bits B]\n                  \
-             [--record-len N] [--seed S] [--shutdown-after N] [--port-file PATH]\n  \
+             [--record-len N] [--seed S] [--shutdown-after N] [--port-file PATH]\n                  \
+             [--mem-budget BYTES] [--spill-dir DIR]\n  \
              minshare client --connect ADDR --protocol intersection|equijoin --values FILE\n                  \
-             [--group-bits B] [--record-len N] [--seed S]"
+             [--group-bits B] [--record-len N] [--seed S] [--shards B]\n                  \
+             [--mem-budget BYTES] [--spill-dir DIR]"
         );
         return ExitCode::SUCCESS;
     }
@@ -225,6 +227,19 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         .map_err(|e| format!("cannot open {}: {e}", args.values_path))?;
     let reader = BufReader::new(file);
 
+    // Sharded-engine knobs. The receiver elects sharding with
+    // `--shards B > 1`; the sender always peeks the first frame and
+    // adopts the peer's choice, falling back byte-identically to the
+    // classic engines when no hello arrives.
+    let shard_cfg = ShardConfig {
+        shards: args.shards,
+        mem_budget: args.mem_budget,
+        spill_dir: args.spill_dir.as_ref().map(std::path::PathBuf::from),
+        ..ShardConfig::default()
+    };
+    let pool = EncryptPool::new(pool_workers());
+    let pipe = PipelineConfig::default();
+
     // What the reconciliation needs from the run; `None` for `sum`
     // (the §7 extension has no §6.1 formula to check against).
     let mut summary: Option<RunSummary> = None;
@@ -233,7 +248,25 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         (Command::Intersect, Side::Sender) => {
             let values = input::read_values(reader)?;
             eprintln!("running intersection as S with {} values…", values.len());
-            let out = intersection::run_sender(&mut transport, &group, &values, &mut rng)?;
+            let out = match shard::recv_hello_or_pushback(&mut transport)? {
+                Ok(shards) => {
+                    eprintln!("peer elected {shards} shards");
+                    shard::run_intersection_sender_sharded(
+                        &mut transport,
+                        &group,
+                        &values,
+                        &mut rng,
+                        &pool,
+                        pipe,
+                        &shard_cfg,
+                        shards,
+                    )?
+                }
+                Err(frame) => {
+                    let mut t = shard::PushbackTransport::new(frame, &mut transport);
+                    intersection::run_sender(&mut t, &group, &values, &mut rng)?
+                }
+            };
             eprintln!("done: peer set size |V_R| = {}", out.peer_set_size);
             eprintln!("cost: {} Ce, {} Ch", out.ops.total_ce(), out.ops.hashes);
             summary = Some(RunSummary {
@@ -248,7 +281,19 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         (Command::Intersect, Side::Receiver) => {
             let values = input::read_values(reader)?;
             eprintln!("running intersection as R with {} values…", values.len());
-            let out = intersection::run_receiver(&mut transport, &group, &values, &mut rng)?;
+            let out = if args.shards > 1 {
+                shard::run_intersection_receiver(
+                    &mut transport,
+                    &group,
+                    &values,
+                    &mut rng,
+                    &pool,
+                    pipe,
+                    &shard_cfg,
+                )?
+            } else {
+                intersection::run_receiver(&mut transport, &group, &values, &mut rng)?
+            };
             for v in &out.intersection {
                 println!("{}", String::from_utf8_lossy(v));
             }
@@ -268,7 +313,15 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         }
         (Command::IntersectSize, Side::Sender) => {
             let values = input::read_values(reader)?;
-            let out = intersection_size::run_sender(&mut transport, &group, &values, &mut rng)?;
+            let out = shard::run_intersection_size_sender(
+                &mut transport,
+                &group,
+                &values,
+                &mut rng,
+                &pool,
+                pipe,
+                &shard_cfg,
+            )?;
             eprintln!("done: |V_R| = {}", out.peer_set_size);
             summary = Some(RunSummary {
                 protocol: Protocol::IntersectionSize,
@@ -281,7 +334,15 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         }
         (Command::IntersectSize, Side::Receiver) => {
             let values = input::read_values(reader)?;
-            let out = intersection_size::run_receiver(&mut transport, &group, &values, &mut rng)?;
+            let out = shard::run_intersection_size_receiver(
+                &mut transport,
+                &group,
+                &values,
+                &mut rng,
+                &pool,
+                pipe,
+                &shard_cfg,
+            )?;
             println!("{}", out.intersection_size);
             eprintln!("done: |V_S| = {}", out.peer_set_size);
             summary = Some(RunSummary {
@@ -301,7 +362,26 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
             // record length first as a tiny header frame.
             transport.send(&(cipher.max_plaintext_len() as u32).to_be_bytes())?;
             eprintln!("running equijoin as S with {} entries…", entries.len());
-            let out = equijoin::run_sender(&mut transport, &group, &cipher, &entries, &mut rng)?;
+            let out = match shard::recv_hello_or_pushback(&mut transport)? {
+                Ok(shards) => {
+                    eprintln!("peer elected {shards} shards");
+                    shard::run_equijoin_sender_sharded(
+                        &mut transport,
+                        &group,
+                        &cipher,
+                        &entries,
+                        &mut rng,
+                        &pool,
+                        pipe,
+                        &shard_cfg,
+                        shards,
+                    )?
+                }
+                Err(frame) => {
+                    let mut t = shard::PushbackTransport::new(frame, &mut transport);
+                    equijoin::run_sender(&mut t, &group, &cipher, &entries, &mut rng)?
+                }
+            };
             eprintln!("done: |V_R| = {}", out.peer_set_size);
             let keys: Vec<Vec<u8>> = entries.iter().map(|(v, _)| v.clone()).collect();
             summary = Some(RunSummary {
@@ -323,7 +403,20 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
                 u32::from_be_bytes([header[0], header[1], header[2], header[3]]) as usize;
             let cipher = HybridCipher::new(group.clone(), record_len);
             eprintln!("running equijoin as R with {} values…", values.len());
-            let out = equijoin::run_receiver(&mut transport, &group, &cipher, &values, &mut rng)?;
+            let out = if args.shards > 1 {
+                shard::run_equijoin_receiver(
+                    &mut transport,
+                    &group,
+                    &cipher,
+                    &values,
+                    &mut rng,
+                    &pool,
+                    pipe,
+                    &shard_cfg,
+                )?
+            } else {
+                equijoin::run_receiver(&mut transport, &group, &cipher, &values, &mut rng)?
+            };
             for (v, payload) in &out.matches {
                 println!(
                     "{}\t{}",
@@ -347,7 +440,15 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         }
         (Command::JoinSize, Side::Sender) => {
             let values = input::read_values(reader)?;
-            let out = equijoin_size::run_sender(&mut transport, &group, &values, &mut rng)?;
+            let out = shard::run_equijoin_size_sender(
+                &mut transport,
+                &group,
+                &values,
+                &mut rng,
+                &pool,
+                pipe,
+                &shard_cfg,
+            )?;
             eprintln!(
                 "done: |V_R| = {} (duplicate distribution learned: {:?})",
                 out.peer_multiset_size, out.peer_duplicate_distribution
@@ -364,7 +465,15 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         }
         (Command::JoinSize, Side::Receiver) => {
             let values = input::read_values(reader)?;
-            let out = equijoin_size::run_receiver(&mut transport, &group, &values, &mut rng)?;
+            let out = shard::run_equijoin_size_receiver(
+                &mut transport,
+                &group,
+                &values,
+                &mut rng,
+                &pool,
+                pipe,
+                &shard_cfg,
+            )?;
             println!("{}", out.join_size);
             eprintln!(
                 "done: |V_S| = {}, S's duplicate distribution: {:?}",
@@ -434,6 +543,16 @@ struct RunSummary {
     peer_values: u64,
     measured_ce: u64,
     k_prime_bits: u64,
+}
+
+/// Worker threads for the CLI's encryption pool: leave one core for the
+/// protocol thread, cap modestly. A 0-worker pool runs jobs inline, so
+/// single-core hosts behave exactly as before.
+fn pool_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1))
+        .unwrap_or(0)
+        .min(8)
 }
 
 /// Distinct-value count (the engines deduplicate, and §6.1 prices sets).

@@ -53,6 +53,12 @@ pub enum ProtocolError {
         /// Which party.
         party: &'static str,
     },
+    /// The spill-to-disk sorter failed (I/O on a spill run file, or a
+    /// record of the wrong width was pushed).
+    Spill {
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ProtocolError {
@@ -80,6 +86,7 @@ impl fmt::Display for ProtocolError {
             ProtocolError::PartyPanicked { party } => {
                 write!(f, "{party} thread panicked")
             }
+            ProtocolError::Spill { detail } => write!(f, "spill sorter: {detail}"),
         }
     }
 }
@@ -132,5 +139,9 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e = ProtocolError::NotSorted { what: "Y_R" };
         assert!(e.to_string().contains("Y_R"));
+        let e = ProtocolError::Spill {
+            detail: "disk full".to_string(),
+        };
+        assert!(e.to_string().contains("disk full"));
     }
 }

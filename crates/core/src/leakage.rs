@@ -6,6 +6,17 @@
 //! `|V_R(d) ∩ V_S(d')|` for every `(d, d')`. This module computes that
 //! quantity directly from the inputs, so tests and the E13 experiment can
 //! verify the protocol leaks **exactly** this much — no more, no less.
+//!
+//! The sharded engines ([`crate::shard`]) add one further disclosure,
+//! characterized here the same way: each party learns the *per-bucket*
+//! sizes of the other's set (`B` numbers summing to the total the
+//! unsharded protocol already reveals), and for the -size variants each
+//! counted match is additionally localized to its bucket — the global
+//! leak matrix splits into `B` per-bucket matrices that sum back to the
+//! §5.2 matrix cell for cell ([`bucketed_class_intersections`]). Both
+//! functions take the bucket assignment as a closure (in practice
+//! [`crate::shard::value_bucket`] under the session's scheme) so they
+//! stay crypto-free and exact.
 
 use std::collections::BTreeMap;
 
@@ -93,6 +104,91 @@ pub fn identifiable_match_fraction(receiver_values: &[Vec<u8>], sender_values: &
     }
 }
 
+/// What a sharded run discloses about one party's *set*: the number of
+/// distinct values per bucket. `out[b]` is `|{v : assign(v) = b}|` after
+/// deduplication; the entries sum to the distinct-set size the unsharded
+/// protocols already reveal, so the sharding delta is exactly this
+/// partition of a known total into `B` parts.
+pub fn bucket_size_disclosure(
+    values: &[Vec<u8>],
+    shards: u32,
+    assign: &dyn Fn(&[u8]) -> u32,
+) -> Vec<u64> {
+    let shards = shards.max(1) as usize;
+    let mut sizes = vec![0u64; shards];
+    let distinct: std::collections::BTreeSet<&Vec<u8>> = values.iter().collect();
+    for v in distinct {
+        let b = (assign(v) as usize).min(shards - 1);
+        if let Some(slot) = sizes.get_mut(b) {
+            *slot += 1;
+        }
+    }
+    sizes
+}
+
+/// The multiset analogue of [`bucket_size_disclosure`]: per-bucket
+/// occurrence counts, summing to `|values|`. This is what each party of
+/// a sharded equijoin-size run learns about the other's multiset shape.
+pub fn bucket_multiset_disclosure(
+    values: &[Vec<u8>],
+    shards: u32,
+    assign: &dyn Fn(&[u8]) -> u32,
+) -> Vec<u64> {
+    let shards = shards.max(1) as usize;
+    let mut sizes = vec![0u64; shards];
+    for v in values {
+        let b = (assign(v) as usize).min(shards - 1);
+        if let Some(slot) = sizes.get_mut(b) {
+            *slot += 1;
+        }
+    }
+    sizes
+}
+
+/// The §5.2 leak matrix of a *sharded* equijoin-size run: one matrix per
+/// bucket, restricted to values assigned there. Duplicate counts stay
+/// global (all occurrences of a value share its bucket), so summing the
+/// per-bucket matrices cell for cell reproduces
+/// [`expected_class_intersections`] exactly — sharding refines the §5.2
+/// leak by bucket without inventing new classes.
+pub fn bucketed_class_intersections(
+    receiver_values: &[Vec<u8>],
+    sender_values: &[Vec<u8>],
+    shards: u32,
+    assign: &dyn Fn(&[u8]) -> u32,
+) -> Vec<BTreeMap<(u64, u64), u64>> {
+    let shards = shards.max(1);
+    let split = |values: &[Vec<u8>]| -> Vec<Vec<Vec<u8>>> {
+        let mut per: Vec<Vec<Vec<u8>>> = vec![Vec::new(); shards as usize];
+        for v in values {
+            let b = (assign(v) as usize).min(shards as usize - 1);
+            if let Some(bucket) = per.get_mut(b) {
+                bucket.push(v.clone());
+            }
+        }
+        per
+    };
+    split(receiver_values)
+        .into_iter()
+        .zip(split(sender_values))
+        .map(|(vr_b, vs_b)| expected_class_intersections(&vr_b, &vs_b))
+        .collect()
+}
+
+/// Sums per-bucket leak matrices cell for cell — the inverse direction
+/// of [`bucketed_class_intersections`]'s refinement.
+pub fn merge_class_intersections(
+    buckets: &[BTreeMap<(u64, u64), u64>],
+) -> BTreeMap<(u64, u64), u64> {
+    let mut total: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    for m in buckets {
+        for (cell, n) in m {
+            *total.entry(*cell).or_insert(0) += n;
+        }
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +239,46 @@ mod tests {
     fn empty_inputs() {
         assert!(expected_class_intersections(&[], &[]).is_empty());
         assert_eq!(identifiable_match_fraction(&[], &[]), 0.0);
+    }
+
+    /// A deterministic stand-in for `shard::value_bucket`: any pure
+    /// function of the value works identically for the composition laws.
+    fn assign(v: &[u8]) -> u32 {
+        v.iter().map(|&b| u32::from(b)).sum::<u32>() % 3
+    }
+
+    #[test]
+    fn bucket_sizes_partition_the_known_totals() {
+        let vals = to_values(&["a", "a", "b", "c", "d", "e", "e", "e"]);
+        let set_sizes = bucket_size_disclosure(&vals, 3, &assign);
+        assert_eq!(set_sizes.len(), 3);
+        assert_eq!(set_sizes.iter().sum::<u64>(), 5); // distinct values
+        let multi_sizes = bucket_multiset_disclosure(&vals, 3, &assign);
+        assert_eq!(multi_sizes.iter().sum::<u64>(), vals.len() as u64);
+    }
+
+    #[test]
+    fn bucketed_matrices_sum_to_the_global_matrix() {
+        let vr = to_values(&["a", "b", "b", "c", "d", "d", "d", "e"]);
+        let vs = to_values(&["a", "a", "b", "c", "c", "e", "x", "x"]);
+        let per_bucket = bucketed_class_intersections(&vr, &vs, 3, &assign);
+        assert_eq!(per_bucket.len(), 3);
+        assert_eq!(
+            merge_class_intersections(&per_bucket),
+            expected_class_intersections(&vr, &vs)
+        );
+    }
+
+    #[test]
+    fn single_bucket_matches_unsharded_leak() {
+        let vr = to_values(&["a", "b", "b"]);
+        let vs = to_values(&["a", "b", "b", "c"]);
+        let per_bucket = bucketed_class_intersections(&vr, &vs, 1, &|_| 0);
+        assert_eq!(per_bucket.len(), 1);
+        assert_eq!(per_bucket[0], expected_class_intersections(&vr, &vs));
+        assert_eq!(
+            bucket_size_disclosure(&vr, 1, &|_| 0),
+            vec![2] // distinct values
+        );
     }
 }

@@ -74,7 +74,9 @@ pub mod pipeline;
 pub mod prepare;
 pub mod runner;
 pub mod service;
+pub mod shard;
 pub mod simrun;
+pub mod spill;
 pub mod stats;
 pub mod tradeoff;
 pub mod wire;
@@ -93,10 +95,12 @@ pub mod prelude {
     pub use crate::pipeline::{self, PipelineConfig};
     pub use crate::runner::{run_two_party, TwoPartyRun};
     pub use crate::service::{
-        run_client_equijoin, run_client_intersection, ProtocolKind, Service, SessionReport,
-        SessionRequest,
+        run_client_equijoin, run_client_equijoin_sharded, run_client_intersection,
+        run_client_intersection_sharded, ProtocolKind, Service, SessionReport, SessionRequest,
     };
+    pub use crate::shard::{self, ShardConfig};
     pub use crate::simrun::{run_two_party_sim, SimOutcome, SimRunConfig, SimTwoPartyRun};
+    pub use crate::spill::{ExtSorter, SpillStats};
     pub use crate::stats::OpCounters;
     pub use crate::ProtocolError;
     pub use minshare_crypto::kcipher::{ExtCipher, HybridCipher, MulBlockCipher};

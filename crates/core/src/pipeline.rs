@@ -122,7 +122,7 @@ impl PipelineConfig {
     /// Chunk size to use for a list of `n` items: the configured size,
     /// or effectively-unbounded (single serial-compatible frame) for
     /// lists under the fallback threshold.
-    fn effective_chunk(&self, n: usize) -> usize {
+    pub(crate) fn effective_chunk(&self, n: usize) -> usize {
         if n < self.serial_below {
             usize::MAX
         } else {
@@ -134,7 +134,7 @@ impl PipelineConfig {
 /// Extends an incremental strict-sortedness check across a chunk
 /// boundary: each element must exceed the last element of the previous
 /// chunk, then ascend within the chunk.
-fn require_chunk_strictly_sorted(
+pub(crate) fn require_chunk_strictly_sorted(
     last: &mut Option<UBig>,
     chunk: &[UBig],
     what: &'static str,
@@ -152,7 +152,7 @@ fn require_chunk_strictly_sorted(
 
 /// Unwraps a `Codewords` chunk (the reader already validated the tag;
 /// this keeps the engines panic-free all the same).
-fn into_codewords(msg: Message) -> Result<Vec<UBig>, ProtocolError> {
+pub(crate) fn into_codewords(msg: Message) -> Result<Vec<UBig>, ProtocolError> {
     match msg {
         Message::Codewords(list) => Ok(list),
         other => Err(ProtocolError::UnexpectedMessage {

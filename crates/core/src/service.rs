@@ -31,6 +31,7 @@ use crate::equijoin::EquijoinReceiverOutput;
 use crate::error::ProtocolError;
 use crate::intersection::IntersectionReceiverOutput;
 use crate::pipeline::{self, PipelineConfig};
+use crate::shard::{self, ShardConfig};
 use crate::stats::OpCounters;
 
 /// Leading bytes of every session request, so a daemon never mistakes a
@@ -170,6 +171,9 @@ pub struct Service {
     /// Base seed; per-session key material derives from this and the
     /// session id.
     seed: u64,
+    /// Spill/memory knobs for sessions whose client elects sharding;
+    /// `shards` here is ignored (the client's hello chooses `B`).
+    shard_cfg: ShardConfig,
 }
 
 impl Service {
@@ -193,7 +197,15 @@ impl Service {
             config,
             record_len,
             seed,
+            shard_cfg: ShardConfig::default(),
         }
+    }
+
+    /// Sets the spill/memory knobs used when a client's session opens
+    /// with a shard hello (the client still chooses the bucket count).
+    pub fn with_shard_config(mut self, cfg: ShardConfig) -> Self {
+        self.shard_cfg = cfg;
+        self
     }
 
     /// The service's group (clients must use the same one).
@@ -218,6 +230,11 @@ impl Service {
     /// session's fair-scheduling pool scope. Errors are per-session — the
     /// caller (the mux server handler) reports them without touching any
     /// other session.
+    ///
+    /// Sharding is client-elected: the sender engines peek the session's
+    /// first protocol frame and adopt the client's bucket count when it
+    /// is a shard hello, falling back byte-identically to the pipelined
+    /// engines otherwise — one service serves both kinds of client.
     pub fn handle<T: Transport>(
         &self,
         session: u32,
@@ -229,18 +246,19 @@ impl Service {
         let mut rng = StdRng::seed_from_u64(self.session_seed(session));
         let pool_session = self.pool.session(1);
         let (peer_set_size, ops) = pool_session.scope(|| match request.protocol {
-            ProtocolKind::Intersection => pipeline::run_intersection_sender(
+            ProtocolKind::Intersection => shard::run_intersection_sender(
                 &mut counted,
                 &self.group,
                 &self.values,
                 &mut rng,
                 &self.pool,
                 self.config,
+                &self.shard_cfg,
             )
             .map(|out| (out.peer_set_size, out.ops)),
             ProtocolKind::Equijoin => {
                 let cipher = HybridCipher::new(self.group.clone(), self.record_len);
-                pipeline::run_equijoin_sender(
+                shard::run_equijoin_sender(
                     &mut counted,
                     &self.group,
                     &cipher,
@@ -248,6 +266,7 @@ impl Service {
                     &mut rng,
                     &self.pool,
                     self.config,
+                    &self.shard_cfg,
                 )
                 .map(|out| (out.peer_set_size, out.ops))
             }
@@ -309,6 +328,54 @@ pub fn run_client_equijoin<T: Transport, R: Rng + ?Sized>(
     let cipher = HybridCipher::new(group.clone(), record_len);
     let out =
         pipeline::run_equijoin_receiver(&mut counted, group, &cipher, values, rng, pool, config)?;
+    Ok((out, ClientTraffic::from(&traffic)))
+}
+
+/// Sharded client side of a daemon intersection session: announces
+/// `cfg.shards` buckets and runs the bounded-memory receiver engine
+/// (`cfg.shards <= 1` degenerates byte-identically to
+/// [`run_client_intersection`]). The daemon adopts the bucket count
+/// automatically.
+pub fn run_client_intersection_sharded<T: Transport, R: Rng + ?Sized>(
+    transport: T,
+    group: &QrGroup,
+    values: &[Vec<u8>],
+    rng: &mut R,
+    pool: &EncryptPool,
+    config: PipelineConfig,
+    cfg: &ShardConfig,
+) -> Result<(IntersectionReceiverOutput, ClientTraffic), ProtocolError> {
+    let (mut counted, traffic) = CountingTransport::new(transport);
+    let out =
+        shard::run_intersection_receiver(&mut counted, group, values, rng, pool, config, cfg)?;
+    Ok((out, ClientTraffic::from(&traffic)))
+}
+
+/// Sharded client side of a daemon equijoin session; see
+/// [`run_client_intersection_sharded`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_client_equijoin_sharded<T: Transport, R: Rng + ?Sized>(
+    transport: T,
+    group: &QrGroup,
+    values: &[Vec<u8>],
+    rng: &mut R,
+    pool: &EncryptPool,
+    config: PipelineConfig,
+    record_len: usize,
+    cfg: &ShardConfig,
+) -> Result<(EquijoinReceiverOutput, ClientTraffic), ProtocolError> {
+    let (mut counted, traffic) = CountingTransport::new(transport);
+    let cipher = HybridCipher::new(group.clone(), record_len);
+    let out = shard::run_equijoin_receiver(
+        &mut counted,
+        group,
+        &cipher,
+        values,
+        rng,
+        pool,
+        config,
+        cfg,
+    )?;
     Ok((out, ClientTraffic::from(&traffic)))
 }
 
@@ -446,6 +513,49 @@ mod tests {
         let (out, traffic) = client.join().unwrap();
         assert_eq!(out.matches, vec![(b"grape".to_vec(), b"fruit:2".to_vec())]);
         assert_eq!(report.protocol, ProtocolKind::Equijoin);
+        assert_eq!(report.bytes_sent, traffic.bytes_received);
+        assert_eq!(report.bytes_received, traffic.bytes_sent);
+    }
+
+    #[test]
+    fn service_auto_adopts_a_sharded_client() {
+        let g = group();
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = to_values(&["apple", "grape", "melon", "pear"])
+            .into_iter()
+            .map(|v| (v, Vec::new()))
+            .collect();
+        let service = Service::new(
+            g.clone(),
+            entries,
+            EncryptPool::new(2),
+            PipelineConfig::default(),
+            16,
+            7,
+        )
+        .with_shard_config(ShardConfig {
+            mem_budget: 64, // force the spill path on the daemon side too
+            ..ShardConfig::default()
+        });
+        let (server_t, client_t) = duplex_pair();
+        let request = SessionRequest::new(ProtocolKind::Intersection).encode();
+        let client_pool = EncryptPool::new(2);
+        let client = std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(99);
+            run_client_intersection_sharded(
+                client_t,
+                &group(),
+                &to_values(&["grape", "melon", "kiwi"]),
+                &mut rng,
+                &client_pool,
+                PipelineConfig::default(),
+                &ShardConfig::with_shards(4),
+            )
+            .unwrap()
+        });
+        let report = service.handle(1, &request, server_t).unwrap();
+        let (out, traffic) = client.join().unwrap();
+        assert_eq!(out.intersection, to_values(&["grape", "melon"]));
+        assert_eq!(report.peer_set_size, 3);
         assert_eq!(report.bytes_sent, traffic.bytes_received);
         assert_eq!(report.bytes_received, traffic.bytes_sent);
     }

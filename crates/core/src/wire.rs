@@ -34,6 +34,54 @@ pub(crate) const TAG_PAYLOAD_PAIRS: u8 = 3;
 /// Envelope tag announcing that one logical message follows split across
 /// several frames (see [`ChunkedWriter`]).
 pub(crate) const TAG_CHUNKED: u8 = 4;
+/// Hello frame opening a *sharded* run (see [`crate::shard`]): the
+/// receiver announces the bucket count before any codeword flows. Never
+/// sent for single-shard runs, which therefore stay byte-identical to
+/// the unsharded engines.
+pub(crate) const TAG_SHARDED: u8 = 5;
+
+/// Bytes of the shard hello frame:
+/// `[TAG_SHARDED, version, shard_count: u32be]`.
+pub(crate) const SHARD_HELLO_LEN: usize = 6;
+
+/// Shard-hello codec version.
+pub(crate) const SHARD_WIRE_VERSION: u8 = 1;
+
+/// Upper bound on the bucket count a peer may announce: each bucket
+/// costs per-bucket frames and merge state, so an absurd count is
+/// rejected as malformed rather than honored.
+pub(crate) const MAX_SHARDS: u32 = 1 << 16;
+
+/// Encodes the shard hello frame for `shards` buckets.
+pub(crate) fn encode_shard_hello(shards: u32) -> [u8; SHARD_HELLO_LEN] {
+    let [b0, b1, b2, b3] = shards.to_be_bytes();
+    [TAG_SHARDED, SHARD_WIRE_VERSION, b0, b1, b2, b3]
+}
+
+/// Inspects a received frame: `Ok(Some(shards))` when it is a valid
+/// shard hello, `Ok(None)` when it is some other (non-hello) frame the
+/// caller should process normally, and an error for a hello that is
+/// malformed or announces an unsupported version or bucket count.
+pub(crate) fn decode_shard_hello(frame: &[u8]) -> Result<Option<u32>, ProtocolError> {
+    if frame.first() != Some(&TAG_SHARDED) {
+        return Ok(None);
+    }
+    if frame.len() != SHARD_HELLO_LEN {
+        return Err(chunk_malformed("bad shard hello length"));
+    }
+    if frame.get(1) != Some(&SHARD_WIRE_VERSION) {
+        return Err(chunk_malformed("unsupported shard hello version"));
+    }
+    let bytes = frame
+        .get(2..6)
+        .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        .ok_or_else(|| chunk_malformed("bad shard hello length"))?;
+    let shards = u32::from_be_bytes(bytes);
+    if shards == 0 || shards > MAX_SHARDS {
+        return Err(chunk_malformed("implausible shard count"));
+    }
+    Ok(Some(shards))
+}
 
 /// Bytes of a chunked-envelope header frame:
 /// `[TAG_CHUNKED, inner_tag, total_items: u32, chunk_count: u32]`.
@@ -168,6 +216,11 @@ impl Message {
             TAG_CHUNKED => {
                 return Err(malformed(
                     "chunked envelope where a single message was expected",
+                ))
+            }
+            TAG_SHARDED => {
+                return Err(malformed(
+                    "shard hello where a single message was expected",
                 ))
             }
             _ => return Err(malformed("unknown message tag")),
@@ -737,6 +790,28 @@ mod tests {
         header.extend_from_slice(&1u32.to_be_bytes());
         header.extend_from_slice(&1u32.to_be_bytes());
         assert!(Message::decode(&header, &g).is_err());
+    }
+
+    #[test]
+    fn shard_hello_round_trips_and_rejects_junk() {
+        for shards in [1u32, 2, 7, MAX_SHARDS] {
+            let frame = encode_shard_hello(shards);
+            assert_eq!(decode_shard_hello(&frame).unwrap(), Some(shards));
+        }
+        // Non-hello frames pass through untouched.
+        let g = group();
+        let plain = Message::Codewords(elements(&g, 2)).encode(&g).unwrap();
+        assert_eq!(decode_shard_hello(&plain).unwrap(), None);
+        assert_eq!(decode_shard_hello(&[]).unwrap(), None);
+        // Malformed hellos are typed errors, not pass-throughs.
+        assert!(decode_shard_hello(&[TAG_SHARDED]).is_err());
+        assert!(decode_shard_hello(&[TAG_SHARDED, 9, 0, 0, 0, 1]).is_err());
+        assert!(decode_shard_hello(&[TAG_SHARDED, SHARD_WIRE_VERSION, 0, 0, 0, 0]).is_err());
+        let mut too_many = encode_shard_hello(MAX_SHARDS + 1);
+        too_many[2..6].copy_from_slice(&(MAX_SHARDS + 1).to_be_bytes());
+        assert!(decode_shard_hello(&too_many).is_err());
+        // A hello is never a valid stand-alone protocol message.
+        assert!(Message::decode(&encode_shard_hello(4), &g).is_err());
     }
 
     #[test]

@@ -164,6 +164,95 @@ impl Reconciliation {
     }
 }
 
+/// One bucket of a sharded run, as reported by the per-bucket trace
+/// events (`shard` scope): the bucket's set sizes and the `Ce` total
+/// both parties charged while processing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketTrace {
+    /// `|V_S ∩ bucket|`.
+    pub vs: u64,
+    /// `|V_R ∩ bucket|`.
+    pub vr: u64,
+    /// Total `Ce` operations both parties charged for this bucket.
+    pub ce: u64,
+}
+
+/// A sharded run held against the model: the per-bucket linearity check
+/// plus the aggregate [`Reconciliation`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardedReconciliation {
+    /// The aggregate judgment at the summed sizes.
+    pub total: Reconciliation,
+    /// `protocol.ce_ops(vs_b, vr_b)` per bucket.
+    pub predicted_bucket_ce: Vec<u64>,
+    /// Every bucket's measured `Ce` equals its own §6.1 formula — the
+    /// linearity that makes per-bucket traces sum to the paper's totals.
+    pub buckets_exact: bool,
+}
+
+/// Judges a sharded run: every §6.1 `Ce` formula is linear in
+/// `(|V_S|, |V_R|)`, so each bucket must satisfy the formula *at its own
+/// sizes* and the bucket sums must reconcile exactly like an unsharded
+/// run of the total sizes. The byte envelope is unchanged — the 6-byte
+/// shard hello and any empty-bucket frames both fit under the same
+/// [`ENVELOPE_BYTES_PER_FRAME`] bound per observed frame.
+pub fn reconcile_sharded(
+    protocol: Protocol,
+    k_bits: u64,
+    k_prime_bits: u64,
+    buckets: &[BucketTrace],
+    measured_bytes: u64,
+    frames: u64,
+) -> ShardedReconciliation {
+    let mut predicted_bucket_ce = Vec::with_capacity(buckets.len());
+    let mut buckets_exact = true;
+    let (mut vs, mut vr, mut ce) = (0u64, 0u64, 0u64);
+    for b in buckets {
+        let predicted = protocol.ce_ops(b.vs, b.vr);
+        buckets_exact &= b.ce == predicted;
+        predicted_bucket_ce.push(predicted);
+        vs += b.vs;
+        vr += b.vr;
+        ce += b.ce;
+    }
+    let total = reconcile(MeasuredRun {
+        protocol,
+        vs,
+        vr,
+        k_bits,
+        k_prime_bits,
+        measured_ce: ce,
+        measured_bytes,
+        frames,
+    });
+    ShardedReconciliation {
+        total,
+        predicted_bucket_ce,
+        buckets_exact,
+    }
+}
+
+impl ShardedReconciliation {
+    /// Aggregate and per-bucket checks all pass.
+    pub fn ok(&self) -> bool {
+        self.buckets_exact && self.total.ok()
+    }
+
+    /// One-line JSON object extending [`Reconciliation::to_json`] with
+    /// the bucket verdict.
+    pub fn to_json(&self) -> String {
+        let inner = self.total.to_json();
+        let body = inner.strip_suffix('}').unwrap_or(&inner);
+        format!(
+            "{},\"buckets\":{},\"buckets_exact\":{},\"sharded_ok\":{}}}",
+            body,
+            self.predicted_bucket_ce.len(),
+            self.buckets_exact,
+            self.ok(),
+        )
+    }
+}
+
 /// Machine-friendly protocol name (no spaces, unlike
 /// [`Protocol::name`]).
 pub fn protocol_slug(protocol: Protocol) -> &'static str {
@@ -277,6 +366,42 @@ mod tests {
         };
         let r = reconcile(run);
         assert!(r.ok(), "{r:?}");
+    }
+
+    #[test]
+    fn sharded_buckets_sum_to_the_global_reconciliation() {
+        // Intersection over 3 buckets: (vs, vr) = (3,1), (2,4), (2,1);
+        // per-bucket ce = vs_b + vr_b doubled across both parties.
+        let buckets = [
+            BucketTrace { vs: 3, vr: 1, ce: 8 },
+            BucketTrace { vs: 2, vr: 4, ce: 12 },
+            BucketTrace { vs: 2, vr: 1, ce: 6 },
+        ];
+        // Totals: vs=7, vr=6 → predicted (7 + 12)·64 bits = 152 bytes.
+        let r = reconcile_sharded(Protocol::Intersection, 64, 0, &buckets, 152 + 20, 4);
+        assert!(r.buckets_exact);
+        assert!(r.total.ce_exact);
+        assert!(r.ok(), "{r:?}");
+        assert_eq!(r.predicted_bucket_ce, vec![8, 12, 6]);
+        let json = r.to_json();
+        assert!(json.contains("\"buckets\":3"));
+        assert!(json.contains("\"sharded_ok\":true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn one_bad_bucket_fails_even_when_totals_balance() {
+        // Ce shifted between buckets: totals still sum to the formula,
+        // but bucket-level linearity is violated.
+        let buckets = [
+            BucketTrace { vs: 2, vr: 2, ce: 10 },
+            BucketTrace { vs: 2, vr: 2, ce: 6 },
+        ];
+        let r = reconcile_sharded(Protocol::Intersection, 64, 0, &buckets, 8 * 12, 4);
+        assert!(r.total.ce_exact, "totals were constructed to balance");
+        assert!(!r.buckets_exact);
+        assert!(!r.ok());
+        assert!(r.to_json().contains("\"buckets_exact\":false"));
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! over a private perfect link, while
 //!
 //! * seven other sessions (a mix of §3 intersections and §4 equijoins,
-//!   including empty and empty-overlap sets) run interleaved on the same
-//!   connection,
+//!   including empty and empty-overlap sets, one of them a
+//!   client-elected *sharded* bounded-memory session the daemon adopts
+//!   mid-connection) run interleaved on the same connection,
 //! * one rogue peer opens a session with a malformed request (typed
 //!   per-session failure, nothing else), and
 //! * one rogue peer aborts mid-protocol by dropping its session (typed
@@ -80,24 +81,28 @@ fn make_service(workers: usize) -> Service {
     )
 }
 
-/// One well-behaved client session: which protocol it runs and with
-/// which value set. Indexed by `session id - 1` — the mux client
+/// One well-behaved client session: which protocol it runs, with which
+/// value set, and over how many shard buckets (`1` = the plain
+/// pipelined engines). Indexed by `session id - 1` — the mux client
 /// assigns ids in open order, which is what lets the solo baseline use
 /// the same id (and hence the same per-session server keys).
 #[derive(Clone)]
 struct SessionSpec {
     protocol: ProtocolKind,
     values: Vec<Vec<u8>>,
+    shards: u32,
 }
 
 fn session_specs() -> Vec<SessionSpec> {
     let inter = |names: &[&str]| SessionSpec {
         protocol: ProtocolKind::Intersection,
         values: to_values(names),
+        shards: 1,
     };
     let join = |names: &[&str]| SessionSpec {
         protocol: ProtocolKind::Equijoin,
         values: to_values(names),
+        shards: 1,
     };
     vec![
         inter(&["grape", "melon", "pear"]),
@@ -108,9 +113,32 @@ fn session_specs() -> Vec<SessionSpec> {
         inter(&[]),
         join(&["grape", "kiwi"]),
         join(&["olive", "guava", "plumb", "apple", "wrong"]),
-        inter(&["mango", "lemon", "olive", "melon", "apple", "grape"]),
+        // Sharding is client-elected: this session announces 3 buckets
+        // with a spill-forcing memory budget, and the daemon adopts
+        // them mid-connection while every other session stays on the
+        // unsharded path. Same isolation contract, same baseline
+        // comparison — the bucketed frames and spill machinery must
+        // survive the fault schedules byte-for-byte too.
+        SessionSpec {
+            protocol: ProtocolKind::Intersection,
+            values: to_values(&["mango", "lemon", "olive", "melon", "apple", "grape"]),
+            shards: 3,
+        },
         join(&["durian"]),
     ]
+}
+
+/// The sharded session's client-side config: 3 buckets and a budget
+/// small enough that the external sorter genuinely spills even at this
+/// set size. Must be identical in the solo baseline and every
+/// concurrent run — the deterministic `spill_done` events are part of
+/// the compared trace digests.
+fn shard_cfg_for(spec: &SessionSpec) -> ShardConfig {
+    ShardConfig {
+        shards: spec.shards,
+        mem_budget: 1 << 10,
+        ..ShardConfig::default()
+    }
 }
 
 /// Per-session client randomness: distinct per session, identical
@@ -137,8 +165,8 @@ fn run_client<T: minshare_net::Transport>(
 ) -> Result<(Answer, ClientTraffic), ProtocolError> {
     let g = group();
     let mut rng = client_rng(session);
-    match spec.protocol {
-        ProtocolKind::Intersection => {
+    match (spec.protocol, spec.shards > 1) {
+        (ProtocolKind::Intersection, false) => {
             let (out, traffic) = run_client_intersection(
                 transport,
                 &g,
@@ -149,7 +177,19 @@ fn run_client<T: minshare_net::Transport>(
             )?;
             Ok((Answer::Intersection(out.intersection), traffic))
         }
-        ProtocolKind::Equijoin => {
+        (ProtocolKind::Intersection, true) => {
+            let (out, traffic) = run_client_intersection_sharded(
+                transport,
+                &g,
+                &spec.values,
+                &mut rng,
+                pool,
+                PipelineConfig::default(),
+                &shard_cfg_for(spec),
+            )?;
+            Ok((Answer::Intersection(out.intersection), traffic))
+        }
+        (ProtocolKind::Equijoin, false) => {
             let (out, traffic) = run_client_equijoin(
                 transport,
                 &g,
@@ -158,6 +198,19 @@ fn run_client<T: minshare_net::Transport>(
                 pool,
                 PipelineConfig::default(),
                 32,
+            )?;
+            Ok((Answer::Equijoin(out.matches), traffic))
+        }
+        (ProtocolKind::Equijoin, true) => {
+            let (out, traffic) = run_client_equijoin_sharded(
+                transport,
+                &g,
+                &spec.values,
+                &mut rng,
+                pool,
+                PipelineConfig::default(),
+                32,
+                &shard_cfg_for(spec),
             )?;
             Ok((Answer::Equijoin(out.matches), traffic))
         }

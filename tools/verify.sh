@@ -125,6 +125,15 @@ if "$minshare" client --connect "127.0.0.1:$port" --protocol intersection \
 fi
 grep -q 'busy' "$smoke_dir/busy.out"
 wait "$busy_pid"
+# Bounded-memory smoke: a sharded intersection at 10^5 elements under a
+# deliberately tiny 64 KiB sort budget. The binary exits non-zero unless
+# the answer is exact, the per-bucket trace events reconcile with the
+# §6.1 formulas (reconcile_sharded), the external sorter genuinely
+# spilled to disk (--require-spill), and peak RSS stayed under the cap —
+# i.e. memory is bounded by the bucket working set, not the input size.
+cargo run -q --release -p minshare-bench --bin shard_smoke -- \
+    --elements 100000 --shards 16 --mem-budget 65536 --group-bits 64 \
+    --require-spill --rss-cap-kb 131072 > /dev/null
 # Smoke-run the perf suite (one pass per routine, no timing loops) so a
 # bench that stops compiling or panics fails the gate.
 cargo bench -q -p minshare-bench --bench pipeline -- --test
