@@ -188,6 +188,10 @@ pub const PROJECTION_FNS: &[&str] = &[
     "bucket_of",
     "value_bucket",
     "effective_shards",
+    // crates/crypto/src/pool.rs: live run-queue length, read for the
+    // telemetry depth gauge. The queue holds key-carrying jobs; its
+    // length is scheduling metadata.
+    "depth",
 ];
 
 /// Wire/encode sinks (WIRE01): a tainted argument (or receiver chain)
@@ -210,6 +214,17 @@ pub const WIRE_SINK_FNS: &[&str] = &[
     // frame — WIRE01 proves spill files carry only ciphertext bytes.
     "push_record",
 ];
+
+/// Telemetry snapshot exporters: the only blessed builders of a `STATS`
+/// reply payload. Their output is a JSON rendering of the metrics
+/// registry, which ingests nothing but typed trace fields — counts,
+/// sizes, durations and flags, enforced upstream by OBS01 at every emit
+/// site — so the taint pass treats them like projections: the rendered
+/// snapshot is clean metadata even when the handle reaching the
+/// registry is itself taint-carrying (the daemon's stats provider lives
+/// beside the private database). Keep in lockstep with
+/// `minshare-trace::metrics`.
+pub const STATS_EXPORTER_FNS: &[&str] = &["snapshot_json", "snapshot_and_reset"];
 
 /// Crates WIRE01 runs over: everything that can reach a transport.
 pub const WIRE01_CRATES: &[&str] = &["core", "crypto", "net"];
@@ -285,6 +300,11 @@ pub fn is_enc_sanitizer(name: &str) -> bool {
 /// True iff `name` is a benign size/counter projection.
 pub fn is_projection_fn(name: &str) -> bool {
     PROJECTION_FNS.contains(&name)
+}
+
+/// True iff `name` is a registered telemetry snapshot exporter.
+pub fn is_stats_exporter_fn(name: &str) -> bool {
+    STATS_EXPORTER_FNS.contains(&name)
 }
 
 /// True iff `name` is a wire/encode sink method or function.
@@ -363,6 +383,12 @@ mod tests {
         assert!(is_enc_sanitizer("take_bucket"));
         assert!(is_projection_fn("bucket_of"));
         assert!(is_projection_fn("total_items"));
+        // The stats exporters are projection-class, not enc-class: they
+        // bless only their own rendered output.
+        assert!(is_stats_exporter_fn("snapshot_json"));
+        assert!(is_stats_exporter_fn("snapshot_and_reset"));
+        assert!(!is_stats_exporter_fn("snapshot"));
+        assert!(!is_enc_sanitizer("snapshot_json"));
         // Scope and exemptions.
         assert!(in_wire01_scope("crates/core/src/intersection.rs"));
         assert!(!in_wire01_scope("crates/core/src/tradeoff.rs"));

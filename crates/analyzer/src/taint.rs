@@ -166,7 +166,9 @@ fn eval_no_enc(tokens: &[Token], trees: &[Tree], taint: &FnTaint) -> u8 {
             continue;
         };
         let hash = registry::is_hash_sanitizer(name);
-        let proj = registry::is_projection_fn(name);
+        // Stats exporters render the typed metrics registry to JSON —
+        // projection-class: output clean, receiver chain absorbed.
+        let proj = registry::is_projection_fn(name) || registry::is_stats_exporter_fn(name);
         if !(hash || proj) || !is_paren(trees.get(i + 1)) {
             continue;
         }

@@ -1,0 +1,60 @@
+// Stats-exporter fixture: the registered snapshot exporters are the only
+// blessed builders of a STATS reply payload (WIRE01), and the serving
+// path must stay free of secret captures (OBS01).
+
+fn good_snapshot_reply<T: Transport>(transport: &mut T, registry: &MetricsRegistry) {
+    // NEGATIVE: the versioned JSON snapshot is typed-counter output —
+    // safe to transmit as the STATS reply payload.
+    transport.send(&registry.snapshot_json().into_bytes());
+}
+
+fn good_snapshot_from_tainted_handle<T: Transport>(transport: &mut T, values: &[Vec<u8>]) {
+    // NEGATIVE: even when the handle reaching the registry is itself
+    // taint-carrying (the daemon's stats provider lives beside the
+    // private database), the exporter's rendered output stays clean —
+    // exactly what registering it asserts.
+    let engine = build_engine(values);
+    transport.send(&engine.metrics.snapshot_json().into_bytes());
+}
+
+fn good_scrape_and_reset<T: Transport>(transport: &mut T, engine: &Engine) {
+    // NEGATIVE: the epoch-advancing variant is registered too.
+    transport.send(&engine.metrics.snapshot_and_reset().into_bytes());
+}
+
+fn bad_snapshot_plus_raw<T: Transport>(
+    transport: &mut T,
+    registry: &MetricsRegistry,
+    values: &[Vec<u8>],
+) {
+    // POSITIVE: smuggling a raw value into a stats reply is still a
+    // leak — the exporter blesses its own output, not the buffer built
+    // around it.
+    let mut payload = registry.snapshot_json().into_bytes();
+    payload.extend_from_slice(&values[0]);
+    transport.send(&payload);
+}
+
+fn good_stats_served_event(payload: &[u8]) {
+    // NEGATIVE: the serving event carries only a typed size field.
+    minshare_trace::emit("server", "stats_served", false, || {
+        vec![minshare_trace::size("bytes", payload.len() as u64)]
+    });
+}
+
+fn bad_stats_event_naming_a_secret(exponent: &UBig) {
+    // POSITIVE (OBS01): secret material named inside the stats-serving
+    // telemetry call site.
+    minshare_trace::emit("server", "stats_served", false, || {
+        vec![minshare_trace::count("exponent", exponent.bit_len() as u64)]
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_build_any_payload() {
+        // NEGATIVE: test code is exempt.
+        transport.send(&values[0]);
+    }
+}

@@ -155,6 +155,29 @@ fn wire01_passes_h_then_enc_framing_tests_and_respects_scope() {
     assert!(findings_for("crates/bench/src/fixture.rs", src, "WIRE01").is_empty());
 }
 
+// ------------------------------------------------------- stats exporter
+
+#[test]
+fn stats_exporter_snapshots_pass_wire01_even_from_tainted_handles() {
+    let src = include_str!("fixtures/stats_exporter.rs");
+    let found = findings_for("crates/net/src/fixture.rs", src, "WIRE01");
+    // Only the smuggled-raw-value reply fires; the three snapshot sends
+    // (including one through a taint-carrying engine handle and the
+    // epoch-advancing reset variant) are clean.
+    assert_eq!(lines(&found), vec![35], "findings: {found:#?}");
+    assert!(found[0].message.contains("raw"), "findings: {found:#?}");
+}
+
+#[test]
+fn stats_serving_telemetry_is_held_to_obs01() {
+    let src = include_str!("fixtures/stats_exporter.rs");
+    let found = findings_for("crates/net/src/fixture.rs", src, "OBS01");
+    // The typed `bytes` size field is clean; naming `exponent` inside
+    // the serving event is a capture.
+    assert_eq!(lines(&found), vec![48], "findings: {found:#?}");
+    assert!(found[0].message.contains("exponent"));
+}
+
 // ---------------------------------------------------------------- LOCK01
 
 #[test]

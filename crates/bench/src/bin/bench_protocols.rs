@@ -32,6 +32,7 @@ use minshare_bignum::UBig;
 use minshare_costmodel::reconcile::{self, MeasuredRun, Reconciliation};
 use minshare_costmodel::section6::Protocol;
 use minshare_crypto::pool::EncryptPool;
+use minshare_trace::metrics::{MetricsRegistry, RegistrySink};
 use minshare_trace::sink::MetricsSink;
 use minshare_trace::{TraceSink, Tracer};
 use rand::rngs::StdRng;
@@ -53,6 +54,15 @@ const SIMD_SPEEDUP_FLOOR: f64 = 1.2;
 /// slowdown. Single-core hosts run the pool inline with spill I/O on
 /// top and are exempt (the ratio ratchet still applies there).
 const SHARDED_OVERHEAD_CEILING: f64 = 1.5;
+
+/// Live telemetry must be close to free: a serial intersection run with
+/// the daemon's metrics registry attached (every protocol/leakage/pool
+/// event bucketed into counters and histograms) may cost at most 5% of
+/// wall clock over the identical untraced run. `--check` re-measures
+/// this ratio and fails above the ceiling, so a chatty emit site or a
+/// histogram hot-path regression shows up as a perf failure, not just a
+/// vague slowdown.
+const TELEMETRY_OVERHEAD_CEILING: f64 = 1.05;
 
 /// Peak resident set of this process in KiB (`VmHWM` from
 /// `/proc/self/status`); `None` off Linux. Monotone over the process
@@ -267,6 +277,53 @@ fn measure_e2e(samples: usize) -> E2e {
     }
 }
 
+/// Wall-clock medians for the same serial intersection run untraced
+/// (`plain_s`) and with the daemon's metrics registry installed on both
+/// parties (`traced_s`) — the exact sink `minshare serve` attaches, with
+/// the protocol throughput histogram registered so bucketing is priced
+/// in. Their ratio is the telemetry overhead the `--check` ceiling
+/// guards.
+struct TelemetryOverhead {
+    plain_s: f64,
+    traced_s: f64,
+}
+
+fn measure_telemetry_overhead(samples: usize) -> TelemetryOverhead {
+    let g = bench_group(256);
+    let set_n = 48usize;
+    let (vs, vr) = overlapping_sets(set_n, set_n, set_n / 2);
+    let run = |registry: Option<&Arc<MetricsRegistry>>| {
+        median_secs(samples, || {
+            run_two_party(
+                |t| {
+                    let _trace = registry.map(|m| {
+                        minshare_trace::install(Tracer::to_sink(Arc::new(RegistrySink::new(
+                            Arc::clone(m),
+                        ))))
+                    });
+                    let mut rng = StdRng::seed_from_u64(1);
+                    intersection::run_sender(t, &g, &vs, &mut rng).map(|_| ())
+                },
+                |t| {
+                    let _trace = registry.map(|m| {
+                        minshare_trace::install(Tracer::to_sink(Arc::new(RegistrySink::new(
+                            Arc::clone(m),
+                        ))))
+                    });
+                    let mut rng = StdRng::seed_from_u64(2);
+                    intersection::run_receiver(t, &g, &vr, &mut rng).map(|_| ())
+                },
+            )
+            .expect("telemetry overhead run");
+        })
+    };
+    let plain_s = run(None);
+    let registry = Arc::new(MetricsRegistry::new());
+    registry.register_histogram("protocol", "intersection", "ce_per_sec");
+    let traced_s = run(Some(&registry));
+    TelemetryOverhead { plain_s, traced_s }
+}
+
 /// `--check`: re-measure the e2e rows and compare each optimized/serial
 /// ratio against the committed snapshot with 10% tolerance. Ratios (not
 /// absolute wall times) are compared so the check is stable across hosts
@@ -429,6 +486,27 @@ fn run_check(snapshot_path: &str) -> i32 {
                  scalar fallback; kernel floor not applicable"
             );
         }
+    }
+
+    // Telemetry ceiling: the daemon's metrics registry rides along on
+    // every protocol run, so its cost is re-measured live (not read from
+    // the snapshot) and held to the hard ceiling. A ratio at or below
+    // 1.0 is measurement noise in the registry's favor and always passes.
+    let overhead = measure_telemetry_overhead(9);
+    let ratio = overhead.traced_s / overhead.plain_s;
+    if ratio > TELEMETRY_OVERHEAD_CEILING {
+        eprintln!(
+            "bench --check: telemetry overhead {ratio:.3} > ceiling \
+             {TELEMETRY_OVERHEAD_CEILING:.2} (plain {:.1}us, traced {:.1}us)",
+            overhead.plain_s * 1e6,
+            overhead.traced_s * 1e6
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "bench --check: telemetry overhead {ratio:.3} within ceiling \
+             {TELEMETRY_OVERHEAD_CEILING:.2}"
+        );
     }
 
     if failed {
@@ -653,6 +731,9 @@ fn main() {
     // --- end-to-end serial vs. pipelined, all four protocols -----------
     let e2e = measure_e2e(7);
 
+    // --- live-telemetry overhead (registry attached vs. untraced) ------
+    let overhead = measure_telemetry_overhead(9);
+
     // --- hand-rolled JSON (no serde in the workspace) ------------------
     let us = |s: f64| s * 1e6;
     println!("{{");
@@ -721,6 +802,17 @@ fn main() {
     println!(
         "    \"intersection_sharded_vs_serial\": {:.3}",
         e2e.inter_sharded_s / e2e.inter_serial_s
+    );
+    println!("  }},");
+    // The same serial intersection with the daemon's metrics registry
+    // attached to both parties — the live-telemetry tax `--check` holds
+    // to the TELEMETRY_OVERHEAD_CEILING.
+    println!("  \"telemetry_overhead_qr256_n48\": {{");
+    println!("    \"plain_us\": {:.1},", us(overhead.plain_s));
+    println!("    \"traced_us\": {:.1},", us(overhead.traced_s));
+    println!(
+        "    \"traced_vs_plain\": {:.3}",
+        overhead.traced_s / overhead.plain_s
     );
     println!("  }},");
     // Peak RSS after each protocol row. VmHWM is a process-lifetime

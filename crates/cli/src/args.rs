@@ -325,7 +325,13 @@ mod tests {
         assert_eq!(a.mem_budget, 1 << 20);
         assert_eq!(a.spill_dir.as_deref(), Some("/tmp/spills"));
         assert!(parse(&[
-            "intersect", "--connect", "h:1", "--values", "v", "--shards", "0"
+            "intersect",
+            "--connect",
+            "h:1",
+            "--values",
+            "v",
+            "--shards",
+            "0"
         ])
         .is_err());
         assert!(parse(&[

@@ -28,7 +28,10 @@ use minshare::prelude::*;
 use minshare_net::tcp::{TcpAcceptor, TcpTransport};
 use minshare_net::{
     serve_mux_connection, MuxClient, MuxConfig, NetError, SessionRegistry, ShutdownHandle,
+    StatsProvider,
 };
+use minshare_trace::metrics::{MetricsRegistry, RegistrySink};
+use minshare_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -111,6 +114,28 @@ pub fn run_serve(raw: &[String]) -> Result<(), AnyError> {
         )
         .with_shard_config(shard_cfg),
     );
+    // Live-telemetry registry. Every connection thread installs a
+    // RegistrySink tracer, so the lifecycle/protocol/pool/leakage events
+    // emitted while it serves fold into one process-wide registry; the
+    // STATS frame answers with its JSON snapshot. Gauge and throughput
+    // classes are declared up front — everything else defaults to the
+    // counter/histogram rules baked into the registry.
+    let metrics = Arc::new(MetricsRegistry::new());
+    metrics.register_gauge("pool", "queue", "depth");
+    metrics.register_gauge("pool", "session_vtime", "vtime");
+    for kind in [
+        ProtocolKind::Intersection,
+        ProtocolKind::Equijoin,
+        ProtocolKind::IntersectionSize,
+        ProtocolKind::EquijoinSize,
+    ] {
+        metrics.register_histogram("protocol", kind.name(), "ce_per_sec");
+    }
+    let stats_provider: StatsProvider = {
+        let metrics = Arc::clone(&metrics);
+        Arc::new(move || metrics.snapshot_json().into_bytes())
+    };
+
     let registry = SessionRegistry::new(max_sessions);
     let shutdown = ShutdownHandle::new();
     let acceptor = TcpAcceptor::bind(listen.as_str())?;
@@ -128,6 +153,9 @@ pub fn run_serve(raw: &[String]) -> Result<(), AnyError> {
     // the daemon into a deterministic fixture: it serves exactly N
     // outcomes, drains, and exits.
     let outcomes = Arc::new(AtomicU64::new(0));
+    // Peer ids for the per-peer disclosure counters: one id per accepted
+    // connection, assigned in accept order.
+    let peers = Arc::new(AtomicU64::new(0));
 
     std::thread::scope(|scope| -> Result<(), AnyError> {
         loop {
@@ -145,14 +173,30 @@ pub fn run_serve(raw: &[String]) -> Result<(), AnyError> {
             let conn_shutdown = shutdown.clone();
             let shutdown = shutdown.clone();
             let outcomes = Arc::clone(&outcomes);
+            let metrics = Arc::clone(&metrics);
+            let stats_provider = Arc::clone(&stats_provider);
+            let peer_id = peers.fetch_add(1, Ordering::AcqRel) + 1;
             scope.spawn(move || {
+                // Tracers are thread-local, and the mux loop spawns one
+                // handler thread per session: the connection thread and
+                // every handler each wire their own sink into the one
+                // shared registry.
+                let handler_metrics = Arc::clone(&metrics);
+                let _trace = minshare_trace::install(Tracer::to_sink(Arc::new(
+                    RegistrySink::new(metrics),
+                )));
                 let config = MuxConfig::default();
                 let result = serve_mux_connection(
                     transport,
                     &config,
                     &registry,
                     &conn_shutdown,
-                    |sid, request, session_t| match service.handle(sid, &request, session_t) {
+                    Some(stats_provider),
+                    |sid, request, session_t| {
+                        let _trace = minshare_trace::install(Tracer::to_sink(Arc::new(
+                            RegistrySink::new(Arc::clone(&handler_metrics)),
+                        )));
+                        match service.handle_for_peer(peer_id, sid, &request, session_t) {
                         Ok(report) => println!(
                             "session={} protocol={} peer_set_size={} bytes_sent={} bytes_received={} encryptions={} status=ok",
                             report.session,
@@ -162,7 +206,8 @@ pub fn run_serve(raw: &[String]) -> Result<(), AnyError> {
                             report.bytes_received,
                             report.ops.total_ce(),
                         ),
-                        Err(e) => println!("session={sid} status=error detail=\"{e}\""),
+                            Err(e) => println!("session={sid} status=error detail=\"{e}\""),
+                        }
                     },
                 );
                 match result {
@@ -232,9 +277,14 @@ pub fn run_client(raw: &[String]) -> Result<(), AnyError> {
     }
     let connect = connect.ok_or("--connect is required")?;
     let values_path = values_path.ok_or("--values is required")?;
-    let protocol = protocol.ok_or("--protocol is required (intersection | equijoin)")?;
-    let protocol = ProtocolKind::parse(&protocol)
-        .ok_or_else(|| format!("unknown protocol {protocol:?} (intersection | equijoin)"))?;
+    let protocol = protocol.ok_or(
+        "--protocol is required (intersection | equijoin | intersection-size | equijoin-size)",
+    )?;
+    let protocol = ProtocolKind::parse(&protocol).ok_or_else(|| {
+        format!(
+            "unknown protocol {protocol:?} (intersection | equijoin | intersection-size | equijoin-size)"
+        )
+    })?;
 
     let group = well_known_group(group_bits)?;
     let file = File::open(&values_path).map_err(|e| format!("cannot open {values_path}: {e}"))?;
@@ -303,6 +353,25 @@ pub fn run_client(raw: &[String]) -> Result<(), AnyError> {
             );
             traffic
         }
+        ProtocolKind::IntersectionSize => {
+            let (out, traffic) = run_client_intersection_size_sharded(
+                session, &group, &values, &mut rng, &pool, config, &shard_cfg,
+            )?;
+            println!("{}", out.intersection_size);
+            eprintln!("done: |V_S| = {}", out.peer_set_size);
+            traffic
+        }
+        ProtocolKind::EquijoinSize => {
+            let (out, traffic) = run_client_equijoin_size_sharded(
+                session, &group, &values, &mut rng, &pool, config, &shard_cfg,
+            )?;
+            println!("{}", out.join_size);
+            eprintln!(
+                "done: |V_S| = {}, S's duplicate distribution: {:?}",
+                out.peer_multiset_size, out.peer_duplicate_distribution
+            );
+            traffic
+        }
     };
     // The mirror image of the daemon's line: this side's sent must be
     // the daemon's received and vice versa.
@@ -310,6 +379,33 @@ pub fn run_client(raw: &[String]) -> Result<(), AnyError> {
         "session={sid} bytes_sent={} bytes_received={} status=ok",
         traffic.bytes_sent, traffic.bytes_received
     );
+    client.close()?;
+    Ok(())
+}
+
+/// `minshare stats`: scrape a running daemon's telemetry snapshot over
+/// the mux STATS frame and print the JSON to stdout. Read-only and
+/// secret-safe by construction: the snapshot is built purely from the
+/// typed trace event stream (counts, sizes, durations — never values,
+/// hashes or key material).
+pub fn run_stats(raw: &[String]) -> Result<(), AnyError> {
+    let mut connect = None;
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => connect = Some(it.next().ok_or("--connect requires a value")?.clone()),
+            other if !other.starts_with("--") && connect.is_none() => {
+                // `minshare stats ADDR` positional form.
+                connect = Some(other.to_string());
+            }
+            other => return Err(format!("unknown stats option {other:?}").into()),
+        }
+    }
+    let connect = connect.ok_or("an address is required: minshare stats ADDR")?;
+    let tcp = TcpTransport::connect(connect.as_str())?;
+    let mut client = MuxClient::new(tcp, MuxConfig::default());
+    let snapshot = client.fetch_stats()?;
+    println!("{}", String::from_utf8_lossy(&snapshot));
     client.close()?;
     Ok(())
 }

@@ -51,9 +51,11 @@ fn main() -> ExitCode {
              minshare serve  --listen ADDR --values FILE [--max-sessions N] [--group-bits B]\n                  \
              [--record-len N] [--seed S] [--shutdown-after N] [--port-file PATH]\n                  \
              [--mem-budget BYTES] [--spill-dir DIR]\n  \
-             minshare client --connect ADDR --protocol intersection|equijoin --values FILE\n                  \
+             minshare client --connect ADDR --values FILE\n                  \
+             --protocol intersection|equijoin|intersection-size|equijoin-size\n                  \
              [--group-bits B] [--record-len N] [--seed S] [--shards B]\n                  \
-             [--mem-budget BYTES] [--spill-dir DIR]"
+             [--mem-budget BYTES] [--spill-dir DIR]\n  \
+             minshare stats ADDR   — print a daemon's live telemetry snapshot (JSON)"
         );
         return ExitCode::SUCCESS;
     }
@@ -68,6 +70,15 @@ fn main() -> ExitCode {
     }
     if raw.first().map(|s| s.as_str()) == Some("client") {
         return match daemon::run_client(&raw[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if raw.first().map(|s| s.as_str()) == Some("stats") {
+        return match daemon::run_stats(&raw[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -211,8 +222,8 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
     // analyzer's OBS01 rule).
     let trace_sink = match &args.trace_path {
         Some(path) => {
-            let file = File::create(path)
-                .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
+            let file =
+                File::create(path).map_err(|e| format!("cannot create trace file {path}: {e}"))?;
             Some(Arc::new(JsonLinesSink::new(std::io::BufWriter::new(file))))
         }
         None => None,
@@ -523,8 +534,7 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         drop(sink);
         match &summary {
             Some(s) => {
-                let line =
-                    reconciliation_json(s, &traffic, 8 * group.codeword_bytes() as u64);
+                let line = reconciliation_json(s, &traffic, 8 * group.codeword_bytes() as u64);
                 let mut out = std::fs::OpenOptions::new().append(true).open(path)?;
                 writeln!(out, "{line}")?;
                 eprintln!("trace written to {path} (with cost reconciliation)");

@@ -95,8 +95,11 @@ pub mod prelude {
     pub use crate::pipeline::{self, PipelineConfig};
     pub use crate::runner::{run_two_party, TwoPartyRun};
     pub use crate::service::{
-        run_client_equijoin, run_client_equijoin_sharded, run_client_intersection,
-        run_client_intersection_sharded, ProtocolKind, Service, SessionReport, SessionRequest,
+        run_client_equijoin, run_client_equijoin_sharded, run_client_equijoin_size,
+        run_client_equijoin_size_sharded, run_client_intersection,
+        run_client_intersection_sharded, run_client_intersection_size,
+        run_client_intersection_size_sharded, ProtocolKind, Service, SessionReport,
+        SessionRequest,
     };
     pub use crate::shard::{self, ShardConfig};
     pub use crate::simrun::{run_two_party_sim, SimOutcome, SimRunConfig, SimTwoPartyRun};

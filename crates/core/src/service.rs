@@ -28,8 +28,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::equijoin::EquijoinReceiverOutput;
+use crate::equijoin_size::EquijoinSizeReceiverOutput;
 use crate::error::ProtocolError;
 use crate::intersection::IntersectionReceiverOutput;
+use crate::intersection_size::IntersectionSizeReceiverOutput;
 use crate::pipeline::{self, PipelineConfig};
 use crate::shard::{self, ShardConfig};
 use crate::stats::OpCounters;
@@ -49,6 +51,11 @@ pub enum ProtocolKind {
     /// §4.3 equijoin: the client additionally learns `ext(v)` for
     /// matching values.
     Equijoin,
+    /// §3.2 intersection-size: the client learns `|V_S ∩ V_R|` only.
+    IntersectionSize,
+    /// §4 equijoin-size: the client learns `|T_S ⋈ T_R|` and the §5.2
+    /// duplicate-class matrix, not the matching values.
+    EquijoinSize,
 }
 
 impl ProtocolKind {
@@ -57,6 +64,8 @@ impl ProtocolKind {
         match self {
             ProtocolKind::Intersection => 1,
             ProtocolKind::Equijoin => 2,
+            ProtocolKind::IntersectionSize => 3,
+            ProtocolKind::EquijoinSize => 4,
         }
     }
 
@@ -64,6 +73,8 @@ impl ProtocolKind {
         match code {
             1 => Some(ProtocolKind::Intersection),
             2 => Some(ProtocolKind::Equijoin),
+            3 => Some(ProtocolKind::IntersectionSize),
+            4 => Some(ProtocolKind::EquijoinSize),
             _ => None,
         }
     }
@@ -73,6 +84,8 @@ impl ProtocolKind {
         match self {
             ProtocolKind::Intersection => "intersection",
             ProtocolKind::Equijoin => "equijoin",
+            ProtocolKind::IntersectionSize => "intersection-size",
+            ProtocolKind::EquijoinSize => "equijoin-size",
         }
     }
 
@@ -81,8 +94,16 @@ impl ProtocolKind {
         match s {
             "intersection" => Some(ProtocolKind::Intersection),
             "equijoin" => Some(ProtocolKind::Equijoin),
+            "intersection-size" => Some(ProtocolKind::IntersectionSize),
+            "equijoin-size" => Some(ProtocolKind::EquijoinSize),
             _ => None,
         }
+    }
+
+    /// True for the multiset (`-size` over multisets) variant whose
+    /// disclosure is occurrence counts rather than distinct values.
+    pub fn discloses_multiset(self) -> bool {
+        matches!(self, ProtocolKind::EquijoinSize)
     }
 }
 
@@ -174,6 +195,13 @@ pub struct Service {
     /// Spill/memory knobs for sessions whose client elects sharding;
     /// `shards` here is ignored (the client's hello chooses `B`).
     shard_cfg: ShardConfig,
+    /// `|distinct(V_S)|` — the size every non-multiset session disclosed
+    /// to its peer (leakage model: `leakage::bucket_size_disclosure`
+    /// sums to exactly this whatever the bucket count).
+    disclosed_distinct: u64,
+    /// `|V_S|` with duplicates — the multiset size an equijoin-size
+    /// session disclosed (`leakage::bucket_multiset_disclosure` total).
+    disclosed_multiset: u64,
 }
 
 impl Service {
@@ -188,7 +216,15 @@ impl Service {
         record_len: usize,
         seed: u64,
     ) -> Self {
-        let values = entries.iter().map(|(v, _)| v.clone()).collect();
+        let values: Vec<Vec<u8>> = entries.iter().map(|(v, _)| v.clone()).collect();
+        // Disclosure totals straight from the §5.2 leakage model; a
+        // single bucket makes the per-bucket sums the plain totals.
+        let disclosed_distinct = crate::leakage::bucket_size_disclosure(&values, 1, &|_| 0)
+            .iter()
+            .sum();
+        let disclosed_multiset = crate::leakage::bucket_multiset_disclosure(&values, 1, &|_| 0)
+            .iter()
+            .sum();
         Service {
             group,
             entries,
@@ -198,6 +234,20 @@ impl Service {
             record_len,
             seed,
             shard_cfg: ShardConfig::default(),
+            disclosed_distinct,
+            disclosed_multiset,
+        }
+    }
+
+    /// What one session of `protocol` disclosed about `V_S`: the
+    /// distinct-set size, or the multiset size for the multiset variant.
+    /// This is the per-session increment of the daemon's cumulative
+    /// per-peer disclosure counters.
+    pub fn session_disclosure(&self, protocol: ProtocolKind) -> u64 {
+        if protocol.discloses_multiset() {
+            self.disclosed_multiset
+        } else {
+            self.disclosed_distinct
         }
     }
 
@@ -241,10 +291,27 @@ impl Service {
         request: &[u8],
         transport: T,
     ) -> Result<SessionReport, ProtocolError> {
+        self.handle_for_peer(0, session, request, transport)
+    }
+
+    /// [`Service::handle`] with a peer identity for the live-telemetry
+    /// layer: the daemon assigns one `peer` id per accepted connection,
+    /// and the cumulative per-peer size-disclosure counters in the
+    /// metrics registry aggregate under that label. Telemetry-only — the
+    /// protocol run is identical, and every event carrying the peer id
+    /// is non-deterministic so solo-replay digests are unaffected.
+    pub fn handle_for_peer<T: Transport>(
+        &self,
+        peer: u64,
+        session: u32,
+        request: &[u8],
+        transport: T,
+    ) -> Result<SessionReport, ProtocolError> {
         let request = SessionRequest::decode(request)?;
         let (mut counted, traffic) = CountingTransport::new(transport);
         let mut rng = StdRng::seed_from_u64(self.session_seed(session));
         let pool_session = self.pool.session(1);
+        let started = std::time::Instant::now();
         let (peer_set_size, ops) = pool_session.scope(|| match request.protocol {
             ProtocolKind::Intersection => shard::run_intersection_sender(
                 &mut counted,
@@ -270,7 +337,28 @@ impl Service {
                 )
                 .map(|out| (out.peer_set_size, out.ops))
             }
+            ProtocolKind::IntersectionSize => shard::run_intersection_size_sender(
+                &mut counted,
+                &self.group,
+                &self.values,
+                &mut rng,
+                &self.pool,
+                self.config,
+                &self.shard_cfg,
+            )
+            .map(|out| (out.peer_set_size, out.ops)),
+            ProtocolKind::EquijoinSize => shard::run_equijoin_size_sender(
+                &mut counted,
+                &self.group,
+                &self.values,
+                &mut rng,
+                &self.pool,
+                self.config,
+                &self.shard_cfg,
+            )
+            .map(|out| (out.peer_multiset_size, out.ops)),
         })?;
+        let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let report = SessionReport {
             session,
             protocol: request.protocol,
@@ -289,6 +377,32 @@ impl Service {
                 minshare_trace::size("bytes_sent", report.bytes_sent),
                 minshare_trace::size("bytes_received", report.bytes_received),
                 minshare_trace::count("encryptions", report.ops.encryptions),
+            ]
+        });
+        // Per-protocol wall-time and Ce-throughput: the event *name* is
+        // the protocol, so the registry keeps one histogram per
+        // protocol. Timing-dependent, hence non-deterministic.
+        minshare_trace::emit("protocol", request.protocol.name(), false, || {
+            let ce_per_sec = if elapsed_ns == 0 {
+                0
+            } else {
+                report.ops.encryptions.saturating_mul(1_000_000_000) / elapsed_ns
+            };
+            vec![
+                minshare_trace::count("session", u64::from(session)),
+                minshare_trace::duration_ns("duration_ns", elapsed_ns),
+                minshare_trace::count("ce_per_sec", ce_per_sec),
+            ]
+        });
+        // Cumulative per-peer size disclosure, straight from the §5.2
+        // leakage model: what this session told the peer about `V_S`
+        // (distinct-set or multiset size) and what the daemon learned
+        // about the peer's set in return.
+        minshare_trace::emit("leakage", "size_disclosure", false, || {
+            vec![
+                minshare_trace::count("peer", peer),
+                minshare_trace::size("revealed", self.session_disclosure(report.protocol)),
+                minshare_trace::size("learned", report.peer_set_size as u64),
             ]
         });
         Ok(report)
@@ -379,6 +493,68 @@ pub fn run_client_equijoin_sharded<T: Transport, R: Rng + ?Sized>(
     Ok((out, ClientTraffic::from(&traffic)))
 }
 
+/// Client side of a daemon intersection-size session: learns
+/// `|V_S ∩ V_R|` and `|V_S|`, never which values matched.
+pub fn run_client_intersection_size<T: Transport, R: Rng + ?Sized>(
+    transport: T,
+    group: &QrGroup,
+    values: &[Vec<u8>],
+    rng: &mut R,
+) -> Result<(IntersectionSizeReceiverOutput, ClientTraffic), ProtocolError> {
+    let (mut counted, traffic) = CountingTransport::new(transport);
+    let out = crate::intersection_size::run_receiver(&mut counted, group, values, rng)?;
+    Ok((out, ClientTraffic::from(&traffic)))
+}
+
+/// Sharded client side of a daemon intersection-size session: announces
+/// `cfg.shards` buckets and runs the bounded-memory engine
+/// (`cfg.shards <= 1` degenerates to the serial receiver). The daemon
+/// adopts the bucket count automatically.
+pub fn run_client_intersection_size_sharded<T: Transport, R: Rng + ?Sized>(
+    transport: T,
+    group: &QrGroup,
+    values: &[Vec<u8>],
+    rng: &mut R,
+    pool: &EncryptPool,
+    config: PipelineConfig,
+    cfg: &ShardConfig,
+) -> Result<(IntersectionSizeReceiverOutput, ClientTraffic), ProtocolError> {
+    let (mut counted, traffic) = CountingTransport::new(transport);
+    let out =
+        shard::run_intersection_size_receiver(&mut counted, group, values, rng, pool, config, cfg)?;
+    Ok((out, ClientTraffic::from(&traffic)))
+}
+
+/// Client side of a daemon equijoin-size session: learns the join size
+/// and the §5.2 duplicate-class matrix.
+pub fn run_client_equijoin_size<T: Transport, R: Rng + ?Sized>(
+    transport: T,
+    group: &QrGroup,
+    values: &[Vec<u8>],
+    rng: &mut R,
+) -> Result<(EquijoinSizeReceiverOutput, ClientTraffic), ProtocolError> {
+    let (mut counted, traffic) = CountingTransport::new(transport);
+    let out = crate::equijoin_size::run_receiver(&mut counted, group, values, rng)?;
+    Ok((out, ClientTraffic::from(&traffic)))
+}
+
+/// Sharded client side of a daemon equijoin-size session; see
+/// [`run_client_intersection_size_sharded`].
+pub fn run_client_equijoin_size_sharded<T: Transport, R: Rng + ?Sized>(
+    transport: T,
+    group: &QrGroup,
+    values: &[Vec<u8>],
+    rng: &mut R,
+    pool: &EncryptPool,
+    config: PipelineConfig,
+    cfg: &ShardConfig,
+) -> Result<(EquijoinSizeReceiverOutput, ClientTraffic), ProtocolError> {
+    let (mut counted, traffic) = CountingTransport::new(transport);
+    let out =
+        shard::run_equijoin_size_receiver(&mut counted, group, values, rng, pool, config, cfg)?;
+    Ok((out, ClientTraffic::from(&traffic)))
+}
+
 /// A client session's byte counts, mirror image of the daemon's
 /// [`SessionReport`] traffic fields: the client's `sent` must equal the
 /// daemon's `received` and vice versa.
@@ -417,7 +593,12 @@ mod tests {
 
     #[test]
     fn request_codec_round_trips_and_rejects_junk() {
-        for protocol in [ProtocolKind::Intersection, ProtocolKind::Equijoin] {
+        for protocol in [
+            ProtocolKind::Intersection,
+            ProtocolKind::Equijoin,
+            ProtocolKind::IntersectionSize,
+            ProtocolKind::EquijoinSize,
+        ] {
             let wire = SessionRequest::new(protocol).encode();
             assert_eq!(SessionRequest::decode(&wire).unwrap().protocol, protocol);
             assert_eq!(ProtocolKind::parse(protocol.name()), Some(protocol));
@@ -556,6 +737,82 @@ mod tests {
         let (out, traffic) = client.join().unwrap();
         assert_eq!(out.intersection, to_values(&["grape", "melon"]));
         assert_eq!(report.peer_set_size, 3);
+        assert_eq!(report.bytes_sent, traffic.bytes_received);
+        assert_eq!(report.bytes_received, traffic.bytes_sent);
+    }
+
+    #[test]
+    fn service_runs_an_intersection_size_session_sharded() {
+        let g = group();
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = to_values(&["apple", "grape", "melon", "pear"])
+            .into_iter()
+            .map(|v| (v, Vec::new()))
+            .collect();
+        let service = Service::new(
+            g.clone(),
+            entries,
+            EncryptPool::new(2),
+            PipelineConfig::default(),
+            16,
+            7,
+        );
+        let (server_t, client_t) = duplex_pair();
+        let request = SessionRequest::new(ProtocolKind::IntersectionSize).encode();
+        let client_pool = EncryptPool::new(2);
+        let client = std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(41);
+            run_client_intersection_size_sharded(
+                client_t,
+                &group(),
+                &to_values(&["grape", "melon", "kiwi"]),
+                &mut rng,
+                &client_pool,
+                PipelineConfig::default(),
+                &ShardConfig::with_shards(4),
+            )
+            .unwrap()
+        });
+        let report = service.handle(3, &request, server_t).unwrap();
+        let (out, traffic) = client.join().unwrap();
+        // The client learns only the sizes, never which values matched.
+        assert_eq!(out.intersection_size, 2);
+        assert_eq!(out.peer_set_size, 4);
+        assert_eq!(report.protocol, ProtocolKind::IntersectionSize);
+        assert_eq!(report.peer_set_size, 3);
+        assert_eq!(report.bytes_sent, traffic.bytes_received);
+        assert_eq!(report.bytes_received, traffic.bytes_sent);
+    }
+
+    #[test]
+    fn service_runs_an_equijoin_size_session() {
+        let g = group();
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = to_values(&["apple", "grape", "grape"])
+            .into_iter()
+            .map(|v| (v, Vec::new()))
+            .collect();
+        let service = Service::new(
+            g.clone(),
+            entries,
+            EncryptPool::new(2),
+            PipelineConfig::default(),
+            16,
+            7,
+        );
+        assert_eq!(service.session_disclosure(ProtocolKind::Intersection), 2);
+        assert_eq!(service.session_disclosure(ProtocolKind::EquijoinSize), 3);
+        let (server_t, client_t) = duplex_pair();
+        let request = SessionRequest::new(ProtocolKind::EquijoinSize).encode();
+        let client = std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(5);
+            run_client_equijoin_size(client_t, &group(), &to_values(&["grape", "kiwi"]), &mut rng)
+                .unwrap()
+        });
+        let report = service.handle(4, &request, server_t).unwrap();
+        let (out, traffic) = client.join().unwrap();
+        assert_eq!(out.join_size, 2); // "grape" matches twice on S's side
+        assert_eq!(out.peer_multiset_size, 3);
+        assert_eq!(report.protocol, ProtocolKind::EquijoinSize);
+        assert_eq!(report.peer_set_size, 2);
         assert_eq!(report.bytes_sent, traffic.bytes_received);
         assert_eq!(report.bytes_received, traffic.bytes_sent);
     }

@@ -279,6 +279,13 @@ impl RunQueue {
         self.lock().jobs.push(job);
         self.ready.notify_all();
     }
+
+    /// Jobs currently dispatched and not yet exhausted — the live queue
+    /// depth the telemetry gauge reports. Telemetry-only: taken under
+    /// the same lock as scheduling, so only read when tracing is on.
+    fn depth(&self) -> usize {
+        self.lock().jobs.len()
+    }
 }
 
 /// One pool worker: repeatedly pick the runnable job whose session has
@@ -771,6 +778,25 @@ impl EncryptPool {
         // poisoning benign metadata (the session id traced above).
         let run_queue = &self.queue;
         run_queue.push(Arc::clone(&job));
+        // Scheduling gauges for the live-telemetry registry: run-queue
+        // depth and this session's SFQ virtual time (the fairness
+        // signal — sessions with equal weights should show converging
+        // vtimes under load). Values are read into benign locals first;
+        // nothing key-derived appears inside the telemetry call.
+        if minshare_trace::is_enabled() {
+            let depth = run_queue.depth() as u64;
+            let sid = job.session.id;
+            let vtime = job.session.vtime.0.load(Ordering::Relaxed);
+            minshare_trace::emit("pool", "queue", false, || {
+                vec![minshare_trace::size("depth", depth)]
+            });
+            minshare_trace::emit("pool", "session_vtime", false, || {
+                vec![
+                    minshare_trace::count("session", sid),
+                    minshare_trace::count("vtime", vtime),
+                ]
+            });
+        }
         PendingBatch {
             inner: PendingInner::InFlight { job, rx },
         }

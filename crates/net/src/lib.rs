@@ -54,7 +54,7 @@ pub use mux::{MuxFrame, MuxKind, MUX_HEADER_LEN};
 pub use robust::{RobustConfig, RobustTransport};
 pub use server::{
     serve_mux_connection, MuxClient, MuxConfig, ServerStats, SessionRegistry, SessionTransport,
-    ShutdownHandle,
+    ShutdownHandle, StatsProvider,
 };
 pub use simnet::{sim_pair, FaultPlan, SimConfig, SimEndpoint, SimTrace, TraceHandle};
 pub use transport::{DeadlineTransport, Transport};

@@ -46,6 +46,7 @@ const KIND_BUSY: u8 = 3;
 const KIND_DATA: u8 = 4;
 const KIND_CLOSE: u8 = 5;
 const KIND_GOAWAY: u8 = 6;
+const KIND_STATS: u8 = 7;
 
 /// What a mux frame means to the session layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +68,12 @@ pub enum MuxKind {
     /// The whole connection is shutting down: no new sessions will be
     /// admitted, existing sessions drain.
     Goaway,
+    /// Read-only telemetry exchange on the reserved session 0. A client
+    /// STATS frame has an empty payload; the server answers with another
+    /// STATS frame whose payload is one versioned JSON snapshot of the
+    /// daemon's metrics registry (see `minshare-trace::metrics`,
+    /// `stats_version` field). Never carries protocol data.
+    Stats,
 }
 
 impl MuxKind {
@@ -78,6 +85,7 @@ impl MuxKind {
             MuxKind::Data => KIND_DATA,
             MuxKind::Close => KIND_CLOSE,
             MuxKind::Goaway => KIND_GOAWAY,
+            MuxKind::Stats => KIND_STATS,
         }
     }
 
@@ -89,6 +97,7 @@ impl MuxKind {
             KIND_DATA => Some(MuxKind::Data),
             KIND_CLOSE => Some(MuxKind::Close),
             KIND_GOAWAY => Some(MuxKind::Goaway),
+            KIND_STATS => Some(MuxKind::Stats),
             _ => None,
         }
     }
@@ -240,6 +249,7 @@ mod tests {
             MuxKind::Data,
             MuxKind::Close,
             MuxKind::Goaway,
+            MuxKind::Stats,
         ] {
             let frame = MuxFrame {
                 kind,
@@ -301,6 +311,18 @@ mod tests {
             MuxFrame::decode(&wire),
             Err(NetError::MalformedFrame { .. })
         ));
+    }
+
+    #[test]
+    fn stats_frame_round_trips_snapshot_payload() {
+        // STATS rides session 0 and carries an opaque JSON snapshot.
+        let frame = MuxFrame {
+            kind: MuxKind::Stats,
+            session: 0,
+            seq: 0,
+            payload: b"{\"stats_version\":1}".to_vec(),
+        };
+        assert_eq!(MuxFrame::decode(&frame.encode()).unwrap(), frame);
     }
 
     #[test]

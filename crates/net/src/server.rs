@@ -151,7 +151,16 @@ pub struct ServerStats {
     pub malformed: u64,
     /// Sessions the peer closed before the handler finished.
     pub closed_by_peer: u64,
+    /// STATS snapshots served over this connection.
+    pub stats_served: u64,
 }
+
+/// Produces the payload of a STATS reply: one versioned JSON snapshot of
+/// the daemon's metrics registry. The provider is registered with the
+/// static analyzer as a wire exporter (WIRE01): anything it returns goes
+/// straight onto the connection, so secret-typed values must never flow
+/// into it — only the registry's typed numeric aggregates.
+pub type StatsProvider = Arc<dyn Fn() -> Vec<u8> + Send + Sync>;
 
 /// The transport one session sees: an ordinary frame pipe whose frames
 /// travel inside the mux envelope. `send` enqueues a DATA frame on the
@@ -244,11 +253,16 @@ struct SessionEntry {
 /// session id, the OPEN request payload, and the session's transport.
 /// Its lifetime is bounded by this call: all handler threads are joined
 /// before the function returns.
+///
+/// `stats` answers read-only STATS frames on session 0 with a metrics
+/// snapshot; `None` replies with an empty JSON object so a scrape of a
+/// daemon without a registry degrades, not hangs.
 pub fn serve_mux_connection<T, F>(
     mut transport: T,
     config: &MuxConfig,
     registry: &SessionRegistry,
     shutdown: &ShutdownHandle,
+    stats_provider: Option<StatsProvider>,
     handler: F,
 ) -> Result<ServerStats, NetError>
 where
@@ -286,6 +300,9 @@ where
                     finished.insert(sid);
                     registry.release();
                     stats.completed += 1;
+                    minshare_trace::emit("server", "session_complete", false, || {
+                        vec![minshare_trace::count("session", u64::from(sid))]
+                    });
                 }
             }
             // Flush the outbound queue. A peer that hung up mid-flush is
@@ -321,6 +338,9 @@ where
                 if !peer_send_dead {
                     let _ = transport.send(&MuxFrame::control(MuxKind::Goaway, 0).encode());
                 }
+                minshare_trace::emit("server", "drained", false, || {
+                    vec![minshare_trace::count("completed", stats.completed)]
+                });
                 return Ok(stats);
             }
 
@@ -420,10 +440,31 @@ where
                         finished.insert(sid);
                         registry.release();
                         stats.closed_by_peer += 1;
+                        minshare_trace::emit("server", "closed_by_peer", false, || {
+                            vec![minshare_trace::count("session", u64::from(sid))]
+                        });
                     }
                 }
                 MuxKind::Goaway => {
                     peer_goaway = true;
+                }
+                MuxKind::Stats => {
+                    // Read-only telemetry on session 0: answer with one
+                    // registry snapshot. No provider degrades to an
+                    // empty object, never a hang.
+                    let payload = stats_provider
+                        .as_ref()
+                        .map_or_else(|| b"{}".to_vec(), |p| p());
+                    stats.stats_served += 1;
+                    minshare_trace::emit("server", "stats_served", false, || {
+                        vec![minshare_trace::size("bytes", payload.len() as u64)]
+                    });
+                    let _ = out_tx.send(MuxFrame {
+                        kind: MuxKind::Stats,
+                        session: 0,
+                        seq: 0,
+                        payload,
+                    });
                 }
                 // Server never expects these; a confused peer's frames
                 // are dropped, not fatal.
@@ -440,6 +481,7 @@ struct PendingOpen {
 
 enum ClientCtl {
     Open { session: u32, pending: PendingOpen },
+    Stats { reply: Sender<Result<Vec<u8>, NetError>> },
     Close,
 }
 
@@ -515,6 +557,34 @@ impl MuxClient {
         })
     }
 
+    /// Fetches one metrics snapshot from the server: sends a STATS frame
+    /// on session 0 and waits for the reply payload (a versioned JSON
+    /// object; see `minshare-trace::metrics::STATS_VERSION`).
+    ///
+    /// Retransmits on quiet windows like `open_session` (duplicate
+    /// replies are dropped as noise), and fails typed: `Closed` when the
+    /// connection died, `TimedOut` when every attempt went unanswered.
+    pub fn fetch_stats(&mut self) -> Result<Vec<u8>, NetError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.ctl_tx
+            .send(ClientCtl::Stats { reply: reply_tx })
+            .map_err(|_| NetError::Closed)?;
+        let timeout = std::time::Duration::from_millis(self.config.open_timeout_ms);
+        for _ in 0..self.config.open_attempts.max(1) {
+            self.out_tx
+                .send(MuxFrame::control(MuxKind::Stats, 0))
+                .map_err(|_| NetError::Closed)?;
+            match reply_rx.recv_timeout(timeout) {
+                Ok(result) => return result,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return Err(NetError::Closed),
+            }
+        }
+        Err(NetError::TimedOut {
+            waited_ms: self.config.open_timeout_ms * u64::from(self.config.open_attempts.max(1)),
+        })
+    }
+
     /// Says GOAWAY, flushes the outbound queue, and joins the driver.
     /// Returns the driver's terminal result.
     pub fn close(mut self) -> Result<(), NetError> {
@@ -546,6 +616,8 @@ fn client_driver<T: DeadlineTransport>(
     ctl_rx: &Receiver<ClientCtl>,
 ) -> Result<(), NetError> {
     let mut pending: HashMap<u32, PendingOpen> = HashMap::new();
+    let mut pending_stats: std::collections::VecDeque<Sender<Result<Vec<u8>, NetError>>> =
+        std::collections::VecDeque::new();
     let mut sessions: HashMap<u32, Sender<Vec<u8>>> = HashMap::new();
     let mut remote_goaway = false;
     let mut closing = false;
@@ -559,6 +631,9 @@ fn client_driver<T: DeadlineTransport>(
                         pending.insert(session, p);
                     }
                 }
+                // Stats stay answerable while draining: a scrape of a
+                // shutting-down daemon still sees its final counters.
+                ClientCtl::Stats { reply } => pending_stats.push_back(reply),
                 ClientCtl::Close => closing = true,
             }
         }
@@ -580,6 +655,9 @@ fn client_driver<T: DeadlineTransport>(
             for (_, p) in pending.drain() {
                 let _ = p.reply.send(Err(NetError::Closed));
             }
+            for reply in pending_stats.drain(..) {
+                let _ = reply.send(Err(NetError::Closed));
+            }
             return Ok(());
         }
         if closing {
@@ -594,6 +672,9 @@ fn client_driver<T: DeadlineTransport>(
             Err(NetError::Closed) => {
                 for (_, p) in pending.drain() {
                     let _ = p.reply.send(Err(NetError::Closed));
+                }
+                for reply in pending_stats.drain(..) {
+                    let _ = reply.send(Err(NetError::Closed));
                 }
                 return Ok(());
             }
@@ -638,6 +719,13 @@ fn client_driver<T: DeadlineTransport>(
                     let _ = p.reply.send(Err(NetError::Busy { limit: 0 }));
                 }
             }
+            MuxKind::Stats => {
+                // A snapshot reply; a duplicate (from a retransmitted
+                // request) finds no pending scrape and is dropped.
+                if let Some(reply) = pending_stats.pop_front() {
+                    let _ = reply.send(Ok(frame.payload));
+                }
+            }
             // Client never receives OPEN; drop it.
             MuxKind::Open => {}
         }
@@ -678,11 +766,14 @@ mod tests {
         let shutdown_server = shutdown.clone();
         let server = std::thread::spawn(move || {
             let registry = SessionRegistry::new(limit);
+            let provider: StatsProvider =
+                Arc::new(|| b"{\"stats_version\":1,\"epoch\":0}".to_vec());
             serve_mux_connection(
                 server_end,
                 &fast_config(),
                 &registry,
                 &shutdown_server,
+                Some(provider),
                 echo_handler,
             )
         });
@@ -790,6 +881,7 @@ mod tests {
                 &config,
                 &registry,
                 &shutdown_server,
+                None,
                 |_sid, request, mut t: SessionTransport| {
                     if request == b"stall" {
                         // Refuse to drain long enough for the flood to
@@ -830,6 +922,46 @@ mod tests {
     }
 
     #[test]
+    fn stats_scrape_round_trips_and_counts() {
+        let (mut client, _shutdown, server) = spawn_echo_server(8);
+        let mut a = client.open_session(b"a").unwrap();
+        a.send(b"ping").unwrap();
+        assert_eq!(a.recv().unwrap(), b"ping");
+        // A scrape mid-session answers from the provider without
+        // disturbing the live session.
+        let snap = client.fetch_stats().unwrap();
+        assert_eq!(snap, b"{\"stats_version\":1,\"epoch\":0}");
+        a.send(b"pong").unwrap();
+        assert_eq!(a.recv().unwrap(), b"pong");
+        drop(a);
+        client.close().unwrap();
+        let stats = server.join().unwrap().unwrap();
+        assert_eq!(stats.stats_served, 1);
+    }
+
+    #[test]
+    fn stats_scrape_without_provider_degrades_to_empty_object() {
+        let (client_end, server_end) = duplex_pair();
+        let shutdown = ShutdownHandle::new();
+        let shutdown_server = shutdown.clone();
+        let server = std::thread::spawn(move || {
+            let registry = SessionRegistry::new(8);
+            serve_mux_connection(
+                server_end,
+                &fast_config(),
+                &registry,
+                &shutdown_server,
+                None,
+                echo_handler,
+            )
+        });
+        let mut client = MuxClient::new(client_end, fast_config());
+        assert_eq!(client.fetch_stats().unwrap(), b"{}");
+        client.close().unwrap();
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
     fn handler_panic_is_confined_to_its_session() {
         let (client_end, server_end) = duplex_pair();
         let shutdown = ShutdownHandle::new();
@@ -841,6 +973,7 @@ mod tests {
                 &fast_config(),
                 &registry,
                 &shutdown_server,
+                None,
                 |_sid, request, mut t: SessionTransport| {
                     if request == b"bomb" {
                         panic!("session blew up");

@@ -122,15 +122,46 @@ pub type MetricKey = (&'static str, &'static str, &'static str);
 /// Sums every field of every event by `(scope, name, field)`. Sums are
 /// order-independent, so one `MetricsSink` can be shared by both parties
 /// of a run and still aggregate deterministically.
+///
+/// Fields registered via [`MetricsSink::register_gauge`] keep the *last*
+/// value instead of a sum, and [`MetricsSink::snapshot_and_reset`]
+/// starts a fresh accumulation epoch — together these keep a
+/// long-running daemon's sums from growing monotonically forever.
 #[derive(Default)]
 pub struct MetricsSink {
     inner: Mutex<BTreeMap<MetricKey, u64>>,
+    gauges: Mutex<std::collections::BTreeSet<MetricKey>>,
 }
 
 impl MetricsSink {
     /// An empty metrics sink.
     pub fn new() -> MetricsSink {
         MetricsSink::default()
+    }
+
+    /// Declares `(scope, name, field)` a gauge: later events overwrite
+    /// its value instead of adding to it, and it survives
+    /// [`MetricsSink::snapshot_and_reset`].
+    pub fn register_gauge(&self, scope: &'static str, name: &'static str, field: &'static str) {
+        if let Ok(mut g) = self.gauges.lock() {
+            g.insert((scope, name, field));
+        }
+    }
+
+    /// Returns all accumulated values, then resets: summed entries
+    /// clear, gauge entries keep their last value. The reserved
+    /// `"events"` occurrence counters reset with the sums.
+    pub fn snapshot_and_reset(&self) -> Vec<(MetricKey, u64)> {
+        // Lock order (gauges, then inner) matches `record`.
+        let Ok(keep) = self.gauges.lock() else {
+            return Vec::new();
+        };
+        let Ok(mut g) = self.inner.lock() else {
+            return Vec::new();
+        };
+        let out: Vec<(MetricKey, u64)> = g.iter().map(|(k, v)| (*k, *v)).collect();
+        g.retain(|k, _| keep.contains(k));
+        out
     }
 
     /// The sum of `field` over all `(scope, name)` events, or 0.
@@ -170,14 +201,20 @@ impl MetricsSink {
 
 impl TraceSink for MetricsSink {
     fn record(&self, event: &Event) {
+        // Lock order (gauges, then inner) matches `snapshot_and_reset`.
+        let Ok(gauges) = self.gauges.lock() else { return };
         let Ok(mut g) = self.inner.lock() else { return };
-        let bump = |g: &mut BTreeMap<MetricKey, u64>, key: MetricKey, v: u64| {
-            let slot = g.entry(key).or_insert(0);
-            *slot = slot.saturating_add(v);
+        let mut bump = |key: MetricKey, v: u64| {
+            if gauges.contains(&key) {
+                g.insert(key, v);
+            } else {
+                let slot = g.entry(key).or_insert(0);
+                *slot = slot.saturating_add(v);
+            }
         };
-        bump(&mut g, (event.scope, event.name, "events"), 1);
+        bump((event.scope, event.name, "events"), 1);
         for (name, value) in &event.fields {
-            bump(&mut g, (event.scope, event.name, name), value.as_u64());
+            bump((event.scope, event.name, name), value.as_u64());
         }
     }
 }
@@ -362,6 +399,26 @@ mod tests {
         assert_eq!(m.sum_field("test", "bytes"), 47);
         assert_eq!(m.sum("test", "missing", "bytes"), 0);
         assert_eq!(m.snapshot().len(), 4);
+    }
+
+    #[test]
+    fn metrics_gauge_last_value_and_reset_epochs() {
+        let m = MetricsSink::new();
+        m.register_gauge("test", "queue", "depth");
+        m.record(&event(0, "queue", false, vec![size("depth", 7)]));
+        m.record(&event(1, "queue", false, vec![size("depth", 3)]));
+        m.record(&event(2, "sent", true, vec![size("bytes", 10)]));
+        // Gauge keeps the last value; the occurrence counter still sums.
+        assert_eq!(m.sum("test", "queue", "depth"), 3);
+        assert_eq!(m.sum("test", "queue", "events"), 2);
+
+        let snap = m.snapshot_and_reset();
+        assert!(snap.contains(&(("test", "sent", "bytes"), 10)));
+        assert!(snap.contains(&(("test", "queue", "depth"), 3)));
+        // Post-reset: sums cleared, gauge survives with its last value.
+        assert_eq!(m.sum("test", "sent", "bytes"), 0);
+        assert_eq!(m.sum("test", "queue", "events"), 0);
+        assert_eq!(m.sum("test", "queue", "depth"), 3);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Property tests for the live-telemetry layer: fixed histogram bucket
+//! boundaries and order-independence of merged registries.
+
+use std::sync::Arc;
+
+use minshare_trace::metrics::{Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
+use minshare_trace::{count, duration_ns, size, Event};
+use proptest::prelude::*;
+
+fn event(scope: &'static str, name: &'static str, fields: Vec<minshare_trace::Field>) -> Event {
+    Event {
+        seq: 0,
+        scope,
+        name,
+        deterministic: true,
+        fields,
+    }
+}
+
+proptest! {
+    // Lower bounds are strictly increasing, so the bucket partition is
+    // well-ordered.
+    #[test]
+    fn lower_bounds_are_monotone(b in 1usize..HISTOGRAM_BUCKETS) {
+        prop_assert!(Histogram::lower_bound(b) > Histogram::lower_bound(b - 1));
+    }
+
+    // Every u64 lands in exactly one bucket, and the bucket's bounds
+    // bracket the value: lower_bound(b) <= v, and (for the non-final
+    // buckets) v < lower_bound(b + 1). Together: the buckets are total
+    // over u64 and bucket_of/lower_bound round-trip.
+    #[test]
+    fn bucket_of_round_trips_with_lower_bound(v in any::<u64>()) {
+        let b = Histogram::bucket_of(v);
+        prop_assert!(b < HISTOGRAM_BUCKETS);
+        prop_assert!(Histogram::lower_bound(b) <= v);
+        if b + 1 < HISTOGRAM_BUCKETS {
+            prop_assert!(v < Histogram::lower_bound(b + 1));
+        }
+        // The lower bound itself maps back to the same bucket.
+        prop_assert_eq!(Histogram::bucket_of(Histogram::lower_bound(b)), b);
+    }
+
+    // Bucket counts sum to the total count whatever is recorded.
+    #[test]
+    fn bucket_counts_sum_to_total(values in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let mut h = Histogram::new();
+        for v in &values {
+            h.record(*v);
+        }
+        let bucket_sum: u64 = (0..HISTOGRAM_BUCKETS).map(|b| h.bucket_count(b)).sum();
+        prop_assert_eq!(bucket_sum, values.len() as u64);
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    // Merging per-session histograms is order-independent: any
+    // permutation of any partition of the values reproduces the
+    // aggregate histogram exactly.
+    #[test]
+    fn histogram_merge_is_order_independent(
+        values in proptest::collection::vec(any::<u64>(), 1..48),
+        split in any::<u64>(),
+    ) {
+        let cut = (split % (values.len() as u64 + 1)) as usize;
+        let (left, right) = values.split_at(cut);
+        let part = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for v in vals {
+                h.record(*v);
+            }
+            h
+        };
+        let mut ab = part(left);
+        ab.merge(&part(right));
+        let mut ba = part(right);
+        ba.merge(&part(left));
+        prop_assert_eq!(ab.clone(), ba);
+        prop_assert_eq!(ab, part(&values));
+    }
+
+    // Two registries fed the same multiset of events in different
+    // orders render identical snapshots: counters are sums, histograms
+    // have fixed boundaries, and the snapshot sorts its keys.
+    #[test]
+    fn registry_snapshot_is_order_independent(
+        sessions in proptest::collection::vec((1u64..5, 0u64..1000, 0u64..1 << 40), 1..24),
+        perm in any::<u64>(),
+    ) {
+        let feed = |order: &[usize]| {
+            let r = Arc::new(MetricsRegistry::new());
+            for &i in order {
+                let (sid, items, ns) = sessions[i];
+                r.observe(&event("svc", "done", vec![
+                    count("session", sid),
+                    size("items", items),
+                    duration_ns("duration_ns", ns),
+                ]));
+            }
+            r.snapshot_json()
+        };
+        let forward: Vec<usize> = (0..sessions.len()).collect();
+        // A seeded Fisher-Yates permutation of the same event multiset.
+        let mut shuffled = forward.clone();
+        let mut state = perm | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        prop_assert_eq!(feed(&forward), feed(&shuffled));
+    }
+}

@@ -9,10 +9,11 @@
 //! must be **byte-identical** to a solo replay of the same session id
 //! over a private perfect link, while
 //!
-//! * seven other sessions (a mix of §3 intersections and §4 equijoins,
-//!   including empty and empty-overlap sets, one of them a
-//!   client-elected *sharded* bounded-memory session the daemon adopts
-//!   mid-connection) run interleaved on the same connection,
+//! * seven other sessions (a mix of §3 intersections, §4 equijoins and
+//!   the §5 `-size` variants, including empty and empty-overlap sets,
+//!   one of them a client-elected *sharded* bounded-memory session the
+//!   daemon adopts mid-connection) run interleaved on the same
+//!   connection,
 //! * one rogue peer opens a session with a malformed request (typed
 //!   per-session failure, nothing else), and
 //! * one rogue peer aborts mid-protocol by dropping its session (typed
@@ -34,9 +35,10 @@ use minshare::prelude::*;
 use minshare::service::ClientTraffic;
 use minshare_net::{
     serve_mux_connection, sim_pair, FaultPlan, MuxClient, MuxConfig, NetError, RobustConfig,
-    RobustTransport, SessionRegistry, ShutdownHandle, SimConfig,
+    RobustTransport, SessionRegistry, ShutdownHandle, SimConfig, StatsProvider,
 };
-use minshare_trace::sink::RingSink;
+use minshare_trace::metrics::{MetricsRegistry, RegistrySink};
+use minshare_trace::sink::{RingSink, TeeSink};
 use minshare_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -107,12 +109,23 @@ fn session_specs() -> Vec<SessionSpec> {
     vec![
         inter(&["grape", "melon", "pear"]),
         inter(&["apple", "caper", "quark", "zesty"]),
-        // Empty overlap: the answer must still be exact (empty).
-        inter(&["durian", "lychee"]),
+        // Size variant with empty overlap: the answer must still be
+        // exact (zero).
+        SessionSpec {
+            protocol: ProtocolKind::IntersectionSize,
+            values: to_values(&["durian", "lychee"]),
+            shards: 1,
+        },
         // Empty client set: degenerate but legal.
         inter(&[]),
         join(&["grape", "kiwi"]),
-        join(&["olive", "guava", "plumb", "apple", "wrong"]),
+        // Multiset size variant: duplicates are kept, priced, and part
+        // of the §5.2 disclosure the telemetry counters must reproduce.
+        SessionSpec {
+            protocol: ProtocolKind::EquijoinSize,
+            values: to_values(&["olive", "guava", "olive", "apple", "wrong"]),
+            shards: 1,
+        },
         // Sharding is client-elected: this session announces 3 buckets
         // with a spill-forcing memory budget, and the daemon adopts
         // them mid-connection while every other session stays on the
@@ -152,6 +165,8 @@ fn client_rng(session: u32) -> StdRng {
 enum Answer {
     Intersection(Vec<Vec<u8>>),
     Equijoin(Vec<(Vec<u8>, Vec<u8>)>),
+    /// The `-size` variants answer with a bare cardinality.
+    Count(u64),
 }
 
 /// Runs one client session over `transport` and returns its answer plus
@@ -213,6 +228,40 @@ fn run_client<T: minshare_net::Transport>(
                 &shard_cfg_for(spec),
             )?;
             Ok((Answer::Equijoin(out.matches), traffic))
+        }
+        (ProtocolKind::IntersectionSize, sharded) => {
+            // The sharded receiver degenerates to the serial engine at
+            // `shards <= 1`, so one arm covers both spellings.
+            let (out, traffic) = if sharded {
+                run_client_intersection_size_sharded(
+                    transport,
+                    &g,
+                    &spec.values,
+                    &mut rng,
+                    pool,
+                    PipelineConfig::default(),
+                    &shard_cfg_for(spec),
+                )?
+            } else {
+                run_client_intersection_size(transport, &g, &spec.values, &mut rng)?
+            };
+            Ok((Answer::Count(out.intersection_size as u64), traffic))
+        }
+        (ProtocolKind::EquijoinSize, sharded) => {
+            let (out, traffic) = if sharded {
+                run_client_equijoin_size_sharded(
+                    transport,
+                    &g,
+                    &spec.values,
+                    &mut rng,
+                    pool,
+                    PipelineConfig::default(),
+                    &shard_cfg_for(spec),
+                )?
+            } else {
+                run_client_equijoin_size(transport, &g, &spec.values, &mut rng)?
+            };
+            Ok((Answer::Count(out.join_size as u64), traffic))
         }
     }
 }
@@ -308,6 +357,7 @@ fn run_concurrent(
             &server_mux,
             &server_registry,
             &server_shutdown,
+            None,
             |sid, request, session_t| {
                 // Per-session tracer: the handler thread is the only
                 // thread emitting this session's deterministic events.
@@ -476,6 +526,7 @@ fn admission_cap_rejects_with_typed_busy_and_leaves_peers_unperturbed() {
             &server_mux,
             &server_registry,
             &server_shutdown,
+            None,
             |sid, request, session_t| {
                 let ring = Arc::new(RingSink::new(1 << 14));
                 let sink: Arc<dyn minshare_trace::TraceSink> = ring.clone();
@@ -548,6 +599,7 @@ fn graceful_shutdown_drains_active_sessions_and_sheds_new_opens() {
             &server_mux,
             &server_registry,
             &server_shutdown,
+            None,
             |sid, request, session_t| {
                 let report = svc
                     .handle(sid, &request, session_t)
@@ -589,4 +641,224 @@ fn graceful_shutdown_drains_active_sessions_and_sheds_new_opens() {
     assert_eq!(reports.len(), 1);
     assert_eq!(reports[0].as_ref().expect("drained report"), &baseline.report);
     drop(client);
+}
+
+/// Live telemetry over the STATS frame: run the full well-behaved
+/// matrix with the daemon's metrics registry wired in (a `TeeSink`
+/// beside each per-session ring, exactly as `minshare serve` wires it),
+/// scrape the endpoint mid-connection, and check the snapshot against
+/// ground truth computed by the harness itself — lifecycle counters, a
+/// populated per-protocol latency histogram, and per-peer cumulative
+/// size-disclosure totals exactly equal to the §5.2 leakage model.
+#[test]
+fn stats_endpoint_reports_lifecycle_histograms_and_leakage_ground_truth() {
+    const PEER: u64 = 7;
+    let service = Arc::new(make_service(2));
+    let specs = session_specs();
+
+    // The same registrations `minshare serve` performs at startup.
+    let metrics = Arc::new(MetricsRegistry::new());
+    metrics.register_gauge("pool", "queue", "depth");
+    metrics.register_gauge("pool", "session_vtime", "vtime");
+    for kind in [
+        ProtocolKind::Intersection,
+        ProtocolKind::Equijoin,
+        ProtocolKind::IntersectionSize,
+        ProtocolKind::EquijoinSize,
+    ] {
+        metrics.register_histogram("protocol", kind.name(), "ce_per_sec");
+    }
+    let provider: StatsProvider = {
+        let m = Arc::clone(&metrics);
+        Arc::new(move || m.snapshot_json().into_bytes())
+    };
+
+    let (server_t, client_t) = minshare_net::duplex_pair();
+    let mux = MuxConfig {
+        poll_interval_ms: 1,
+        ..MuxConfig::default()
+    };
+    let registry = SessionRegistry::new(64);
+    let shutdown = ShutdownHandle::new();
+    let done: Arc<Mutex<HashMap<u32, SessionReport>>> = Arc::new(Mutex::new(HashMap::new()));
+
+    let svc = Arc::clone(&service);
+    let done_in = Arc::clone(&done);
+    let metrics_in = Arc::clone(&metrics);
+    let server_mux = mux.clone();
+    let server_registry = Arc::clone(&registry);
+    let server_shutdown = shutdown.clone();
+    let server = std::thread::spawn(move || {
+        // The connection thread's lifecycle events feed the registry;
+        // handler threads wire their own tee below (tracers are
+        // thread-local and handler threads are spawned per session).
+        let _conn_trace = minshare_trace::install(Tracer::to_sink(Arc::new(RegistrySink::new(
+            Arc::clone(&metrics_in),
+        ))));
+        serve_mux_connection(
+            server_t,
+            &server_mux,
+            &server_registry,
+            &server_shutdown,
+            Some(provider),
+            |sid, request, session_t| {
+                let ring = Arc::new(RingSink::new(1 << 14));
+                let sink: Arc<dyn minshare_trace::TraceSink> = Arc::new(TeeSink::new(vec![
+                    ring,
+                    Arc::new(RegistrySink::new(Arc::clone(&metrics_in))),
+                ]));
+                let _installed = minshare_trace::install(Tracer::to_sink(sink));
+                let report = svc
+                    .handle_for_peer(PEER, sid, &request, session_t)
+                    .expect("telemetry matrix session");
+                done_in
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(sid, report);
+            },
+        )
+    });
+
+    let mut client = MuxClient::new(client_t, mux);
+    let mut opened = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let st = client
+            .open_session(&SessionRequest::new(spec.protocol).encode())
+            .expect("open telemetry session");
+        assert_eq!(st.session_id(), i as u32 + 1);
+        opened.push((i as u32 + 1, spec.clone(), st));
+    }
+    let client_pool = EncryptPool::new(0);
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for (sid, spec, st) in opened {
+            let pool = &client_pool;
+            joins.push(scope.spawn(move || run_client(&spec, sid, st, pool).expect("session")));
+        }
+        for join in joins {
+            join.join().expect("client session thread");
+        }
+    });
+
+    // A handler records its report only after every telemetry event for
+    // its session has been emitted; wait for all of them so the scrape
+    // below is deterministic, not racing the handlers' tails.
+    for _ in 0..2000 {
+        if done.lock().unwrap_or_else(|e| e.into_inner()).len() == specs.len() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let learned_total: u64 = {
+        let g = done.lock().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(g.len(), specs.len(), "all handlers recorded a report");
+        g.values().map(|r| r.peer_set_size as u64).sum()
+    };
+
+    // Ground truth from the leakage model: each set-protocol session
+    // reveals the daemon's distinct value count to its peer, and the
+    // multiset variant (equijoin-size) its occurrence count.
+    let server_values: Vec<Vec<u8>> = server_entries().into_iter().map(|(v, _)| v).collect();
+    let distinct: u64 = minshare::leakage::bucket_size_disclosure(&server_values, 1, &|_| 0)
+        .iter()
+        .sum();
+    let multiset: u64 = minshare::leakage::bucket_multiset_disclosure(&server_values, 1, &|_| 0)
+        .iter()
+        .sum();
+    let revealed_total: u64 = specs
+        .iter()
+        .map(|s| {
+            if s.protocol.discloses_multiset() {
+                multiset
+            } else {
+                distinct
+            }
+        })
+        .sum();
+    let intersections = specs
+        .iter()
+        .filter(|s| s.protocol == ProtocolKind::Intersection)
+        .count() as u64;
+
+    // Scrape the live endpoint mid-connection — this is the exact
+    // payload `minshare stats` prints.
+    let scraped = client.fetch_stats().expect("stats scrape");
+    let json = String::from_utf8(scraped).expect("snapshot is utf-8");
+    assert!(json.contains("\"stats_version\":1"), "version: {json}");
+    assert!(
+        json.contains(&format!("\"server/session_open/events\":{},", specs.len())),
+        "lifecycle counters in scrape: {json}"
+    );
+    assert!(
+        json.contains(&format!(
+            "\"leakage/size_disclosure/revealed{{peer={PEER}}}\":{revealed_total},"
+        )),
+        "per-peer revealed total in scrape: {json}"
+    );
+    assert!(
+        json.contains(&format!(
+            "\"leakage/size_disclosure/learned{{peer={PEER}}}\":{learned_total},"
+        )),
+        "per-peer learned total in scrape: {json}"
+    );
+    assert!(
+        json.contains(&format!(
+            "\"protocol/intersection/duration_ns\":{{\"count\":{intersections},"
+        )),
+        "populated latency histogram in scrape: {json}"
+    );
+
+    client.close().expect("client close");
+    let stats = server.join().expect("server thread").expect("server loop");
+    assert_eq!(stats.opened, specs.len() as u64);
+    assert_eq!(stats.stats_served, 1);
+
+    // Post-drain registry: full lifecycle accounting, both latency
+    // histograms populated exactly once per session, and the cumulative
+    // per-peer disclosure counters equal to the leakage-model totals.
+    assert_eq!(
+        metrics.counter("server", "session_open", "events"),
+        specs.len() as u64
+    );
+    assert_eq!(
+        metrics.counter("server", "session_complete", "events")
+            + metrics.counter("server", "closed_by_peer", "events"),
+        specs.len() as u64,
+        "every session reaped exactly once"
+    );
+    assert_eq!(metrics.counter("server", "drained", "events"), 1);
+    assert_eq!(metrics.counter("server", "stats_served", "events"), 1);
+    let inter = metrics
+        .histogram("protocol", "intersection", "duration_ns")
+        .expect("intersection latency histogram");
+    assert_eq!(inter.count(), intersections);
+    assert!(inter.sum() > 0, "latency sums are nonzero");
+    let equijoins = specs
+        .iter()
+        .filter(|s| s.protocol == ProtocolKind::Equijoin)
+        .count() as u64;
+    let join_h = metrics
+        .histogram("protocol", "equijoin", "duration_ns")
+        .expect("equijoin latency histogram");
+    assert_eq!(join_h.count(), equijoins);
+    // Every protocol kind that ran left a latency histogram, including
+    // the size variants.
+    for kind in [ProtocolKind::IntersectionSize, ProtocolKind::EquijoinSize] {
+        let h = metrics
+            .histogram("protocol", kind.name(), "duration_ns")
+            .unwrap_or_else(|| panic!("{} latency histogram", kind.name()));
+        assert_eq!(h.count(), 1);
+    }
+    assert_eq!(
+        metrics.counter_labeled("leakage", "size_disclosure", "revealed", "peer", PEER),
+        revealed_total
+    );
+    assert_eq!(
+        metrics.counter_labeled("leakage", "size_disclosure", "learned", "peer", PEER),
+        learned_total
+    );
+    assert!(
+        metrics.counter("pool", "submit", "events") > 0,
+        "pool telemetry flowed through the handler tracers"
+    );
 }

@@ -30,10 +30,12 @@ cargo run -q --release -p minshare-analyzer -- --baseline analyzer.baseline.toml
 t1=$(date +%s%N)
 echo "analyzer wall-time: $(( (t1 - t0) / 1000000 )) ms"
 # The zero-count ratchet anchors record that the paper's minimal-sharing
-# invariant (WIRE01) and the pool/transport liveness invariant (LOCK01)
-# hold everywhere in scope. Deleting an anchor would let findings creep
-# back in silently, so their absence fails the gate.
-for anchor in WIRE01 LOCK01; do
+# invariant (WIRE01), the pool/transport liveness invariant (LOCK01) and
+# the telemetry secrecy invariant (OBS01 — nothing but typed counters in
+# the trace/metrics layer) hold everywhere in scope. Deleting an anchor
+# would let findings creep back in silently, so their absence fails the
+# gate.
+for anchor in WIRE01 LOCK01 OBS01; do
     if ! grep -q "rule = \"$anchor\"" analyzer.baseline.toml; then
         echo "verify: missing $anchor ratchet anchor in analyzer.baseline.toml" >&2
         exit 1
@@ -61,19 +63,23 @@ echo "$profile_json" | grep -q '"profile": *"smoke"'
 # isolation against solo baselines (answers, trace digests, byte
 # counters), typed Busy shedding, and graceful-shutdown draining.
 cargo test -q --test multisession
-# Daemon smoke over real loopback TCP: one `minshare serve` process,
+# Daemon smoke over real loopback TCP: one `minshare serve` process;
 # two concurrent `minshare client` sessions (intersection + equijoin),
-# per-session reconciliation lines on both sides, then a zero-capacity
-# daemon proving typed Busy shedding. `--shutdown-after` doubles as the
+# then a *sharded size-variant* session (intersection-size over 3
+# client-elected buckets), then a live `minshare stats` scrape whose
+# counters must equal the leakage-model ground truth, then a fourth
+# session to trip `--shutdown-after 4` — which doubles as the
 # graceful-shutdown check: the daemon must drain and exit 0 by itself.
+# A zero-capacity daemon afterwards proves typed Busy shedding.
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
 printf 'apple\text:apple\ngrape\text:grape\nmelon\text:melon\npeach\text:peach\n' > "$smoke_dir/server.txt"
 printf 'grape\nmelon\npear\n' > "$smoke_dir/c1.txt"
 printf 'apple\nkiwi\n' > "$smoke_dir/c2.txt"
+printf 'grape\nmelon\npear\napple\n' > "$smoke_dir/c3.txt"
 minshare=target/release/minshare
 "$minshare" serve --listen 127.0.0.1:0 --values "$smoke_dir/server.txt" \
-    --max-sessions 4 --shutdown-after 2 --seed 7 \
+    --max-sessions 4 --shutdown-after 4 --seed 7 \
     --port-file "$smoke_dir/port.txt" > "$smoke_dir/serve.out" 2> "$smoke_dir/serve.err" &
 serve_pid=$!
 i=0
@@ -91,18 +97,44 @@ c1_pid=$!
 c2_pid=$!
 wait "$c1_pid"
 wait "$c2_pid"
-# Graceful shutdown: after two session outcomes the daemon drains and
+# Sharded size variant: the client elects 3 buckets, the daemon adopts
+# them, and the answer is a bare cardinality (grape, melon, apple → 3).
+"$minshare" client --connect "127.0.0.1:$port" --protocol intersection-size \
+    --values "$smoke_dir/c3.txt" --seed 3 --shards 3 > "$smoke_dir/c3.out" 2>&1
+grep -q '^3$' "$smoke_dir/c3.out"
+grep -q 'status=ok' "$smoke_dir/c3.out"
+# Live telemetry scrape. Ground truth from the harness: 3 sessions so
+# far, each disclosing the daemon's 4 distinct values (3 × 4 = 12
+# revealed), learning |V_R| = 3 + 2 + 4 = 9 distinct client values; the
+# third connection (the sharded size variant, deterministic peer id 3)
+# accounts for 4 of each; and the size-variant run left a populated
+# latency histogram. The pause lets the last handler's telemetry tail
+# land before the snapshot is taken.
+sleep 1
+"$minshare" stats "127.0.0.1:$port" > "$smoke_dir/stats.out" 2> /dev/null
+grep -q '"stats_version":1' "$smoke_dir/stats.out"
+grep -q '"server/session_open/events":3' "$smoke_dir/stats.out"
+grep -q '"leakage/size_disclosure/revealed":12' "$smoke_dir/stats.out"
+grep -q '"leakage/size_disclosure/learned":9' "$smoke_dir/stats.out"
+grep -q '"leakage/size_disclosure/revealed{peer=3}":4' "$smoke_dir/stats.out"
+grep -q '"leakage/size_disclosure/learned{peer=3}":4' "$smoke_dir/stats.out"
+grep -q '"protocol/intersection-size/duration_ns":{"count":1' "$smoke_dir/stats.out"
+# Fourth session outcome trips --shutdown-after 4: the daemon drains and
 # exits 0 on its own — a hung or crashed daemon fails here.
+"$minshare" client --connect "127.0.0.1:$port" --protocol intersection \
+    --values "$smoke_dir/c1.txt" --seed 4 > "$smoke_dir/c4.out" 2>&1
 wait "$serve_pid"
 grep -q '^grape$' "$smoke_dir/c1.out"
 grep -q '^melon$' "$smoke_dir/c1.out"
 grep -q 'apple	ext:apple' "$smoke_dir/c2.out"
 # Per-session reconciliation lines on both sides of the wire.
-[ "$(grep -c 'status=ok' "$smoke_dir/serve.out")" -eq 2 ]
+[ "$(grep -c 'status=ok' "$smoke_dir/serve.out")" -eq 4 ]
 grep -q 'protocol=intersection' "$smoke_dir/serve.out"
 grep -q 'protocol=equijoin' "$smoke_dir/serve.out"
+grep -q 'protocol=intersection-size' "$smoke_dir/serve.out"
 grep -q 'status=ok' "$smoke_dir/c1.out"
 grep -q 'status=ok' "$smoke_dir/c2.out"
+grep -q 'status=ok' "$smoke_dir/c4.out"
 # Typed Busy load-shedding: a zero-capacity daemon refuses the session
 # with the typed error (the client says "busy", not a protocol failure)
 # and the rejection itself counts as the outcome that shuts it down.
